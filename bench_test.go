@@ -1,0 +1,240 @@
+package rlcint
+
+// One benchmark per table/figure of the paper. Each benchmark regenerates
+// the corresponding result (or its representative unit of work); the full
+// CSV regeneration lives in cmd/figures. Figures 9-12 are transient circuit
+// simulations and use a reduced-resolution configuration so a -bench=. run
+// stays tractable; cmd/figures runs them at full resolution.
+
+import (
+	"testing"
+
+	"rlcint/internal/num"
+	"rlcint/internal/pade"
+)
+
+// benchSweepLs is a compact version of the paper's 0-5 nH/mm range.
+var benchSweepLs = []float64{0.5e-6, 2e-6, 4.5e-6}
+
+// BenchmarkTable1 regenerates Table 1's derived columns: the closed-form RC
+// optimum for both nodes and the inverse device extraction.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, t := range Technologies() {
+			rc, err := OptimizeRC(t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ExtractDevice(LineOf(t, 0), rc.H, rc.K, rc.Tau); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2 samples the three canonical second-order step responses.
+func BenchmarkFig2(b *testing.B) {
+	ts := num.Linspace(0, 12, 601)
+	models := make([]pade.Model, 0, 3)
+	for _, zeta := range []float64{2, 1, 0.3} {
+		m, err := pade.New(2*zeta, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			for _, t := range ts {
+				_ = m.Step(t)
+			}
+		}
+	}
+}
+
+// benchSweep runs the shared Figures 4-8 sweep for both nodes.
+func benchSweep(b *testing.B) [][]SweepPoint {
+	b.Helper()
+	out := make([][]SweepPoint, 0, 2)
+	for _, t := range Technologies() {
+		pts, err := Sweep(t, benchSweepLs, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, pts)
+	}
+	return out
+}
+
+// BenchmarkFig4 regenerates the critical-inductance-at-optimum series.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pts := range benchSweep(b) {
+			for _, p := range pts {
+				if p.LCrit <= 0 {
+					b.Fatal("non-positive lcrit")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the h_optRLC/h_optRC series.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pts := range benchSweep(b) {
+			for _, p := range pts {
+				if p.HRatio <= 0 {
+					b.Fatal("bad ratio")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the k_optRLC/k_optRC series.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pts := range benchSweep(b) {
+			for _, p := range pts {
+				if p.KRatio <= 0 || p.KRatio > 1.2 {
+					b.Fatal("bad ratio")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the optimized-delay-ratio series (including the
+// εr-swap control).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, t := range []Technology{Tech250(), Tech100(), Tech100Eps250()} {
+			pts, err := Sweep(t, benchSweepLs, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range pts {
+				if p.DelayRatio < 1 {
+					b.Fatal("ratio below 1")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the fixed-RC-sizing penalty series.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pts := range benchSweep(b) {
+			for _, p := range pts {
+				if p.Penalty < 1-1e-9 {
+					b.Fatal("penalty below 1")
+				}
+			}
+		}
+	}
+}
+
+// fastRing is the reduced-resolution transient configuration for benches.
+func fastRing(l float64) RingConfig {
+	return RingConfig{Node: Tech100(), LineL: l, Sections: 8}
+}
+
+// BenchmarkFig9 runs the ring-oscillator transient at l = 1.8 nH/mm and
+// extracts the Figure 9 waveform metrics.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, met, err := RunRing(fastRing(1.8e-6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if met.Period <= 0 {
+			b.Fatal("no oscillation")
+		}
+	}
+}
+
+// BenchmarkFig10 runs the transient at l = 2.2 nH/mm (the paper's second
+// waveform operating point).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, met, err := RunRing(fastRing(2.2e-6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if met.Undershoot <= 0 {
+			b.Fatal("expected undershoot")
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates a compact period-vs-inductance sweep spanning
+// the false-switching onset.
+func BenchmarkFig11(b *testing.B) {
+	ls := []float64{1.8e-6, 3.0e-6}
+	for i := 0; i < b.N; i++ {
+		pts, err := SweepRingPeriod(fastRing(0), ls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pts[1].Collapsed {
+			b.Fatal("expected collapse at 3 nH/mm")
+		}
+	}
+}
+
+// BenchmarkFig12 measures the wire current densities and reliability screen.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, met, err := RunRing(fastRing(2.2e-6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := CheckWire(met.PeakJ, met.RMSJ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.RMSOver {
+			b.Fatal("unexpected EM violation")
+		}
+	}
+}
+
+// BenchmarkDelaySolve measures the Eq. (3) numerical delay solve — the
+// kernel the paper reports as converging in <4 Newton iterations.
+func BenchmarkDelaySolve(b *testing.B) {
+	st := StageOf(Tech100(), 2e-6, 11.1*MM, 528)
+	m, err := TwoPoleOf(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Delay(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimize measures one full repeater-insertion optimization — the
+// paper's headline "extremely efficient" claim.
+func BenchmarkOptimize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(Tech100(), 2e-6, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractBEM measures the 2-D BEM capacitance extraction of the
+// Table 1 cross-section.
+func BenchmarkExtractBEM(b *testing.B) {
+	n := Tech100()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractCapacitance(n.Width, n.Height, n.Pitch, n.TIns, n.EpsR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command extract computes per-unit-length interconnect parameters from
+// cross-section geometry: resistance (with temperature), capacitance (2-D
+// BEM with ground plane and neighbours, plus closed-form estimates), and
+// loop inductance versus current-return distance — the library's substitute
+// for the paper's FASTCAP/field-solver flow.
+//
+// Usage:
+//
+//	extract [-w 2] [-t 2.5] [-pitch 4] [-tins 15.4] [-epsr 2.0] [-temp 90]
+//	        [-len 11.1] [-return 15.4,100,500,1000]
+//
+// Lengths are in µm except -len (mm); -return lists return-path distances
+// in µm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rlcint"
+	"rlcint/internal/extract"
+)
+
+func main() {
+	w := flag.Float64("w", 2, "line width, µm")
+	th := flag.Float64("t", 2.5, "line thickness, µm")
+	pitch := flag.Float64("pitch", 4, "line pitch, µm")
+	tins := flag.Float64("tins", 15.4, "height over substrate, µm")
+	epsr := flag.Float64("epsr", 2.0, "dielectric constant")
+	temp := flag.Float64("temp", 90, "operating temperature, °C")
+	length := flag.Float64("len", 11.1, "wire length for inductance, mm")
+	returns := flag.String("return", "15.4,100,500,1000", "return distances, µm (comma separated)")
+	flag.Parse()
+
+	um := rlcint.UM
+	r, err := rlcint.ExtractResistance(*w*um, *th*um, *temp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("resistance: %.3f Ω/mm (Cu at %.0f °C)\n", r/rlcint.OhmPerMM, *temp)
+
+	c, err := rlcint.ExtractCapacitance(*w*um, *th*um, *pitch*um, *tins*um, *epsr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("capacitance (2-D BEM, grounded neighbours): %.2f pF/m\n", c/rlcint.PFPerM)
+	st, err := extract.SakuraiTamaru(*w*um, *th*um, *tins*um, *epsr)
+	if err != nil {
+		fatal(err)
+	}
+	cg, cc, err := extract.CoupledCap(*w*um, *th*um, *tins*um, (*pitch-*w)*um, *epsr)
+	if err != nil {
+		fatal(err)
+	}
+	lo, hi := extract.MillerRange(cg, cc)
+	fmt.Printf("closed forms: isolated %.2f pF/m; ground+2·coupling %.2f pF/m; Miller range %.2f–%.2f pF/m\n",
+		st/rlcint.PFPerM, (cg+2*cc)/rlcint.PFPerM, lo/rlcint.PFPerM, hi/rlcint.PFPerM)
+
+	fmt.Printf("loop inductance for a %.1f mm wire:\n", *length)
+	for _, s := range strings.Split(*returns, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad return distance %q: %w", s, err))
+		}
+		l, err := rlcint.ExtractLoopInductance(*w*um, *th*um, *length*rlcint.MM, d*um)
+		if err != nil {
+			fatal(err)
+		}
+		note := ""
+		if l >= 5*rlcint.NHPerMM {
+			note = "  (exceeds the paper's 5 nH/mm practical bound)"
+		}
+		fmt.Printf("  return at %7.1f µm: %.3f nH/mm%s\n", d, l/rlcint.NHPerMM, note)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "extract:", err)
+	os.Exit(1)
+}

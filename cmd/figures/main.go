@@ -1,0 +1,346 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Table 1, Figures 2 and 4–12) as CSV files plus aligned-text
+// summaries on stdout.
+//
+// Usage:
+//
+//	figures [-only id] [-out dir] [-points n] [-fast]
+//
+// where id is one of: table1, fig2, fig4, fig5, fig6, fig7, fig8, fig9,
+// fig10, fig11, fig12, valid, all (default all). -fast reduces transient
+// resolution for a quick smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"rlcint"
+	"rlcint/internal/awe"
+	"rlcint/internal/num"
+	"rlcint/internal/pade"
+	"rlcint/internal/waveform"
+)
+
+func main() {
+	only := flag.String("only", "all", "which artifact to regenerate")
+	outDir := flag.String("out", "out", "output directory for CSV files")
+	points := flag.Int("points", 13, "sweep points per curve for Figures 4-8")
+	fast := flag.Bool("fast", false, "reduce transient resolution (Figures 9-12)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	g := &gen{dir: *outDir, points: *points, fast: *fast}
+	artifacts := map[string]func() error{
+		"table1": g.table1,
+		"fig2":   g.fig2,
+		"fig4":   g.figs4to8, // Figures 4-8 share one sweep
+		"fig5":   g.figs4to8,
+		"fig6":   g.figs4to8,
+		"fig7":   g.figs4to8,
+		"fig8":   g.figs4to8,
+		"fig9":   func() error { return g.waveFig("fig9", 1.8e-6) },
+		"fig10":  func() error { return g.waveFig("fig10", 2.2e-6) },
+		"fig11":  g.fig11,
+		"fig12":  g.fig12,
+		"valid":  g.valid,
+	}
+	if *only == "all" {
+		order := []string{"table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "valid"}
+		for _, k := range order {
+			if err := artifacts[k](); err != nil {
+				fatal(fmt.Errorf("%s: %w", k, err))
+			}
+		}
+		return
+	}
+	f, ok := artifacts[*only]
+	if !ok {
+		fatal(fmt.Errorf("unknown artifact %q", *only))
+	}
+	if err := f(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+type gen struct {
+	dir      string
+	points   int
+	fast     bool
+	sweepRan bool
+}
+
+func (g *gen) csv(name string, t []float64, cols []string, series ...[]float64) error {
+	f, err := os.Create(filepath.Join(g.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return waveform.WriteCSV(f, t, cols, series...)
+}
+
+// table1 regenerates the derived columns of Table 1 from (r_s, c_0, c_p)
+// and, inversely, re-extracts the device from the published optima.
+func (g *gen) table1() error {
+	fmt.Println("== Table 1: technology parameters and RC optima ==")
+	fmt.Printf("%-8s %10s %10s %10s %12s %10s %10s\n",
+		"node", "h_opt(mm)", "k_opt", "tau(ps)", "rs(kΩ)", "c0(fF)", "cp(fF)")
+	var rows [][]float64
+	for _, t := range rlcint.Technologies() {
+		rc, err := rlcint.OptimizeRC(t)
+		if err != nil {
+			return err
+		}
+		d, err := rlcint.ExtractDevice(rlcint.LineOf(t, 0), rc.H, rc.K, rc.Tau)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10.1f %10.0f %10.2f %12.3f %10.4f %10.4f\n",
+			t.Name, rc.H/rlcint.MM, rc.K, rc.Tau/rlcint.PS,
+			d.Rs/rlcint.KOhm, d.C0/rlcint.FF, d.Cp/rlcint.FF)
+		rows = append(rows, []float64{rc.H / rlcint.MM, rc.K, rc.Tau / rlcint.PS,
+			d.Rs / rlcint.KOhm, d.C0 / rlcint.FF, d.Cp / rlcint.FF})
+	}
+	idx := []float64{250, 100}
+	cols := []string{"h_opt_mm", "k_opt", "tau_ps", "rs_kohm", "c0_fF", "cp_fF"}
+	series := make([][]float64, len(cols))
+	for c := range cols {
+		series[c] = []float64{rows[0][c], rows[1][c]}
+	}
+	return g.csv("table1.csv", idx, cols, series...)
+}
+
+// fig2 renders the canonical over/critically/under-damped step responses.
+func (g *gen) fig2() error {
+	fmt.Println("== Figure 2: second-order step responses ==")
+	ts := num.Linspace(0, 12, 601)
+	curves := map[string]pade.Model{}
+	for _, c := range []struct {
+		name string
+		zeta float64
+	}{{"overdamped", 2}, {"critical", 1}, {"underdamped", 0.3}} {
+		m, err := pade.New(2*c.zeta, 1) // b2 = 1 → ωn = 1
+		if err != nil {
+			return err
+		}
+		curves[c.name] = m
+	}
+	over := sample(curves["overdamped"], ts)
+	crit := sample(curves["critical"], ts)
+	under := sample(curves["underdamped"], ts)
+	os, _ := curves["underdamped"].Overshoot()
+	fmt.Printf("underdamped (ζ=0.3) overshoot: %.1f%%\n", 100*os)
+	return g.csv("fig2.csv", ts, []string{"overdamped", "critical", "underdamped"}, over, crit, under)
+}
+
+func sample(m pade.Model, ts []float64) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = m.Step(t)
+	}
+	return out
+}
+
+// figs4to8 runs the three technology sweeps once and writes Figures 4-8.
+func (g *gen) figs4to8() error {
+	if g.sweepRan {
+		return nil
+	}
+	g.sweepRan = true
+	ls := num.Linspace(0.1e-6, 4.9e-6, g.points)
+	type curve struct {
+		name string
+		pts  []rlcint.SweepPoint
+	}
+	var curves []curve
+	for _, t := range []rlcint.Technology{rlcint.Tech250(), rlcint.Tech100(), rlcint.Tech100Eps250()} {
+		fmt.Printf("sweeping %s (%d points)...\n", t.Name, len(ls))
+		pts, err := rlcint.Sweep(t, ls, 0.5)
+		if err != nil {
+			return err
+		}
+		curves = append(curves, curve{t.Name, pts})
+	}
+	lsN := make([]float64, len(ls))
+	for i, l := range ls {
+		lsN[i] = l / rlcint.NHPerMM
+	}
+	get := func(ci int, f func(rlcint.SweepPoint) float64) []float64 {
+		out := make([]float64, len(ls))
+		for i, p := range curves[ci].pts {
+			out[i] = f(p)
+		}
+		return out
+	}
+	names := []string{"n250", "n100", "n100eps250"}
+	figs := []struct {
+		file, title string
+		f           func(rlcint.SweepPoint) float64
+	}{
+		{"fig4.csv", "Figure 4: l_crit (nH/mm) at the RLC optimum", func(p rlcint.SweepPoint) float64 { return p.LCrit / rlcint.NHPerMM }},
+		{"fig5.csv", "Figure 5: h_optRLC / h_optRC", func(p rlcint.SweepPoint) float64 { return p.HRatio }},
+		{"fig6.csv", "Figure 6: k_optRLC / k_optRC", func(p rlcint.SweepPoint) float64 { return p.KRatio }},
+		{"fig7.csv", "Figure 7: optimal (tau/h) ratio, RLC vs l=0", func(p rlcint.SweepPoint) float64 { return p.DelayRatio }},
+		{"fig8.csv", "Figure 8: tau/h at RC sizing over RLC optimum", func(p rlcint.SweepPoint) float64 { return p.Penalty }},
+	}
+	for _, fg := range figs {
+		s0, s1, s2 := get(0, fg.f), get(1, fg.f), get(2, fg.f)
+		if err := g.csv(fg.file, lsN, names, s0, s1, s2); err != nil {
+			return err
+		}
+		fmt.Printf("== %s ==\n", fg.title)
+		fmt.Printf("%-12s %10s %10s %12s\n", "l (nH/mm)", "250nm", "100nm", "100nm-eps")
+		for i := range lsN {
+			fmt.Printf("%-12.2f %10.3f %10.3f %12.3f\n", lsN[i], s0[i], s1[i], s2[i])
+		}
+	}
+	last := len(ls) - 1
+	fmt.Printf("Figure 7 endpoints: 250nm %.2fx (paper ≈2), 100nm %.2fx (paper ≈3.5)\n",
+		get(0, figs[3].f)[last], get(1, figs[3].f)[last])
+	fmt.Printf("Figure 8 worst penalties: 250nm %.1f%% (paper 6%%), 100nm %.1f%% (paper 12%%)\n",
+		100*(maxOf(get(0, figs[4].f))-1), 100*(maxOf(get(1, figs[4].f))-1))
+	return nil
+}
+
+func maxOf(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func (g *gen) ringCfg(l float64) rlcint.RingConfig {
+	cfg := rlcint.RingConfig{Node: rlcint.Tech100(), LineL: l}
+	if g.fast {
+		cfg.Sections = 10
+	}
+	return cfg
+}
+
+// waveFig writes the monitored inverter's input/output waveforms for
+// Figures 9 (l = 1.8 nH/mm) and 10 (l = 2.2 nH/mm).
+func (g *gen) waveFig(name string, l float64) error {
+	fmt.Printf("== %s: ring oscillator waveforms at l=%.1f nH/mm ==\n", name, l/rlcint.NHPerMM)
+	w, met, err := rlcint.RunRing(g.ringCfg(l))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("period %.3f ns, overshoot %.3f V, undershoot %.3f V\n",
+		met.Period*1e9, met.Overshoot, met.Undershoot)
+	ox, err := rlcint.CheckOxide(rlcint.Tech100(), met.Overshoot)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("oxide field with overshoot: %.2f MV/cm (limit 5, critical 7) over-limit=%v\n",
+		ox.Field/1e8, ox.OverLimit)
+	return g.csv(name+".csv", w.T, []string{"vin", "vout"}, w.VIn, w.VOut)
+}
+
+// fig11 sweeps the ring period versus inductance for both nodes.
+func (g *gen) fig11() error {
+	fmt.Println("== Figure 11: ring oscillator period vs line inductance ==")
+	ls := []float64{0.4e-6, 0.8e-6, 1.2e-6, 1.6e-6, 2.0e-6, 2.4e-6, 2.6e-6, 2.8e-6, 3.0e-6, 3.5e-6}
+	if g.fast {
+		ls = []float64{0.8e-6, 1.8e-6, 2.8e-6}
+	}
+	p100, err := rlcint.SweepRingPeriod(g.ringCfg(0), ls)
+	if err != nil {
+		return err
+	}
+	cfg250 := rlcint.RingConfig{Node: rlcint.Tech250()}
+	if g.fast {
+		cfg250.Sections = 10
+	}
+	p250, err := rlcint.SweepRingPeriod(cfg250, ls)
+	if err != nil {
+		return err
+	}
+	lsN := make([]float64, len(ls))
+	per100 := make([]float64, len(ls))
+	per250 := make([]float64, len(ls))
+	fmt.Printf("%-12s %14s %10s %14s\n", "l (nH/mm)", "100nm T (ns)", "collapsed", "250nm T (ns)")
+	for i := range ls {
+		lsN[i] = ls[i] / rlcint.NHPerMM
+		per100[i] = p100[i].Metrics.Period * 1e9
+		per250[i] = p250[i].Metrics.Period * 1e9
+		fmt.Printf("%-12.2f %14.3f %10v %14.3f\n", lsN[i], per100[i], p100[i].Collapsed, per250[i])
+	}
+	return g.csv("fig11.csv", lsN, []string{"period100_ns", "period250_ns"}, per100, per250)
+}
+
+// fig12 sweeps peak and rms current density versus inductance (100 nm).
+func (g *gen) fig12() error {
+	fmt.Println("== Figure 12: wire current density vs line inductance (100 nm) ==")
+	ls := []float64{0.4e-6, 1.0e-6, 1.6e-6, 2.2e-6, 2.6e-6}
+	if g.fast {
+		ls = []float64{0.8e-6, 2.2e-6}
+	}
+	lsN := make([]float64, len(ls))
+	peak := make([]float64, len(ls))
+	rms := make([]float64, len(ls))
+	fmt.Printf("%-12s %16s %16s %8s\n", "l (nH/mm)", "peakJ (MA/cm²)", "rmsJ (MA/cm²)", "pass")
+	for i, l := range ls {
+		_, met, err := rlcint.RunRing(g.ringCfg(l))
+		if err != nil {
+			return err
+		}
+		rep, err := rlcint.CheckWire(met.PeakJ, met.RMSJ)
+		if err != nil {
+			return err
+		}
+		lsN[i] = l / rlcint.NHPerMM
+		peak[i] = met.PeakJ / 1e10 // A/m² → MA/cm²
+		rms[i] = met.RMSJ / 1e10
+		fmt.Printf("%-12.2f %16.3f %16.3f %8v\n", lsN[i], peak[i], rms[i], !rep.RMSOver && !rep.PeakOver)
+	}
+	return g.csv("fig12.csv", lsN, []string{"peakJ_MAcm2", "rmsJ_MAcm2"}, peak, rms)
+}
+
+// valid cross-checks the two-pole model against higher-order AWE fits and
+// reports the Newton iteration counts the paper quotes.
+func (g *gen) valid() error {
+	fmt.Println("== Validation: two-pole model vs higher-order AWE ==")
+	fmt.Printf("%-10s %14s %14s %10s %8s\n", "l (nH/mm)", "2-pole (ps)", "AWE q=6 (ps)", "rel err", "iters")
+	for _, l := range []float64{0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6} {
+		st := rlcint.StageOf(rlcint.Tech100(), l, 11.1*rlcint.MM, 528)
+		m, err := rlcint.TwoPoleOf(st)
+		if err != nil {
+			return err
+		}
+		d, err := m.Delay(0.5)
+		if err != nil {
+			return err
+		}
+		// High-order AWE fits are occasionally unstable (its classic
+		// failure mode); fall back to the highest stable order.
+		ref := math.NaN()
+		order := 0
+		for q := 6; q >= 3; q-- {
+			fit, err := awe.FromStage(st, q)
+			if err != nil || !fit.Stable() {
+				continue
+			}
+			if ref, err = fit.Delay(0.5); err == nil {
+				order = q
+				break
+			}
+		}
+		rel := math.Abs(d.Tau-ref) / ref
+		fmt.Printf("%-10.1f %14.1f %11.1f q=%d %9.1f%% %8d\n",
+			l/rlcint.NHPerMM, d.Tau/rlcint.PS, ref/rlcint.PS, order, 100*rel, d.Iterations)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command mc runs the Monte-Carlo inductance-uncertainty analysis: it
+// samples the line inductance of a technology's global wire from a chosen
+// distribution and reports the statistics of a fixed repeater design's stage
+// delay, plus (optionally) the penalty over the per-sample optimum — the
+// statistical form of the paper's Section 3.2 argument.
+//
+// Usage:
+//
+//	mc [-tech 100nm] [-h 11.1] [-k 528] [-lmin 0.5] [-lmax 4.5] [-mode 0]
+//	   [-n 500] [-seed 1] [-penalty]
+//
+// -h in mm; -lmin/-lmax/-mode in nH/mm (mode 0 selects a uniform
+// distribution, nonzero a triangular one peaked there). -penalty runs one
+// optimization per sample and is correspondingly slower.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlcint"
+	"rlcint/internal/core"
+	"rlcint/internal/mc"
+)
+
+func main() {
+	techName := flag.String("tech", "100nm", "technology node")
+	hMM := flag.Float64("h", 11.1, "fixed segment length, mm")
+	k := flag.Float64("k", 528, "fixed repeater size")
+	lmin := flag.Float64("lmin", 0.5, "minimum line inductance, nH/mm")
+	lmax := flag.Float64("lmax", 4.5, "maximum line inductance, nH/mm")
+	mode := flag.Float64("mode", 0, "triangular mode, nH/mm (0 = uniform)")
+	n := flag.Int("n", 500, "number of samples")
+	seed := flag.Int64("seed", 1, "random seed (runs are deterministic)")
+	penalty := flag.Bool("penalty", false, "also compute the penalty over per-sample optima")
+	flag.Parse()
+
+	t, err := rlcint.TechByName(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	var dist mc.Dist
+	if *mode > 0 {
+		dist = mc.Triangular{
+			Lo: *lmin * rlcint.NHPerMM, Mode: *mode * rlcint.NHPerMM, Hi: *lmax * rlcint.NHPerMM,
+		}
+	} else {
+		dist = mc.Uniform{Lo: *lmin * rlcint.NHPerMM, Hi: *lmax * rlcint.NHPerMM}
+	}
+	p := core.Problem{Device: rlcint.DeviceOf(t), Line: rlcint.Line{R: t.R, C: t.C}}
+
+	st, err := mc.DelayUnderUncertainty(p, *hMM*rlcint.MM, *k, dist, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s, fixed design h=%.1f mm k=%.0f, l ~ [%.1f, %.1f] nH/mm, %d samples\n",
+		t.Name, *hMM, *k, *lmin, *lmax, st.N)
+	fmt.Printf("stage delay: mean %.1f ps, std %.1f ps\n", st.Mean/rlcint.PS, st.Std/rlcint.PS)
+	fmt.Printf("             min %.1f, p50 %.1f, p95 %.1f, max %.1f ps\n",
+		st.Min/rlcint.PS, st.P50/rlcint.PS, st.P95/rlcint.PS, st.Max/rlcint.PS)
+	fmt.Printf("spread (max/min): %.2fx\n", st.Max/st.Min)
+
+	if *penalty {
+		np := *n
+		if np > 60 {
+			np = 60 // one optimization per sample
+		}
+		ps, err := mc.PenaltyUnderUncertainty(p, *hMM*rlcint.MM, *k, dist, np, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("penalty over per-sample optimum (%d samples): mean %.1f%%, p95 %.1f%%, worst %.1f%%\n",
+			ps.N, 100*(ps.Mean-1), 100*(ps.P95-1), 100*(ps.Max-1))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command ringsim runs the paper's five-stage ring-oscillator transient for
+// one configuration and dumps the monitored waveforms as CSV (the raw data
+// behind Figures 9, 10 and 12), along with the reliability screens of
+// Section 3.3.2.
+//
+// Usage:
+//
+//	ringsim [-tech 100nm] [-l 1.8] [-stages 5] [-sections 16] [-buffered] [-o ring.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlcint"
+	"rlcint/internal/waveform"
+)
+
+func main() {
+	techName := flag.String("tech", "100nm", "technology node")
+	lNH := flag.Float64("l", 1.8, "line inductance, nH/mm")
+	stages := flag.Int("stages", 5, "number of stages (odd)")
+	sections := flag.Int("sections", 16, "ladder sections per line")
+	buffered := flag.Bool("buffered", false, "simulate the square-wave-driven buffered line instead of the ring")
+	outPath := flag.String("o", "ring.csv", "waveform CSV output path")
+	flag.Parse()
+
+	t, err := rlcint.TechByName(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := rlcint.RingConfig{
+		Node: t, LineL: *lNH * rlcint.NHPerMM,
+		Stages: *stages, Sections: *sections,
+	}
+	run := rlcint.RunRing
+	kind := "ring oscillator"
+	if *buffered {
+		run = rlcint.RunBufferedLine
+		kind = "buffered line"
+	}
+	w, met, err := run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s, %s, l=%.2f nH/mm, %d stages\n", kind, t.Name, *lNH, *stages)
+	fmt.Printf("period:      %.3f ns\n", met.Period*1e9)
+	fmt.Printf("overshoot:   %.3f V above VDD=%.2f\n", met.Overshoot, t.VDD)
+	fmt.Printf("undershoot:  %.3f V below ground\n", met.Undershoot)
+	if w.ILine != nil {
+		fmt.Printf("line current: peak %.3f mA, rms %.3f mA\n", met.PeakI*1e3, met.RMSI*1e3)
+		fmt.Printf("current density: peak %.3f MA/cm², rms %.3f MA/cm²\n", met.PeakJ/1e10, met.RMSJ/1e10)
+		wire, err := rlcint.CheckWire(met.PeakJ, met.RMSJ)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("EM/Joule screen: rms margin %.3f, peak margin %.3f (pass=%v)\n",
+			wire.RMSMargin, wire.PeakMargin, !wire.RMSOver && !wire.PeakOver)
+	}
+	ox, err := rlcint.CheckOxide(t, met.Overshoot)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("oxide field: %.2f MV/cm nominal, %.2f MV/cm with overshoot (over-limit=%v critical=%v)\n",
+		ox.FieldVDD/1e8, ox.Field/1e8, ox.OverLimit, ox.Critical)
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	names := []string{"vin", "vout"}
+	series := [][]float64{w.VIn, w.VOut}
+	if w.ILine != nil {
+		names = append(names, "iline")
+		series = append(series, w.ILine)
+	}
+	if err := waveform.WriteCSV(f, w.T, names, series...); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("waveforms written to %s (%d samples)\n", *outPath, len(w.T))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ringsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command rlcopt optimizes repeater insertion for a distributed RLC
+// interconnect and prints the solution alongside the Elmore (RC) optimum
+// and the Ismail–Friedman curve-fitted baseline.
+//
+// Usage:
+//
+//	rlcopt [-tech 100nm] [-l 2.0] [-f 0.5] [-length 0]
+//
+// -l is the line inductance in nH/mm; -length (mm), when nonzero, also
+// reports the total delay of a line of that length.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlcint"
+)
+
+func main() {
+	techName := flag.String("tech", "100nm", "technology node: 250nm, 100nm, 100nm-eps250")
+	lNH := flag.Float64("l", 2.0, "line inductance, nH/mm")
+	f := flag.Float64("f", 0.5, "delay threshold fraction (0,1)")
+	lengthMM := flag.Float64("length", 0, "total line length to report, mm (0 = skip)")
+	flag.Parse()
+
+	t, err := rlcint.TechByName(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	l := *lNH * rlcint.NHPerMM
+
+	rc, err := rlcint.OptimizeRC(t)
+	if err != nil {
+		fatal(err)
+	}
+	opt, err := rlcint.Optimize(t, l, *f)
+	if err != nil {
+		fatal(err)
+	}
+	ifo, err := rlcint.OptimizeIF(t, l)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("technology %s: r=%.1f Ω/mm c=%.1f pF/m l=%.2f nH/mm f=%.0f%%\n",
+		t.Name, t.R/rlcint.OhmPerMM, t.C/rlcint.PFPerM, *lNH, 100**f)
+	fmt.Printf("%-22s %12s %10s %14s\n", "method", "h (mm)", "k", "tau/h (ps/mm)")
+	fmt.Printf("%-22s %12.2f %10.0f %14.2f\n", "Elmore (RC closed form)",
+		rc.H/rlcint.MM, rc.K, rc.Tau/rc.H/(rlcint.PS/rlcint.MM))
+	fmt.Printf("%-22s %12.2f %10.0f %14.2f\n", "this work (RLC)",
+		opt.H/rlcint.MM, opt.K, opt.PerUnit/(rlcint.PS/rlcint.MM))
+	fmt.Printf("%-22s %12.2f %10.0f %14s\n", "Ismail-Friedman fit",
+		ifo.H/rlcint.MM, ifo.K, "-")
+	fmt.Printf("optimizer path: %s (%d iterations); damping at optimum: %v\n",
+		opt.Method, opt.Iterations, opt.Model.Damping())
+
+	st := rlcint.StageOf(t, l, opt.H, opt.K)
+	fmt.Printf("critical inductance at the optimum: %.3f nH/mm\n", rlcint.LCrit(st)/rlcint.NHPerMM)
+
+	if *lengthMM > 0 {
+		total := *lengthMM * rlcint.MM / opt.H * opt.Tau
+		n := *lengthMM * rlcint.MM / opt.H
+		fmt.Printf("line of %.1f mm: %.1f repeaters, total %.0f ps\n",
+			*lengthMM, n, total/rlcint.PS)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlcopt:", err)
+	os.Exit(1)
+}

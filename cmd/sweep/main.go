@@ -1,0 +1,95 @@
+// Command sweep runs one-dimensional parameter sweeps of the RLC
+// repeater-insertion machinery and prints CSV to stdout. The swept variable
+// is one of:
+//
+//	l   line inductance (nH/mm)      — optimizes (h, k) at each point
+//	h   segment length (mm)          — fixed k, reports stage delay
+//	k   repeater size                — fixed h, reports stage delay
+//	f   delay threshold (fraction)   — optimizes at each point
+//
+// Usage:
+//
+//	sweep -var l -from 0.1 -to 4.9 -steps 13 [-tech 100nm] [-l 2] [-h 11.1] [-k 528] [-f 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlcint"
+	"rlcint/internal/num"
+)
+
+func main() {
+	variable := flag.String("var", "l", "swept variable: l, h, k, f")
+	from := flag.Float64("from", 0.1, "sweep start")
+	to := flag.Float64("to", 4.9, "sweep end")
+	steps := flag.Int("steps", 13, "number of points")
+	techName := flag.String("tech", "100nm", "technology node")
+	lNH := flag.Float64("l", 2, "fixed line inductance, nH/mm")
+	hMM := flag.Float64("h", 11.1, "fixed segment length, mm")
+	k := flag.Float64("k", 528, "fixed repeater size")
+	f := flag.Float64("f", 0.5, "fixed delay threshold")
+	flag.Parse()
+
+	t, err := rlcint.TechByName(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	pts := num.Linspace(*from, *to, *steps)
+
+	switch *variable {
+	case "l":
+		fmt.Println("l_nH_mm,h_opt_mm,k_opt,tau_per_mm_ps,damping")
+		for _, x := range pts {
+			opt, err := rlcint.Optimize(t, x*rlcint.NHPerMM, *f)
+			if err != nil {
+				fatal(fmt.Errorf("l=%v: %w", x, err))
+			}
+			fmt.Printf("%g,%.4f,%.1f,%.4f,%s\n", x, opt.H/rlcint.MM, opt.K,
+				opt.PerUnit*rlcint.MM/rlcint.PS, opt.Model.Damping())
+		}
+	case "h":
+		fmt.Println("h_mm,tau_ps,tau_per_mm_ps,lcrit_nH_mm")
+		for _, x := range pts {
+			st := rlcint.StageOf(t, *lNH*rlcint.NHPerMM, x*rlcint.MM, *k)
+			tau, err := rlcint.Delay(st, *f)
+			if err != nil {
+				fatal(fmt.Errorf("h=%v: %w", x, err))
+			}
+			fmt.Printf("%g,%.4f,%.4f,%.4f\n", x, tau/rlcint.PS,
+				tau/(x*rlcint.MM)*rlcint.MM/rlcint.PS, rlcint.LCrit(st)/rlcint.NHPerMM)
+		}
+	case "k":
+		fmt.Println("k,tau_ps,lcrit_nH_mm")
+		for _, x := range pts {
+			st := rlcint.StageOf(t, *lNH*rlcint.NHPerMM, *hMM*rlcint.MM, x)
+			tau, err := rlcint.Delay(st, *f)
+			if err != nil {
+				fatal(fmt.Errorf("k=%v: %w", x, err))
+			}
+			fmt.Printf("%g,%.4f,%.4f\n", x, tau/rlcint.PS, rlcint.LCrit(st)/rlcint.NHPerMM)
+		}
+	case "f":
+		fmt.Println("f,h_opt_mm,k_opt,tau_per_mm_ps")
+		for _, x := range pts {
+			if x <= 0 || x >= 1 {
+				fatal(fmt.Errorf("threshold %v outside (0,1)", x))
+			}
+			opt, err := rlcint.Optimize(t, *lNH*rlcint.NHPerMM, x)
+			if err != nil {
+				fatal(fmt.Errorf("f=%v: %w", x, err))
+			}
+			fmt.Printf("%g,%.4f,%.1f,%.4f\n", x, opt.H/rlcint.MM, opt.K,
+				opt.PerUnit*rlcint.MM/rlcint.PS)
+		}
+	default:
+		fatal(fmt.Errorf("unknown variable %q (want l, h, k or f)", *variable))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package rlcint_test
+
+import (
+	"fmt"
+
+	"rlcint"
+)
+
+// ExampleLCrit shows the paper's Eq. (4): the line inductance that would
+// make an RC-optimally-sized 100 nm stage critically damped. Practical
+// inductances (0.1–5 nH/mm) far exceed it, which is why such stages ring.
+func ExampleLCrit() {
+	st := rlcint.StageOf(rlcint.Tech100(), 0, 11.1*rlcint.MM, 528)
+	fmt.Printf("l_crit = %.3f nH/mm\n", rlcint.LCrit(st)/rlcint.NHPerMM)
+	// Output:
+	// l_crit = 0.044 nH/mm
+}
+
+// ExamplePlanLine turns the continuous optimum into a buildable plan for a
+// 45 mm net.
+func ExamplePlanLine() {
+	plan, err := rlcint.PlanLine(rlcint.Tech100(), 2*rlcint.NHPerMM, 0.5, 45*rlcint.MM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d stages of %.1f mm, total %.0f ps\n",
+		plan.Stages, plan.H/rlcint.MM, plan.Total/rlcint.PS)
+	// Output:
+	// 3 stages of 15.0 mm, total 727 ps
+}
+
+// ExampleSweep reproduces one point of the paper's Figure 7.
+func ExampleSweep() {
+	pts, err := rlcint.Sweep(rlcint.Tech250(), []float64{4.9 * rlcint.NHPerMM}, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("250 nm delay ratio at 4.9 nH/mm: %.2f (paper: ≈2)\n", pts[0].DelayRatio)
+	// Output:
+	// 250 nm delay ratio at 4.9 nH/mm: 1.99 (paper: ≈2)
+}
+
+// ExampleCheckOxide runs the Section 3.3.2 oxide screen for a measured
+// overshoot.
+func ExampleCheckOxide() {
+	rep, err := rlcint.CheckOxide(rlcint.Tech100(), 0.7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("field %.1f MV/cm, critical: %v\n", rep.Field/1e8, rep.Critical)
+	// Output:
+	// field 7.9 MV/cm, critical: true
+}

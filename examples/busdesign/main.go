@@ -1,0 +1,88 @@
+// Busdesign sizes the repeaters of a 30 mm, 64-bit global bus when neither
+// the effective line capacitance (Miller coupling to switching neighbours)
+// nor the line inductance (uncertain current-return path) is known at
+// design time — the uncertainty scenario the paper's Section 3.2 motivates.
+//
+// The example extracts the capacitance corners from geometry, derives the
+// inductance corners from plausible return-path distances, sizes the bus at
+// the nominal corner, and then reports the worst-case delay degradation of
+// that fixed design across all corners, compared against per-corner optimal
+// designs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlcint"
+	"rlcint/internal/core"
+	"rlcint/internal/extract"
+)
+
+func main() {
+	t := rlcint.Tech100()
+	busLength := 30 * rlcint.MM
+	bits := 64
+
+	// --- Corner extraction from geometry ---------------------------------
+	cg, cc, err := extract.CoupledCap(t.Width, t.Height, t.TIns, t.Spacing(), t.EpsR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cMin, cMax := extract.MillerRange(cg, cc)
+	cNom := cg + 2*cc // neighbours quiet
+	lCorners := map[string]float64{}
+	for name, dist := range map[string]float64{
+		"best (return at substrate)": t.TIns + t.Height,
+		"nominal (return 100 µm)":    100 * rlcint.UM,
+		"worst (return 1 mm)":        1000 * rlcint.UM,
+	} {
+		l, err := rlcint.ExtractLoopInductance(t.Width, t.Height, 11.1*rlcint.MM, dist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lCorners[name] = l
+	}
+	fmt.Printf("64-bit bus, %0.f mm, %s node\n", busLength/rlcint.MM, t.Name)
+	fmt.Printf("extracted capacitance corners: %.0f / %.0f / %.0f pF/m (min/nom/max)\n",
+		cMin/rlcint.PFPerM, cNom/rlcint.PFPerM, cMax/rlcint.PFPerM)
+	for name, l := range lCorners {
+		fmt.Printf("inductance corner %-28s %.2f nH/mm\n", name+":", l/rlcint.NHPerMM)
+	}
+
+	// --- Size at the nominal corner ---------------------------------------
+	dev := rlcint.DeviceOf(t)
+	nominal := core.Problem{Device: dev, Line: rlcint.Line{R: t.R, L: lCorners["nominal (return 100 µm)"], C: cNom}}
+	nomOpt, err := core.Optimize(nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repeatersPerBit := busLength / nomOpt.H
+	fmt.Printf("\nnominal design: h = %.2f mm, k = %.0f  (%.1f repeaters/bit, %d total)\n",
+		nomOpt.H/rlcint.MM, nomOpt.K, repeatersPerBit, int(repeatersPerBit+0.5)*bits)
+
+	// --- Evaluate the fixed design across corners --------------------------
+	fmt.Printf("\n%-30s %-12s %14s %14s %9s\n", "corner", "c (pF/m)", "fixed (ps/mm)", "ideal (ps/mm)", "penalty")
+	worst := 1.0
+	for lName, l := range lCorners {
+		for cName, c := range map[string]float64{"cmin": cMin, "cnom": cNom, "cmax": cMax} {
+			p := core.Problem{Device: dev, Line: rlcint.Line{R: t.R, L: l, C: c}}
+			fixedPU := p.PerUnitDelay(nomOpt.H, nomOpt.K)
+			ideal, err := core.Optimize(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pen := fixedPU / ideal.PerUnit
+			if pen > worst {
+				worst = pen
+			}
+			fmt.Printf("%-30s %-12.0f %14.2f %14.2f %8.1f%%\n",
+				lName+"/"+cName, c/rlcint.PFPerM,
+				fixedPU*rlcint.MM/rlcint.PS, ideal.PerUnit*rlcint.MM/rlcint.PS,
+				100*(pen-1))
+		}
+	}
+	fmt.Printf("\nworst-case penalty of the single nominal design: %.1f%%\n", 100*(worst-1))
+	fmt.Println("(the paper's Figure 8 message: a fixed sizing is within ~12% of per-corner optimal,")
+	fmt.Println(" so one robust design suffices — but only if it was sized with inductance in the loop)")
+}

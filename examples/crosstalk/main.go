@@ -1,0 +1,95 @@
+// Crosstalk analyzes a coupled pair of global lines: the Miller capacitance
+// corners the paper's Section 3 discusses, the even/odd mode delay spread a
+// fixed repeater design experiences, and the classical near/far-end coupling
+// coefficients — including the inductively-dominated (negative far-end)
+// regime characteristic of on-chip wiring.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlcint"
+	"rlcint/internal/extract"
+)
+
+func main() {
+	t := rlcint.Tech100()
+
+	// Extract the coupling from the cross-section geometry.
+	cg, cc, err := extract.CoupledCap(t.Width, t.Height, t.TIns, t.Spacing(), t.EpsR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Inductive coupling: mutual inductance of the neighbour at one pitch.
+	length := 11.1 * rlcint.MM
+	lSelf, err := extract.PartialSelfL(length, t.Width, t.Height)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lMut, err := extract.MutualL(length, t.Pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair := rlcint.CoupledPair{
+		R:  t.R,
+		L:  lSelf / length,
+		Cg: cg,
+		Cm: cc,
+		Lm: lMut / length,
+	}
+	if err := pair.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("coupled pair on %s top metal (pitch %.1f µm):\n", t.Name, t.Pitch/rlcint.UM)
+	fmt.Printf("  cg = %.1f pF/m, cm = %.1f pF/m, l = %.2f nH/mm, lm = %.2f nH/mm\n",
+		pair.Cg/rlcint.PFPerM, pair.Cm/rlcint.PFPerM,
+		pair.L/rlcint.NHPerMM, pair.Lm/rlcint.NHPerMM)
+	fmt.Printf("  Miller spread (odd/even capacitance): %.2fx\n", pair.MillerSpread())
+
+	kc, kl := pair.CouplingCoefficients()
+	fmt.Printf("  coupling coefficients: kc = %.3f, kl = %.3f\n", kc, kl)
+	fmt.Printf("  backward (near-end) crosstalk: %.1f%% of aggressor swing\n", 100*pair.BackwardCrosstalk())
+	kf := pair.ForwardCrosstalk()
+	fmt.Printf("  forward (far-end) coefficient: %.3g s/m", kf)
+	if kf < 0 {
+		fmt.Printf("  (negative: inductively dominated, opposite polarity to capacitive coupling)\n")
+	} else {
+		fmt.Println()
+	}
+	fmt.Printf("  even/odd mode velocity mismatch: %.1f%%\n", 100*pair.ModeVelocityMismatch())
+
+	// Delay corners of a fixed repeater design across switching patterns.
+	rc, err := rlcint.OptimizeRC(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := rlcint.StageOf(t, pair.L, rc.H, rc.K)
+	even, quiet, odd := pair.WorstCaseStageDelays(base)
+	fmt.Printf("\n50%% delay of the RC-sized stage across neighbour activity:\n")
+	for _, c := range []struct {
+		name  string
+		stage rlcint.Stage
+	}{{"even (neighbours in phase)", even}, {"quiet (neighbours grounded)", quiet}, {"odd (neighbours anti-phase)", odd}} {
+		d, err := rlcint.Delay(c.stage, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-30s %.1f ps\n", c.name, d/rlcint.PS)
+	}
+	fmt.Println("\n(the delay spread across Miller corners is the uncertainty the paper's")
+	fmt.Println(" Section 3.2 robustness argument must absorb, on top of the l uncertainty)")
+
+	// Time-domain check: simulate the coupled pair and compare the induced
+	// noise against the coefficient predictions.
+	res, err := rlcint.RunCrosstalk(rlcint.XtalkConfig{Pair: pair, H: 5 * rlcint.MM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntransient crosstalk on 5 mm of coupled pair (1 V aggressor step):\n")
+	fmt.Printf("  near-end noise peak: %+.3f V (Kb·V predicts %+.3f V)\n",
+		res.NearPeak, res.PredictedNear)
+	fmt.Printf("  far-end noise peak:  %+.3f V (coefficient analysis predicts %s polarity)\n",
+		res.FarPeak, map[float64]string{-1: "negative", 0: "no", 1: "positive"}[res.PredictedFarSign])
+}

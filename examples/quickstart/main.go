@@ -1,0 +1,49 @@
+// Quickstart: optimize repeater insertion for a global wire with on-chip
+// inductance, and see what ignoring the inductance would have cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlcint"
+)
+
+func main() {
+	// The paper's 100 nm technology node, top-level metal, with a line
+	// inductance of 2 nH/mm (a typical mid-range current-return path).
+	t := rlcint.Tech100()
+	l := 2 * rlcint.NHPerMM
+
+	// Classical Elmore-based repeater insertion (what an RC-only flow does).
+	rc, err := rlcint.OptimizeRC(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inductance-aware optimization: minimize 50% delay per unit length.
+	opt, err := rlcint.Optimize(t, l, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("repeater insertion for a 100 nm global wire, l = 2 nH/mm")
+	fmt.Printf("  RC-only design:   h = %5.2f mm, k = %3.0f\n", rc.H/rlcint.MM, rc.K)
+	fmt.Printf("  RLC-aware design: h = %5.2f mm, k = %3.0f  (%s)\n",
+		opt.H/rlcint.MM, opt.K, opt.Model.Damping())
+
+	// How much slower is the RC design once the inductance is real?
+	rcStage := rlcint.StageOf(t, l, rc.H, rc.K)
+	rcTau, err := rlcint.Delay(rcStage, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	penalty := (rcTau / rc.H) / opt.PerUnit
+	fmt.Printf("  delay per mm:     RC sizing %.2f ps/mm, RLC sizing %.2f ps/mm (%.1f%% penalty)\n",
+		rcTau/rc.H*rlcint.MM/rlcint.PS, opt.PerUnit*rlcint.MM/rlcint.PS, 100*(penalty-1))
+
+	// Would this sizing ring? Compare l against the critical inductance.
+	lc := rlcint.LCrit(rcStage)
+	fmt.Printf("  critical inductance at RC sizing: %.3f nH/mm -> line is underdamped (l = %.1f nH/mm)\n",
+		lc/rlcint.NHPerMM, l/rlcint.NHPerMM)
+}

@@ -1,0 +1,155 @@
+package rlcint
+
+import (
+	"io"
+
+	"rlcint/internal/core"
+	"rlcint/internal/extract"
+	"rlcint/internal/mc"
+	"rlcint/internal/relia"
+	"rlcint/internal/spice"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+	"rlcint/internal/xtalk"
+)
+
+// This file exports the library's extensions beyond the paper's headline
+// experiments: finite rise-time delays, energy-delay tradeoffs, the
+// higher-order model ablation, coupled-line (crosstalk) analysis, wire
+// self-heating, delay-vs-length diagnostics, and SPICE netlist
+// import/export for the transient engine.
+
+// DelayRamp returns the f×100% propagation delay of a stage for a
+// saturated-ramp input with the given rise time (a step when tRise = 0),
+// measured from the input's f-crossing.
+func DelayRamp(st Stage, f, tRise float64) (float64, error) {
+	m, err := TwoPoleOf(st)
+	if err != nil {
+		return 0, err
+	}
+	d, err := m.DelayRamp(f, tRise)
+	if err != nil {
+		return 0, err
+	}
+	return d.Tau, nil
+}
+
+// TradeoffOptimum is an energy-aware repeater solution.
+type TradeoffOptimum = core.TradeoffOptimum
+
+// OptimizeTradeoff minimizes (delay per length)·(energy per length)^w for
+// the technology's line with inductance l: w = 0 reproduces Optimize;
+// larger w trades delay for switching energy.
+func OptimizeTradeoff(t Technology, l, f, w float64) (TradeoffOptimum, error) {
+	return core.OptimizeTradeoff(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f}, w)
+}
+
+// HigherOrderOptimum is the order-q ablation solution.
+type HigherOrderOptimum = core.HigherOrderOptimum
+
+// OptimizeHigherOrder repeats the optimization with an order-q AWE delay
+// model — the ablation for the paper's two-pole approximation.
+func OptimizeHigherOrder(t Technology, l, f float64, q int) (HigherOrderOptimum, error) {
+	return core.OptimizeHigherOrder(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f}, q)
+}
+
+// DelayGrowthExponent estimates d(ln τ)/d(ln h) at (h, k): 2 in the RC
+// limit, approaching 1 in the LC limit as l grows (the paper's linearity
+// observation).
+func DelayGrowthExponent(t Technology, l, h, k float64) (float64, error) {
+	return core.DelayGrowthExponent(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l)}, h, k)
+}
+
+// CoupledPair models two identical coupled lines (even/odd modes, Miller
+// spread, crosstalk coefficients).
+type CoupledPair = tline.CoupledPair
+
+// HeatReport quantifies wire Joule self-heating.
+type HeatReport = relia.HeatReport
+
+// SelfHeating evaluates the steady-state temperature rise of the node's
+// top-metal wire at the given rms current density (A/m²).
+func SelfHeating(t Technology, rmsJ float64) (HeatReport, error) {
+	return relia.SelfHeating(t, rmsJ)
+}
+
+// LinePlan is a realizable (integer-stage) repeater plan for a net.
+type LinePlan = core.LinePlan
+
+// PlanLine converts the continuous optimum into a realizable plan for a net
+// of total length L (meters): integer stage count, re-tuned repeater size,
+// end-to-end delay.
+func PlanLine(t Technology, l, f, L float64) (LinePlan, error) {
+	return core.PlanLine(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f}, L)
+}
+
+// InterpolateTech synthesizes a technology node at an intermediate feature
+// size (70–350 nm) by log–log interpolation between the paper's anchors,
+// extending the scaling study into a trajectory.
+func InterpolateTech(feature float64) (Technology, error) {
+	return tech.InterpolateNode(feature)
+}
+
+// UncertaintyStats summarizes a Monte-Carlo sampled quantity.
+type UncertaintyStats = mc.Stats
+
+// UniformDist samples uniformly from [Lo, Hi] (SI units of the sampled
+// quantity).
+type UniformDist = mc.Uniform
+
+// TriangularDist samples a triangular distribution (Lo, Mode, Hi).
+type TriangularDist = mc.Triangular
+
+// DelayUnderUncertainty samples the line inductance from lDist (H/m) and
+// returns the statistics of a fixed design's stage delay — the statistical
+// form of the paper's Section 3.2 uncertainty argument. Deterministic for a
+// given seed.
+func DelayUnderUncertainty(t Technology, h, k float64, lDist mc.Dist, n int, seed int64) (UncertaintyStats, error) {
+	return mc.DelayUnderUncertainty(core.Problem{Device: DeviceOf(t), Line: Line{R: t.R, C: t.C}}, h, k, lDist, n, seed)
+}
+
+// PenaltyUnderUncertainty samples l and returns the statistics of the fixed
+// design's delay-per-length over the per-sample optimum (the Monte-Carlo
+// Figure 8).
+func PenaltyUnderUncertainty(t Technology, h, k float64, lDist mc.Dist, n int, seed int64) (UncertaintyStats, error) {
+	return mc.PenaltyUnderUncertainty(core.Problem{Device: DeviceOf(t), Line: Line{R: t.R, C: t.C}}, h, k, lDist, n, seed)
+}
+
+// XtalkConfig configures a coupled-pair crosstalk transient (aggressor step
+// into a terminated quiet victim).
+type XtalkConfig = xtalk.Config
+
+// XtalkResult carries the induced near/far-end noise waveforms and metrics.
+type XtalkResult = xtalk.Result
+
+// RunCrosstalk simulates aggressor-to-victim crosstalk on a coupled pair of
+// discretized RLC ladders (coupling capacitors + mutual inductors) and
+// compares the induced noise against the classical coupling-coefficient
+// predictions.
+func RunCrosstalk(cfg XtalkConfig) (XtalkResult, error) { return xtalk.Run(cfg) }
+
+// Bar is a rectangular conductor cross-section for the return-path solver.
+type Bar = extract.Bar
+
+// LoopSolution is the energy-minimizing return-current distribution and the
+// resulting effective loop inductance.
+type LoopSolution = extract.LoopSolution
+
+// EffectiveLoopInductance computes the effective loop inductance of a
+// signal wire whose current returns through an arbitrary set of parallel
+// conductors, with the return currents distributed to minimize magnetic
+// energy — the mechanism behind the paper's return-path-dependent l.
+func EffectiveLoopInductance(length float64, signal Bar, returns []Bar) (LoopSolution, error) {
+	return extract.EffectiveLoopL(length, signal, returns)
+}
+
+// Circuit re-exports the transient simulator's netlist type for users who
+// want to build or load circuits directly.
+type Circuit = spice.Circuit
+
+// NewCircuit returns an empty circuit for the transient engine.
+func NewCircuit() *Circuit { return spice.New() }
+
+// ParseNetlist loads a SPICE-style deck into a Circuit (R, C, L, V, I with
+// DC/PULSE/PWL/SIN sources).
+func ParseNetlist(r io.Reader) (*spice.ParseResult, error) { return spice.ParseNetlist(r) }

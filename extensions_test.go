@@ -1,0 +1,113 @@
+package rlcint
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeDelayRamp(t *testing.T) {
+	st := StageOf(Tech100(), 2*NHPerMM, 11.1*MM, 528)
+	step, err := Delay(st, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp, err := DelayRamp(st, 0.5, 50*PS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ramp <= 0 {
+		t.Fatalf("ramp delay %v", ramp)
+	}
+	// A finite rise time changes the propagation delay only moderately.
+	if r := ramp / step; r < 0.5 || r > 2 {
+		t.Errorf("ramp/step delay ratio %v implausible", r)
+	}
+	if _, err := DelayRamp(st, 0.5, -1); err == nil {
+		t.Error("negative rise time must fail")
+	}
+}
+
+func TestFacadeTradeoffAndHigherOrder(t *testing.T) {
+	to, err := OptimizeTradeoff(Tech100(), 2*NHPerMM, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Optimize(Tech100(), 2*NHPerMM, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.K >= base.K {
+		t.Errorf("energy-aware k %v should be below delay-only k %v", to.K, base.K)
+	}
+	hi, err := OptimizeHigherOrder(Tech100(), 2*NHPerMM, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Order < 2 || hi.PerUnit <= 0 {
+		t.Errorf("higher-order result implausible: %+v", hi)
+	}
+}
+
+func TestFacadeDelayGrowthExponent(t *testing.T) {
+	lo, err := DelayGrowthExponent(Tech100(), 0.01*NHPerMM, 40*MM, 528)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiE, err := DelayGrowthExponent(Tech100(), 4.9*NHPerMM, 25*MM, 528)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiE >= lo {
+		t.Errorf("exponent should fall with l: %v vs %v", hiE, lo)
+	}
+}
+
+func TestFacadeSelfHeating(t *testing.T) {
+	rep, err := SelfHeating(Tech100(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Critical {
+		t.Error("paper-scale density should not be critical")
+	}
+}
+
+func TestFacadeCircuitAndNetlist(t *testing.T) {
+	deck := `title
+V1 in 0 DC 1
+R1 in out 1k
+R2 out 0 1k
+.end
+`
+	parsed, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := parsed.Circuit.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[parsed.Circuit.Node("out")]-0.5) > 1e-9 {
+		t.Errorf("divider = %v, want 0.5", x[parsed.Circuit.Node("out")])
+	}
+	// Building circuits through the facade works too.
+	c := NewCircuit()
+	n := c.Node("n")
+	if err := c.AddR(n, -1, 5); err != nil && n == 0 {
+		t.Log("AddR ground usage exercised")
+	}
+}
+
+func TestFacadeCoupledPair(t *testing.T) {
+	p := CoupledPair{R: 4400, L: 2e-6, Cg: 5e-11, Cm: 4e-11, Lm: 1.5e-6}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MillerSpread() <= 1 {
+		t.Error("coupled pair must have spread > 1")
+	}
+	if p.OddMode().C <= p.EvenMode().C {
+		t.Error("odd mode must have more capacitance")
+	}
+}

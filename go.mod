@@ -1,0 +1,3 @@
+module rlcint
+
+go 1.22

@@ -1,0 +1,182 @@
+// Package baseline implements the prior-art models the paper compares its
+// methodology against:
+//
+//   - the Elmore (first-moment) delay and its classical repeater optimum
+//     (via internal/repeater),
+//   - the Kahng–Muddu analytical two-pole delay approximations [23], whose
+//     critically-damped branch the paper criticizes for being insensitive to
+//     the line inductance,
+//   - the Ismail–Friedman curve-fitted repeater-insertion formulas [21, 22],
+//     whose empirical constants were fitted to circuit simulations and carry
+//     validity-range restrictions the paper's own method avoids.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlcint/internal/pade"
+	"rlcint/internal/repeater"
+	"rlcint/internal/tline"
+)
+
+// ElmoreDelay50 returns the classical 0.69·(first moment) estimate of the
+// 50% delay of a stage (the "0.69 RC" rule; exact for a single pole).
+func ElmoreDelay50(st tline.Stage) float64 {
+	return math.Ln2 * st.ElmoreSegment()
+}
+
+// KMRegime names the branch of the Kahng–Muddu approximation used.
+type KMRegime int
+
+const (
+	KMOverdamped  KMRegime = iota // dominant-pole branch
+	KMUnderdamped                 // phase/envelope branch
+	KMCritical                    // critically-damped closed form
+)
+
+// String implements fmt.Stringer.
+func (r KMRegime) String() string {
+	switch r {
+	case KMOverdamped:
+		return "overdamped"
+	case KMUnderdamped:
+		return "underdamped"
+	case KMCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("KMRegime(%d)", int(r))
+}
+
+// kmBand is the |b1²−4b2|/b2 threshold below which Kahng–Muddu fall back to
+// the critically damped expression ("|b1²−4b2| ≫ b2" is required for the
+// asymptotic branches). Since |b1²−4b2| = 4·b2·|ζ²−1| can never exceed 4·b2
+// on the underdamped side, the band is 3·b2, i.e. the asymptotic branches
+// engage for ζ < 1/2 (underdamped) or ζ > √(7)/2 ≈ 1.32 (overdamped).
+const kmBand = 3.0
+
+// KMDelay evaluates the Kahng–Muddu-style analytical f×100% delay of a
+// two-pole model:
+//
+//   - strongly overdamped: dominant-pole formula
+//     τ = ln(A/(1−f))/(−s1) with A = |s2/(s2−s1)|;
+//   - strongly underdamped: fast-rise phase formula
+//     τ = [φ + arccos((1−f)·β/ωn)]/β with φ = atan(α/β), which neglects the
+//     envelope decay over the first rise;
+//   - otherwise: the critically damped closed form, the solution of
+//     (1+x)e^{−x} = 1−f scaled by 2b2/b1.
+//
+// The critical branch collapses to a pure multiple of b1 when b2 = b1²/4,
+// which is exactly the inductance-insensitivity the paper criticizes
+// (Section 2.1): near critical damping this approximation predicts that the
+// delay does not change with l at all.
+func KMDelay(m pade.Model, f float64) (float64, KMRegime, error) {
+	if f <= 0 || f >= 1 {
+		return 0, 0, fmt.Errorf("baseline: KMDelay threshold f=%g outside (0,1)", f)
+	}
+	disc := m.Discriminant()
+	switch {
+	case disc > kmBand*m.B2: // strongly overdamped
+		sq := math.Sqrt(disc)
+		s1 := (-m.B1 + sq) / (2 * m.B2) // slow pole
+		s2 := (-m.B1 - sq) / (2 * m.B2)
+		amp := math.Abs(s2 / (s2 - s1))
+		return math.Log(amp/(1-f)) / -s1, KMOverdamped, nil
+	case disc < -kmBand*m.B2: // strongly underdamped
+		alpha := m.B1 / (2 * m.B2)
+		beta := math.Sqrt(-disc) / (2 * m.B2)
+		omegaN := m.OmegaN()
+		phi := math.Atan2(alpha, beta)
+		arg := (1 - f) * beta / omegaN
+		if arg > 1 {
+			arg = 1
+		}
+		return (phi + math.Acos(arg)) / beta, KMUnderdamped, nil
+	default:
+		x, err := criticalX(1 - f)
+		if err != nil {
+			return 0, KMCritical, err
+		}
+		return x * 2 * m.B2 / m.B1, KMCritical, nil
+	}
+}
+
+// criticalX solves (1+x)·e^{−x} = g for x > 0 (the critically damped
+// threshold equation) with Newton from a log-based initial guess.
+func criticalX(g float64) (float64, error) {
+	if g <= 0 || g >= 1 {
+		return 0, fmt.Errorf("baseline: criticalX requires g in (0,1), got %g", g)
+	}
+	x := 1.0 - math.Log(g) // decent start: for small g, x ≈ -ln g + ln x
+	for i := 0; i < 100; i++ {
+		fx := (1+x)*math.Exp(-x) - g
+		dfx := -x * math.Exp(-x)
+		if dfx == 0 {
+			break
+		}
+		step := fx / dfx
+		x -= step
+		if x <= 0 {
+			x = 1e-9
+		}
+		if math.Abs(step) < 1e-14*(1+x) {
+			return x, nil
+		}
+	}
+	return x, errors.New("baseline: criticalX did not converge")
+}
+
+// IFOptimum is the Ismail–Friedman curve-fitted repeater solution.
+type IFOptimum struct {
+	H   float64 // optimal segment length, m
+	K   float64 // optimal repeater size
+	TLR float64 // the T_{L/R} inductance-effect parameter used
+}
+
+// IFValidity reports whether the fitted formulas are inside their published
+// fitting range: the ratios C_T/C_L (total line to load capacitance) and
+// R_S/R_T (source to total line resistance) were fitted for values in (0,1].
+type IFValidity struct {
+	CTOverCL float64
+	RSOverRT float64
+	InRange  bool
+}
+
+// IFOptimal evaluates the Ismail–Friedman closed-form repeater insertion
+// [21, 22]:
+//
+//	h_opt = h_RC · [1 + 0.18·T³]^0.3,  k_opt = k_RC / [1 + 0.16·T³]^0.24,
+//
+// where T = T_{L/R} = √(l/c)/(r·h_RC) measures the relative strength of
+// inductance over the RC-optimal segment. At l = 0 the formulas reduce
+// exactly to the Elmore optimum — by construction they can never reproduce
+// the paper's observation that h_optRLC < h_optRC at l = 0.
+func IFOptimal(d repeater.MinDevice, line tline.Line) (IFOptimum, error) {
+	rc, err := repeater.RCOptimal(d, tline.Line{R: line.R, C: line.C})
+	if err != nil {
+		return IFOptimum{}, err
+	}
+	t := 0.0
+	if line.L > 0 {
+		t = math.Sqrt(line.L/line.C) / (line.R * rc.H)
+	}
+	t3 := t * t * t
+	return IFOptimum{
+		H:   rc.H * math.Pow(1+0.18*t3, 0.3),
+		K:   rc.K / math.Pow(1+0.16*t3, 0.24),
+		TLR: t,
+	}, nil
+}
+
+// IFCheckValidity evaluates the fitted-range conditions for a candidate
+// stage sizing.
+func IFCheckValidity(d repeater.MinDevice, line tline.Line, h, k float64) IFValidity {
+	ct := line.C * h
+	cl := d.C0 * k
+	rs := d.Rs / k
+	rt := line.R * h
+	v := IFValidity{CTOverCL: ct / cl, RSOverRT: rs / rt}
+	v.InRange = v.CTOverCL > 0 && v.CTOverCL <= 1 && v.RSOverRT > 0 && v.RSOverRT <= 1
+	return v
+}

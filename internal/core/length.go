@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LengthPoint is one sample of the unbuffered-segment delay versus length.
+type LengthPoint struct {
+	H   float64 // segment length, m
+	Tau float64 // f×100% delay of one driver–line–load stage, s
+}
+
+// DelayVsLength samples the stage delay over segment lengths at a fixed
+// repeater size k. The paper uses this relationship qualitatively: "with
+// increasing line inductance the RLC interconnect increasingly resembles an
+// ideal LC transmission line and the delay becomes progressively linear
+// with interconnect length" (Section 3.1).
+func DelayVsLength(p Problem, k float64, hs []float64) ([]LengthPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: DelayVsLength requires k > 0")
+	}
+	out := make([]LengthPoint, 0, len(hs))
+	for _, h := range hs {
+		_, d, err := p.Eval(h, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: DelayVsLength h=%g: %w", h, err)
+		}
+		out = append(out, LengthPoint{H: h, Tau: d.Tau})
+	}
+	return out, nil
+}
+
+// DelayGrowthExponent estimates d(ln τ)/d(ln h) at (h, k): 2 in the
+// RC/diffusive limit (τ ∝ h²), 1 in the LC/wave limit (τ ∝ h). The paper's
+// linearity observation is this exponent approaching 1 as l grows.
+func DelayGrowthExponent(p Problem, h, k float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	const eps = 0.02
+	_, dLo, err := p.Eval(h*(1-eps), k)
+	if err != nil {
+		return 0, err
+	}
+	_, dHi, err := p.Eval(h*(1+eps), k)
+	if err != nil {
+		return 0, err
+	}
+	return (math.Log(dHi.Tau) - math.Log(dLo.Tau)) /
+		(math.Log(1+eps) - math.Log(1-eps)), nil
+}

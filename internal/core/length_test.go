@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"rlcint/internal/num"
+	"rlcint/internal/tech"
+)
+
+func TestDelayVsLengthMonotone(t *testing.T) {
+	p := problem(tech.Node100(), 2)
+	hs := num.Linspace(5e-3, 40e-3, 8)
+	pts, err := DelayVsLength(p, 528, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Tau <= pts[i-1].Tau {
+			t.Errorf("delay not increasing with length at h=%v", pts[i].H)
+		}
+	}
+}
+
+func TestDelayGrowthExponentApproachesLCLimit(t *testing.T) {
+	// The paper's linearity claim: the growth exponent falls toward 1 as l
+	// increases (and sits near 2 in the long RC limit).
+	k := 528.0
+	h := 25e-3 // long segment: wire-dominated
+	var prev float64 = 3
+	for _, l := range []float64{0.02, 0.5, 2, 4.9} {
+		p := problem(tech.Node100(), l)
+		e, err := DelayGrowthExponent(p, h, k)
+		if err != nil {
+			t.Fatalf("l=%v: %v", l, err)
+		}
+		if e >= prev {
+			t.Errorf("l=%v: exponent %v did not decrease (prev %v)", l, e, prev)
+		}
+		prev = e
+	}
+	// RC-ish limit: exponent approaches 2 for a long line with tiny l.
+	p := problem(tech.Node100(), 0.001)
+	e, err := DelayGrowthExponent(p, 60e-3, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 1.6 || e > 2.2 {
+		t.Errorf("long-RC exponent %v, want ≈2", e)
+	}
+	// Strongly inductive: approaching linear.
+	p = problem(tech.Node100(), 4.9)
+	e, err = DelayGrowthExponent(p, 25e-3, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1.6 {
+		t.Errorf("high-l exponent %v, want approaching 1", e)
+	}
+}
+
+func TestDelayVsLengthValidation(t *testing.T) {
+	p := problem(tech.Node100(), 1)
+	if _, err := DelayVsLength(p, -1, []float64{0.01}); err == nil {
+		t.Error("negative k must fail")
+	}
+	bad := p
+	bad.F = 9
+	if _, err := DelayVsLength(bad, 100, []float64{0.01}); err == nil {
+		t.Error("invalid problem must fail")
+	}
+	if _, err := DelayGrowthExponent(bad, 0.01, 100); err == nil {
+		t.Error("invalid problem must fail")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+func TestPlanLineBasicConsistency(t *testing.T) {
+	p := problem(tech.Node100(), 2)
+	L := 50e-3
+	plan, err := PlanLine(p, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages < 1 {
+		t.Fatalf("stages %d", plan.Stages)
+	}
+	if math.Abs(plan.H*float64(plan.Stages)-L) > 1e-12*L {
+		t.Errorf("segments don't tile the net: %v × %d != %v", plan.H, plan.Stages, L)
+	}
+	if math.Abs(plan.Total-float64(plan.Stages)*plan.StageTau) > 1e-15 {
+		t.Error("total != stages × stage delay")
+	}
+	// The realized plan cannot beat the continuous optimum's rate, but
+	// must be close (within a few % for ≥3 stages).
+	contTotal := plan.Continuous.PerUnit * L
+	if plan.Total < contTotal*(1-1e-9) {
+		t.Errorf("plan (%v) beats the continuous bound (%v)", plan.Total, contTotal)
+	}
+	if plan.Stages >= 3 && plan.Total > contTotal*1.10 {
+		t.Errorf("plan %v more than 10%% above continuous %v", plan.Total, contTotal)
+	}
+}
+
+func TestPlanLineNeighbourCountsNotBetter(t *testing.T) {
+	// The chosen stage count must beat its neighbours when evaluated the
+	// same way.
+	p := problem(tech.Node100(), 1)
+	L := 40e-3
+	plan, err := PlanLine(p, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{plan.Stages - 1, plan.Stages + 1} {
+		if n < 1 {
+			continue
+		}
+		h := L / float64(n)
+		k, err := optimizeKAtFixedH(p, h, plan.Continuous.K)
+		if err != nil {
+			continue
+		}
+		_, d, err := p.Eval(h, k)
+		if err != nil {
+			continue
+		}
+		if tot := float64(n) * d.Tau; tot < plan.Total*(1-1e-9) {
+			t.Errorf("neighbour %d stages (%v) beats chosen %d (%v)", n, tot, plan.Stages, plan.Total)
+		}
+	}
+}
+
+func TestPlanLineShortNet(t *testing.T) {
+	// A net shorter than one optimal segment uses a single stage.
+	p := problem(tech.Node100(), 2)
+	plan, err := PlanLine(p, 3e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages != 1 {
+		t.Errorf("short net used %d stages", plan.Stages)
+	}
+	if plan.H != 3e-3 {
+		t.Errorf("h = %v, want full net", plan.H)
+	}
+}
+
+func TestPlanLineValidation(t *testing.T) {
+	p := problem(tech.Node100(), 1)
+	if _, err := PlanLine(p, -1); err == nil {
+		t.Error("negative length must fail")
+	}
+	bad := p
+	bad.F = 7
+	if _, err := PlanLine(bad, 0.01); err == nil {
+		t.Error("invalid problem must fail")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"rlcint/internal/pade"
+	"rlcint/internal/repeater"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+// SweepPoint is one inductance point of the paper's Section 3 studies; it
+// carries every quantity Figures 4–8 plot.
+type SweepPoint struct {
+	L float64 // line inductance per unit length, H/m
+
+	Opt Optimum // RLC optimum at this l
+
+	LCrit float64 // Eq. (4) at the optimal (h, k) — Figure 4
+
+	HRatio float64 // h_optRLC / h_optRC — Figure 5
+	KRatio float64 // k_optRLC / k_optRC — Figure 6
+
+	// DelayRatio is (τ/h) at the RLC optimum for this l divided by (τ/h) at
+	// the l=0 optimum of the same machinery — Figure 7 ("with and without
+	// considering line inductance").
+	DelayRatio float64
+
+	// Penalty is τ/h evaluated at the fixed RC-optimal sizing (h_optRC,
+	// k_optRC) with this l, divided by the optimal τ/h at the same l —
+	// Figure 8 (the cost of ignoring inductance when sizing).
+	Penalty float64
+}
+
+// Sweep runs the full Section 3 study for one technology node over the given
+// per-unit-length inductances (H/m), at threshold f (0 → 50%).
+func Sweep(node tech.Node, ls []float64, f float64) ([]SweepPoint, error) {
+	base := Problem{
+		Device: repeaterOf(node),
+		Line:   tline.Line{R: node.R, C: node.C},
+		F:      f,
+	}
+	rc, err := OptimizeRC(base)
+	if err != nil {
+		return nil, err
+	}
+	// Reference: optimum of the same two-pole machinery with l = 0.
+	zero := base
+	zero.Line.L = 0
+	zeroOpt, err := Optimize(zero)
+	if err != nil {
+		return nil, fmt.Errorf("core: Sweep l=0 reference: %w", err)
+	}
+
+	out := make([]SweepPoint, 0, len(ls))
+	for _, l := range ls {
+		p := base
+		p.Line.L = l
+		opt, err := Optimize(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: Sweep l=%g: %w", l, err)
+		}
+		pt := SweepPoint{
+			L:          l,
+			Opt:        opt,
+			LCrit:      pade.LCrit(p.Device.Stage(p.Line, opt.H, opt.K)),
+			HRatio:     opt.H / rc.H,
+			KRatio:     opt.K / rc.K,
+			DelayRatio: opt.PerUnit / zeroOpt.PerUnit,
+			Penalty:    p.PerUnitDelay(rc.H, rc.K) / opt.PerUnit,
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func repeaterOf(node tech.Node) repeater.MinDevice {
+	return repeater.FromTech(node)
+}

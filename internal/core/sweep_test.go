@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+// sweepLs is the paper's inductance range, 0.1–4.9 nH/mm (SI).
+func sweepLs() []float64 {
+	return []float64{0.1e-6, 0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6, 4.9e-6}
+}
+
+func TestSweepFig5HRatioShape(t *testing.T) {
+	// Figure 5: h_optRLC/h_optRC starts slightly below 1 and increases
+	// monotonically with l; the 100 nm curve is steeper.
+	p250, err := Sweep(tech.Node250(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100, err := Sweep(tech.Node100(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pts := range [][]SweepPoint{p250, p100} {
+		if pts[0].HRatio >= 1.05 {
+			t.Errorf("h-ratio at smallest l = %v, want ≈<1", pts[0].HRatio)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].HRatio <= pts[i-1].HRatio {
+				t.Errorf("h-ratio not increasing at l=%v", pts[i].L)
+			}
+		}
+	}
+	last := len(p100) - 1
+	if p100[last].HRatio <= p250[last].HRatio {
+		t.Errorf("100nm h-ratio (%v) should exceed 250nm (%v) at max l",
+			p100[last].HRatio, p250[last].HRatio)
+	}
+}
+
+func TestSweepFig6KRatioShape(t *testing.T) {
+	// Figure 6: k_optRLC/k_optRC decreases monotonically with l toward the
+	// Z0-matching asymptote; the 100 nm curve sits lower.
+	p250, err := Sweep(tech.Node250(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100, err := Sweep(tech.Node100(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pts := range [][]SweepPoint{p250, p100} {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].KRatio >= pts[i-1].KRatio {
+				t.Errorf("k-ratio not decreasing at l=%v", pts[i].L)
+			}
+		}
+	}
+	last := len(p100) - 1
+	if p100[last].KRatio >= p250[last].KRatio {
+		t.Errorf("100nm k-ratio (%v) should be below 250nm (%v)",
+			p100[last].KRatio, p250[last].KRatio)
+	}
+}
+
+func TestSweepFig7DelayRatioShape(t *testing.T) {
+	// Figure 7: the optimized delay-per-length ratio reaches ≈2 at 250 nm
+	// and ≈3.5 at 100 nm over the swept range, and the εr-swapped 100 nm
+	// control stays with the 100 nm curve (driver scaling, not the wire,
+	// causes the susceptibility).
+	p250, err := Sweep(tech.Node250(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100, err := Sweep(tech.Node100(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCtl, err := Sweep(tech.Node100WithEps250(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(p250) - 1
+	if r := p250[last].DelayRatio; r < 1.6 || r > 2.6 {
+		t.Errorf("250nm max delay ratio = %v, paper shows ≈2", r)
+	}
+	if r := p100[last].DelayRatio; r < 2.4 || r > 4.2 {
+		t.Errorf("100nm max delay ratio = %v, paper shows ≈3.5", r)
+	}
+	// Monotone growth.
+	for _, pts := range [][]SweepPoint{p250, p100} {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].DelayRatio <= pts[i-1].DelayRatio {
+				t.Errorf("delay ratio not increasing at l=%v", pts[i].L)
+			}
+		}
+	}
+	// Control: identical c does not rescue the 100 nm node. (In the
+	// two-pole model the ratio curves are exactly c-invariant — the
+	// rescaling h→h/√γ, k→k√γ leaves b1 and b2 unchanged.)
+	for i := range pCtl {
+		if math.Abs(pCtl[i].DelayRatio-p100[i].DelayRatio) > 1e-6*p100[i].DelayRatio {
+			t.Errorf("eps-swap ratio at l=%v deviates: %v vs %v",
+				pCtl[i].L, pCtl[i].DelayRatio, p100[i].DelayRatio)
+		}
+		if pCtl[i].DelayRatio <= p250[i].DelayRatio {
+			t.Errorf("eps-swap control not above 250nm curve at l=%v", pCtl[i].L)
+		}
+	}
+}
+
+func TestSweepFig8PenaltyShape(t *testing.T) {
+	// Figure 8: designing at the RC optimum costs at most ≈6% (250 nm) and
+	// ≈12% (100 nm) versus the RLC optimum over the swept range.
+	p250, err := Sweep(tech.Node250(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100, err := Sweep(tech.Node100(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := func(pts []SweepPoint) float64 {
+		m := 0.0
+		for _, p := range pts {
+			if p.Penalty > m {
+				m = p.Penalty
+			}
+		}
+		return m
+	}
+	m250, m100 := max(p250), max(p100)
+	if m250 < 1.02 || m250 > 1.15 {
+		t.Errorf("250nm worst penalty = %v, paper shows ≈1.06", m250)
+	}
+	if m100 < 1.06 || m100 > 1.25 {
+		t.Errorf("100nm worst penalty = %v, paper shows ≈1.12", m100)
+	}
+	if m100 <= m250 {
+		t.Errorf("100nm penalty (%v) should exceed 250nm (%v)", m100, m250)
+	}
+	// Penalty is a ratio to the optimum, so never below 1.
+	for _, pts := range [][]SweepPoint{p250, p100} {
+		for _, p := range pts {
+			if p.Penalty < 1-1e-9 {
+				t.Errorf("penalty %v < 1 at l=%v", p.Penalty, p.L)
+			}
+		}
+	}
+}
+
+func TestSweepFig4LCritShape(t *testing.T) {
+	// Figure 4: at the RLC optimum, lcrit is positive, grows with l, stays
+	// the same order of magnitude as small practical l, and the 100 nm
+	// values sit below the 250 nm values.
+	p250, err := Sweep(tech.Node250(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100, err := Sweep(tech.Node100(), sweepLs(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p250 {
+		if p250[i].LCrit <= 0 || p100[i].LCrit <= 0 {
+			t.Fatalf("lcrit must be positive at l=%v", p250[i].L)
+		}
+		if p100[i].LCrit >= p250[i].LCrit {
+			t.Errorf("100nm lcrit (%v) should be below 250nm (%v) at l=%v",
+				p100[i].LCrit, p250[i].LCrit, p250[i].L)
+		}
+		if i > 0 && p250[i].LCrit <= p250[i-1].LCrit {
+			t.Errorf("250nm lcrit not increasing at l=%v", p250[i].L)
+		}
+	}
+	// Order-of-magnitude statement at the small-l end.
+	if r := p250[0].LCrit / p250[0].L; r < 0.2 || r > 20 {
+		t.Errorf("lcrit/l at small l = %v, want same order", r)
+	}
+}
+
+func TestSweepRejectsBadNode(t *testing.T) {
+	bad := tech.Node250()
+	bad.Rs = -1
+	if _, err := Sweep(bad, sweepLs(), 0.5); err == nil {
+		t.Error("expected error for invalid node")
+	}
+}

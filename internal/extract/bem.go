@@ -1,0 +1,161 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"rlcint/internal/lina"
+)
+
+// Rect is a conductor cross-section: a rectangle with lower-left corner
+// (X, Y), width W and height H, in meters, above a ground plane at y = 0.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Validate checks the rectangle sits strictly above the ground plane.
+func (r Rect) Validate() error {
+	if r.W <= 0 || r.H <= 0 {
+		return fmt.Errorf("extract: degenerate conductor %+v", r)
+	}
+	if r.Y <= 0 {
+		return fmt.Errorf("extract: conductor %+v touches the ground plane", r)
+	}
+	return nil
+}
+
+// panel is one boundary element: a straight segment with uniform charge.
+type panel struct {
+	x0, y0, x1, y1 float64
+	cond           int // owning conductor
+}
+
+func (p panel) mid() (float64, float64) {
+	return 0.5 * (p.x0 + p.x1), 0.5 * (p.y0 + p.y1)
+}
+
+func (p panel) length() float64 {
+	return math.Hypot(p.x1-p.x0, p.y1-p.y0)
+}
+
+// CapMatrix2D computes the Maxwell capacitance matrix (F/m, per unit depth)
+// of conductors over a ground plane in a uniform dielectric of relative
+// permittivity epsr, using a 2-D boundary-element method: each conductor's
+// perimeter is split into uniform-charge panels, the ground plane is handled
+// with image charges, and the resulting potential-coefficient system is
+// solved once per conductor. segPerSide panels are used on each rectangle
+// side (12–16 gives better than a percent for typical geometries).
+//
+// C[i][i] is conductor i's total capacitance with every other conductor
+// grounded; C[i][j] (i≠j, negative) is the mutual term.
+func CapMatrix2D(conds []Rect, epsr float64, segPerSide int) (*lina.Dense, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("extract: no conductors")
+	}
+	if epsr < 1 {
+		return nil, fmt.Errorf("extract: epsr=%g < 1", epsr)
+	}
+	if segPerSide < 2 {
+		segPerSide = 2
+	}
+	for i, c := range conds {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("extract: conductor %d: %w", i, err)
+		}
+	}
+	var panels []panel
+	for ci, c := range conds {
+		corners := [][4]float64{
+			{c.X, c.Y, c.X + c.W, c.Y},             // bottom
+			{c.X + c.W, c.Y, c.X + c.W, c.Y + c.H}, // right
+			{c.X + c.W, c.Y + c.H, c.X, c.Y + c.H}, // top
+			{c.X, c.Y + c.H, c.X, c.Y},             // left
+		}
+		for _, side := range corners {
+			for s := 0; s < segPerSide; s++ {
+				f0 := float64(s) / float64(segPerSide)
+				f1 := float64(s+1) / float64(segPerSide)
+				panels = append(panels, panel{
+					x0: side[0] + f0*(side[2]-side[0]), y0: side[1] + f0*(side[3]-side[1]),
+					x1: side[0] + f1*(side[2]-side[0]), y1: side[1] + f1*(side[3]-side[1]),
+					cond: ci,
+				})
+			}
+		}
+	}
+	n := len(panels)
+	eps := Eps0 * epsr
+	pref := 1 / (2 * math.Pi * eps)
+	// Potential coefficients: phi_i = sum_j P[i][j]·q_j with q in C/m.
+	pmat := lina.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		xi, yi := panels[i].mid()
+		for j := 0; j < n; j++ {
+			lj := panels[j].length()
+			xj, yj := panels[j].mid()
+			var direct float64
+			if i == j {
+				// Analytic self-term: (1/L)∫ ln|s| ds over the panel.
+				direct = math.Log(lj/2) - 1
+			} else {
+				// Two-point Gauss–Legendre along the source panel.
+				g := 0.5 / math.Sqrt(3)
+				ax := panels[j].x0 + (0.5-g)*(panels[j].x1-panels[j].x0)
+				ay := panels[j].y0 + (0.5-g)*(panels[j].y1-panels[j].y0)
+				bx := panels[j].x0 + (0.5+g)*(panels[j].x1-panels[j].x0)
+				by := panels[j].y0 + (0.5+g)*(panels[j].y1-panels[j].y0)
+				direct = 0.5 * (math.Log(math.Hypot(xi-ax, yi-ay)) + math.Log(math.Hypot(xi-bx, yi-by)))
+			}
+			// Image of panel j below the ground plane.
+			image := math.Log(math.Hypot(xi-xj, yi+yj))
+			pmat.Set(i, j, pref*(image-direct))
+		}
+	}
+	lu, err := lina.Factor(pmat)
+	if err != nil {
+		return nil, fmt.Errorf("extract: potential matrix singular: %w", err)
+	}
+	nc := len(conds)
+	cm := lina.NewDense(nc, nc)
+	rhs := make([]float64, n)
+	for k := 0; k < nc; k++ {
+		for i := range rhs {
+			if panels[i].cond == k {
+				rhs[i] = 1
+			} else {
+				rhs[i] = 0
+			}
+		}
+		q := lu.Solve(rhs)
+		for i, p := range panels {
+			cm.Add(p.cond, k, q[i])
+		}
+	}
+	return cm, nil
+}
+
+// TotalCap2D returns the victim conductor's total capacitance per unit
+// length with all other conductors grounded — the quantity the paper's
+// Table 1 tabulates from FASTCAP.
+func TotalCap2D(conds []Rect, victim int, epsr float64, segPerSide int) (float64, error) {
+	if victim < 0 || victim >= len(conds) {
+		return 0, fmt.Errorf("extract: victim index %d out of range", victim)
+	}
+	cm, err := CapMatrix2D(conds, epsr, segPerSide)
+	if err != nil {
+		return 0, err
+	}
+	return cm.At(victim, victim), nil
+}
+
+// Table1Geometry builds the paper's top-metal cross-section: a victim line
+// with one grounded neighbour on each side at the given pitch, all of the
+// given width and thickness, at height tIns over the substrate plane.
+// The victim is conductor 0.
+func Table1Geometry(width, thickness, pitch, tIns float64) []Rect {
+	return []Rect{
+		{X: -width / 2, Y: tIns, W: width, H: thickness},
+		{X: -width/2 - pitch, Y: tIns, W: width, H: thickness},
+		{X: -width/2 + pitch, Y: tIns, W: width, H: thickness},
+	}
+}

@@ -1,0 +1,324 @@
+package extract
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlcint/internal/tech"
+)
+
+const um = 1e-6
+
+func TestResistanceMatchesTable1(t *testing.T) {
+	// Table 1: r = 4.4 Ω/mm for a 2×2.5 µm² Cu wire. Bulk Cu at an
+	// operating temperature near 90 °C (plus damascene overhead folded into
+	// the coefficient) reproduces it.
+	rho := RhoAtTemp(RhoCu, TCRCu, 90)
+	r, err := ResistancePUL(rho, 2*um, 2.5*um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-4400)/4400 > 0.03 {
+		t.Errorf("r = %v Ω/m, Table 1 has 4400", r)
+	}
+}
+
+func TestResistanceValidation(t *testing.T) {
+	if _, err := ResistancePUL(0, 1, 1); err == nil {
+		t.Error("zero rho must fail")
+	}
+	if _, err := SkinDepth(RhoCu, 0); err == nil {
+		t.Error("zero frequency must fail")
+	}
+}
+
+func TestSkinDepthAndACResistance(t *testing.T) {
+	// Copper at 10 GHz: δ ≈ 0.66 µm.
+	d, err := SkinDepth(RhoCu, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.66e-6) > 0.03e-6 {
+		t.Errorf("skin depth = %v, want ≈0.66 µm", d)
+	}
+	rdc, _ := ResistancePUL(RhoCu, 2*um, 2.5*um)
+	rlo, err := ResistanceAC(RhoCu, 2*um, 2.5*um, 1e8) // δ≈6.6µm > 1µm: DC
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlo != rdc {
+		t.Errorf("low-frequency AC resistance %v != DC %v", rlo, rdc)
+	}
+	rhi, err := ResistanceAC(RhoCu, 2*um, 2.5*um, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhi <= rdc {
+		t.Errorf("10 GHz resistance %v not above DC %v", rhi, rdc)
+	}
+}
+
+func TestSakuraiTamaruAgainstBEM(t *testing.T) {
+	// The empirical fit and the BEM extractor must agree within a few
+	// percent inside the fit's validity range (isolated line, uniform
+	// dielectric).
+	cases := []struct{ w, th, h float64 }{
+		{10, 1, 1}, {3, 1, 1}, {1, 1, 1}, {2, 3, 2},
+	}
+	for _, c := range cases {
+		st, err := SakuraiTamaru(c.w*um, c.th*um, c.h*um, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bem, err := TotalCap2D([]Rect{{X: 0, Y: c.h * um, W: c.w * um, H: c.th * um}}, 0, 1, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := bem / st; r < 0.93 || r > 1.07 {
+			t.Errorf("w/h=%v t/h=%v: BEM/ST = %v", c.w/c.h, c.th/c.h, r)
+		}
+	}
+}
+
+func TestBEMReproducesTable1Within3DEnvironmentGap(t *testing.T) {
+	// The paper extracted c with FASTCAP in a full 3-D multi-layer
+	// environment; our 2-D model (victim + two neighbours + substrate
+	// plane) recovers ≈3/4 of it — the missing quarter is coupling to the
+	// orthogonal layers the 2-D cross-section cannot see. The ratio must be
+	// consistent across both nodes (same geometry, different dielectric).
+	ratios := make([]float64, 0, 2)
+	for _, tc := range []struct {
+		node tech.Node
+		want float64
+	}{
+		{tech.Node250(), 203.5e-12},
+		{tech.Node100(), 123.33e-12},
+	} {
+		g := Table1Geometry(tc.node.Width, tc.node.Height, tc.node.Pitch, tc.node.TIns)
+		c, err := TotalCap2D(g, 0, tc.node.EpsR, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := c / tc.want
+		if r < 0.6 || r > 1.1 {
+			t.Errorf("%s: BEM/FASTCAP = %v, outside the expected environment gap", tc.node.Name, r)
+		}
+		ratios = append(ratios, r)
+	}
+	if math.Abs(ratios[0]-ratios[1]) > 0.05 {
+		t.Errorf("environment gap inconsistent across nodes: %v vs %v", ratios[0], ratios[1])
+	}
+}
+
+func TestCoupledCapApproximatesTable1(t *testing.T) {
+	// The closed-form coupled estimate (ground + two sidewall neighbours)
+	// lands within ~15% of the FASTCAP values.
+	for _, tc := range []struct {
+		node tech.Node
+		want float64
+	}{
+		{tech.Node250(), 203.5e-12},
+		{tech.Node100(), 123.33e-12},
+	} {
+		cg, cc, err := CoupledCap(tc.node.Width, tc.node.Height, tc.node.TIns, tc.node.Spacing(), tc.node.EpsR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := cg + 2*cc
+		if r := tot / tc.want; r < 0.85 || r > 1.15 {
+			t.Errorf("%s: closed-form total %v vs FASTCAP %v (ratio %v)", tc.node.Name, tot, tc.want, r)
+		}
+	}
+}
+
+func TestMillerRange(t *testing.T) {
+	// The paper: effective line capacitance can vary by as much as 4× for
+	// aspect ratios above one. With cc ≈ cg the Miller range spans ≈5×
+	// cGround, i.e. max/min up to ~4–5.
+	n := tech.Node100()
+	cg, cc, err := CoupledCap(n.Width, n.Height, n.TIns, n.Spacing(), n.EpsR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := MillerRange(cg, cc)
+	if lo != cg {
+		t.Errorf("min = %v, want cGround %v", lo, cg)
+	}
+	if ratio := hi / lo; ratio < 3 || ratio > 7 {
+		t.Errorf("Miller max/min = %v, paper indicates ≈4×", ratio)
+	}
+}
+
+func TestCapMatrixSymmetryAndSigns(t *testing.T) {
+	g := Table1Geometry(2*um, 2.5*um, 4*um, 14*um)
+	cm, err := CapMatrix2D(g, 3.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if cm.At(i, i) <= 0 {
+			t.Errorf("C[%d][%d] = %v, want positive", i, i, cm.At(i, i))
+		}
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			if cm.At(i, j) >= 0 {
+				t.Errorf("C[%d][%d] = %v, want negative", i, j, cm.At(i, j))
+			}
+			if rel := math.Abs(cm.At(i, j)-cm.At(j, i)) / math.Abs(cm.At(i, j)); rel > 0.02 {
+				t.Errorf("asymmetry C[%d][%d]=%v vs C[%d][%d]=%v", i, j, cm.At(i, j), j, i, cm.At(j, i))
+			}
+		}
+	}
+	// The two outer neighbours are mirror images: equal self terms.
+	if rel := math.Abs(cm.At(1, 1)-cm.At(2, 2)) / cm.At(1, 1); rel > 0.01 {
+		t.Errorf("mirror conductors differ: %v vs %v", cm.At(1, 1), cm.At(2, 2))
+	}
+}
+
+func TestBEMPanelConvergence(t *testing.T) {
+	coarse, err := TotalCap2D([]Rect{{X: 0, Y: um, W: 3 * um, H: um}}, 0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := TotalCap2D([]Rect{{X: 0, Y: um, W: 3 * um, H: um}}, 0, 1, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fine-coarse) / fine; rel > 0.01 {
+		t.Errorf("panel convergence: %v vs %v (rel %v)", coarse, fine, rel)
+	}
+}
+
+func TestBEMValidation(t *testing.T) {
+	if _, err := CapMatrix2D(nil, 1, 8); err == nil {
+		t.Error("no conductors must fail")
+	}
+	if _, err := CapMatrix2D([]Rect{{X: 0, Y: 0, W: 1, H: 1}}, 1, 8); err == nil {
+		t.Error("conductor on the plane must fail")
+	}
+	if _, err := CapMatrix2D([]Rect{{X: 0, Y: 1, W: -1, H: 1}}, 1, 8); err == nil {
+		t.Error("degenerate conductor must fail")
+	}
+	if _, err := CapMatrix2D([]Rect{{X: 0, Y: 1, W: 1, H: 1}}, 0.5, 8); err == nil {
+		t.Error("epsr < 1 must fail")
+	}
+	if _, err := TotalCap2D([]Rect{{X: 0, Y: 1, W: 1, H: 1}}, 3, 1, 8); err == nil {
+		t.Error("victim out of range must fail")
+	}
+}
+
+func TestPartialSelfLScalesSuperlinearly(t *testing.T) {
+	// Partial inductance grows faster than length (the ln term).
+	l1, err := PartialSelfL(1e-3, 2*um, 2.5*um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := PartialSelfL(2e-3, 2*um, 2.5*um)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 <= 2*l1 {
+		t.Errorf("L(2mm)=%v not above 2·L(1mm)=%v", l2, 2*l1)
+	}
+}
+
+func TestMutualLessThanSelf(t *testing.T) {
+	length := 11.1e-3
+	ls, _ := PartialSelfL(length, 2*um, 2.5*um)
+	for _, d := range []float64{4 * um, 20 * um, 200 * um} {
+		m, err := MutualL(length, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m >= ls || m <= 0 {
+			t.Errorf("d=%v: M=%v vs L=%v", d, m, ls)
+		}
+	}
+}
+
+func TestLoopLMatchesTwoWireFormula(t *testing.T) {
+	// For d ≫ cross-section, the loop inductance approaches the classic
+	// two-wire value (µ0/π)·[ln(d/GMR) + …]; check against the direct
+	// partial-inductance composition at 10% accuracy.
+	length := 11.1e-3
+	w, th := 2*um, 2.5*um
+	gmr := 0.2235 * (w + th) // geometric-mean-radius equivalent of a rectangle
+	for _, d := range []float64{50 * um, 200 * um} {
+		got, err := LoopLPUL(length, w, th, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Mu0 / math.Pi * (math.Log(d/gmr) + 0.25)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("d=%v: loop L %v vs two-wire %v (rel %v)", d, got, want, rel)
+		}
+	}
+}
+
+func TestLoopLMonotoneInReturnDistanceProperty(t *testing.T) {
+	prop := func(a, b float64) bool {
+		d1 := 5*um + math.Abs(math.Mod(a, 1))*100*um
+		d2 := d1 + 5*um + math.Abs(math.Mod(b, 1))*100*um
+		l1, e1 := LoopLPUL(11.1e-3, 2*um, 2.5*um, d1)
+		l2, e2 := LoopLPUL(11.1e-3, 2*um, 2.5*um, d2)
+		return e1 == nil && e2 == nil && l2 > l1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorstCaseInductanceBelowPaperBound(t *testing.T) {
+	// The paper: "the worst-case line inductance for both these technologies
+	// was calculated to be < 5 nH/mm" with the farthest practical return.
+	// Even a return 2 mm away stays under the bound; a substrate return
+	// (t_ins) gives a few tenths of nH/mm.
+	n := tech.Node100()
+	far, err := LoopLPUL(11.1e-3, n.Width, n.Height, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far >= tech.WorstCaseInductance {
+		t.Errorf("far-return l = %v nH/mm, paper bound is 5", far*1e6)
+	}
+	near, err := LoopLPUL(11.1e-3, n.Width, n.Height, n.TIns+n.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near < 0.1e-6 || near > 1.5e-6 {
+		t.Errorf("substrate-return l = %v nH/mm, expected a few tenths", near*1e6)
+	}
+	if near >= far {
+		t.Error("inductance must grow with return distance")
+	}
+}
+
+func TestInductanceValidation(t *testing.T) {
+	if _, err := PartialSelfL(0, 1, 1); err == nil {
+		t.Error("zero length must fail")
+	}
+	if _, err := MutualL(1, 0); err == nil {
+		t.Error("zero distance must fail")
+	}
+	if _, err := LoopL(1e-3, 0, 1e-6, 1e-5); err == nil {
+		t.Error("zero width must fail")
+	}
+}
+
+func TestCapValidation(t *testing.T) {
+	if _, err := PlateFringe(0, 1, 1, 1); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := SakuraiTamaru(1, 1, 1, 0.5); err == nil {
+		t.Error("epsr<1 must fail")
+	}
+	if _, _, err := CoupledCap(1e-6, 1e-6, 1e-6, 0, 2); err == nil {
+		t.Error("zero spacing must fail")
+	}
+	if c, err := PlateFringe(2*um, 2.5*um, 14*um, 3.3); err != nil || c <= 0 {
+		t.Errorf("PlateFringe: %v %v", c, err)
+	}
+}

@@ -1,0 +1,64 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+)
+
+// PartialSelfL returns the Ruehli/Grover partial self-inductance (H) of a
+// straight rectangular bar of the given length, width and thickness:
+//
+//	L = (µ0·l/2π)·[ln(2l/(w+t)) + 1/2 + 0.2235·(w+t)/l]
+//
+// valid for l ≫ w+t (the usual on-chip regime).
+func PartialSelfL(length, w, t float64) (float64, error) {
+	if length <= 0 || w <= 0 || t <= 0 {
+		return 0, fmt.Errorf("extract: non-physical bar l=%g w=%g t=%g", length, w, t)
+	}
+	u := w + t
+	return Mu0 * length / (2 * math.Pi) *
+		(math.Log(2*length/u) + 0.5 + 0.2235*u/length), nil
+}
+
+// MutualL returns the Grover mutual partial inductance (H) between two
+// parallel filaments of equal length at centre-to-centre distance d:
+//
+//	M = (µ0·l/2π)·[ln(l/d + √(1+(l/d)²)) − √(1+(d/l)²) + d/l]
+func MutualL(length, d float64) (float64, error) {
+	if length <= 0 || d <= 0 {
+		return 0, fmt.Errorf("extract: non-physical filament pair l=%g d=%g", length, d)
+	}
+	r := length / d
+	return Mu0 * length / (2 * math.Pi) *
+		(math.Log(r+math.Sqrt(1+r*r)) - math.Sqrt(1+1/(r*r)) + 1/r), nil
+}
+
+// LoopL returns the loop inductance (H) of a signal bar with an identical
+// parallel return bar at centre-to-centre distance d:
+//
+//	L_loop = 2·(L_self − M)
+func LoopL(length, w, t, d float64) (float64, error) {
+	ls, err := PartialSelfL(length, w, t)
+	if err != nil {
+		return 0, err
+	}
+	m, err := MutualL(length, d)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * (ls - m), nil
+}
+
+// LoopLPUL returns the loop inductance per unit length (H/m) for a signal
+// wire of the given cross-section and length with its return at distance d.
+// The per-unit-length value depends (weakly, logarithmically) on the total
+// length because partial inductances are not local quantities; the paper's
+// point that l varies strongly with the (uncertain) current return path is
+// exactly this d-dependence.
+func LoopLPUL(length, w, t, d float64) (float64, error) {
+	l, err := LoopL(length, w, t, d)
+	if err != nil {
+		return 0, err
+	}
+	return l / length, nil
+}

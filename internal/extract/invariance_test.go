@@ -1,0 +1,81 @@
+package extract
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBEM2DScaleInvariance(t *testing.T) {
+	// Two-dimensional capacitance per unit length is invariant under
+	// uniform geometric scaling — a sharp analytic property the BEM
+	// extractor must inherit.
+	prop := func(seed float64) bool {
+		scale := 0.5 + math.Abs(math.Mod(seed, 4)) // 0.5 .. 4.5
+		if math.IsNaN(scale) {
+			return true
+		}
+		base := []Rect{
+			{X: 0, Y: 2 * um, W: 3 * um, H: 1.5 * um},
+			{X: 5 * um, Y: 2 * um, W: 3 * um, H: 1.5 * um},
+		}
+		scaled := make([]Rect, len(base))
+		for i, r := range base {
+			scaled[i] = Rect{X: r.X * scale, Y: r.Y * scale, W: r.W * scale, H: r.H * scale}
+		}
+		c1, err1 := TotalCap2D(base, 0, 2.5, 10)
+		c2, err2 := TotalCap2D(scaled, 0, 2.5, 10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(c1-c2)/c1 < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBEMDielectricLinearity(t *testing.T) {
+	// Capacitance scales exactly linearly with εr in a homogeneous medium.
+	g := Table1Geometry(2*um, 2.5*um, 4*um, 14*um)
+	c1, err := TotalCap2D(g, 0, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c33, err := TotalCap2D(g, 0, 3.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c33-3.3*c1)/(3.3*c1) > 1e-12 {
+		t.Errorf("dielectric scaling broken: %v vs %v", c33, 3.3*c1)
+	}
+}
+
+func TestBEMCapacitanceGrowsTowardPlane(t *testing.T) {
+	// Moving the conductor closer to the plane must increase C.
+	prev := 0.0
+	for _, y := range []float64{20 * um, 10 * um, 5 * um, 2 * um} {
+		c, err := TotalCap2D([]Rect{{X: 0, Y: y, W: 2 * um, H: 2.5 * um}}, 0, 2, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Errorf("y=%v: C=%v did not grow approaching the plane", y, c)
+		}
+		prev = c
+	}
+}
+
+func TestMutualInductanceSymmetricInDistanceOnly(t *testing.T) {
+	// Grover mutual depends only on |d| and length.
+	m1, _ := MutualL(0.01, 5e-5)
+	m2, _ := MutualL(0.01, 5e-5)
+	if m1 != m2 {
+		t.Error("MutualL must be deterministic")
+	}
+	// Longer filaments couple more.
+	m3, _ := MutualL(0.02, 5e-5)
+	if m3 <= m1 {
+		t.Errorf("longer filaments must have larger mutual: %v vs %v", m3, m1)
+	}
+}

@@ -1,0 +1,128 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"rlcint/internal/lina"
+)
+
+// Bar is a straight rectangular conductor parallel to the signal wire,
+// described by its cross-section centre position (X, Y) and size. All bars
+// in one solve share the same length.
+type Bar struct {
+	X, Y float64 // centre coordinates of the cross-section, m
+	W, T float64 // width and thickness, m
+}
+
+// Validate rejects degenerate bars.
+func (b Bar) Validate() error {
+	if b.W <= 0 || b.T <= 0 {
+		return fmt.Errorf("extract: degenerate bar %+v", b)
+	}
+	return nil
+}
+
+// centreDist returns the centre-to-centre distance between two bars — the
+// geometric-mean-distance approximation used for mutual partial inductance
+// (accurate once separation exceeds the cross-section size).
+func centreDist(a, b Bar) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// LoopSolution is the result of EffectiveLoopL: how the return current
+// distributes and the resulting loop inductance.
+type LoopSolution struct {
+	LTotal  float64   // loop inductance of the full length, H
+	LPUL    float64   // per unit length, H/m
+	Returns []float64 // return currents (sum = −1, signal carries +1)
+}
+
+// EffectiveLoopL computes the effective loop inductance of a signal bar
+// whose unit current returns through an arbitrary set of parallel return
+// conductors. The return currents distribute so as to minimize the total
+// magnetic energy ½·iᵀ·Lp·i subject to Σi_ret = −1 — the physical
+// low-frequency current distribution, and the mechanism behind the paper's
+// observation that the effective line inductance depends strongly on the
+// (uncertain) current return path. Solving with different return sets
+// reproduces the full practical range of l, bounded by the paper's
+// 5 nH/mm worst case.
+func EffectiveLoopL(length float64, signal Bar, returns []Bar) (LoopSolution, error) {
+	if length <= 0 {
+		return LoopSolution{}, fmt.Errorf("extract: non-positive length %g", length)
+	}
+	if err := signal.Validate(); err != nil {
+		return LoopSolution{}, err
+	}
+	if len(returns) == 0 {
+		return LoopSolution{}, fmt.Errorf("extract: no return conductors")
+	}
+	n := len(returns)
+	for i, b := range returns {
+		if err := b.Validate(); err != nil {
+			return LoopSolution{}, fmt.Errorf("extract: return %d: %w", i, err)
+		}
+		if centreDist(signal, b) == 0 {
+			return LoopSolution{}, fmt.Errorf("extract: return %d coincides with the signal", i)
+		}
+	}
+	// Partial inductance blocks.
+	l00, err := PartialSelfL(length, signal.W, signal.T)
+	if err != nil {
+		return LoopSolution{}, err
+	}
+	l0r := make([]float64, n)
+	for i, b := range returns {
+		m, err := MutualL(length, centreDist(signal, b))
+		if err != nil {
+			return LoopSolution{}, err
+		}
+		l0r[i] = m
+	}
+	lrr := lina.NewDense(n, n)
+	for i := range returns {
+		self, err := PartialSelfL(length, returns[i].W, returns[i].T)
+		if err != nil {
+			return LoopSolution{}, err
+		}
+		lrr.Set(i, i, self)
+		for j := i + 1; j < n; j++ {
+			d := centreDist(returns[i], returns[j])
+			if d == 0 {
+				return LoopSolution{}, fmt.Errorf("extract: returns %d and %d coincide", i, j)
+			}
+			m, err := MutualL(length, d)
+			if err != nil {
+				return LoopSolution{}, err
+			}
+			lrr.Set(i, j, m)
+			lrr.Set(j, i, m)
+		}
+	}
+	// KKT system: [Lrr 1; 1ᵀ 0]·[i_r; μ] = [−L_r0; −1].
+	kkt := lina.NewDense(n+1, n+1)
+	rhs := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, lrr.At(i, j))
+		}
+		kkt.Set(i, n, 1)
+		kkt.Set(n, i, 1)
+		rhs[i] = -l0r[i]
+	}
+	rhs[n] = -1
+	sol, err := lina.Solve(kkt, rhs)
+	if err != nil {
+		return LoopSolution{}, fmt.Errorf("extract: singular return system: %w", err)
+	}
+	ir := sol[:n]
+	// Energy: L_loop = i·Lp·i with i = (1, ir).
+	lTot := l00
+	for i := 0; i < n; i++ {
+		lTot += 2 * l0r[i] * ir[i]
+		for j := 0; j < n; j++ {
+			lTot += ir[i] * lrr.At(i, j) * ir[j]
+		}
+	}
+	return LoopSolution{LTotal: lTot, LPUL: lTot / length, Returns: ir}, nil
+}

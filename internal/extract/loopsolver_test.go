@@ -1,0 +1,140 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+func barAt(x, y float64) Bar { return Bar{X: x, Y: y, W: 2 * um, T: 2.5 * um} }
+
+func TestSingleReturnMatchesLoopL(t *testing.T) {
+	length := 11.1e-3
+	d := 50 * um
+	sol, err := EffectiveLoopL(length, barAt(0, 0), []Bar{barAt(d, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoopL(length, 2*um, 2.5*um, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.LTotal-want)/want > 1e-12 {
+		t.Errorf("single return: %v, closed form %v", sol.LTotal, want)
+	}
+	if math.Abs(sol.Returns[0]+1) > 1e-12 {
+		t.Errorf("single return current %v, want -1", sol.Returns[0])
+	}
+}
+
+func TestSymmetricReturnsShareEqually(t *testing.T) {
+	length := 11.1e-3
+	sol, err := EffectiveLoopL(length, barAt(0, 0),
+		[]Bar{barAt(40*um, 0), barAt(-40*um, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Returns[0]-sol.Returns[1]) > 1e-12 {
+		t.Errorf("symmetric returns unequal: %v", sol.Returns)
+	}
+	if math.Abs(sol.Returns[0]+0.5) > 1e-12 {
+		t.Errorf("each return should carry -0.5, got %v", sol.Returns[0])
+	}
+	// Two returns beat one: less inductance.
+	single, _ := EffectiveLoopL(length, barAt(0, 0), []Bar{barAt(40*um, 0)})
+	if sol.LTotal >= single.LTotal {
+		t.Errorf("two returns (%v) not below one (%v)", sol.LTotal, single.LTotal)
+	}
+}
+
+func TestCurrentPrefersCloserReturn(t *testing.T) {
+	length := 11.1e-3
+	sol, err := EffectiveLoopL(length, barAt(0, 0),
+		[]Bar{barAt(20*um, 0), barAt(200*um, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Returns[0]) <= math.Abs(sol.Returns[1]) {
+		t.Errorf("closer return should carry more current: %v", sol.Returns)
+	}
+	// Conservation.
+	if math.Abs(sol.Returns[0]+sol.Returns[1]+1) > 1e-12 {
+		t.Errorf("currents don't sum to -1: %v", sol.Returns)
+	}
+}
+
+func TestEffectiveLGrowsWithReturnDistance(t *testing.T) {
+	length := 11.1e-3
+	var prev float64
+	for i, d := range []float64{20 * um, 100 * um, 500 * um} {
+		sol, err := EffectiveLoopL(length, barAt(0, 0), []Bar{barAt(d, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && sol.LPUL <= prev {
+			t.Errorf("d=%v: l did not grow (%v vs %v)", d, sol.LPUL, prev)
+		}
+		prev = sol.LPUL
+	}
+}
+
+func TestRealisticConfigsInPaperRange(t *testing.T) {
+	// A grid-like environment: power rails at ±3 pitches plus a remote
+	// return. Effective l must land inside the paper's practical window
+	// and below its 5 nH/mm worst case.
+	n := tech.Node100()
+	length := 11.1e-3
+	configs := [][]Bar{
+		{barAt(3*n.Pitch, 0), barAt(-3*n.Pitch, 0)}, // nearby rails
+		{barAt(30*n.Pitch, 0)},                      // single distant rail
+		{barAt(0, -(n.TIns + n.Height))},            // substrate return
+		{barAt(800*um, 0)},                          // remote return
+	}
+	for i, cfg := range configs {
+		sol, err := EffectiveLoopL(length, barAt(0, 0), cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		lNH := sol.LPUL / tech.NHPerMM
+		if lNH <= 0.05 || lNH >= 5 {
+			t.Errorf("config %d: l = %v nH/mm outside the paper's practical window", i, lNH)
+		}
+	}
+}
+
+func TestMoreReturnsNeverWorse(t *testing.T) {
+	// Energy minimization: adding a return conductor can only reduce (or
+	// keep) the effective inductance.
+	length := 11.1e-3
+	base, err := EffectiveLoopL(length, barAt(0, 0), []Bar{barAt(60*um, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := EffectiveLoopL(length, barAt(0, 0),
+		[]Bar{barAt(60*um, 0), barAt(-90*um, 0), barAt(0, 120*um)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more.LTotal > base.LTotal+1e-18 {
+		t.Errorf("adding returns increased L: %v vs %v", more.LTotal, base.LTotal)
+	}
+}
+
+func TestEffectiveLoopLValidation(t *testing.T) {
+	if _, err := EffectiveLoopL(0, barAt(0, 0), []Bar{barAt(1e-5, 0)}); err == nil {
+		t.Error("zero length must fail")
+	}
+	if _, err := EffectiveLoopL(1e-3, barAt(0, 0), nil); err == nil {
+		t.Error("no returns must fail")
+	}
+	if _, err := EffectiveLoopL(1e-3, barAt(0, 0), []Bar{barAt(0, 0)}); err == nil {
+		t.Error("coincident return must fail")
+	}
+	if _, err := EffectiveLoopL(1e-3, barAt(0, 0), []Bar{barAt(1e-5, 0), barAt(1e-5, 0)}); err == nil {
+		t.Error("coincident returns must fail")
+	}
+	if _, err := EffectiveLoopL(1e-3, Bar{W: 0, T: 1}, []Bar{barAt(1e-5, 0)}); err == nil {
+		t.Error("degenerate signal must fail")
+	}
+}

@@ -1,0 +1,165 @@
+package laplace
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/pade"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+func TestGaverStehfestExponential(t *testing.T) {
+	// L⁻¹{1/(s+a)} = e^{-at}
+	a := 3.0
+	f := func(s complex128) complex128 { return 1 / (s + complex(a, 0)) }
+	for _, tt := range []float64{0.1, 0.5, 1, 2} {
+		got, err := GaverStehfest(f, tt, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-a * tt)
+		// Gaver–Stehfest at n=7 reaches ~1e-5 absolute accuracy in float64.
+		if math.Abs(got-want) > 1e-4+1e-3*want {
+			t.Errorf("t=%v: %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestGaverStehfestStep(t *testing.T) {
+	// L⁻¹{1/s} = 1
+	f := func(s complex128) complex128 { return 1 / s }
+	got, err := GaverStehfest(f, 1.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-8 {
+		t.Errorf("step = %v", got)
+	}
+}
+
+func TestTalbotExponentialAndRamp(t *testing.T) {
+	a := 2.0
+	exp := func(s complex128) complex128 { return 1 / (s + complex(a, 0)) }
+	ramp := func(s complex128) complex128 { return 1 / (s * s) }
+	for _, tt := range []float64{0.2, 1, 3} {
+		got, err := Talbot(exp, tt, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Exp(-a * tt); math.Abs(got-want) > 1e-8 {
+			t.Errorf("exp t=%v: %v, want %v", tt, got, want)
+		}
+		got, err = Talbot(ramp, tt, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt) > 1e-8*tt {
+			t.Errorf("ramp t=%v: %v", tt, got)
+		}
+	}
+}
+
+func TestTalbotOscillatory(t *testing.T) {
+	// L⁻¹{ω/((s+a)²+ω²)} = e^{-at} sin(ωt): a damped oscillation, the case
+	// Gaver–Stehfest cannot see.
+	a, w := 1.0, 6.0
+	f := func(s complex128) complex128 {
+		d := (s + complex(a, 0))
+		return complex(w, 0) / (d*d + complex(w*w, 0))
+	}
+	for _, tt := range []float64{0.3, 1, 2} {
+		got, err := Talbot(f, tt, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-a*tt) * math.Sin(w*tt)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("t=%v: %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestTalbotMatchesPadeStepResponse(t *testing.T) {
+	// Invert the two-pole transfer function numerically and compare to the
+	// closed-form step response.
+	m, err := pade.New(2.1e-10, 2.3e-20) // slightly overdamped paper-scale model
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(s complex128) complex128 {
+		return 1 / (1 + complex(m.B1, 0)*s + complex(m.B2, 0)*s*s)
+	}
+	step := StepOf(h)
+	for _, frac := range []float64{0.3, 1, 3} {
+		tt := frac * math.Sqrt(m.B2)
+		got, err := Talbot(step, tt, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Step(tt)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("t=%v: Talbot %v, closed form %v", tt, got, want)
+		}
+	}
+}
+
+func TestTalbotExactDistributedLineStep(t *testing.T) {
+	// Invert the exact Eq. (1) response of an overdamped stage and check it
+	// against the two-pole model within a few percent (the paper's central
+	// approximation) at mid-rise.
+	n := tech.Node250()
+	k := 578.0
+	st := tline.Stage{
+		Line: tline.Line{R: n.R, L: 0.1 * tech.NHPerMM, C: n.C},
+		H:    14.4 * tech.MM,
+		RS:   n.Rs / k,
+		CP:   n.Cp * k,
+		CL:   n.C0 * k,
+	}
+	m, err := pade.FromStage(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := StepOf(st.TransferExact)
+	d, err := m.Delay(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Talbot(step, d.Tau, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the two-pole model's 50% point the exact response should be near
+	// 0.5 — the model is accurate near critical damping.
+	if math.Abs(got-0.5) > 0.06 {
+		t.Errorf("exact response at two-pole 50%% delay = %v, want ≈0.5", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f := func(s complex128) complex128 { return 1 / s }
+	if _, err := GaverStehfest(f, 0, 7); err == nil {
+		t.Error("t=0 must fail")
+	}
+	if _, err := GaverStehfest(f, 1, 12); err == nil {
+		t.Error("n too large must fail")
+	}
+	if _, err := Talbot(f, -1, 32); err == nil {
+		t.Error("negative t must fail")
+	}
+}
+
+func TestStehfestCoefficientsSumToZero(t *testing.T) {
+	// Σ V_k = 0 is a known identity (inverting F≡constant gives 0 for t>0
+	// apart from the 1/t factor... precisely: Σ V_k = 0).
+	for n := 3; n <= 8; n++ {
+		sum := 0.0
+		for k := 1; k <= 2*n; k++ {
+			sum += stehfestCoeff(k, n)
+		}
+		if math.Abs(sum) > 1e-4*math.Abs(stehfestCoeff(n, n)) {
+			t.Errorf("n=%d: ΣV = %v, want 0", n, sum)
+		}
+	}
+}

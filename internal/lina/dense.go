@@ -1,0 +1,178 @@
+package lina
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an exactly zero
+// pivot.
+var ErrSingular = errors.New("lina: singular matrix")
+
+// Dense is a dense row-major real matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense allocates a zero matrix with the given shape.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j); this is the MNA "stamp" primitive.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears all entries in place.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes y = m * x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("lina: MulVec dimension mismatch: %d != %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul returns the matrix product m*b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic("lina: Mul dimension mismatch")
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// LU is an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign float64
+}
+
+// Factor computes the LU factorization of a square matrix. The input is not
+// modified.
+func Factor(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("lina: Factor requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: append([]float64(nil), a.Data...), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		maxv := math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(f.lu[r*n+col]); v > maxv {
+				maxv, p = v, r
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				f.lu[col*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[col*n+j]
+			}
+			f.piv[col], f.piv[p] = f.piv[p], f.piv[col]
+			f.sign = -f.sign
+		}
+		piv := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := f.lu[r*n+col] / piv
+			f.lu[r*n+col] = m
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= m * f.lu[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A*x = b for one right-hand side, returning a new slice.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// Solve factors a and solves a*x = b in one call.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,161 @@
+package lina
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorSolve(t *testing.T) {
+	a := NewDense(3, 3)
+	vals := [][]float64{{4, -2, 1}, {-2, 4, -2}, {1, -2, 4}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	b := []float64{11, -16, 17}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ax := a.MulVec(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-10 {
+			t.Errorf("residual[%d] = %v", i, ax[i]-b[i])
+		}
+	}
+}
+
+func TestFactorPivoting(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{2, 5})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if x[0] != 5 || x[1] != 2 {
+		t.Errorf("got %v, want [5 2]", x)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Error("expected ErrSingular")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 2)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if math.Abs(f.Det()-2) > 1e-12 {
+		t.Errorf("det = %v, want 2", f.Det())
+	}
+	// A row swap flips the permutation sign but not the determinant value.
+	b := NewDense(2, 2)
+	b.Set(0, 0, 0)
+	b.Set(0, 1, 1)
+	b.Set(1, 0, 1)
+	b.Set(1, 1, 0)
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if math.Abs(fb.Det()+1) > 1e-12 {
+		t.Errorf("det of swap = %v, want -1", fb.Det())
+	}
+}
+
+func TestSolveRandomProperty(t *testing.T) {
+	// Property: for random diagonally dominant systems, solve residual is
+	// tiny. Diagonal dominance guarantees non-singularity.
+	rng := rand.New(rand.NewSource(7))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 1 + r.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := r.Float64()*2 - 1
+					a.Set(i, j, v)
+					sum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, sum+1+r.Float64())
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Float64()*10 - 5
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64(i*3+j+1))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			b.Set(i, j, float64(i*2+j+1))
+		}
+	}
+	c := a.Mul(b)
+	want := [][]float64{{22, 28}, {49, 64}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCloneZeroAdd(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Add(0, 0, 2)
+	a.Add(0, 0, 3)
+	if a.At(0, 0) != 5 {
+		t.Errorf("Add accumulation failed: %v", a.At(0, 0))
+	}
+	c := a.Clone()
+	c.Zero()
+	if a.At(0, 0) != 5 || c.At(0, 0) != 0 {
+		t.Error("Clone/Zero aliasing")
+	}
+}

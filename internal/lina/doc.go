@@ -1,0 +1,6 @@
+// Package lina implements small dense linear algebra: real and complex LU
+// factorization with partial pivoting, solves, determinants and a handful of
+// vector helpers. Matrices here are tiny (MNA reduction blocks, 2x2 Newton
+// systems, ABCD chains), so the implementation favours clarity and numerical
+// robustness over blocking or vectorization.
+package lina

@@ -1,0 +1,98 @@
+package lina
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ZDense is a dense row-major complex matrix, used for frequency-domain
+// two-port chains and AC analysis.
+type ZDense struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewZDense allocates a zero complex matrix.
+func NewZDense(rows, cols int) *ZDense {
+	return &ZDense{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *ZDense) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *ZDense) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *ZDense) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Mul returns the matrix product m*b.
+func (m *ZDense) Mul(b *ZDense) *ZDense {
+	if m.Cols != b.Rows {
+		panic("lina: ZDense Mul dimension mismatch")
+	}
+	out := NewZDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// ZSolve solves the complex system a*x = b with Gaussian elimination and
+// partial pivoting; a and b are not modified.
+func ZSolve(a *ZDense, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("lina: ZSolve requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("lina: ZSolve rhs length %d != %d", len(b), n)
+	}
+	lu := append([]complex128(nil), a.Data...)
+	x := append([]complex128(nil), b...)
+	for col := 0; col < n; col++ {
+		p := col
+		maxv := cmplx.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(lu[r*n+col]); v > maxv {
+				maxv, p = v, r
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu[col*n+j], lu[p*n+j] = lu[p*n+j], lu[col*n+j]
+			}
+			x[col], x[p] = x[p], x[col]
+		}
+		piv := lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := lu[r*n+col] / piv
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu[r*n+j] -= m * lu[col*n+j]
+			}
+			x[r] -= m * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for j := r + 1; j < n; j++ {
+			s -= lu[r*n+j] * x[j]
+		}
+		x[r] = s / lu[r*n+r]
+	}
+	return x, nil
+}

@@ -1,0 +1,71 @@
+package lina
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestZSolve(t *testing.T) {
+	a := NewZDense(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, complex(2, 0))
+	a.Set(1, 0, complex(0, -1))
+	a.Set(1, 1, complex(3, 2))
+	want := []complex128{complex(1, -2), complex(0.5, 0.25)}
+	b := []complex128{
+		a.At(0, 0)*want[0] + a.At(0, 1)*want[1],
+		a.At(1, 0)*want[0] + a.At(1, 1)*want[1],
+	}
+	x, err := ZSolve(a, b)
+	if err != nil {
+		t.Fatalf("ZSolve: %v", err)
+	}
+	for i := range want {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestZSolvePivot(t *testing.T) {
+	a := NewZDense(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	x, err := ZSolve(a, []complex128{complex(0, 2), complex(5, 0)})
+	if err != nil {
+		t.Fatalf("ZSolve: %v", err)
+	}
+	if x[0] != complex(5, 0) || x[1] != complex(0, 2) {
+		t.Errorf("got %v", x)
+	}
+}
+
+func TestZSolveSingular(t *testing.T) {
+	a := NewZDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 2)
+	if _, err := ZSolve(a, []complex128{1, 2}); err == nil {
+		t.Error("expected ErrSingular")
+	}
+}
+
+func TestZMul(t *testing.T) {
+	id := NewZDense(2, 2)
+	id.Set(0, 0, 1)
+	id.Set(1, 1, 1)
+	a := NewZDense(2, 2)
+	a.Set(0, 0, complex(1, 2))
+	a.Set(0, 1, complex(3, -1))
+	a.Set(1, 0, complex(0, 1))
+	a.Set(1, 1, complex(-2, 0))
+	c := a.Mul(id)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != a.At(i, j) {
+				t.Errorf("identity product mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

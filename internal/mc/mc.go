@@ -1,0 +1,148 @@
+// Package mc quantifies delay uncertainty under unknown line inductance by
+// Monte-Carlo sampling — the statistical formulation of the paper's
+// Section 3.2 problem: the effective l of a fabricated line depends on the
+// switching-dependent current return path, so a fixed repeater design sees a
+// *distribution* of delays. Sampling l (directly, or through the
+// return-distance model of internal/extract) and pushing each sample through
+// the two-pole delay gives the spread a designer must budget.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rlcint/internal/core"
+)
+
+// Dist is a one-dimensional sampling distribution.
+type Dist interface {
+	Sample(rng *rand.Rand) float64
+}
+
+// Uniform samples uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + (u.Hi-u.Lo)*rng.Float64()
+}
+
+// Triangular samples a triangular distribution on [Lo, Hi] with the given
+// Mode — a common shape for "nominal with bounded excursions" parameters.
+type Triangular struct{ Lo, Mode, Hi float64 }
+
+// Sample implements Dist.
+func (t Triangular) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	fc := (t.Mode - t.Lo) / (t.Hi - t.Lo)
+	if u < fc {
+		return t.Lo + math.Sqrt(u*(t.Hi-t.Lo)*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-u)*(t.Hi-t.Lo)*(t.Hi-t.Mode))
+}
+
+// Stats summarizes a sampled quantity.
+type Stats struct {
+	N                  int
+	Mean, Std          float64
+	Min, Max, P50, P95 float64
+}
+
+func summarize(samples []float64) Stats {
+	n := len(samples)
+	s := Stats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum, sum2 := 0.0, 0.0
+	for _, x := range samples {
+		sum += x
+		sum2 += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	v := sum2/float64(n) - s.Mean*s.Mean
+	if v < 0 {
+		v = 0
+	}
+	s.Std = math.Sqrt(v)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	s.P50 = sorted[n/2]
+	s.P95 = sorted[min(n-1, n*95/100)]
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DelayUnderUncertainty samples the line inductance from lDist (H/m) and
+// evaluates the 50%-threshold stage delay of a FIXED design (h, k) for the
+// given technology problem at each sample. Deterministic for a given seed.
+func DelayUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, seed int64) (Stats, error) {
+	if err := p.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if n < 2 {
+		return Stats{}, fmt.Errorf("mc: need at least 2 samples, got %d", n)
+	}
+	if lDist == nil {
+		return Stats{}, fmt.Errorf("mc: nil distribution")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		l := lDist.Sample(rng)
+		if l < 0 {
+			return Stats{}, fmt.Errorf("mc: sampled negative inductance %g", l)
+		}
+		q := p
+		q.Line.L = l
+		_, d, err := q.Eval(h, k)
+		if err != nil {
+			return Stats{}, fmt.Errorf("mc: sample %d (l=%g): %w", i, l, err)
+		}
+		samples = append(samples, d.Tau)
+	}
+	return summarize(samples), nil
+}
+
+// PenaltyUnderUncertainty samples l and evaluates the ratio of the fixed
+// design's delay-per-length to the per-sample RLC optimum — the Monte-Carlo
+// generalization of the paper's Figure 8. It is considerably more expensive
+// than DelayUnderUncertainty (one optimization per sample).
+func PenaltyUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, seed int64) (Stats, error) {
+	if err := p.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if n < 2 {
+		return Stats{}, fmt.Errorf("mc: need at least 2 samples, got %d", n)
+	}
+	if lDist == nil {
+		return Stats{}, fmt.Errorf("mc: nil distribution")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := p
+		q.Line.L = lDist.Sample(rng)
+		opt, err := core.Optimize(q)
+		if err != nil {
+			return Stats{}, fmt.Errorf("mc: sample %d: %w", i, err)
+		}
+		fixed := q.PerUnitDelay(h, k)
+		if math.IsInf(fixed, 1) {
+			return Stats{}, fmt.Errorf("mc: sample %d: fixed design infeasible", i)
+		}
+		samples = append(samples, fixed/opt.PerUnit)
+	}
+	return summarize(samples), nil
+}

@@ -1,0 +1,160 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlcint/internal/core"
+	"rlcint/internal/repeater"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+func problem100() core.Problem {
+	n := tech.Node100()
+	return core.Problem{Device: repeater.FromTech(n), Line: tline.Line{R: n.R, C: n.C}}
+}
+
+func TestUniformSamplesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Uniform{Lo: 2, Hi: 5}
+	for i := 0; i < 1000; i++ {
+		x := d.Sample(rng)
+		if x < 2 || x > 5 {
+			t.Fatalf("sample %v outside [2,5]", x)
+		}
+	}
+}
+
+func TestTriangularSamplesInRangeAndPeaked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Triangular{Lo: 0, Mode: 1, Hi: 4}
+	nearMode, farMode := 0, 0
+	for i := 0; i < 4000; i++ {
+		x := d.Sample(rng)
+		if x < 0 || x > 4 {
+			t.Fatalf("sample %v outside [0,4]", x)
+		}
+		if math.Abs(x-1) < 0.5 {
+			nearMode++
+		}
+		if math.Abs(x-3.5) < 0.5 {
+			farMode++
+		}
+	}
+	if nearMode <= farMode {
+		t.Errorf("triangular not peaked at mode: %d near vs %d far", nearMode, farMode)
+	}
+}
+
+func TestTriangularMeanProperty(t *testing.T) {
+	// Property: the sample mean approaches (Lo+Mode+Hi)/3.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Triangular{Lo: 1, Mode: 2, Hi: 6}
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += d.Sample(rng)
+		}
+		return math.Abs(sum/n-3) < 0.05
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayUnderUncertaintyBasic(t *testing.T) {
+	p := problem100()
+	st, err := DelayUnderUncertainty(p, 11.1e-3, 528,
+		Uniform{Lo: 0.5e-6, Hi: 4.9e-6}, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.Min <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.Max) {
+		t.Errorf("quantile ordering broken: %+v", st)
+	}
+	if st.Mean < st.Min || st.Mean > st.Max {
+		t.Errorf("mean outside range: %+v", st)
+	}
+	if st.Std <= 0 {
+		t.Errorf("spread expected for a wide l range: %+v", st)
+	}
+	// Delays are physically plausible (50-500 ps).
+	if st.Min < 50e-12 || st.Max > 500e-12 {
+		t.Errorf("implausible delays: %+v", st)
+	}
+}
+
+func TestDelayUncertaintyDeterministicAndWidens(t *testing.T) {
+	p := problem100()
+	a, err := DelayUnderUncertainty(p, 11.1e-3, 528, Uniform{Lo: 1e-6, Hi: 2e-6}, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DelayUnderUncertainty(p, 11.1e-3, 528, Uniform{Lo: 1e-6, Hi: 2e-6}, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed must reproduce identical stats")
+	}
+	wide, err := DelayUnderUncertainty(p, 11.1e-3, 528, Uniform{Lo: 0.2e-6, Hi: 4.8e-6}, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Std <= a.Std {
+		t.Errorf("wider l distribution must widen the delay spread: %v vs %v", wide.Std, a.Std)
+	}
+}
+
+func TestDegenerateDistributionZeroSpread(t *testing.T) {
+	p := problem100()
+	st, err := DelayUnderUncertainty(p, 11.1e-3, 528, Uniform{Lo: 2e-6, Hi: 2e-6}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Std > 1e-18 || st.Min != st.Max {
+		t.Errorf("point distribution must have zero spread: %+v", st)
+	}
+}
+
+func TestPenaltyUnderUncertaintyMatchesFig8Scale(t *testing.T) {
+	// The MC penalty of the RC design over 0.1-4.9 nH/mm must sit in the
+	// Figure 8 band: worst ≈12%, never below 1.
+	p := problem100()
+	st, err := PenaltyUnderUncertainty(p, 11.1e-3, 528,
+		Uniform{Lo: 0.1e-6, Hi: 4.9e-6}, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Min < 1-1e-9 {
+		t.Errorf("penalty below 1: %+v", st)
+	}
+	if st.Max > 1.15 || st.Max < 1.03 {
+		t.Errorf("worst-case penalty %v outside the Figure 8 band", st.Max)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := problem100()
+	if _, err := DelayUnderUncertainty(p, 0.01, 500, nil, 10, 1); err == nil {
+		t.Error("nil dist must fail")
+	}
+	if _, err := DelayUnderUncertainty(p, 0.01, 500, Uniform{Lo: 1e-6, Hi: 2e-6}, 1, 1); err == nil {
+		t.Error("n=1 must fail")
+	}
+	if _, err := DelayUnderUncertainty(p, 0.01, 500, Uniform{Lo: -1e-6, Hi: -1e-7}, 10, 1); err == nil {
+		t.Error("negative l must fail")
+	}
+	bad := p
+	bad.F = 3
+	if _, err := DelayUnderUncertainty(bad, 0.01, 500, Uniform{Lo: 1e-6, Hi: 2e-6}, 10, 1); err == nil {
+		t.Error("invalid problem must fail")
+	}
+	if _, err := PenaltyUnderUncertainty(bad, 0.01, 500, Uniform{Lo: 1e-6, Hi: 2e-6}, 10, 1); err == nil {
+		t.Error("invalid problem must fail")
+	}
+}

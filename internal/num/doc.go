@@ -1,0 +1,10 @@
+// Package num provides the small numerical substrate used throughout the
+// library: safeguarded scalar root finding (Newton, Brent), multi-dimensional
+// Newton with finite-difference Jacobians, derivative estimation, scalar and
+// multi-dimensional minimization (golden section, Nelder–Mead), adaptive
+// quadrature and running statistics.
+//
+// Everything here is deliberately dependency-free and allocation-light; these
+// routines sit in the inner loops of the delay solver and the repeater
+// optimizer.
+package num

@@ -1,0 +1,152 @@
+package num
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GoldenSection minimizes a unimodal scalar function on [a, b] and returns
+// the minimizer.
+func GoldenSection(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	if a > b {
+		a, b = b, a
+	}
+	const invPhi = 0.6180339887498949 // 1/phi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < maxIter && (b-a) > tol; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	if b-a > tol {
+		return 0.5 * (a + b), fmt.Errorf("%w: GoldenSection", ErrNoConvergence)
+	}
+	return 0.5 * (a + b), nil
+}
+
+// NelderMeadOptions configures NelderMead.
+type NelderMeadOptions struct {
+	Tol        float64 // simplex function-value spread tolerance (default 1e-12 relative)
+	MaxIter    int     // default 400*n
+	InitScale  float64 // initial simplex edge, relative to |x0| (default 0.05)
+	MaxRestart int     // restarts from the best point with a fresh simplex (default 2)
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
+// simplex method with standard coefficients and optional restarts. f may
+// return +Inf to mark infeasible points; the method treats those as very bad
+// vertices, which makes simple bound handling (transform or penalize in the
+// caller) effective.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if opts.Tol == 0 {
+		opts.Tol = 1e-12
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 400 * n
+	}
+	if opts.InitScale == 0 {
+		opts.InitScale = 0.05
+	}
+	if opts.MaxRestart == 0 {
+		opts.MaxRestart = 2
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	buildSimplex := func(center []float64) []vertex {
+		s := make([]vertex, n+1)
+		for i := range s {
+			x := append([]float64(nil), center...)
+			if i > 0 {
+				d := opts.InitScale * math.Max(math.Abs(x[i-1]), 1e-3)
+				x[i-1] += d
+			}
+			s[i] = vertex{x: x, f: eval(x)}
+		}
+		return s
+	}
+
+	best := vertex{x: append([]float64(nil), x0...), f: eval(x0)}
+	iterBudget := opts.MaxIter
+	for restart := 0; restart <= opts.MaxRestart; restart++ {
+		s := buildSimplex(best.x)
+		for iter := 0; iter < iterBudget; iter++ {
+			sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
+			spread := math.Abs(s[n].f - s[0].f)
+			scale := math.Abs(s[0].f) + math.Abs(s[n].f) + 1e-300
+			if spread/scale < opts.Tol && !math.IsInf(s[n].f, 1) {
+				break
+			}
+			// Centroid of all but worst.
+			cen := make([]float64, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					cen[j] += s[i].x[j]
+				}
+			}
+			for j := range cen {
+				cen[j] /= float64(n)
+			}
+			point := func(coef float64) []float64 {
+				p := make([]float64, n)
+				for j := 0; j < n; j++ {
+					p[j] = cen[j] + coef*(s[n].x[j]-cen[j])
+				}
+				return p
+			}
+			xr := point(-1) // reflection
+			fr := eval(xr)
+			switch {
+			case fr < s[0].f:
+				xe := point(-2) // expansion
+				if fe := eval(xe); fe < fr {
+					s[n] = vertex{xe, fe}
+				} else {
+					s[n] = vertex{xr, fr}
+				}
+			case fr < s[n-1].f:
+				s[n] = vertex{xr, fr}
+			default:
+				xc := point(0.5) // contraction
+				if fc := eval(xc); fc < s[n].f {
+					s[n] = vertex{xc, fc}
+				} else {
+					// Shrink toward best.
+					for i := 1; i <= n; i++ {
+						for j := 0; j < n; j++ {
+							s[i].x[j] = s[0].x[j] + 0.5*(s[i].x[j]-s[0].x[j])
+						}
+						s[i].f = eval(s[i].x)
+					}
+				}
+			}
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
+		if s[0].f < best.f {
+			best = vertex{append([]float64(nil), s[0].x...), s[0].f}
+		}
+	}
+	if math.IsInf(best.f, 1) {
+		return best.x, best.f, fmt.Errorf("%w: NelderMead found no feasible point", ErrNoConvergence)
+	}
+	return best.x, best.f, nil
+}

@@ -1,0 +1,70 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSection(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.3) * (x - 1.3) }
+	x, err := GoldenSection(f, -5, 5, 1e-10, 200)
+	if err != nil {
+		t.Fatalf("GoldenSection: %v", err)
+	}
+	if math.Abs(x-1.3) > 1e-7 {
+		t.Errorf("min at %v, want 1.3", x)
+	}
+}
+
+func TestGoldenSectionPropertyQuadratic(t *testing.T) {
+	prop := func(c float64) bool {
+		c = math.Mod(c, 4) // min location in (-4, 4)
+		f := func(x float64) float64 { return (x - c) * (x - c) }
+		x, err := GoldenSection(f, -6, 6, 1e-10, 300)
+		return err == nil && math.Abs(x-c) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fv, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 4000})
+	if err != nil {
+		t.Fatalf("NelderMead: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]-1) > 1e-4 {
+		t.Errorf("min at %v (f=%v), want (1,1)", x, fv)
+	}
+}
+
+func TestNelderMeadInfeasibleRegion(t *testing.T) {
+	// +Inf outside the unit disk; min of (x-0.5)^2+(y-0.5)^2 is feasible.
+	f := func(x []float64) float64 {
+		if x[0]*x[0]+x[1]*x[1] > 1 {
+			return math.Inf(1)
+		}
+		dx, dy := x[0]-0.5, x[1]-0.5
+		return dx*dx + dy*dy
+	}
+	x, _, err := NelderMead(f, []float64{0.1, 0.1}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatalf("NelderMead: %v", err)
+	}
+	if math.Abs(x[0]-0.5) > 1e-4 || math.Abs(x[1]-0.5) > 1e-4 {
+		t.Errorf("min at %v, want (0.5,0.5)", x)
+	}
+}
+
+func TestNelderMeadAllInfeasible(t *testing.T) {
+	f := func(x []float64) float64 { return math.Inf(1) }
+	if _, _, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{MaxIter: 50, MaxRestart: 1}); err == nil {
+		t.Error("expected failure when no feasible point exists")
+	}
+}

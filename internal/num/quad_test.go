@@ -1,0 +1,41 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimpsonPolynomialExact(t *testing.T) {
+	// Simpson is exact for cubics.
+	f := func(x float64) float64 { return x*x*x - 2*x + 1 }
+	got := Simpson(f, 0, 2, 4)
+	want := 4.0 - 4 + 2 // ∫ = x^4/4 - x^2 + x over [0,2]
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Simpson = %v, want %v", got, want)
+	}
+}
+
+func TestAdaptiveSimpsonSin(t *testing.T) {
+	got := AdaptiveSimpson(math.Sin, 0, math.Pi, 1e-12)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("∫sin over [0,pi] = %v, want 2", got)
+	}
+}
+
+func TestAdaptiveSimpsonPeaked(t *testing.T) {
+	// Narrow Gaussian: adaptive refinement required.
+	f := func(x float64) float64 { return math.Exp(-1000 * (x - 0.5) * (x - 0.5)) }
+	got := AdaptiveSimpson(f, 0, 1, 1e-12)
+	want := math.Sqrt(math.Pi / 1000)
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("peaked integral = %v, want %v", got, want)
+	}
+}
+
+func TestSimpsonOddPanelsRounded(t *testing.T) {
+	// n is rounded up to even; result must still be finite and close.
+	got := Simpson(math.Cos, 0, 1, 3)
+	if math.Abs(got-math.Sin(1)) > 1e-4 {
+		t.Errorf("Simpson with odd n = %v, want %v", got, math.Sin(1))
+	}
+}

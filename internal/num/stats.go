@@ -1,0 +1,111 @@
+package num
+
+import "math"
+
+// Running accumulates streaming statistics of a sampled signal: extrema,
+// mean and rms over (possibly non-uniform) time steps using trapezoidal
+// time-weighting. It is used by simulation probes for peak/rms current.
+type Running struct {
+	n        int
+	tPrev    float64
+	vPrev    float64
+	duration float64
+	integral float64 // ∫ v dt
+	sqInt    float64 // ∫ v² dt
+	min, max float64
+}
+
+// NewRunning returns an empty accumulator.
+func NewRunning() *Running {
+	return &Running{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add appends a sample v at time t. Times must be non-decreasing.
+func (r *Running) Add(t, v float64) {
+	if r.n > 0 {
+		dt := t - r.tPrev
+		if dt > 0 {
+			r.duration += dt
+			r.integral += 0.5 * (v + r.vPrev) * dt
+			r.sqInt += 0.5 * (v*v + r.vPrev*r.vPrev) * dt
+		}
+	}
+	if v < r.min {
+		r.min = v
+	}
+	if v > r.max {
+		r.max = v
+	}
+	r.tPrev, r.vPrev = t, v
+	r.n++
+}
+
+// N returns the number of samples seen.
+func (r *Running) N() int { return r.n }
+
+// Min returns the smallest sample (+Inf when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (-Inf when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Peak returns the largest absolute sample value.
+func (r *Running) Peak() float64 {
+	return math.Max(math.Abs(r.min), math.Abs(r.max))
+}
+
+// Mean returns the time-weighted mean, or 0 when fewer than two samples.
+func (r *Running) Mean() float64 {
+	if r.duration == 0 {
+		return 0
+	}
+	return r.integral / r.duration
+}
+
+// RMS returns the time-weighted root-mean-square, or 0 when fewer than two
+// samples.
+func (r *Running) RMS() float64 {
+	if r.duration == 0 {
+		return 0
+	}
+	return math.Sqrt(r.sqInt / r.duration)
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Linspace returns n points uniformly spaced over [a, b] inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	d := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*d
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n points logarithmically spaced over [a, b] inclusive;
+// a and b must be positive.
+func Logspace(a, b float64, n int) []float64 {
+	la, lb := math.Log(a), math.Log(b)
+	pts := Linspace(la, lb, n)
+	for i, p := range pts {
+		pts[i] = math.Exp(p)
+	}
+	if n > 1 {
+		pts[0], pts[n-1] = a, b
+	}
+	return pts
+}

@@ -1,0 +1,279 @@
+// Package pade implements the paper's second-order (two-pole) Padé model of
+// the driver–interconnect–load stage, Eq. (2):
+//
+//	H(s) ≈ 1/(1 + b1·s + b2·s²)
+//
+// with the closed-form coefficients of Section 2.1, its exact step response,
+// the numerical f×100% delay solve of Eq. (3), damping classification,
+// overshoot/undershoot metrics, and the critical line inductance of Eq. (4).
+package pade
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlcint/internal/num"
+	"rlcint/internal/tline"
+)
+
+// Damping classifies the second-order response.
+type Damping int
+
+const (
+	Overdamped Damping = iota
+	CriticallyDamped
+	Underdamped
+)
+
+// String implements fmt.Stringer.
+func (d Damping) String() string {
+	switch d {
+	case Overdamped:
+		return "overdamped"
+	case CriticallyDamped:
+		return "critically damped"
+	case Underdamped:
+		return "underdamped"
+	}
+	return fmt.Sprintf("Damping(%d)", int(d))
+}
+
+// criticalTol is the relative width of the discriminant band treated as
+// critically damped; inside it the confluent step-response formula is used
+// to avoid catastrophic cancellation between nearly equal poles.
+const criticalTol = 1e-9
+
+// Model is a unit-gain two-pole lowpass 1/(1 + b1 s + b2 s²) with b1, b2 > 0
+// (a passive stage always yields positive coefficients).
+type Model struct {
+	B1, B2 float64
+}
+
+// New validates and constructs a Model.
+func New(b1, b2 float64) (Model, error) {
+	if !(b1 > 0) || !(b2 > 0) || math.IsInf(b1, 1) || math.IsInf(b2, 1) {
+		return Model{}, fmt.Errorf("pade: non-physical coefficients b1=%g b2=%g", b1, b2)
+	}
+	return Model{B1: b1, B2: b2}, nil
+}
+
+// FromStage builds the model for a driver–line–load stage using the paper's
+// closed-form b1 and b2 (equivalently, the first two moments of the exact
+// transfer function).
+func FromStage(st tline.Stage) (Model, error) {
+	d := st.DenominatorSeries(3)
+	return New(d[1], d[2])
+}
+
+// Discriminant returns b1² − 4·b2: negative for underdamped responses.
+func (m Model) Discriminant() float64 { return m.B1*m.B1 - 4*m.B2 }
+
+// Zeta returns the damping ratio ζ = b1/(2√b2).
+func (m Model) Zeta() float64 { return m.B1 / (2 * math.Sqrt(m.B2)) }
+
+// OmegaN returns the natural frequency ωn = 1/√b2 (rad/s).
+func (m Model) OmegaN() float64 { return 1 / math.Sqrt(m.B2) }
+
+// Damping classifies the response, treating a small relative band around
+// zero discriminant as critically damped.
+func (m Model) Damping() Damping {
+	d := m.Discriminant()
+	band := criticalTol * m.B1 * m.B1
+	switch {
+	case d > band:
+		return Overdamped
+	case d < -band:
+		return Underdamped
+	}
+	return CriticallyDamped
+}
+
+// Poles returns the two poles s1, s2 (complex conjugate when underdamped).
+// The real-pole case returns s1 >= s2 (s1 is the slow pole).
+func (m Model) Poles() (complex128, complex128) {
+	disc := m.Discriminant()
+	if disc >= 0 {
+		sq := math.Sqrt(disc)
+		s1 := (-m.B1 + sq) / (2 * m.B2)
+		s2 := (-m.B1 - sq) / (2 * m.B2)
+		return complex(s1, 0), complex(s2, 0)
+	}
+	re := -m.B1 / (2 * m.B2)
+	im := math.Sqrt(-disc) / (2 * m.B2)
+	return complex(re, im), complex(re, -im)
+}
+
+// Step evaluates the unit step response at time t:
+//
+//	v(t) = 1 − s2/(s2−s1)·exp(s1 t) + s1/(s2−s1)·exp(s2 t),
+//
+// using numerically safe real forms in each damping regime and the confluent
+// limit v(t) = 1 − (1 − s̄t)·exp(s̄t) near critical damping.
+func (m Model) Step(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	disc := m.Discriminant()
+	band := criticalTol * m.B1 * m.B1
+	switch {
+	case disc > band: // overdamped: two real poles
+		sq := math.Sqrt(disc)
+		s1 := (-m.B1 + sq) / (2 * m.B2) // slow pole
+		s2 := (-m.B1 - sq) / (2 * m.B2) // fast pole
+		d := s2 - s1
+		return 1 - s2/d*math.Exp(s1*t) + s1/d*math.Exp(s2*t)
+	case disc < -band: // underdamped: complex pair −α ± jβ
+		alpha := m.B1 / (2 * m.B2)
+		beta := math.Sqrt(-disc) / (2 * m.B2)
+		return 1 - math.Exp(-alpha*t)*(math.Cos(beta*t)+alpha/beta*math.Sin(beta*t))
+	default: // critically damped (confluent limit)
+		s := -m.B1 / (2 * m.B2)
+		return 1 - (1-s*t)*math.Exp(s*t)
+	}
+}
+
+// StepDeriv evaluates dv/dt of the unit step response at time t.
+func (m Model) StepDeriv(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	disc := m.Discriminant()
+	band := criticalTol * m.B1 * m.B1
+	switch {
+	case disc > band:
+		sq := math.Sqrt(disc)
+		s1 := (-m.B1 + sq) / (2 * m.B2)
+		s2 := (-m.B1 - sq) / (2 * m.B2)
+		d := s2 - s1
+		// v' = s1·s2/(s2−s1)·(exp(s2 t) − exp(s1 t)) ... derived from Step.
+		return -s1 * s2 / d * math.Exp(s1*t) * (1 - math.Exp((s2-s1)*t))
+	case disc < -band:
+		alpha := m.B1 / (2 * m.B2)
+		beta := math.Sqrt(-disc) / (2 * m.B2)
+		// v' = exp(−αt)·(α²+β²)/β·sin(βt)
+		return math.Exp(-alpha*t) * (alpha*alpha + beta*beta) / beta * math.Sin(beta*t)
+	default:
+		s := -m.B1 / (2 * m.B2)
+		return s * s * t * math.Exp(s*t)
+	}
+}
+
+// DelayResult carries the threshold delay and solver diagnostics.
+type DelayResult struct {
+	Tau        float64 // time of the first crossing of f
+	Iterations int     // Newton iterations used (the paper reports ≤ 4)
+}
+
+// ErrThreshold rejects delay thresholds outside [0, 1).
+var ErrThreshold = errors.New("pade: threshold must satisfy 0 <= f < 1")
+
+// Delay solves the paper's Eq. (3) for the f×100% delay: the first time at
+// which the unit step response reaches f. The root is bracketed by scanning
+// (so that, for underdamped responses, the first crossing rather than a
+// later one is found) and polished with safeguarded Newton.
+func (m Model) Delay(f float64) (DelayResult, error) {
+	if f < 0 || f >= 1 {
+		return DelayResult{}, fmt.Errorf("%w: f=%g", ErrThreshold, f)
+	}
+	if f == 0 {
+		return DelayResult{}, nil
+	}
+	g := func(t float64) float64 { return m.Step(t) - f }
+	// Characteristic time: the larger of the Elmore time and the natural
+	// period. Grow the scan window until the crossing is inside.
+	tScale := math.Max(m.B1, math.Sqrt(m.B2))
+	tmax := 4 * tScale
+	var lo, hi float64
+	var err error
+	for try := 0; ; try++ {
+		lo, hi, err = num.FirstCrossing(g, 0, tmax, 512)
+		if err == nil {
+			break
+		}
+		if try == 24 {
+			return DelayResult{}, fmt.Errorf("pade: Delay(f=%g): no crossing found up to t=%g: %w", f, tmax, err)
+		}
+		tmax *= 4
+	}
+	res, err := num.Newton1D(g, m.StepDeriv, lo, hi, 0.5*(lo+hi), 1e-14*tScale+1e-30, 60)
+	if err != nil {
+		// Fall back to Brent inside the bracket: Step is continuous, so this
+		// cannot fail once a bracket exists.
+		tau, berr := num.Brent(g, lo, hi, 1e-16*tScale, 200)
+		if berr != nil {
+			return DelayResult{}, fmt.Errorf("pade: Delay(f=%g): %w", f, berr)
+		}
+		return DelayResult{Tau: tau, Iterations: res.Iterations}, nil
+	}
+	return DelayResult{Tau: res.Root, Iterations: res.Iterations}, nil
+}
+
+// Overshoot returns the peak of the step response relative to the final
+// value (v_peak − 1, i.e. 0 for non-underdamped responses) and the time of
+// the peak (+Inf when there is no finite peak).
+func (m Model) Overshoot() (mag, tPeak float64) {
+	if m.Damping() != Underdamped {
+		return 0, math.Inf(1)
+	}
+	alpha := m.B1 / (2 * m.B2)
+	beta := math.Sqrt(-m.Discriminant()) / (2 * m.B2)
+	tPeak = math.Pi / beta
+	return math.Exp(-alpha * tPeak), tPeak
+}
+
+// Undershoot returns the depth of the first post-peak minimum below the
+// final value (1 − v_min ≥ 0 relative magnitude, 0 for non-underdamped) and
+// its time. This is the quantity the paper ties to false switching.
+func (m Model) Undershoot() (mag, tMin float64) {
+	if m.Damping() != Underdamped {
+		return 0, math.Inf(1)
+	}
+	alpha := m.B1 / (2 * m.B2)
+	beta := math.Sqrt(-m.Discriminant()) / (2 * m.B2)
+	tMin = 2 * math.Pi / beta
+	return math.Exp(-alpha * tMin), tMin
+}
+
+// SettleTime returns the time after which the response envelope stays within
+// ±tol of the final value (envelope-based, conservative for real poles).
+func (m Model) SettleTime(tol float64) float64 {
+	if tol <= 0 || tol >= 1 {
+		tol = 0.01
+	}
+	switch m.Damping() {
+	case Underdamped, CriticallyDamped:
+		alpha := m.B1 / (2 * m.B2)
+		// Envelope exp(−αt)·√(1+(α/β)²) ≤ exp(−αt)/ sin(acos ζ); use the
+		// standard ζ-corrected bound, clamped for near-critical ζ.
+		zeta := math.Min(m.Zeta(), 0.999)
+		return -math.Log(tol*math.Sqrt(1-zeta*zeta)) / alpha
+	default:
+		// Slow pole dominates; include its residue amplitude |s2/(s2−s1)|.
+		sq := math.Sqrt(m.Discriminant())
+		s1 := (-m.B1 + sq) / (2 * m.B2)
+		s2 := (-m.B1 - sq) / (2 * m.B2)
+		amp := math.Abs(s2 / (s2 - s1))
+		return math.Log(amp/tol) / -s1
+	}
+}
+
+// LCrit computes the paper's Eq. (4): the per-unit-length line inductance
+// that makes the stage critically damped at the given geometry and sizing.
+// All other stage parameters are taken from st; st.Line.L is ignored.
+// The result may be negative, meaning the stage is underdamped even with a
+// zero-inductance line (cannot happen for physical b1², but kept signed for
+// diagnostic use).
+func LCrit(st tline.Stage) float64 {
+	r, c := st.Line.R, st.Line.C
+	h := st.H
+	rs, cp, cl := st.RS, st.CP, st.CL
+	b1 := rs*(cp+cl) + r*c*h*h/2 + rs*c*h + cl*r*h
+	num := b1*b1/4 -
+		r*r*c*c*h*h*h*h/24 -
+		rs*(cp+cl)*r*c*h*h/2 -
+		(rs*c*h+cl*r*h)*r*c*h*h/6 -
+		rs*cp*cl*r*h
+	den := c*h*h/2 + cl*h
+	return num / den
+}

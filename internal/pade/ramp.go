@@ -1,0 +1,88 @@
+package pade
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rlcint/internal/num"
+)
+
+// StepIntegral evaluates I(t) = ∫₀ᵗ v(u) du of the unit step response in
+// closed form. It is the building block for finite-rise-time (saturated
+// ramp) inputs: the paper analyzes step inputs, but real repeater outputs
+// have finite transition times, and by linearity the ramp response is
+// (I(t) − I(t − t_r))/t_r.
+func (m Model) StepIntegral(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	disc := m.Discriminant()
+	band := criticalTol * m.B1 * m.B1
+	ct := complex(t, 0)
+	if math.Abs(disc) <= band {
+		// Confluent double pole s: I(t) = t − [2(e^{st}−1)/s − t·e^{st}].
+		s := complex(-m.B1/(2*m.B2), 0)
+		e := cmplx.Exp(s * ct)
+		return t - real(2*(e-1)/s-ct*e)
+	}
+	sq := cmplx.Sqrt(complex(disc, 0))
+	cb1, cb2 := complex(m.B1, 0), complex(m.B2, 0)
+	s1 := (-cb1 + sq) / (2 * cb2)
+	s2 := (-cb1 - sq) / (2 * cb2)
+	d := s2 - s1
+	// I(t) = t − s2/(d·s1)·(e^{s1 t}−1) + s1/(d·s2)·(e^{s2 t}−1); real for
+	// conjugate pairs.
+	v := ct - s2/(d*s1)*(cmplx.Exp(s1*ct)-1) + s1/(d*s2)*(cmplx.Exp(s2*ct)-1)
+	return real(v)
+}
+
+// Ramp evaluates the response to a saturated-ramp input that rises linearly
+// from 0 to 1 over tRise (a step when tRise = 0).
+func (m Model) Ramp(t, tRise float64) float64 {
+	if tRise <= 0 {
+		return m.Step(t)
+	}
+	if t <= 0 {
+		return 0
+	}
+	if t <= tRise {
+		return m.StepIntegral(t) / tRise
+	}
+	return (m.StepIntegral(t) - m.StepIntegral(t-tRise)) / tRise
+}
+
+// DelayRamp returns the f×100% propagation delay for a saturated-ramp input:
+// the time from the input's crossing of f (at f·tRise) to the output's first
+// crossing of f. With tRise = 0 it reduces to Delay.
+func (m Model) DelayRamp(f, tRise float64) (DelayResult, error) {
+	if tRise < 0 {
+		return DelayResult{}, fmt.Errorf("pade: negative rise time %g", tRise)
+	}
+	if tRise == 0 {
+		return m.Delay(f)
+	}
+	if f <= 0 || f >= 1 {
+		return DelayResult{}, fmt.Errorf("%w: f=%g", ErrThreshold, f)
+	}
+	g := func(t float64) float64 { return m.Ramp(t, tRise) - f }
+	tScale := math.Max(m.B1, math.Sqrt(m.B2)) + tRise
+	tmax := 4 * tScale
+	var lo, hi float64
+	var err error
+	for try := 0; ; try++ {
+		lo, hi, err = num.FirstCrossing(g, 0, tmax, 512)
+		if err == nil {
+			break
+		}
+		if try == 24 {
+			return DelayResult{}, fmt.Errorf("pade: DelayRamp(f=%g, tr=%g): %w", f, tRise, err)
+		}
+		tmax *= 4
+	}
+	root, err := num.Brent(g, lo, hi, 1e-15*tScale, 200)
+	if err != nil {
+		return DelayResult{}, err
+	}
+	return DelayResult{Tau: root - f*tRise}, nil
+}

@@ -1,0 +1,133 @@
+package pade
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/num"
+)
+
+func TestStepIntegralMatchesQuadrature(t *testing.T) {
+	for _, c := range [][2]float64{{3, 1}, {2, 1}, {1, 1}, {0.4, 1}} {
+		m, _ := New(c[0], c[1])
+		for _, tt := range []float64{0.5, 2, 6} {
+			want := num.AdaptiveSimpson(m.Step, 0, tt, 1e-12)
+			got := m.StepIntegral(tt)
+			if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+				t.Errorf("b=%v t=%v: integral %v, quadrature %v", c, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestStepIntegralNonNegativeAndZeroAtOrigin(t *testing.T) {
+	m, _ := New(1, 1)
+	if m.StepIntegral(0) != 0 || m.StepIntegral(-3) != 0 {
+		t.Error("integral must vanish for t <= 0")
+	}
+}
+
+func TestRampReducesToStep(t *testing.T) {
+	m, _ := New(1.2, 1)
+	for _, tt := range []float64{0.5, 1.5, 4} {
+		if m.Ramp(tt, 0) != m.Step(tt) {
+			t.Errorf("Ramp with tRise=0 differs from Step at %v", tt)
+		}
+	}
+	// Very short rise time converges to the step response.
+	for _, tt := range []float64{1, 3} {
+		if d := math.Abs(m.Ramp(tt, 1e-4) - m.Step(tt)); d > 1e-3 {
+			t.Errorf("short-ramp mismatch %v at t=%v", d, tt)
+		}
+	}
+}
+
+func TestRampSmoothsOvershoot(t *testing.T) {
+	// A slow input ramp reduces the output overshoot of an underdamped
+	// stage — the physical reason rise times matter for signal integrity.
+	m, _ := New(0.6, 1)
+	peakStep, peakRamp := 0.0, 0.0
+	for _, tt := range num.Linspace(0, 30, 3000) {
+		if v := m.Step(tt); v > peakStep {
+			peakStep = v
+		}
+		if v := m.Ramp(tt, 4); v > peakRamp {
+			peakRamp = v
+		}
+	}
+	if peakStep <= 1.05 {
+		t.Fatalf("test premise: step must overshoot, peak=%v", peakStep)
+	}
+	if peakRamp >= peakStep-0.02 {
+		t.Errorf("ramp did not smooth overshoot: %v vs %v", peakRamp, peakStep)
+	}
+}
+
+func TestRampFinalValue(t *testing.T) {
+	m, _ := New(2, 1)
+	if v := m.Ramp(200, 3); math.Abs(v-1) > 1e-6 {
+		t.Errorf("ramp final value %v", v)
+	}
+}
+
+func TestDelayRampReducesToDelay(t *testing.T) {
+	m, _ := New(1.5, 1)
+	d0, err := m.Delay(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := m.DelayRamp(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Tau != d0.Tau {
+		t.Errorf("tRise=0: %v vs %v", dr.Tau, d0.Tau)
+	}
+	ds, err := m.DelayRamp(0.5, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ds.Tau-d0.Tau) > 1e-3 {
+		t.Errorf("tiny rise time: %v vs %v", ds.Tau, d0.Tau)
+	}
+}
+
+func TestDelayRampGrowsWithRiseTime(t *testing.T) {
+	// For overdamped stages, slower inputs give longer 50% propagation
+	// delays (measured input-crossing to output-crossing).
+	m, _ := New(3, 1)
+	prev := -math.MaxFloat64
+	for _, tr := range []float64{0, 1, 3, 8} {
+		d, err := m.DelayRamp(0.5, tr)
+		if err != nil {
+			t.Fatalf("tr=%v: %v", tr, err)
+		}
+		if d.Tau <= prev {
+			t.Errorf("tr=%v: delay %v did not grow (prev %v)", tr, d.Tau, prev)
+		}
+		prev = d.Tau
+	}
+}
+
+func TestDelayRampValidation(t *testing.T) {
+	m, _ := New(2, 1)
+	if _, err := m.DelayRamp(0.5, -1); err == nil {
+		t.Error("negative rise time must fail")
+	}
+	if _, err := m.DelayRamp(0, 1); err == nil {
+		t.Error("f=0 must fail for ramp")
+	}
+}
+
+func TestRampPropertyMonotoneBelowFirstPeak(t *testing.T) {
+	// Ramp output of an overdamped system is monotone.
+	m, _ := New(4, 1)
+	prev := -1.0
+	for _, tt := range num.Linspace(0, 40, 2000) {
+		v := m.Ramp(tt, 5)
+		if v < prev-1e-10 {
+			t.Fatalf("overdamped ramp response not monotone at %v", tt)
+		}
+		prev = v
+	}
+}

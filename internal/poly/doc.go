@@ -1,0 +1,6 @@
+// Package poly implements real- and complex-coefficient polynomial
+// arithmetic and root finding. The moment-matching (AWE) machinery builds
+// denominator polynomials in the complex frequency s whose roots are the
+// approximating poles; those roots are found here with closed forms for
+// degree <= 3 and the Aberth–Ehrlich simultaneous iteration above that.
+package poly

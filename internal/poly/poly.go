@@ -1,0 +1,300 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Poly is a real polynomial stored as ascending coefficients:
+// p(x) = C[0] + C[1] x + C[2] x^2 + ...
+type Poly struct {
+	C []float64
+}
+
+// New returns the polynomial with the given ascending coefficients.
+func New(coeffs ...float64) Poly {
+	return Poly{C: append([]float64(nil), coeffs...)}
+}
+
+// Degree returns the degree after trimming trailing zero coefficients;
+// the zero polynomial has degree -1.
+func (p Poly) Degree() int {
+	for i := len(p.C) - 1; i >= 0; i-- {
+		if p.C[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trim returns p with trailing zero coefficients removed.
+func (p Poly) Trim() Poly {
+	d := p.Degree()
+	return Poly{C: append([]float64(nil), p.C[:d+1]...)}
+}
+
+// Eval evaluates p at x with Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	s := 0.0
+	for i := len(p.C) - 1; i >= 0; i-- {
+		s = s*x + p.C[i]
+	}
+	return s
+}
+
+// EvalC evaluates p at a complex point.
+func (p Poly) EvalC(x complex128) complex128 {
+	s := complex(0, 0)
+	for i := len(p.C) - 1; i >= 0; i-- {
+		s = s*x + complex(p.C[i], 0)
+	}
+	return s
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p.C)
+	if len(q.C) > n {
+		n = len(q.C)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(p.C) {
+			out[i] += p.C[i]
+		}
+		if i < len(q.C) {
+			out[i] += q.C[i]
+		}
+	}
+	return Poly{C: out}
+}
+
+// Scale returns a*p.
+func (p Poly) Scale(a float64) Poly {
+	out := make([]float64, len(p.C))
+	for i, c := range p.C {
+		out[i] = a * c
+	}
+	return Poly{C: out}
+}
+
+// Mul returns the product p*q.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p.C) == 0 || len(q.C) == 0 {
+		return Poly{}
+	}
+	out := make([]float64, len(p.C)+len(q.C)-1)
+	for i, a := range p.C {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q.C {
+			out[i+j] += a * b
+		}
+	}
+	return Poly{C: out}
+}
+
+// MulTrunc returns p*q truncated to terms of degree < n. Moment expansions
+// use this to avoid carrying orders that are later discarded.
+func (p Poly) MulTrunc(q Poly, n int) Poly {
+	out := make([]float64, n)
+	for i, a := range p.C {
+		if a == 0 || i >= n {
+			continue
+		}
+		for j, b := range q.C {
+			if i+j >= n {
+				break
+			}
+			out[i+j] += a * b
+		}
+	}
+	return Poly{C: out}
+}
+
+// Deriv returns dp/dx.
+func (p Poly) Deriv() Poly {
+	if len(p.C) <= 1 {
+		return Poly{C: []float64{0}}
+	}
+	out := make([]float64, len(p.C)-1)
+	for i := 1; i < len(p.C); i++ {
+		out[i-1] = float64(i) * p.C[i]
+	}
+	return Poly{C: out}
+}
+
+// String renders the polynomial for diagnostics.
+func (p Poly) String() string {
+	if p.Degree() < 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i, c := range p.C {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		first = false
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%g", c)
+		case 1:
+			fmt.Fprintf(&b, "%g*x", c)
+		default:
+			fmt.Fprintf(&b, "%g*x^%d", c, i)
+		}
+	}
+	return b.String()
+}
+
+// SeriesInverse returns the power-series inverse of p to n terms, i.e. q
+// with p*q = 1 + O(x^n). p.C[0] must be nonzero.
+func (p Poly) SeriesInverse(n int) (Poly, error) {
+	if len(p.C) == 0 || p.C[0] == 0 {
+		return Poly{}, fmt.Errorf("poly: SeriesInverse requires nonzero constant term")
+	}
+	q := make([]float64, n)
+	q[0] = 1 / p.C[0]
+	for k := 1; k < n; k++ {
+		s := 0.0
+		for j := 1; j <= k && j < len(p.C); j++ {
+			s += p.C[j] * q[k-j]
+		}
+		q[k] = -s / p.C[0]
+	}
+	return Poly{C: q}, nil
+}
+
+// RootsQuadratic returns the two roots of c0 + c1 x + c2 x^2 using the
+// numerically stable citardauq/quadratic split. c2 must be nonzero.
+func RootsQuadratic(c0, c1, c2 float64) (complex128, complex128) {
+	disc := c1*c1 - 4*c2*c0
+	if disc >= 0 {
+		sq := math.Sqrt(disc)
+		var q float64
+		if c1 >= 0 {
+			q = -0.5 * (c1 + sq)
+		} else {
+			q = -0.5 * (c1 - sq)
+		}
+		r1 := complex(q/c2, 0)
+		var r2 complex128
+		if q != 0 {
+			r2 = complex(c0/q, 0)
+		} else {
+			r2 = complex(0, 0)
+		}
+		return r1, r2
+	}
+	sq := math.Sqrt(-disc)
+	re := -c1 / (2 * c2)
+	im := sq / (2 * c2)
+	return complex(re, im), complex(re, -im)
+}
+
+// Roots returns all complex roots of p (with multiplicity) using closed
+// forms for degree <= 2 and the Aberth–Ehrlich iteration otherwise.
+func (p Poly) Roots() ([]complex128, error) {
+	q := p.Trim()
+	d := q.Degree()
+	switch {
+	case d <= 0:
+		return nil, nil
+	case d == 1:
+		return []complex128{complex(-q.C[0]/q.C[1], 0)}, nil
+	case d == 2:
+		r1, r2 := RootsQuadratic(q.C[0], q.C[1], q.C[2])
+		return []complex128{r1, r2}, nil
+	}
+	return aberth(q)
+}
+
+// aberth runs the Aberth–Ehrlich simultaneous root iteration.
+func aberth(p Poly) ([]complex128, error) {
+	d := p.Degree()
+	dp := p.Deriv()
+	// Initial guesses: scaled circle with irrational angular offset to break
+	// symmetry (classic choice).
+	radius := rootRadius(p)
+	z := make([]complex128, d)
+	for i := range z {
+		ang := 2*math.Pi*float64(i)/float64(d) + 0.4
+		z[i] = cmplx.Rect(radius, ang)
+	}
+	const maxIter = 200
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range z {
+			pz := p.EvalC(z[i])
+			dpz := dp.EvalC(z[i])
+			if dpz == 0 {
+				z[i] += complex(1e-8*radius, 1e-8*radius)
+				maxStep = math.Inf(1)
+				continue
+			}
+			newton := pz / dpz
+			sum := complex(0, 0)
+			for j := range z {
+				if j != i {
+					diff := z[i] - z[j]
+					if diff == 0 {
+						diff = complex(1e-20, 0)
+					}
+					sum += 1 / diff
+				}
+			}
+			w := newton / (1 - newton*sum)
+			z[i] -= w
+			if s := cmplx.Abs(w); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < 1e-14*radius {
+			return polish(p, dp, z), nil
+		}
+	}
+	// Accept if residuals are small even without step convergence.
+	z = polish(p, dp, z)
+	scale := cmplx.Abs(p.EvalC(complex(radius, 0))) + math.Abs(p.C[d])
+	for _, zi := range z {
+		if cmplx.Abs(p.EvalC(zi)) > 1e-6*scale {
+			return z, fmt.Errorf("poly: Aberth did not converge for degree-%d polynomial", d)
+		}
+	}
+	return z, nil
+}
+
+// polish applies a few Newton steps to each root estimate.
+func polish(p, dp Poly, z []complex128) []complex128 {
+	for i := range z {
+		for k := 0; k < 3; k++ {
+			dpz := dp.EvalC(z[i])
+			if dpz == 0 {
+				break
+			}
+			z[i] -= p.EvalC(z[i]) / dpz
+		}
+	}
+	return z
+}
+
+// rootRadius returns the Cauchy bound on root magnitudes, used to size the
+// initial Aberth circle.
+func rootRadius(p Poly) float64 {
+	d := p.Degree()
+	lead := math.Abs(p.C[d])
+	m := 0.0
+	for i := 0; i < d; i++ {
+		if v := math.Abs(p.C[i]) / lead; v > m {
+			m = v
+		}
+	}
+	return 1 + m
+}

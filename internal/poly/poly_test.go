@@ -1,0 +1,222 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalHorner(t *testing.T) {
+	p := New(1, -3, 2) // 1 - 3x + 2x^2
+	if got := p.Eval(2); got != 3 {
+		t.Errorf("p(2) = %v, want 3", got)
+	}
+	if got := p.EvalC(complex(0, 1)); cmplx.Abs(got-complex(-1, -3)) > 1e-15 {
+		// 1 - 3i + 2(i^2) = -1 - 3i
+		t.Errorf("p(i) = %v, want -1-3i", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	p := New(1, 2)    // 1 + 2x
+	q := New(3, 0, 1) // 3 + x^2
+	sum := p.Add(q)
+	if sum.Eval(2) != p.Eval(2)+q.Eval(2) {
+		t.Error("Add mismatch")
+	}
+	prod := p.Mul(q)
+	if prod.Eval(1.5) != p.Eval(1.5)*q.Eval(1.5) {
+		t.Error("Mul mismatch")
+	}
+	if got := p.Scale(2).Eval(3); got != 2*p.Eval(3) {
+		t.Errorf("Scale: %v", got)
+	}
+}
+
+func TestMulTrunc(t *testing.T) {
+	p := New(1, 1, 1, 1)
+	q := New(1, 2, 3)
+	full := p.Mul(q)
+	tr := p.MulTrunc(q, 3)
+	for i := 0; i < 3; i++ {
+		if tr.C[i] != full.C[i] {
+			t.Errorf("coeff %d: %v != %v", i, tr.C[i], full.C[i])
+		}
+	}
+	if len(tr.C) != 3 {
+		t.Errorf("len = %d, want 3", len(tr.C))
+	}
+}
+
+func TestDeriv(t *testing.T) {
+	p := New(5, 3, 0, 2) // 5 + 3x + 2x^3
+	d := p.Deriv()       // 3 + 6x^2
+	if d.Eval(2) != 27 {
+		t.Errorf("p'(2) = %v, want 27", d.Eval(2))
+	}
+	c := New(7).Deriv()
+	if c.Degree() > 0 || c.Eval(1) != 0 {
+		t.Error("derivative of constant should be 0")
+	}
+}
+
+func TestSeriesInverse(t *testing.T) {
+	p := New(1, 1) // 1+x; inverse series 1 - x + x^2 - ...
+	inv, err := p.SeriesInverse(5)
+	if err != nil {
+		t.Fatalf("SeriesInverse: %v", err)
+	}
+	want := []float64{1, -1, 1, -1, 1}
+	for i := range want {
+		if math.Abs(inv.C[i]-want[i]) > 1e-14 {
+			t.Errorf("inv[%d] = %v, want %v", i, inv.C[i], want[i])
+		}
+	}
+	// p * inv = 1 + O(x^5)
+	prod := p.MulTrunc(inv, 5)
+	if math.Abs(prod.C[0]-1) > 1e-14 {
+		t.Error("constant term of product != 1")
+	}
+	for i := 1; i < 5; i++ {
+		if math.Abs(prod.C[i]) > 1e-14 {
+			t.Errorf("product coeff %d = %v, want 0", i, prod.C[i])
+		}
+	}
+	if _, err := New(0, 1).SeriesInverse(3); err == nil {
+		t.Error("expected error for zero constant term")
+	}
+}
+
+func TestRootsQuadraticRealAndComplex(t *testing.T) {
+	r1, r2 := RootsQuadratic(6, -5, 1) // (x-2)(x-3)
+	got := []float64{real(r1), real(r2)}
+	sort.Float64s(got)
+	if math.Abs(got[0]-2) > 1e-12 || math.Abs(got[1]-3) > 1e-12 {
+		t.Errorf("roots %v, want 2 and 3", got)
+	}
+	r1, r2 = RootsQuadratic(5, 2, 1) // x^2+2x+5 => -1±2i
+	if math.Abs(real(r1)+1) > 1e-12 || math.Abs(imag(r1)-2) > 1e-12 {
+		t.Errorf("complex root %v, want -1+2i", r1)
+	}
+	if r2 != cmplx.Conj(r1) {
+		t.Errorf("roots not conjugate: %v %v", r1, r2)
+	}
+}
+
+func TestRootsQuadraticCancellation(t *testing.T) {
+	// b^2 >> 4ac: the naive formula loses the small root; citardauq keeps it.
+	r1, r2 := RootsQuadratic(1, 1e8, 1)
+	small := math.Min(cmplx.Abs(r1), cmplx.Abs(r2))
+	if math.Abs(small-1e-8) > 1e-14 {
+		t.Errorf("small root magnitude = %v, want 1e-8", small)
+	}
+}
+
+func TestRootsHighDegree(t *testing.T) {
+	// (x-1)(x-2)(x-3)(x-4)(x-5) expanded.
+	p := New(-120, 274, -225, 85, -15, 1)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatalf("Roots: %v", err)
+	}
+	got := make([]float64, len(roots))
+	for i, r := range roots {
+		if math.Abs(imag(r)) > 1e-6 {
+			t.Errorf("unexpected imaginary part: %v", r)
+		}
+		got[i] = real(r)
+	}
+	sort.Float64s(got)
+	for i, want := range []float64{1, 2, 3, 4, 5} {
+		if math.Abs(got[i]-want) > 1e-7 {
+			t.Errorf("root %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRootsComplexPairs(t *testing.T) {
+	// (x^2+1)(x^2+4) = 4 + 5x^2 + x^4, roots ±i, ±2i.
+	p := New(4, 0, 5, 0, 1)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatalf("Roots: %v", err)
+	}
+	mags := make([]float64, len(roots))
+	for i, r := range roots {
+		if math.Abs(real(r)) > 1e-8 {
+			t.Errorf("root %v should be purely imaginary", r)
+		}
+		mags[i] = cmplx.Abs(r)
+	}
+	sort.Float64s(mags)
+	want := []float64{1, 1, 2, 2}
+	for i := range want {
+		if math.Abs(mags[i]-want[i]) > 1e-8 {
+			t.Errorf("magnitude %d = %v, want %v", i, mags[i], want[i])
+		}
+	}
+}
+
+func TestRootsDegenerate(t *testing.T) {
+	if r, err := New(5).Roots(); err != nil || len(r) != 0 {
+		t.Errorf("constant roots: %v, %v", r, err)
+	}
+	r, err := New(6, 2).Roots() // 6+2x => root -3
+	if err != nil || len(r) != 1 || math.Abs(real(r[0])+3) > 1e-14 {
+		t.Errorf("linear root: %v, %v", r, err)
+	}
+}
+
+func TestRootsPropertyResidual(t *testing.T) {
+	// Property: every reported root has a tiny relative residual.
+	prop := func(c0, c1, c2, c3 float64) bool {
+		clampc := func(x float64) float64 {
+			x = math.Mod(x, 100)
+			if math.IsNaN(x) {
+				return 1
+			}
+			return x
+		}
+		p := New(clampc(c0), clampc(c1), clampc(c2), clampc(c3), 1)
+		roots, err := p.Roots()
+		if err != nil {
+			return false
+		}
+		scale := 0.0
+		for _, c := range p.C {
+			scale += math.Abs(c)
+		}
+		for _, r := range roots {
+			m := cmplx.Abs(r)
+			bound := 1e-6 * scale * math.Pow(math.Max(m, 1), 4)
+			if cmplx.Abs(p.EvalC(r)) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimDegreeString(t *testing.T) {
+	p := Poly{C: []float64{1, 2, 0, 0}}
+	if p.Degree() != 1 {
+		t.Errorf("degree = %d, want 1", p.Degree())
+	}
+	if tr := p.Trim(); len(tr.C) != 2 {
+		t.Errorf("trim len = %d, want 2", len(tr.C))
+	}
+	if (Poly{}).Degree() != -1 {
+		t.Error("zero polynomial degree should be -1")
+	}
+	if s := New(0).String(); s != "0" {
+		t.Errorf("String() of zero = %q", s)
+	}
+	if s := New(1, -2, 3).String(); s == "" {
+		t.Error("String() empty")
+	}
+}

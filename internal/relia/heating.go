@@ -1,0 +1,47 @@
+package relia
+
+import (
+	"fmt"
+
+	"rlcint/internal/tech"
+)
+
+// KOxide is the thermal conductivity of the interlayer dielectric, W/(m·K).
+// SiO2 sits near 1.4; low-k dielectrics are worse (the paper's [28] makes
+// this the coming problem for scaled interconnects).
+const KOxide = 1.4
+
+// HeatReport quantifies steady-state Joule self-heating of a wire over the
+// insulator stack, following the one-dimensional model of Banerjee et al.
+// [28]: the dissipated density j²ρ conducts through the insulator of
+// thickness t_ins to the substrate,
+//
+//	ΔT = j_rms²·ρ·t_metal·t_ins / k_ins.
+type HeatReport struct {
+	DeltaT   float64 // steady self-heating temperature rise, K
+	Power    float64 // dissipated power per unit length, W/m
+	Critical bool    // exceeds MaxSelfHeating
+}
+
+// MaxSelfHeating is the self-heating screen, K. Design practice keeps wire
+// self-heating to a few kelvin so that electromigration budgets (strongly
+// Arrhenius in temperature) hold.
+const MaxSelfHeating = 10.0
+
+// SelfHeating evaluates the steady-state temperature rise of a node's
+// top-metal wire carrying the given rms current density (A/m²).
+func SelfHeating(node tech.Node, rmsJ float64) (HeatReport, error) {
+	if err := node.Validate(); err != nil {
+		return HeatReport{}, err
+	}
+	if rmsJ < 0 {
+		return HeatReport{}, fmt.Errorf("relia: negative current density %g", rmsJ)
+	}
+	rho := node.R * node.CrossSectionArea() // implied resistivity, Ω·m
+	dT := rmsJ * rmsJ * rho * node.Height * node.TIns / KOxide
+	return HeatReport{
+		DeltaT:   dT,
+		Power:    rmsJ * rmsJ * rho * node.CrossSectionArea(),
+		Critical: dT > MaxSelfHeating,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package relia
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+func TestSelfHeatingPaperOperatingPoint(t *testing.T) {
+	// The measured ring-oscillator rms density (~1e9 A/m² = 0.1 MA/cm²)
+	// produces negligible self-heating — consistent with the paper's
+	// conclusion that inductance does not endanger wire reliability.
+	rep, err := SelfHeating(tech.Node100(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaT > 1.0 || rep.Critical {
+		t.Errorf("paper-scale density heats by %v K, expected negligible", rep.DeltaT)
+	}
+	if rep.Power <= 0 {
+		t.Error("power must be positive for nonzero current")
+	}
+}
+
+func TestSelfHeatingQuadraticInJ(t *testing.T) {
+	a, _ := SelfHeating(tech.Node100(), 1e10)
+	b, _ := SelfHeating(tech.Node100(), 2e10)
+	if math.Abs(b.DeltaT/a.DeltaT-4) > 1e-9 {
+		t.Errorf("heating not quadratic: ratio %v", b.DeltaT/a.DeltaT)
+	}
+}
+
+func TestSelfHeatingCriticalAtEMLimitScale(t *testing.T) {
+	// At ~10× the EM rms screen, self-heating becomes critical — the two
+	// screens are mutually consistent in ordering.
+	rep, err := SelfHeating(tech.Node100(), 10*JRMSLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Critical {
+		t.Errorf("10× EM limit heats by only %v K — screen ordering broken", rep.DeltaT)
+	}
+}
+
+func TestSelfHeatingValidation(t *testing.T) {
+	if _, err := SelfHeating(tech.Node100(), -1); err == nil {
+		t.Error("negative density must fail")
+	}
+	bad := tech.Node100()
+	bad.R = 0
+	if _, err := SelfHeating(bad, 1); err == nil {
+		t.Error("invalid node must fail")
+	}
+	zero, err := SelfHeating(tech.Node250(), 0)
+	if err != nil || zero.DeltaT != 0 {
+		t.Errorf("zero current: %+v, %v", zero, err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package relia implements the paper's Section 3.3.2 reliability checks:
+// gate-oxide overstress caused by inductive overshoot at repeater inputs,
+// and wire self-heating / electromigration screening of peak and rms current
+// densities following Banerjee et al., DAC 1999 [28].
+package relia
+
+import (
+	"fmt"
+
+	"rlcint/internal/tech"
+)
+
+// Default screening limits. They are representative of late-1990s design
+// rules (the paper's context): oxide fields above ~7 MV/cm risk rapid
+// wear-out, and DSM design practice held operating fields near 4–5 MV/cm;
+// copper interconnect electromigration screens at ~2 MA/cm² rms with
+// self-heating limiting peaks an order of magnitude higher.
+const (
+	// OxideFieldLimit is the sustained-oxide-field design limit, V/m
+	// (5 MV/cm).
+	OxideFieldLimit = 5e8
+	// OxideFieldCritical is the rapid-wear-out threshold, V/m (7 MV/cm).
+	OxideFieldCritical = 7e8
+	// JRMSLimit is the rms current-density screen for Joule heating and
+	// electromigration, A/m² (2 MA/cm²).
+	JRMSLimit = 2e10
+	// JPeakLimit is the peak current-density screen, A/m² (20 MA/cm²).
+	JPeakLimit = 2e11
+)
+
+// OxideReport assesses gate-oxide stress at a repeater input that sees
+// inductive overshoot above the supply.
+type OxideReport struct {
+	VGateMax  float64 // worst-case gate voltage, V
+	Field     float64 // oxide field at the worst case, V/m
+	FieldVDD  float64 // oxide field with no overshoot, V/m
+	Margin    float64 // Field / OxideFieldLimit
+	OverLimit bool    // exceeds the design limit
+	Critical  bool    // exceeds the rapid-wear-out threshold
+}
+
+// CheckOxide evaluates oxide stress for a node's devices given the measured
+// overshoot (V above VDD) at a repeater input.
+func CheckOxide(node tech.Node, overshootV float64) (OxideReport, error) {
+	if err := node.Validate(); err != nil {
+		return OxideReport{}, err
+	}
+	if node.Tox <= 0 {
+		return OxideReport{}, fmt.Errorf("relia: node %s has no oxide thickness", node.Name)
+	}
+	if overshootV < 0 {
+		return OxideReport{}, fmt.Errorf("relia: negative overshoot %g", overshootV)
+	}
+	vg := node.VDD + overshootV
+	r := OxideReport{
+		VGateMax: vg,
+		Field:    vg / node.Tox,
+		FieldVDD: node.VDD / node.Tox,
+	}
+	r.Margin = r.Field / OxideFieldLimit
+	r.OverLimit = r.Field > OxideFieldLimit
+	r.Critical = r.Field > OxideFieldCritical
+	return r, nil
+}
+
+// WireReport screens interconnect current densities against the Joule-
+// heating / electromigration limits of [28].
+type WireReport struct {
+	PeakJ, RMSJ           float64 // measured, A/m²
+	PeakMargin, RMSMargin float64 // measured / limit
+	PeakOver, RMSOver     bool
+}
+
+// CheckWire screens the given peak and rms current densities (A/m²).
+func CheckWire(peakJ, rmsJ float64) (WireReport, error) {
+	if peakJ < 0 || rmsJ < 0 || rmsJ > peakJ && peakJ > 0 {
+		return WireReport{}, fmt.Errorf("relia: implausible densities peak=%g rms=%g", peakJ, rmsJ)
+	}
+	return WireReport{
+		PeakJ: peakJ, RMSJ: rmsJ,
+		PeakMargin: peakJ / JPeakLimit,
+		RMSMargin:  rmsJ / JRMSLimit,
+		PeakOver:   peakJ > JPeakLimit,
+		RMSOver:    rmsJ > JRMSLimit,
+	}, nil
+}

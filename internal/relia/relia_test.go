@@ -1,0 +1,96 @@
+package relia
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+func TestCheckOxideNoOvershoot(t *testing.T) {
+	// With no overshoot both nodes sit at or below the design limit:
+	// supplies scale with tox exactly to keep the field sustainable (the
+	// scaling rule the paper cites from [27]).
+	for _, n := range tech.Nodes() {
+		r, err := CheckOxide(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Field != r.FieldVDD {
+			t.Errorf("%s: field %v != fieldVDD %v with zero overshoot", n.Name, r.Field, r.FieldVDD)
+		}
+		if r.Critical {
+			t.Errorf("%s: nominal operation flagged critical (field %v V/m)", n.Name, r.Field)
+		}
+	}
+}
+
+func TestCheckOxideOvershootRaisesField(t *testing.T) {
+	n := tech.Node100()
+	base, _ := CheckOxide(n, 0)
+	over, err := CheckOxide(n, 0.5*n.VDD) // 50% overshoot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Field <= base.Field {
+		t.Error("overshoot must raise the field")
+	}
+	if want := 1.5 * base.Field; math.Abs(over.Field-want) > 1e-6*want {
+		t.Errorf("field %v, want %v", over.Field, want)
+	}
+	// A 50% overshoot at 100 nm pushes past the design limit.
+	if !over.OverLimit {
+		t.Errorf("field %v V/m should exceed the %v design limit", over.Field, float64(OxideFieldLimit))
+	}
+}
+
+func TestCheckOxideValidation(t *testing.T) {
+	if _, err := CheckOxide(tech.Node100(), -0.1); err == nil {
+		t.Error("negative overshoot must fail")
+	}
+	bad := tech.Node100()
+	bad.Tox = 0
+	if _, err := CheckOxide(bad, 0); err == nil {
+		t.Error("zero tox must fail")
+	}
+	bad2 := tech.Node100()
+	bad2.VDD = -1
+	if _, err := CheckOxide(bad2, 0); err == nil {
+		t.Error("invalid node must fail")
+	}
+}
+
+func TestCheckWire(t *testing.T) {
+	// The paper's measured ring-oscillator densities (~1e9–4e9 A/m²) pass
+	// both screens — its conclusion that inductance does not degrade wire
+	// reliability.
+	r, err := CheckWire(4e9, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakOver || r.RMSOver {
+		t.Errorf("paper-scale densities must pass: %+v", r)
+	}
+	if r.RMSMargin <= 0 || r.RMSMargin >= 1 {
+		t.Errorf("rms margin %v out of expected band", r.RMSMargin)
+	}
+	over, err := CheckWire(5e11, 5e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over.PeakOver || !over.RMSOver {
+		t.Errorf("extreme densities must fail screens: %+v", over)
+	}
+}
+
+func TestCheckWireValidation(t *testing.T) {
+	if _, err := CheckWire(-1, 0); err == nil {
+		t.Error("negative peak must fail")
+	}
+	if _, err := CheckWire(1, 2); err == nil {
+		t.Error("rms > peak must fail")
+	}
+	if _, err := CheckWire(0, 0); err != nil {
+		t.Errorf("zeros are fine: %v", err)
+	}
+}

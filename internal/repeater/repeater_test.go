@@ -1,0 +1,175 @@
+package repeater
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+func lineOf(n tech.Node) tline.Line { return tline.Line{R: n.R, L: 0, C: n.C} }
+
+func TestRCOptimalReproducesTable1(t *testing.T) {
+	cases := []struct {
+		node        tech.Node
+		h, k, tauPS float64
+	}{
+		{tech.Node250(), 14.4e-3, 578, 305.17},
+		{tech.Node100(), 11.1e-3, 528, 105.94},
+	}
+	for _, tc := range cases {
+		opt, err := RCOptimal(FromTech(tc.node), lineOf(tc.node))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.node.Name, err)
+		}
+		if math.Abs(opt.H-tc.h)/tc.h > 0.01 {
+			t.Errorf("%s: h_optRC = %v mm, want %v", tc.node.Name, opt.H/tech.MM, tc.h/tech.MM)
+		}
+		if math.Abs(opt.K-tc.k)/tc.k > 0.01 {
+			t.Errorf("%s: k_optRC = %v, want %v", tc.node.Name, opt.K, tc.k)
+		}
+		if math.Abs(opt.Tau-tc.tauPS*tech.PS)/(tc.tauPS*tech.PS) > 0.01 {
+			t.Errorf("%s: tau_optRC = %v ps, want %v", tc.node.Name, opt.Tau/tech.PS, tc.tauPS)
+		}
+	}
+}
+
+func TestRCOptimalIsElmoreStationaryPoint(t *testing.T) {
+	// The closed form must be the minimum of the Elmore delay per unit
+	// length: perturbing h or k in either direction cannot decrease it.
+	for _, n := range tech.Nodes() {
+		d := FromTech(n)
+		line := lineOf(n)
+		opt, err := RCOptimal(d, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perUnit := func(h, k float64) float64 { return SegmentElmore(d, line, h, k) / h }
+		base := perUnit(opt.H, opt.K)
+		for _, eps := range []float64{-0.01, 0.01} {
+			if perUnit(opt.H*(1+eps), opt.K) < base {
+				t.Errorf("%s: h perturbation %v improves Elmore delay", n.Name, eps)
+			}
+			if perUnit(opt.H, opt.K*(1+eps)) < base {
+				t.Errorf("%s: k perturbation %v improves Elmore delay", n.Name, eps)
+			}
+		}
+	}
+}
+
+func TestTauIndependentOfWiringLevel(t *testing.T) {
+	// τ_optRC depends only on the device: change r and c arbitrarily and the
+	// optimal segment delay stays the same.
+	d := FromTech(tech.Node250())
+	line1 := tline.Line{R: 4400, C: 203.5e-12}
+	line2 := tline.Line{R: 44000, C: 20.35e-12}
+	o1, _ := RCOptimal(d, line1)
+	o2, _ := RCOptimal(d, line2)
+	if math.Abs(o1.Tau-o2.Tau)/o1.Tau > 1e-12 {
+		t.Errorf("tau varies with wiring level: %v vs %v", o1.Tau, o2.Tau)
+	}
+	if math.Abs(o1.Tau-d.IntrinsicDelay()) > 1e-18 {
+		t.Error("IntrinsicDelay disagrees with RCOptimal tau")
+	}
+}
+
+func TestExtractRoundTrip(t *testing.T) {
+	// Table 1 is self-consistent: extracting from the closed-form optimum
+	// recovers the device.
+	for _, n := range tech.Nodes() {
+		d := FromTech(n)
+		line := lineOf(n)
+		opt, _ := RCOptimal(d, line)
+		got, err := Extract(line, opt.H, opt.K, opt.Tau)
+		if err != nil {
+			t.Fatalf("%s: Extract: %v", n.Name, err)
+		}
+		if math.Abs(got.Rs-d.Rs)/d.Rs > 1e-9 {
+			t.Errorf("%s: rs = %v, want %v", n.Name, got.Rs, d.Rs)
+		}
+		if math.Abs(got.C0-d.C0)/d.C0 > 1e-9 {
+			t.Errorf("%s: c0 = %v, want %v", n.Name, got.C0, d.C0)
+		}
+		if math.Abs(got.Cp-d.Cp)/d.Cp > 1e-9 {
+			t.Errorf("%s: cp = %v, want %v", n.Name, got.Cp, d.Cp)
+		}
+	}
+}
+
+func TestExtractRoundTripProperty(t *testing.T) {
+	prop := func(a, b, c float64) bool {
+		u := func(x float64) float64 {
+			m := math.Mod(x, 5)
+			if math.IsNaN(m) {
+				m = 1
+			}
+			return 0.2 + math.Abs(m)
+		}
+		d := MinDevice{Rs: 5000 * u(a), C0: 1e-15 * u(b), Cp: 3e-15 * u(c)}
+		line := tline.Line{R: 4400, C: 1.5e-10}
+		opt, err := RCOptimal(d, line)
+		if err != nil {
+			return false
+		}
+		got, err := Extract(line, opt.H, opt.K, opt.Tau)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Rs-d.Rs) < 1e-6*d.Rs &&
+			math.Abs(got.C0-d.C0) < 1e-6*d.C0 &&
+			math.Abs(got.Cp-d.Cp) < 1e-6*d.Cp
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractRejectsInconsistent(t *testing.T) {
+	line := tline.Line{R: 4400, C: 2e-10}
+	if _, err := Extract(line, 0.014, 500, 1e-15); err == nil {
+		t.Error("tau too small for the geometry must be rejected")
+	}
+	if _, err := Extract(line, -1, 500, 1e-10); err == nil {
+		t.Error("negative h must be rejected")
+	}
+	// q >= sqrt(2) (tau too large) must be rejected too.
+	a := line.R * line.C * 0.014 * 0.014 / 2
+	if _, err := Extract(line, 0.014, 500, 2*a*(1+1.5)); err == nil {
+		t.Error("tau too large must be rejected")
+	}
+}
+
+func TestScaledAndStage(t *testing.T) {
+	d := MinDevice{Rs: 8000, C0: 1e-15, Cp: 4e-15}
+	rs, cp, cl := d.Scaled(400)
+	if rs != 20 || cp != 1.6e-12 || cl != 4e-13 {
+		t.Errorf("Scaled: %v %v %v", rs, cp, cl)
+	}
+	line := tline.Line{R: 4400, L: 1e-6, C: 1.2e-10}
+	st := d.Stage(line, 0.01, 400)
+	if st.RS != rs || st.CP != cp || st.CL != cl || st.H != 0.01 || st.Line != line {
+		t.Errorf("Stage wrong: %+v", st)
+	}
+}
+
+func TestTotalElmoreScales(t *testing.T) {
+	d := FromTech(tech.Node100())
+	line := lineOf(tech.Node100())
+	// Twice the length = twice the delay for fixed segmentation.
+	d1 := TotalElmore(d, line, 0.05, 0.01, 500)
+	d2 := TotalElmore(d, line, 0.10, 0.01, 500)
+	if math.Abs(d2-2*d1)/d1 > 1e-12 {
+		t.Errorf("TotalElmore not linear in L: %v vs %v", d1, d2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (MinDevice{Rs: 1, C0: 1, Cp: 0}).Validate(); err != nil {
+		t.Errorf("cp=0 should be allowed: %v", err)
+	}
+	if err := (MinDevice{Rs: 0, C0: 1, Cp: 1}).Validate(); err == nil {
+		t.Error("rs=0 must fail")
+	}
+}

@@ -1,0 +1,367 @@
+// Package ringosc builds and measures the paper's Section 3.3 experiments:
+// a five-stage ring oscillator whose stages are RC-optimally sized repeaters
+// driving distributed RLC interconnect segments (Figures 9–11), and the
+// square-wave-driven five-stage buffered line the paper uses to show the
+// false-switching phenomenon is not a ring artifact. The circuits are
+// simulated with internal/spice on a section-discretized line and measured
+// with internal/waveform.
+package ringosc
+
+import (
+	"fmt"
+	"math"
+
+	"rlcint/internal/pade"
+	"rlcint/internal/repeater"
+	"rlcint/internal/spice"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+	"rlcint/internal/waveform"
+)
+
+// Config describes one experiment instance.
+type Config struct {
+	Node tech.Node
+	// LineL is the line inductance per unit length, H/m. Zero builds an RC
+	// line (no inductors).
+	LineL float64
+	// H and K are the segment length and repeater size; zero selects the
+	// node's RC optimum (the paper's choice).
+	H, K float64
+	// Stages is the number of inverter+line stages; zero selects the
+	// paper's 5.
+	Stages int
+	// Sections per line segment in the ladder discretization; zero selects
+	// 16, which resolves the ringing of every swept configuration (see the
+	// convergence test).
+	Sections int
+	// Gain is the inverter macro-model's switching sharpness; zero selects
+	// the package default (20).
+	Gain float64
+	// TStop and DT override the automatically chosen window/resolution.
+	TStop, DT float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Node.Validate(); err != nil {
+		return c, err
+	}
+	if c.LineL < 0 {
+		return c, fmt.Errorf("ringosc: negative line inductance %g", c.LineL)
+	}
+	if c.H == 0 || c.K == 0 {
+		rc, err := repeater.RCOptimal(repeater.FromTech(c.Node), tline.Line{R: c.Node.R, C: c.Node.C})
+		if err != nil {
+			return c, err
+		}
+		if c.H == 0 {
+			c.H = rc.H
+		}
+		if c.K == 0 {
+			c.K = rc.K
+		}
+	}
+	if c.Stages == 0 {
+		c.Stages = 5
+	}
+	if c.Stages%2 == 0 {
+		return c, fmt.Errorf("ringosc: ring needs an odd stage count, got %d", c.Stages)
+	}
+	if c.Sections == 0 {
+		c.Sections = 16
+	}
+	if c.Gain == 0 {
+		c.Gain = 20
+	}
+	if c.TStop == 0 || c.DT == 0 {
+		// Window from the two-pole stage delay: ≈2·Stages·τ per period.
+		st := repeater.FromTech(c.Node).Stage(tline.Line{R: c.Node.R, L: c.LineL, C: c.Node.C}, c.H, c.K)
+		m, err := pade.FromStage(st)
+		if err != nil {
+			return c, err
+		}
+		d, err := m.Delay(0.5)
+		if err != nil {
+			return c, err
+		}
+		period := 2 * float64(c.Stages) * d.Tau
+		if c.TStop == 0 {
+			c.TStop = 10 * period
+		}
+		if c.DT == 0 {
+			c.DT = period / 2500
+		}
+	}
+	return c, nil
+}
+
+// line returns the per-unit-length parameters of the configured wire.
+func (c Config) line() tline.Line {
+	return tline.Line{R: c.Node.R, L: c.LineL, C: c.Node.C}
+}
+
+func (c Config) inverterParams() spice.InverterParams {
+	d := repeater.FromTech(c.Node)
+	rs, cp, cl := d.Scaled(c.K)
+	return spice.InverterParams{
+		VDD:  c.Node.VDD,
+		ROut: rs,
+		CIn:  cl,
+		COut: cp,
+		Gain: c.Gain,
+	}
+}
+
+// addLine builds the discretized line from node `from` to node `to`,
+// returning the handle of the first inductor (nil for an RC line) for
+// current probing. Names are prefixed to stay unique per instance.
+func addLine(ckt *spice.Circuit, prefix string, ln tline.Line, h float64, sections int, from, to spice.NodeID) (*spice.Inductor, error) {
+	segs := ln.Ladder(h, sections)
+	var firstL *spice.Inductor
+	prev := from
+	for i, s := range segs {
+		var next spice.NodeID
+		if i == len(segs)-1 {
+			next = to
+		} else {
+			next = ckt.Node(fmt.Sprintf("%s_n%d", prefix, i))
+		}
+		if s.L > 0 {
+			mid := ckt.Node(fmt.Sprintf("%s_m%d", prefix, i))
+			if err := ckt.AddR(prev, mid, s.R); err != nil {
+				return nil, err
+			}
+			l, err := ckt.AddL(mid, next, s.L)
+			if err != nil {
+				return nil, err
+			}
+			if firstL == nil {
+				firstL = l
+			}
+		} else {
+			if err := ckt.AddR(prev, next, s.R); err != nil {
+				return nil, err
+			}
+		}
+		if err := ckt.AddC(next, spice.Ground, s.C); err != nil {
+			return nil, err
+		}
+		prev = next
+	}
+	return firstL, nil
+}
+
+// Waves carries the monitored raw waveforms (the paper's Figures 9 and 10:
+// input and output of one inverter, plus the line current used for
+// Figure 12).
+type Waves struct {
+	T         []float64
+	VIn, VOut []float64
+	ILine     []float64 // nil for RC lines
+}
+
+// Metrics are the scalar measurements extracted from a run.
+type Metrics struct {
+	Period     float64 // oscillation period at the monitored node, s
+	Overshoot  float64 // V above VDD at the monitored inverter input
+	Undershoot float64 // V below ground at the monitored inverter input
+	PeakI      float64 // peak line current, A
+	RMSI       float64 // rms line current, A
+	PeakJ      float64 // peak current density, A/m²
+	RMSJ       float64 // rms current density, A/m²
+}
+
+// RunRing simulates the ring oscillator and measures it. The monitored
+// inverter is the middle stage.
+func RunRing(cfg Config) (Waves, Metrics, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Waves{}, Metrics{}, err
+	}
+	ckt := spice.New()
+	s := cfg.Stages
+	in := make([]spice.NodeID, s)  // inverter inputs
+	out := make([]spice.NodeID, s) // inverter outputs
+	for i := 0; i < s; i++ {
+		in[i] = ckt.Node(fmt.Sprintf("in%d", i))
+		out[i] = ckt.Node(fmt.Sprintf("out%d", i))
+	}
+	var monitorL *spice.Inductor
+	mon := s / 2
+	for i := 0; i < s; i++ {
+		if _, err := ckt.AddInverter(in[i], out[i], cfg.inverterParams()); err != nil {
+			return Waves{}, Metrics{}, err
+		}
+		l, err := addLine(ckt, fmt.Sprintf("l%d", i), cfg.line(), cfg.H, cfg.Sections, out[i], in[(i+1)%s])
+		if err != nil {
+			return Waves{}, Metrics{}, err
+		}
+		if i == mon {
+			monitorL = l
+		}
+	}
+	// Kick-start: alternating rail pattern on inverter outputs and their
+	// lines (the ring's DC point is metastable).
+	for i := 0; i < s; i++ {
+		v := 0.0
+		if i%2 == 0 {
+			v = cfg.Node.VDD
+		}
+		ckt.SetIC(out[i], v)
+		ckt.SetIC(in[(i+1)%s], v)
+		for j := 0; j < cfg.Sections-1; j++ {
+			ckt.SetIC(ckt.Node(fmt.Sprintf("l%d_n%d", i, j)), v)
+		}
+		if cfg.LineL > 0 {
+			for j := 0; j < cfg.Sections; j++ {
+				ckt.SetIC(ckt.Node(fmt.Sprintf("l%d_m%d", i, j)), v)
+			}
+		}
+	}
+	probes := []spice.Probe{
+		spice.NodeProbe{Name: "vin", ID: in[mon]},
+		spice.NodeProbe{Name: "vout", ID: out[mon]},
+	}
+	if monitorL != nil {
+		probes = append(probes, spice.BranchProbe{Name: "iline", L: monitorL})
+	}
+	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true}, probes...)
+	if err != nil {
+		return Waves{}, Metrics{}, fmt.Errorf("ringosc: transient: %w", err)
+	}
+	return measure(cfg, res, monitorL != nil)
+}
+
+// RunBufferedLine simulates the paper's alternative rig: a chain of Stages
+// repeaters and line segments driven by a square wave, terminated by an
+// identical repeater. The monitored inverter is the last one in the chain.
+func RunBufferedLine(cfg Config) (Waves, Metrics, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Waves{}, Metrics{}, err
+	}
+	// Drive period: comfortably longer than the chain delay.
+	st := repeater.FromTech(cfg.Node).Stage(cfg.line(), cfg.H, cfg.K)
+	m, err := pade.FromStage(st)
+	if err != nil {
+		return Waves{}, Metrics{}, err
+	}
+	d, err := m.Delay(0.5)
+	if err != nil {
+		return Waves{}, Metrics{}, err
+	}
+	drivePeriod := 6 * float64(cfg.Stages) * d.Tau
+	cfg.TStop = 4 * drivePeriod
+
+	ckt := spice.New()
+	s := cfg.Stages
+	var monitorL *spice.Inductor
+	src := ckt.Node("src")
+	if _, err := ckt.AddV(src, spice.Ground, spice.Pulse{
+		V0: 0, V1: cfg.Node.VDD,
+		Rise: drivePeriod / 100, Fall: drivePeriod / 100,
+		Width: drivePeriod/2 - drivePeriod/100, Period: drivePeriod,
+	}); err != nil {
+		return Waves{}, Metrics{}, err
+	}
+	prev := src
+	for i := 0; i < s; i++ {
+		outN := ckt.Node(fmt.Sprintf("out%d", i))
+		if _, err := ckt.AddInverter(prev, outN, cfg.inverterParams()); err != nil {
+			return Waves{}, Metrics{}, err
+		}
+		next := ckt.Node(fmt.Sprintf("in%d", i+1))
+		l, err := addLine(ckt, fmt.Sprintf("l%d", i), cfg.line(), cfg.H, cfg.Sections, outN, next)
+		if err != nil {
+			return Waves{}, Metrics{}, err
+		}
+		if i == s-1 {
+			monitorL = l
+		}
+		prev = next
+	}
+	// Terminating identical repeater.
+	lastOut := ckt.Node("term_out")
+	if _, err := ckt.AddInverter(prev, lastOut, cfg.inverterParams()); err != nil {
+		return Waves{}, Metrics{}, err
+	}
+	probes := []spice.Probe{
+		spice.NodeProbe{Name: "vin", ID: prev},
+		spice.NodeProbe{Name: "vout", ID: lastOut},
+	}
+	if monitorL != nil {
+		probes = append(probes, spice.BranchProbe{Name: "iline", L: monitorL})
+	}
+	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true}, probes...)
+	if err != nil {
+		return Waves{}, Metrics{}, fmt.Errorf("ringosc: buffered line transient: %w", err)
+	}
+	return measure(cfg, res, monitorL != nil)
+}
+
+// measure extracts Waves and Metrics from a transient result, ignoring the
+// first 30% of the window as start-up.
+func measure(cfg Config, res *spice.Result, hasI bool) (Waves, Metrics, error) {
+	w := Waves{T: res.T}
+	var err error
+	if w.VIn, err = res.Signal("vin"); err != nil {
+		return w, Metrics{}, err
+	}
+	if w.VOut, err = res.Signal("vout"); err != nil {
+		return w, Metrics{}, err
+	}
+	if hasI {
+		if w.ILine, err = res.Signal("iline"); err != nil {
+			return w, Metrics{}, err
+		}
+	}
+	tMin := 0.3 * cfg.TStop
+	var met Metrics
+	met.Period, err = waveform.Period(w.T, w.VIn, cfg.Node.VDD/2, tMin)
+	if err != nil {
+		return w, met, fmt.Errorf("ringosc: period measurement: %w", err)
+	}
+	met.Overshoot, met.Undershoot = waveform.OverUnder(w.T, w.VIn, cfg.Node.VDD, tMin)
+	if hasI {
+		met.PeakI, met.RMSI = waveform.PeakRMS(w.T, w.ILine, tMin)
+		area := cfg.Node.CrossSectionArea()
+		met.PeakJ, met.RMSJ = met.PeakI/area, met.RMSI/area
+	}
+	return w, met, nil
+}
+
+// PeriodPoint is one point of the Figure 11 sweep.
+type PeriodPoint struct {
+	L       float64 // H/m
+	Metrics Metrics
+	// Collapsed marks the false-switching regime. Below the onset the
+	// period grows monotonically with l (inductance slows the wave); a
+	// drop below 80% of the largest period seen so far is the collapse
+	// signature of the paper's Figure 11.
+	Collapsed bool
+}
+
+// SweepPeriod runs the ring oscillator across line inductances (H/m) and
+// marks period collapse — the paper's Figure 11. The inductances should be
+// sorted ascending for the collapse detection to be meaningful.
+func SweepPeriod(cfg Config, ls []float64) ([]PeriodPoint, error) {
+	if len(ls) == 0 {
+		return nil, fmt.Errorf("ringosc: empty sweep")
+	}
+	out := make([]PeriodPoint, 0, len(ls))
+	high := math.Inf(-1)
+	for _, l := range ls {
+		c := cfg
+		c.LineL = l
+		_, met, err := RunRing(c)
+		if err != nil {
+			return nil, fmt.Errorf("ringosc: sweep l=%g: %w", l, err)
+		}
+		collapsed := met.Period < 0.8*high
+		if met.Period > high {
+			high = met.Period
+		}
+		out = append(out, PeriodPoint{L: l, Metrics: met, Collapsed: collapsed})
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package ringosc
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := Config{Node: tech.Node100(), LineL: 2e-6}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.H-11.1e-3)/11.1e-3 > 0.02 {
+		t.Errorf("default H = %v, want h_optRC ≈ 11.1mm", cfg.H)
+	}
+	if math.Abs(cfg.K-528)/528 > 0.02 {
+		t.Errorf("default K = %v, want k_optRC ≈ 528", cfg.K)
+	}
+	if cfg.Stages != 5 || cfg.Sections != 16 || cfg.Gain != 20 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.TStop <= 0 || cfg.DT <= 0 || cfg.DT >= cfg.TStop {
+		t.Errorf("window wrong: %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{Node: tech.Node100(), LineL: -1}).withDefaults(); err == nil {
+		t.Error("negative inductance must fail")
+	}
+	if _, err := (Config{Node: tech.Node100(), Stages: 4}).withDefaults(); err == nil {
+		t.Error("even stage count must fail")
+	}
+	bad := tech.Node100()
+	bad.VDD = 0
+	if _, err := (Config{Node: bad}).withDefaults(); err == nil {
+		t.Error("invalid node must fail")
+	}
+}
+
+func TestRingOscillatesAtModerateInductance(t *testing.T) {
+	// Figure 9 regime: l = 1.8 nH/mm oscillates cleanly with visible
+	// overshoot and undershoot at the inverter input but no collapse.
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	w, met, err := RunRing(Config{Node: tech.Node100(), LineL: 1.8e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Period <= 0 {
+		t.Fatalf("period %v", met.Period)
+	}
+	if met.Overshoot < 0.1 || met.Undershoot < 0.1 {
+		t.Errorf("expected visible over/undershoot, got %v / %v", met.Overshoot, met.Undershoot)
+	}
+	// The input waveform rings beyond the rails, the output stays cleaner
+	// (paper: "the inverter output is relatively clean").
+	vddN := tech.Node100().VDD
+	outMax, outMin := math.Inf(-1), math.Inf(1)
+	for i, tt := range w.T {
+		if tt < 0.3*w.T[len(w.T)-1] {
+			continue
+		}
+		if w.VOut[i] > outMax {
+			outMax = w.VOut[i]
+		}
+		if w.VOut[i] < outMin {
+			outMin = w.VOut[i]
+		}
+	}
+	outOver := math.Max(0, outMax-vddN) + math.Max(0, -outMin)
+	inOver := met.Overshoot + met.Undershoot
+	if outOver >= inOver {
+		t.Errorf("output excursions (%v) should be smaller than input's (%v)", outOver, inOver)
+	}
+}
+
+func TestRingPeriodCollapseAt100nm(t *testing.T) {
+	// Figure 11: the 100 nm ring's period collapses (false switching) once
+	// l crosses ≈2–3 nH/mm; our calibrated inverter places the onset near
+	// 2.7 nH/mm.
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	pts, err := SweepPeriod(Config{Node: tech.Node100()}, []float64{1.8e-6, 3.0e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Collapsed {
+		t.Error("no collapse expected at 1.8 nH/mm")
+	}
+	if !pts[1].Collapsed {
+		t.Errorf("collapse expected at 3.0 nH/mm (period %v vs %v)",
+			pts[1].Metrics.Period, pts[0].Metrics.Period)
+	}
+	// In the collapsed regime the undershoot is dramatically larger.
+	if pts[1].Metrics.Undershoot < 2*pts[0].Metrics.Undershoot {
+		t.Errorf("collapsed undershoot %v not ≫ %v",
+			pts[1].Metrics.Undershoot, pts[0].Metrics.Undershoot)
+	}
+}
+
+func TestRingNoCollapseAt250nm(t *testing.T) {
+	// The paper: the 250 nm node shows no false switching for l < 5 nH/mm.
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	pts, err := SweepPeriod(Config{Node: tech.Node250()}, []float64{1e-6, 4.9e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Collapsed {
+			t.Errorf("unexpected collapse at l=%v nH/mm in 250 nm", p.L*1e6)
+		}
+	}
+	// Period grows monotonically with l below the collapse.
+	if pts[1].Metrics.Period <= pts[0].Metrics.Period {
+		t.Errorf("period should grow with l: %v vs %v",
+			pts[1].Metrics.Period, pts[0].Metrics.Period)
+	}
+}
+
+func TestCurrentDensityWeaklyDependentOnL(t *testing.T) {
+	// Figure 12: peak and rms wire current densities change little with l
+	// (below the false-switching onset).
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	var ref Metrics
+	for i, l := range []float64{0.6e-6, 2.2e-6} {
+		_, met, err := RunRing(Config{Node: tech.Node100(), LineL: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.PeakJ <= 0 || met.RMSJ <= 0 || met.RMSJ > met.PeakJ {
+			t.Fatalf("l=%v: implausible densities %+v", l, met)
+		}
+		if i == 0 {
+			ref = met
+			continue
+		}
+		if r := met.PeakJ / ref.PeakJ; r < 0.4 || r > 2.5 {
+			t.Errorf("peak density ratio %v across l: not 'appreciably constant'", r)
+		}
+		if r := met.RMSJ / ref.RMSJ; r < 0.4 || r > 2.5 {
+			t.Errorf("rms density ratio %v across l", r)
+		}
+	}
+}
+
+func TestSectionCountConvergence(t *testing.T) {
+	// Doubling the ladder resolution must not change the measured period
+	// by more than a few percent.
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	_, m16, err := RunRing(Config{Node: tech.Node100(), LineL: 1.8e-6, Sections: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m32, err := RunRing(Config{Node: tech.Node100(), LineL: 1.8e-6, Sections: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(m32.Period-m16.Period) / m32.Period; rel > 0.05 {
+		t.Errorf("period not converged in sections: %v vs %v (rel %v)",
+			m16.Period, m32.Period, rel)
+	}
+}
+
+func TestBufferedLineShowsSamePhenomenon(t *testing.T) {
+	// The paper: the false-switching behaviour "is not an artifact of the
+	// ring oscillator configuration" — the square-wave-driven chain shows
+	// clean periodic output at low l and violent ringing at high l.
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	_, low, err := RunBufferedLine(Config{Node: tech.Node100(), LineL: 0.8e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, high, err := RunBufferedLine(Config{Node: tech.Node100(), LineL: 3.2e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Period <= 0 || high.Period <= 0 {
+		t.Fatal("periods not measured")
+	}
+	if high.Undershoot < 1.5*low.Undershoot {
+		t.Errorf("high-l undershoot %v not ≫ low-l %v", high.Undershoot, low.Undershoot)
+	}
+}
+
+func TestRCOnlyLineRuns(t *testing.T) {
+	// LineL = 0 builds an RC ladder (no inductors, no current probe).
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	w, met, err := RunRing(Config{Node: tech.Node100(), LineL: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ILine != nil {
+		t.Error("RC line should have no current probe")
+	}
+	if met.Period <= 0 {
+		t.Error("RC ring must still oscillate")
+	}
+	if met.Overshoot > 0.02 {
+		t.Errorf("RC ring cannot overshoot, got %v", met.Overshoot)
+	}
+}

@@ -1,0 +1,132 @@
+package ringosc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rlcint/internal/awe"
+	"rlcint/internal/pade"
+	"rlcint/internal/repeater"
+	"rlcint/internal/spice"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+	"rlcint/internal/waveform"
+)
+
+// simulateStageDelay builds the paper's driver-line-load stage as a ladder
+// circuit with an ideal step source behind RS, runs a transient, and
+// measures the 50% delay of the output.
+func simulateStageDelay(t *testing.T, st tline.Stage, sections int) float64 {
+	t.Helper()
+	ckt := spice.New()
+	in, drv := ckt.Node("in"), ckt.Node("drv")
+	if _, err := ckt.AddV(in, spice.Ground, spice.DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.AddR(in, drv, st.RS); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.AddC(drv, spice.Ground, st.CP); err != nil {
+		t.Fatal(err)
+	}
+	prev := drv
+	var out spice.NodeID
+	for i, sg := range st.Line.Ladder(st.H, sections) {
+		mid := ckt.Node(fmt.Sprintf("m%d", i))
+		next := ckt.Node(fmt.Sprintf("n%d", i))
+		if err := ckt.AddR(prev, mid, sg.R); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ckt.AddL(mid, next, sg.L); err != nil {
+			t.Fatal(err)
+		}
+		if err := ckt.AddC(next, spice.Ground, sg.C); err != nil {
+			t.Fatal(err)
+		}
+		prev = next
+		out = next
+	}
+	if err := ckt.AddC(out, spice.Ground, st.CL); err != nil {
+		t.Fatal(err)
+	}
+	// Window: several Elmore times.
+	tstop := 8 * st.ElmoreSegment()
+	res, err := ckt.Transient(spice.TranOpts{
+		TStop: tstop, DT: tstop / 6000, UseICs: true,
+	}, spice.NodeProbe{Name: "out", ID: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Signal("out")
+	tau, err := waveform.FirstCrossing(res.T, v, 0.5, 0, waveform.Rising)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tau
+}
+
+func TestEndToEndStageDelayThreeWay(t *testing.T) {
+	// The repository's central cross-validation: for the paper's stages,
+	// the transient-simulated distributed delay, the higher-order AWE
+	// delay, and the two-pole delay must line up:
+	//   - AWE vs simulation: a few percent (both near-exact),
+	//   - two-pole vs simulation: within ~20% with a known negative bias
+	//     at high inductance (wave dead time).
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	n := tech.Node100()
+	d := repeater.FromTech(n)
+	for _, lNH := range []float64{0.5, 2, 4} {
+		st := d.Stage(tline.Line{R: n.R, L: lNH * tech.NHPerMM, C: n.C}, 11.1*tech.MM, 528)
+		sim := simulateStageDelay(t, st, 60)
+
+		m, err := pade.FromStage(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := m.Delay(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref float64 = math.NaN()
+		for q := 6; q >= 3; q-- {
+			fit, err := awe.FromStage(st, q)
+			if err != nil || !fit.Stable() {
+				continue
+			}
+			if ref, err = fit.Delay(0.5); err == nil {
+				break
+			}
+		}
+		if math.IsNaN(ref) {
+			t.Fatalf("l=%v: no stable AWE reference", lNH)
+		}
+		if rel := math.Abs(ref-sim) / sim; rel > 0.05 {
+			t.Errorf("l=%v: AWE %v vs simulated %v (rel %v)", lNH, ref, sim, rel)
+		}
+		if rel := math.Abs(two.Tau-sim) / sim; rel > 0.20 {
+			t.Errorf("l=%v: two-pole %v vs simulated %v (rel %v)", lNH, two.Tau, sim, rel)
+		}
+		if lNH >= 2 && two.Tau >= sim {
+			t.Errorf("l=%v: two-pole should underestimate the distributed delay (%v vs %v)",
+				lNH, two.Tau, sim)
+		}
+	}
+}
+
+func TestSimulatedDelayRespectsTimeOfFlight(t *testing.T) {
+	// Physics guard: the simulated 50% delay can never beat the lossless
+	// time of flight (a bound the two-pole model is free to violate).
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	n := tech.Node100()
+	d := repeater.FromTech(n)
+	st := d.Stage(tline.Line{R: n.R, L: 4 * tech.NHPerMM, C: n.C}, 11.1*tech.MM, 528)
+	sim := simulateStageDelay(t, st, 60)
+	if tof := st.Line.TimeOfFlight(st.H); sim < tof {
+		t.Errorf("simulated delay %v below time of flight %v", sim, tof)
+	}
+}

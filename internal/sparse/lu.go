@@ -1,0 +1,258 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when no usable pivot can be found in a column.
+var ErrSingular = errors.New("sparse: singular matrix")
+
+// LU holds the factors P*A = L*U produced by Factorize. L has unit diagonal
+// (stored explicitly as the first entry of each column); U stores each
+// column's diagonal as its last entry. Row indices of both factors are in
+// pivotal (permuted) coordinates.
+type LU struct {
+	n        int
+	lp       []int
+	li       []int
+	lx       []float64
+	up       []int
+	ui       []int
+	ux       []float64
+	pinv     []int // pinv[orig row] = pivot position
+	workX    []float64
+	workXi   []int
+	workPst  []int
+	workMark []bool
+}
+
+// Workspace returns a reusable LU sized for n unknowns. Repeated Factorize
+// calls reuse all internal buffers.
+func Workspace(n int) *LU {
+	return &LU{
+		n:        n,
+		lp:       make([]int, n+1),
+		up:       make([]int, n+1),
+		pinv:     make([]int, n),
+		workX:    make([]float64, n),
+		workXi:   make([]int, 2*n),
+		workPst:  make([]int, n),
+		workMark: make([]bool, n),
+	}
+}
+
+// Factorize computes the LU factorization of a with partial pivoting using
+// the left-looking Gilbert–Peierls algorithm. pivTol in (0,1] relaxes
+// pivoting toward the diagonal (1 = strict partial pivoting); MNA systems
+// typically use a relaxed tolerance to preserve sparsity, but strictness is
+// the safe default.
+func (f *LU) Factorize(a *CSC, pivTol float64) error {
+	if a.N != f.n {
+		return fmt.Errorf("sparse: Factorize dimension %d != workspace %d", a.N, f.n)
+	}
+	if pivTol <= 0 || pivTol > 1 {
+		pivTol = 1
+	}
+	n := f.n
+	f.li = f.li[:0]
+	f.lx = f.lx[:0]
+	f.ui = f.ui[:0]
+	f.ux = f.ux[:0]
+	for i := range f.pinv {
+		f.pinv[i] = -1
+		f.workX[i] = 0
+		f.workMark[i] = false
+	}
+	for k := 0; k < n; k++ {
+		f.lp[k] = len(f.lx)
+		f.up[k] = len(f.ux)
+		top, err := f.spsolve(a, k)
+		if err != nil {
+			return err
+		}
+		// Select pivot among rows that are not yet pivotal.
+		ipiv := -1
+		amax := -1.0
+		var diagCand float64
+		diagRow := -1
+		for p := top; p < n; p++ {
+			i := f.workXi[p]
+			if f.pinv[i] < 0 {
+				if v := math.Abs(f.workX[i]); v > amax {
+					amax, ipiv = v, i
+				}
+			}
+		}
+		if ipiv < 0 || amax == 0 {
+			return fmt.Errorf("%w: no pivot in column %d", ErrSingular, k)
+		}
+		// Prefer the diagonal entry when it is within pivTol of the largest
+		// candidate (threshold pivoting).
+		if pivTol < 1 {
+			for p := top; p < n; p++ {
+				i := f.workXi[p]
+				if i == k && f.pinv[i] < 0 {
+					diagCand, diagRow = math.Abs(f.workX[i]), i
+				}
+			}
+			if diagRow >= 0 && diagCand >= pivTol*amax {
+				ipiv = diagRow
+			}
+		}
+		pivot := f.workX[ipiv]
+		// Emit U entries (rows already pivotal) and this column's diagonal.
+		for p := top; p < n; p++ {
+			i := f.workXi[p]
+			if f.pinv[i] >= 0 {
+				f.ui = append(f.ui, f.pinv[i])
+				f.ux = append(f.ux, f.workX[i])
+			}
+		}
+		f.ui = append(f.ui, k)
+		f.ux = append(f.ux, pivot)
+		// Emit L column: unit diagonal first, then subdiagonal entries.
+		f.pinv[ipiv] = k
+		f.li = append(f.li, ipiv)
+		f.lx = append(f.lx, 1)
+		for p := top; p < n; p++ {
+			i := f.workXi[p]
+			if f.pinv[i] < 0 {
+				f.li = append(f.li, i)
+				f.lx = append(f.lx, f.workX[i]/pivot)
+			}
+			f.workX[i] = 0 // clear for next column
+		}
+	}
+	f.lp[n] = len(f.lx)
+	f.up[n] = len(f.ux)
+	// Map L's row indices into pivotal coordinates so Solve can run plain
+	// triangular substitutions.
+	for p := range f.li {
+		f.li[p] = f.pinv[f.li[p]]
+	}
+	return nil
+}
+
+// spsolve solves L*x = A(:,k) for the sparse x used by column k of the
+// factorization. It returns top: workXi[top:n] lists x's nonzero pattern in
+// topological order; values live in workX (in original row coordinates).
+func (f *LU) spsolve(a *CSC, k int) (int, error) {
+	n := f.n
+	top := n
+	// DFS from every nonzero of A(:,k).
+	for p := a.P[k]; p < a.P[k+1]; p++ {
+		if !f.workMark[a.I[p]] {
+			top = f.dfs(a.I[p], top)
+		}
+	}
+	// Unmark (pattern list doubles as the touched list).
+	for p := top; p < n; p++ {
+		f.workMark[f.workXi[p]] = false
+	}
+	// Scatter the right-hand side.
+	for p := a.P[k]; p < a.P[k+1]; p++ {
+		f.workX[a.I[p]] = a.X[p]
+	}
+	// Numeric sparse forward solve in topological order.
+	for px := top; px < n; px++ {
+		j := f.workXi[px]
+		jn := f.pinv[j]
+		if jn < 0 {
+			continue // row not yet pivotal: no L column to eliminate with
+		}
+		xj := f.workX[j] // L diagonal is 1, no division needed
+		for p := f.lp[jn] + 1; p < f.lp[jn+1]; p++ {
+			f.workX[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+	return top, nil
+}
+
+// dfs performs an iterative depth-first search from node j through the
+// structure of the already-computed L columns, writing finished nodes into
+// workXi[top-1], workXi[top-2], ... in reverse topological order and
+// returning the new top. The DFS stack shares workXi's front: the stack
+// holds only unfinished (marked, not yet emitted) nodes while the output
+// region holds finished ones, so stack head < top always (the CSparse
+// invariant) and the regions never collide.
+func (f *LU) dfs(j, top int) int {
+	xi := f.workXi
+	head := 0
+	xi[0] = j
+	for head >= 0 {
+		j = xi[head]
+		jn := f.pinv[j]
+		if !f.workMark[j] {
+			f.workMark[j] = true
+			if jn < 0 {
+				f.workPst[head] = 0
+			} else {
+				f.workPst[head] = f.lp[jn] + 1
+			}
+		}
+		done := true
+		if jn >= 0 {
+			end := f.lp[jn+1]
+			for p := f.workPst[head]; p < end; p++ {
+				i := f.li[p]
+				if f.workMark[i] {
+					continue
+				}
+				f.workPst[head] = p + 1
+				head++
+				xi[head] = i
+				done = false
+				break
+			}
+		}
+		if done {
+			head--
+			top--
+			xi[top] = j
+		}
+	}
+	return top
+}
+
+// Solve solves A*x = b using the current factorization; b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("sparse: Solve rhs length %d != %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	f.SolveInto(x, b)
+	return x, nil
+}
+
+// SolveInto solves A*x = b writing into x; x and b must have length n and
+// may not alias.
+func (f *LU) SolveInto(x, b []float64) {
+	n := f.n
+	// Apply row permutation: y[pinv[i]] = b[i].
+	for i := 0; i < n; i++ {
+		x[f.pinv[i]] = b[i]
+	}
+	// Forward solve L*y = Pb (unit diagonal first entry per column).
+	for j := 0; j < n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			x[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+	// Back solve U*x = y (diagonal last entry per column).
+	for j := n - 1; j >= 0; j-- {
+		x[j] /= f.ux[f.up[j+1]-1]
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.up[j]; p < f.up[j+1]-1; p++ {
+			x[f.ui[p]] -= f.ux[p] * xj
+		}
+	}
+}

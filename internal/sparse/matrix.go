@@ -1,0 +1,180 @@
+// Package sparse implements the sparse-matrix kernel used by the transient
+// circuit simulator: a triplet (coordinate) builder, compressed sparse column
+// storage, and a left-looking Gilbert–Peierls LU factorization with partial
+// pivoting. MNA matrices of segmented RLC ladders are extremely sparse
+// (roughly five entries per row) and are refactored every Newton iteration,
+// so the factorization is written to be allocation-free after the first call
+// through the Workspace type.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet accumulates (row, col, value) entries; duplicates are summed when
+// compiled to CSC. This is the natural target for MNA stamping.
+type Triplet struct {
+	N           int // matrix is N x N
+	rows, cols  []int
+	vals        []float64
+	frozen      bool
+	stampOrder  []int // compiled mapping: entry index -> CSC value slot
+	compiledCSC *CSC
+}
+
+// NewTriplet returns an empty triplet accumulator for an n-by-n matrix.
+func NewTriplet(n int) *Triplet {
+	return &Triplet{N: n}
+}
+
+// Add appends a contribution at (row, col). After Compile has been called,
+// the stamping pattern is frozen: Add must then be preceded by Reset and must
+// replay entries in the identical order (this is exactly what a transient
+// simulator does each timestep), which updates the compiled CSC in place
+// without allocation.
+func (t *Triplet) Add(row, col int, v float64) {
+	if row < 0 || row >= t.N || col < 0 || col >= t.N {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range for n=%d", row, col, t.N))
+	}
+	if t.frozen {
+		i := len(t.vals)
+		if i >= len(t.stampOrder) {
+			panic("sparse: frozen Triplet received more stamps than compiled pattern")
+		}
+		if t.rows[i] != row || t.cols[i] != col {
+			panic("sparse: frozen Triplet stamp order deviates from compiled pattern")
+		}
+		t.vals = append(t.vals, v)
+		t.compiledCSC.X[t.stampOrder[i]] += v
+		return
+	}
+	t.rows = append(t.rows, row)
+	t.cols = append(t.cols, col)
+	t.vals = append(t.vals, v)
+}
+
+// Reset prepares the triplet for a fresh round of stamping. After Compile,
+// the sparsity pattern is retained and the compiled CSC values are zeroed.
+func (t *Triplet) Reset() {
+	t.vals = t.vals[:0]
+	if t.frozen {
+		for i := range t.compiledCSC.X {
+			t.compiledCSC.X[i] = 0
+		}
+	} else {
+		t.rows = t.rows[:0]
+		t.cols = t.cols[:0]
+	}
+}
+
+// NNZ returns the number of accumulated entries (before deduplication).
+func (t *Triplet) NNZ() int { return len(t.vals) }
+
+// Compile deduplicates the triplet into CSC form and freezes the stamping
+// pattern: subsequent Reset/Add cycles with the same stamp sequence update
+// the returned CSC in place. The returned matrix aliases internal state and
+// remains owned by the Triplet.
+func (t *Triplet) Compile() *CSC {
+	if t.frozen {
+		return t.compiledCSC
+	}
+	c := compileCSC(t.N, t.rows, t.cols, t.vals)
+	// Build entry -> slot mapping so frozen replays can update in place.
+	t.stampOrder = make([]int, len(t.vals))
+	for i := range t.vals {
+		t.stampOrder[i] = c.slot(t.rows[i], t.cols[i])
+	}
+	t.frozen = true
+	t.compiledCSC = c
+	return c
+}
+
+// CSC is a compressed-sparse-column matrix.
+type CSC struct {
+	N int
+	P []int     // column pointers, len N+1
+	I []int     // row indices, len nnz, sorted within each column
+	X []float64 // values, len nnz
+}
+
+func compileCSC(n int, rows, cols []int, vals []float64) *CSC {
+	type ent struct {
+		r, c int
+		v    float64
+	}
+	ents := make([]ent, len(vals))
+	for i := range vals {
+		ents[i] = ent{rows[i], cols[i], vals[i]}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].c != ents[b].c {
+			return ents[a].c < ents[b].c
+		}
+		return ents[a].r < ents[b].r
+	})
+	c := &CSC{N: n, P: make([]int, n+1)}
+	for i := 0; i < len(ents); {
+		j := i
+		for j < len(ents) && ents[j].r == ents[i].r && ents[j].c == ents[i].c {
+			j++
+		}
+		sum := 0.0
+		for k := i; k < j; k++ {
+			sum += ents[k].v
+		}
+		c.I = append(c.I, ents[i].r)
+		c.X = append(c.X, sum)
+		c.P[ents[i].c+1]++
+		i = j
+	}
+	for j := 0; j < n; j++ {
+		c.P[j+1] += c.P[j]
+	}
+	return c
+}
+
+// slot returns the value index of entry (row, col); the entry must exist.
+func (c *CSC) slot(row, col int) int {
+	lo, hi := c.P[col], c.P[col+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.I[mid] < row {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= c.P[col+1] || c.I[lo] != row {
+		panic(fmt.Sprintf("sparse: slot(%d,%d) not present", row, col))
+	}
+	return lo
+}
+
+// At returns element (row, col), zero when not stored.
+func (c *CSC) At(row, col int) float64 {
+	for p := c.P[col]; p < c.P[col+1]; p++ {
+		if c.I[p] == row {
+			return c.X[p]
+		}
+	}
+	return 0
+}
+
+// NNZ returns the stored entry count.
+func (c *CSC) NNZ() int { return len(c.X) }
+
+// MulVec computes y = A*x into a new slice.
+func (c *CSC) MulVec(x []float64) []float64 {
+	y := make([]float64, c.N)
+	for j := 0; j < c.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := c.P[j]; p < c.P[j+1]; p++ {
+			y[c.I[p]] += c.X[p] * xj
+		}
+	}
+	return y
+}

@@ -1,0 +1,300 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlcint/internal/lina"
+)
+
+func denseFromCSC(c *CSC) *lina.Dense {
+	d := lina.NewDense(c.N, c.N)
+	for j := 0; j < c.N; j++ {
+		for p := c.P[j]; p < c.P[j+1]; p++ {
+			d.Add(c.I[p], j, c.X[p])
+		}
+	}
+	return d
+}
+
+func randomSystem(r *rand.Rand, n int, density float64) (*CSC, []float64) {
+	t := NewTriplet(n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if r.Float64() < density {
+				v := r.Float64()*2 - 1
+				t.Add(i, j, v)
+				rowSum += math.Abs(v)
+			}
+		}
+		t.Add(i, i, rowSum+1+r.Float64()) // diagonally dominant => nonsingular
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Float64()*10 - 5
+	}
+	return t.Compile(), b
+}
+
+func TestTripletCompileDuplicates(t *testing.T) {
+	tr := NewTriplet(2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 0, 2) // duplicate sums
+	tr.Add(1, 0, 4)
+	tr.Add(1, 1, 5)
+	c := tr.Compile()
+	if c.At(0, 0) != 3 || c.At(1, 0) != 4 || c.At(1, 1) != 5 || c.At(0, 1) != 0 {
+		t.Errorf("compile wrong: %v", c.X)
+	}
+	if c.NNZ() != 3 {
+		t.Errorf("nnz = %d, want 3", c.NNZ())
+	}
+}
+
+func TestTripletFrozenReplay(t *testing.T) {
+	tr := NewTriplet(2)
+	stamp := func(scale float64) {
+		tr.Add(0, 0, 2*scale)
+		tr.Add(0, 1, scale)
+		tr.Add(1, 1, 3*scale)
+		tr.Add(0, 0, scale) // duplicate entry in the pattern
+	}
+	stamp(1)
+	c := tr.Compile()
+	if c.At(0, 0) != 3 {
+		t.Fatalf("initial compile: %v", c.At(0, 0))
+	}
+	// Replay with different values; same pattern, updated in place.
+	tr.Reset()
+	stamp(2)
+	if c.At(0, 0) != 6 || c.At(0, 1) != 2 || c.At(1, 1) != 6 {
+		t.Errorf("frozen replay values wrong: %v", c.X)
+	}
+	if got := tr.Compile(); got != c {
+		t.Error("Compile after freeze must return the same CSC")
+	}
+}
+
+func TestTripletFrozenDeviationPanics(t *testing.T) {
+	tr := NewTriplet(2)
+	tr.Add(0, 0, 1)
+	tr.Compile()
+	tr.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on deviating stamp order")
+		}
+	}()
+	tr.Add(1, 1, 1)
+}
+
+func TestLUSmallExact(t *testing.T) {
+	// [[2,1],[1,3]] x = [5,10] -> x = [1,3]
+	tr := NewTriplet(2)
+	tr.Add(0, 0, 2)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	tr.Add(1, 1, 3)
+	f := Workspace(2)
+	if err := f.Factorize(tr.Compile(), 1); err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	x, err := f.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLUZeroDiagonalNeedsPivot(t *testing.T) {
+	tr := NewTriplet(2)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	f := Workspace(2)
+	if err := f.Factorize(tr.Compile(), 1); err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	x, err := f.Solve([]float64{3, 7})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	tr := NewTriplet(2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 2)
+	tr.Add(1, 0, 2)
+	tr.Add(1, 1, 4)
+	f := Workspace(2)
+	if err := f.Factorize(tr.Compile(), 1); err == nil {
+		t.Error("expected ErrSingular")
+	}
+}
+
+func TestLURandomAgainstDense(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(40)
+		c, b := randomSystem(r, n, 0.2)
+		f := Workspace(n)
+		if err := f.Factorize(c, 1); err != nil {
+			t.Fatalf("n=%d Factorize: %v", n, err)
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		want, err := lina.Solve(denseFromCSC(c), b)
+		if err != nil {
+			t.Fatalf("dense Solve: %v", err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUThresholdPivoting(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c, b := randomSystem(r, 25, 0.15)
+	f := Workspace(25)
+	if err := f.Factorize(c, 0.1); err != nil {
+		t.Fatalf("Factorize with threshold: %v", err)
+	}
+	x, _ := f.Solve(b)
+	res := c.MulVec(x)
+	for i := range b {
+		if math.Abs(res[i]-b[i]) > 1e-8 {
+			t.Fatalf("residual[%d] = %v", i, res[i]-b[i])
+		}
+	}
+}
+
+func TestLULadderStructure(t *testing.T) {
+	// Tridiagonal ladder: the structure the MNA of an RC line produces.
+	n := 200
+	tr := NewTriplet(n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2.5)
+		if i > 0 {
+			tr.Add(i, i-1, -1)
+			tr.Add(i-1, i, -1)
+		}
+	}
+	c := tr.Compile()
+	f := Workspace(n)
+	if err := f.Factorize(c, 1); err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	b := make([]float64, n)
+	b[0], b[n-1] = 1, 2
+	x, _ := f.Solve(b)
+	res := c.MulVec(x)
+	for i := range b {
+		if math.Abs(res[i]-b[i]) > 1e-10 {
+			t.Fatalf("residual[%d] = %v", i, res[i]-b[i])
+		}
+	}
+}
+
+func TestLUWorkspaceReuse(t *testing.T) {
+	// Factorize the same workspace with different matrices; results stay correct.
+	r := rand.New(rand.NewSource(5))
+	f := Workspace(15)
+	for trial := 0; trial < 10; trial++ {
+		c, b := randomSystem(r, 15, 0.3)
+		if err := f.Factorize(c, 1); err != nil {
+			t.Fatalf("Factorize: %v", err)
+		}
+		x, _ := f.Solve(b)
+		res := c.MulVec(x)
+		for i := range b {
+			if math.Abs(res[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d residual[%d] = %v", trial, i, res[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestLUSolveResidualProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		c, b := randomSystem(r, n, 0.25)
+		f := Workspace(n)
+		if err := f.Factorize(c, 1); err != nil {
+			return false
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			return false
+		}
+		res := c.MulVec(x)
+		for i := range b {
+			if math.Abs(res[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSCMulVecAndAt(t *testing.T) {
+	tr := NewTriplet(3)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 1, 2)
+	tr.Add(2, 0, 3)
+	tr.Add(0, 2, -1)
+	c := tr.Compile()
+	y := c.MulVec([]float64{1, 1, 1})
+	want := []float64{0, 2, 3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if c.At(2, 2) != 0 {
+		t.Error("missing entry must read as zero")
+	}
+}
+
+func BenchmarkLUFactorLadder500(b *testing.B) {
+	n := 500
+	tr := NewTriplet(n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2.5)
+		if i > 0 {
+			tr.Add(i, i-1, -1)
+			tr.Add(i-1, i, -1)
+		}
+	}
+	c := tr.Compile()
+	f := Workspace(n)
+	rhs := make([]float64, n)
+	rhs[0] = 1
+	x := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Factorize(c, 1); err != nil {
+			b.Fatal(err)
+		}
+		f.SolveInto(x, rhs)
+	}
+}

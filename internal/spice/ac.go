@@ -1,0 +1,138 @@
+package spice
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"rlcint/internal/lina"
+)
+
+// acStamper is implemented by elements that participate in small-signal AC
+// analysis. Elements without an AC stamp cause ACAnalysis to fail loudly
+// (the nonlinear macro-models here have no meaningful small-signal form
+// without an operating point, and the AC path is used to validate the
+// passive ladder against the exact transfer function).
+type acStamper interface {
+	acLoad(ld *acLoader, s complex128)
+}
+
+// acLoader assembles the complex MNA system A(s)·x = b.
+type acLoader struct {
+	nNodes int
+	a      *lina.ZDense
+	b      []complex128
+	// acSource designates which voltage source drives with unit amplitude;
+	// all other independent sources are zeroed (standard AC analysis).
+	acSource *VSource
+}
+
+func (ld *acLoader) addA(row, col NodeID, v complex128) {
+	if row != Ground && col != Ground {
+		ld.a.Add(int(row), int(col), v)
+	}
+}
+
+func (ld *acLoader) addARC(row, col int, v complex128) { ld.a.Add(row, col, v) }
+
+func (ld *acLoader) branchRow(b int) int { return ld.nNodes + b }
+
+func (e *resistor) acLoad(ld *acLoader, s complex128) {
+	g := complex(e.g, 0)
+	ld.addA(e.a, e.a, g)
+	ld.addA(e.a, e.b, -g)
+	ld.addA(e.b, e.a, -g)
+	ld.addA(e.b, e.b, g)
+}
+
+func (e *capacitor) acLoad(ld *acLoader, s complex128) {
+	y := s * complex(e.c, 0)
+	ld.addA(e.a, e.a, y)
+	ld.addA(e.a, e.b, -y)
+	ld.addA(e.b, e.a, -y)
+	ld.addA(e.b, e.b, y)
+}
+
+func (e *Inductor) acLoad(ld *acLoader, s complex128) {
+	br := ld.branchRow(e.bidx)
+	if e.a != Ground {
+		ld.addARC(int(e.a), br, 1)
+		ld.addARC(br, int(e.a), 1)
+	}
+	if e.b != Ground {
+		ld.addARC(int(e.b), br, -1)
+		ld.addARC(br, int(e.b), -1)
+	}
+	ld.addARC(br, br, -s*complex(e.l, 0))
+}
+
+func (e *VSource) acLoad(ld *acLoader, s complex128) {
+	br := ld.branchRow(e.bidx)
+	if e.a != Ground {
+		ld.addARC(int(e.a), br, 1)
+		ld.addARC(br, int(e.a), 1)
+	}
+	if e.b != Ground {
+		ld.addARC(int(e.b), br, -1)
+		ld.addARC(br, int(e.b), -1)
+	}
+	if e == ld.acSource {
+		ld.b[br] = 1
+	}
+}
+
+func (e *isource) acLoad(ld *acLoader, s complex128) {
+	// Independent current sources are open (zeroed) in AC analysis.
+}
+
+// ACResult holds a frequency sweep of one node's transfer from the AC
+// source.
+type ACResult struct {
+	S []complex128 // evaluation points (usually jω)
+	H []complex128 // V(node)/V(source)
+}
+
+// ACAnalysis computes the small-signal transfer function from src (driven at
+// unit amplitude, all other sources zeroed) to the voltage of node out, at
+// each complex frequency in ss. The circuit must be linear (R, C, L,
+// sources); nonlinear elements cause an error.
+func (c *Circuit) ACAnalysis(src *VSource, out NodeID, ss []complex128) (*ACResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("spice: ACAnalysis requires a source")
+	}
+	if out == Ground {
+		return nil, fmt.Errorf("spice: ACAnalysis output is ground")
+	}
+	stampers := make([]acStamper, len(c.elems))
+	for i, e := range c.elems {
+		st, ok := e.(acStamper)
+		if !ok {
+			return nil, fmt.Errorf("spice: ACAnalysis: element %T has no small-signal model", e)
+		}
+		stampers[i] = st
+	}
+	n := c.NumUnknowns()
+	res := &ACResult{S: append([]complex128(nil), ss...), H: make([]complex128, len(ss))}
+	for i, s := range ss {
+		ld := &acLoader{
+			nNodes:   c.NumNodes(),
+			a:        lina.NewZDense(n, n),
+			b:        make([]complex128, n),
+			acSource: src,
+		}
+		for _, st := range stampers {
+			st.acLoad(ld, s)
+		}
+		x, err := lina.ZSolve(ld.a, ld.b)
+		if err != nil {
+			return nil, fmt.Errorf("spice: ACAnalysis singular at s=%v: %w", s, err)
+		}
+		res.H[i] = x[out]
+	}
+	return res, nil
+}
+
+// Magnitude returns |H| at sweep index i.
+func (r *ACResult) Magnitude(i int) float64 { return cmplx.Abs(r.H[i]) }

@@ -1,0 +1,149 @@
+package spice
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+func TestACRCLowpass(t *testing.T) {
+	// Single-pole RC: H = 1/(1+sRC).
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	src, err := c.AddV(in, Ground, DC(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddR(in, out, 1000)
+	c.AddC(out, Ground, 1e-9) // RC = 1µs
+	for _, f := range []float64{1e3, 159.155e3, 1e6} {
+		s := complex(0, 2*math.Pi*f)
+		res, err := c.ACAnalysis(src, out, []complex128{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 + s*complex(1e-6, 0))
+		if cmplx.Abs(res.H[0]-want) > 1e-9 {
+			t.Errorf("f=%v: H=%v, want %v", f, res.H[0], want)
+		}
+	}
+}
+
+func TestACSeriesRLCResonance(t *testing.T) {
+	// Series RLC to ground measured at the capacitor: |H| peaks near the
+	// resonant frequency for low damping.
+	c := New()
+	in, mid, out := c.Node("in"), c.Node("mid"), c.Node("out")
+	src, _ := c.AddV(in, Ground, DC(0))
+	c.AddR(in, mid, 0.2) // ζ = 0.1: resonant peak |H(jω0)| = 1/(2ζ) = 5
+	if _, err := c.AddL(mid, out, 100e-9); err != nil {
+		t.Fatal(err)
+	}
+	c.AddC(out, Ground, 100e-9)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(100e-9*100e-9))
+	var ss []complex128
+	for _, f := range []float64{f0 / 10, f0, f0 * 10} {
+		ss = append(ss, complex(0, 2*math.Pi*f))
+	}
+	res, err := c.ACAnalysis(src, out, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Magnitude(1) > res.Magnitude(0) && res.Magnitude(1) > res.Magnitude(2)) {
+		t.Errorf("no resonance peak: %v %v %v", res.Magnitude(0), res.Magnitude(1), res.Magnitude(2))
+	}
+	// Exact: H = 1/(1 + sRC + s²LC).
+	s := ss[1]
+	want := 1 / (1 + s*complex(0.2*100e-9, 0) + s*s*complex(100e-9*100e-9, 0))
+	if cmplx.Abs(res.H[1]-want)/cmplx.Abs(want) > 1e-9 {
+		t.Errorf("at f0: H=%v, want %v", res.H[1], want)
+	}
+}
+
+func TestACLadderMatchesExactTransferFunction(t *testing.T) {
+	// The strongest cross-validation in the package: a 60-section ladder of
+	// the paper's driver-line-load stage must match the exact Eq. (1)
+	// transfer function over the frequencies that matter for delay.
+	node := tech.Node100()
+	k := 528.0
+	st := tline.Stage{
+		Line: tline.Line{R: node.R, L: 2e-6, C: node.C},
+		H:    11.1e-3,
+		RS:   node.Rs / k,
+		CP:   node.Cp * k,
+		CL:   node.C0 * k,
+	}
+	ckt := New()
+	in, drv := ckt.Node("in"), ckt.Node("drv")
+	src, _ := ckt.AddV(in, Ground, DC(0))
+	ckt.AddR(in, drv, st.RS)
+	ckt.AddC(drv, Ground, st.CP)
+	nSec := 60
+	segs := st.Line.Ladder(st.H, nSec)
+	prev := drv
+	var outN NodeID
+	for i, sg := range segs {
+		mid := ckt.Node(nodeName("m", i))
+		next := ckt.Node(nodeName("n", i))
+		ckt.AddR(prev, mid, sg.R)
+		if _, err := ckt.AddL(mid, next, sg.L); err != nil {
+			t.Fatal(err)
+		}
+		ckt.AddC(next, Ground, sg.C)
+		prev = next
+		outN = next
+	}
+	ckt.AddC(outN, Ground, st.CL)
+
+	// Sample up to ~2× the stage's natural frequency.
+	for _, f := range []float64{1e8, 5e8, 1e9, 2e9, 4e9} {
+		s := complex(0, 2*math.Pi*f)
+		res, err := ckt.ACAnalysis(src, outN, []complex128{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := st.TransferExact(s)
+		rel := cmplx.Abs(res.H[0]-want) / cmplx.Abs(want)
+		// Discretization error grows with frequency; 60 sections hold a few
+		// percent through 2 GHz.
+		tol := 0.03
+		if f >= 4e9 {
+			tol = 0.10
+		}
+		if rel > tol {
+			t.Errorf("f=%g: ladder H=%v exact %v (rel %v)", f, res.H[0], want, rel)
+		}
+	}
+}
+
+func nodeName(p string, i int) string {
+	return p + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestACErrorsOnNonlinear(t *testing.T) {
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	src, _ := c.AddV(in, Ground, DC(0))
+	if _, err := c.AddInverter(in, out, InverterParams{VDD: 1, ROut: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ACAnalysis(src, out, []complex128{complex(0, 1e9)}); err == nil {
+		t.Error("nonlinear element must be rejected in AC analysis")
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	src, _ := c.AddV(in, Ground, DC(0))
+	c.AddR(in, Ground, 1)
+	if _, err := c.ACAnalysis(nil, in, []complex128{1i}); err == nil {
+		t.Error("nil source must fail")
+	}
+	if _, err := c.ACAnalysis(src, Ground, []complex128{1i}); err == nil {
+		t.Error("ground output must fail")
+	}
+}

@@ -1,0 +1,114 @@
+package spice
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"rlcint/internal/lina"
+)
+
+// acStamperAt is implemented by nonlinear elements that can contribute a
+// small-signal model linearized at a given operating point.
+type acStamperAt interface {
+	acLoadAt(ld *acLoader, s complex128, x []float64)
+}
+
+func (e *inverterCore) acLoadAt(ld *acLoader, s complex128, x []float64) {
+	g := 1 / e.p.ROut
+	vin := 0.0
+	if e.in != Ground {
+		vin = x[e.in]
+	}
+	_, dvt := e.target(vin)
+	// i_out = g·(v_out − vt(v_in)):  ∂i/∂v_out = g, ∂i/∂v_in = −g·vt'.
+	ld.addA(e.out, e.out, complex(g, 0))
+	ld.addA(e.out, e.in, complex(-g*dvt, 0))
+}
+
+func (e *mosfet) acLoadAt(ld *acLoader, s complex128, x []float64) {
+	// Reuse the transient linearization: assemble the element's Jacobian at
+	// x via a scratch loader and copy the conductances (the MOSFET is
+	// memoryless, so its small-signal model is exactly its DC Jacobian).
+	sp := 1.0
+	if e.p.PMOS {
+		sp = -1
+	}
+	v := func(n NodeID) float64 {
+		if n == Ground {
+			return 0
+		}
+		return x[n]
+	}
+	wd, wg, ws := sp*v(e.d), sp*v(e.g), sp*v(e.s)
+	var jd, jg, js float64
+	if wd >= ws {
+		_, dg, dd := e.p.ids(wg-ws, wd-ws)
+		jd, jg, js = dd, dg, -dd-dg
+	} else {
+		_, dg, dd := e.p.ids(wg-wd, ws-wd)
+		js, jg, jd = -dd, -dg, dd+dg
+	}
+	ld.addA(e.d, e.d, complex(jd, 0))
+	ld.addA(e.d, e.g, complex(jg, 0))
+	ld.addA(e.d, e.s, complex(js, 0))
+	ld.addA(e.s, e.d, complex(-jd, 0))
+	ld.addA(e.s, e.g, complex(-jg, 0))
+	ld.addA(e.s, e.s, complex(-js, 0))
+}
+
+// ACAnalysisAtOP computes the small-signal transfer function of a circuit
+// that may contain nonlinear devices: the devices are linearized at the DC
+// operating point (computed here via DCOperatingPoint), and the resulting
+// linear network is solved at each complex frequency. Use this for loop
+// gains and small-signal bandwidths of inverter chains.
+func (c *Circuit) ACAnalysisAtOP(src *VSource, out NodeID, ss []complex128) (*ACResult, []float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if src == nil {
+		return nil, nil, fmt.Errorf("spice: ACAnalysisAtOP requires a source")
+	}
+	if out == Ground {
+		return nil, nil, fmt.Errorf("spice: ACAnalysisAtOP output is ground")
+	}
+	op, err := c.DCOperatingPoint()
+	if err != nil {
+		return nil, nil, fmt.Errorf("spice: ACAnalysisAtOP operating point: %w", err)
+	}
+	n := c.NumUnknowns()
+	res := &ACResult{S: append([]complex128(nil), ss...), H: make([]complex128, len(ss))}
+	for i, s := range ss {
+		ld := &acLoader{
+			nNodes:   c.NumNodes(),
+			a:        lina.NewZDense(n, n),
+			b:        make([]complex128, n),
+			acSource: src,
+		}
+		for _, e := range c.elems {
+			switch st := e.(type) {
+			case acStamper:
+				st.acLoad(ld, s)
+			case acStamperAt:
+				st.acLoadAt(ld, s, op)
+			default:
+				return nil, nil, fmt.Errorf("spice: ACAnalysisAtOP: element %T has no small-signal model", e)
+			}
+		}
+		x, err := lina.ZSolve(ld.a, ld.b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spice: ACAnalysisAtOP singular at s=%v: %w", s, err)
+		}
+		res.H[i] = x[out]
+	}
+	return res, op, nil
+}
+
+// LowFrequencyGain returns |H| at a frequency far below the circuit's poles
+// (1 Hz), a convenience for DC small-signal gain measurements.
+func (c *Circuit) LowFrequencyGain(src *VSource, out NodeID) (float64, error) {
+	res, _, err := c.ACAnalysisAtOP(src, out, []complex128{complex(0, 2*3.14159265358979)})
+	if err != nil {
+		return 0, err
+	}
+	return cmplx.Abs(res.H[0]), nil
+}

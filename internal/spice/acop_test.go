@@ -1,0 +1,133 @@
+package spice
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestACAtOPInverterGainAtThreshold(t *testing.T) {
+	// An inverter biased exactly at its switching threshold has small-signal
+	// gain Gain/2 (the slope of VDD·σ(2·Gain·(VM−v)/VDD) at v=VM).
+	vdd := 1.2
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	src, _ := c.AddV(in, Ground, DC(vdd/2))
+	if _, err := c.AddInverter(in, out, InverterParams{
+		VDD: vdd, ROut: 14.3, CIn: 4e-13, COut: 1.9e-12, Gain: 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LowFrequencyGain(src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-10) > 0.01 {
+		t.Errorf("threshold gain %v, want Gain/2 = 10", g)
+	}
+	// Biased at the rail, the gain collapses.
+	c2 := New()
+	in2, out2 := c2.Node("in"), c2.Node("out")
+	src2, _ := c2.AddV(in2, Ground, DC(0))
+	if _, err := c2.AddInverter(in2, out2, InverterParams{
+		VDD: vdd, ROut: 14.3, CIn: 4e-13, COut: 1.9e-12, Gain: 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c2.LowFrequencyGain(src2, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 > 0.01 {
+		t.Errorf("rail-biased gain %v, want ≈0", g2)
+	}
+}
+
+func TestACAtOPInverterBandwidth(t *testing.T) {
+	// The threshold-biased inverter with its output capacitance is a
+	// single-pole amplifier: f3dB = 1/(2π·ROut·COut) (CIn loads the ideal
+	// source, not the output).
+	vdd := 1.2
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	src, _ := c.AddV(in, Ground, DC(vdd/2))
+	p := InverterParams{VDD: vdd, ROut: 100, CIn: 1e-13, COut: 1e-12, Gain: 20}
+	if _, err := c.AddInverter(in, out, p); err != nil {
+		t.Fatal(err)
+	}
+	f3 := 1 / (2 * math.Pi * p.ROut * p.COut)
+	res, _, err := c.ACAnalysisAtOP(src, out, []complex128{complex(0, 2*math.Pi*f3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 / math.Sqrt2 // |H| at the pole = DC gain/√2
+	if got := cmplx.Abs(res.H[0]); math.Abs(got-want) > 0.02*want {
+		t.Errorf("|H(f3dB)| = %v, want %v", got, want)
+	}
+}
+
+func TestACAtOPCMOSInverterGainNegativeSlopeRegion(t *testing.T) {
+	// Alpha-power CMOS inverter biased mid-transfer: small-signal gain
+	// well above 1 (it is an amplifier there).
+	vdd := 1.2
+	c := New()
+	in, out, vddN := c.Node("in"), c.Node("out"), c.Node("vdd")
+	c.AddV(vddN, Ground, DC(vdd))
+	src, _ := c.AddV(in, Ground, DC(0.6))
+	par := MOSFETParams{VT: 0.3, Alpha: 1.3, KSat: 5e-4, KV: 0.8}
+	if err := c.AddMOSFET(out, in, Ground, par); err != nil {
+		t.Fatal(err)
+	}
+	pp := par
+	pp.PMOS = true
+	if err := c.AddMOSFET(out, in, vddN, pp); err != nil {
+		t.Fatal(err)
+	}
+	c.AddR(out, Ground, 1e6) // output load defining the gain
+	g, err := c.LowFrequencyGain(src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 2 {
+		t.Errorf("mid-transfer CMOS gain %v, want amplifier-like (>2)", g)
+	}
+}
+
+func TestACAtOPMatchesLinearACForLinearCircuit(t *testing.T) {
+	// On a purely linear circuit the two AC paths must agree exactly.
+	build := func() (*Circuit, *VSource, NodeID) {
+		c := New()
+		in, out := c.Node("in"), c.Node("out")
+		src, _ := c.AddV(in, Ground, DC(0))
+		c.AddR(in, out, 1000)
+		c.AddC(out, Ground, 1e-9)
+		return c, src, out
+	}
+	s := complex(0, 2*math.Pi*1e5)
+	c1, src1, out1 := build()
+	a, err := c1.ACAnalysis(src1, out1, []complex128{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, src2, out2 := build()
+	b, _, err := c2.ACAnalysisAtOP(src2, out2, []complex128{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(a.H[0]-b.H[0]) > 1e-12 {
+		t.Errorf("linear AC mismatch: %v vs %v", a.H[0], b.H[0])
+	}
+}
+
+func TestACAtOPValidation(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	src, _ := c.AddV(in, Ground, DC(1))
+	c.AddR(in, Ground, 1)
+	if _, _, err := c.ACAnalysisAtOP(nil, in, []complex128{1i}); err == nil {
+		t.Error("nil source must fail")
+	}
+	if _, _, err := c.ACAnalysisAtOP(src, Ground, []complex128{1i}); err == nil {
+		t.Error("ground output must fail")
+	}
+}

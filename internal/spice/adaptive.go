@@ -1,0 +1,181 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdaptiveOpts configure TransientAdaptive.
+type AdaptiveOpts struct {
+	TStop float64
+	// DTInit is the starting step (default TStop/1000); DTMin and DTMax
+	// bound the controller (defaults TStop/1e7 and TStop/50).
+	DTInit, DTMin, DTMax float64
+	// LTETol is the per-step local-truncation-error target on node voltages
+	// (default 1e-4, in the solution's own units).
+	LTETol float64
+	UseICs bool
+	// Newton settings are shared with TranOpts defaults.
+	MaxNewton int
+	ITol      float64
+	Gmin      float64
+}
+
+func (o AdaptiveOpts) withDefaults() (AdaptiveOpts, error) {
+	if o.TStop <= 0 {
+		return o, fmt.Errorf("spice: adaptive transient needs TStop > 0")
+	}
+	if o.DTInit == 0 {
+		o.DTInit = o.TStop / 1000
+	}
+	if o.DTMin == 0 {
+		o.DTMin = o.TStop / 1e7
+	}
+	if o.DTMax == 0 {
+		o.DTMax = o.TStop / 50
+	}
+	if o.DTInit > o.DTMax {
+		o.DTInit = o.DTMax
+	}
+	if o.LTETol == 0 {
+		o.LTETol = 1e-4
+	}
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 50
+	}
+	if o.ITol == 0 {
+		o.ITol = 1e-9
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	return o, nil
+}
+
+// TransientAdaptive runs a trapezoidal transient with local-truncation-error
+// step control: each step's LTE is estimated from the deviation of the new
+// solution from a quadratic (divided-difference) predictor through the last
+// three accepted points, and the step is resized toward the target error
+// with the standard third-order rule. The returned Result has a non-uniform
+// time axis.
+func (c *Circuit) TransientAdaptive(opts AdaptiveOpts, probes ...Probe) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tran := TranOpts{
+		TStop: opts.TStop, DT: opts.DTInit, MaxNewton: opts.MaxNewton,
+		ITol: opts.ITol, Gmin: opts.Gmin,
+	}
+	tran, _ = tran.withDefaults()
+
+	ns := newNewtonState(c)
+	if opts.UseICs {
+		for id, v := range c.ics {
+			ns.x[id] = v
+		}
+	} else {
+		x0, err := c.DCOperatingPoint()
+		if err != nil {
+			return nil, fmt.Errorf("spice: adaptive initial point: %w", err)
+		}
+		copy(ns.x, x0)
+	}
+	copy(ns.xPrev, ns.x)
+
+	res := &Result{Signals: make([][]float64, len(probes)), Labels: make([]string, len(probes))}
+	for i, p := range probes {
+		res.Labels[i] = p.Label()
+	}
+	record := func(t float64) {
+		res.T = append(res.T, t)
+		for i, p := range probes {
+			res.Signals[i] = append(res.Signals[i], p.sample(ns.x, ns.nNodes))
+		}
+	}
+	record(0)
+
+	// History for the quadratic predictor: last two accepted solutions and
+	// their times (the current xPrev is the third point).
+	hist1 := make([]float64, ns.n) // x(t_{k-1})
+	hist2 := make([]float64, ns.n) // x(t_{k-2})
+	var t1, t2 float64
+	havePts := 0
+	pred := make([]float64, ns.n)
+
+	t := 0.0
+	dt := opts.DTInit
+	beSteps := 2
+	fails := 0
+	for t < opts.TStop*(1-1e-12) {
+		if t+dt > opts.TStop {
+			dt = opts.TStop - t
+		}
+		trap := beSteps <= 0
+		ld := &loader{t: t + dt, dt: dt, trap: trap, gmin: tran.Gmin}
+		copy(ns.xPrev, ns.x)
+		if _, err := ns.solveNewton(ld, tran); err != nil {
+			copy(ns.x, ns.xPrev)
+			fails++
+			if fails > 30 {
+				return res, fmt.Errorf("spice: adaptive step collapsed at t=%g: %w", t, err)
+			}
+			dt /= 2
+			if dt < opts.DTMin {
+				return res, fmt.Errorf("spice: adaptive step below DTMin at t=%g: %w", t, err)
+			}
+			continue
+		}
+		fails = 0
+		// LTE estimate once enough history exists.
+		accepted := true
+		if havePts >= 2 && trap {
+			// Quadratic extrapolation through (t2,hist2), (t1,hist1),
+			// (t,xPrev) evaluated at t+dt.
+			tn := t + dt
+			l2 := (tn - t1) * (tn - t) / ((t2 - t1) * (t2 - t))
+			l1 := (tn - t2) * (tn - t) / ((t1 - t2) * (t1 - t))
+			l0 := (tn - t2) * (tn - t1) / ((t - t2) * (t - t1))
+			errMax := 0.0
+			for i := 0; i < ns.nNodes; i++ {
+				pred[i] = l2*hist2[i] + l1*hist1[i] + l0*ns.xPrev[i]
+				if e := math.Abs(ns.x[i] - pred[i]); e > errMax {
+					errMax = e
+				}
+			}
+			// Resize toward the target; reject wild steps.
+			if errMax > 8*opts.LTETol && dt > opts.DTMin {
+				copy(ns.x, ns.xPrev)
+				dt = math.Max(dt/2, opts.DTMin)
+				continue
+			}
+			ratio := math.Pow(opts.LTETol/math.Max(errMax, 1e-300), 1.0/3)
+			ratio = math.Min(math.Max(ratio, 0.3), 2)
+			dt = math.Min(math.Max(dt*ratio, opts.DTMin), opts.DTMax)
+		}
+		if accepted {
+			ldAcc := *ld
+			ldAcc.x = ns.x
+			ldAcc.xPrev = ns.xPrev
+			for _, e := range c.elems {
+				e.accept(&ldAcc)
+			}
+			// Shift history.
+			t2, t1 = t1, t
+			copy(hist2, hist1)
+			copy(hist1, ns.xPrev)
+			if havePts < 2 {
+				havePts++
+			}
+			t = ld.t
+			if beSteps > 0 {
+				beSteps--
+			}
+			record(t)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// InverterParams describe the calibrated inverter macro-model that realizes
+// the paper's repeater abstraction: a linear output resistance Rs/k switched
+// between the rails by a smooth threshold on the input, with lumped input
+// and output capacitances. A size-k instance of a technology's minimum
+// device uses ROut = rs/k, CIn = c0·k, COut = cp·k.
+type InverterParams struct {
+	VDD  float64 // supply, V
+	ROut float64 // effective output resistance, Ω
+	CIn  float64 // input capacitance to ground, F
+	COut float64 // output parasitic capacitance to ground, F
+	// Gain is the small-signal voltage gain magnitude at the switching
+	// threshold; it sets how sharp the inverter's transfer characteristic
+	// is. Values of 10–30 are CMOS-like. Defaults to 20.
+	Gain float64
+	// VM is the switching threshold; defaults to VDD/2.
+	VM float64
+}
+
+func (p InverterParams) withDefaults() (InverterParams, error) {
+	if p.VDD <= 0 || p.ROut <= 0 || p.CIn < 0 || p.COut < 0 {
+		return p, fmt.Errorf("spice: invalid inverter parameters %+v", p)
+	}
+	if p.Gain == 0 {
+		p.Gain = 20
+	}
+	if p.Gain < 1 {
+		return p, fmt.Errorf("spice: inverter gain %g must be >= 1", p.Gain)
+	}
+	if p.VM == 0 {
+		p.VM = p.VDD / 2
+	}
+	return p, nil
+}
+
+// inverterCore is the nonlinear output stage: a current source
+// i_out = (V_target(v_in) − v_out)/ROut driving the output node, where
+// V_target swings smoothly from VDD to 0 as v_in crosses VM.
+type inverterCore struct {
+	in, out NodeID
+	p       InverterParams
+}
+
+// Inverter is the handle returned by AddInverter.
+type Inverter struct {
+	In, Out NodeID
+	Params  InverterParams
+}
+
+// AddInverter adds a calibrated inverter macro-model between in and out,
+// including its input and output capacitances (when nonzero).
+func (c *Circuit) AddInverter(in, out NodeID, p InverterParams) (*Inverter, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c.addElem(&inverterCore{in: in, out: out, p: p})
+	if p.CIn > 0 {
+		if err := c.AddC(in, Ground, p.CIn); err != nil {
+			return nil, err
+		}
+	}
+	if p.COut > 0 {
+		if err := c.AddC(out, Ground, p.COut); err != nil {
+			return nil, err
+		}
+	}
+	return &Inverter{In: in, Out: out, Params: p}, nil
+}
+
+// target returns V_target(vin) and its derivative. The transfer curve is
+// V_target = VDD·σ(2·Gain·(VM−vin)/VDD) with σ the logistic function, whose
+// slope at vin = VM is exactly −Gain·... (σ' = 1/4 at 0, so the gain at VM
+// is Gain/2; the factor keeps the curve inside the rails with CMOS-like
+// sharpness).
+func (e *inverterCore) target(vin float64) (vt, dvt float64) {
+	p := e.p
+	x := 2 * p.Gain * (p.VM - vin) / p.VDD
+	// Logistic with overflow guards.
+	var sig, dsig float64
+	switch {
+	case x > 40:
+		sig, dsig = 1, 0
+	case x < -40:
+		sig, dsig = 0, 0
+	default:
+		ex := math.Exp(-x)
+		sig = 1 / (1 + ex)
+		dsig = sig * (1 - sig)
+	}
+	vt = p.VDD * sig
+	dvt = p.VDD * dsig * (-2 * p.Gain / p.VDD)
+	return
+}
+
+func (e *inverterCore) load(ld *loader) {
+	g := 1 / e.p.ROut
+	vt, dvt := e.target(ld.v(e.in))
+	// Current leaving the output node into the driver: g·(vout − vt).
+	i := g * (ld.v(e.out) - vt)
+	ld.addRes(e.out, i)
+	ld.addJ(e.out, e.out, g)
+	ld.addJ(e.out, e.in, -g*dvt)
+}
+
+func (e *inverterCore) accept(ld *loader) {}
+
+// MOSFETParams parameterize the alpha-power-law MOSFET (Sakurai–Newton).
+type MOSFETParams struct {
+	PMOS  bool
+	VT    float64 // threshold voltage magnitude, V (positive for both types)
+	Alpha float64 // velocity-saturation index, 1 (fully saturated) .. 2 (long channel)
+	KSat  float64 // saturation current factor: Idsat = KSat·(Vgs−VT)^Alpha, A/V^α
+	KV    float64 // saturation voltage factor: Vdsat = KV·(Vgs−VT)^(Alpha/2), V^(1−α/2)
+	GLeak float64 // off-state leak conductance for Newton robustness; default 1e-12 S
+}
+
+func (p MOSFETParams) withDefaults() (MOSFETParams, error) {
+	if p.VT <= 0 || p.Alpha < 1 || p.Alpha > 2 || p.KSat <= 0 || p.KV <= 0 {
+		return p, fmt.Errorf("spice: invalid MOSFET parameters %+v", p)
+	}
+	if p.GLeak == 0 {
+		p.GLeak = 1e-12
+	}
+	return p, nil
+}
+
+type mosfet struct {
+	d, g, s NodeID
+	p       MOSFETParams
+}
+
+// AddMOSFET adds an alpha-power-law transistor with drain d, gate g,
+// source s (bulk tied to source).
+func (c *Circuit) AddMOSFET(d, g, s NodeID, p MOSFETParams) error {
+	p, err := p.withDefaults()
+	if err != nil {
+		return err
+	}
+	c.addElem(&mosfet{d: d, g: g, s: s, p: p})
+	return nil
+}
+
+// ids returns the drain current (flowing d→s for NMOS conventions) and its
+// partial derivatives w.r.t. vgs and vds, for vds ≥ 0. Callers handle
+// polarity and reverse mode.
+func (p MOSFETParams) ids(vgs, vds float64) (id, dIdVgs, dIdVds float64) {
+	vov := vgs - p.VT
+	if vov <= 0 {
+		return p.GLeak * vds, 0, p.GLeak
+	}
+	idsat := p.KSat * math.Pow(vov, p.Alpha)
+	vdsat := p.KV * math.Pow(vov, p.Alpha/2)
+	dIdsat := p.KSat * p.Alpha * math.Pow(vov, p.Alpha-1)
+	dVdsat := p.KV * (p.Alpha / 2) * math.Pow(vov, p.Alpha/2-1)
+	if vds >= vdsat {
+		// Saturation.
+		return idsat + p.GLeak*vds, dIdsat, p.GLeak
+	}
+	// Triode: Id = Idsat·(2 − vds/vdsat)·(vds/vdsat).
+	u := vds / vdsat
+	id = idsat*(2-u)*u + p.GLeak*vds
+	dIdVds = idsat*(2-2*u)/vdsat + p.GLeak
+	// du/dvgs = −vds/vdsat²·dVdsat
+	dudg := -vds / (vdsat * vdsat) * dVdsat
+	dIdVgs = dIdsat*(2-u)*u + idsat*(2-2*u)*dudg
+	return
+}
+
+func (e *mosfet) load(ld *loader) {
+	// Work in negated coordinates for PMOS (w = sp·v); the device is then an
+	// NMOS. With f = current leaving the working drain, the current leaving
+	// the ORIGINAL drain is sp·f, and the chain rule ∂(sp·f)/∂v = sp·(∂f/∂w)·sp
+	// leaves the Jacobian entries unchanged.
+	sp := 1.0
+	if e.p.PMOS {
+		sp = -1
+	}
+	wd, wg, ws := sp*ld.v(e.d), sp*ld.v(e.g), sp*ld.v(e.s)
+	var f, jd, jg, js float64
+	if wd >= ws {
+		id, dg, dd := e.p.ids(wg-ws, wd-ws)
+		f, jd, jg, js = id, dd, dg, -dd-dg
+	} else {
+		// Source/drain reversed (symmetric device): current flows working
+		// source -> working drain.
+		id, dg, dd := e.p.ids(wg-wd, ws-wd)
+		f, js, jg, jd = -id, -dd, -dg, dd+dg
+	}
+	i := sp * f
+	ld.addRes(e.d, i)
+	ld.addRes(e.s, -i)
+	ld.addJ(e.d, e.d, jd)
+	ld.addJ(e.d, e.g, jg)
+	ld.addJ(e.d, e.s, js)
+	ld.addJ(e.s, e.d, -jd)
+	ld.addJ(e.s, e.g, -jg)
+	ld.addJ(e.s, e.s, -js)
+}
+
+func (e *mosfet) accept(ld *loader) {}

@@ -1,0 +1,179 @@
+package spice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nparams() MOSFETParams {
+	p, _ := MOSFETParams{VT: 0.3, Alpha: 1.3, KSat: 5e-4, KV: 0.8}.withDefaults()
+	return p
+}
+
+func TestMOSFETIdsOffBelowThreshold(t *testing.T) {
+	p := nparams()
+	id, dg, dd := p.ids(0.2, 0.6) // vgs < VT
+	if math.Abs(id-p.GLeak*0.6) > 1e-18 || dg != 0 || dd != p.GLeak {
+		t.Errorf("subthreshold: id=%v dg=%v dd=%v", id, dg, dd)
+	}
+}
+
+func TestMOSFETIdsContinuousAtVdsat(t *testing.T) {
+	// Current and its vds-derivative match across the triode/saturation
+	// boundary.
+	p := nparams()
+	vgs := 0.9
+	vdsat := p.KV * math.Pow(vgs-p.VT, p.Alpha/2)
+	below, _, dBelow := p.ids(vgs, vdsat*(1-1e-9))
+	above, _, dAbove := p.ids(vgs, vdsat*(1+1e-9))
+	if math.Abs(below-above) > 1e-9*above {
+		t.Errorf("current discontinuous at vdsat: %v vs %v", below, above)
+	}
+	// dId/dVds drops to GLeak at the boundary from the triode side:
+	// idsat·(2-2u)/vdsat -> 0 as u -> 1, so the two sides agree.
+	if math.Abs(dBelow-dAbove) > 1e-6*p.KSat {
+		t.Errorf("conductance discontinuous at vdsat: %v vs %v", dBelow, dAbove)
+	}
+}
+
+func TestMOSFETIdsDerivativesMatchFD(t *testing.T) {
+	p := nparams()
+	cases := [][2]float64{{0.9, 0.1}, {0.9, 0.5}, {1.2, 1.0}, {0.7, 0.05}}
+	for _, c := range cases {
+		vgs, vds := c[0], c[1]
+		_, dg, dd := p.ids(vgs, vds)
+		h := 1e-7
+		ip, _, _ := p.ids(vgs+h, vds)
+		im, _, _ := p.ids(vgs-h, vds)
+		fdG := (ip - im) / (2 * h)
+		ip, _, _ = p.ids(vgs, vds+h)
+		im, _, _ = p.ids(vgs, vds-h)
+		fdD := (ip - im) / (2 * h)
+		if math.Abs(dg-fdG) > 1e-4*math.Abs(fdG)+1e-12 {
+			t.Errorf("vgs=%v vds=%v: dIdVgs %v vs FD %v", vgs, vds, dg, fdG)
+		}
+		if math.Abs(dd-fdD) > 1e-4*math.Abs(fdD)+1e-12 {
+			t.Errorf("vgs=%v vds=%v: dIdVds %v vs FD %v", vgs, vds, dd, fdD)
+		}
+	}
+}
+
+func TestMOSFETIdsMonotoneProperty(t *testing.T) {
+	// Property: drain current is non-decreasing in both vgs and vds.
+	p := nparams()
+	prop := func(a, b, da, db float64) bool {
+		u := func(x float64) float64 {
+			m := math.Mod(x, 1.5)
+			if math.IsNaN(m) {
+				return 0.5
+			}
+			return math.Abs(m)
+		}
+		vgs, vds := u(a), u(b)
+		dg, dd := u(da)/10, u(db)/10
+		i0, _, _ := p.ids(vgs, vds)
+		i1, _, _ := p.ids(vgs+dg, vds)
+		i2, _, _ := p.ids(vgs, vds+dd)
+		return i1 >= i0-1e-15 && i2 >= i0-1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOSFETElementSourceDrainAntisymmetry(t *testing.T) {
+	// A symmetric device: swapping the drain and source voltages reverses
+	// the terminal current. Probe through the assembled residual.
+	c := New()
+	d, g, s := c.Node("d"), c.Node("g"), c.Node("s")
+	if err := c.AddMOSFET(d, g, s, MOSFETParams{VT: 0.3, Alpha: 1.3, KSat: 5e-4, KV: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	resAt := func(vd, vg, vs float64) float64 {
+		ns := newNewtonState(c)
+		ns.x[d], ns.x[g], ns.x[s] = vd, vg, vs
+		ld := &loader{t: 0, dt: 1, gmin: 1e-12}
+		ld.x = ns.x
+		ld.xPrev = ns.xPrev
+		ns.assemble(ld)
+		return ns.res[d] // current leaving the drain node
+	}
+	fwd := resAt(1.0, 1.2, 0.0)
+	rev := resAt(0.0, 1.2, 1.0)
+	if math.Abs(fwd+rev) > 1e-12*math.Abs(fwd) {
+		t.Errorf("S/D swap not antisymmetric: %v vs %v", fwd, rev)
+	}
+	if fwd <= 0 {
+		t.Errorf("forward current %v, want positive (leaving drain into channel)", fwd)
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	// A PMOS with all voltages negated carries the negated current of the
+	// equivalent NMOS.
+	build := func(pmos bool, vd, vg, vs float64) float64 {
+		c := New()
+		d, g, s := c.Node("d"), c.Node("g"), c.Node("s")
+		if err := c.AddMOSFET(d, g, s, MOSFETParams{
+			PMOS: pmos, VT: 0.3, Alpha: 1.3, KSat: 5e-4, KV: 0.8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ns := newNewtonState(c)
+		ns.x[d], ns.x[g], ns.x[s] = vd, vg, vs
+		ld := &loader{t: 0, dt: 1, gmin: 1e-12}
+		ld.x = ns.x
+		ld.xPrev = ns.xPrev
+		ns.assemble(ld)
+		return ns.res[d]
+	}
+	nI := build(false, 0.8, 1.1, 0)
+	pI := build(true, -0.8, -1.1, 0)
+	if math.Abs(nI+pI) > 1e-15*math.Abs(nI) {
+		t.Errorf("PMOS mirror broken: NMOS %v, PMOS %v", nI, pI)
+	}
+}
+
+func TestCMOSRingOscillatorWithPhysicalDevices(t *testing.T) {
+	// A 3-stage ring of alpha-power CMOS inverters with load caps: the
+	// full nonlinear device path must sustain oscillation.
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	vdd := 1.2
+	c := New()
+	vddN := c.Node("vdd")
+	c.AddV(vddN, Ground, DC(vdd))
+	nodes := []NodeID{c.Node("a"), c.Node("b"), c.Node("cc")}
+	par := MOSFETParams{VT: 0.3, Alpha: 1.3, KSat: 2e-3, KV: 0.8}
+	for i := range nodes {
+		in, out := nodes[i], nodes[(i+1)%3]
+		if err := c.AddMOSFET(out, in, Ground, par); err != nil {
+			t.Fatal(err)
+		}
+		pp := par
+		pp.PMOS = true
+		if err := c.AddMOSFET(out, in, vddN, pp); err != nil {
+			t.Fatal(err)
+		}
+		c.AddC(out, Ground, 20e-15)
+	}
+	c.SetIC(nodes[0], vdd)
+	c.SetIC(nodes[1], 0)
+	c.SetIC(nodes[2], vdd)
+	res, err := c.Transient(TranOpts{TStop: 3e-10, DT: 5e-14, UseICs: true}, c.ProbeNode("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Signal("a")
+	crossings := 0
+	for i := 1; i < len(v); i++ {
+		if (v[i-1]-vdd/2)*(v[i]-vdd/2) < 0 {
+			crossings++
+		}
+	}
+	if crossings < 4 {
+		t.Errorf("CMOS ring: only %d crossings", crossings)
+	}
+}

@@ -1,0 +1,310 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// --- Resistor ---
+
+type resistor struct {
+	a, b NodeID
+	g    float64 // conductance
+}
+
+// AddR adds a resistor of r ohms between a and b.
+func (c *Circuit) AddR(a, b NodeID, r float64) error {
+	if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		return fmt.Errorf("spice: AddR: non-physical resistance %g", r)
+	}
+	c.addElem(&resistor{a: a, b: b, g: 1 / r})
+	return nil
+}
+
+func (e *resistor) load(ld *loader) {
+	i := e.g * (ld.v(e.a) - ld.v(e.b))
+	ld.addRes(e.a, i)
+	ld.addRes(e.b, -i)
+	ld.addJ(e.a, e.a, e.g)
+	ld.addJ(e.a, e.b, -e.g)
+	ld.addJ(e.b, e.a, -e.g)
+	ld.addJ(e.b, e.b, e.g)
+}
+
+func (e *resistor) accept(ld *loader) {}
+
+// --- Capacitor ---
+
+type capacitor struct {
+	a, b  NodeID
+	c     float64
+	iPrev float64 // trapezoidal state: capacitor current at the last accepted step
+}
+
+// AddC adds a capacitor of cap farads between a and b.
+func (c *Circuit) AddC(a, b NodeID, cap float64) error {
+	if cap <= 0 || math.IsInf(cap, 0) || math.IsNaN(cap) {
+		return fmt.Errorf("spice: AddC: non-physical capacitance %g", cap)
+	}
+	c.addElem(&capacitor{a: a, b: b, c: cap})
+	return nil
+}
+
+// current returns the capacitor current and its dI/dV for the active
+// integration method.
+func (e *capacitor) current(ld *loader) (i, didv float64) {
+	if ld.dc {
+		return 0, 0
+	}
+	dv := (ld.v(e.a) - ld.v(e.b)) - (ld.vPrev(e.a) - ld.vPrev(e.b))
+	if ld.trap {
+		g := 2 * e.c / ld.dt
+		return g*dv - e.iPrev, g
+	}
+	g := e.c / ld.dt
+	return g * dv, g
+}
+
+func (e *capacitor) load(ld *loader) {
+	i, g := e.current(ld)
+	ld.addRes(e.a, i)
+	ld.addRes(e.b, -i)
+	if g != 0 {
+		ld.addJ(e.a, e.a, g)
+		ld.addJ(e.a, e.b, -g)
+		ld.addJ(e.b, e.a, -g)
+		ld.addJ(e.b, e.b, g)
+	} else {
+		// DC: keep the matrix structurally non-singular for floating nodes.
+		ld.addJ(e.a, e.a, ld.gmin)
+		ld.addJ(e.b, e.b, ld.gmin)
+	}
+}
+
+func (e *capacitor) accept(ld *loader) {
+	i, _ := e.current(ld)
+	e.iPrev = i
+}
+
+// --- Inductor ---
+
+// Inductor is the handle returned by AddL; its branch current can be probed.
+type Inductor struct {
+	a, b NodeID
+	l    float64
+	bidx int
+}
+
+// AddL adds an inductor of l henries between a and b and returns a handle
+// for probing its branch current.
+func (c *Circuit) AddL(a, b NodeID, l float64) (*Inductor, error) {
+	if l <= 0 || math.IsInf(l, 0) || math.IsNaN(l) {
+		return nil, fmt.Errorf("spice: AddL: non-physical inductance %g", l)
+	}
+	e := &Inductor{a: a, b: b, l: l}
+	c.addElem(e)
+	return e, nil
+}
+
+func (e *Inductor) setBranchBase(b int) { e.bidx = b }
+func (e *Inductor) numBranches() int    { return 1 }
+
+func (e *Inductor) load(ld *loader) {
+	i := ld.branch(e.bidx)
+	// KCL: current flows a -> b through the inductor.
+	ld.addRes(e.a, i)
+	ld.addRes(e.b, -i)
+	ld.addJNodeBranch(e.a, e.bidx, 1)
+	ld.addJNodeBranch(e.b, e.bidx, -1)
+	// Branch equation.
+	v := ld.v(e.a) - ld.v(e.b)
+	switch {
+	case ld.dc:
+		// Short: v = 0.
+		ld.addResRow(ld.branchRow(e.bidx), v)
+		ld.addJBranchNode(e.bidx, e.a, 1)
+		ld.addJBranchNode(e.bidx, e.b, -1)
+		// Tiny diagonal keeps loops of shorts solvable.
+		ld.addJBranchBranch(e.bidx, e.bidx, ld.gmin)
+	case ld.trap:
+		iPrev := ld.branchPrev(e.bidx)
+		vPrev := ld.vPrev(e.a) - ld.vPrev(e.b)
+		r := 2 * e.l / ld.dt
+		ld.addResRow(ld.branchRow(e.bidx), v+vPrev-r*(i-iPrev))
+		ld.addJBranchNode(e.bidx, e.a, 1)
+		ld.addJBranchNode(e.bidx, e.b, -1)
+		ld.addJBranchBranch(e.bidx, e.bidx, -r)
+	default: // backward Euler
+		iPrev := ld.branchPrev(e.bidx)
+		r := e.l / ld.dt
+		ld.addResRow(ld.branchRow(e.bidx), v-r*(i-iPrev))
+		ld.addJBranchNode(e.bidx, e.a, 1)
+		ld.addJBranchNode(e.bidx, e.b, -1)
+		ld.addJBranchBranch(e.bidx, e.bidx, -r)
+	}
+}
+
+func (e *Inductor) accept(ld *loader) {}
+
+// --- Waveforms ---
+
+// Waveform is a time-dependent source value.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant source value.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Pulse is the SPICE PULSE source: V0→V1 after Delay with linear Rise, hold
+// Width, linear Fall, repeating with Period when Period > 0.
+type Pulse struct {
+	V0, V1                   float64
+	Delay, Rise, Width, Fall float64
+	Period                   float64
+}
+
+// At implements Waveform.
+func (p Pulse) At(t float64) float64 {
+	t -= p.Delay
+	if t < 0 {
+		return p.V0
+	}
+	if p.Period > 0 {
+		t = math.Mod(t, p.Period)
+	}
+	switch {
+	case t < p.Rise:
+		if p.Rise == 0 {
+			return p.V1
+		}
+		return p.V0 + (p.V1-p.V0)*t/p.Rise
+	case t < p.Rise+p.Width:
+		return p.V1
+	case t < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V0
+		}
+		return p.V1 + (p.V0-p.V1)*(t-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V0
+	}
+}
+
+// PWL is a piecewise-linear waveform through (T[i], V[i]) points; constant
+// before the first and after the last point. Times must be increasing.
+type PWL struct {
+	T, V []float64
+}
+
+// At implements Waveform.
+func (w PWL) At(t float64) float64 {
+	n := len(w.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	i := sort.SearchFloat64s(w.T, t)
+	t0, t1 := w.T[i-1], w.T[i]
+	v0, v1 := w.V[i-1], w.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Sine is offset + amp·sin(2π·freq·(t−delay)) for t ≥ delay.
+type Sine struct {
+	Offset, Amp, Freq, Delay float64
+}
+
+// At implements Waveform.
+func (s Sine) At(t float64) float64 {
+	if t < s.Delay {
+		return s.Offset
+	}
+	return s.Offset + s.Amp*math.Sin(2*math.Pi*s.Freq*(t-s.Delay))
+}
+
+// --- Voltage source ---
+
+// VSource is the handle returned by AddV; its branch current can be probed.
+type VSource struct {
+	a, b NodeID
+	w    Waveform
+	bidx int
+}
+
+// AddV adds an independent voltage source v(a) − v(b) = w(t) and returns a
+// handle for probing its branch current (positive current flows from a to b
+// through the source, i.e. out of the + terminal into the circuit is
+// negative by this convention).
+func (c *Circuit) AddV(a, b NodeID, w Waveform) (*VSource, error) {
+	if w == nil {
+		return nil, fmt.Errorf("spice: AddV: nil waveform")
+	}
+	e := &VSource{a: a, b: b, w: w}
+	c.addElem(e)
+	return e, nil
+}
+
+func (e *VSource) setBranchBase(b int) { e.bidx = b }
+func (e *VSource) numBranches() int    { return 1 }
+
+func (e *VSource) load(ld *loader) {
+	i := ld.branch(e.bidx)
+	ld.addRes(e.a, i)
+	ld.addRes(e.b, -i)
+	ld.addJNodeBranch(e.a, e.bidx, 1)
+	ld.addJNodeBranch(e.b, e.bidx, -1)
+	t := ld.t
+	if ld.dc {
+		t = 0
+	}
+	ld.addResRow(ld.branchRow(e.bidx), ld.v(e.a)-ld.v(e.b)-e.w.At(t))
+	ld.addJBranchNode(e.bidx, e.a, 1)
+	ld.addJBranchNode(e.bidx, e.b, -1)
+}
+
+func (e *VSource) accept(ld *loader) {}
+
+// --- Current source ---
+
+type isource struct {
+	a, b NodeID
+	w    Waveform
+}
+
+// AddI adds an independent current source driving w(t) amperes from a to b
+// through the source (leaving node a).
+func (c *Circuit) AddI(a, b NodeID, w Waveform) error {
+	if w == nil {
+		return fmt.Errorf("spice: AddI: nil waveform")
+	}
+	c.addElem(&isource{a: a, b: b, w: w})
+	return nil
+}
+
+func (e *isource) load(ld *loader) {
+	t := ld.t
+	if ld.dc {
+		t = 0
+	}
+	i := e.w.At(t)
+	ld.addRes(e.a, i)
+	ld.addRes(e.b, -i)
+	// Structural gmin so a current source into an otherwise floating node
+	// still yields a solvable (if stiff) system during DC.
+	if ld.dc {
+		ld.addJ(e.a, e.a, ld.gmin)
+		ld.addJ(e.b, e.b, ld.gmin)
+	}
+}
+
+func (e *isource) accept(ld *loader) {}

@@ -1,0 +1,61 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// mutual couples two inductor branches with mutual inductance M (the SPICE
+// K element). With the trapezoidal companion the two branch equations
+// become
+//
+//	(v1+v1ᵖ)/2 = L1·Δi1/dt + M·Δi2/dt
+//	(v2+v2ᵖ)/2 = L2·Δi2/dt + M·Δi1/dt
+//
+// so the element adds the cross terms −(2M/dt)·Δi_other to each inductor's
+// existing branch residual (−(M/dt) for backward Euler, nothing at DC).
+type mutual struct {
+	l1, l2 *Inductor
+	m      float64
+}
+
+// AddMutual couples two previously added inductors with coupling
+// coefficient k ∈ (−1, 1): M = k·√(L1·L2). It returns the mutual
+// inductance used.
+func (c *Circuit) AddMutual(l1, l2 *Inductor, k float64) (float64, error) {
+	if l1 == nil || l2 == nil || l1 == l2 {
+		return 0, fmt.Errorf("spice: AddMutual needs two distinct inductors")
+	}
+	if math.Abs(k) >= 1 || math.IsNaN(k) {
+		return 0, fmt.Errorf("spice: coupling coefficient %g outside (-1,1)", k)
+	}
+	m := k * math.Sqrt(l1.l*l2.l)
+	c.addElem(&mutual{l1: l1, l2: l2, m: m})
+	return m, nil
+}
+
+func (e *mutual) load(ld *loader) {
+	if ld.dc {
+		// Inductors are shorts at DC; the coupling carries no information.
+		return
+	}
+	r := e.m / ld.dt
+	if ld.trap {
+		r *= 2
+	}
+	d1 := ld.branch(e.l1.bidx) - ld.branchPrev(e.l1.bidx)
+	d2 := ld.branch(e.l2.bidx) - ld.branchPrev(e.l2.bidx)
+	// Row of branch 1 gets −r·Δi2; row of branch 2 gets −r·Δi1.
+	ld.addResRow(ld.branchRow(e.l1.bidx), -r*d2)
+	ld.addJBranchBranch(e.l1.bidx, e.l2.bidx, -r)
+	ld.addResRow(ld.branchRow(e.l2.bidx), -r*d1)
+	ld.addJBranchBranch(e.l2.bidx, e.l1.bidx, -r)
+}
+
+func (e *mutual) accept(ld *loader) {}
+
+func (e *mutual) acLoad(ld *acLoader, s complex128) {
+	sm := s * complex(e.m, 0)
+	ld.addARC(ld.branchRow(e.l1.bidx), ld.branchRow(e.l2.bidx), -sm)
+	ld.addARC(ld.branchRow(e.l2.bidx), ld.branchRow(e.l1.bidx), -sm)
+}

@@ -1,0 +1,133 @@
+package spice
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// NetlistOpts configures WriteNetlist.
+type NetlistOpts struct {
+	Title string
+	// Strict makes export fail on elements with no standard SPICE
+	// representation (the behavioral inverter macro-model and the
+	// alpha-power MOSFET); otherwise those are emitted as comments.
+	Strict bool
+}
+
+// WriteNetlist exports the circuit as a SPICE-compatible deck. Linear
+// elements and independent sources map one-to-one; behavioral devices are
+// emitted as comment blocks (or rejected under Strict). The export enables
+// cross-checking this library's transient results against an external SPICE.
+func (c *Circuit) WriteNetlist(w io.Writer, opts NetlistOpts) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	title := opts.Title
+	if title == "" {
+		title = "rlcint export"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	counts := map[string]int{}
+	name := func(prefix string) string {
+		counts[prefix]++
+		return fmt.Sprintf("%s%d", prefix, counts[prefix])
+	}
+	lNames := map[*Inductor]string{}
+	node := func(n NodeID) string {
+		if n == Ground {
+			return "0"
+		}
+		return sanitize(c.nodeNames[n])
+	}
+	for _, e := range c.elems {
+		switch el := e.(type) {
+		case *resistor:
+			fmt.Fprintf(&b, "%s %s %s %.9g\n", name("R"), node(el.a), node(el.b), 1/el.g)
+		case *capacitor:
+			fmt.Fprintf(&b, "%s %s %s %.9g\n", name("C"), node(el.a), node(el.b), el.c)
+		case *Inductor:
+			ln := name("L")
+			lNames[el] = ln
+			fmt.Fprintf(&b, "%s %s %s %.9g\n", ln, node(el.a), node(el.b), el.l)
+		case *mutual:
+			n1, ok1 := lNames[el.l1]
+			n2, ok2 := lNames[el.l2]
+			if !ok1 || !ok2 {
+				return fmt.Errorf("spice: WriteNetlist: mutual references an inductor added after it")
+			}
+			k := el.m / math.Sqrt(el.l1.l*el.l2.l)
+			fmt.Fprintf(&b, "%s %s %s %.9g\n", name("K"), n1, n2, k)
+		case *VSource:
+			fmt.Fprintf(&b, "%s %s %s %s\n", name("V"), node(el.a), node(el.b), sourceSpec(el.w))
+		case *isource:
+			fmt.Fprintf(&b, "%s %s %s %s\n", name("I"), node(el.a), node(el.b), sourceSpec(el.w))
+		case *inverterCore:
+			if opts.Strict {
+				return fmt.Errorf("spice: WriteNetlist: inverter macro-model has no standard SPICE form (in=%s out=%s)", node(el.in), node(el.out))
+			}
+			fmt.Fprintf(&b, "* inverter macro-model: in=%s out=%s VDD=%g ROut=%g gain=%g VM=%g\n",
+				node(el.in), node(el.out), el.p.VDD, el.p.ROut, el.p.Gain, el.p.VM)
+		case *mosfet:
+			if opts.Strict {
+				return fmt.Errorf("spice: WriteNetlist: alpha-power MOSFET has no standard SPICE form (d=%s g=%s s=%s)", node(el.d), node(el.g), node(el.s))
+			}
+			kind := "nmos"
+			if el.p.PMOS {
+				kind = "pmos"
+			}
+			fmt.Fprintf(&b, "* alpha-power %s: d=%s g=%s s=%s VT=%g alpha=%g Ksat=%g Kv=%g\n",
+				kind, node(el.d), node(el.g), node(el.s), el.p.VT, el.p.Alpha, el.p.KSat, el.p.KV)
+		default:
+			return fmt.Errorf("spice: WriteNetlist: unknown element %T", e)
+		}
+	}
+	b.WriteString(".end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitize maps internal node names to SPICE-safe identifiers.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sourceSpec renders a Waveform as a SPICE source specification.
+func sourceSpec(w Waveform) string {
+	switch s := w.(type) {
+	case DC:
+		return fmt.Sprintf("DC %.9g", float64(s))
+	case Pulse:
+		return fmt.Sprintf("PULSE(%.9g %.9g %.9g %.9g %.9g %.9g %.9g)",
+			s.V0, s.V1, s.Delay, s.Rise, s.Fall, s.Width, s.Period)
+	case PWL:
+		var b strings.Builder
+		b.WriteString("PWL(")
+		for i := range s.T {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.9g %.9g", s.T[i], s.V[i])
+		}
+		b.WriteByte(')')
+		return b.String()
+	case Sine:
+		return fmt.Sprintf("SIN(%.9g %.9g %.9g %.9g)", s.Offset, s.Amp, s.Freq, s.Delay)
+	default:
+		return fmt.Sprintf("* unsupported waveform %T", w)
+	}
+}

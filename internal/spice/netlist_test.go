@@ -1,0 +1,84 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteNetlistLinear(t *testing.T) {
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddV(in, Ground, Pulse{V0: 0, V1: 1.2, Rise: 1e-11, Fall: 1e-11, Width: 1e-9, Period: 2e-9})
+	c.AddR(in, out, 50)
+	if _, err := c.AddL(out, Ground, 2e-9); err != nil {
+		t.Fatal(err)
+	}
+	c.AddC(out, Ground, 1e-12)
+	c.AddI(Ground, out, DC(1e-3))
+	var sb strings.Builder
+	if err := c.WriteNetlist(&sb, NetlistOpts{Title: "test deck", Strict: true}); err != nil {
+		t.Fatal(err)
+	}
+	deck := sb.String()
+	for _, want := range []string{
+		"* test deck",
+		"V1 in 0 PULSE(0 1.2 0 1e-11 1e-11 1e-09 2e-09)",
+		"R1 in out 50",
+		"L1 out 0 2e-09",
+		"C1 out 0 1e-12",
+		"I1 0 out DC 0.001",
+		".end",
+	} {
+		if !strings.Contains(deck, want) {
+			t.Errorf("deck missing %q:\n%s", want, deck)
+		}
+	}
+}
+
+func TestWriteNetlistStrictRejectsBehavioral(t *testing.T) {
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	if _, err := c.AddInverter(in, out, InverterParams{VDD: 1.2, ROut: 14}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.WriteNetlist(&sb, NetlistOpts{Strict: true}); err == nil {
+		t.Error("strict export must reject the inverter macro-model")
+	}
+	sb.Reset()
+	if err := c.WriteNetlist(&sb, NetlistOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "* inverter macro-model: in=in out=out") {
+		t.Errorf("lenient export missing inverter comment:\n%s", sb.String())
+	}
+}
+
+func TestWriteNetlistSanitizesNames(t *testing.T) {
+	c := New()
+	weird := c.Node("a.b:c")
+	c.AddR(weird, Ground, 1)
+	var sb strings.Builder
+	if err := c.WriteNetlist(&sb, NetlistOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "R1 a_b_c 0 1") {
+		t.Errorf("sanitization wrong:\n%s", sb.String())
+	}
+}
+
+func TestWriteNetlistSourceSpecs(t *testing.T) {
+	if got := sourceSpec(PWL{T: []float64{0, 1e-9}, V: []float64{0, 1}}); got != "PWL(0 0 1e-09 1)" {
+		t.Errorf("PWL spec %q", got)
+	}
+	if got := sourceSpec(Sine{Offset: 1, Amp: 2, Freq: 1e9, Delay: 0}); got != "SIN(1 2 1e+09 0)" {
+		t.Errorf("SIN spec %q", got)
+	}
+}
+
+func TestWriteNetlistEmptyCircuit(t *testing.T) {
+	var sb strings.Builder
+	if err := New().WriteNetlist(&sb, NetlistOpts{}); err == nil {
+		t.Error("empty circuit must fail")
+	}
+}

@@ -1,0 +1,346 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseResult is a parsed netlist: the circuit plus handles to its named
+// sources and inductors for probing, and any analysis directives found.
+type ParseResult struct {
+	Circuit   *Circuit
+	VSources  map[string]*VSource
+	Inductors map[string]*Inductor
+	// Tran holds the ".tran <dt> <tstop>" directive when present.
+	Tran *TranSpec
+}
+
+// TranSpec is a parsed ".tran" directive.
+type TranSpec struct {
+	DT, TStop float64
+}
+
+// ParseNetlist reads a SPICE-style deck: one element per line, `*` comments,
+// a leading title line, and `.end`. Supported elements are R, C, L, V and I
+// with DC / PULSE / PWL / SIN source specifications; values accept the
+// standard SPICE magnitude suffixes (f, p, n, u, m, k, meg, g, t) with
+// optional trailing unit letters. Node `0` (or `gnd`) is ground.
+func ParseNetlist(r io.Reader) (*ParseResult, error) {
+	sc := bufio.NewScanner(r)
+	res := &ParseResult{
+		Circuit:   New(),
+		VSources:  make(map[string]*VSource),
+		Inductors: make(map[string]*Inductor),
+	}
+	c := res.Circuit
+	// Gather the deck (title stripped, stopping at .end), then flatten
+	// subcircuit hierarchy before element parsing.
+	var raw []string
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if first {
+			first = false
+			// The first line of a SPICE deck is a title, unless it is
+			// already an element or directive.
+			if line != "" && !strings.HasPrefix(line, ".") && !isElementLine(line) {
+				continue
+			}
+		}
+		if strings.HasPrefix(strings.ToLower(line), ".end") &&
+			!strings.HasPrefix(strings.ToLower(line), ".ends") {
+			break
+		}
+		raw = append(raw, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spice: ParseNetlist: %w", err)
+	}
+	flat, err := flattenNetlist(raw)
+	if err != nil {
+		return nil, fmt.Errorf("spice: ParseNetlist: %w", err)
+	}
+	for lineNo, line := range flat {
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		if strings.HasPrefix(lower, ".tran") {
+			fs := strings.Fields(line)
+			if len(fs) < 3 {
+				return nil, fmt.Errorf("spice: line %d: .tran needs <dt> <tstop>", lineNo)
+			}
+			dt, err := ParseValue(fs[1])
+			if err != nil {
+				return nil, fmt.Errorf("spice: line %d: %w", lineNo, err)
+			}
+			tstop, err := ParseValue(fs[2])
+			if err != nil {
+				return nil, fmt.Errorf("spice: line %d: %w", lineNo, err)
+			}
+			res.Tran = &TranSpec{DT: dt, TStop: tstop}
+			continue
+		}
+		if strings.HasPrefix(lower, ".") {
+			continue // ignore other directives (.options, .ic, ...)
+		}
+		if err := parseElement(c, res, line); err != nil {
+			return nil, fmt.Errorf("spice: line %d: %w", lineNo, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func isElementLine(line string) bool {
+	if line == "" {
+		return false
+	}
+	switch line[0] {
+	case 'r', 'R', 'c', 'C', 'l', 'L', 'v', 'V', 'i', 'I':
+		return len(strings.Fields(line)) >= 3
+	}
+	return false
+}
+
+func parseElement(c *Circuit, res *ParseResult, line string) error {
+	fields := splitFieldsKeepParens(line)
+	if len(fields) < 4 {
+		return fmt.Errorf("too few fields in %q", line)
+	}
+	name := fields[0]
+	// K elements reference inductor names, not nodes.
+	if strings.EqualFold(name[:1], "K") {
+		l1, ok1 := res.Inductors[fields[1]]
+		l2, ok2 := res.Inductors[fields[2]]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("coupling %q references unknown inductors %q, %q", name, fields[1], fields[2])
+		}
+		k, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		_, err = c.AddMutual(l1, l2, k)
+		return err
+	}
+	a := parseNode(c, fields[1])
+	b := parseNode(c, fields[2])
+	switch strings.ToUpper(name[:1]) {
+	case "R":
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		return c.AddR(a, b, v)
+	case "C":
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		return c.AddC(a, b, v)
+	case "L":
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		l, err := c.AddL(a, b, v)
+		if err != nil {
+			return err
+		}
+		res.Inductors[name] = l
+		return nil
+	case "V":
+		w, err := parseSource(fields[3:])
+		if err != nil {
+			return err
+		}
+		vs, err := c.AddV(a, b, w)
+		if err != nil {
+			return err
+		}
+		res.VSources[name] = vs
+		return nil
+	case "I":
+		w, err := parseSource(fields[3:])
+		if err != nil {
+			return err
+		}
+		return c.AddI(a, b, w)
+	}
+	return fmt.Errorf("unsupported element %q", name)
+}
+
+func parseNode(c *Circuit, s string) NodeID {
+	if s == "0" || strings.EqualFold(s, "gnd") {
+		return Ground
+	}
+	return c.Node(s)
+}
+
+// splitFieldsKeepParens splits on whitespace but keeps a parenthesized
+// argument list (which may contain spaces) as a single field glued to its
+// keyword, e.g. "PULSE(0 1 0 1n 1n 5n 10n)".
+func splitFieldsKeepParens(line string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, r := range line {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseSource(fields []string) (Waveform, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing source specification")
+	}
+	head := strings.ToUpper(fields[0])
+	switch {
+	case head == "DC":
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("DC needs a value")
+		}
+		v, err := ParseValue(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	case strings.HasPrefix(head, "PULSE"):
+		args, err := parenArgs(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 7 {
+			return nil, fmt.Errorf("PULSE needs 7 arguments, got %d", len(args))
+		}
+		return Pulse{V0: args[0], V1: args[1], Delay: args[2], Rise: args[3],
+			Fall: args[4], Width: args[5], Period: args[6]}, nil
+	case strings.HasPrefix(head, "PWL"):
+		args, err := parenArgs(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(args)%2 != 0 || len(args) == 0 {
+			return nil, fmt.Errorf("PWL needs time/value pairs")
+		}
+		w := PWL{}
+		for i := 0; i < len(args); i += 2 {
+			w.T = append(w.T, args[i])
+			w.V = append(w.V, args[i+1])
+		}
+		return w, nil
+	case strings.HasPrefix(head, "SIN"):
+		args, err := parenArgs(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 3 {
+			return nil, fmt.Errorf("SIN needs at least 3 arguments")
+		}
+		s := Sine{Offset: args[0], Amp: args[1], Freq: args[2]}
+		if len(args) > 3 {
+			s.Delay = args[3]
+		}
+		return s, nil
+	default:
+		// Bare number = DC.
+		v, err := ParseValue(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("unrecognized source %q", fields[0])
+		}
+		return DC(v), nil
+	}
+}
+
+func parenArgs(field string) ([]float64, error) {
+	open := strings.IndexByte(field, '(')
+	close := strings.LastIndexByte(field, ')')
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("malformed argument list %q", field)
+	}
+	parts := strings.Fields(strings.ReplaceAll(field[open+1:close], ",", " "))
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := ParseValue(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// spiceSuffixes in match order (longest first for "meg" vs "m").
+var spiceSuffixes = []struct {
+	s string
+	m float64
+}{
+	{"meg", 1e6}, {"mil", 25.4e-6},
+	{"t", 1e12}, {"g", 1e9}, {"k", 1e3},
+	{"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+}
+
+// ParseValue parses a SPICE number: a float with an optional magnitude
+// suffix and optional trailing unit letters ("10pF", "4.7k", "2meg").
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	// Longest numeric prefix.
+	end := 0
+	for end < len(ls) {
+		ch := ls[end]
+		if ch >= '0' && ch <= '9' || ch == '.' || ch == '+' || ch == '-' {
+			end++
+			continue
+		}
+		// Exponent part.
+		if ch == 'e' && end+1 < len(ls) {
+			next := ls[end+1]
+			if next >= '0' && next <= '9' || next == '+' || next == '-' {
+				end += 2
+				continue
+			}
+		}
+		break
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("not a number: %q", s)
+	}
+	base, err := strconv.ParseFloat(ls[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number: %q", s)
+	}
+	rest := ls[end:]
+	for _, suf := range spiceSuffixes {
+		if strings.HasPrefix(rest, suf.s) {
+			return base * suf.m, nil
+		}
+	}
+	return base, nil
+}

@@ -1,0 +1,205 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1}, {"4.7k", 4700}, {"2meg", 2e6}, {"3g", 3e9},
+		{"1m", 1e-3}, {"10u", 1e-5}, {"2n", 2e-9}, {"10pF", 1e-11},
+		{"1.5f", 1.5e-15}, {"1e-9", 1e-9}, {"2.5e3", 2500},
+		{"-3.3", -3.3}, {"100nH", 1e-7}, {"1T", 1e12},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "k10"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseNetlistBasic(t *testing.T) {
+	deck := `simple RLC deck
+* a comment
+V1 in 0 PULSE(0 1.2 0 10p 10p 1n 2n)
+R1 in mid 50
+L1 mid out 2n
+C1 out 0 1p
+I1 0 out DC 1m
+.end
+this line is after .end and ignored
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Circuit
+	if c.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3 (in, mid, out)", c.NumNodes())
+	}
+	if len(res.VSources) != 1 || res.VSources["V1"] == nil {
+		t.Error("V1 not captured")
+	}
+	if len(res.Inductors) != 1 || res.Inductors["L1"] == nil {
+		t.Error("L1 not captured")
+	}
+	// Pulse decoded correctly.
+	w := res.VSources["V1"].w.(Pulse)
+	if w.V1 != 1.2 || w.Rise != 1e-11 || w.Width != 1e-9 || w.Period != 2e-9 {
+		t.Errorf("pulse decoded wrong: %+v", w)
+	}
+}
+
+func TestParseNetlistRoundTrip(t *testing.T) {
+	// Build, export, re-parse, and check both circuits produce the same
+	// transient response.
+	build := func() (*Circuit, *VSource, NodeID) {
+		c := New()
+		in, mid, out := c.Node("in"), c.Node("mid"), c.Node("out")
+		src, _ := c.AddV(in, Ground, Pulse{V0: 0, V1: 1, Rise: 1e-11, Fall: 1e-11, Width: 1e-9, Period: 2e-9})
+		c.AddR(in, mid, 25)
+		c.AddL(mid, out, 3e-9)
+		c.AddC(out, Ground, 2e-12)
+		return c, src, out
+	}
+	orig, _, _ := build()
+	var sb strings.Builder
+	if err := orig.WriteNetlist(&sb, NetlistOpts{Title: "roundtrip", Strict: true}); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNetlist(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse of own export failed: %v\n%s", err, sb.String())
+	}
+	opts := TranOpts{TStop: 2e-9, DT: 2e-12, UseICs: true}
+	r1, err := orig.Transient(opts, orig.ProbeNode("out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := parsed.Circuit.Transient(opts, parsed.Circuit.ProbeNode("out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := r1.Signal("out")
+	v2, _ := r2.Signal("out")
+	for i := range v1 {
+		if math.Abs(v1[i]-v2[i]) > 1e-9 {
+			t.Fatalf("round-trip divergence at sample %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+}
+
+func TestParseNetlistSinAndBareDC(t *testing.T) {
+	deck := `title
+V1 a 0 SIN(0.5 1 1e9 2n)
+V2 b 0 3.3
+R1 a b 1k
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.VSources["V1"].w.(Sine)
+	if s.Offset != 0.5 || s.Amp != 1 || s.Freq != 1e9 || s.Delay != 2e-9 {
+		t.Errorf("sine decoded wrong: %+v", s)
+	}
+	if dc := res.VSources["V2"].w.(DC); float64(dc) != 3.3 {
+		t.Errorf("bare DC decoded wrong: %v", dc)
+	}
+}
+
+func TestParseNetlistPWL(t *testing.T) {
+	deck := `title
+V1 a 0 PWL(0 0 1n 1 2n 0.5)
+R1 a 0 1
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.VSources["V1"].w.(PWL)
+	if len(w.T) != 3 || w.V[2] != 0.5 {
+		t.Errorf("PWL decoded wrong: %+v", w)
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	bad := []string{
+		"title\nR1 a 0\n.end\n",             // too few fields
+		"title\nX1 a 0 model\n.end\n",       // unsupported element (and too few... add field)
+		"title\nR1 a 0 -5\n.end\n",          // negative resistance rejected by AddR
+		"title\nV1 a 0 PULSE(0 1)\n.end\n",  // short PULSE
+		"title\nV1 a 0 PWL(0 0 1n)\n.end\n", // odd PWL
+		"title\n.end\n",                     // empty circuit
+	}
+	for _, deck := range bad {
+		if _, err := ParseNetlist(strings.NewReader(deck)); err == nil {
+			t.Errorf("deck should fail:\n%s", deck)
+		}
+	}
+}
+
+func TestParseNetlistGndAlias(t *testing.T) {
+	deck := "title\nR1 a GND 1k\nV1 a gnd DC 1\n.end\n"
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.NumNodes() != 1 {
+		t.Errorf("gnd alias created a node: %d nodes", res.Circuit.NumNodes())
+	}
+	x, err := res.Circuit.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[res.Circuit.Node("a")]-1) > 1e-9 {
+		t.Errorf("v(a) = %v", x[0])
+	}
+}
+
+func TestParseNetlistTranDirective(t *testing.T) {
+	deck := "title\nV1 a 0 DC 1\nR1 a 0 1k\n.tran 10p 5n\n.end\n"
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tran == nil {
+		t.Fatal(".tran not captured")
+	}
+	if res.Tran.DT != 1e-11 || res.Tran.TStop != 5e-9 {
+		t.Errorf(".tran = %+v", res.Tran)
+	}
+	bad := "title\nR1 a 0 1\n.tran 10p\n.end\n"
+	if _, err := ParseNetlist(strings.NewReader(bad)); err == nil {
+		t.Error("short .tran must fail")
+	}
+}
+
+func TestParseNetlistElementFirstLine(t *testing.T) {
+	// A deck whose first line is already an element (no title).
+	deck := "V1 a 0 DC 2\nR1 a 0 1k\n.end\n"
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VSources) != 1 {
+		t.Error("first-line element lost")
+	}
+}

@@ -1,0 +1,367 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRCChargingMatchesAnalytic(t *testing.T) {
+	// 1Ω, 1F driven by a 1V step: v(t) = 1 − e^{−t}.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	if _, err := c.AddV(in, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR(in, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC(out, Ground, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.SetIC(out, 0)
+	res, err := c.Transient(TranOpts{TStop: 5, DT: 0.01, UseICs: true}, c.ProbeNode("out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Signal("out")
+	for i, tt := range res.T {
+		want := 1 - math.Exp(-tt)
+		if math.Abs(v[i]-want) > 2e-4 {
+			t.Fatalf("t=%v: v=%v, want %v", tt, v[i], want)
+		}
+	}
+}
+
+func TestTrapBeatsBackwardEuler(t *testing.T) {
+	// Same RC circuit with a coarse step: trapezoidal must be more accurate.
+	run := func(m Method) float64 {
+		c := New()
+		in, out := c.Node("in"), c.Node("out")
+		c.AddV(in, Ground, DC(1))
+		c.AddR(in, out, 1)
+		c.AddC(out, Ground, 1)
+		c.SetIC(out, 0)
+		res, err := c.Transient(TranOpts{TStop: 3, DT: 0.1, UseICs: true, Method: m}, c.ProbeNode("out"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := res.Signal("out")
+		maxErr := 0.0
+		// Compare once the start-up transient of the integrator has decayed
+		// through the circuit's own time constant.
+		for i, tt := range res.T {
+			if tt < 1.5 {
+				continue
+			}
+			if e := math.Abs(v[i] - (1 - math.Exp(-tt))); e > maxErr {
+				maxErr = e
+			}
+		}
+		return maxErr
+	}
+	trapErr := run(Trapezoidal)
+	beErr := run(BackwardEuler)
+	if trapErr >= beErr {
+		t.Errorf("trap error %v not better than BE %v", trapErr, beErr)
+	}
+	if trapErr > 3e-3 {
+		t.Errorf("trap error %v too large", trapErr)
+	}
+}
+
+func TestSeriesRLCMatchesTwoPoleAnalytic(t *testing.T) {
+	// R-L-C lumped series circuit: H(s) = 1/(1 + RC s + LC s²) — exactly the
+	// two-pole model. Underdamped case R=0.5, L=1, C=1 (ζ=0.25).
+	c := New()
+	in, mid, out := c.Node("in"), c.Node("mid"), c.Node("out")
+	c.AddV(in, Ground, DC(1))
+	c.AddR(in, mid, 0.5)
+	if _, err := c.AddL(mid, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddC(out, Ground, 1)
+	c.SetIC(out, 0)
+	res, err := c.Transient(TranOpts{TStop: 12, DT: 0.002, UseICs: true}, c.ProbeNode("out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Signal("out")
+	alpha, beta := 0.25, math.Sqrt(1-0.0625)
+	for i, tt := range res.T {
+		want := 1 - math.Exp(-alpha*tt)*(math.Cos(beta*tt)+alpha/beta*math.Sin(beta*tt))
+		if math.Abs(v[i]-want) > 5e-3 {
+			t.Fatalf("t=%v: v=%v, want %v", tt, v[i], want)
+		}
+	}
+	// The simulated response must overshoot (underdamped).
+	peak := 0.0
+	for _, vi := range v {
+		if vi > peak {
+			peak = vi
+		}
+	}
+	if peak < 1.05 {
+		t.Errorf("peak %v: expected visible overshoot", peak)
+	}
+}
+
+func TestInductorBranchCurrentProbe(t *testing.T) {
+	// Series RL driven by a step: i(t) = (V/R)(1 − e^{−Rt/L}).
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddV(in, Ground, DC(2))
+	c.AddR(in, mid, 4)
+	l, err := c.AddL(mid, Ground, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TranOpts{TStop: 5, DT: 0.005, UseICs: true},
+		BranchProbe{Name: "iL", L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := res.Signal("iL")
+	for j, tt := range res.T {
+		want := 0.5 * (1 - math.Exp(-2*tt))
+		if math.Abs(i[j]-want) > 2e-3 {
+			t.Fatalf("t=%v: i=%v, want %v", tt, i[j], want)
+		}
+	}
+}
+
+func TestDCOperatingPointDivider(t *testing.T) {
+	c := New()
+	top, mid := c.Node("top"), c.Node("mid")
+	c.AddV(top, Ground, DC(3))
+	c.AddR(top, mid, 1000)
+	c.AddR(mid, Ground, 2000)
+	x, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[mid]-2) > 1e-6 {
+		t.Errorf("divider mid = %v, want 2", x[mid])
+	}
+}
+
+func TestDCOperatingPointInductorShort(t *testing.T) {
+	c := New()
+	top, mid := c.Node("top"), c.Node("mid")
+	c.AddV(top, Ground, DC(5))
+	c.AddR(top, mid, 100)
+	l, err := c.AddL(mid, Ground, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l
+	x, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[mid]) > 1e-4 {
+		t.Errorf("node above shorted inductor = %v, want ≈0", x[mid])
+	}
+	// Branch current = 5V/100Ω.
+	if i := x[c.NumNodes()+l.bidx]; math.Abs(i-0.05) > 1e-6 {
+		t.Errorf("inductor DC current = %v, want 0.05", i)
+	}
+}
+
+func TestCurrentSource(t *testing.T) {
+	// 1A into a 5Ω resistor (through the source b-terminal).
+	c := New()
+	n := c.Node("n")
+	c.AddI(Ground, n, DC(1)) // current flows ground -> n through the source
+	c.AddR(n, Ground, 5)
+	x, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[n]-5) > 1e-6 {
+		t.Errorf("v = %v, want 5", x[n])
+	}
+}
+
+func TestWaveforms(t *testing.T) {
+	p := Pulse{V0: 0, V1: 1, Delay: 1, Rise: 0.5, Width: 2, Fall: 0.5, Period: 5}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1, 0}, {1.25, 0.5}, {1.5, 1}, {3, 1}, {3.75, 0.5}, {4.5, 0},
+		{6, 0}, {6.5, 1}, // second period
+	}
+	for _, tc := range cases {
+		if got := p.At(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Pulse.At(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	w := PWL{T: []float64{0, 1, 3}, V: []float64{0, 2, -2}}
+	if w.At(-1) != 0 || w.At(0.5) != 1 || w.At(2) != 0 || w.At(9) != -2 {
+		t.Error("PWL interpolation wrong")
+	}
+	s := Sine{Offset: 1, Amp: 2, Freq: 0.25, Delay: 1}
+	if s.At(0) != 1 {
+		t.Error("Sine before delay")
+	}
+	if got := s.At(2); math.Abs(got-3) > 1e-12 { // sin(2π·0.25·1) = 1
+		t.Errorf("Sine.At(2) = %v", got)
+	}
+	if (DC(3)).At(99) != 3 {
+		t.Error("DC wrong")
+	}
+}
+
+func TestInverterDCTransfer(t *testing.T) {
+	// Sweep the input of a single inverter via DC op at several input
+	// levels; the transfer curve must be high for low in, low for high in,
+	// and monotone decreasing.
+	vdd := 1.2
+	sweep := []float64{0, 0.3, 0.55, 0.65, 0.9, 1.2}
+	var prev float64 = math.Inf(1)
+	for _, vin := range sweep {
+		c := New()
+		in, out := c.Node("in"), c.Node("out")
+		c.AddV(in, Ground, DC(vin))
+		if _, err := c.AddInverter(in, out, InverterParams{
+			VDD: vdd, ROut: 14.3, CIn: 4e-13, COut: 1.9e-12,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		x, err := c.DCOperatingPoint()
+		if err != nil {
+			t.Fatalf("vin=%v: %v", vin, err)
+		}
+		vout := x[out]
+		if vout > prev+1e-9 {
+			t.Errorf("vin=%v: transfer not monotone (%v > %v)", vin, vout, prev)
+		}
+		prev = vout
+		if vin == 0 && math.Abs(vout-vdd) > 0.01 {
+			t.Errorf("vin=0: out=%v, want ≈VDD", vout)
+		}
+		if vin == vdd && math.Abs(vout) > 0.01 {
+			t.Errorf("vin=VDD: out=%v, want ≈0", vout)
+		}
+	}
+}
+
+func TestThreeStageRingOscillatorOscillates(t *testing.T) {
+	// Three macro-model inverters in a loop with small caps: must oscillate.
+	c := New()
+	nodes := []NodeID{c.Node("a"), c.Node("b"), c.Node("c")}
+	vdd := 1.2
+	for i := range nodes {
+		if _, err := c.AddInverter(nodes[i], nodes[(i+1)%3], InverterParams{
+			VDD: vdd, ROut: 100, CIn: 1e-13, COut: 1e-13,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetIC(nodes[0], vdd)
+	c.SetIC(nodes[1], 0)
+	c.SetIC(nodes[2], vdd)
+	res, err := c.Transient(TranOpts{TStop: 2e-9, DT: 1e-12, UseICs: true}, c.ProbeNode("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.Signal("a")
+	// Count rail-to-rail transitions through VDD/2.
+	crossings := 0
+	for i := 1; i < len(v); i++ {
+		if (v[i-1]-vdd/2)*(v[i]-vdd/2) < 0 {
+			crossings++
+		}
+	}
+	if crossings < 4 {
+		t.Errorf("ring oscillator: only %d threshold crossings in window", crossings)
+	}
+}
+
+func TestMOSFETInverterTransfer(t *testing.T) {
+	// CMOS pair from alpha-power devices: output high at vin=0, low at VDD.
+	vdd := 1.2
+	eval := func(vin float64) float64 {
+		c := New()
+		in, out, vddN := c.Node("in"), c.Node("out"), c.Node("vdd")
+		c.AddV(vddN, Ground, DC(vdd))
+		c.AddV(in, Ground, DC(vin))
+		// NMOS pulls down, PMOS pulls up.
+		if err := c.AddMOSFET(out, in, Ground, MOSFETParams{
+			VT: 0.3, Alpha: 1.3, KSat: 5e-4, KV: 0.8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddMOSFET(out, in, vddN, MOSFETParams{
+			PMOS: true, VT: 0.3, Alpha: 1.3, KSat: 5e-4, KV: 0.8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.AddR(out, Ground, 1e9) // leak to define the node when both are off
+		x, err := c.DCOperatingPoint()
+		if err != nil {
+			t.Fatalf("vin=%v: %v", vin, err)
+		}
+		return x[out]
+	}
+	if v := eval(0); math.Abs(v-vdd) > 0.05 {
+		t.Errorf("vin=0: out=%v, want ≈%v", v, vdd)
+	}
+	if v := eval(vdd); math.Abs(v) > 0.05 {
+		t.Errorf("vin=VDD: out=%v, want ≈0", v)
+	}
+	lo, hi := eval(0.45), eval(0.75)
+	if lo <= hi {
+		t.Errorf("transfer not decreasing: f(0.45)=%v <= f(0.75)=%v", lo, hi)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	c := New()
+	if err := c.Validate(); err == nil {
+		t.Error("empty circuit must fail validation")
+	}
+	n := c.Node("n")
+	if err := c.AddR(n, Ground, -5); err == nil {
+		t.Error("negative R must fail")
+	}
+	if err := c.AddC(n, Ground, 0); err == nil {
+		t.Error("zero C must fail")
+	}
+	if _, err := c.AddL(n, Ground, math.NaN()); err == nil {
+		t.Error("NaN L must fail")
+	}
+	if _, err := c.AddV(n, Ground, nil); err == nil {
+		t.Error("nil waveform must fail")
+	}
+	if err := c.AddI(n, Ground, nil); err == nil {
+		t.Error("nil waveform must fail")
+	}
+	if _, err := c.AddInverter(n, n, InverterParams{}); err == nil {
+		t.Error("zero inverter params must fail")
+	}
+	if err := c.AddMOSFET(n, n, Ground, MOSFETParams{}); err == nil {
+		t.Error("zero MOSFET params must fail")
+	}
+	c.AddR(n, Ground, 1)
+	c.AddV(n, Ground, DC(1))
+	if _, err := c.Transient(TranOpts{TStop: -1, DT: 1}); err == nil {
+		t.Error("negative tstop must fail")
+	}
+	res, err := c.Transient(TranOpts{TStop: 1e-9, DT: 1e-10}, c.ProbeNode("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Signal("nope"); err == nil {
+		t.Error("unknown probe label must fail")
+	}
+}
+
+func TestNodeNamesAndReuse(t *testing.T) {
+	c := New()
+	a := c.Node("x")
+	b := c.Node("x")
+	if a != b {
+		t.Error("Node must return the same ID for the same name")
+	}
+	if c.NodeName(a) != "x" || c.NodeName(Ground) != "0" {
+		t.Error("NodeName wrong")
+	}
+}

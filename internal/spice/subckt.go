@@ -1,0 +1,172 @@
+package spice
+
+import (
+	"fmt"
+	"strings"
+)
+
+// subcktDef is a parsed .subckt block: ordered port names and raw body
+// lines, expanded textually at instantiation (the classic SPICE flattening
+// model).
+type subcktDef struct {
+	name  string
+	ports []string
+	body  []string
+}
+
+// maxSubcktDepth bounds nested instantiation (and catches recursion).
+const maxSubcktDepth = 16
+
+// flattenNetlist expands .subckt definitions and X-instance lines into a
+// flat element list. Internal subcircuit nodes are renamed
+// "<instance>.<node>"; port nodes map to the instance's connection nodes.
+// Definitions may be nested and may instantiate other subcircuits.
+func flattenNetlist(lines []string) ([]string, error) {
+	defs := map[string]*subcktDef{}
+	var top []string
+	// First pass: strip definitions (non-nested textual blocks; a
+	// definition inside a definition body is collected when the body is
+	// expanded — standard SPICE treats all .subckt as global, which we
+	// emulate by recursively extracting).
+	if err := extractDefs(lines, defs, &top); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range top {
+		expanded, err := expandLine(line, defs, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expanded...)
+	}
+	return out, nil
+}
+
+// extractDefs walks lines, collecting .subckt blocks into defs and all
+// remaining lines into rest. Nested definitions are hoisted to the global
+// scope (SPICE semantics).
+func extractDefs(lines []string, defs map[string]*subcktDef, rest *[]string) error {
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		lower := strings.ToLower(line)
+		if !strings.HasPrefix(lower, ".subckt") {
+			*rest = append(*rest, lines[i])
+			i++
+			continue
+		}
+		fs := strings.Fields(line)
+		if len(fs) < 3 {
+			return fmt.Errorf(".subckt needs a name and at least one port: %q", line)
+		}
+		def := &subcktDef{name: strings.ToLower(fs[1]), ports: fs[2:]}
+		depth := 1
+		i++
+		var body []string
+		for i < len(lines) {
+			l := strings.TrimSpace(lines[i])
+			ll := strings.ToLower(l)
+			if strings.HasPrefix(ll, ".subckt") {
+				depth++
+			}
+			if strings.HasPrefix(ll, ".ends") {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+			body = append(body, lines[i])
+			i++
+		}
+		if depth != 0 {
+			return fmt.Errorf("unterminated .subckt %s", def.name)
+		}
+		i++ // skip .ends
+		// Hoist nested definitions out of the body.
+		var flatBody []string
+		if err := extractDefs(body, defs, &flatBody); err != nil {
+			return err
+		}
+		def.body = flatBody
+		if _, dup := defs[def.name]; dup {
+			return fmt.Errorf("duplicate .subckt %s", def.name)
+		}
+		defs[def.name] = def
+	}
+	return nil
+}
+
+// expandLine expands an X-instance line (recursively) or returns the line
+// unchanged.
+func expandLine(line string, defs map[string]*subcktDef, depth int) ([]string, error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || trimmed[0] != 'X' && trimmed[0] != 'x' {
+		return []string{line}, nil
+	}
+	if depth >= maxSubcktDepth {
+		return nil, fmt.Errorf("subcircuit nesting deeper than %d (recursive definition?)", maxSubcktDepth)
+	}
+	fs := strings.Fields(trimmed)
+	if len(fs) < 3 {
+		return nil, fmt.Errorf("malformed subcircuit instance %q", line)
+	}
+	inst := fs[0]
+	defName := strings.ToLower(fs[len(fs)-1])
+	conns := fs[1 : len(fs)-1]
+	def, ok := defs[defName]
+	if !ok {
+		return nil, fmt.Errorf("instance %s references unknown subcircuit %q", inst, defName)
+	}
+	if len(conns) != len(def.ports) {
+		return nil, fmt.Errorf("instance %s: %d connections for %d ports of %s",
+			inst, len(conns), len(def.ports), def.name)
+	}
+	portMap := map[string]string{"0": "0", "gnd": "0"}
+	for i, p := range def.ports {
+		portMap[strings.ToLower(p)] = conns[i]
+	}
+	rename := func(node string) string {
+		if mapped, ok := portMap[strings.ToLower(node)]; ok {
+			return mapped
+		}
+		return inst + "." + node
+	}
+	var out []string
+	for _, bl := range def.body {
+		bt := strings.TrimSpace(bl)
+		if bt == "" || strings.HasPrefix(bt, "*") || strings.HasPrefix(bt, ".") {
+			continue
+		}
+		bf := splitFieldsKeepParens(bt)
+		if len(bf) < 3 {
+			return nil, fmt.Errorf("instance %s: malformed body line %q", inst, bl)
+		}
+		switch strings.ToUpper(bf[0][:1]) {
+		case "R", "C", "L", "V", "I":
+			bf[0] = bf[0] + "." + inst // unique element name
+			bf[1] = rename(bf[1])
+			bf[2] = rename(bf[2])
+		case "K":
+			bf[0] = bf[0] + "." + inst
+			bf[1] = bf[1] + "." + inst // inductor names are local
+			bf[2] = bf[2] + "." + inst
+		case "X":
+			// Nested instance: rename its connections, keep the def name,
+			// and prefix the instance path.
+			bf[0] = inst + "." + bf[0]
+			for i := 1; i < len(bf)-1; i++ {
+				bf[i] = rename(bf[i])
+			}
+			sub, err := expandLine(strings.Join(bf, " "), defs, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			continue
+		default:
+			return nil, fmt.Errorf("instance %s: unsupported element %q in subcircuit", inst, bf[0])
+		}
+		out = append(out, strings.Join(bf, " "))
+	}
+	return out, nil
+}

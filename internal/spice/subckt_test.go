@@ -1,0 +1,171 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSubcktBasicInstantiation(t *testing.T) {
+	// A voltage divider subcircuit instantiated twice with different loads.
+	deck := `divider test
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 4
+Xu a m div
+Xd m 0 div
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Circuit.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Circuit: a -(1k)- m' ... full network: Xu: a-1k-m, m-1k-0; Xd: m-1k-0 (out=0? Xd maps in=m out=0):
+	// Xd: R1 m 0 1k, R2 0 0 1k (degenerate, both ends ground — zero current).
+	// Node m: from a through 1k, to ground through 1k (Xu.R2) and 1k (Xd.R1):
+	// v(m) = 4·(500/1500) = 4/3.
+	vm := x[res.Circuit.Node("m")]
+	if math.Abs(vm-4.0/3) > 1e-9 {
+		t.Errorf("v(m) = %v, want 4/3", vm)
+	}
+}
+
+func TestSubcktInternalNodesAreIsolated(t *testing.T) {
+	// Two instances of a subcircuit with an internal node must not share it.
+	deck := `isolation
+.subckt rc in out
+R1 in mid 1k
+R2 mid out 1k
+.ends
+V1 a 0 DC 2
+X1 a b rc
+X2 b 0 rc
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Circuit
+	// Expect distinct nodes X1.mid and X2.mid.
+	names := map[string]bool{}
+	for i := 0; i < c.NumNodes(); i++ {
+		names[c.NodeName(NodeID(i))] = true
+	}
+	if !names["X1.mid"] || !names["X2.mid"] {
+		t.Fatalf("internal nodes not namespaced: %v", names)
+	}
+	x, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series chain of 4×1k from 2V to ground: v(b) = 1, v(X1.mid) = 1.5.
+	if math.Abs(x[c.Node("b")]-1) > 1e-9 {
+		t.Errorf("v(b) = %v, want 1", x[c.Node("b")])
+	}
+	if math.Abs(x[c.Node("X1.mid")]-1.5) > 1e-9 {
+		t.Errorf("v(X1.mid) = %v, want 1.5", x[c.Node("X1.mid")])
+	}
+}
+
+func TestSubcktNestedInstances(t *testing.T) {
+	// A subcircuit that instantiates another.
+	deck := `nested
+.subckt unit in out
+R1 in out 2k
+.ends
+.subckt pair in out
+Xa in mid unit
+Xb mid out unit
+.ends
+V1 top 0 DC 1
+Xp top 0 pair
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Circuit.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1V across 4k: check the midpoint inside the pair.
+	mid := res.Circuit.Node("Xp.mid")
+	if math.Abs(x[mid]-0.5) > 1e-9 {
+		t.Errorf("v(Xp.mid) = %v, want 0.5", x[mid])
+	}
+}
+
+func TestSubcktNestedDefinitionHoisted(t *testing.T) {
+	// A .subckt defined inside another is hoisted to global scope (SPICE
+	// semantics) and usable from the top level.
+	deck := `hoist
+.subckt outer in out
+.subckt inner a b
+R1 a b 1k
+.ends
+Xi in out inner
+.ends
+V1 t 0 DC 1
+X1 t m outer
+Xdirect m 0 inner
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Circuit.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm := x[res.Circuit.Node("m")]; math.Abs(vm-0.5) > 1e-9 {
+		t.Errorf("v(m) = %v, want 0.5", vm)
+	}
+}
+
+func TestSubcktWithMutualInductors(t *testing.T) {
+	deck := `coupled subckt
+.subckt xfmr p s
+L1 p 0 1u
+L2 s 0 1u
+K1 L1 L2 0.5
+.ends
+V1 in 0 DC 0
+X1 in sec xfmr
+R1 sec 0 50
+.end
+`
+	res, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both inductors present under namespaced names.
+	if res.Inductors["L1.X1"] == nil || res.Inductors["L2.X1"] == nil {
+		t.Fatalf("namespaced inductors missing: %v", res.Inductors)
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	bad := []struct {
+		name, deck string
+	}{
+		{"unknown def", "t\nV1 a 0 DC 1\nX1 a 0 nosuch\nR1 a 0 1\n.end\n"},
+		{"port mismatch", "t\n.subckt d in out\nR1 in out 1\n.ends\nV1 a 0 DC 1\nX1 a d\n.end\n"},
+		{"unterminated", "t\n.subckt d in out\nR1 in out 1\nV1 a 0 DC 1\n.end\n"},
+		{"duplicate", "t\n.subckt d a b\nR1 a b 1\n.ends\n.subckt d a b\nR1 a b 1\n.ends\nV1 x 0 DC 1\nR9 x 0 1\n.end\n"},
+		{"recursive", "t\n.subckt d a b\nXq a b d\n.ends\nV1 x 0 DC 1\nX1 x 0 d\n.end\n"},
+	}
+	for _, tc := range bad {
+		if _, err := ParseNetlist(strings.NewReader(tc.deck)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"rlcint/internal/sparse"
+)
+
+// Method selects the integration scheme.
+type Method int
+
+const (
+	// Trapezoidal is second-order accurate; the first two steps of any run
+	// use backward Euler to damp inconsistent initial conditions (the
+	// standard "TR with BE start").
+	Trapezoidal Method = iota
+	// BackwardEuler is first-order and strongly damping.
+	BackwardEuler
+)
+
+// TranOpts configure a transient run.
+type TranOpts struct {
+	TStop  float64 // end time, s
+	DT     float64 // output/base timestep, s
+	Method Method
+	// UseICs starts from Circuit.SetIC values (inductor currents zero)
+	// instead of a DC operating point — required for circuits with no
+	// stable DC point, like ring oscillators.
+	UseICs    bool
+	MaxNewton int     // per-step Newton budget (default 50)
+	ITol      float64 // residual tolerance (default 1e-9; A for KCL rows, V for branch rows)
+	RelTol    float64 // relative solution-update tolerance (default 1e-6)
+	VNTol     float64 // absolute solution-update tolerance (default 1e-9)
+	Gmin      float64 // structural minimum conductance (default 1e-12 S)
+	// MaxHalvings bounds internal step subdivision when Newton fails
+	// (default 8 → the base step may shrink 256×).
+	MaxHalvings int
+	// MaxStep clamps each component of a Newton update (default 5; volts
+	// for node rows, amperes for branch rows). This is the classic remedy
+	// for the flat Jacobian of a saturated transistor, where a raw Newton
+	// step can jump by kilovolts.
+	MaxStep float64
+	// NoBEStart disables the two backward-Euler startup steps; use only
+	// when the initial conditions are exactly consistent.
+	NoBEStart bool
+}
+
+func (o TranOpts) withDefaults() (TranOpts, error) {
+	if o.TStop <= 0 || o.DT <= 0 || o.DT > o.TStop {
+		return o, fmt.Errorf("spice: invalid transient window tstop=%g dt=%g", o.TStop, o.DT)
+	}
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 50
+	}
+	if o.ITol == 0 {
+		o.ITol = 1e-9
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-6
+	}
+	if o.VNTol == 0 {
+		o.VNTol = 1e-9
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxHalvings == 0 {
+		o.MaxHalvings = 8
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 5
+	}
+	return o, nil
+}
+
+// Probe selects a signal to record during a transient run.
+type Probe interface {
+	Label() string
+	sample(x []float64, nNodes int) float64
+}
+
+// NodeProbe records a node voltage.
+type NodeProbe struct {
+	Name string
+	ID   NodeID
+}
+
+// Label implements Probe.
+func (p NodeProbe) Label() string { return p.Name }
+
+func (p NodeProbe) sample(x []float64, nNodes int) float64 {
+	if p.ID == Ground {
+		return 0
+	}
+	return x[p.ID]
+}
+
+// ProbeNode builds a NodeProbe for a named node.
+func (c *Circuit) ProbeNode(name string) NodeProbe {
+	return NodeProbe{Name: name, ID: c.Node(name)}
+}
+
+// BranchProbe records an inductor's branch current.
+type BranchProbe struct {
+	Name string
+	L    *Inductor
+}
+
+// Label implements Probe.
+func (p BranchProbe) Label() string { return p.Name }
+
+func (p BranchProbe) sample(x []float64, nNodes int) float64 {
+	return x[nNodes+p.L.bidx]
+}
+
+// SourceCurrentProbe records a voltage source's branch current (positive
+// from the + terminal through the source to the − terminal).
+type SourceCurrentProbe struct {
+	Name string
+	V    *VSource
+}
+
+// Label implements Probe.
+func (p SourceCurrentProbe) Label() string { return p.Name }
+
+func (p SourceCurrentProbe) sample(x []float64, nNodes int) float64 {
+	return x[nNodes+p.V.bidx]
+}
+
+// Result holds sampled transient waveforms on the uniform output grid.
+type Result struct {
+	T       []float64
+	Signals [][]float64 // Signals[i][j] = probe i at T[j]
+	Labels  []string
+}
+
+// Signal returns the waveform of the probe with the given label.
+func (r *Result) Signal(label string) ([]float64, error) {
+	for i, l := range r.Labels {
+		if l == label {
+			return r.Signals[i], nil
+		}
+	}
+	return nil, fmt.Errorf("spice: no probe labelled %q", label)
+}
+
+// newtonState bundles the assembly/solve machinery shared by DC and
+// transient analyses.
+type newtonState struct {
+	c      *Circuit
+	n      int // total unknowns
+	nNodes int
+	trip   *sparse.Triplet
+	lu     *sparse.LU
+	res    []float64
+	x      []float64
+	xPrev  []float64
+	dx     []float64
+	xTry   []float64
+}
+
+func newNewtonState(c *Circuit) *newtonState {
+	n := c.NumUnknowns()
+	return &newtonState{
+		c:      c,
+		n:      n,
+		nNodes: c.NumNodes(),
+		trip:   sparse.NewTriplet(n),
+		lu:     sparse.Workspace(n),
+		res:    make([]float64, n),
+		x:      make([]float64, n),
+		xPrev:  make([]float64, n),
+		dx:     make([]float64, n),
+		xTry:   make([]float64, n),
+	}
+}
+
+// assemble loads all elements for iterate x into the Jacobian and residual.
+func (ns *newtonState) assemble(ld *loader) {
+	ns.trip.Reset()
+	for i := range ns.res {
+		ns.res[i] = 0
+	}
+	ld.nNodes = ns.nNodes
+	ld.jac = ns.trip
+	ld.res = ns.res
+	for _, e := range ns.c.elems {
+		e.load(ld)
+	}
+}
+
+func infNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// solveNewton iterates the residual Newton loop for the configured loader
+// until converged, returning the iteration count.
+func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
+	ld.x = ns.x
+	ld.xPrev = ns.xPrev
+	ns.assemble(ld)
+	csc := ns.trip.Compile()
+	rnorm := infNorm(ns.res)
+	for iter := 1; iter <= opts.MaxNewton; iter++ {
+		if err := ns.lu.Factorize(csc, 1); err != nil {
+			return iter, fmt.Errorf("spice: Jacobian singular at t=%g: %w", ld.t, err)
+		}
+		ns.lu.SolveInto(ns.dx, ns.res)
+		// Per-component step limiting (the saturated-transistor guard).
+		for i := range ns.dx {
+			if ns.dx[i] > opts.MaxStep {
+				ns.dx[i] = opts.MaxStep
+			} else if ns.dx[i] < -opts.MaxStep {
+				ns.dx[i] = -opts.MaxStep
+			}
+		}
+		// Damped update: prefer a candidate whose residual does not blow up
+		// (strict decrease is too strong for non-smooth devices); if every
+		// damping level fails, take the most-damped step anyway — limiting
+		// plus MaxNewton bound the damage, and refusing to move guarantees
+		// a stall.
+		lambda := 1.0
+		var newNorm float64
+		for h := 0; ; h++ {
+			for i := range ns.x {
+				ns.xTry[i] = ns.x[i] - lambda*ns.dx[i]
+			}
+			save := ns.x
+			ns.x = ns.xTry
+			ns.xTry = save
+			ld.x = ns.x
+			ns.assemble(ld)
+			newNorm = infNorm(ns.res)
+			if newNorm <= rnorm*1.01 || newNorm < opts.ITol || h >= 8 {
+				break
+			}
+			ns.x, ns.xTry = ns.xTry, ns.x
+			ld.x = ns.x
+			lambda /= 2
+		}
+		// Convergence: small residual and small last update.
+		dxn := lambda * infNorm(ns.dx)
+		xn := infNorm(ns.x)
+		if newNorm < opts.ITol && dxn < opts.VNTol+opts.RelTol*xn {
+			return iter, nil
+		}
+		rnorm = newNorm
+	}
+	return opts.MaxNewton, fmt.Errorf("spice: Newton did not converge at t=%g (residual %g)", ld.t, rnorm)
+}
+
+// DCOperatingPoint solves the DC operating point (capacitors open,
+// inductors shorted) with gmin stepping for robustness. Node initial
+// conditions set via SetIC seed the Newton iteration.
+func (c *Circuit) DCOperatingPoint() ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts, _ := TranOpts{TStop: 1, DT: 1}.withDefaults()
+	ns := newNewtonState(c)
+	for id, v := range c.ics {
+		ns.x[id] = v
+	}
+	gmins := []float64{1e-3, 1e-5, 1e-7, 1e-9, 1e-12}
+	var lastErr error
+	solvedAny := false
+	for _, g := range gmins {
+		ld := &loader{dc: true, gmin: g, t: 0, dt: 1}
+		if _, err := ns.solveNewton(ld, opts); err != nil {
+			if !solvedAny {
+				// Retry the ladder from scratch only if nothing worked yet.
+				lastErr = err
+				continue
+			}
+			return nil, fmt.Errorf("spice: gmin stepping failed at gmin=%g: %w", g, err)
+		}
+		solvedAny = true
+	}
+	if !solvedAny {
+		return nil, fmt.Errorf("spice: DC operating point failed: %w", lastErr)
+	}
+	out := make([]float64, ns.n)
+	copy(out, ns.x)
+	return out, nil
+}
+
+// Transient runs a fixed-grid transient analysis and records the probes.
+func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ns := newNewtonState(c)
+
+	// Initial state.
+	if opts.UseICs {
+		for id, v := range c.ics {
+			ns.x[id] = v
+		}
+	} else {
+		x0, err := c.DCOperatingPoint()
+		if err != nil {
+			return nil, fmt.Errorf("spice: Transient initial point: %w", err)
+		}
+		copy(ns.x, x0)
+	}
+	copy(ns.xPrev, ns.x)
+
+	nSteps := int(math.Ceil(opts.TStop/opts.DT + 1e-9))
+	res := &Result{
+		T:       make([]float64, 0, nSteps+1),
+		Signals: make([][]float64, len(probes)),
+		Labels:  make([]string, len(probes)),
+	}
+	for i, p := range probes {
+		res.Labels[i] = p.Label()
+		res.Signals[i] = make([]float64, 0, nSteps+1)
+	}
+	record := func() {
+		res.T = append(res.T, float64(len(res.T))*opts.DT)
+		for i, p := range probes {
+			res.Signals[i] = append(res.Signals[i], p.sample(ns.x, ns.nNodes))
+		}
+	}
+	record() // t = 0
+
+	beSteps := 2 // BE start for trapezoidal
+	if opts.NoBEStart {
+		beSteps = 0
+	}
+	t := 0.0
+	for step := 1; step <= nSteps; step++ {
+		tTarget := float64(step) * opts.DT
+		// March to the grid point, subdividing on Newton failure.
+		dt := tTarget - t
+		halvings := 0
+		for t < tTarget-1e-15*opts.TStop {
+			if dt > tTarget-t {
+				dt = tTarget - t
+			}
+			trap := opts.Method == Trapezoidal && beSteps <= 0
+			ld := &loader{t: t + dt, dt: dt, trap: trap, gmin: opts.Gmin}
+			copy(ns.xPrev, ns.x)
+			if _, err := ns.solveNewton(ld, opts); err != nil {
+				// Back out and halve.
+				copy(ns.x, ns.xPrev)
+				halvings++
+				if halvings > opts.MaxHalvings {
+					return res, fmt.Errorf("spice: timestep collapsed at t=%g: %w", t, err)
+				}
+				dt /= 2
+				continue
+			}
+			// Commit element state.
+			ldAcc := *ld
+			ldAcc.x = ns.x
+			ldAcc.xPrev = ns.xPrev
+			for _, e := range c.elems {
+				e.accept(&ldAcc)
+			}
+			t += dt
+			if beSteps > 0 {
+				beSteps--
+			}
+			// Gently re-expand after successful sub-steps.
+			if halvings > 0 {
+				dt *= 2
+				halvings--
+			}
+		}
+		t = tTarget
+		record()
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// InterpolateNode synthesizes a technology node at an intermediate (or
+// mildly extrapolated) feature size by log–log interpolation between the
+// paper's two anchors (250 nm and 100 nm). The top-metal geometry is held
+// fixed — exactly as in the paper, where both nodes share the same global
+// wire cross-section — while the device parameters (r_s, c_0, c_p), supply,
+// oxide and dielectric follow the anchored scaling trends. Valid for
+// feature sizes in [70 nm, 350 nm]; outside that window the trends have no
+// support in the data and an error is returned.
+//
+// This utility extends the paper's scaling argument into a trajectory: the
+// interpolated nodes let the susceptibility trend (Figure 7) be plotted
+// versus feature size rather than at two points.
+func InterpolateNode(feature float64) (Node, error) {
+	const lo, hi = 70e-9, 350e-9
+	if feature < lo || feature > hi || math.IsNaN(feature) {
+		return Node{}, fmt.Errorf("tech: feature %g m outside the supported [%g, %g] window", feature, lo, hi)
+	}
+	a, b := Node250(), Node100()
+	fa, fb := 250e-9, 100e-9
+	// Interpolation coordinate in log feature size: t=0 at 250nm, 1 at 100nm.
+	t := (math.Log(feature) - math.Log(fa)) / (math.Log(fb) - math.Log(fa))
+	geo := func(x, y float64) float64 {
+		return math.Exp(math.Log(x) + t*(math.Log(y)-math.Log(x)))
+	}
+	n := Node{
+		Name:   fmt.Sprintf("%.0fnm", feature*1e9),
+		R:      a.R, // same wire cross-section and material
+		C:      geo(a.C, b.C),
+		EpsR:   geo(a.EpsR, b.EpsR),
+		Width:  a.Width,
+		Pitch:  a.Pitch,
+		Height: a.Height,
+		TIns:   geo(a.TIns, b.TIns),
+		Rs:     geo(a.Rs, b.Rs),
+		C0:     geo(a.C0, b.C0),
+		Cp:     geo(a.Cp, b.Cp),
+		VDD:    geo(a.VDD, b.VDD),
+		Tox:    geo(a.Tox, b.Tox),
+	}
+	if err := n.Validate(); err != nil {
+		return Node{}, fmt.Errorf("tech: interpolation produced invalid node: %w", err)
+	}
+	return n, nil
+}
+
+// DriverRC returns the node's intrinsic driver time constant r_s·(c_0+c_p),
+// the quantity the paper identifies as the root cause of growing inductance
+// susceptibility (it shrinks with scaling while the wire stays put).
+func (n Node) DriverRC() float64 {
+	return n.Rs * (n.C0 + n.Cp)
+}

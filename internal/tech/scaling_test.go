@@ -1,0 +1,81 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterpolateRecoversAnchors(t *testing.T) {
+	n250, err := InterpolateNode(250e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n100, err := InterpolateNode(100e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Node250(), Node100()
+	if math.Abs(n250.Rs-a.Rs)/a.Rs > 1e-12 || math.Abs(n250.C-a.C)/a.C > 1e-12 {
+		t.Errorf("250nm anchor not recovered: %+v", n250)
+	}
+	if math.Abs(n100.Rs-b.Rs)/b.Rs > 1e-12 || math.Abs(n100.VDD-b.VDD)/b.VDD > 1e-12 {
+		t.Errorf("100nm anchor not recovered: %+v", n100)
+	}
+}
+
+func TestInterpolateMonotoneTrends(t *testing.T) {
+	// Between the anchors every scaled parameter moves monotonically.
+	feats := []float64{250e-9, 180e-9, 130e-9, 100e-9}
+	var prev Node
+	for i, f := range feats {
+		n, err := InterpolateNode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if i > 0 {
+			if n.Rs >= prev.Rs || n.C0 >= prev.C0 || n.Cp >= prev.Cp || n.VDD >= prev.VDD {
+				t.Errorf("feature %v: device parameters not shrinking", f)
+			}
+			if n.DriverRC() >= prev.DriverRC() {
+				t.Errorf("feature %v: driver RC did not shrink", f)
+			}
+		}
+		prev = n
+	}
+}
+
+func TestInterpolateRejectsOutOfWindow(t *testing.T) {
+	for _, f := range []float64{10e-9, 1e-6, math.NaN()} {
+		if _, err := InterpolateNode(f); err == nil {
+			t.Errorf("feature %v should be rejected", f)
+		}
+	}
+}
+
+func TestDriverRCAnchorsMatchPaperRatio(t *testing.T) {
+	// The paper's cause: driver RC shrinks ~2.8× from 250 to 100 nm while
+	// the wire is unchanged.
+	r := Node250().DriverRC() / Node100().DriverRC()
+	if r < 2.2 || r > 3.5 {
+		t.Errorf("driver RC ratio %v, expected ≈2.8", r)
+	}
+}
+
+func TestInterpolatedNodeOptimizable(t *testing.T) {
+	// The synthesized node must be consumable by the RC closed forms: its
+	// optimum falls between the two anchors'.
+	n, err := InterpolateNode(150e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h_optRC = sqrt(2 rs (c0+cp)/(r c)) monotone in the interpolation.
+	h := math.Sqrt(2 * n.Rs * (n.C0 + n.Cp) / (n.R * n.C))
+	h250 := math.Sqrt(2 * Node250().Rs * (Node250().C0 + Node250().Cp) / (Node250().R * Node250().C))
+	h100 := math.Sqrt(2 * Node100().Rs * (Node100().C0 + Node100().Cp) / (Node100().R * Node100().C))
+	if !(h < h250 && h > h100) {
+		t.Errorf("interpolated h_optRC %v not between anchors (%v, %v)", h, h100, h250)
+	}
+}

@@ -1,0 +1,87 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Values(t *testing.T) {
+	n250 := Node250()
+	if n250.R != 4400 {
+		t.Errorf("250nm r = %v Ω/m, want 4400", n250.R)
+	}
+	if math.Abs(n250.C-203.5e-12) > 1e-18 {
+		t.Errorf("250nm c = %v", n250.C)
+	}
+	n100 := Node100()
+	if math.Abs(n100.C-123.33e-12) > 1e-18 {
+		t.Errorf("100nm c = %v", n100.C)
+	}
+	if n100.Rs != 7534 {
+		t.Errorf("100nm rs = %v", n100.Rs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, n := range Nodes() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+	bad := Node250()
+	bad.Rs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation failure for rs=0")
+	}
+	bad = Node250()
+	bad.Pitch = bad.Width
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation failure for pitch<=width")
+	}
+}
+
+func TestEpsSwapVariant(t *testing.T) {
+	v := Node100WithEps250()
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// c must equal the 250 nm node's c: the paper's "identical c" control.
+	if math.Abs(v.C-Node250().C)/Node250().C > 1e-3 {
+		t.Errorf("eps-swap c = %v, want %v", v.C, Node250().C)
+	}
+	// Driver parameters stay those of the 100 nm node.
+	if v.Rs != Node100().Rs || v.C0 != Node100().C0 {
+		t.Error("eps-swap must keep 100 nm driver parameters")
+	}
+}
+
+func TestByName(t *testing.T) {
+	n, err := ByName("100nm")
+	if err != nil || n.Name != "100nm" {
+		t.Errorf("ByName: %v, %v", n, err)
+	}
+	if _, err := ByName("65nm"); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	n := Node250()
+	if math.Abs(n.CrossSectionArea()-5e-12) > 1e-24 {
+		t.Errorf("area = %v, want 5e-12 m²", n.CrossSectionArea())
+	}
+	if math.Abs(n.Spacing()-2e-6) > 1e-18 {
+		t.Errorf("spacing = %v, want 2 µm", n.Spacing())
+	}
+}
+
+func TestResistanceMatchesGeometry(t *testing.T) {
+	// Table 1's r is consistent with Cu resistivity over the stated
+	// cross-section: ρ = r·A ≈ 2.2e-8 Ωm.
+	for _, n := range Nodes() {
+		rho := n.R * n.CrossSectionArea()
+		if rho < 1.6e-8 || rho > 2.6e-8 {
+			t.Errorf("%s: implied resistivity %v Ωm not copper-like", n.Name, rho)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package tline
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoupledPair models two identical parallel RLC lines with capacitive and
+// inductive coupling — the paper's Section 3 discussion of why the effective
+// line capacitance varies with neighbour switching (Miller effect) and why
+// the effective inductance varies with the current return path. For a
+// symmetric pair the analysis decouples exactly into even and odd
+// propagation modes.
+type CoupledPair struct {
+	R  float64 // series resistance per line, Ω/m
+	L  float64 // self inductance per line, H/m
+	Cg float64 // capacitance to ground per line, F/m
+	Cm float64 // mutual (coupling) capacitance, F/m
+	Lm float64 // mutual inductance, H/m
+}
+
+// Validate rejects non-physical parameter sets.
+func (p CoupledPair) Validate() error {
+	if p.R <= 0 || p.Cg <= 0 || p.L < 0 {
+		return fmt.Errorf("tline: invalid coupled pair %+v", p)
+	}
+	if p.Cm < 0 || p.Lm < 0 {
+		return fmt.Errorf("tline: negative coupling %+v", p)
+	}
+	if p.Lm >= p.L && p.L > 0 {
+		return fmt.Errorf("tline: mutual inductance %g must be below self %g", p.Lm, p.L)
+	}
+	return nil
+}
+
+// EvenMode returns the line seen by a common-mode (both lines switching
+// together) signal: the coupling capacitance carries no current and the
+// mutual inductance aids the self term.
+func (p CoupledPair) EvenMode() Line {
+	return Line{R: p.R, L: p.L + p.Lm, C: p.Cg}
+}
+
+// OddMode returns the line seen by a differential (opposite switching)
+// signal: the coupling capacitance appears doubled (Miller) and the mutual
+// inductance opposes the self term.
+func (p CoupledPair) OddMode() Line {
+	return Line{R: p.R, L: p.L - p.Lm, C: p.Cg + 2*p.Cm}
+}
+
+// QuietMode returns the effective line when the neighbour is quiet
+// (grounded): the coupling capacitance appears once.
+func (p CoupledPair) QuietMode() Line {
+	return Line{R: p.R, L: p.L, C: p.Cg + p.Cm}
+}
+
+// MillerSpread returns the ratio of the odd-mode to even-mode effective
+// capacitance — the paper's "effective line capacitance can vary by as much
+// as 4×" observation expressed as a number.
+func (p CoupledPair) MillerSpread() float64 {
+	return (p.Cg + 2*p.Cm) / p.Cg
+}
+
+// CouplingCoefficients returns the capacitive and inductive coupling factors
+// kc = cm/(cg+cm) and kl = lm/l used by classical crosstalk estimates.
+func (p CoupledPair) CouplingCoefficients() (kc, kl float64) {
+	kc = p.Cm / (p.Cg + p.Cm)
+	if p.L > 0 {
+		kl = p.Lm / p.L
+	}
+	return
+}
+
+// BackwardCrosstalk returns the classical near-end (backward) crosstalk
+// coefficient for weakly lossy coupled lines,
+//
+//	Kb = (kc + kl)/4,
+//
+// the fraction of the aggressor swing induced on a matched quiet victim.
+// Positive kc and kl add constructively at the near end.
+func (p CoupledPair) BackwardCrosstalk() float64 {
+	kc, kl := p.CouplingCoefficients()
+	return (kc + kl) / 4
+}
+
+// ForwardCrosstalk returns the classical far-end (forward) crosstalk slope
+// coefficient per unit length and time,
+//
+//	Kf = (kc − kl)/2 · √(L·C)  [s/m],
+//
+// the far-end pulse amplitude is Kf·length·(dV/dt). For on-chip lines
+// kl usually exceeds kc, making Kf negative (inductively dominated
+// crosstalk) — the opposite polarity of PCB-style capacitive coupling.
+func (p CoupledPair) ForwardCrosstalk() float64 {
+	kc, kl := p.CouplingCoefficients()
+	ceff := p.Cg + p.Cm
+	return (kc - kl) / 2 * math.Sqrt(p.L*ceff)
+}
+
+// ModeVelocityMismatch returns the relative difference between even- and
+// odd-mode velocities; zero for homogeneous dielectrics with kl = kc.
+func (p CoupledPair) ModeVelocityMismatch() float64 {
+	ve := p.EvenMode().Velocity()
+	vo := p.OddMode().Velocity()
+	if math.IsInf(ve, 1) || math.IsInf(vo, 1) {
+		return 0
+	}
+	return math.Abs(ve-vo) / math.Max(ve, vo)
+}
+
+// WorstCaseStageDelays evaluates the delay spread a stage sees across
+// neighbour-switching corners: the same geometry optimized once but
+// operated at even / quiet / odd effective lines. It returns the stage
+// copies for each corner (delay evaluation is the caller's choice of model).
+func (p CoupledPair) WorstCaseStageDelays(st Stage) (even, quiet, odd Stage) {
+	even, quiet, odd = st, st, st
+	even.Line = p.EvenMode()
+	quiet.Line = p.QuietMode()
+	odd.Line = p.OddMode()
+	return
+}

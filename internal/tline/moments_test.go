@@ -1,0 +1,59 @@
+package tline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rlcint/internal/tech"
+)
+
+// TestDenominatorSeriesAgainstCauchyIntegral validates the arbitrary-order
+// moment expansion against the exact transfer function via the Cauchy
+// integral formula: the n-th series coefficient of D(s) equals
+// (1/2πi)·∮ D(s)/s^{n+1} ds on a small circle around the origin.
+func TestDenominatorSeriesAgainstCauchyIntegral(t *testing.T) {
+	n := tech.Node100()
+	k := 528.0
+	st := Stage{
+		Line: Line{R: n.R, L: 2 * tech.NHPerMM, C: n.C},
+		H:    11.1 * tech.MM,
+		RS:   n.Rs / k,
+		CP:   n.Cp * k,
+		CL:   n.C0 * k,
+	}
+	series := st.DenominatorSeries(6)
+	// Radius well inside the convergence region: |s·b1| ~ 0.1.
+	radius := 0.1 / series[1]
+	const m = 512
+	for order := 0; order <= 5; order++ {
+		sum := complex(0, 0)
+		for j := 0; j < m; j++ {
+			theta := 2 * math.Pi * float64(j) / float64(m)
+			s := cmplx.Rect(radius, theta)
+			d := 1 / st.TransferExact(s) // D(s)
+			sum += d / cmplx.Pow(s, complex(float64(order), 0))
+		}
+		coef := real(sum) / float64(m)
+		scale := math.Abs(series[order])
+		if scale == 0 {
+			scale = 1
+		}
+		if math.Abs(coef-series[order])/scale > 1e-6 {
+			t.Errorf("order %d: Cauchy %v vs series %v", order, coef, series[order])
+		}
+	}
+}
+
+func TestDenominatorSeriesRCLimit(t *testing.T) {
+	// With l = 0 the odd/even structure still holds and b2 > 0 from the RC
+	// terms alone; the expansion of a pure RC line is the classic
+	// (rch²)ⁿ/(2n)!-dominated series.
+	st := Stage{Line: Line{R: 4400, L: 0, C: 1.5e-10}, H: 0.01, RS: 20, CP: 1e-12, CL: 4e-13}
+	d := st.DenominatorSeries(4)
+	for i, c := range d {
+		if c <= 0 {
+			t.Errorf("RC series coefficient %d = %v, want positive", i, c)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package tline
+
+import "math"
+
+// Attenuation returns the low-loss attenuation factor exp(−r·h/(2·Z0)) of a
+// length-h segment: the fraction of an incident wave surviving one traversal.
+// It is 0 for an RC line (Z0LC = 0, infinite loss in this metric).
+func (l Line) Attenuation(h float64) float64 {
+	z0 := l.Z0LC()
+	if z0 == 0 {
+		return 0
+	}
+	return math.Exp(-l.R * h / (2 * z0))
+}
+
+// TransmissionLineRegime reports whether transmission-line (inductance)
+// effects matter for a length-h segment driven with rise time tr, using the
+// two classical window conditions (Deutsch et al. [6]):
+//
+//	tr/2 < time of flight      (the edge is faster than the line)
+//	R_total < 2·Z0             (the line is not overdamped by loss)
+//
+// Both must hold for significant waveform ringing.
+func (l Line) TransmissionLineRegime(h, tr float64) bool {
+	if l.L == 0 {
+		return false
+	}
+	tof := l.TimeOfFlight(h)
+	return tr/2 < tof && l.R*h < 2*l.Z0LC()
+}
+
+// CriticalLengthRange returns the [min, max] segment lengths over which
+// transmission-line effects matter for rise time tr: below min the line is
+// electrically short; above max resistance damps the waves. Returns
+// (0, 0) when the window is empty (e.g. an RC line).
+func (l Line) CriticalLengthRange(tr float64) (hMin, hMax float64) {
+	if l.L == 0 {
+		return 0, 0
+	}
+	v := l.Velocity()
+	hMin = tr / 2 * v
+	hMax = 2 * l.Z0LC() / l.R
+	if hMin >= hMax {
+		return 0, 0
+	}
+	return hMin, hMax
+}

@@ -1,0 +1,235 @@
+// Package tline models the uniform distributed RLC transmission line and
+// the paper's driver–line–load stage (its Figure 1): characteristic
+// impedance, propagation constant, exact ABCD two-ports, the exact transfer
+// function of Eq. (1), its power-series (moment) expansion in s, Elmore
+// delay, and lumped-ladder discretization for time-domain simulation.
+package tline
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rlcint/internal/poly"
+)
+
+// Line holds per-unit-length parameters of a uniform line, SI units.
+type Line struct {
+	R float64 // Ω/m
+	L float64 // H/m
+	C float64 // F/m
+}
+
+// Validate rejects non-physical parameter sets (R and C must be positive;
+// L may be zero for the RC limit).
+func (l Line) Validate() error {
+	if l.R <= 0 || l.C <= 0 || l.L < 0 {
+		return fmt.Errorf("tline: invalid line parameters r=%g l=%g c=%g", l.R, l.L, l.C)
+	}
+	return nil
+}
+
+// Z0 returns the characteristic impedance √((r+sl)/(sc)) at complex
+// frequency s.
+func (l Line) Z0(s complex128) complex128 {
+	return cmplx.Sqrt((complex(l.R, 0) + s*complex(l.L, 0)) / (s * complex(l.C, 0)))
+}
+
+// Gamma returns the propagation constant θ = √((r+sl)sc) at s.
+func (l Line) Gamma(s complex128) complex128 {
+	return cmplx.Sqrt((complex(l.R, 0) + s*complex(l.L, 0)) * s * complex(l.C, 0))
+}
+
+// Z0LC returns the lossless characteristic impedance √(l/c), the asymptote
+// the paper's optimal driver impedance approaches at large inductance. It is
+// zero for an RC line.
+func (l Line) Z0LC() float64 { return math.Sqrt(l.L / l.C) }
+
+// Velocity returns the lossless propagation velocity 1/√(lc), +Inf for an
+// RC line.
+func (l Line) Velocity() float64 {
+	if l.L == 0 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(l.L*l.C)
+}
+
+// TimeOfFlight returns h/velocity, the lossless wave delay over length h.
+func (l Line) TimeOfFlight(h float64) float64 {
+	if l.L == 0 {
+		return 0
+	}
+	return h * math.Sqrt(l.L*l.C)
+}
+
+// ABCD is a complex two-port transmission (chain) matrix
+// [A B; C D] relating (V1, I1) to (V2, I2).
+type ABCD struct{ A, B, C, D complex128 }
+
+// Cascade returns m followed by n (m·n).
+func (m ABCD) Cascade(n ABCD) ABCD {
+	return ABCD{
+		A: m.A*n.A + m.B*n.C,
+		B: m.A*n.B + m.B*n.D,
+		C: m.C*n.A + m.D*n.C,
+		D: m.C*n.B + m.D*n.D,
+	}
+}
+
+// SeriesZ returns the ABCD matrix of a series impedance z.
+func SeriesZ(z complex128) ABCD { return ABCD{A: 1, B: z, C: 0, D: 1} }
+
+// ShuntY returns the ABCD matrix of a shunt admittance y.
+func ShuntY(y complex128) ABCD { return ABCD{A: 1, B: 0, C: y, D: 1} }
+
+// LineABCD returns the exact ABCD matrix of a length-h segment of the line
+// at complex frequency s:
+//
+//	[ cosh(θh)        Z0 sinh(θh) ]
+//	[ sinh(θh)/Z0     cosh(θh)    ]
+func (l Line) LineABCD(s complex128, h float64) ABCD {
+	th := l.Gamma(s) * complex(h, 0)
+	z0 := l.Z0(s)
+	ch := cmplx.Cosh(th)
+	sh := cmplx.Sinh(th)
+	return ABCD{A: ch, B: z0 * sh, C: sh / z0, D: ch}
+}
+
+// Stage is the paper's Figure 1: a repeater with series resistance RS and
+// output parasitic capacitance CP driving a length-H segment of Line, loaded
+// by the next repeater's input capacitance CL.
+type Stage struct {
+	Line Line
+	H    float64 // segment length, m
+	RS   float64 // driver series resistance, Ω
+	CP   float64 // driver output parasitic capacitance, F
+	CL   float64 // load capacitance, F
+}
+
+// TransferExact evaluates the exact Eq. (1) transfer function
+// Vo(s)/Vi(s) = 1/D(s) with
+// D(s) = [1+sRS(CP+CL)]cosh(θh) + [RS/Z0 + sCL·Z0 + s²RS·CP·CL·Z0]·sinh(θh).
+func (st Stage) TransferExact(s complex128) complex128 {
+	l := st.Line
+	th := l.Gamma(s) * complex(st.H, 0)
+	z0 := l.Z0(s)
+	ch := cmplx.Cosh(th)
+	sh := cmplx.Sinh(th)
+	rs := complex(st.RS, 0)
+	cp := complex(st.CP, 0)
+	cl := complex(st.CL, 0)
+	d := (1+s*rs*(cp+cl))*ch + (rs/z0+s*cl*z0+s*s*rs*cp*cl*z0)*sh
+	return 1 / d
+}
+
+// DenominatorSeries returns the first n coefficients (ascending powers of s)
+// of the exact denominator D(s). Coefficient 0 is always 1; coefficients 1
+// and 2 are the paper's b1 and b2. The expansion is exact to the returned
+// order: it is built with truncated polynomial arithmetic from
+//
+//	(θh)² = s·rch² + s²·lch²,
+//	cosh(θh)        = Σ (θh)^{2n}/(2n)!,
+//	sinh(θh)/(θh)   = Σ (θh)^{2n}/(2n+1)!,
+//
+// using sinh(θh)/Z0 = sc·h·S(s) and Z0·sinh(θh) = (r+sl)·h·S(s) where
+// S = sinh(θh)/(θh).
+func (st Stage) DenominatorSeries(n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	l := st.Line
+	h := st.H
+	// x2 represents (θh)² as a polynomial in s.
+	x2 := poly.New(0, l.R*l.C*h*h, l.L*l.C*h*h)
+	cosh := poly.New(1)
+	shOverTh := poly.New(1)
+	pow := poly.New(1) // x2^k, truncated
+	fact := 1.0
+	for k := 1; 2*k-1 < 2*n; k++ { // enough terms: x2^k contributes from s^k
+		pow = pow.MulTrunc(x2, n)
+		if pow.Degree() < 0 {
+			break
+		}
+		fact *= float64(2*k-1) * float64(2*k)
+		cosh = cosh.Add(pow.Scale(1 / fact))
+		shOverTh = shOverTh.Add(pow.Scale(1 / (fact * float64(2*k+1))))
+	}
+	rs, cp, cl := st.RS, st.CP, st.CL
+	// Term 1: (1 + s·RS(CP+CL))·cosh.
+	t1 := poly.New(1, rs*(cp+cl)).MulTrunc(cosh, n)
+	// Term 2: RS·sinh/Z0 = RS·s·c·h·S.
+	t2 := poly.New(0, rs*l.C*h).MulTrunc(shOverTh, n)
+	// Term 3: s·CL·Z0·sinh = s·CL·(r+sl)·h·S.
+	t3 := poly.New(0, cl*l.R*h, cl*l.L*h).MulTrunc(shOverTh, n)
+	// Term 4: s²·RS·CP·CL·Z0·sinh = s²·RS·CP·CL·(r+sl)·h·S.
+	t4 := poly.New(0, 0, rs*cp*cl*l.R*h, rs*cp*cl*l.L*h).MulTrunc(shOverTh, n)
+	d := t1.Add(t2).Add(t3).Add(t4)
+	out := make([]float64, n)
+	copy(out, d.C)
+	return out
+}
+
+// TransferMoments returns the first n moments (ascending power-series
+// coefficients) of the exact transfer function H(s) = 1/D(s). Moment 0 is 1.
+func (st Stage) TransferMoments(n int) ([]float64, error) {
+	d := poly.Poly{C: st.DenominatorSeries(n)}
+	inv, err := d.SeriesInverse(n)
+	if err != nil {
+		return nil, fmt.Errorf("tline: TransferMoments: %w", err)
+	}
+	return inv.C, nil
+}
+
+// ElmoreSegment returns the Elmore delay of one driver–line–load segment,
+// the paper's per-segment form of t_Elmore:
+//
+//	RS(CP+CL) + RS·c·h + r·h·CL + r·c·h²/2.
+//
+// This equals the first moment b1 of the exact transfer function.
+func (st Stage) ElmoreSegment() float64 {
+	l := st.Line
+	return st.RS*(st.CP+st.CL) + st.RS*l.C*st.H + l.R*st.H*st.CL + 0.5*l.R*l.C*st.H*st.H
+}
+
+// LadderSegment is one lumped section of a discretized line.
+type LadderSegment struct {
+	R, L, C float64 // section series resistance/inductance and shunt capacitance
+}
+
+// Ladder discretizes length h of the line into n identical lumped sections
+// for time-domain simulation. The shunt capacitance uses the standard
+// "C at the far node" arrangement; callers typically add half-sections or
+// accept the O(1/n) discretization error, which the convergence tests bound.
+func (l Line) Ladder(h float64, n int) []LadderSegment {
+	if n < 1 {
+		n = 1
+	}
+	seg := LadderSegment{R: l.R * h / float64(n), L: l.L * h / float64(n), C: l.C * h / float64(n)}
+	out := make([]LadderSegment, n)
+	for i := range out {
+		out[i] = seg
+	}
+	return out
+}
+
+// SectionsForAccuracy returns a section count such that the per-section wave
+// delay resolves the fastest time scale of interest tmin (a rise time or an
+// oscillation period fraction). A common rule is ≥10 sections per tmin of
+// wave travel; the count is clamped to [minSec, maxSec].
+func (l Line) SectionsForAccuracy(h, tmin float64, minSec, maxSec int) int {
+	if minSec < 1 {
+		minSec = 1
+	}
+	tof := l.TimeOfFlight(h)
+	n := minSec
+	if tmin > 0 && tof > 0 {
+		n = int(math.Ceil(10 * tof / tmin))
+	}
+	if n < minSec {
+		n = minSec
+	}
+	if maxSec > 0 && n > maxSec {
+		n = maxSec
+	}
+	return n
+}

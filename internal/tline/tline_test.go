@@ -1,0 +1,252 @@
+package tline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"rlcint/internal/tech"
+)
+
+// paperStage returns a representative stage: the 100 nm node at its RC
+// optimum with l = 2 nH/mm.
+func paperStage() Stage {
+	n := tech.Node100()
+	k := 528.0
+	return Stage{
+		Line: Line{R: n.R, L: 2 * tech.NHPerMM, C: n.C},
+		H:    11.1 * tech.MM,
+		RS:   n.Rs / k,
+		CP:   n.Cp * k,
+		CL:   n.C0 * k,
+	}
+}
+
+// b1b2Paper evaluates the paper's closed-form b1 and b2 expressions.
+func b1b2Paper(st Stage) (float64, float64) {
+	r, l, c := st.Line.R, st.Line.L, st.Line.C
+	h := st.H
+	rs, cp, cl := st.RS, st.CP, st.CL
+	b1 := rs*(cp+cl) + r*c*h*h/2 + rs*c*h + cl*r*h
+	b2 := l*c*h*h/2 + r*r*c*c*h*h*h*h/24 +
+		rs*(cp+cl)*r*c*h*h/2 +
+		(rs*c*h+cl*r*h)*r*c*h*h/6 +
+		cl*l*h + rs*cp*cl*r*h
+	return b1, b2
+}
+
+func TestDenominatorSeriesMatchesPaperB1B2(t *testing.T) {
+	st := paperStage()
+	d := st.DenominatorSeries(3)
+	if math.Abs(d[0]-1) > 1e-15 {
+		t.Errorf("d0 = %v, want 1", d[0])
+	}
+	b1, b2 := b1b2Paper(st)
+	if math.Abs(d[1]-b1)/b1 > 1e-12 {
+		t.Errorf("b1 = %v, paper %v", d[1], b1)
+	}
+	if math.Abs(d[2]-b2)/b2 > 1e-12 {
+		t.Errorf("b2 = %v, paper %v", d[2], b2)
+	}
+}
+
+func TestDenominatorSeriesPropertyB1B2(t *testing.T) {
+	// Property: the series coefficients equal the paper's closed forms for
+	// random physical parameter sets.
+	prop := func(a, b, c, d, e, f float64) bool {
+		u := func(x float64) float64 {
+			m := math.Mod(x, 3)
+			if math.IsNaN(m) {
+				m = 1
+			}
+			return 0.1 + math.Abs(m)
+		}
+		st := Stage{
+			Line: Line{R: 4400 * u(a), L: 2e-6 * u(b), C: 1.5e-10 * u(c)},
+			H:    0.012 * u(d),
+			RS:   15 * u(e),
+			CP:   2e-12 * u(f),
+			CL:   4e-13 * u(a+f),
+		}
+		got := st.DenominatorSeries(3)
+		b1, b2 := b1b2Paper(st)
+		return math.Abs(got[1]-b1) < 1e-9*b1 && math.Abs(got[2]-b2) < 1e-9*b2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElmoreEqualsFirstMoment(t *testing.T) {
+	st := paperStage()
+	d := st.DenominatorSeries(2)
+	if math.Abs(st.ElmoreSegment()-d[1])/d[1] > 1e-12 {
+		t.Errorf("Elmore %v != b1 %v", st.ElmoreSegment(), d[1])
+	}
+}
+
+func TestTransferExactMatchesSeriesAtSmallS(t *testing.T) {
+	st := paperStage()
+	n := 8
+	coefs := st.DenominatorSeries(n)
+	// At |s·b1| << 1 the truncated series must agree with the exact D(s).
+	s := complex(1e7, 2e7)
+	series := complex(0, 0)
+	for i := n - 1; i >= 0; i-- {
+		series = series*s + complex(coefs[i], 0)
+	}
+	exact := 1 / st.TransferExact(s)
+	if cmplx.Abs(series-exact)/cmplx.Abs(exact) > 1e-8 {
+		t.Errorf("series D = %v, exact D = %v", series, exact)
+	}
+}
+
+func TestTransferMomentsInvertDenominator(t *testing.T) {
+	st := paperStage()
+	n := 6
+	d := st.DenominatorSeries(n)
+	m, err := st.TransferMoments(n)
+	if err != nil {
+		t.Fatalf("TransferMoments: %v", err)
+	}
+	// Convolution d*m must be the identity series.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for j := 0; j <= k; j++ {
+			s += d[j] * m[k-j]
+		}
+		want := 0.0
+		if k == 0 {
+			want = 1
+		}
+		if math.Abs(s-want) > 1e-12 {
+			t.Errorf("conv[%d] = %v, want %v", k, s, want)
+		}
+	}
+}
+
+func TestLineABCDCascade(t *testing.T) {
+	// Two half-length segments must equal one full segment.
+	l := Line{R: 4400, L: 1.5e-6, C: 1.8e-10}
+	s := complex(1e8, 3e9)
+	full := l.LineABCD(s, 0.01)
+	half := l.LineABCD(s, 0.005)
+	comp := half.Cascade(half)
+	for i, pair := range [][2]complex128{{full.A, comp.A}, {full.B, comp.B}, {full.C, comp.C}, {full.D, comp.D}} {
+		if cmplx.Abs(pair[0]-pair[1])/(cmplx.Abs(pair[0])+1e-30) > 1e-10 {
+			t.Errorf("entry %d: %v != %v", i, pair[0], pair[1])
+		}
+	}
+}
+
+func TestLineABCDReciprocity(t *testing.T) {
+	// A lossy line two-port is reciprocal: AD - BC = 1.
+	l := Line{R: 4400, L: 2e-6, C: 1.2e-10}
+	for _, s := range []complex128{complex(1e8, 0), complex(0, 1e10), complex(5e8, -3e9)} {
+		m := l.LineABCD(s, 0.011)
+		det := m.A*m.D - m.B*m.C
+		if cmplx.Abs(det-1) > 1e-9 {
+			t.Errorf("s=%v: det = %v, want 1", s, det)
+		}
+	}
+}
+
+func TestSeriesShuntABCD(t *testing.T) {
+	z := complex(5, 2)
+	y := complex(0, 3)
+	m := SeriesZ(z).Cascade(ShuntY(y))
+	// [1 z; 0 1]·[1 0; y 1] = [1+zy, z; y, 1]
+	if m.A != 1+z*y || m.B != z || m.C != y || m.D != 1 {
+		t.Errorf("cascade wrong: %+v", m)
+	}
+}
+
+func TestTransferExactUnityAtDC(t *testing.T) {
+	st := paperStage()
+	// As s -> 0 the transfer function approaches 1 (no DC attenuation into a
+	// capacitive load).
+	h := st.TransferExact(complex(10, 0))
+	if cmplx.Abs(h-1) > 1e-3 {
+		t.Errorf("H(≈0) = %v, want ≈1", h)
+	}
+}
+
+func TestZ0HighFrequencyLimit(t *testing.T) {
+	l := Line{R: 4400, L: 2e-6, C: 1.2331e-10}
+	z := l.Z0(complex(0, 1e13))
+	want := l.Z0LC()
+	if math.Abs(real(z)-want)/want > 1e-3 || math.Abs(imag(z)) > 0.05*want {
+		t.Errorf("Z0(j·inf) = %v, want %v", z, want)
+	}
+}
+
+func TestVelocityAndTOF(t *testing.T) {
+	l := Line{R: 4400, L: 2e-6, C: 1.2331e-10}
+	v := l.Velocity()
+	want := 1 / math.Sqrt(2e-6*1.2331e-10)
+	if math.Abs(v-want)/want > 1e-12 {
+		t.Errorf("velocity = %v, want %v", v, want)
+	}
+	if tof := l.TimeOfFlight(0.011); math.Abs(tof-0.011/want)/(0.011/want) > 1e-12 {
+		t.Errorf("tof = %v", tof)
+	}
+	rc := Line{R: 4400, L: 0, C: 1e-10}
+	if !math.IsInf(rc.Velocity(), 1) || rc.TimeOfFlight(1) != 0 {
+		t.Error("RC limit velocity/TOF wrong")
+	}
+}
+
+func TestLadderConservation(t *testing.T) {
+	l := Line{R: 4400, L: 2e-6, C: 1.2e-10}
+	h := 0.0111
+	segs := l.Ladder(h, 37)
+	var rTot, lTot, cTot float64
+	for _, s := range segs {
+		rTot += s.R
+		lTot += s.L
+		cTot += s.C
+	}
+	if math.Abs(rTot-l.R*h)/(l.R*h) > 1e-12 {
+		t.Errorf("sum R = %v, want %v", rTot, l.R*h)
+	}
+	if math.Abs(lTot-l.L*h)/(l.L*h) > 1e-12 {
+		t.Errorf("sum L = %v", lTot)
+	}
+	if math.Abs(cTot-l.C*h)/(l.C*h) > 1e-12 {
+		t.Errorf("sum C = %v", cTot)
+	}
+	if got := l.Ladder(h, 0); len(got) != 1 {
+		t.Errorf("n=0 clamps to 1 section, got %d", len(got))
+	}
+}
+
+func TestSectionsForAccuracy(t *testing.T) {
+	l := Line{R: 4400, L: 2e-6, C: 1.2331e-10}
+	n := l.SectionsForAccuracy(0.0111, 20e-12, 10, 200)
+	if n < 10 || n > 200 {
+		t.Errorf("sections = %d outside clamp", n)
+	}
+	// Sharper tmin demands more sections.
+	n2 := l.SectionsForAccuracy(0.0111, 5e-12, 10, 10000)
+	if n2 <= n {
+		t.Errorf("finer tmin should need more sections: %d vs %d", n2, n)
+	}
+	// RC line has no wave delay: falls back to minimum.
+	rc := Line{R: 4400, L: 0, C: 1e-10}
+	if got := rc.SectionsForAccuracy(0.01, 1e-12, 7, 100); got != 7 {
+		t.Errorf("RC fallback = %d, want 7", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Line{R: 1, L: 0, C: 1}).Validate(); err != nil {
+		t.Errorf("RC line should validate: %v", err)
+	}
+	if err := (Line{R: 0, L: 1, C: 1}).Validate(); err == nil {
+		t.Error("zero R must fail")
+	}
+	if err := (Line{R: 1, L: -1, C: 1}).Validate(); err == nil {
+		t.Error("negative L must fail")
+	}
+}

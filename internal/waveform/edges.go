@@ -1,0 +1,150 @@
+package waveform
+
+import (
+	"fmt"
+)
+
+// Edge is one detected transition of a waveform.
+type Edge struct {
+	TStart, TEnd float64 // 10% and 90% crossing times (reversed for falls)
+	Rising       bool
+}
+
+// Duration returns the 10–90% transition time.
+func (e Edge) Duration() float64 { return e.TEnd - e.TStart }
+
+// Edges detects 10–90% transitions between the logic levels vLow and vHigh:
+// a rising edge runs from a 10%-level crossing (upward) to the next
+// 90%-level crossing, and symmetrically for falling edges. Malformed
+// (incomplete) transitions are skipped.
+func Edges(t, v []float64, vLow, vHigh float64) ([]Edge, error) {
+	if vHigh <= vLow {
+		return nil, fmt.Errorf("waveform: Edges needs vHigh > vLow, got %g <= %g", vHigh, vLow)
+	}
+	swing := vHigh - vLow
+	lo := vLow + 0.1*swing
+	hi := vLow + 0.9*swing
+	ups10 := Crossings(t, v, lo, Rising)
+	ups90 := Crossings(t, v, hi, Rising)
+	downs90 := Crossings(t, v, hi, Falling)
+	downs10 := Crossings(t, v, lo, Falling)
+
+	var out []Edge
+	// Pair each 10%-up with the first later 90%-up that precedes the next
+	// 10%-up (i.e. the same transition).
+	j := 0
+	for i, t10 := range ups10 {
+		for j < len(ups90) && ups90[j] < t10 {
+			j++
+		}
+		if j >= len(ups90) {
+			break
+		}
+		if i+1 < len(ups10) && ups90[j] > ups10[i+1] {
+			continue // never reached 90% before falling back: a runt
+		}
+		out = append(out, Edge{TStart: t10, TEnd: ups90[j], Rising: true})
+	}
+	j = 0
+	for i, t90 := range downs90 {
+		for j < len(downs10) && downs10[j] < t90 {
+			j++
+		}
+		if j >= len(downs10) {
+			break
+		}
+		if i+1 < len(downs90) && downs10[j] > downs90[i+1] {
+			continue
+		}
+		out = append(out, Edge{TStart: t90, TEnd: downs10[j], Rising: false})
+	}
+	return out, nil
+}
+
+// RiseTime returns the mean 10–90% rise time over all detected rising edges.
+func RiseTime(t, v []float64, vLow, vHigh float64) (float64, error) {
+	return meanEdge(t, v, vLow, vHigh, true)
+}
+
+// FallTime returns the mean 90–10% fall time over all detected falling edges.
+func FallTime(t, v []float64, vLow, vHigh float64) (float64, error) {
+	return meanEdge(t, v, vLow, vHigh, false)
+}
+
+func meanEdge(t, v []float64, vLow, vHigh float64, rising bool) (float64, error) {
+	edges, err := Edges(t, v, vLow, vHigh)
+	if err != nil {
+		return 0, err
+	}
+	sum, n := 0.0, 0
+	for _, e := range edges {
+		if e.Rising == rising {
+			sum += e.Duration()
+			n++
+		}
+	}
+	if n == 0 {
+		kind := "rising"
+		if !rising {
+			kind = "falling"
+		}
+		return 0, fmt.Errorf("%w: no complete %s edges", ErrNoCrossing, kind)
+	}
+	return sum / float64(n), nil
+}
+
+// CountGlitches counts runt pulses: excursions that cross the mid level and
+// return without completing a full transition to within 10% of the opposite
+// rail. In the paper's terms these are the glitch events that burn dynamic
+// power without being full logic transitions.
+func CountGlitches(t, v []float64, vLow, vHigh float64) (int, error) {
+	if vHigh <= vLow {
+		return 0, fmt.Errorf("waveform: CountGlitches needs vHigh > vLow")
+	}
+	swing := vHigh - vLow
+	mid := vLow + 0.5*swing
+	lo := vLow + 0.1*swing
+	hi := vLow + 0.9*swing
+	// Walk the waveform as a three-level state machine.
+	const (
+		stLow = iota
+		stHigh
+		stMidFromLow
+		stMidFromHigh
+	)
+	state := stLow
+	if len(v) > 0 && v[0] > mid {
+		state = stHigh
+	}
+	glitches := 0
+	for i := range v {
+		x := v[i]
+		switch state {
+		case stLow:
+			if x > mid {
+				state = stMidFromLow
+			}
+		case stHigh:
+			if x < mid {
+				state = stMidFromHigh
+			}
+		case stMidFromLow:
+			switch {
+			case x >= hi:
+				state = stHigh // completed transition
+			case x <= lo:
+				state = stLow // came back: runt
+				glitches++
+			}
+		case stMidFromHigh:
+			switch {
+			case x <= lo:
+				state = stLow
+			case x >= hi:
+				state = stHigh
+				glitches++
+			}
+		}
+	}
+	return glitches, nil
+}

@@ -1,0 +1,137 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/num"
+)
+
+// trapezoid builds a clean 0→1→0 pulse with the given edge durations.
+func trapezoid(rise, high, fall float64) (t, v []float64) {
+	t = num.Linspace(0, 2+rise+high+fall, 4001)
+	v = make([]float64, len(t))
+	for i, x := range t {
+		switch {
+		case x < 1:
+			v[i] = 0
+		case x < 1+rise:
+			v[i] = (x - 1) / rise
+		case x < 1+rise+high:
+			v[i] = 1
+		case x < 1+rise+high+fall:
+			v[i] = 1 - (x-1-rise-high)/fall
+		default:
+			v[i] = 0
+		}
+	}
+	return
+}
+
+func TestRiseFallTime(t *testing.T) {
+	tt, v := trapezoid(0.4, 1, 0.2)
+	r, err := RiseTime(tt, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10-90% of a 0.4 linear edge = 0.32.
+	if math.Abs(r-0.32) > 0.005 {
+		t.Errorf("rise time %v, want 0.32", r)
+	}
+	f, err := FallTime(tt, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.16) > 0.005 {
+		t.Errorf("fall time %v, want 0.16", f)
+	}
+}
+
+func TestEdgesDetectBoth(t *testing.T) {
+	tt, v := trapezoid(0.3, 1, 0.3)
+	edges, err := Edges(tt, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rises, falls int
+	for _, e := range edges {
+		if e.Duration() <= 0 {
+			t.Errorf("non-positive edge duration %v", e.Duration())
+		}
+		if e.Rising {
+			rises++
+		} else {
+			falls++
+		}
+	}
+	if rises != 1 || falls != 1 {
+		t.Errorf("edges: %d rises, %d falls; want 1 and 1", rises, falls)
+	}
+}
+
+func TestEdgesSkipRunts(t *testing.T) {
+	// A pulse that only reaches 60%: no complete rising edge.
+	tt := num.Linspace(0, 4, 2001)
+	v := make([]float64, len(tt))
+	for i, x := range tt {
+		if x > 1 && x < 2 {
+			v[i] = 0.6
+		}
+	}
+	if _, err := RiseTime(tt, v, 0, 1); err == nil {
+		t.Error("runt-only waveform must yield no rise time")
+	}
+	n, err := CountGlitches(tt, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("glitches = %d, want 1", n)
+	}
+}
+
+func TestCountGlitchesCleanSquare(t *testing.T) {
+	// A clean square wave has zero glitches.
+	tt := num.Linspace(0, 10, 5001)
+	v := make([]float64, len(tt))
+	for i, x := range tt {
+		if math.Mod(x, 2) < 1 {
+			v[i] = 1
+		}
+	}
+	n, err := CountGlitches(tt, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("clean square reported %d glitches", n)
+	}
+}
+
+func TestCountGlitchesHighSideRunt(t *testing.T) {
+	// Starts high, dips to 40% and returns: one glitch.
+	tt := num.Linspace(0, 4, 2001)
+	v := make([]float64, len(tt))
+	for i, x := range tt {
+		v[i] = 1
+		if x > 1 && x < 1.5 {
+			v[i] = 0.4
+		}
+	}
+	n, err := CountGlitches(tt, v, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("glitches = %d, want 1", n)
+	}
+}
+
+func TestEdgesValidation(t *testing.T) {
+	if _, err := Edges(nil, nil, 1, 0); err == nil {
+		t.Error("vHigh <= vLow must fail")
+	}
+	if _, err := CountGlitches(nil, nil, 1, 1); err == nil {
+		t.Error("vHigh <= vLow must fail")
+	}
+}

@@ -1,0 +1,179 @@
+// Package waveform provides measurements on sampled transient waveforms:
+// threshold crossings, delays, oscillation period, overshoot/undershoot and
+// peak/rms, plus CSV export. These are the post-processing the paper applies
+// to its SPICE runs (Figures 9–12).
+package waveform
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"rlcint/internal/num"
+)
+
+// Direction selects which threshold crossings to detect.
+type Direction int
+
+const (
+	// Rising selects low-to-high crossings.
+	Rising Direction = iota
+	// Falling selects high-to-low crossings.
+	Falling
+	// Either selects both.
+	Either
+)
+
+// ErrNoCrossing is returned when no qualifying crossing exists.
+var ErrNoCrossing = errors.New("waveform: no crossing found")
+
+// Crossings returns the times where v crosses level in the given direction,
+// linearly interpolated between samples. t must be increasing and len(t) ==
+// len(v).
+func Crossings(t, v []float64, level float64, dir Direction) []float64 {
+	var out []float64
+	for i := 1; i < len(v) && i < len(t); i++ {
+		a, b := v[i-1]-level, v[i]-level
+		if a == b {
+			continue
+		}
+		crossed := (a < 0 && b >= 0) || (a > 0 && b <= 0)
+		if !crossed {
+			continue
+		}
+		rising := a < 0
+		if dir == Rising && !rising || dir == Falling && rising {
+			continue
+		}
+		frac := -a / (b - a)
+		out = append(out, t[i-1]+frac*(t[i]-t[i-1]))
+	}
+	return out
+}
+
+// FirstCrossing returns the first crossing time of level after tMin.
+func FirstCrossing(t, v []float64, level, tMin float64, dir Direction) (float64, error) {
+	for _, tc := range Crossings(t, v, level, dir) {
+		if tc >= tMin {
+			return tc, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: level %g after t=%g", ErrNoCrossing, level, tMin)
+}
+
+// Delay measures the time from the input's crossing of level to the
+// output's next crossing of level (any direction on both), i.e. a stage
+// propagation delay.
+func Delay(t, vin, vout []float64, level float64) (float64, error) {
+	tin, err := FirstCrossing(t, vin, level, 0, Either)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: Delay input: %w", err)
+	}
+	tout, err := FirstCrossing(t, vout, level, tin, Either)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: Delay output: %w", err)
+	}
+	return tout - tin, nil
+}
+
+// Period estimates the oscillation period as the median spacing of rising
+// crossings of level after tMin. It needs at least three crossings.
+func Period(t, v []float64, level, tMin float64) (float64, error) {
+	var cs []float64
+	for _, tc := range Crossings(t, v, level, Rising) {
+		if tc >= tMin {
+			cs = append(cs, tc)
+		}
+	}
+	if len(cs) < 3 {
+		return 0, fmt.Errorf("%w: %d rising crossings after t=%g (need >=3)", ErrNoCrossing, len(cs), tMin)
+	}
+	diffs := make([]float64, len(cs)-1)
+	for i := 1; i < len(cs); i++ {
+		diffs[i-1] = cs[i] - cs[i-1]
+	}
+	sort.Float64s(diffs)
+	return diffs[len(diffs)/2], nil
+}
+
+// Extremes returns the minimum and maximum sample values after tMin.
+func Extremes(t, v []float64, tMin float64) (vmin, vmax float64) {
+	vmin, vmax = math.Inf(1), math.Inf(-1)
+	for i := range v {
+		if t[i] < tMin {
+			continue
+		}
+		if v[i] < vmin {
+			vmin = v[i]
+		}
+		if v[i] > vmax {
+			vmax = v[i]
+		}
+	}
+	return
+}
+
+// OverUnder measures how far the waveform exceeds the [0, vdd] rail window
+// after tMin: overshoot = max(v) − vdd, undershoot = −min(v), both clamped
+// at zero.
+func OverUnder(t, v []float64, vdd, tMin float64) (over, under float64) {
+	vmin, vmax := Extremes(t, v, tMin)
+	over = math.Max(0, vmax-vdd)
+	under = math.Max(0, -vmin)
+	return
+}
+
+// PeakRMS returns the peak |v| and the time-weighted rms of v after tMin.
+func PeakRMS(t, v []float64, tMin float64) (peak, rms float64) {
+	r := num.NewRunning()
+	for i := range v {
+		if t[i] < tMin {
+			continue
+		}
+		r.Add(t[i], v[i])
+	}
+	if r.N() == 0 {
+		return 0, 0
+	}
+	return r.Peak(), r.RMS()
+}
+
+// WriteCSV writes aligned columns (time plus one column per series) as CSV.
+// All series must have the same length as t.
+func WriteCSV(w io.Writer, t []float64, names []string, series ...[]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("waveform: WriteCSV: %d names for %d series", len(names), len(series))
+	}
+	for _, s := range series {
+		if len(s) != len(t) {
+			return fmt.Errorf("waveform: WriteCSV: series length %d != time length %d", len(s), len(t))
+		}
+	}
+	if _, err := fmt.Fprint(w, "t"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := range t {
+		if _, err := fmt.Fprintf(w, "%.9g", t[i]); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if _, err := fmt.Fprintf(w, ",%.9g", s[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

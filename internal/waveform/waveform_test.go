@@ -1,0 +1,174 @@
+package waveform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rlcint/internal/num"
+)
+
+func sine(n int, periods float64) (t, v []float64) {
+	t = num.Linspace(0, periods, n)
+	v = make([]float64, n)
+	for i := range t {
+		v[i] = math.Sin(2 * math.Pi * t[i])
+	}
+	return
+}
+
+func TestCrossingsDirections(t *testing.T) {
+	tt, v := sine(4001, 2) // two full periods
+	rising := Crossings(tt, v, 0, Rising)
+	falling := Crossings(tt, v, 0, Falling)
+	either := Crossings(tt, v, 0, Either)
+	// sin crosses 0 rising at t=1 (and at 0 boundary, not detected since it
+	// starts there... it starts at exactly 0): expect rising near 1, falling
+	// near 0.5 and 1.5.
+	if len(falling) != 2 {
+		t.Fatalf("falling: %v", falling)
+	}
+	if math.Abs(falling[0]-0.5) > 1e-3 || math.Abs(falling[1]-1.5) > 1e-3 {
+		t.Errorf("falling crossings %v", falling)
+	}
+	found := false
+	for _, r := range rising {
+		if math.Abs(r-1) < 1e-3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rising crossings %v missing t=1", rising)
+	}
+	if len(either) < len(rising)+len(falling) {
+		t.Errorf("either (%d) < rising+falling (%d)", len(either), len(rising)+len(falling))
+	}
+}
+
+func TestCrossingsInterpolation(t *testing.T) {
+	// Two samples straddling the level: exact linear interpolation.
+	tc := Crossings([]float64{0, 1}, []float64{0, 10}, 2.5, Rising)
+	if len(tc) != 1 || math.Abs(tc[0]-0.25) > 1e-15 {
+		t.Errorf("crossings %v, want [0.25]", tc)
+	}
+}
+
+func TestPeriodOfSine(t *testing.T) {
+	tt, v := sine(8001, 6)
+	p, err := Period(tt, v, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-3 {
+		t.Errorf("period %v, want 1", p)
+	}
+}
+
+func TestPeriodNeedsCrossings(t *testing.T) {
+	tt := num.Linspace(0, 1, 100)
+	flat := make([]float64, 100)
+	if _, err := Period(tt, flat, 0.5, 0); err == nil {
+		t.Error("flat waveform must have no period")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	// Output is the input shifted by 0.2.
+	tt := num.Linspace(0, 2, 2001)
+	vin := make([]float64, len(tt))
+	vout := make([]float64, len(tt))
+	for i, x := range tt {
+		vin[i] = num.Clamp((x-0.5)*10, 0, 1)
+		vout[i] = num.Clamp((x-0.7)*10, 0, 1)
+	}
+	d, err := Delay(tt, vin, vout, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.2) > 1e-6 {
+		t.Errorf("delay %v, want 0.2", d)
+	}
+	if _, err := Delay(tt, vin, make([]float64, len(tt)), 0.5); err == nil {
+		t.Error("flat output must fail")
+	}
+}
+
+func TestOverUnder(t *testing.T) {
+	tt := num.Linspace(0, 1, 101)
+	v := make([]float64, 101)
+	for i := range v {
+		v[i] = 1.2*math.Sin(2*math.Pi*tt[i])*0.3 + 0.6 // swings -? compute extremes 0.6±0.36
+	}
+	v[50] = 1.5  // overshoot above vdd=1.2
+	v[60] = -0.2 // undershoot below 0
+	over, under := OverUnder(tt, v, 1.2, 0)
+	if math.Abs(over-0.3) > 1e-12 || math.Abs(under-0.2) > 1e-12 {
+		t.Errorf("over=%v under=%v", over, under)
+	}
+	// tMin excludes the excursions.
+	over, under = OverUnder(tt, v, 1.2, 0.7)
+	if over != 0 || under != 0 {
+		t.Errorf("after tMin: over=%v under=%v", over, under)
+	}
+}
+
+func TestPeakRMS(t *testing.T) {
+	tt, v := sine(20001, 4)
+	peak, rms := PeakRMS(tt, v, 0)
+	if math.Abs(peak-1) > 1e-4 {
+		t.Errorf("peak %v", peak)
+	}
+	if math.Abs(rms-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("rms %v", rms)
+	}
+	if p, r := PeakRMS(tt, v, 99); p != 0 || r != 0 {
+		t.Error("empty window must give zeros")
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	tt := []float64{0, 1, 2, 3}
+	v := []float64{5, -3, 7, 1}
+	lo, hi := Extremes(tt, v, 0)
+	if lo != -3 || hi != 7 {
+		t.Errorf("extremes %v %v", lo, hi)
+	}
+	lo, hi = Extremes(tt, v, 2.5)
+	if lo != 1 || hi != 1 {
+		t.Errorf("windowed extremes %v %v", lo, hi)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []float64{0, 1}, []string{"a", "b"},
+		[]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t,a,b\n0,1,3\n1,2,4\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+	if err := WriteCSV(&sb, []float64{0}, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if err := WriteCSV(&sb, []float64{0}, []string{"a", "b"}, []float64{1}); err == nil {
+		t.Error("name count mismatch must fail")
+	}
+}
+
+func TestFirstCrossingAfterTMin(t *testing.T) {
+	tt, v := sine(4001, 2)
+	c, err := FirstCrossing(tt, v, 0.5, 1.0, Rising)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sin crosses 0.5 rising at t ≈ 1 + 1/12.
+	if math.Abs(c-(1+1.0/12)) > 1e-3 {
+		t.Errorf("crossing %v", c)
+	}
+	if _, err := FirstCrossing(tt, v, 0.5, 1.9, Rising); err == nil {
+		t.Error("no crossing after 1.9 in two periods... (next at 2+1/12)")
+	}
+}

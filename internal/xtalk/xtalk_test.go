@@ -1,0 +1,119 @@
+package xtalk
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tline"
+)
+
+// inductivePair is an on-chip-like pair where inductive coupling dominates
+// (kl > kc): negative far-end crosstalk expected.
+func inductivePair() tline.CoupledPair {
+	return tline.CoupledPair{R: 4400, L: 2e-6, Cg: 8e-11, Cm: 2e-11, Lm: 1.4e-6}
+}
+
+// capacitivePair has kc > kl: positive far-end crosstalk (PCB-like).
+func capacitivePair() tline.CoupledPair {
+	return tline.CoupledPair{R: 4400, L: 2e-6, Cg: 4e-11, Cm: 6e-11, Lm: 0.2e-6}
+}
+
+func TestFarEndPolarityFollowsCouplingBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	for _, tc := range []struct {
+		name string
+		pair tline.CoupledPair
+	}{
+		{"inductive", inductivePair()},
+		{"capacitive", capacitivePair()},
+	} {
+		res, err := Run(Config{Pair: tc.pair, H: 5e-3})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.PredictedFarSign == 0 {
+			t.Fatalf("%s: no predicted sign", tc.name)
+		}
+		if math.Signbit(res.FarPeak) != math.Signbit(res.PredictedFarSign) {
+			t.Errorf("%s: far-end peak %v, predicted sign %v",
+				tc.name, res.FarPeak, res.PredictedFarSign)
+		}
+	}
+}
+
+func TestNearEndMagnitudeNearKb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	// For a matched, weakly lossy pair the near-end plateau approaches
+	// Kb·V. Losses and discretization erode it; accept a factor-2 band.
+	pair := inductivePair()
+	pair.R = 400 // weakly lossy so the textbook formula applies
+	res, err := Run(Config{Pair: pair, H: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NearPeak <= 0 {
+		t.Fatalf("near-end noise %v, want positive (kb > 0)", res.NearPeak)
+	}
+	ratio := res.NearPeak / res.PredictedNear
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("near-end peak %v vs Kb·V %v (ratio %v)", res.NearPeak, res.PredictedNear, ratio)
+	}
+}
+
+func TestNoCouplingNoNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	pair := tline.CoupledPair{R: 4400, L: 2e-6, Cg: 1e-10, Cm: 0, Lm: 0}
+	res, err := Run(Config{Pair: pair, H: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NearPeak) > 1e-9 || math.Abs(res.FarPeak) > 1e-9 {
+		t.Errorf("decoupled pair shows noise: near %v far %v", res.NearPeak, res.FarPeak)
+	}
+	// The aggressor still switches.
+	if res.VAggFar[len(res.VAggFar)-1] < 0.2 {
+		t.Error("aggressor did not propagate")
+	}
+}
+
+func TestNoiseGrowsWithCoupling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	weak := inductivePair()
+	weak.Cm, weak.Lm = weak.Cm/4, weak.Lm/4
+	rWeak, err := Run(Config{Pair: weak, H: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStrong, err := Run(Config{Pair: inductivePair(), H: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rStrong.NearPeak) <= math.Abs(rWeak.NearPeak) {
+		t.Errorf("near-end noise did not grow with coupling: %v vs %v",
+			rStrong.NearPeak, rWeak.NearPeak)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Pair: inductivePair(), H: 0}); err == nil {
+		t.Error("zero length must fail")
+	}
+	rc := inductivePair()
+	rc.L, rc.Lm = 0, 0
+	if _, err := Run(Config{Pair: rc, H: 1e-3}); err == nil {
+		t.Error("RC pair must be rejected")
+	}
+	bad := inductivePair()
+	bad.Lm = bad.L * 2
+	if _, err := Run(Config{Pair: bad, H: 1e-3}); err == nil {
+		t.Error("invalid pair must fail")
+	}
+}

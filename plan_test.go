@@ -1,0 +1,105 @@
+package rlcint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadePlanLine(t *testing.T) {
+	plan, err := PlanLine(Tech100(), 2*NHPerMM, 0.5, 45*MM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages < 2 || plan.Stages > 5 {
+		t.Errorf("45mm at h_opt≈15mm should use ~3 stages, got %d", plan.Stages)
+	}
+	if math.Abs(plan.H*float64(plan.Stages)-45*MM) > 1e-9*MM {
+		t.Error("plan does not tile the net")
+	}
+	if plan.Total <= 0 || plan.Total > 2e-9 {
+		t.Errorf("implausible total delay %v", plan.Total)
+	}
+}
+
+func TestFacadeInterpolateTech(t *testing.T) {
+	n, err := InterpolateTech(130e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.DriverRC() >= Tech250().DriverRC() || n.DriverRC() <= Tech100().DriverRC() {
+		t.Errorf("130nm driver RC %v not between anchors", n.DriverRC())
+	}
+	if _, err := InterpolateTech(10e-9); err == nil {
+		t.Error("out-of-window feature must fail")
+	}
+	// The interpolated node runs through the full optimizer.
+	opt, err := Optimize(n, 2*NHPerMM, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.PerUnit <= 0 {
+		t.Error("optimization on interpolated node failed")
+	}
+}
+
+func TestFacadeEffectiveLoopInductance(t *testing.T) {
+	n := Tech100()
+	sol, err := EffectiveLoopInductance(11.1*MM,
+		Bar{X: 0, Y: 0, W: n.Width, T: n.Height},
+		[]Bar{
+			{X: 3 * n.Pitch, Y: 0, W: n.Width, T: n.Height},
+			{X: -3 * n.Pitch, Y: 0, W: n.Width, T: n.Height},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.LPUL <= 0 || sol.LPUL >= 5*NHPerMM {
+		t.Errorf("effective l %v nH/mm outside the paper's window", sol.LPUL/NHPerMM)
+	}
+	sum := 0.0
+	for _, i := range sol.Returns {
+		sum += i
+	}
+	if math.Abs(sum+1) > 1e-9 {
+		t.Errorf("return currents sum to %v, want -1", sum)
+	}
+}
+
+func TestFacadeRunCrosstalk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	res, err := RunCrosstalk(XtalkConfig{
+		Pair: CoupledPair{R: 4400, L: 2e-6, Cg: 8e-11, Cm: 2e-11, Lm: 1.4e-6},
+		H:    4 * MM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NearPeak <= 0 {
+		t.Errorf("near-end noise %v, want positive", res.NearPeak)
+	}
+	if res.PredictedFarSign != -1 {
+		t.Errorf("inductively dominated pair should predict negative far end")
+	}
+}
+
+func TestFacadeUncertainty(t *testing.T) {
+	st, err := DelayUnderUncertainty(Tech100(), 11.1*MM, 528,
+		UniformDist{Lo: 0.5 * NHPerMM, Hi: 4.5 * NHPerMM}, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Std <= 0 || st.Min > st.Max {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	tri := TriangularDist{Lo: 0.5 * NHPerMM, Mode: 1.8 * NHPerMM, Hi: 4.5 * NHPerMM}
+	st2, err := DelayUnderUncertainty(Tech100(), 11.1*MM, 528, tri, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mode-weighted distribution concentrates below the uniform mean.
+	if st2.Mean >= st.Mean {
+		t.Errorf("triangular-at-1.8 mean %v should sit below uniform mean %v", st2.Mean, st.Mean)
+	}
+}

@@ -1,0 +1,226 @@
+// Package rlcint is a library for analyzing on-chip inductance effects and
+// optimizing repeater insertion for distributed RLC interconnects. It
+// reproduces the methodology of Banerjee & Mehrotra, "Analysis of On-Chip
+// Inductance Effects using a Novel Performance Optimization Methodology for
+// Distributed RLC Interconnects" (DAC 2001):
+//
+//   - a rigorous two-pole delay model of the driver–line–load stage derived
+//     from the exact ABCD transfer function (no curve fitting), with the
+//     numerically solved f×100% delay of the paper's Eq. (3);
+//   - repeater insertion by direct minimization of delay per unit length
+//     over segment length h and repeater size k (Eqs. (7)–(8));
+//   - the classical Elmore/RC optimum, critical inductance (Eq. (4)), and
+//     the Kahng–Muddu and Ismail–Friedman baselines;
+//   - a transient MNA circuit simulator with a calibrated repeater model
+//     for the ring-oscillator, false-switching and reliability experiments;
+//   - geometry-based r/l/c extraction (closed forms and a 2-D BEM solver).
+//
+// The package root re-exports the stable public surface; the implementation
+// lives under internal/. Start with Optimize:
+//
+//	opt, err := rlcint.Optimize(rlcint.Tech100(), 2*rlcint.NHPerMM, 0.5)
+package rlcint
+
+import (
+	"rlcint/internal/baseline"
+	"rlcint/internal/core"
+	"rlcint/internal/extract"
+	"rlcint/internal/pade"
+	"rlcint/internal/relia"
+	"rlcint/internal/repeater"
+	"rlcint/internal/ringosc"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+// Unit conversion constants (the paper's engineering units to SI).
+const (
+	OhmPerMM = tech.OhmPerMM // Ω/mm → Ω/m
+	PFPerM   = tech.PFPerM   // pF/m → F/m
+	NHPerMM  = tech.NHPerMM  // nH/mm → H/m
+	MM       = tech.MM       // mm → m
+	UM       = tech.UM       // µm → m
+	FF       = tech.FF       // fF → F
+	KOhm     = tech.KOhm     // kΩ → Ω
+	PS       = tech.PS       // ps → s
+)
+
+// Technology bundles a node's interconnect and device parameters (Table 1).
+type Technology = tech.Node
+
+// Tech250 returns the paper's 250 nm node (metal 6).
+func Tech250() Technology { return tech.Node250() }
+
+// Tech100 returns the paper's 100 nm node (metal 8).
+func Tech100() Technology { return tech.Node100() }
+
+// Tech100Eps250 returns the paper's control: the 100 nm node with the
+// 250 nm dielectric (identical capacitance per unit length).
+func Tech100Eps250() Technology { return tech.Node100WithEps250() }
+
+// Technologies returns the two primary nodes.
+func Technologies() []Technology { return tech.Nodes() }
+
+// TechByName looks a node up ("250nm", "100nm", "100nm-eps250").
+func TechByName(name string) (Technology, error) { return tech.ByName(name) }
+
+// Line holds per-unit-length r, l, c of a uniform interconnect (SI).
+type Line = tline.Line
+
+// Stage is a driver–line–load configuration (the paper's Figure 1).
+type Stage = tline.Stage
+
+// Device is a minimum-sized repeater (r_s, c_0, c_p).
+type Device = repeater.MinDevice
+
+// DeviceOf extracts the repeater device of a technology.
+func DeviceOf(t Technology) Device { return repeater.FromTech(t) }
+
+// LineOf builds the technology's top-metal line with inductance l (H/m).
+func LineOf(t Technology, l float64) Line { return Line{R: t.R, L: l, C: t.C} }
+
+// StageOf assembles the stage for a size-k repeater driving h meters of the
+// technology's line with inductance l, loaded by an identical repeater.
+func StageOf(t Technology, l, h, k float64) Stage {
+	return DeviceOf(t).Stage(LineOf(t, l), h, k)
+}
+
+// TwoPole is the paper's second-order delay model (Eq. (2)).
+type TwoPole = pade.Model
+
+// TwoPoleOf builds the two-pole model of a stage from the exact transfer
+// function's first two moments.
+func TwoPoleOf(st Stage) (TwoPole, error) { return pade.FromStage(st) }
+
+// Delay solves the paper's Eq. (3): the time at which the stage's step
+// response first reaches fraction f (0 < f < 1) of the final value.
+func Delay(st Stage, f float64) (float64, error) {
+	m, err := pade.FromStage(st)
+	if err != nil {
+		return 0, err
+	}
+	d, err := m.Delay(f)
+	if err != nil {
+		return 0, err
+	}
+	return d.Tau, nil
+}
+
+// LCrit evaluates the paper's Eq. (4): the line inductance per unit length
+// that would make the stage critically damped (st.Line.L is ignored).
+func LCrit(st Stage) float64 { return pade.LCrit(st) }
+
+// Optimum is a repeater-insertion solution.
+type Optimum = core.Optimum
+
+// RCOptimum is the classical Elmore-delay solution.
+type RCOptimum = repeater.RCOptimum
+
+// Optimize minimizes the delay per unit length over segment length and
+// repeater size for the technology's line with inductance l (H/m) at
+// threshold f (0 → 50%). This is the paper's core methodology.
+func Optimize(t Technology, l, f float64) (Optimum, error) {
+	return core.Optimize(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f})
+}
+
+// OptimizeRC returns the closed-form Elmore/RC optimum (h_optRC, k_optRC,
+// τ_optRC) for the technology.
+func OptimizeRC(t Technology) (RCOptimum, error) {
+	return repeater.RCOptimal(DeviceOf(t), Line{R: t.R, C: t.C})
+}
+
+// ExtractDevice recovers (r_s, c_0, c_p) from measured RC-optimal h, k and
+// segment delay — the procedure behind Table 1.
+func ExtractDevice(line Line, h, k, tau float64) (Device, error) {
+	return repeater.Extract(line, h, k, tau)
+}
+
+// SweepPoint carries the Figure 4–8 quantities at one inductance.
+type SweepPoint = core.SweepPoint
+
+// Sweep runs the paper's Section 3 study over per-unit-length inductances
+// (H/m) at threshold f.
+func Sweep(t Technology, ls []float64, f float64) ([]SweepPoint, error) {
+	return core.Sweep(t, ls, f)
+}
+
+// IFOptimum is the Ismail–Friedman curve-fitted baseline solution.
+type IFOptimum = baseline.IFOptimum
+
+// OptimizeIF evaluates the Ismail–Friedman fitted repeater formulas.
+func OptimizeIF(t Technology, l float64) (IFOptimum, error) {
+	return baseline.IFOptimal(DeviceOf(t), LineOf(t, l))
+}
+
+// KMDelay evaluates the Kahng–Muddu analytical delay approximation for a
+// two-pole model; the returned regime identifies the branch used.
+func KMDelay(m TwoPole, f float64) (float64, baseline.KMRegime, error) {
+	return baseline.KMDelay(m, f)
+}
+
+// RingConfig configures a ring-oscillator or buffered-line experiment.
+type RingConfig = ringosc.Config
+
+// RingWaves are the monitored waveforms of a transient experiment.
+type RingWaves = ringosc.Waves
+
+// RingMetrics are the scalar measurements of a transient experiment.
+type RingMetrics = ringosc.Metrics
+
+// RunRing simulates the paper's five-stage ring oscillator (Figures 9–11).
+func RunRing(cfg RingConfig) (RingWaves, RingMetrics, error) {
+	return ringosc.RunRing(cfg)
+}
+
+// RunBufferedLine simulates the square-wave-driven buffered line the paper
+// uses to show false switching is not a ring artifact.
+func RunBufferedLine(cfg RingConfig) (RingWaves, RingMetrics, error) {
+	return ringosc.RunBufferedLine(cfg)
+}
+
+// PeriodPoint is one point of the Figure 11 period-versus-inductance sweep.
+type PeriodPoint = ringosc.PeriodPoint
+
+// SweepRingPeriod sweeps the ring oscillator over line inductances and
+// flags period collapse (false switching).
+func SweepRingPeriod(cfg RingConfig, ls []float64) ([]PeriodPoint, error) {
+	return ringosc.SweepPeriod(cfg, ls)
+}
+
+// OxideReport assesses gate-oxide overstress from inductive overshoot.
+type OxideReport = relia.OxideReport
+
+// CheckOxide evaluates oxide stress given the measured overshoot above VDD
+// at a repeater input (Section 3.3.2).
+func CheckOxide(t Technology, overshootV float64) (OxideReport, error) {
+	return relia.CheckOxide(t, overshootV)
+}
+
+// WireReport screens wire current densities against electromigration and
+// Joule-heating limits.
+type WireReport = relia.WireReport
+
+// CheckWire screens peak and rms current densities (A/m²).
+func CheckWire(peakJ, rmsJ float64) (WireReport, error) {
+	return relia.CheckWire(peakJ, rmsJ)
+}
+
+// ExtractResistance returns r (Ω/m) for a copper wire cross-section at the
+// given temperature (°C).
+func ExtractResistance(width, thickness, tempC float64) (float64, error) {
+	return extract.ResistancePUL(extract.RhoAtTemp(extract.RhoCu, extract.TCRCu, tempC), width, thickness)
+}
+
+// ExtractCapacitance returns the victim line's total capacitance per unit
+// length (F/m) for the standard three-line-over-substrate cross-section,
+// using the 2-D BEM extractor.
+func ExtractCapacitance(width, thickness, pitch, tIns, epsr float64) (float64, error) {
+	return extract.TotalCap2D(extract.Table1Geometry(width, thickness, pitch, tIns), 0, epsr, 14)
+}
+
+// ExtractLoopInductance returns the line's loop inductance per unit length
+// (H/m) for a current return at distance returnDist, for a wire of the
+// given length (the partial-inductance composition depends weakly on it).
+func ExtractLoopInductance(width, thickness, length, returnDist float64) (float64, error) {
+	return extract.LoopLPUL(length, width, thickness, returnDist)
+}

@@ -1,0 +1,139 @@
+package rlcint
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestFacadeOptimizeMatchesTable1Anchors(t *testing.T) {
+	rc, err := OptimizeRC(Tech100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rc.H-11.1*MM)/(11.1*MM) > 0.01 || math.Abs(rc.K-528)/528 > 0.01 {
+		t.Errorf("RC optimum (%v, %v) off Table 1", rc.H, rc.K)
+	}
+	opt, err := Optimize(Tech100(), 2*NHPerMM, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.H <= rc.H || opt.K >= rc.K {
+		t.Errorf("RLC optimum (%v,%v) should have larger h, smaller k than RC (%v,%v)",
+			opt.H, opt.K, rc.H, rc.K)
+	}
+}
+
+func TestFacadeDelayAndLCrit(t *testing.T) {
+	st := StageOf(Tech100(), 2*NHPerMM, 11.1*MM, 528)
+	tau, err := Delay(st, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 || tau > 1e-9 {
+		t.Errorf("implausible delay %v", tau)
+	}
+	if lc := LCrit(st); lc <= 0 || lc > 1*NHPerMM {
+		t.Errorf("implausible lcrit %v", lc)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ifo, err := OptimizeIF(Tech100(), 2*NHPerMM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := OptimizeRC(Tech100())
+	if ifo.H <= rc.H {
+		t.Errorf("IF h %v should exceed RC %v at l>0", ifo.H, rc.H)
+	}
+	m, err := TwoPoleOf(StageOf(Tech100(), 2*NHPerMM, 11.1*MM, 528))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := KMDelay(m, 0.5)
+	if err != nil || d <= 0 {
+		t.Errorf("KMDelay: %v, %v", d, err)
+	}
+}
+
+func TestFacadeExtraction(t *testing.T) {
+	n := Tech100()
+	r, err := ExtractResistance(n.Width, n.Height, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-n.R)/n.R > 0.05 {
+		t.Errorf("extracted r %v vs Table 1 %v", r, n.R)
+	}
+	c, err := ExtractCapacitance(n.Width, n.Height, n.Pitch, n.TIns, n.EpsR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.5*n.C || c > 1.2*n.C {
+		t.Errorf("extracted c %v vs Table 1 %v", c, n.C)
+	}
+	l, err := ExtractLoopInductance(n.Width, n.Height, 11.1*MM, 0.5*MM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 || l >= 5*NHPerMM {
+		t.Errorf("loop inductance %v nH/mm outside the paper's bound", l/NHPerMM)
+	}
+}
+
+func TestFacadeReliability(t *testing.T) {
+	ox, err := CheckOxide(Tech100(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ox.OverLimit {
+		t.Error("0.3V overshoot at 1.2V/2.4nm should exceed the design field")
+	}
+	w, err := CheckWire(3e9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.RMSOver || w.PeakOver {
+		t.Error("paper-scale densities should pass")
+	}
+}
+
+func TestFacadeTechByName(t *testing.T) {
+	n, err := TechByName("250nm")
+	if err != nil || n.Name != "250nm" {
+		t.Errorf("TechByName: %v %v", n, err)
+	}
+	if _, err := TechByName("x"); err == nil {
+		t.Error("unknown must fail")
+	}
+	if len(Technologies()) != 2 {
+		t.Error("Technologies() should list both nodes")
+	}
+}
+
+func ExampleOptimize() {
+	// Optimal repeater insertion for the 100 nm node's global wire at
+	// l = 2 nH/mm, 50% delay.
+	opt, err := Optimize(Tech100(), 2*NHPerMM, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	rc, _ := OptimizeRC(Tech100())
+	fmt.Printf("h = %.1f mm (RC: %.1f mm)\n", opt.H/MM, rc.H/MM)
+	fmt.Printf("k = %.0fx minimum (RC: %.0fx)\n", math.Round(opt.K/10)*10, math.Round(rc.K/10)*10)
+	// Output:
+	// h = 15.2 mm (RC: 11.1 mm)
+	// k = 240x minimum (RC: 530x)
+}
+
+func ExampleDelay() {
+	st := StageOf(Tech250(), NHPerMM, 14.4*MM, 578)
+	tau, err := Delay(st, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("50%% delay: %.0f ps\n", tau/PS)
+	// Output:
+	// 50% delay: 322 ps
+}
