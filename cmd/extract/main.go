@@ -78,6 +78,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "extract:", err)
+	fmt.Fprintln(os.Stderr, "extract:", rlcint.DiagString(err, nil))
 	os.Exit(1)
 }

@@ -69,7 +69,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
+	fmt.Fprintln(os.Stderr, "figures:", rlcint.DiagString(err, nil))
 	os.Exit(1)
 }
 

@@ -76,6 +76,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mc:", err)
+	fmt.Fprintln(os.Stderr, "mc:", rlcint.DiagString(err, nil))
 	os.Exit(1)
 }

@@ -83,6 +83,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ringsim:", err)
+	fmt.Fprintln(os.Stderr, "ringsim:", rlcint.DiagString(err, nil))
 	os.Exit(1)
 }

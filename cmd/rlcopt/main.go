@@ -23,6 +23,7 @@ func main() {
 	lNH := flag.Float64("l", 2.0, "line inductance, nH/mm")
 	f := flag.Float64("f", 0.5, "delay threshold fraction (0,1)")
 	lengthMM := flag.Float64("length", 0, "total line length to report, mm (0 = skip)")
+	diagFlag := flag.Bool("diag", false, "print the optimizer's recovery-ladder report")
 	flag.Parse()
 
 	t, err := rlcint.TechByName(*techName)
@@ -35,9 +36,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt, err := rlcint.Optimize(t, l, *f)
+	var rep *rlcint.DiagReport
+	if *diagFlag {
+		rep = &rlcint.DiagReport{}
+	}
+	opt, err := rlcint.OptimizeWithReport(t, l, *f, rep)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "rlcopt:", rlcint.DiagString(err, rep))
+		os.Exit(1)
 	}
 	ifo, err := rlcint.OptimizeIF(t, l)
 	if err != nil {
@@ -55,6 +61,9 @@ func main() {
 		ifo.H/rlcint.MM, ifo.K, "-")
 	fmt.Printf("optimizer path: %s (%d iterations); damping at optimum: %v\n",
 		opt.Method, opt.Iterations, opt.Model.Damping())
+	if rep != nil {
+		fmt.Printf("recovery ladder:\n%s\n", rep.Summary())
+	}
 
 	st := rlcint.StageOf(t, l, opt.H, opt.K)
 	fmt.Printf("critical inductance at the optimum: %.3f nH/mm\n", rlcint.LCrit(st)/rlcint.NHPerMM)
@@ -68,6 +77,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rlcopt:", err)
+	fmt.Fprintln(os.Stderr, "rlcopt:", rlcint.DiagString(err, nil))
 	os.Exit(1)
 }

@@ -12,11 +12,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/spice"
 	"rlcint/internal/waveform"
 )
@@ -35,14 +37,14 @@ func main() {
 	if *inPath != "" {
 		f, err := os.Open(*inPath)
 		if err != nil {
-			fatal(err)
+			fatal(err, nil)
 		}
 		defer f.Close()
 		in = f
 	}
 	parsed, err := spice.ParseNetlist(in)
 	if err != nil {
-		fatal(err)
+		fatal(err, nil)
 	}
 	c := parsed.Circuit
 
@@ -53,16 +55,16 @@ func main() {
 	}
 	if *tstop != "" {
 		if tStop, err = spice.ParseValue(*tstop); err != nil {
-			fatal(fmt.Errorf("bad -tstop: %w", err))
+			fatal(fmt.Errorf("bad -tstop: %w", err), nil)
 		}
 	}
 	if *dt != "" {
 		if step, err = spice.ParseValue(*dt); err != nil {
-			fatal(fmt.Errorf("bad -dt: %w", err))
+			fatal(fmt.Errorf("bad -dt: %w", err), nil)
 		}
 	}
 	if tStop <= 0 || step <= 0 {
-		fatal(fmt.Errorf("no simulation window: use -tstop/-dt or a .tran directive"))
+		fatal(fmt.Errorf("no simulation window: use -tstop/-dt or a .tran directive"), nil)
 	}
 
 	var plist []spice.Probe
@@ -77,32 +79,40 @@ func main() {
 		}
 	}
 
-	opts := spice.TranOpts{TStop: tStop, DT: step, UseICs: *useICs}
+	rep := &diag.Report{}
+	opts := spice.TranOpts{TStop: tStop, DT: step, UseICs: *useICs, Report: rep}
 	if *be {
 		opts.Method = spice.BackwardEuler
 	}
 	res, err := c.Transient(opts, plist...)
 	if err != nil {
-		fatal(err)
+		// A timestep collapse still returns the samples recorded before the
+		// abort; write them so the waveform up to the failure is inspectable.
+		if !errors.Is(err, diag.ErrTimestepCollapse) || res == nil {
+			fatal(err, rep)
+		}
+		fmt.Fprintf(os.Stderr, "spicesim: %s\n", diag.Describe(err, rep))
+		fmt.Fprintf(os.Stderr, "spicesim: writing partial waveform (%d samples up to t=%g)\n",
+			len(res.T), res.PartialT)
 	}
 
 	out := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			fatal(err, nil)
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := waveform.WriteCSV(out, res.T, res.Labels, res.Signals...); err != nil {
-		fatal(err)
+		fatal(err, nil)
 	}
 	fmt.Fprintf(os.Stderr, "spicesim: %d nodes, %d samples, tstop=%g dt=%g\n",
 		c.NumNodes(), len(res.T), tStop, step)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "spicesim:", err)
+func fatal(err error, rep *diag.Report) {
+	fmt.Fprintln(os.Stderr, "spicesim:", diag.Describe(err, rep))
 	os.Exit(1)
 }

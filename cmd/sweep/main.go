@@ -90,6 +90,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
+	fmt.Fprintln(os.Stderr, "sweep:", rlcint.DiagString(err, nil))
 	os.Exit(1)
 }

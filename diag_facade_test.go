@@ -1,0 +1,94 @@
+package rlcint
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeGuardsNaNInputs(t *testing.T) {
+	nan := math.NaN()
+	if _, err := Optimize(Tech100(), nan, 0.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("Optimize(l=NaN) = %v, want ErrDomain match", err)
+	}
+	if _, err := Optimize(Tech100(), 2*NHPerMM, nan); !errors.Is(err, ErrDomain) {
+		t.Errorf("Optimize(f=NaN) = %v, want ErrDomain match", err)
+	}
+	// StageOf cannot fail by construction; the model builders downstream must
+	// reject the poisoned stage instead of propagating NaN silently.
+	st := StageOf(Tech100(), nan, 1e-3, 100)
+	if _, err := TwoPoleOf(st); !errors.Is(err, ErrDomain) {
+		t.Errorf("TwoPoleOf(NaN stage) = %v, want ErrDomain match", err)
+	}
+	if _, err := Delay(st, 0.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("Delay(NaN stage) = %v, want ErrDomain match", err)
+	}
+	good := StageOf(Tech100(), 2*NHPerMM, 1e-3, 100)
+	if _, err := Delay(good, nan); !errors.Is(err, ErrDomain) {
+		t.Errorf("Delay(f=NaN) = %v, want ErrDomain match", err)
+	}
+	if _, err := Delay(good, 1.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("Delay(f=1.5) = %v, want ErrDomain match", err)
+	}
+}
+
+func TestFacadeOptimizeWithReport(t *testing.T) {
+	rep := &DiagReport{}
+	opt, err := OptimizeWithReport(Tech100(), 2*NHPerMM, 0.5, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Optimize(Tech100(), 2*NHPerMM, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.H != want.H || opt.K != want.K {
+		t.Errorf("reported run (%g, %g) differs from plain run (%g, %g)", opt.H, opt.K, want.H, want.K)
+	}
+	if len(rep.Attempts) == 0 {
+		t.Fatal("report collected no ladder attempts")
+	}
+	if rep.Tried("opt-newton") == 0 {
+		t.Errorf("no opt-newton rung recorded:\n%s", rep)
+	}
+	if rep.Summary() == "" {
+		t.Error("Summary() empty for a populated report")
+	}
+}
+
+func TestFacadeDiagString(t *testing.T) {
+	_, err := Optimize(Tech100(), math.NaN(), 0.5)
+	if err == nil {
+		t.Fatal("expected a domain error")
+	}
+	s := DiagString(err, nil)
+	if s == "" {
+		t.Fatal("DiagString returned nothing")
+	}
+	// A typed failure renders multi-line context; at minimum the op and the
+	// message must appear.
+	if !strings.Contains(s, "tline.Line") {
+		t.Errorf("DiagString missing op context:\n%s", s)
+	}
+	rep := &DiagReport{}
+	rep.Record("dc-gmin", "gmin=1e-05", "ok", "", nil)
+	s = DiagString(err, rep)
+	if !strings.Contains(s, "dc-gmin") {
+		t.Errorf("DiagString ignored the report:\n%s", s)
+	}
+}
+
+func TestFacadeSolverErrorExtraction(t *testing.T) {
+	_, err := Optimize(Tech100(), 2*NHPerMM, -1)
+	if err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	var se *SolverError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T does not unwrap to *SolverError", err)
+	}
+	if se.Op == "" {
+		t.Error("SolverError.Op empty")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/num"
 	"rlcint/internal/pade"
 	"rlcint/internal/repeater"
@@ -26,6 +27,11 @@ type Problem struct {
 	Device repeater.MinDevice
 	Line   tline.Line // per-unit-length r, l, c (SI)
 	F      float64    // delay threshold fraction; 0 means 0.5
+	// Injector injects optimizer faults for testing (nil in production).
+	Injector *diag.Injector
+	// Report, when non-nil, records which optimizer ladder rungs ran
+	// (Newton cold start, perturbed multi-starts, Nelder–Mead, polish).
+	Report *diag.Report
 }
 
 func (p Problem) threshold() float64 {
@@ -35,7 +41,8 @@ func (p Problem) threshold() float64 {
 	return p.F
 }
 
-// Validate rejects ill-posed problems.
+// Validate rejects ill-posed problems; domain violations (including NaN/Inf
+// inputs) match diag.ErrDomain.
 func (p Problem) Validate() error {
 	if err := p.Device.Validate(); err != nil {
 		return err
@@ -43,8 +50,8 @@ func (p Problem) Validate() error {
 	if err := p.Line.Validate(); err != nil {
 		return err
 	}
-	if f := p.threshold(); f <= 0 || f >= 1 {
-		return fmt.Errorf("core: threshold f=%g outside (0,1)", f)
+	if f := p.threshold(); !(f > 0) || !(f < 1) {
+		return diag.Domainf("core.Optimize", "threshold f=%g outside (0,1)", f)
 	}
 	return nil
 }
@@ -73,8 +80,11 @@ var ErrOptimize = errors.New("core: optimization failed")
 
 // Eval builds the two-pole model and solves the delay for a given (h, k).
 func (p Problem) Eval(h, k float64) (pade.Model, pade.DelayResult, error) {
-	if h <= 0 || k <= 0 {
-		return pade.Model{}, pade.DelayResult{}, fmt.Errorf("core: Eval requires positive h, k")
+	if err := p.Injector.At(diag.Site{Op: "core.eval"}); err != nil {
+		return pade.Model{}, pade.DelayResult{}, err
+	}
+	if h <= 0 || k <= 0 || math.IsNaN(h) || math.IsNaN(k) {
+		return pade.Model{}, pade.DelayResult{}, diag.Domainf("core.Eval", "requires positive h, k; got h=%g k=%g", h, k)
 	}
 	st := p.Device.Stage(p.Line, h, k)
 	m, err := pade.FromStage(st)
@@ -204,38 +214,71 @@ func Optimize(p Problem) (Optimum, error) {
 		iters  int
 	}
 	var cands []cand
+	rep := p.Report
 
-	// Path 1: the paper's Newton on (g1, g2), variables normalized by the
-	// RC optimum so the Jacobian is well-scaled.
-	sys := func(x, out []float64) error {
-		g1, g2, err := p.stationarity(x[0]*rc.H, x[1]*rc.K)
-		if err != nil {
-			return err
+	// The paper's Newton on (g1, g2), variables normalized by the RC
+	// optimum so the Jacobian is well-scaled. start indexes the ladder rung
+	// for fault-injection sites.
+	sysAt := func(start int) num.VecFunc {
+		return func(x, out []float64) error {
+			if err := p.Injector.At(diag.Site{Op: "core.stationarity", Step: start}); err != nil {
+				return err
+			}
+			g1, g2, err := p.stationarity(x[0]*rc.H, x[1]*rc.K)
+			if err != nil {
+				return err
+			}
+			// Scale the residuals: g has units of ds/dh ~ 1/(s·m); normalize by
+			// characteristic magnitudes so Tol is meaningful.
+			out[0] = g1 * rc.H * rc.Tau
+			out[1] = g2 * rc.K * rc.Tau
+			return nil
 		}
-		// Scale the residuals: g has units of ds/dh ~ 1/(s·m); normalize by
-		// characteristic magnitudes so Tol is meaningful.
-		out[0] = g1 * rc.H * rc.Tau
-		out[1] = g2 * rc.K * rc.Tau
-		return nil
 	}
-	nres, nerr := num.NewtonND(sys, []float64{1, 1}, num.NewtonNDOptions{
+	// tryNewton runs one Newton start and admits its iterate as a candidate
+	// when feasible — even when the line search stalled on the finite-
+	// difference noise floor, where the final iterate is usually at the
+	// optimum; the objective comparison decides. It reports whether a
+	// candidate was admitted.
+	tryNewton := func(start int, rung string, x0 []float64, opts num.NewtonNDOptions) (bool, error) {
+		nres, nerr := num.NewtonND(sysAt(start), x0, opts)
+		if len(nres.X) == 2 && nres.X[0] > 0 && nres.X[1] > 0 {
+			h, k := nres.X[0]*rc.H, nres.X[1]*rc.K
+			if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
+				cands = append(cands, cand{h, k, pu, MethodNewton, nres.Iterations})
+				rep.Record("opt-newton", rung, diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", h, k), nerr)
+				return true, nerr
+			}
+		}
+		rep.Record("opt-newton", rung, diag.OutcomeFailed, "", nerr)
+		return false, nerr
+	}
+	coldOpts := num.NewtonNDOptions{
 		Tol:     1e-7,
 		MaxIter: 60,
 		Damping: true,
 		Lower:   []float64{1e-3, 1e-3},
-	})
-	// Even when the line search stalls on the finite-difference noise floor,
-	// the final iterate is usually at the optimum; admit it as a candidate
-	// and let the objective comparison decide.
-	if len(nres.X) == 2 && nres.X[0] > 0 && nres.X[1] > 0 {
-		h, k := nres.X[0]*rc.H, nres.X[1]*rc.K
-		if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
-			cands = append(cands, cand{h, k, pu, MethodNewton, nres.Iterations})
+	}
+
+	// Rung 1: Newton cold start from the RC optimum.
+	coldOK, nerr := tryNewton(0, "cold-start", []float64{1, 1}, coldOpts)
+
+	// Rung 2: perturbed multi-starts — retry the paper's Newton from points
+	// scattered around the RC optimum before conceding to the derivative-
+	// free fallback. Only runs when the cold start yielded no candidate.
+	if !coldOK {
+		restarts := [][]float64{{1.25, 0.8}, {0.8, 1.25}, {1.6, 1.6}, {0.6, 0.6}}
+		for i, x0 := range restarts {
+			ok, err := tryNewton(i+1, fmt.Sprintf("multi-start(%g,%g)", x0[0], x0[1]), x0, coldOpts)
+			if ok {
+				nerr = err
+				break
+			}
 		}
 	}
 
-	// Path 2: direct minimization on (log h, log k); immune to the critical-
-	// damping singularity and to saddle points of (g1, g2).
+	// Rung 3: direct Nelder–Mead minimization on (log h, log k); immune to
+	// the critical-damping singularity and to saddle points of (g1, g2).
 	obj := func(x []float64) float64 {
 		return p.PerUnitDelay(rc.H*math.Exp(x[0]), rc.K*math.Exp(x[1]))
 	}
@@ -246,22 +289,33 @@ func Optimize(p Problem) (Optimum, error) {
 		h, k := rc.H*math.Exp(xnm[0]), rc.K*math.Exp(xnm[1])
 		if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
 			cands = append(cands, cand{h, k, pu, MethodNelderMead, 0})
+			rep.Record("opt-nelder-mead", "direct", diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", h, k), nil)
+		} else {
+			rep.Record("opt-nelder-mead", "direct", diag.OutcomeFailed, "infeasible minimum", nil)
 		}
-		// Path 3: the paper's Newton started from the direct minimum — a
-		// polish step that restores quadratic convergence when the cold
-		// start above wandered into a flat region of (g1, g2).
-		pres, perr := num.NewtonND(sys, []float64{h / rc.H, k / rc.K}, num.NewtonNDOptions{
+		// Polish: the paper's Newton started from the direct minimum —
+		// restores quadratic convergence when the cold start wandered into
+		// a flat region of (g1, g2).
+		pres, perr := num.NewtonND(sysAt(-1), []float64{h / rc.H, k / rc.K}, num.NewtonNDOptions{
 			Tol: 1e-9, MaxIter: 20, Damping: true, Lower: []float64{1e-3, 1e-3},
 		})
 		if perr == nil && len(pres.X) == 2 {
 			ph, pk := pres.X[0]*rc.H, pres.X[1]*rc.K
 			if pu := p.PerUnitDelay(ph, pk); !math.IsInf(pu, 1) {
 				cands = append(cands, cand{ph, pk, pu, MethodNewton, pres.Iterations})
+				rep.Record("opt-newton", "polish", diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", ph, pk), nil)
 			}
+		} else if perr != nil {
+			rep.Record("opt-newton", "polish", diag.OutcomeFailed, "", perr)
 		}
+	} else {
+		rep.Record("opt-nelder-mead", "direct", diag.OutcomeFailed, "", nmErr)
 	}
 	if len(cands) == 0 {
-		return Optimum{}, fmt.Errorf("%w: newton: %v; nelder-mead: %v", ErrOptimize, nerr, nmErr)
+		de := diag.New(diag.ErrNonConvergence, "core.Optimize")
+		de.Detail = "all optimizer rungs failed"
+		de.Err = fmt.Errorf("%w: newton: %v; nelder-mead: %v", ErrOptimize, nerr, nmErr)
+		return Optimum{}, de
 	}
 	best := cands[0]
 	for _, c := range cands[1:] {

@@ -1,0 +1,187 @@
+// Package diag is the solver-resilience layer shared by every iterative
+// routine in the library: a typed error taxonomy with structured context
+// (matchable via errors.Is / errors.As), a per-run Report that records which
+// rungs of a recovery ladder were tried, and a fault Injector that lets
+// tests force solver failures at chosen points.
+//
+// The taxonomy is deliberately small. Every solver failure in the library is
+// one of four kinds:
+//
+//   - ErrNonConvergence: an iterative solve exhausted its budget or stalled;
+//   - ErrSingularJacobian: a linearized system had no usable pivot;
+//   - ErrTimestepCollapse: transient step control halved past its floor;
+//   - ErrDomain: an input (option, argument, operating point) was outside
+//     the routine's domain — NaN/Inf values, negative tolerances, thresholds
+//     outside (0,1), and the like.
+//
+// Callers match kinds with errors.Is and extract context with errors.As:
+//
+//	var de *diag.Error
+//	if errors.As(err, &de) && errors.Is(err, diag.ErrTimestepCollapse) {
+//	    log.Printf("collapsed at t=%g after %d iterations", de.Time, de.Iteration)
+//	}
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The error kinds. Every typed solver failure wraps exactly one of these.
+var (
+	// ErrNonConvergence marks an iterative solve that exhausted its budget
+	// or stalled without meeting its tolerance.
+	ErrNonConvergence = errors.New("diag: iterative solve did not converge")
+	// ErrSingularJacobian marks a linear(ized) system with no usable pivot.
+	ErrSingularJacobian = errors.New("diag: singular Jacobian")
+	// ErrTimestepCollapse marks transient step control that halved its step
+	// past the configured floor without recovering.
+	ErrTimestepCollapse = errors.New("diag: timestep collapsed")
+	// ErrDomain marks an input outside a routine's domain: NaN/Inf values,
+	// negative tolerances, thresholds outside their interval, and the like.
+	ErrDomain = errors.New("diag: input outside domain")
+)
+
+// Error is a solver failure with structured context. Kind is one of the
+// package sentinels; Err optionally wraps an underlying cause. Numeric
+// fields default to NaN / -1 meaning "not applicable".
+type Error struct {
+	Kind      error   // taxonomy sentinel (ErrNonConvergence, ...)
+	Op        string  // failing operation, e.g. "spice.Transient"
+	Time      float64 // simulation time, s (NaN when inapplicable)
+	Step      int     // outer step / rung / start index (-1 when inapplicable)
+	Iteration int     // inner iteration count (-1 when inapplicable)
+	Residual  float64 // last residual infinity-norm (NaN when inapplicable)
+	Gmin      float64 // gmin level in effect (NaN when inapplicable)
+	Damping   float64 // last line-search damping factor (NaN when inapplicable)
+	Detail    string  // free-form context
+	Err       error   // wrapped cause, may be nil
+}
+
+// New returns an Error of the given kind with inapplicable context fields
+// pre-set; callers fill in what they know.
+func New(kind error, op string) *Error {
+	return &Error{
+		Kind: kind, Op: op,
+		Time: math.NaN(), Step: -1, Iteration: -1,
+		Residual: math.NaN(), Gmin: math.NaN(), Damping: math.NaN(),
+	}
+}
+
+// Error implements the error interface with a compact one-line rendering of
+// the applicable context fields.
+func (e *Error) Error() string {
+	var b strings.Builder
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	if e.Kind != nil {
+		b.WriteString(strings.TrimPrefix(e.Kind.Error(), "diag: "))
+	} else {
+		b.WriteString("solver failure")
+	}
+	if !math.IsNaN(e.Time) {
+		fmt.Fprintf(&b, " t=%g", e.Time)
+	}
+	if e.Step >= 0 {
+		fmt.Fprintf(&b, " step=%d", e.Step)
+	}
+	if e.Iteration >= 0 {
+		fmt.Fprintf(&b, " iter=%d", e.Iteration)
+	}
+	if !math.IsNaN(e.Residual) {
+		fmt.Fprintf(&b, " residual=%g", e.Residual)
+	}
+	if !math.IsNaN(e.Gmin) {
+		fmt.Fprintf(&b, " gmin=%g", e.Gmin)
+	}
+	if !math.IsNaN(e.Damping) {
+		fmt.Fprintf(&b, " damping=%g", e.Damping)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the taxonomy kind and the wrapped cause, so
+// errors.Is(err, diag.ErrX) and errors.Is(err, cause) both match.
+func (e *Error) Unwrap() []error {
+	var out []error
+	if e.Kind != nil {
+		out = append(out, e.Kind)
+	}
+	if e.Err != nil {
+		out = append(out, e.Err)
+	}
+	return out
+}
+
+// Domainf builds an ErrDomain Error for operation op with a formatted detail.
+func Domainf(op, format string, args ...any) *Error {
+	e := New(ErrDomain, op)
+	e.Detail = fmt.Sprintf(format, args...)
+	return e
+}
+
+// CheckFinite returns an ErrDomain Error when any named value is NaN or
+// ±Inf; names and values pair positionally. It returns nil when all values
+// are finite.
+func CheckFinite(op string, names []string, values []float64) error {
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Domainf(op, "%s=%g is not finite", names[i], v)
+		}
+	}
+	return nil
+}
+
+// Describe renders err for human consumption: typed solver failures get a
+// multi-line breakdown of their context; other errors render as themselves.
+// A trailing Report summary is appended when rep is non-nil and non-empty.
+func Describe(err error, rep *Report) string {
+	if err == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	b.WriteString(err.Error())
+	var de *Error
+	if errors.As(err, &de) {
+		b.WriteString("\n  kind: ")
+		if de.Kind != nil {
+			b.WriteString(strings.TrimPrefix(de.Kind.Error(), "diag: "))
+		} else {
+			b.WriteString("unknown")
+		}
+		if de.Op != "" {
+			fmt.Fprintf(&b, "\n  op:   %s", de.Op)
+		}
+		if !math.IsNaN(de.Time) {
+			fmt.Fprintf(&b, "\n  time: %g s", de.Time)
+		}
+		if de.Iteration >= 0 {
+			fmt.Fprintf(&b, "\n  iterations: %d", de.Iteration)
+		}
+		if !math.IsNaN(de.Residual) {
+			fmt.Fprintf(&b, "\n  residual: %g", de.Residual)
+		}
+		if !math.IsNaN(de.Gmin) {
+			fmt.Fprintf(&b, "\n  gmin: %g", de.Gmin)
+		}
+	}
+	if s := rep.Summary(); s != "" {
+		b.WriteString("\n  recovery attempts:\n")
+		for _, line := range strings.Split(s, "\n") {
+			b.WriteString("    ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

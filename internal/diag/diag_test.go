@@ -1,0 +1,166 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestErrorMatchesKindAndCause(t *testing.T) {
+	cause := errors.New("no pivot in column 3")
+	e := New(ErrSingularJacobian, "spice.solveNewton")
+	e.Time = 1.5e-9
+	e.Iteration = 4
+	e.Err = cause
+
+	if !errors.Is(e, ErrSingularJacobian) {
+		t.Fatalf("errors.Is(kind) = false for %v", e)
+	}
+	if !errors.Is(e, cause) {
+		t.Fatalf("errors.Is(cause) = false for %v", e)
+	}
+	if errors.Is(e, ErrTimestepCollapse) {
+		t.Fatalf("errors.Is matched the wrong kind for %v", e)
+	}
+	var de *Error
+	if !errors.As(e, &de) || de.Iteration != 4 {
+		t.Fatalf("errors.As lost context: %+v", de)
+	}
+	// Wrapping through fmt must preserve matchability.
+	wrapped := fmt.Errorf("outer: %w", e)
+	if !errors.Is(wrapped, ErrSingularJacobian) || !errors.As(wrapped, &de) {
+		t.Fatalf("wrapping broke matching: %v", wrapped)
+	}
+}
+
+func TestErrorStringOmitsInapplicableFields(t *testing.T) {
+	e := New(ErrNonConvergence, "num.NewtonND")
+	e.Iteration = 50
+	e.Residual = 1e-3
+	s := e.Error()
+	for _, want := range []string{"num.NewtonND", "iter=50", "residual=0.001"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q missing %q", s, want)
+		}
+	}
+	for _, absent := range []string{"t=", "gmin=", "step=", "damping="} {
+		if strings.Contains(s, absent) {
+			t.Errorf("Error() = %q contains inapplicable %q", s, absent)
+		}
+	}
+}
+
+func TestDomainfAndCheckFinite(t *testing.T) {
+	if err := CheckFinite("op", []string{"a", "b"}, []float64{1, 2}); err != nil {
+		t.Fatalf("CheckFinite on finite values: %v", err)
+	}
+	err := CheckFinite("op", []string{"a", "b"}, []float64{1, math.NaN()})
+	if !errors.Is(err, ErrDomain) {
+		t.Fatalf("CheckFinite(NaN) = %v, want ErrDomain", err)
+	}
+	if !strings.Contains(err.Error(), "b=") {
+		t.Errorf("CheckFinite error %q does not name the offending field", err)
+	}
+	if err := CheckFinite("op", []string{"x"}, []float64{math.Inf(-1)}); !errors.Is(err, ErrDomain) {
+		t.Fatalf("CheckFinite(-Inf) = %v, want ErrDomain", err)
+	}
+	if err := Domainf("op", "f=%g outside (0,1)", 2.0); !errors.Is(err, ErrDomain) {
+		t.Fatalf("Domainf kind = %v", err)
+	}
+}
+
+func TestReportNilSafety(t *testing.T) {
+	var r *Report
+	r.Record("dc-gmin", "gmin=1e-3", OutcomeOK, "", nil) // must not panic
+	if n := r.Tried("dc-gmin"); n != 0 {
+		t.Fatalf("nil report Tried = %d", n)
+	}
+	if _, ok := r.Last("dc-gmin"); ok {
+		t.Fatal("nil report Last reported an attempt")
+	}
+	if s := r.Summary(); s != "" {
+		t.Fatalf("nil report Summary = %q", s)
+	}
+}
+
+func TestReportRecordsAndSummarizes(t *testing.T) {
+	r := &Report{}
+	r.Record("dc-gmin", "gmin=0.001", OutcomeOK, "", nil)
+	r.Record("dc-gmin", "gmin=1e-05", OutcomeFailed, "t=0", errors.New("stall"))
+	r.Record("dc-ramp", "ramp=0.5", OutcomeOK, "", nil)
+	if got := r.Tried("dc-gmin"); got != 2 {
+		t.Fatalf("Tried(dc-gmin) = %d, want 2", got)
+	}
+	last, ok := r.Last("dc-gmin")
+	if !ok || last.Outcome != OutcomeFailed {
+		t.Fatalf("Last(dc-gmin) = %+v, %v", last, ok)
+	}
+	s := r.Summary()
+	for _, want := range []string{"gmin=0.001: ok", "gmin=1e-05: failed", "stall", "ramp=0.5: ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestReportCapsRetention(t *testing.T) {
+	r := &Report{}
+	for i := 0; i < maxAttempts+10; i++ {
+		r.Record("tran-step", "halve", OutcomeFailed, "", nil)
+	}
+	if len(r.Attempts) != maxAttempts {
+		t.Fatalf("retained %d attempts, want cap %d", len(r.Attempts), maxAttempts)
+	}
+	if r.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", r.Dropped)
+	}
+	if !strings.Contains(r.Summary(), "10 more attempts dropped") {
+		t.Errorf("Summary does not mention dropped attempts")
+	}
+}
+
+func TestInjectorNilSafety(t *testing.T) {
+	var in *Injector
+	if err := in.At(Site{Op: "x"}); err != nil {
+		t.Fatalf("nil injector injected %v", err)
+	}
+	if err := (&Injector{}).At(Site{Op: "x"}); err != nil {
+		t.Fatalf("empty injector injected %v", err)
+	}
+}
+
+func TestFaultAt(t *testing.T) {
+	boom := errors.New("boom")
+	in := FaultAt("spice.factorize", 3, boom)
+	if err := in.At(Site{Op: "spice.factorize", Step: 2}); err != nil {
+		t.Fatalf("injected before fromStep: %v", err)
+	}
+	if err := in.At(Site{Op: "other", Step: 5}); err != nil {
+		t.Fatalf("injected at wrong op: %v", err)
+	}
+	if err := in.At(Site{Op: "spice.factorize", Step: 3}); !errors.Is(err, boom) {
+		t.Fatalf("did not inject at matching site: %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	e := New(ErrTimestepCollapse, "spice.Transient")
+	e.Time = 2e-9
+	e.Residual = 0.5
+	rep := &Report{}
+	rep.Record("tran-step", "be-fallback", OutcomeFailed, "t=2e-09", nil)
+	s := Describe(e, rep)
+	for _, want := range []string{"kind: timestep collapsed", "time: 2e-09", "be-fallback", "recovery attempts"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe = %q missing %q", s, want)
+		}
+	}
+	if got := Describe(errors.New("plain"), nil); got != "plain" {
+		t.Errorf("Describe(plain) = %q", got)
+	}
+	if got := Describe(nil, nil); got != "<nil>" {
+		t.Errorf("Describe(nil) = %q", got)
+	}
+}

@@ -1,0 +1,45 @@
+package diag
+
+// Site identifies a potential fault point inside a solver, passed to an
+// Injector before the guarded operation runs. Op names the operation and —
+// where a solver runs the same operation under different ladder rungs —
+// carries the rung context (e.g. "spice.newton/dc-gmin" vs
+// "spice.newton/tran-tr").
+type Site struct {
+	Op        string
+	Time      float64 // simulation time, s (0 when inapplicable)
+	Step      int     // outer step / rung / start index
+	Iteration int     // inner iteration
+	Gmin      float64 // gmin level in effect (0 when inapplicable)
+}
+
+// Injector forces solver faults at chosen sites so tests can exercise
+// recovery ladders and terminal failure paths deliberately. Production code
+// passes a nil *Injector, which injects nothing.
+type Injector struct {
+	// Fault, when non-nil, is consulted at each guarded site; returning a
+	// non-nil error makes the guarded operation fail with that error (which
+	// the solver then wraps in its usual typed failure).
+	Fault func(Site) error
+}
+
+// At consults the injector at site s. Nil receivers and nil Fault hooks
+// inject nothing, so solvers can call At unconditionally on their hot paths.
+func (in *Injector) At(s Site) error {
+	if in == nil || in.Fault == nil {
+		return nil
+	}
+	return in.Fault(s)
+}
+
+// FaultAt builds an Injector that returns err at every site whose Op equals
+// op and whose Step is at least fromStep — the common shape for "fail this
+// operation from step N onward" tests.
+func FaultAt(op string, fromStep int, err error) *Injector {
+	return &Injector{Fault: func(s Site) error {
+		if s.Op == op && s.Step >= fromStep {
+			return err
+		}
+		return nil
+	}}
+}

@@ -1,14 +1,16 @@
 package lina
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"rlcint/internal/diag"
 )
 
 // ErrSingular is returned when a factorization encounters an exactly zero
-// pivot.
-var ErrSingular = errors.New("lina: singular matrix")
+// pivot. It wraps diag.ErrSingularJacobian, so callers can match either
+// sentinel.
+var ErrSingular = fmt.Errorf("lina: singular matrix: %w", diag.ErrSingularJacobian)
 
 // Dense is a dense row-major real matrix.
 type Dense struct {

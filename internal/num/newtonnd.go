@@ -3,6 +3,8 @@ package num
 import (
 	"fmt"
 	"math"
+
+	"rlcint/internal/diag"
 )
 
 // VecFunc is a vector-valued function of a vector argument. Implementations
@@ -30,6 +32,29 @@ type NewtonNDOptions struct {
 	Lower []float64
 }
 
+// Validate rejects option sets that a plain `== 0` default check would let
+// through and silently corrupt convergence testing: negative, NaN, or Inf
+// tolerances and budgets. The zero value of each field still means "use the
+// default".
+func (o NewtonNDOptions) Validate() error {
+	names := []string{"Tol", "StepTol", "FDScale"}
+	vals := []float64{o.Tol, o.StepTol, o.FDScale}
+	for i, v := range vals {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return diag.Domainf("num.NewtonND", "%s=%g must be a finite non-negative value", names[i], v)
+		}
+	}
+	if o.MaxIter < 0 || o.MaxHalve < 0 {
+		return diag.Domainf("num.NewtonND", "negative iteration budget MaxIter=%d MaxHalve=%d", o.MaxIter, o.MaxHalve)
+	}
+	for i, v := range o.Lower {
+		if math.IsNaN(v) {
+			return diag.Domainf("num.NewtonND", "Lower[%d] is NaN", i)
+		}
+	}
+	return nil
+}
+
 func (o *NewtonNDOptions) defaults() {
 	if o.Tol == 0 {
 		o.Tol = 1e-10
@@ -53,6 +78,14 @@ func (o *NewtonNDOptions) defaults() {
 // system is solved with dense Gaussian elimination with partial pivoting
 // (systems here are 2x2 or 3x3).
 func NewtonND(f VecFunc, x0 []float64, opts NewtonNDOptions) (NewtonNDResult, error) {
+	if err := opts.Validate(); err != nil {
+		return NewtonNDResult{}, err
+	}
+	for i, v := range x0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return NewtonNDResult{}, diag.Domainf("num.NewtonND", "x0[%d]=%g is not finite", i, v)
+		}
+	}
 	opts.defaults()
 	n := len(x0)
 	x := append([]float64(nil), x0...)
@@ -106,7 +139,11 @@ func NewtonND(f VecFunc, x0 []float64, opts NewtonNDOptions) (NewtonNDResult, er
 			step[i] = -fx[i]
 		}
 		if err := solveDense(jac, step, n); err != nil {
-			return res, fmt.Errorf("num: NewtonND singular Jacobian at iteration %d: %w", iter, err)
+			de := diag.New(diag.ErrSingularJacobian, "num.NewtonND")
+			de.Iteration = iter + 1
+			de.Residual = r
+			de.Err = err
+			return res, de
 		}
 		// Backtracking line search on the residual norm.
 		lambda := 1.0
@@ -127,7 +164,13 @@ func NewtonND(f VecFunc, x0 []float64, opts NewtonNDOptions) (NewtonNDResult, er
 			lambda *= 0.5
 		}
 		if !improved {
-			return res, fmt.Errorf("%w: NewtonND line search stalled at residual %g", ErrNoConvergence, r)
+			de := diag.New(diag.ErrNonConvergence, "num.NewtonND")
+			de.Iteration = iter + 1
+			de.Residual = r
+			de.Damping = lambda
+			de.Detail = "line search stalled"
+			de.Err = ErrNoConvergence
+			return res, de
 		}
 		// Step-size convergence.
 		small := true
@@ -146,7 +189,12 @@ func NewtonND(f VecFunc, x0 []float64, opts NewtonNDOptions) (NewtonNDResult, er
 		}
 	}
 	res.X = x
-	return res, fmt.Errorf("%w: NewtonND after %d iterations (residual %g)", ErrNoConvergence, opts.MaxIter, res.Residual)
+	de := diag.New(diag.ErrNonConvergence, "num.NewtonND")
+	de.Iteration = opts.MaxIter
+	de.Residual = res.Residual
+	de.Detail = "iteration budget exhausted"
+	de.Err = ErrNoConvergence
+	return res, de
 }
 
 func infNorm(v []float64) float64 {

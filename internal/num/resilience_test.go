@@ -1,0 +1,107 @@
+package num
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rlcint/internal/diag"
+)
+
+func TestNewtonNDOptionsValidate(t *testing.T) {
+	nan := math.NaN()
+	bad := []struct {
+		name string
+		opts NewtonNDOptions
+	}{
+		{"negative Tol", NewtonNDOptions{Tol: -1e-10}},
+		{"NaN Tol", NewtonNDOptions{Tol: nan}},
+		{"Inf StepTol", NewtonNDOptions{StepTol: math.Inf(1)}},
+		{"negative FDScale", NewtonNDOptions{FDScale: -1e-7}},
+		{"negative MaxIter", NewtonNDOptions{MaxIter: -1}},
+		{"negative MaxHalve", NewtonNDOptions{MaxHalve: -1}},
+		{"NaN Lower", NewtonNDOptions{Lower: []float64{0, nan}}},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.opts.Validate(); !errors.Is(err, diag.ErrDomain) {
+				t.Errorf("Validate() = %v, want ErrDomain match", err)
+			}
+			// The solver itself must refuse the options too.
+			f := func(x, out []float64) error { out[0] = x[0]; return nil }
+			if _, err := NewtonND(f, []float64{1}, c.opts); !errors.Is(err, diag.ErrDomain) {
+				t.Errorf("NewtonND = %v, want ErrDomain match", err)
+			}
+		})
+	}
+	if err := (NewtonNDOptions{}).Validate(); err != nil {
+		t.Errorf("zero-valued options rejected: %v", err)
+	}
+}
+
+func TestNewtonNDRejectsNonFiniteStart(t *testing.T) {
+	f := func(x, out []float64) error { out[0] = x[0]; return nil }
+	for _, x0 := range [][]float64{{math.NaN()}, {math.Inf(1)}} {
+		if _, err := NewtonND(f, x0, NewtonNDOptions{}); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("NewtonND(x0=%v) = %v, want ErrDomain match", x0, err)
+		}
+	}
+}
+
+func TestNewtonNDSingularJacobianTyped(t *testing.T) {
+	// A constant residual has an exactly zero Jacobian: the dense solve must
+	// fail and surface as a typed singular-Jacobian error with context.
+	f := func(x, out []float64) error {
+		out[0], out[1] = 1, 1
+		return nil
+	}
+	_, err := NewtonND(f, []float64{1, 1}, NewtonNDOptions{MaxIter: 10})
+	if !errors.Is(err, diag.ErrSingularJacobian) {
+		t.Fatalf("error %v does not match diag.ErrSingularJacobian", err)
+	}
+	var de *diag.Error
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *diag.Error", err)
+	}
+	if de.Iteration < 1 {
+		t.Errorf("Iteration = %d, want >= 1", de.Iteration)
+	}
+	if math.IsNaN(de.Residual) {
+		t.Error("Residual not populated")
+	}
+}
+
+func TestNewtonNDStallTypedBothSentinels(t *testing.T) {
+	// x² + 1 has no real root: Newton stalls at the residual minimum. The
+	// failure must match both the legacy package sentinel and the taxonomy.
+	f := func(x, out []float64) error {
+		out[0] = x[0]*x[0] + 1
+		return nil
+	}
+	_, err := NewtonND(f, []float64{2}, NewtonNDOptions{MaxIter: 40, Damping: true})
+	if err == nil {
+		t.Fatal("rootless system converged")
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("error %v does not match num.ErrNoConvergence", err)
+	}
+	if !errors.Is(err, diag.ErrNonConvergence) {
+		t.Errorf("error %v does not match diag.ErrNonConvergence", err)
+	}
+	var de *diag.Error
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *diag.Error", err)
+	}
+	if de.Residual < 0.999 {
+		t.Errorf("Residual = %g, want the stalled residual (~1)", de.Residual)
+	}
+}
+
+func TestLegacySentinelsMatchTaxonomy(t *testing.T) {
+	if !errors.Is(ErrNoConvergence, diag.ErrNonConvergence) {
+		t.Error("num.ErrNoConvergence does not wrap diag.ErrNonConvergence")
+	}
+	if !errors.Is(ErrBadBracket, diag.ErrDomain) {
+		t.Error("num.ErrBadBracket does not wrap diag.ErrDomain")
+	}
+}

@@ -1,18 +1,20 @@
 package num
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"rlcint/internal/diag"
 )
 
 // ErrNoConvergence is returned when an iterative routine exhausts its
-// iteration budget without meeting its tolerance.
-var ErrNoConvergence = errors.New("num: no convergence")
+// iteration budget without meeting its tolerance. It wraps
+// diag.ErrNonConvergence, so callers can match either sentinel.
+var ErrNoConvergence = fmt.Errorf("num: no convergence: %w", diag.ErrNonConvergence)
 
 // ErrBadBracket is returned when a bracketing routine is handed an interval
-// whose endpoints do not straddle a root.
-var ErrBadBracket = errors.New("num: endpoints do not bracket a root")
+// whose endpoints do not straddle a root. It wraps diag.ErrDomain.
+var ErrBadBracket = fmt.Errorf("num: endpoints do not bracket a root: %w", diag.ErrDomain)
 
 // NewtonResult reports the outcome of a scalar Newton solve.
 type NewtonResult struct {

@@ -9,10 +9,10 @@
 package pade
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/num"
 	"rlcint/internal/tline"
 )
@@ -50,18 +50,24 @@ type Model struct {
 	B1, B2 float64
 }
 
-// New validates and constructs a Model.
+// New validates and constructs a Model. Non-physical coefficients (NaN,
+// Inf, or non-positive) are rejected with a diag.ErrDomain-matchable error.
 func New(b1, b2 float64) (Model, error) {
 	if !(b1 > 0) || !(b2 > 0) || math.IsInf(b1, 1) || math.IsInf(b2, 1) {
-		return Model{}, fmt.Errorf("pade: non-physical coefficients b1=%g b2=%g", b1, b2)
+		return Model{}, fmt.Errorf("pade: non-physical coefficients b1=%g b2=%g: %w", b1, b2, diag.ErrDomain)
 	}
 	return Model{B1: b1, B2: b2}, nil
 }
 
 // FromStage builds the model for a driver–line–load stage using the paper's
 // closed-form b1 and b2 (equivalently, the first two moments of the exact
-// transfer function).
+// transfer function). Stages carrying NaN/Inf or non-physical parameters
+// (e.g. assembled via StageOf from bad inputs) are rejected with a
+// diag.ErrDomain-matchable error.
 func FromStage(st tline.Stage) (Model, error) {
+	if err := st.Validate(); err != nil {
+		return Model{}, err
+	}
 	d := st.DenominatorSeries(3)
 	return New(d[1], d[2])
 }
@@ -165,15 +171,16 @@ type DelayResult struct {
 	Iterations int     // Newton iterations used (the paper reports ≤ 4)
 }
 
-// ErrThreshold rejects delay thresholds outside [0, 1).
-var ErrThreshold = errors.New("pade: threshold must satisfy 0 <= f < 1")
+// ErrThreshold rejects delay thresholds outside [0, 1). It wraps
+// diag.ErrDomain, so callers can match either sentinel.
+var ErrThreshold = fmt.Errorf("pade: threshold must satisfy 0 <= f < 1: %w", diag.ErrDomain)
 
 // Delay solves the paper's Eq. (3) for the f×100% delay: the first time at
 // which the unit step response reaches f. The root is bracketed by scanning
 // (so that, for underdamped responses, the first crossing rather than a
 // later one is found) and polished with safeguarded Newton.
 func (m Model) Delay(f float64) (DelayResult, error) {
-	if f < 0 || f >= 1 {
+	if f < 0 || f >= 1 || math.IsNaN(f) {
 		return DelayResult{}, fmt.Errorf("%w: f=%g", ErrThreshold, f)
 	}
 	if f == 0 {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/tech"
 	"rlcint/internal/tline"
 )
@@ -26,10 +27,16 @@ type MinDevice struct {
 // FromTech extracts the device parameters of a technology node.
 func FromTech(n tech.Node) MinDevice { return MinDevice{Rs: n.Rs, C0: n.C0, Cp: n.Cp} }
 
-// Validate rejects non-physical device parameters.
+// Validate rejects non-physical device parameters, including NaN/Inf
+// values (which plain sign comparisons would let through) with a
+// diag.ErrDomain-matchable error.
 func (d MinDevice) Validate() error {
+	if err := diag.CheckFinite("repeater.MinDevice",
+		[]string{"Rs", "C0", "Cp"}, []float64{d.Rs, d.C0, d.Cp}); err != nil {
+		return err
+	}
 	if d.Rs <= 0 || d.C0 <= 0 || d.Cp < 0 {
-		return fmt.Errorf("repeater: invalid device rs=%g c0=%g cp=%g", d.Rs, d.C0, d.Cp)
+		return fmt.Errorf("repeater: invalid device rs=%g c0=%g cp=%g: %w", d.Rs, d.C0, d.Cp, diag.ErrDomain)
 	}
 	return nil
 }

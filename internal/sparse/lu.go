@@ -1,13 +1,29 @@
 package sparse
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"rlcint/internal/diag"
 )
 
 // ErrSingular is returned when no usable pivot can be found in a column.
-var ErrSingular = errors.New("sparse: singular matrix")
+// It wraps diag.ErrSingularJacobian, so callers can match either sentinel.
+var ErrSingular = fmt.Errorf("sparse: singular matrix: %w", diag.ErrSingularJacobian)
+
+// PivotError reports the structural location of a factorization breakdown.
+// It wraps ErrSingular (and transitively diag.ErrSingularJacobian).
+type PivotError struct {
+	Col int // column with no usable pivot
+}
+
+// Error implements the error interface.
+func (e *PivotError) Error() string {
+	return fmt.Sprintf("%v: no pivot in column %d", ErrSingular, e.Col)
+}
+
+// Unwrap makes errors.Is(err, ErrSingular) match.
+func (e *PivotError) Unwrap() error { return ErrSingular }
 
 // LU holds the factors P*A = L*U produced by Factorize. L has unit diagonal
 // (stored explicitly as the first entry of each column); U stores each
@@ -86,7 +102,7 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 			}
 		}
 		if ipiv < 0 || amax == 0 {
-			return fmt.Errorf("%w: no pivot in column %d", ErrSingular, k)
+			return &PivotError{Col: k}
 		}
 		// Prefer the diagonal entry when it is within pivTol of the largest
 		// candidate (threshold pivoting).

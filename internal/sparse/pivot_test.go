@@ -1,0 +1,34 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+
+	"rlcint/internal/diag"
+)
+
+func TestFactorizeSingularTypedError(t *testing.T) {
+	// Column 1 is structurally empty: factorization must fail with a
+	// PivotError naming it, matchable against both sentinels.
+	tr := NewTriplet(2)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 0, 2)
+	lu := Workspace(2)
+	err := lu.Factorize(tr.Compile(), 1)
+	if err == nil {
+		t.Fatal("singular matrix factorized")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("error %v does not match sparse.ErrSingular", err)
+	}
+	if !errors.Is(err, diag.ErrSingularJacobian) {
+		t.Errorf("error %v does not match diag.ErrSingularJacobian", err)
+	}
+	var pe *PivotError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PivotError", err)
+	}
+	if pe.Col != 1 {
+		t.Errorf("Col = %d, want 1", pe.Col)
+	}
+}

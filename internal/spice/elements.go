@@ -267,7 +267,7 @@ func (e *VSource) load(ld *loader) {
 	if ld.dc {
 		t = 0
 	}
-	ld.addResRow(ld.branchRow(e.bidx), ld.v(e.a)-ld.v(e.b)-e.w.At(t))
+	ld.addResRow(ld.branchRow(e.bidx), ld.v(e.a)-ld.v(e.b)-ld.srcScale()*e.w.At(t))
 	ld.addJBranchNode(e.bidx, e.a, 1)
 	ld.addJBranchNode(e.bidx, e.b, -1)
 }
@@ -296,7 +296,7 @@ func (e *isource) load(ld *loader) {
 	if ld.dc {
 		t = 0
 	}
-	i := e.w.At(t)
+	i := ld.srcScale() * e.w.At(t)
 	ld.addRes(e.a, i)
 	ld.addRes(e.b, -i)
 	// Structural gmin so a current source into an otherwise floating node

@@ -1,0 +1,115 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are netlists drawn from the parser and subckt test decks plus a
+// few shapes known to stress the tokenizer (continuations, comments, bad
+// suffixes, nested subcircuits).
+var fuzzSeeds = []string{
+	"title\nR1 a GND 1k\nV1 a gnd DC 1\n.end\n",
+	`simple RLC deck
+* a comment
+V1 in 0 PULSE(0 1.2 0 10p 10p 1n 2n)
+R1 in mid 50
+L1 mid out 2n
+C1 out 0 1p
+I1 0 out DC 1m
+.end
+`,
+	`divider test
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 4
+Xu a m div
+Xd m 0 div
+.end
+`,
+	`nested
+.subckt inner a b
+R1 a b 1k
+.ends
+.subckt outer in out
+X1 in mid inner
+X2 mid out inner
+.ends
+X0 p 0 outer
+V1 p 0 DC 1
+.end
+`,
+	"continuation\nR1 a b\n+ 1k\nV1 a 0 DC 1\n.end\n",
+	"bad\nR1 a b notanumber\n.end\n",
+	"V1 only\nV1 a 0 SIN(0 1 1k)\n.end\n",
+	".subckt loop a b\nXo a b loop\n.ends\nXtop n1 n2 loop\n.end\n",
+	"",
+	".end",
+	"* nothing but a comment",
+}
+
+// FuzzParseNetlist asserts the parser never panics and upholds its
+// error-or-valid-circuit contract on arbitrary input.
+func FuzzParseNetlist(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deck string) {
+		if len(deck) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		res, err := ParseNetlist(strings.NewReader(deck))
+		if err != nil {
+			return
+		}
+		if res == nil || res.Circuit == nil {
+			t.Fatal("nil result without error")
+		}
+		// A parse that succeeds must hand back a circuit the solver would
+		// accept structurally (Validate is what every analysis calls first).
+		if verr := res.Circuit.Validate(); verr != nil {
+			t.Fatalf("parsed circuit fails validation: %v", verr)
+		}
+	})
+}
+
+// FuzzFlattenNetlist targets subcircuit expansion directly: definition
+// parsing, instantiation, recursion detection, and node renaming must never
+// panic or loop forever.
+func FuzzFlattenNetlist(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deck string) {
+		if len(deck) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		lines := strings.Split(deck, "\n")
+		flat, err := flattenNetlist(lines)
+		if err != nil {
+			return
+		}
+		// Expansion must eliminate every subckt construct it accepted.
+		for _, ln := range flat {
+			fs := strings.Fields(ln)
+			if len(fs) == 0 {
+				continue
+			}
+			if card := strings.ToLower(fs[0]); card == ".subckt" || card == ".ends" {
+				t.Fatalf("unexpanded subckt line survived: %q", ln)
+			}
+		}
+	})
+}
+
+// FuzzParseValue exercises the SPICE number/suffix scanner.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{"1", "4.7k", "2meg", "1.5f", "1e-9", "-3.3", "100nH", "k10", "", "1e", "1e999", "0x10"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = ParseValue(s)
+	})
+}

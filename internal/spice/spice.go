@@ -105,7 +105,20 @@ type loader struct {
 	trap   bool // trapezoidal if true, else backward Euler
 	dc     bool // DC operating point assembly
 	gmin   float64
+	// srcRamp attenuates independent sources for the DC source-stepping
+	// ladder: the effective source value is (1−srcRamp)·w(t), so the zero
+	// value keeps sources at full strength.
+	srcRamp float64
+	// op names the ladder rung driving this assembly ("dc-gmin", "dc-ramp",
+	// "tran-tr", "tran-be") for diagnostics and fault-injection sites; step
+	// is the rung or grid-step index.
+	op   string
+	step int
 }
+
+// srcScale is the factor applied to independent source values under the
+// active ramp level.
+func (ld *loader) srcScale() float64 { return 1 - ld.srcRamp }
 
 // v returns the voltage of node n in the current iterate.
 func (ld *loader) v(n NodeID) float64 {

@@ -42,6 +42,14 @@ func flattenNetlist(lines []string) ([]string, error) {
 	return out, nil
 }
 
+// cardIs reports whether the line's first whitespace-delimited field is the
+// named dot-card. Prefix matching is wrong here: ".ends0" is an unknown card,
+// not an ".ends" terminator.
+func cardIs(line, name string) bool {
+	fs := strings.Fields(line)
+	return len(fs) > 0 && strings.ToLower(fs[0]) == name
+}
+
 // extractDefs walks lines, collecting .subckt blocks into defs and all
 // remaining lines into rest. Nested definitions are hoisted to the global
 // scope (SPICE semantics).
@@ -49,8 +57,10 @@ func extractDefs(lines []string, defs map[string]*subcktDef, rest *[]string) err
 	i := 0
 	for i < len(lines) {
 		line := strings.TrimSpace(lines[i])
-		lower := strings.ToLower(line)
-		if !strings.HasPrefix(lower, ".subckt") {
+		if cardIs(line, ".ends") {
+			return fmt.Errorf("stray .ends without matching .subckt: %q", line)
+		}
+		if !cardIs(line, ".subckt") {
 			*rest = append(*rest, lines[i])
 			i++
 			continue
@@ -65,11 +75,10 @@ func extractDefs(lines []string, defs map[string]*subcktDef, rest *[]string) err
 		var body []string
 		for i < len(lines) {
 			l := strings.TrimSpace(lines[i])
-			ll := strings.ToLower(l)
-			if strings.HasPrefix(ll, ".subckt") {
+			if cardIs(l, ".subckt") {
 				depth++
 			}
-			if strings.HasPrefix(ll, ".ends") {
+			if cardIs(l, ".ends") {
 				depth--
 				if depth == 0 {
 					break

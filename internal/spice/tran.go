@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/sparse"
 )
 
@@ -44,11 +45,41 @@ type TranOpts struct {
 	// NoBEStart disables the two backward-Euler startup steps; use only
 	// when the initial conditions are exactly consistent.
 	NoBEStart bool
+	// Injector injects solver faults for testing (nil in production).
+	Injector *diag.Injector
+	// Report, when non-nil, collects the recovery-ladder attempts of the
+	// run (gmin rungs, TR→BE fallbacks, step halvings).
+	Report *diag.Report
+}
+
+// Validate rejects option sets whose tolerances or budgets are negative or
+// non-finite — values a plain `== 0` default check would let through and
+// silently corrupt the convergence tests. Zero fields still mean "default".
+func (o TranOpts) Validate() error {
+	if err := diag.CheckFinite("spice.TranOpts",
+		[]string{"TStop", "DT", "ITol", "RelTol", "VNTol", "Gmin", "MaxStep"},
+		[]float64{o.TStop, o.DT, o.ITol, o.RelTol, o.VNTol, o.Gmin, o.MaxStep}); err != nil {
+		return err
+	}
+	names := []string{"ITol", "RelTol", "VNTol", "Gmin", "MaxStep"}
+	vals := []float64{o.ITol, o.RelTol, o.VNTol, o.Gmin, o.MaxStep}
+	for i, v := range vals {
+		if v < 0 {
+			return diag.Domainf("spice.TranOpts", "%s=%g must be non-negative", names[i], v)
+		}
+	}
+	if o.MaxNewton < 0 || o.MaxHalvings < 0 {
+		return diag.Domainf("spice.TranOpts", "negative budget MaxNewton=%d MaxHalvings=%d", o.MaxNewton, o.MaxHalvings)
+	}
+	return nil
 }
 
 func (o TranOpts) withDefaults() (TranOpts, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
 	if o.TStop <= 0 || o.DT <= 0 || o.DT > o.TStop {
-		return o, fmt.Errorf("spice: invalid transient window tstop=%g dt=%g", o.TStop, o.DT)
+		return o, diag.Domainf("spice.Transient", "invalid transient window tstop=%g dt=%g", o.TStop, o.DT)
 	}
 	if o.MaxNewton == 0 {
 		o.MaxNewton = 50
@@ -129,10 +160,22 @@ func (p SourceCurrentProbe) sample(x []float64, nNodes int) float64 {
 }
 
 // Result holds sampled transient waveforms on the uniform output grid.
+//
+// Partial-result contract: when Transient aborts mid-run (timestep
+// collapse), it returns the Result it has built so far ALONGSIDE the typed
+// error — T and Signals preserve every sample recorded up to the last
+// completed output grid point, Partial is true, and PartialT is the
+// simulation time the solver reached before giving up.
 type Result struct {
 	T       []float64
 	Signals [][]float64 // Signals[i][j] = probe i at T[j]
 	Labels  []string
+	// Partial marks a run that aborted before TStop; the samples up to the
+	// abort point are valid.
+	Partial bool
+	// PartialT is the simulation time reached when a partial run aborted
+	// (0 for complete runs).
+	PartialT float64
 }
 
 // Signal returns the waveform of the probe with the given label.
@@ -208,9 +251,32 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 	ns.assemble(ld)
 	csc := ns.trip.Compile()
 	rnorm := infNorm(ns.res)
+	fail := func(kind error, iter int, cause error, detail string) *diag.Error {
+		de := diag.New(kind, "spice.solveNewton")
+		de.Time = ld.t
+		de.Step = ld.step
+		de.Iteration = iter
+		de.Residual = rnorm
+		de.Gmin = ld.gmin
+		de.Detail = detail
+		de.Err = cause
+		return de
+	}
 	for iter := 1; iter <= opts.MaxNewton; iter++ {
-		if err := ns.lu.Factorize(csc, 1); err != nil {
-			return iter, fmt.Errorf("spice: Jacobian singular at t=%g: %w", ld.t, err)
+		// Fault-injection sites: "spice.newton/<rung>" simulates a Newton
+		// stall or residual blow-up; "spice.factorize/<rung>" a singular
+		// system. Both are free when no injector is installed.
+		site := diag.Site{Op: "spice.newton/" + ld.op, Time: ld.t, Step: ld.step, Iteration: iter, Gmin: ld.gmin}
+		if err := opts.Injector.At(site); err != nil {
+			return iter, fail(diag.ErrNonConvergence, iter, err, "injected Newton fault")
+		}
+		site.Op = "spice.factorize/" + ld.op
+		ferr := opts.Injector.At(site)
+		if ferr == nil {
+			ferr = ns.lu.Factorize(csc, 1)
+		}
+		if ferr != nil {
+			return iter, fail(diag.ErrSingularJacobian, iter, ferr, ld.op)
 		}
 		ns.lu.SolveInto(ns.dx, ns.res)
 		// Per-component step limiting (the saturated-transistor guard).
@@ -253,39 +319,127 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 		}
 		rnorm = newNorm
 	}
-	return opts.MaxNewton, fmt.Errorf("spice: Newton did not converge at t=%g (residual %g)", ld.t, rnorm)
+	return opts.MaxNewton, fail(diag.ErrNonConvergence, opts.MaxNewton, nil, "Newton budget exhausted")
+}
+
+// DCOpts configure DCOperatingPointWith: an optional fault injector and a
+// recovery-ladder report collector.
+type DCOpts struct {
+	Injector *diag.Injector
+	Report   *diag.Report
 }
 
 // DCOperatingPoint solves the DC operating point (capacitors open,
-// inductors shorted) with gmin stepping for robustness. Node initial
-// conditions set via SetIC seed the Newton iteration.
+// inductors shorted) with a two-rung recovery ladder: gmin stepping first,
+// then source (supply) ramping when the gmin ladder cannot converge. Node
+// initial conditions set via SetIC seed the Newton iteration.
 func (c *Circuit) DCOperatingPoint() ([]float64, error) {
+	return c.DCOperatingPointWith(DCOpts{})
+}
+
+// DCOperatingPointWith is DCOperatingPoint with explicit diagnostics
+// plumbing. Terminal failures carry diag.ErrNonConvergence (or the more
+// specific kind of the last rung's failure cause) and o.Report records
+// every ladder rung tried.
+func (c *Circuit) DCOperatingPointWith(o DCOpts) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	opts, _ := TranOpts{TStop: 1, DT: 1}.withDefaults()
+	opts.Injector = o.Injector
 	ns := newNewtonState(c)
-	for id, v := range c.ics {
-		ns.x[id] = v
+	seedICs := func() {
+		for i := range ns.x {
+			ns.x[i] = 0
+		}
+		for id, v := range c.ics {
+			ns.x[id] = v
+		}
 	}
+	seedICs()
+	x, gminErr := c.dcGminLadder(ns, opts, o.Report)
+	if gminErr == nil {
+		return x, nil
+	}
+	// Rung 2: source ramping. Restart from the IC seed — the all-sources-off
+	// system is trivially solvable, and continuation walks the solution to
+	// full supply strength.
+	seedICs()
+	x, rampErr := c.dcSourceRamp(ns, opts, o.Report)
+	if rampErr == nil {
+		return x, nil
+	}
+	de := diag.New(diag.ErrNonConvergence, "spice.DCOperatingPoint")
+	de.Time = 0
+	de.Detail = fmt.Sprintf("gmin ladder failed (%v); source ramp failed", gminErr)
+	de.Err = rampErr
+	return nil, de
+}
+
+// dcGminLadder walks gmin from 1e-3 down to the target 1e-12. A rung that
+// fails after an earlier rung converged restores the last converged iterate
+// and skips to the next gmin instead of aborting the whole solve; the
+// ladder succeeds only when the final (target) rung converges.
+func (c *Circuit) dcGminLadder(ns *newtonState, opts TranOpts, rep *diag.Report) ([]float64, error) {
 	gmins := []float64{1e-3, 1e-5, 1e-7, 1e-9, 1e-12}
-	var lastErr error
+	conv := make([]float64, ns.n) // last converged iterate
 	solvedAny := false
-	for _, g := range gmins {
-		ld := &loader{dc: true, gmin: g, t: 0, dt: 1}
+	finalOK := false
+	var lastErr error
+	for i, g := range gmins {
+		rung := fmt.Sprintf("gmin=%g", g)
+		ld := &loader{dc: true, gmin: g, t: 0, dt: 1, op: "dc-gmin", step: i}
 		if _, err := ns.solveNewton(ld, opts); err != nil {
-			if !solvedAny {
-				// Retry the ladder from scratch only if nothing worked yet.
-				lastErr = err
-				continue
+			lastErr = err
+			if solvedAny {
+				// A mid-ladder stumble must not discard converged progress:
+				// restore the last converged solution and try the next rung
+				// from there.
+				copy(ns.x, conv)
+				rep.Record("dc-gmin", rung, diag.OutcomeSkipped, "restored last converged iterate", err)
+			} else {
+				rep.Record("dc-gmin", rung, diag.OutcomeFailed, "", err)
 			}
-			return nil, fmt.Errorf("spice: gmin stepping failed at gmin=%g: %w", g, err)
+			continue
 		}
 		solvedAny = true
+		finalOK = i == len(gmins)-1
+		copy(conv, ns.x)
+		rep.Record("dc-gmin", rung, diag.OutcomeOK, "", nil)
 	}
-	if !solvedAny {
-		return nil, fmt.Errorf("spice: DC operating point failed: %w", lastErr)
+	if !finalOK {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("spice: gmin ladder did not reach target gmin")
+		}
+		return nil, lastErr
 	}
+	out := make([]float64, ns.n)
+	copy(out, ns.x)
+	return out, nil
+}
+
+// dcSourceRamp performs source stepping: independent sources are attenuated
+// to zero (a trivially solvable system), then ramped back to full strength
+// in continuation steps, finishing with a full-strength polish at the
+// target gmin.
+func (c *Circuit) dcSourceRamp(ns *newtonState, opts TranOpts, rep *diag.Report) ([]float64, error) {
+	ramps := []float64{1, 0.75, 0.5, 0.25, 0.1, 0}
+	for i, ramp := range ramps {
+		rung := fmt.Sprintf("scale=%g", 1-ramp)
+		ld := &loader{dc: true, gmin: 1e-9, srcRamp: ramp, t: 0, dt: 1, op: "dc-ramp", step: i}
+		if _, err := ns.solveNewton(ld, opts); err != nil {
+			rep.Record("dc-ramp", rung, diag.OutcomeFailed, "", err)
+			return nil, err
+		}
+		rep.Record("dc-ramp", rung, diag.OutcomeOK, "", nil)
+	}
+	// Full sources converged at the stabilizing gmin; polish at the target.
+	ld := &loader{dc: true, gmin: 1e-12, t: 0, dt: 1, op: "dc-ramp", step: len(ramps)}
+	if _, err := ns.solveNewton(ld, opts); err != nil {
+		rep.Record("dc-ramp", "polish", diag.OutcomeFailed, "", err)
+		return nil, err
+	}
+	rep.Record("dc-ramp", "polish", diag.OutcomeOK, "", nil)
 	out := make([]float64, ns.n)
 	copy(out, ns.x)
 	return out, nil
@@ -308,7 +462,7 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 			ns.x[id] = v
 		}
 	} else {
-		x0, err := c.DCOperatingPoint()
+		x0, err := c.DCOperatingPointWith(DCOpts{Injector: opts.Injector, Report: opts.Report})
 		if err != nil {
 			return nil, fmt.Errorf("spice: Transient initial point: %w", err)
 		}
@@ -341,23 +495,52 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 	t := 0.0
 	for step := 1; step <= nSteps; step++ {
 		tTarget := float64(step) * opts.DT
-		// March to the grid point, subdividing on Newton failure.
+		// March to the grid point, recovering from Newton failures with a
+		// two-rung ladder: (1) retry the failing sub-interval with the
+		// strongly damping backward-Euler scheme, then (2) halve the step,
+		// until MaxHalvings is exhausted and the step declares collapse.
 		dt := tTarget - t
 		halvings := 0
+		forceBE := 0
 		for t < tTarget-1e-15*opts.TStop {
 			if dt > tTarget-t {
 				dt = tTarget - t
 			}
-			trap := opts.Method == Trapezoidal && beSteps <= 0
-			ld := &loader{t: t + dt, dt: dt, trap: trap, gmin: opts.Gmin}
+			trap := opts.Method == Trapezoidal && beSteps <= 0 && forceBE == 0
+			op := "tran-be"
+			if trap {
+				op = "tran-tr"
+			}
+			ld := &loader{t: t + dt, dt: dt, trap: trap, gmin: opts.Gmin, op: op, step: step}
 			copy(ns.xPrev, ns.x)
 			if _, err := ns.solveNewton(ld, opts); err != nil {
-				// Back out and halve.
+				// Back out the failed attempt.
 				copy(ns.x, ns.xPrev)
+				if trap {
+					// Rung 1: auto-switch TR→BE for this sub-interval before
+					// shrinking the step; BE's damping often absorbs the
+					// transient that defeated the trapezoidal solve.
+					forceBE = 2
+					opts.Report.Record("tran-step", "be-fallback", diag.OutcomeOK,
+						fmt.Sprintf("t=%g dt=%g", t+dt, dt), err)
+					continue
+				}
+				// Rung 2: halve the step.
 				halvings++
 				if halvings > opts.MaxHalvings {
-					return res, fmt.Errorf("spice: timestep collapsed at t=%g: %w", t, err)
+					res.Partial = true
+					res.PartialT = t
+					de := diag.New(diag.ErrTimestepCollapse, "spice.Transient")
+					de.Time = t
+					de.Step = step
+					de.Detail = fmt.Sprintf("dt=%g after %d halvings", dt, halvings-1)
+					de.Err = err
+					opts.Report.Record("tran-step", "collapse", diag.OutcomeFailed,
+						fmt.Sprintf("t=%g", t), de)
+					return res, de
 				}
+				opts.Report.Record("tran-step", "halve", diag.OutcomeOK,
+					fmt.Sprintf("t=%g dt=%g", t+dt, dt/2), err)
 				dt /= 2
 				continue
 			}
@@ -371,6 +554,9 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 			t += dt
 			if beSteps > 0 {
 				beSteps--
+			}
+			if forceBE > 0 {
+				forceBE--
 			}
 			// Gently re-expand after successful sub-steps.
 			if halvings > 0 {

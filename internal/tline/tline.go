@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/poly"
 )
 
@@ -21,10 +22,16 @@ type Line struct {
 }
 
 // Validate rejects non-physical parameter sets (R and C must be positive;
-// L may be zero for the RC limit).
+// L may be zero for the RC limit). NaN/Inf values — which plain sign
+// comparisons would let through — are rejected with a diag.ErrDomain-
+// matchable error.
 func (l Line) Validate() error {
+	if err := diag.CheckFinite("tline.Line",
+		[]string{"R", "L", "C"}, []float64{l.R, l.L, l.C}); err != nil {
+		return err
+	}
 	if l.R <= 0 || l.C <= 0 || l.L < 0 {
-		return fmt.Errorf("tline: invalid line parameters r=%g l=%g c=%g", l.R, l.L, l.C)
+		return fmt.Errorf("tline: invalid line parameters r=%g l=%g c=%g: %w", l.R, l.L, l.C, diag.ErrDomain)
 	}
 	return nil
 }
@@ -104,6 +111,24 @@ type Stage struct {
 	RS   float64 // driver series resistance, Ω
 	CP   float64 // driver output parasitic capacitance, F
 	CL   float64 // load capacitance, F
+}
+
+// Validate rejects non-physical stages: a bad line, NaN/Inf driver or load
+// parameters, or non-positive segment length. Domain violations match
+// diag.ErrDomain.
+func (st Stage) Validate() error {
+	if err := st.Line.Validate(); err != nil {
+		return err
+	}
+	if err := diag.CheckFinite("tline.Stage",
+		[]string{"H", "RS", "CP", "CL"}, []float64{st.H, st.RS, st.CP, st.CL}); err != nil {
+		return err
+	}
+	if st.H <= 0 || st.RS < 0 || st.CP < 0 || st.CL < 0 {
+		return fmt.Errorf("tline: invalid stage h=%g rs=%g cp=%g cl=%g: %w",
+			st.H, st.RS, st.CP, st.CL, diag.ErrDomain)
+	}
+	return nil
 }
 
 // TransferExact evaluates the exact Eq. (1) transfer function

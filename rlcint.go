@@ -24,6 +24,7 @@ package rlcint
 import (
 	"rlcint/internal/baseline"
 	"rlcint/internal/core"
+	"rlcint/internal/diag"
 	"rlcint/internal/extract"
 	"rlcint/internal/pade"
 	"rlcint/internal/relia"
@@ -32,6 +33,41 @@ import (
 	"rlcint/internal/tech"
 	"rlcint/internal/tline"
 )
+
+// Typed solver diagnostics: every iterative routine in the library reports
+// failures that wrap exactly one of these sentinels, matchable with
+// errors.Is; the structured context travels in a *SolverError extractable
+// with errors.As.
+var (
+	// ErrNonConvergence marks an iterative solve that exhausted its budget
+	// or stalled without meeting its tolerance.
+	ErrNonConvergence = diag.ErrNonConvergence
+	// ErrSingularJacobian marks a linear(ized) system with no usable pivot.
+	ErrSingularJacobian = diag.ErrSingularJacobian
+	// ErrTimestepCollapse marks transient step control that halved past its
+	// floor without recovering; the accompanying result is partial.
+	ErrTimestepCollapse = diag.ErrTimestepCollapse
+	// ErrDomain marks an input outside a routine's domain (NaN/Inf values,
+	// negative tolerances, thresholds outside their interval, ...).
+	ErrDomain = diag.ErrDomain
+)
+
+// SolverError is a typed solver failure carrying structured context (time,
+// iteration, residual norm, gmin level, damping level).
+type SolverError = diag.Error
+
+// DiagReport collects the recovery-ladder attempts of one solver run; pass
+// one to OptimizeWithReport (or spice.TranOpts.Report) and inspect or print
+// it afterwards.
+type DiagReport = diag.Report
+
+// DiagAttempt is one recorded rung of a recovery ladder.
+type DiagAttempt = diag.Attempt
+
+// DiagString renders an error for human consumption: typed solver failures
+// get a multi-line breakdown of their context, and a non-nil report appends
+// the recovery attempts. Plain errors render as themselves.
+func DiagString(err error, rep *DiagReport) string { return diag.Describe(err, rep) }
 
 // Unit conversion constants (the paper's engineering units to SI).
 const (
@@ -121,6 +157,13 @@ type RCOptimum = repeater.RCOptimum
 // threshold f (0 → 50%). This is the paper's core methodology.
 func Optimize(t Technology, l, f float64) (Optimum, error) {
 	return core.Optimize(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f})
+}
+
+// OptimizeWithReport is Optimize with a recovery-ladder report collector:
+// rep records which optimizer rungs ran (Newton cold start, perturbed
+// multi-starts, Nelder–Mead fallback, polish) and how each fared.
+func OptimizeWithReport(t Technology, l, f float64, rep *DiagReport) (Optimum, error) {
+	return core.Optimize(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f, Report: rep})
 }
 
 // OptimizeRC returns the closed-form Elmore/RC optimum (h_optRC, k_optRC,
