@@ -7,21 +7,33 @@
 // Usage:
 //
 //	mc [-tech 100nm] [-h 11.1] [-k 528] [-lmin 0.5] [-lmax 4.5] [-mode 0]
-//	   [-n 500] [-seed 1] [-penalty]
+//	   [-n 500] [-seed 1] [-penalty] [-workers 4] [-timeout 30s] [-trials out.csv]
 //
 // -h in mm; -lmin/-lmax/-mode in nH/mm (mode 0 selects a uniform
 // distribution, nonzero a triangular one peaked there). -penalty runs one
 // optimization per sample and is correspondingly slower.
+//
+// Run control: trials are evaluated over a bounded worker pool (-workers);
+// results are bit-identical for every worker count because each trial draws
+// from its own seed-derived RNG stream. -trials streams completed trials to
+// a CSV as they finish, in trial order, so a run stopped by ^C or -timeout
+// keeps every completed row and still prints the statistics of the prefix.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"rlcint"
 	"rlcint/internal/core"
 	"rlcint/internal/mc"
+	"rlcint/internal/runctl"
 )
 
 func main() {
@@ -34,7 +46,13 @@ func main() {
 	n := flag.Int("n", 500, "number of samples")
 	seed := flag.Int64("seed", 1, "random seed (runs are deterministic)")
 	penalty := flag.Bool("penalty", false, "also compute the penalty over per-sample optima")
+	workers := flag.Int("workers", 1, "parallel trial evaluations (results identical for any count)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
+	trialsPath := flag.String("trials", "", "stream per-trial values to this CSV as they complete")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	t, err := rlcint.TechByName(*techName)
 	if err != nil {
@@ -50,9 +68,34 @@ func main() {
 	}
 	p := core.Problem{Device: rlcint.DeviceOf(t), Line: rlcint.Line{R: t.R, C: t.C}}
 
-	st, err := mc.DelayUnderUncertainty(p, *hMM*rlcint.MM, *k, dist, *n, *seed)
+	opts := mc.Opts{Workers: *workers, Limits: runctl.Limits{Timeout: *timeout}}
+	if *trialsPath != "" {
+		fh, err := os.Create(*trialsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		w := bufio.NewWriter(fh)
+		fmt.Fprintln(w, "trial,tau_ps")
+		w.Flush()
+		// Completed trials land on disk immediately, in order, so an
+		// interrupted run leaves a valid CSV prefix.
+		opts.OnTrial = func(i int, v float64) error {
+			fmt.Fprintf(w, "%d,%.4f\n", i, v/rlcint.PS)
+			return w.Flush()
+		}
+	}
+
+	start := time.Now()
+	stopped := false
+	st, err := mc.DelayUnderUncertaintyCtx(ctx, p, *hMM*rlcint.MM, *k, dist, *n, *seed, opts)
 	if err != nil {
-		fatal(err)
+		if !runctl.IsStop(err) || st.N < 2 {
+			fatal(err)
+		}
+		stopped = true
+		fmt.Fprintf(os.Stderr, "mc: stopped after %d/%d trials (%v): %v\n", st.N, *n,
+			time.Since(start).Round(time.Millisecond), err)
 	}
 	fmt.Printf("%s, fixed design h=%.1f mm k=%.0f, l ~ [%.1f, %.1f] nH/mm, %d samples\n",
 		t.Name, *hMM, *k, *lmin, *lmax, st.N)
@@ -66,12 +109,20 @@ func main() {
 		if np > 60 {
 			np = 60 // one optimization per sample
 		}
-		ps, err := mc.PenaltyUnderUncertainty(p, *hMM*rlcint.MM, *k, dist, np, *seed)
+		popts := mc.Opts{Workers: *workers, Limits: runctl.Limits{Timeout: *timeout}}
+		ps, err := mc.PenaltyUnderUncertaintyCtx(ctx, p, *hMM*rlcint.MM, *k, dist, np, *seed, popts)
 		if err != nil {
-			fatal(err)
+			if !runctl.IsStop(err) || ps.N < 2 {
+				fatal(err)
+			}
+			stopped = true
+			fmt.Fprintf(os.Stderr, "mc: penalty pass stopped after %d/%d trials: %v\n", ps.N, np, err)
 		}
 		fmt.Printf("penalty over per-sample optimum (%d samples): mean %.1f%%, p95 %.1f%%, worst %.1f%%\n",
 			ps.N, 100*(ps.Mean-1), 100*(ps.P95-1), 100*(ps.Max-1))
+	}
+	if stopped {
+		os.Exit(2) // interrupted: the printed statistics cover only a prefix
 	}
 }
 

@@ -4,18 +4,23 @@
 //
 // Usage:
 //
-//	rlcopt [-tech 100nm] [-l 2.0] [-f 0.5] [-length 0]
+//	rlcopt [-tech 100nm] [-l 2.0] [-f 0.5] [-length 0] [-timeout 30s]
 //
 // -l is the line inductance in nH/mm; -length (mm), when nonzero, also
-// reports the total delay of a line of that length.
+// reports the total delay of a line of that length. ^C or -timeout stop
+// the optimizer cooperatively with a typed run-control error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"rlcint"
+	"rlcint/internal/core"
 )
 
 func main() {
@@ -24,7 +29,11 @@ func main() {
 	f := flag.Float64("f", 0.5, "delay threshold fraction (0,1)")
 	lengthMM := flag.Float64("length", 0, "total line length to report, mm (0 = skip)")
 	diagFlag := flag.Bool("diag", false, "print the optimizer's recovery-ladder report")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the optimization (0 = none)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	t, err := rlcint.TechByName(*techName)
 	if err != nil {
@@ -40,9 +49,15 @@ func main() {
 	if *diagFlag {
 		rep = &rlcint.DiagReport{}
 	}
-	opt, err := rlcint.OptimizeWithReport(t, l, *f, rep)
+	opt, err := core.OptimizeCtx(ctx, core.Problem{
+		Device: rlcint.DeviceOf(t), Line: rlcint.LineOf(t, l), F: *f,
+		Report: rep, Limits: rlcint.RunLimits{Timeout: *timeout},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlcopt:", rlcint.DiagString(err, rep))
+		if rlcint.IsRunStop(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 	ifo, err := rlcint.OptimizeIF(t, l)

@@ -6,19 +6,30 @@
 // Usage:
 //
 //	spicesim -i deck.cir [-tstop 10n] [-dt 10p] [-probe out,mid] [-o wave.csv] [-ic]
+//	         [-timeout 30s] [-checkpoint run.ckpt [-every 64]] [-resume]
 //
 // The window may come from the deck's ".tran <dt> <tstop>" directive instead
 // of the flags.
+//
+// Run control: SIGINT/SIGTERM (or -timeout) stop the solve cooperatively —
+// the waveform recorded so far is still written, and when -checkpoint is
+// set the last snapshot survives on disk, so re-running with -resume
+// continues the run and produces a final waveform bit-identical to an
+// uninterrupted one.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
 	"rlcint/internal/spice"
 	"rlcint/internal/waveform"
 )
@@ -31,7 +42,16 @@ func main() {
 	probes := flag.String("probe", "", "comma-separated node names (default: all nodes)")
 	useICs := flag.Bool("ic", false, "start from zero/IC state instead of the DC operating point")
 	be := flag.Bool("be", false, "use backward Euler instead of trapezoidal integration")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none)")
+	ckpt := flag.String("checkpoint", "", "write resumable snapshots to this file")
+	every := flag.Int("every", 0, "checkpoint cadence in output grid steps (default 64)")
+	resume := flag.Bool("resume", false, "continue from the -checkpoint file instead of starting fresh")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the solver context; the solver unwinds within
+	// one integration step and the partial waveform still gets written.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	in := os.Stdin
 	if *inPath != "" {
@@ -80,20 +100,46 @@ func main() {
 	}
 
 	rep := &diag.Report{}
-	opts := spice.TranOpts{TStop: tStop, DT: step, UseICs: *useICs, Report: rep}
+	opts := spice.TranOpts{
+		TStop: tStop, DT: step, UseICs: *useICs, Report: rep,
+		Limits:          runctl.Limits{Timeout: *timeout},
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *every,
+	}
 	if *be {
 		opts.Method = spice.BackwardEuler
 	}
-	res, err := c.Transient(opts, plist...)
+	var res *spice.Result
+	stopped := false
+	if *resume {
+		if *ckpt == "" {
+			fatal(fmt.Errorf("-resume requires -checkpoint"), nil)
+		}
+		cp, lerr := spice.LoadCheckpoint(*ckpt)
+		if lerr != nil {
+			fatal(lerr, nil)
+		}
+		fmt.Fprintf(os.Stderr, "spicesim: resuming from %s (step %d, t=%g)\n",
+			*ckpt, cp.Step, float64(cp.Step)*cp.DT)
+		res, err = c.TransientResumeCtx(ctx, cp, opts, plist...)
+	} else {
+		res, err = c.TransientCtx(ctx, opts, plist...)
+	}
 	if err != nil {
-		// A timestep collapse still returns the samples recorded before the
-		// abort; write them so the waveform up to the failure is inspectable.
-		if !errors.Is(err, diag.ErrTimestepCollapse) || res == nil {
+		// A timestep collapse or a run-control stop (SIGINT, -timeout) still
+		// returns the samples recorded before the abort; write them so the
+		// waveform up to the interruption is inspectable.
+		stopped = runctl.IsStop(err)
+		partial := errors.Is(err, diag.ErrTimestepCollapse) || stopped
+		if !partial || res == nil {
 			fatal(err, rep)
 		}
 		fmt.Fprintf(os.Stderr, "spicesim: %s\n", diag.Describe(err, rep))
 		fmt.Fprintf(os.Stderr, "spicesim: writing partial waveform (%d samples up to t=%g)\n",
 			len(res.T), res.PartialT)
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "spicesim: re-run with -resume to continue from %s\n", *ckpt)
+		}
 	}
 
 	out := os.Stdout
@@ -102,14 +148,21 @@ func main() {
 		if err != nil {
 			fatal(err, nil)
 		}
-		defer f.Close()
 		out = f
 	}
 	if err := waveform.WriteCSV(out, res.T, res.Labels, res.Signals...); err != nil {
 		fatal(err, nil)
 	}
+	if out != os.Stdout {
+		if err := out.Close(); err != nil {
+			fatal(err, nil)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "spicesim: %d nodes, %d samples, tstop=%g dt=%g\n",
 		c.NumNodes(), len(res.T), tStop, step)
+	if stopped {
+		os.Exit(2) // distinguishes an interrupted run from a failure
+	}
 }
 
 func fatal(err error, rep *diag.Report) {

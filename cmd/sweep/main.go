@@ -1,6 +1,6 @@
 // Command sweep runs one-dimensional parameter sweeps of the RLC
-// repeater-insertion machinery and prints CSV to stdout. The swept variable
-// is one of:
+// repeater-insertion machinery and prints CSV to stdout (or -o). The swept
+// variable is one of:
 //
 //	l   line inductance (nH/mm)      — optimizes (h, k) at each point
 //	h   segment length (mm)          — fixed k, reports stage delay
@@ -10,15 +10,25 @@
 // Usage:
 //
 //	sweep -var l -from 0.1 -to 4.9 -steps 13 [-tech 100nm] [-l 2] [-h 11.1] [-k 528] [-f 0.5]
+//	      [-workers 4] [-timeout 30s] [-o out.csv]
+//
+// Points are evaluated over a bounded worker pool and rows stream to the
+// output in sweep order as soon as each point (and all before it) is done,
+// so a run stopped by ^C or -timeout keeps every completed row.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"rlcint"
 	"rlcint/internal/num"
+	"rlcint/internal/runctl"
 )
 
 func main() {
@@ -31,7 +41,13 @@ func main() {
 	hMM := flag.Float64("h", 11.1, "fixed segment length, mm")
 	k := flag.Float64("k", 528, "fixed repeater size")
 	f := flag.Float64("f", 0.5, "fixed delay threshold")
+	workers := flag.Int("workers", 1, "parallel point evaluations")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none)")
+	outPath := flag.String("o", "", "output CSV (default stdout)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	t, err := rlcint.TechByName(*techName)
 	if err != nil {
@@ -39,54 +55,97 @@ func main() {
 	}
 	pts := num.Linspace(*from, *to, *steps)
 
+	// Each sweep variant reduces to a header plus one row function; the
+	// pool and the streaming writer are shared.
+	var header string
+	var row func(x float64) (string, error)
 	switch *variable {
 	case "l":
-		fmt.Println("l_nH_mm,h_opt_mm,k_opt,tau_per_mm_ps,damping")
-		for _, x := range pts {
-			opt, err := rlcint.Optimize(t, x*rlcint.NHPerMM, *f)
+		header = "l_nH_mm,h_opt_mm,k_opt,tau_per_mm_ps,damping"
+		row = func(x float64) (string, error) {
+			opt, err := rlcint.OptimizeCtx(ctx, t, x*rlcint.NHPerMM, *f, rlcint.RunLimits{})
 			if err != nil {
-				fatal(fmt.Errorf("l=%v: %w", x, err))
+				return "", wrapPoint("l", x, err)
 			}
-			fmt.Printf("%g,%.4f,%.1f,%.4f,%s\n", x, opt.H/rlcint.MM, opt.K,
-				opt.PerUnit*rlcint.MM/rlcint.PS, opt.Model.Damping())
+			return fmt.Sprintf("%g,%.4f,%.1f,%.4f,%s", x, opt.H/rlcint.MM, opt.K,
+				opt.PerUnit*rlcint.MM/rlcint.PS, opt.Model.Damping()), nil
 		}
 	case "h":
-		fmt.Println("h_mm,tau_ps,tau_per_mm_ps,lcrit_nH_mm")
-		for _, x := range pts {
+		header = "h_mm,tau_ps,tau_per_mm_ps,lcrit_nH_mm"
+		row = func(x float64) (string, error) {
 			st := rlcint.StageOf(t, *lNH*rlcint.NHPerMM, x*rlcint.MM, *k)
 			tau, err := rlcint.Delay(st, *f)
 			if err != nil {
-				fatal(fmt.Errorf("h=%v: %w", x, err))
+				return "", wrapPoint("h", x, err)
 			}
-			fmt.Printf("%g,%.4f,%.4f,%.4f\n", x, tau/rlcint.PS,
-				tau/(x*rlcint.MM)*rlcint.MM/rlcint.PS, rlcint.LCrit(st)/rlcint.NHPerMM)
+			return fmt.Sprintf("%g,%.4f,%.4f,%.4f", x, tau/rlcint.PS,
+				tau/(x*rlcint.MM)*rlcint.MM/rlcint.PS, rlcint.LCrit(st)/rlcint.NHPerMM), nil
 		}
 	case "k":
-		fmt.Println("k,tau_ps,lcrit_nH_mm")
-		for _, x := range pts {
+		header = "k,tau_ps,lcrit_nH_mm"
+		row = func(x float64) (string, error) {
 			st := rlcint.StageOf(t, *lNH*rlcint.NHPerMM, *hMM*rlcint.MM, x)
 			tau, err := rlcint.Delay(st, *f)
 			if err != nil {
-				fatal(fmt.Errorf("k=%v: %w", x, err))
+				return "", wrapPoint("k", x, err)
 			}
-			fmt.Printf("%g,%.4f,%.4f\n", x, tau/rlcint.PS, rlcint.LCrit(st)/rlcint.NHPerMM)
+			return fmt.Sprintf("%g,%.4f,%.4f", x, tau/rlcint.PS, rlcint.LCrit(st)/rlcint.NHPerMM), nil
 		}
 	case "f":
-		fmt.Println("f,h_opt_mm,k_opt,tau_per_mm_ps")
-		for _, x := range pts {
+		header = "f,h_opt_mm,k_opt,tau_per_mm_ps"
+		row = func(x float64) (string, error) {
 			if x <= 0 || x >= 1 {
-				fatal(fmt.Errorf("threshold %v outside (0,1)", x))
+				return "", fmt.Errorf("threshold %v outside (0,1)", x)
 			}
-			opt, err := rlcint.Optimize(t, *lNH*rlcint.NHPerMM, x)
+			opt, err := rlcint.OptimizeCtx(ctx, t, *lNH*rlcint.NHPerMM, x, rlcint.RunLimits{})
 			if err != nil {
-				fatal(fmt.Errorf("f=%v: %w", x, err))
+				return "", wrapPoint("f", x, err)
 			}
-			fmt.Printf("%g,%.4f,%.1f,%.4f\n", x, opt.H/rlcint.MM, opt.K,
-				opt.PerUnit*rlcint.MM/rlcint.PS)
+			return fmt.Sprintf("%g,%.4f,%.1f,%.4f", x, opt.H/rlcint.MM, opt.K,
+				opt.PerUnit*rlcint.MM/rlcint.PS), nil
 		}
 	default:
 		fatal(fmt.Errorf("unknown variable %q (want l, h, k or f)", *variable))
 	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		fh, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		out = fh
+	}
+	w := bufio.NewWriter(out)
+	fmt.Fprintln(w, header)
+	w.Flush()
+
+	ctl := runctl.New(ctx, rlcint.RunLimits{Timeout: *timeout})
+	done := 0
+	err = runctl.Stream(ctl, *workers, len(pts),
+		func(i int) (string, error) { return row(pts[i]) },
+		func(i int, line string) error {
+			// Rows flush as they complete, in order, so an interrupted sweep
+			// leaves a valid CSV prefix behind.
+			fmt.Fprintln(w, line)
+			done++
+			return w.Flush()
+		})
+	if err != nil {
+		if runctl.IsStop(err) {
+			fmt.Fprintf(os.Stderr, "sweep: stopped after %d/%d points: %v\n", done, len(pts), err)
+			os.Exit(2)
+		}
+		fatal(err)
+	}
+}
+
+func wrapPoint(name string, x float64, err error) error {
+	if rlcint.IsRunStop(err) {
+		return err // keep stops matchable for the pool's short-circuit
+	}
+	return fmt.Errorf("%s=%v: %w", name, x, err)
 }
 
 func fatal(err error) {

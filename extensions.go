@@ -1,6 +1,7 @@
 package rlcint
 
 import (
+	"context"
 	"io"
 
 	"rlcint/internal/core"
@@ -108,11 +109,30 @@ func DelayUnderUncertainty(t Technology, h, k float64, lDist mc.Dist, n int, see
 	return mc.DelayUnderUncertainty(core.Problem{Device: DeviceOf(t), Line: Line{R: t.R, C: t.C}}, h, k, lDist, n, seed)
 }
 
+// UncertaintyOpts configures a Monte-Carlo run's execution: trial
+// parallelism (bit-identical to serial for any worker count), run limits,
+// and an in-order streaming hook for completed trials.
+type UncertaintyOpts = mc.Opts
+
+// DelayUnderUncertaintyCtx is DelayUnderUncertainty under run control with
+// optional parallel trial evaluation. A stopped run returns the statistics
+// of the completed trial prefix alongside the typed stop error.
+func DelayUnderUncertaintyCtx(ctx context.Context, t Technology, h, k float64, lDist mc.Dist, n int, seed int64, o UncertaintyOpts) (UncertaintyStats, error) {
+	return mc.DelayUnderUncertaintyCtx(ctx, core.Problem{Device: DeviceOf(t), Line: Line{R: t.R, C: t.C}}, h, k, lDist, n, seed, o)
+}
+
 // PenaltyUnderUncertainty samples l and returns the statistics of the fixed
 // design's delay-per-length over the per-sample optimum (the Monte-Carlo
 // Figure 8).
 func PenaltyUnderUncertainty(t Technology, h, k float64, lDist mc.Dist, n int, seed int64) (UncertaintyStats, error) {
 	return mc.PenaltyUnderUncertainty(core.Problem{Device: DeviceOf(t), Line: Line{R: t.R, C: t.C}}, h, k, lDist, n, seed)
+}
+
+// PenaltyUnderUncertaintyCtx is PenaltyUnderUncertainty under run control
+// with optional parallel trial evaluation; semantics match
+// DelayUnderUncertaintyCtx.
+func PenaltyUnderUncertaintyCtx(ctx context.Context, t Technology, h, k float64, lDist mc.Dist, n int, seed int64, o UncertaintyOpts) (UncertaintyStats, error) {
+	return mc.PenaltyUnderUncertaintyCtx(ctx, core.Problem{Device: DeviceOf(t), Line: Line{R: t.R, C: t.C}}, h, k, lDist, n, seed, o)
 }
 
 // XtalkConfig configures a coupled-pair crosstalk transient (aggressor step

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,7 @@ import (
 	"rlcint/internal/num"
 	"rlcint/internal/pade"
 	"rlcint/internal/repeater"
+	"rlcint/internal/runctl"
 	"rlcint/internal/tline"
 )
 
@@ -32,6 +34,14 @@ type Problem struct {
 	// Report, when non-nil, records which optimizer ladder rungs ran
 	// (Newton cold start, perturbed multi-starts, Nelder–Mead, polish).
 	Report *diag.Report
+	// Limits bound the optimization; MaxIters counts inner optimizer
+	// iterations (Newton and simplex) across all ladder rungs. Enforced by
+	// OptimizeCtx; Optimize honours them with a background context.
+	Limits runctl.Limits
+
+	// ctl carries the active run controller through the ladder; set by
+	// OptimizeCtx.
+	ctl *runctl.Controller
 }
 
 func (p Problem) threshold() float64 {
@@ -80,6 +90,9 @@ var ErrOptimize = errors.New("core: optimization failed")
 
 // Eval builds the two-pole model and solves the delay for a given (h, k).
 func (p Problem) Eval(h, k float64) (pade.Model, pade.DelayResult, error) {
+	if err := p.ctl.Check("core.Eval"); err != nil {
+		return pade.Model{}, pade.DelayResult{}, err
+	}
 	if err := p.Injector.At(diag.Site{Op: "core.eval"}); err != nil {
 		return pade.Model{}, pade.DelayResult{}, err
 	}
@@ -91,7 +104,7 @@ func (p Problem) Eval(h, k float64) (pade.Model, pade.DelayResult, error) {
 	if err != nil {
 		return pade.Model{}, pade.DelayResult{}, err
 	}
-	d, err := m.Delay(p.threshold())
+	d, err := m.DelayWith(p.ctl, p.threshold())
 	return m, d, err
 }
 
@@ -199,9 +212,20 @@ func (p Problem) stationarity(h, k float64) (g1, g2 float64, err error) {
 // point wins. Scale invariance is handled by normalizing h and k to their RC
 // optima inside the solver.
 func Optimize(p Problem) (Optimum, error) {
+	return OptimizeCtx(context.Background(), p)
+}
+
+// OptimizeCtx is Optimize under run control: ctx cancellation and p.Limits
+// are checked at every inner optimizer iteration and objective evaluation.
+// A run-control stop is terminal — it aborts the whole ladder immediately
+// instead of being retried as a convergence failure on the next rung.
+// Panics anywhere in the ladder surface as diag.ErrPanic SolverErrors.
+func OptimizeCtx(ctx context.Context, p Problem) (opt Optimum, err error) {
+	defer diag.RecoverTo(&err, "core.Optimize")
 	if err := p.Validate(); err != nil {
 		return Optimum{}, err
 	}
+	p.ctl = runctl.New(ctx, p.Limits)
 	rc, err := repeater.RCOptimal(p.Device, tline.Line{R: p.Line.R, C: p.Line.C})
 	if err != nil {
 		return Optimum{}, err
@@ -258,10 +282,14 @@ func Optimize(p Problem) (Optimum, error) {
 		MaxIter: 60,
 		Damping: true,
 		Lower:   []float64{1e-3, 1e-3},
+		Ctl:     p.ctl,
 	}
 
 	// Rung 1: Newton cold start from the RC optimum.
 	coldOK, nerr := tryNewton(0, "cold-start", []float64{1, 1}, coldOpts)
+	if runctl.IsStop(nerr) {
+		return Optimum{}, nerr
+	}
 
 	// Rung 2: perturbed multi-starts — retry the paper's Newton from points
 	// scattered around the RC optimum before conceding to the derivative-
@@ -270,6 +298,9 @@ func Optimize(p Problem) (Optimum, error) {
 		restarts := [][]float64{{1.25, 0.8}, {0.8, 1.25}, {1.6, 1.6}, {0.6, 0.6}}
 		for i, x0 := range restarts {
 			ok, err := tryNewton(i+1, fmt.Sprintf("multi-start(%g,%g)", x0[0], x0[1]), x0, coldOpts)
+			if runctl.IsStop(err) {
+				return Optimum{}, err
+			}
 			if ok {
 				nerr = err
 				break
@@ -283,8 +314,11 @@ func Optimize(p Problem) (Optimum, error) {
 		return p.PerUnitDelay(rc.H*math.Exp(x[0]), rc.K*math.Exp(x[1]))
 	}
 	xnm, _, nmErr := num.NelderMead(obj, []float64{0, 0}, num.NelderMeadOptions{
-		Tol: 1e-13, MaxIter: 2000, InitScale: 0.25, MaxRestart: 3,
+		Tol: 1e-13, MaxIter: 2000, InitScale: 0.25, MaxRestart: 3, Ctl: p.ctl,
 	})
+	if runctl.IsStop(nmErr) {
+		return Optimum{}, nmErr
+	}
 	if nmErr == nil {
 		h, k := rc.H*math.Exp(xnm[0]), rc.K*math.Exp(xnm[1])
 		if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
@@ -297,8 +331,11 @@ func Optimize(p Problem) (Optimum, error) {
 		// restores quadratic convergence when the cold start wandered into
 		// a flat region of (g1, g2).
 		pres, perr := num.NewtonND(sysAt(-1), []float64{h / rc.H, k / rc.K}, num.NewtonNDOptions{
-			Tol: 1e-9, MaxIter: 20, Damping: true, Lower: []float64{1e-3, 1e-3},
+			Tol: 1e-9, MaxIter: 20, Damping: true, Lower: []float64{1e-3, 1e-3}, Ctl: p.ctl,
 		})
+		if runctl.IsStop(perr) {
+			return Optimum{}, perr
+		}
 		if perr == nil && len(pres.X) == 2 {
 			ph, pk := pres.X[0]*rc.H, pres.X[1]*rc.K
 			if pu := p.PerUnitDelay(ph, pk); !math.IsInf(pu, 1) {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/pade"
 	"rlcint/internal/repeater"
+	"rlcint/internal/runctl"
 	"rlcint/internal/tech"
 	"rlcint/internal/tline"
 )
@@ -35,6 +38,16 @@ type SweepPoint struct {
 // Sweep runs the full Section 3 study for one technology node over the given
 // per-unit-length inductances (H/m), at threshold f (0 → 50%).
 func Sweep(node tech.Node, ls []float64, f float64) ([]SweepPoint, error) {
+	return SweepCtx(context.Background(), runctl.Limits{}, node, ls, f)
+}
+
+// SweepCtx is Sweep under run control: cancellation and limits are checked
+// before each inductance point (MaxIters counts points), and a stopped
+// sweep returns the completed prefix alongside the typed stop error so
+// callers can persist partial studies.
+func SweepCtx(ctx context.Context, lim runctl.Limits, node tech.Node, ls []float64, f float64) (out []SweepPoint, err error) {
+	defer diag.RecoverTo(&err, "core.Sweep")
+	ctl := runctl.New(ctx, lim)
 	base := Problem{
 		Device: repeaterOf(node),
 		Line:   tline.Line{R: node.R, C: node.C},
@@ -47,18 +60,27 @@ func Sweep(node tech.Node, ls []float64, f float64) ([]SweepPoint, error) {
 	// Reference: optimum of the same two-pole machinery with l = 0.
 	zero := base
 	zero.Line.L = 0
-	zeroOpt, err := Optimize(zero)
+	zeroOpt, err := OptimizeCtx(ctl.Context(), zero)
 	if err != nil {
+		if runctl.IsStop(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: Sweep l=0 reference: %w", err)
 	}
 
-	out := make([]SweepPoint, 0, len(ls))
+	out = make([]SweepPoint, 0, len(ls))
 	for _, l := range ls {
+		if err := ctl.Tick("core.Sweep"); err != nil {
+			return out, err
+		}
 		p := base
 		p.Line.L = l
-		opt, err := Optimize(p)
+		opt, err := OptimizeCtx(ctl.Context(), p)
 		if err != nil {
-			return nil, fmt.Errorf("core: Sweep l=%g: %w", l, err)
+			if runctl.IsStop(err) {
+				return out, err
+			}
+			return out, fmt.Errorf("core: Sweep l=%g: %w", l, err)
 		}
 		pt := SweepPoint{
 			L:          l,

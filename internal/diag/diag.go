@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // The error kinds. Every typed solver failure wraps exactly one of these.
@@ -42,6 +43,20 @@ var (
 	// ErrDomain marks an input outside a routine's domain: NaN/Inf values,
 	// negative tolerances, thresholds outside their interval, and the like.
 	ErrDomain = errors.New("diag: input outside domain")
+	// ErrCancelled marks a solve stopped cooperatively because its context
+	// was cancelled; any accompanying result follows the partial-result
+	// contract.
+	ErrCancelled = errors.New("diag: run cancelled")
+	// ErrDeadline marks a solve stopped because its wall-clock budget (or
+	// context deadline) expired.
+	ErrDeadline = errors.New("diag: wall-clock budget exceeded")
+	// ErrBudget marks a solve stopped because its cooperative iteration
+	// budget was exhausted.
+	ErrBudget = errors.New("diag: iteration budget exhausted")
+	// ErrPanic marks a solver panic (index fault, NaN poison, ...) converted
+	// into a typed error at a public API boundary; the Error carries the
+	// stack of the panicking goroutine.
+	ErrPanic = errors.New("diag: solver panicked")
 )
 
 // Error is a solver failure with structured context. Kind is one of the
@@ -56,8 +71,14 @@ type Error struct {
 	Residual  float64 // last residual infinity-norm (NaN when inapplicable)
 	Gmin      float64 // gmin level in effect (NaN when inapplicable)
 	Damping   float64 // last line-search damping factor (NaN when inapplicable)
-	Detail    string  // free-form context
-	Err       error   // wrapped cause, may be nil
+	// Elapsed is the wall-clock time the run had consumed when run control
+	// stopped it (0 when inapplicable).
+	Elapsed time.Duration
+	// Stack is the stack trace captured when a panic was converted into this
+	// error (nil otherwise).
+	Stack  []byte
+	Detail string // free-form context
+	Err    error  // wrapped cause, may be nil
 }
 
 // New returns an Error of the given kind with inapplicable context fields
@@ -100,6 +121,9 @@ func (e *Error) Error() string {
 	}
 	if !math.IsNaN(e.Damping) {
 		fmt.Fprintf(&b, " damping=%g", e.Damping)
+	}
+	if e.Elapsed > 0 {
+		fmt.Fprintf(&b, " elapsed=%s", e.Elapsed.Round(time.Millisecond))
 	}
 	if e.Detail != "" {
 		fmt.Fprintf(&b, " (%s)", e.Detail)
@@ -173,6 +197,17 @@ func Describe(err error, rep *Report) string {
 		}
 		if !math.IsNaN(de.Gmin) {
 			fmt.Fprintf(&b, "\n  gmin: %g", de.Gmin)
+		}
+		if de.Elapsed > 0 {
+			fmt.Fprintf(&b, "\n  elapsed: %s", de.Elapsed.Round(time.Millisecond))
+		}
+		if len(de.Stack) > 0 {
+			b.WriteString("\n  stack:\n")
+			for _, line := range strings.Split(strings.TrimRight(string(de.Stack), "\n"), "\n") {
+				b.WriteString("    ")
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
 		}
 	}
 	if s := rep.Summary(); s != "" {

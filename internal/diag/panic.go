@@ -1,0 +1,45 @@
+package diag
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// RecoverTo converts a panic on the current goroutine into a typed *Error of
+// kind ErrPanic carrying the panic value and the stack, and stores it in
+// *errp. It must be installed with defer directly at the boundary to guard:
+//
+//	func Solve(...) (err error) {
+//	    defer diag.RecoverTo(&err, "pkg.Solve")
+//	    ...
+//	}
+//
+// Every public entry point of the solver stack installs one of these, so an
+// index fault or NaN-poisoned slice access deep in a device eval surfaces as
+// a matchable SolverError instead of crashing the process. When no panic is
+// in flight it leaves *errp untouched.
+func RecoverTo(errp *error, op string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	de := New(ErrPanic, op)
+	de.Detail = fmt.Sprint(r)
+	de.Stack = debug.Stack()
+	if cause, ok := r.(error); ok {
+		de.Err = cause
+	}
+	*errp = de
+}
+
+// PanicAt builds an Injector that panics with msg at every site whose Op
+// equals op and whose Step is at least fromStep — the tool for proving that
+// panic containment converts a device-eval crash into a typed error.
+func PanicAt(op string, fromStep int, msg string) *Injector {
+	return &Injector{Fault: func(s Site) error {
+		if s.Op == op && s.Step >= fromStep {
+			panic(msg)
+		}
+		return nil
+	}}
+}

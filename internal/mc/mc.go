@@ -8,12 +8,15 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"rlcint/internal/core"
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
 )
 
 // Dist is a one-dimensional sampling distribution.
@@ -84,10 +87,54 @@ func min(a, b int) int {
 	return b
 }
 
+// Opts configures a Monte-Carlo run's execution — not its statistics, which
+// are fixed by (distribution, n, seed).
+type Opts struct {
+	// Workers is the trial-evaluation parallelism (default 1, i.e. serial).
+	// The sampled values — and therefore the Stats — are bit-identical for
+	// every worker count: each trial draws from its own RNG stream derived
+	// from (seed, trial index), never from a shared sequential stream.
+	Workers int
+	// Limits bound the run; MaxIters counts trials.
+	Limits runctl.Limits
+	// OnTrial, when non-nil, receives each trial's value in trial order as
+	// soon as all earlier trials have been delivered — the streaming hook
+	// CLIs use to persist completed rows before a cancellation. Returning an
+	// error stops the run.
+	OnTrial func(i int, v float64) error
+}
+
+func (o Opts) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// trialSeed derives a decorrelated per-trial RNG seed from the run seed and
+// the trial index with a splitmix64-style mix, so trial i's draw is a pure
+// function of (seed, i) — the property that makes parallel execution
+// bit-identical to serial.
+func trialSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // DelayUnderUncertainty samples the line inductance from lDist (H/m) and
 // evaluates the 50%-threshold stage delay of a FIXED design (h, k) for the
 // given technology problem at each sample. Deterministic for a given seed.
 func DelayUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, seed int64) (Stats, error) {
+	return DelayUnderUncertaintyCtx(context.Background(), p, h, k, lDist, n, seed, Opts{})
+}
+
+// DelayUnderUncertaintyCtx is DelayUnderUncertainty under run control with
+// optional parallel trial evaluation (see Opts). A stopped run returns the
+// statistics of the completed trial prefix (zero Stats when fewer than two
+// trials finished) alongside the typed stop error.
+func DelayUnderUncertaintyCtx(ctx context.Context, p core.Problem, h, k float64, lDist Dist, n int, seed int64, o Opts) (st Stats, err error) {
+	defer diag.RecoverTo(&err, "mc.DelayUnderUncertainty")
 	if err := p.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -97,22 +144,23 @@ func DelayUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, seed
 	if lDist == nil {
 		return Stats{}, fmt.Errorf("mc: nil distribution")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	samples, err := runTrials(ctx, o, n, seed, func(i int, rng *rand.Rand) (float64, error) {
 		l := lDist.Sample(rng)
 		if l < 0 {
-			return Stats{}, fmt.Errorf("mc: sampled negative inductance %g", l)
+			return 0, fmt.Errorf("mc: sampled negative inductance %g", l)
 		}
 		q := p
 		q.Line.L = l
 		_, d, err := q.Eval(h, k)
 		if err != nil {
-			return Stats{}, fmt.Errorf("mc: sample %d (l=%g): %w", i, l, err)
+			return 0, fmt.Errorf("mc: sample %d (l=%g): %w", i, l, err)
 		}
-		samples = append(samples, d.Tau)
+		return d.Tau, nil
+	})
+	if len(samples) >= 2 {
+		st = summarize(samples)
 	}
-	return summarize(samples), nil
+	return st, err
 }
 
 // PenaltyUnderUncertainty samples l and evaluates the ratio of the fixed
@@ -120,6 +168,14 @@ func DelayUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, seed
 // generalization of the paper's Figure 8. It is considerably more expensive
 // than DelayUnderUncertainty (one optimization per sample).
 func PenaltyUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, seed int64) (Stats, error) {
+	return PenaltyUnderUncertaintyCtx(context.Background(), p, h, k, lDist, n, seed, Opts{})
+}
+
+// PenaltyUnderUncertaintyCtx is PenaltyUnderUncertainty under run control
+// with optional parallel trial evaluation; semantics match
+// DelayUnderUncertaintyCtx.
+func PenaltyUnderUncertaintyCtx(ctx context.Context, p core.Problem, h, k float64, lDist Dist, n int, seed int64, o Opts) (st Stats, err error) {
+	defer diag.RecoverTo(&err, "mc.PenaltyUnderUncertainty")
 	if err := p.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -129,20 +185,45 @@ func PenaltyUnderUncertainty(p core.Problem, h, k float64, lDist Dist, n int, se
 	if lDist == nil {
 		return Stats{}, fmt.Errorf("mc: nil distribution")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	samples, err := runTrials(ctx, o, n, seed, func(i int, rng *rand.Rand) (float64, error) {
 		q := p
 		q.Line.L = lDist.Sample(rng)
-		opt, err := core.Optimize(q)
+		opt, err := core.OptimizeCtx(ctx, q)
 		if err != nil {
-			return Stats{}, fmt.Errorf("mc: sample %d: %w", i, err)
+			if runctl.IsStop(err) {
+				return 0, err
+			}
+			return 0, fmt.Errorf("mc: sample %d: %w", i, err)
 		}
 		fixed := q.PerUnitDelay(h, k)
 		if math.IsInf(fixed, 1) {
-			return Stats{}, fmt.Errorf("mc: sample %d: fixed design infeasible", i)
+			return 0, fmt.Errorf("mc: sample %d: fixed design infeasible", i)
 		}
-		samples = append(samples, fixed/opt.PerUnit)
+		return fixed / opt.PerUnit, nil
+	})
+	if len(samples) >= 2 {
+		st = summarize(samples)
 	}
-	return summarize(samples), nil
+	return st, err
+}
+
+// runTrials executes n trials over a bounded worker pool, giving trial i an
+// RNG stream derived from (seed, i) and streaming values back in trial
+// order. On a stop or a trial error it returns the contiguous prefix of
+// completed samples alongside the error.
+func runTrials(ctx context.Context, o Opts, n int, seed int64, eval func(i int, rng *rand.Rand) (float64, error)) ([]float64, error) {
+	ctl := runctl.New(ctx, o.Limits)
+	samples := make([]float64, 0, n)
+	err := runctl.Stream(ctl, o.workers(), n,
+		func(i int) (float64, error) {
+			return eval(i, rand.New(rand.NewSource(trialSeed(seed, i))))
+		},
+		func(i int, v float64) error {
+			samples = append(samples, v)
+			if o.OnTrial != nil {
+				return o.OnTrial(i, v)
+			}
+			return nil
+		})
+	return samples, err
 }

@@ -1,0 +1,136 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
+	"rlcint/internal/testutil"
+)
+
+// TestSerialParallelBitIdentical is the determinism contract of the pooled
+// Monte-Carlo: because each trial draws from an RNG stream derived from
+// (seed, trial index), the Stats must be bit-identical for every worker
+// count.
+func TestSerialParallelBitIdentical(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := problem100()
+	d := Uniform{Lo: 0, Hi: 8e-7}
+	const n, seed = 64, 42
+
+	serial, err := DelayUnderUncertaintyCtx(context.Background(), p, 1e-3, 150, d, n, seed, Opts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, err := DelayUnderUncertaintyCtx(context.Background(), p, 1e-3, 150, d, n, seed, Opts{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != serial {
+			t.Fatalf("workers=%d stats differ from serial:\n  serial   %+v\n  parallel %+v", workers, serial, par)
+		}
+	}
+	// And the legacy entry point is the Workers=1 run.
+	legacy, err := DelayUnderUncertainty(p, 1e-3, 150, d, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != serial {
+		t.Fatalf("legacy API diverged from Ctx serial run: %+v vs %+v", legacy, serial)
+	}
+}
+
+// TestTrialOrderStreaming verifies OnTrial sees every trial exactly once, in
+// order, with the same value at the same index regardless of worker count.
+func TestTrialOrderStreaming(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := problem100()
+	d := Uniform{Lo: 0, Hi: 8e-7}
+	const n, seed = 32, 7
+
+	collect := func(workers int) []float64 {
+		var vals []float64
+		_, err := DelayUnderUncertaintyCtx(context.Background(), p, 1e-3, 150, d, n, seed, Opts{
+			Workers: workers,
+			OnTrial: func(i int, v float64) error {
+				if i != len(vals) {
+					t.Fatalf("workers=%d: trial %d delivered at position %d", workers, i, len(vals))
+				}
+				vals = append(vals, v)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	serial := collect(1)
+	parallel := collect(5)
+	if len(serial) != n || len(parallel) != n {
+		t.Fatalf("trial counts: serial %d, parallel %d, want %d", len(serial), len(parallel), n)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMCCancellationKeepsPrefix(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := problem100()
+	d := Uniform{Lo: 0, Hi: 8e-7}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	seen := 0
+	_, err := DelayUnderUncertaintyCtx(ctx, p, 1e-3, 150, d, 10000, 1, Opts{
+		Workers: 4,
+		OnTrial: func(i int, v float64) error {
+			seen++
+			if seen == 10 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, diag.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if seen < 10 || seen >= 10000 {
+		t.Fatalf("cancellation delivered %d trials", seen)
+	}
+}
+
+func TestMCWallClockBudget(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := problem100()
+	d := Uniform{Lo: 0, Hi: 8e-7}
+	_, err := PenaltyUnderUncertaintyCtx(context.Background(), p, 1e-3, 150, d, 100000, 3, Opts{
+		Workers: 2,
+		Limits:  runctl.Limits{Timeout: 50 * time.Millisecond},
+	})
+	if !runctl.IsStop(err) {
+		t.Fatalf("want a run-control stop, got %v", err)
+	}
+}
+
+func TestMCIterationBudget(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := problem100()
+	d := Uniform{Lo: 0, Hi: 8e-7}
+	st, err := DelayUnderUncertaintyCtx(context.Background(), p, 1e-3, 150, d, 1000, 5, Opts{
+		Workers: 3,
+		Limits:  runctl.Limits{MaxIters: 25},
+	})
+	if !errors.Is(err, diag.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if st.N == 0 || st.N > 25 {
+		t.Fatalf("budgeted run summarized %d trials, want 1..25", st.N)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"rlcint/internal/runctl"
 )
 
 // GoldenSection minimizes a unimodal scalar function on [a, b] and returns
@@ -39,6 +41,10 @@ type NelderMeadOptions struct {
 	MaxIter    int     // default 400*n
 	InitScale  float64 // initial simplex edge, relative to |x0| (default 0.05)
 	MaxRestart int     // restarts from the best point with a fresh simplex (default 2)
+	// Ctl, when non-nil, is consulted once per simplex iteration; a stop
+	// aborts the search, returning the best point found so far with the
+	// typed run-control error.
+	Ctl *runctl.Controller
 }
 
 // NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
@@ -90,6 +96,13 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions)
 	for restart := 0; restart <= opts.MaxRestart; restart++ {
 		s := buildSimplex(best.x)
 		for iter := 0; iter < iterBudget; iter++ {
+			if err := opts.Ctl.Tick("num.NelderMead"); err != nil {
+				sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
+				if s[0].f < best.f {
+					best = vertex{append([]float64(nil), s[0].x...), s[0].f}
+				}
+				return best.x, best.f, err
+			}
 			sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
 			spread := math.Abs(s[n].f - s[0].f)
 			scale := math.Abs(s[0].f) + math.Abs(s[n].f) + 1e-300

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
 )
 
 // VecFunc is a vector-valued function of a vector argument. Implementations
@@ -30,6 +31,10 @@ type NewtonNDOptions struct {
 	// Lower, when non-nil, gives per-component lower bounds enforced by
 	// clipping trial points (used to keep h, k positive).
 	Lower []float64
+	// Ctl, when non-nil, is consulted at every Newton iteration; a stop
+	// (cancellation, deadline, iteration budget) aborts the solve with the
+	// typed run-control error.
+	Ctl *runctl.Controller
 }
 
 // Validate rejects option sets that a plain `== 0` default check would let
@@ -111,6 +116,10 @@ func NewtonND(f VecFunc, x0 []float64, opts NewtonNDOptions) (NewtonNDResult, er
 	}
 	res := NewtonNDResult{X: x}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := opts.Ctl.Tick("num.NewtonND"); err != nil {
+			res.X = x
+			return res, err
+		}
 		res.Iterations = iter + 1
 		r := infNorm(fx)
 		res.Residual = r

@@ -14,6 +14,7 @@ import (
 
 	"rlcint/internal/diag"
 	"rlcint/internal/num"
+	"rlcint/internal/runctl"
 	"rlcint/internal/tline"
 )
 
@@ -180,6 +181,13 @@ var ErrThreshold = fmt.Errorf("pade: threshold must satisfy 0 <= f < 1: %w", dia
 // (so that, for underdamped responses, the first crossing rather than a
 // later one is found) and polished with safeguarded Newton.
 func (m Model) Delay(f float64) (DelayResult, error) {
+	return m.DelayWith(nil, f)
+}
+
+// DelayWith is Delay consulting ctl (which may be nil) between bracket-
+// growth attempts, so cancelling an optimization aborts even a pathological
+// threshold search promptly.
+func (m Model) DelayWith(ctl *runctl.Controller, f float64) (DelayResult, error) {
 	if f < 0 || f >= 1 || math.IsNaN(f) {
 		return DelayResult{}, fmt.Errorf("%w: f=%g", ErrThreshold, f)
 	}
@@ -194,6 +202,9 @@ func (m Model) Delay(f float64) (DelayResult, error) {
 	var lo, hi float64
 	var err error
 	for try := 0; ; try++ {
+		if err := ctl.Check("pade.Delay"); err != nil {
+			return DelayResult{}, err
+		}
 		lo, hi, err = num.FirstCrossing(g, 0, tmax, 512)
 		if err == nil {
 			break

@@ -1,0 +1,148 @@
+// Package runctl is the run-control layer shared by every long-running
+// solver in the library: cooperative cancellation via context.Context,
+// wall-clock deadlines, iteration budgets, and a bounded-concurrency
+// cancellation-aware worker pool.
+//
+// The central type is Controller, built once per solve from a context and a
+// Limits. Solvers call Tick at iteration boundaries (one Newton iteration,
+// one transient sub-step, one Monte-Carlo trial); a nil *Controller ticks
+// for free, so uncontrolled solves pay nothing. When the context is
+// cancelled, the deadline passes, or the budget runs out, Tick returns a
+// typed *diag.Error (ErrCancelled / ErrDeadline / ErrBudget) carrying the
+// elapsed wall-clock time and iteration count, and the solver unwinds,
+// honouring the partial-result contract where one exists.
+//
+// Run-control stops are terminal: recovery ladders must NOT retry them.
+// IsStop distinguishes them from ordinary convergence failures.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+// Limits bound one solve. The zero value imposes no bounds.
+type Limits struct {
+	// Timeout is the wall-clock budget for the solve (0 = unlimited). It is
+	// enforced cooperatively at iteration boundaries, so a solve overruns by
+	// at most one iteration.
+	Timeout time.Duration
+	// MaxIters is the cooperative iteration budget (0 = unlimited): the
+	// total number of Tick calls — Newton iterations, transient sub-steps,
+	// pool work items — the controller admits before stopping the run.
+	MaxIters int64
+}
+
+// Controller carries the run-control state of one solve. A nil *Controller
+// is valid and never stops anything, so solvers can call Tick/Check
+// unconditionally on hot paths.
+type Controller struct {
+	ctx      context.Context
+	start    time.Time
+	deadline time.Time // zero = no wall-clock budget
+	maxIters int64     // 0 = no iteration budget
+	iters    atomic.Int64
+}
+
+// New builds a Controller for one solve. It returns nil — the free,
+// never-stopping controller — when ctx is nil or background and lim is the
+// zero value, so plumbing through uncontrolled call paths costs nothing.
+func New(ctx context.Context, lim Limits) *Controller {
+	if (ctx == nil || ctx == context.Background()) && lim == (Limits{}) {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &Controller{ctx: ctx, start: time.Now(), maxIters: lim.MaxIters}
+	if lim.Timeout > 0 {
+		c.deadline = c.start.Add(lim.Timeout)
+	}
+	return c
+}
+
+// Context returns the controller's context (context.Background for nil
+// controllers), for forwarding into nested solves.
+func (c *Controller) Context() context.Context {
+	if c == nil || c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Elapsed returns the wall-clock time since the controller was built (0 for
+// nil controllers).
+func (c *Controller) Elapsed() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.start)
+}
+
+// Iterations returns the number of Ticks consumed so far.
+func (c *Controller) Iterations() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.iters.Load()
+}
+
+// Tick consumes one unit of the iteration budget and checks every stop
+// condition. Solvers call it at each iteration boundary; op names the
+// checking operation for the returned error. Safe for concurrent use (pool
+// workers share one controller).
+func (c *Controller) Tick(op string) error {
+	if c == nil {
+		return nil
+	}
+	n := c.iters.Add(1)
+	if c.maxIters > 0 && n > c.maxIters {
+		return c.fail(diag.ErrBudget, op, n, nil)
+	}
+	return c.check(op, n)
+}
+
+// Check checks the stop conditions without consuming budget — for
+// boundaries that are not iterations (entry points, per-point loops that
+// tick elsewhere).
+func (c *Controller) Check(op string) error {
+	if c == nil {
+		return nil
+	}
+	return c.check(op, c.iters.Load())
+}
+
+func (c *Controller) check(op string, n int64) error {
+	if err := c.ctx.Err(); err != nil {
+		kind := diag.ErrCancelled
+		if errors.Is(err, context.DeadlineExceeded) {
+			kind = diag.ErrDeadline
+		}
+		return c.fail(kind, op, n, err)
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return c.fail(diag.ErrDeadline, op, n, nil)
+	}
+	return nil
+}
+
+func (c *Controller) fail(kind error, op string, n int64, cause error) *diag.Error {
+	de := diag.New(kind, op)
+	de.Elapsed = time.Since(c.start)
+	de.Iteration = int(n)
+	de.Err = cause
+	return de
+}
+
+// IsStop reports whether err is a terminal run-control stop — cancellation,
+// deadline, or budget exhaustion. Recovery ladders use it to propagate
+// immediately instead of retrying a doomed rung.
+func IsStop(err error) bool {
+	return errors.Is(err, diag.ErrCancelled) ||
+		errors.Is(err, diag.ErrDeadline) ||
+		errors.Is(err, diag.ErrBudget)
+}

@@ -1,0 +1,130 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+func TestNilControllerIsFree(t *testing.T) {
+	var c *Controller
+	for i := 0; i < 10; i++ {
+		if err := c.Tick("op"); err != nil {
+			t.Fatalf("nil controller Tick: %v", err)
+		}
+	}
+	if err := c.Check("op"); err != nil {
+		t.Fatalf("nil controller Check: %v", err)
+	}
+	if c.Elapsed() != 0 || c.Iterations() != 0 {
+		t.Fatal("nil controller reports nonzero state")
+	}
+	if c.Context() != context.Background() {
+		t.Fatal("nil controller context is not background")
+	}
+}
+
+func TestNewReturnsNilForUncontrolled(t *testing.T) {
+	if New(context.Background(), Limits{}) != nil {
+		t.Fatal("background + zero limits should yield the free nil controller")
+	}
+	if New(nil, Limits{}) != nil {
+		t.Fatal("nil ctx + zero limits should yield the free nil controller")
+	}
+	if New(context.Background(), Limits{MaxIters: 1}) == nil {
+		t.Fatal("limits must produce a real controller")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, Limits{})
+	if err := c.Tick("op"); err != nil {
+		t.Fatalf("pre-cancel Tick: %v", err)
+	}
+	cancel()
+	err := c.Tick("spice.Transient")
+	if !errors.Is(err, diag.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	var de *diag.Error
+	if !errors.As(err, &de) {
+		t.Fatalf("want *diag.Error, got %T", err)
+	}
+	if de.Op != "spice.Transient" {
+		t.Errorf("op = %q", de.Op)
+	}
+	if de.Iteration != 2 {
+		t.Errorf("iteration = %d, want 2", de.Iteration)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("cause context.Canceled not wrapped")
+	}
+	if !IsStop(err) {
+		t.Error("IsStop(cancelled) = false")
+	}
+}
+
+func TestContextDeadlineMapsToErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c := New(ctx, Limits{})
+	err := c.Tick("op")
+	if !errors.Is(err, diag.ErrDeadline) {
+		t.Fatalf("want ErrDeadline from expired ctx deadline, got %v", err)
+	}
+}
+
+func TestWallClockBudget(t *testing.T) {
+	c := New(context.Background(), Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := c.Tick("op")
+	if !errors.Is(err, diag.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	var de *diag.Error
+	if errors.As(err, &de) && de.Elapsed <= 0 {
+		t.Error("deadline error carries no elapsed time")
+	}
+	if !IsStop(err) {
+		t.Error("IsStop(deadline) = false")
+	}
+}
+
+func TestIterationBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxIters: 3})
+	for i := 0; i < 3; i++ {
+		if err := c.Tick("op"); err != nil {
+			t.Fatalf("tick %d inside budget: %v", i, err)
+		}
+	}
+	err := c.Tick("op")
+	if !errors.Is(err, diag.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	// Check does not consume budget.
+	c2 := New(context.Background(), Limits{MaxIters: 1})
+	for i := 0; i < 5; i++ {
+		if err := c2.Check("op"); err != nil {
+			t.Fatalf("Check consumed budget: %v", err)
+		}
+	}
+	if !IsStop(err) {
+		t.Error("IsStop(budget) = false")
+	}
+}
+
+func TestIsStopRejectsOrdinaryFailures(t *testing.T) {
+	if IsStop(errors.New("plain")) {
+		t.Error("plain error classified as stop")
+	}
+	if IsStop(diag.New(diag.ErrNonConvergence, "op")) {
+		t.Error("non-convergence classified as stop")
+	}
+	if IsStop(nil) {
+		t.Error("nil classified as stop")
+	}
+}

@@ -1,10 +1,13 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
+	"rlcint/internal/diag"
 	"rlcint/internal/lina"
+	"rlcint/internal/runctl"
 )
 
 // acStamper is implemented by elements that participate in small-signal AC
@@ -96,6 +99,15 @@ type ACResult struct {
 // each complex frequency in ss. The circuit must be linear (R, C, L,
 // sources); nonlinear elements cause an error.
 func (c *Circuit) ACAnalysis(src *VSource, out NodeID, ss []complex128) (*ACResult, error) {
+	return c.ACAnalysisCtx(context.Background(), runctl.Limits{}, src, out, ss)
+}
+
+// ACAnalysisCtx is ACAnalysis under run control: cancellation and limits are
+// checked before each frequency point (MaxIters counts points). On a stop
+// the result computed so far is returned alongside the typed error, with H
+// truncated to the completed prefix.
+func (c *Circuit) ACAnalysisCtx(ctx context.Context, lim runctl.Limits, src *VSource, out NodeID, ss []complex128) (res *ACResult, err error) {
+	defer diag.RecoverTo(&err, "spice.ACAnalysis")
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,8 +126,14 @@ func (c *Circuit) ACAnalysis(src *VSource, out NodeID, ss []complex128) (*ACResu
 		stampers[i] = st
 	}
 	n := c.NumUnknowns()
-	res := &ACResult{S: append([]complex128(nil), ss...), H: make([]complex128, len(ss))}
+	ctl := runctl.New(ctx, lim)
+	res = &ACResult{S: append([]complex128(nil), ss...), H: make([]complex128, len(ss))}
 	for i, s := range ss {
+		if err := ctl.Tick("spice.ACAnalysis"); err != nil {
+			res.S = res.S[:i]
+			res.H = res.H[:i]
+			return res, err
+		}
 		ld := &acLoader{
 			nNodes:   c.NumNodes(),
 			a:        lina.NewZDense(n, n),

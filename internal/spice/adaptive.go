@@ -1,8 +1,13 @@
 package spice
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
 )
 
 // AdaptiveOpts configure TransientAdaptive.
@@ -19,6 +24,9 @@ type AdaptiveOpts struct {
 	MaxNewton int
 	ITol      float64
 	Gmin      float64
+	// Limits bound the run; see runctl.Limits. MaxIters counts Newton
+	// iterations, the inner unit of work.
+	Limits runctl.Limits
 }
 
 func (o AdaptiveOpts) withDefaults() (AdaptiveOpts, error) {
@@ -59,18 +67,29 @@ func (o AdaptiveOpts) withDefaults() (AdaptiveOpts, error) {
 // with the standard third-order rule. The returned Result has a non-uniform
 // time axis.
 func (c *Circuit) TransientAdaptive(opts AdaptiveOpts, probes ...Probe) (*Result, error) {
+	return c.TransientAdaptiveCtx(context.Background(), opts, probes...)
+}
+
+// TransientAdaptiveCtx is TransientAdaptive under run control: ctx
+// cancellation and opts.Limits are checked at every Newton iteration, and a
+// stopped run returns the waveform accumulated so far with Partial set
+// alongside the typed stop error.
+func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, opts AdaptiveOpts, probes ...Probe) (res *Result, err error) {
+	defer diag.RecoverTo(&err, "spice.TransientAdaptive")
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	opts, err := opts.withDefaults()
+	opts, err = opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	ctl := runctl.New(ctx, opts.Limits)
 	tran := TranOpts{
 		TStop: opts.TStop, DT: opts.DTInit, MaxNewton: opts.MaxNewton,
 		ITol: opts.ITol, Gmin: opts.Gmin,
 	}
 	tran, _ = tran.withDefaults()
+	tran.ctl = ctl
 
 	ns := newNewtonState(c)
 	if opts.UseICs {
@@ -78,15 +97,18 @@ func (c *Circuit) TransientAdaptive(opts AdaptiveOpts, probes ...Probe) (*Result
 			ns.x[id] = v
 		}
 	} else {
-		x0, err := c.DCOperatingPoint()
+		x0, err := c.dcOperatingPoint(ctl, DCOpts{})
 		if err != nil {
+			if runctl.IsStop(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("spice: adaptive initial point: %w", err)
 		}
 		copy(ns.x, x0)
 	}
 	copy(ns.xPrev, ns.x)
 
-	res := &Result{Signals: make([][]float64, len(probes)), Labels: make([]string, len(probes))}
+	res = &Result{Signals: make([][]float64, len(probes)), Labels: make([]string, len(probes))}
 	for i, p := range probes {
 		res.Labels[i] = p.Label()
 	}
@@ -119,6 +141,17 @@ func (c *Circuit) TransientAdaptive(opts AdaptiveOpts, probes ...Probe) (*Result
 		copy(ns.xPrev, ns.x)
 		if _, err := ns.solveNewton(ld, tran); err != nil {
 			copy(ns.x, ns.xPrev)
+			if runctl.IsStop(err) {
+				// A run-control stop is terminal, not a convergence failure:
+				// never retry it with a smaller step.
+				res.Partial = true
+				res.PartialT = t
+				var de *diag.Error
+				if errors.As(err, &de) {
+					de.Time = t
+				}
+				return res, err
+			}
 			fails++
 			if fails > 30 {
 				return res, fmt.Errorf("spice: adaptive step collapsed at t=%g: %w", t, err)

@@ -1,10 +1,13 @@
 package spice
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
 	"rlcint/internal/sparse"
 )
 
@@ -50,6 +53,24 @@ type TranOpts struct {
 	// Report, when non-nil, collects the recovery-ladder attempts of the
 	// run (gmin rungs, TR→BE fallbacks, step halvings).
 	Report *diag.Report
+	// Limits bound the run in wall-clock time and total Newton iterations;
+	// combined with the context passed to TransientCtx they make the run
+	// cancellable at every iteration boundary. The zero value imposes no
+	// bounds.
+	Limits runctl.Limits
+	// CheckpointPath, when non-empty, makes the run write a resumable
+	// snapshot of the solver state (time, step, node voltages, element
+	// history, recorded waveform) to this file — atomically, via temp file
+	// and rename — every CheckpointEvery output grid steps, so a killed run
+	// can be restarted bit-exactly with TransientResume.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in output grid steps
+	// (default 64 when CheckpointPath is set).
+	CheckpointEvery int
+
+	// ctl is the per-run controller built by TransientCtx from the caller's
+	// context and Limits; it flows to every nested solve of the run.
+	ctl *runctl.Controller
 }
 
 // Validate rejects option sets whose tolerances or budgets are negative or
@@ -70,6 +91,12 @@ func (o TranOpts) Validate() error {
 	}
 	if o.MaxNewton < 0 || o.MaxHalvings < 0 {
 		return diag.Domainf("spice.TranOpts", "negative budget MaxNewton=%d MaxHalvings=%d", o.MaxNewton, o.MaxHalvings)
+	}
+	if o.Limits.Timeout < 0 || o.Limits.MaxIters < 0 {
+		return diag.Domainf("spice.TranOpts", "negative run limits Timeout=%v MaxIters=%d", o.Limits.Timeout, o.Limits.MaxIters)
+	}
+	if o.CheckpointEvery < 0 {
+		return diag.Domainf("spice.TranOpts", "negative CheckpointEvery=%d", o.CheckpointEvery)
 	}
 	return nil
 }
@@ -101,6 +128,9 @@ func (o TranOpts) withDefaults() (TranOpts, error) {
 	}
 	if o.MaxStep == 0 {
 		o.MaxStep = 5
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 64
 	}
 	return o, nil
 }
@@ -162,10 +192,11 @@ func (p SourceCurrentProbe) sample(x []float64, nNodes int) float64 {
 // Result holds sampled transient waveforms on the uniform output grid.
 //
 // Partial-result contract: when Transient aborts mid-run (timestep
-// collapse), it returns the Result it has built so far ALONGSIDE the typed
-// error — T and Signals preserve every sample recorded up to the last
-// completed output grid point, Partial is true, and PartialT is the
-// simulation time the solver reached before giving up.
+// collapse, cancellation, deadline, or budget exhaustion), it returns the
+// Result it has built so far ALONGSIDE the typed error — T and Signals
+// preserve every sample recorded up to the last completed output grid
+// point, Partial is true, and PartialT is the simulation time the solver
+// reached before giving up.
 type Result struct {
 	T       []float64
 	Signals [][]float64 // Signals[i][j] = probe i at T[j]
@@ -263,6 +294,13 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 		return de
 	}
 	for iter := 1; iter <= opts.MaxNewton; iter++ {
+		// Run control: every Newton iteration is a cancellation point and
+		// consumes one unit of the iteration budget, so a cancelled or
+		// over-budget solve unwinds within one iteration. Free when the run
+		// is uncontrolled (nil controller).
+		if err := opts.ctl.Tick("spice.newton"); err != nil {
+			return iter, err
+		}
 		// Fault-injection sites: "spice.newton/<rung>" simulates a Newton
 		// stall or residual blow-up; "spice.factorize/<rung>" a singular
 		// system. Both are free when no injector is installed.
@@ -322,11 +360,13 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 	return opts.MaxNewton, fail(diag.ErrNonConvergence, opts.MaxNewton, nil, "Newton budget exhausted")
 }
 
-// DCOpts configure DCOperatingPointWith: an optional fault injector and a
-// recovery-ladder report collector.
+// DCOpts configure DCOperatingPointWith: an optional fault injector, a
+// recovery-ladder report collector, and run-control limits.
 type DCOpts struct {
 	Injector *diag.Injector
 	Report   *diag.Report
+	// Limits bound the solve in wall-clock time and Newton iterations.
+	Limits runctl.Limits
 }
 
 // DCOperatingPoint solves the DC operating point (capacitors open,
@@ -342,11 +382,26 @@ func (c *Circuit) DCOperatingPoint() ([]float64, error) {
 // specific kind of the last rung's failure cause) and o.Report records
 // every ladder rung tried.
 func (c *Circuit) DCOperatingPointWith(o DCOpts) ([]float64, error) {
+	return c.DCOperatingPointCtx(context.Background(), o)
+}
+
+// DCOperatingPointCtx is DCOperatingPointWith with cooperative
+// cancellation: the solve checks ctx (and o.Limits) at every Newton
+// iteration and returns a diag.ErrCancelled / ErrDeadline / ErrBudget
+// failure when stopped. Panics in device evals surface as typed
+// diag.ErrPanic errors.
+func (c *Circuit) DCOperatingPointCtx(ctx context.Context, o DCOpts) (x []float64, err error) {
+	defer diag.RecoverTo(&err, "spice.DCOperatingPoint")
+	return c.dcOperatingPoint(runctl.New(ctx, o.Limits), o)
+}
+
+func (c *Circuit) dcOperatingPoint(ctl *runctl.Controller, o DCOpts) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	opts, _ := TranOpts{TStop: 1, DT: 1}.withDefaults()
 	opts.Injector = o.Injector
+	opts.ctl = ctl
 	ns := newNewtonState(c)
 	seedICs := func() {
 		for i := range ns.x {
@@ -360,6 +415,11 @@ func (c *Circuit) DCOperatingPointWith(o DCOpts) ([]float64, error) {
 	x, gminErr := c.dcGminLadder(ns, opts, o.Report)
 	if gminErr == nil {
 		return x, nil
+	}
+	// A run-control stop is terminal — retrying the ladder cannot help and
+	// would ignore the caller's cancellation.
+	if runctl.IsStop(gminErr) {
+		return nil, gminErr
 	}
 	// Rung 2: source ramping. Restart from the IC seed — the all-sources-off
 	// system is trivially solvable, and continuation walks the solution to
@@ -390,6 +450,9 @@ func (c *Circuit) dcGminLadder(ns *newtonState, opts TranOpts, rep *diag.Report)
 		rung := fmt.Sprintf("gmin=%g", g)
 		ld := &loader{dc: true, gmin: g, t: 0, dt: 1, op: "dc-gmin", step: i}
 		if _, err := ns.solveNewton(ld, opts); err != nil {
+			if runctl.IsStop(err) {
+				return nil, err
+			}
 			lastErr = err
 			if solvedAny {
 				// A mid-ladder stumble must not discard converged progress:
@@ -428,7 +491,9 @@ func (c *Circuit) dcSourceRamp(ns *newtonState, opts TranOpts, rep *diag.Report)
 		rung := fmt.Sprintf("scale=%g", 1-ramp)
 		ld := &loader{dc: true, gmin: 1e-9, srcRamp: ramp, t: 0, dt: 1, op: "dc-ramp", step: i}
 		if _, err := ns.solveNewton(ld, opts); err != nil {
-			rep.Record("dc-ramp", rung, diag.OutcomeFailed, "", err)
+			if !runctl.IsStop(err) {
+				rep.Record("dc-ramp", rung, diag.OutcomeFailed, "", err)
+			}
 			return nil, err
 		}
 		rep.Record("dc-ramp", rung, diag.OutcomeOK, "", nil)
@@ -447,13 +512,26 @@ func (c *Circuit) dcSourceRamp(ns *newtonState, opts TranOpts, rep *diag.Report)
 
 // Transient runs a fixed-grid transient analysis and records the probes.
 func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
+	return c.TransientCtx(context.Background(), opts, probes...)
+}
+
+// TransientCtx is Transient with cooperative run control: the solve checks
+// ctx (and opts.Limits) at every Newton iteration, so cancellation, an
+// expired deadline, or an exhausted iteration budget returns within one
+// integration step with the partial waveform recorded so far and a typed
+// diag.ErrCancelled / ErrDeadline / ErrBudget failure carrying elapsed
+// time and step context. Panics anywhere below (device evals included)
+// surface as typed diag.ErrPanic errors, not process crashes.
+func (c *Circuit) TransientCtx(ctx context.Context, opts TranOpts, probes ...Probe) (res *Result, err error) {
+	defer diag.RecoverTo(&err, "spice.Transient")
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	opts, err := opts.withDefaults()
+	opts, err = opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	opts.ctl = runctl.New(ctx, opts.Limits)
 	ns := newNewtonState(c)
 
 	// Initial state.
@@ -462,7 +540,7 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 			ns.x[id] = v
 		}
 	} else {
-		x0, err := c.DCOperatingPointWith(DCOpts{Injector: opts.Injector, Report: opts.Report})
+		x0, err := c.dcOperatingPoint(opts.ctl, DCOpts{Injector: opts.Injector, Report: opts.Report})
 		if err != nil {
 			return nil, fmt.Errorf("spice: Transient initial point: %w", err)
 		}
@@ -471,7 +549,7 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 	copy(ns.xPrev, ns.x)
 
 	nSteps := int(math.Ceil(opts.TStop/opts.DT + 1e-9))
-	res := &Result{
+	res = &Result{
 		T:       make([]float64, 0, nSteps+1),
 		Signals: make([][]float64, len(probes)),
 		Labels:  make([]string, len(probes)),
@@ -480,20 +558,34 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 		res.Labels[i] = p.Label()
 		res.Signals[i] = make([]float64, 0, nSteps+1)
 	}
+	res.T = append(res.T, 0) // t = 0
+	for i, p := range probes {
+		res.Signals[i] = append(res.Signals[i], p.sample(ns.x, ns.nNodes))
+	}
+
+	beSteps := 2 // BE start for trapezoidal
+	if opts.NoBEStart {
+		beSteps = 0
+	}
+	return c.transientLoop(opts, ns, res, probes, 1, beSteps)
+}
+
+// transientLoop marches the output grid from startStep through the end of
+// the window. It is shared by fresh runs (startStep 1) and checkpoint
+// resumes (startStep = checkpoint step + 1 with ns, res, and element state
+// restored); because every per-grid-step controller variable (sub-step
+// size, halving count, BE-fallback count) resets at each grid boundary, a
+// resume from a boundary reproduces the uninterrupted run bit-exactly.
+func (c *Circuit) transientLoop(opts TranOpts, ns *newtonState, res *Result, probes []Probe, startStep, beSteps int) (*Result, error) {
+	nSteps := int(math.Ceil(opts.TStop/opts.DT + 1e-9))
 	record := func() {
 		res.T = append(res.T, float64(len(res.T))*opts.DT)
 		for i, p := range probes {
 			res.Signals[i] = append(res.Signals[i], p.sample(ns.x, ns.nNodes))
 		}
 	}
-	record() // t = 0
-
-	beSteps := 2 // BE start for trapezoidal
-	if opts.NoBEStart {
-		beSteps = 0
-	}
-	t := 0.0
-	for step := 1; step <= nSteps; step++ {
+	t := float64(startStep-1) * opts.DT
+	for step := startStep; step <= nSteps; step++ {
 		tTarget := float64(step) * opts.DT
 		// March to the grid point, recovering from Newton failures with a
 		// two-rung ladder: (1) retry the failing sub-interval with the
@@ -516,6 +608,19 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 			if _, err := ns.solveNewton(ld, opts); err != nil {
 				// Back out the failed attempt.
 				copy(ns.x, ns.xPrev)
+				// A run-control stop is not a convergence failure: skip the
+				// recovery ladder, keep the waveform recorded so far, and
+				// unwind with the typed stop carrying step context.
+				if runctl.IsStop(err) {
+					res.Partial = true
+					res.PartialT = t
+					var de *diag.Error
+					if errors.As(err, &de) {
+						de.Time = t
+						de.Step = step
+					}
+					return res, err
+				}
 				if trap {
 					// Rung 1: auto-switch TR→BE for this sub-interval before
 					// shrinking the step; BE's damping often absorbs the
@@ -566,6 +671,11 @@ func (c *Circuit) Transient(opts TranOpts, probes ...Probe) (*Result, error) {
 		}
 		t = tTarget
 		record()
+		if opts.CheckpointPath != "" && (step%opts.CheckpointEvery == 0 || step == nSteps) {
+			if err := c.writeCheckpoint(opts, step, beSteps, ns, res); err != nil {
+				return res, err
+			}
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,63 @@
+// Package testutil holds shared test helpers. It is imported only by test
+// files.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup
+// that fails the test if extra goroutines are still alive at test end —
+// the hygiene check proving that no solver or pool goroutine survives
+// cancellation. The recheck retries briefly so goroutines that are mid-exit
+// when the test body returns are not false positives.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			runtime.GC() // flush finalizer goroutine churn
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, goroutineDump())
+		}
+	})
+}
+
+// goroutineDump renders the per-creation-site goroutine census for leak
+// diagnostics.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	counts := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		lines := strings.Split(g, "\n")
+		site := lines[len(lines)-1]
+		if i := strings.LastIndex(site, " "); i >= 0 {
+			site = site[:i]
+		}
+		counts[strings.TrimSpace(site)]++
+	}
+	sites := make([]string, 0, len(counts))
+	for s := range counts {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	for _, s := range sites {
+		fmt.Fprintf(&b, "%4d %s\n", counts[s], s)
+	}
+	return b.String()
+}

@@ -22,6 +22,8 @@
 package rlcint
 
 import (
+	"context"
+
 	"rlcint/internal/baseline"
 	"rlcint/internal/core"
 	"rlcint/internal/diag"
@@ -30,6 +32,7 @@ import (
 	"rlcint/internal/relia"
 	"rlcint/internal/repeater"
 	"rlcint/internal/ringosc"
+	"rlcint/internal/runctl"
 	"rlcint/internal/tech"
 	"rlcint/internal/tline"
 )
@@ -50,7 +53,34 @@ var (
 	// ErrDomain marks an input outside a routine's domain (NaN/Inf values,
 	// negative tolerances, thresholds outside their interval, ...).
 	ErrDomain = diag.ErrDomain
+	// ErrCancelled marks a solve stopped by context cancellation; the
+	// accompanying result (where the API returns one) holds the work
+	// completed before the stop.
+	ErrCancelled = diag.ErrCancelled
+	// ErrDeadline marks a solve stopped by an expired context deadline or
+	// an exhausted RunLimits.Timeout wall-clock budget.
+	ErrDeadline = diag.ErrDeadline
+	// ErrBudget marks a solve stopped by an exhausted RunLimits.MaxIters
+	// iteration budget.
+	ErrBudget = diag.ErrBudget
+	// ErrPanic marks a panic inside the solver stack, contained at the
+	// public API boundary; the *SolverError carries the stack trace.
+	ErrPanic = diag.ErrPanic
 )
+
+// RunLimits bound a single solve: Timeout is a wall-clock budget and
+// MaxIters an iteration budget (the iteration unit is each solver's inner
+// loop — Newton iterations, simplex steps, Monte-Carlo trials). The zero
+// value imposes no bounds. Limits compose with context cancellation: every
+// long-running solver checks both at iteration boundaries and returns a
+// typed ErrCancelled / ErrDeadline / ErrBudget failure within one step.
+type RunLimits = runctl.Limits
+
+// IsRunStop reports whether err is a terminal run-control stop
+// (ErrCancelled, ErrDeadline, or ErrBudget) rather than a convergence
+// failure — the distinction recovery logic must make: stops should never
+// be retried.
+func IsRunStop(err error) bool { return runctl.IsStop(err) }
 
 // SolverError is a typed solver failure carrying structured context (time,
 // iteration, residual norm, gmin level, damping level).
@@ -130,7 +160,8 @@ func TwoPoleOf(st Stage) (TwoPole, error) { return pade.FromStage(st) }
 
 // Delay solves the paper's Eq. (3): the time at which the stage's step
 // response first reaches fraction f (0 < f < 1) of the final value.
-func Delay(st Stage, f float64) (float64, error) {
+func Delay(st Stage, f float64) (tau float64, err error) {
+	defer diag.RecoverTo(&err, "rlcint.Delay")
 	m, err := pade.FromStage(st)
 	if err != nil {
 		return 0, err
@@ -157,6 +188,13 @@ type RCOptimum = repeater.RCOptimum
 // threshold f (0 → 50%). This is the paper's core methodology.
 func Optimize(t Technology, l, f float64) (Optimum, error) {
 	return core.Optimize(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f})
+}
+
+// OptimizeCtx is Optimize under run control: the optimizer ladder checks
+// ctx and lim at every inner iteration, so cancellation or an exhausted
+// budget aborts promptly with a typed stop error (match with IsRunStop).
+func OptimizeCtx(ctx context.Context, t Technology, l, f float64, lim RunLimits) (Optimum, error) {
+	return core.OptimizeCtx(ctx, core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f, Limits: lim})
 }
 
 // OptimizeWithReport is Optimize with a recovery-ladder report collector:
@@ -187,6 +225,12 @@ func Sweep(t Technology, ls []float64, f float64) ([]SweepPoint, error) {
 	return core.Sweep(t, ls, f)
 }
 
+// SweepCtx is Sweep under run control; a stopped sweep returns the
+// completed prefix of points alongside the typed stop error.
+func SweepCtx(ctx context.Context, t Technology, ls []float64, f float64, lim RunLimits) ([]SweepPoint, error) {
+	return core.SweepCtx(ctx, lim, t, ls, f)
+}
+
 // IFOptimum is the Ismail–Friedman curve-fitted baseline solution.
 type IFOptimum = baseline.IFOptimum
 
@@ -211,13 +255,15 @@ type RingWaves = ringosc.Waves
 type RingMetrics = ringosc.Metrics
 
 // RunRing simulates the paper's five-stage ring oscillator (Figures 9–11).
-func RunRing(cfg RingConfig) (RingWaves, RingMetrics, error) {
+func RunRing(cfg RingConfig) (w RingWaves, m RingMetrics, err error) {
+	defer diag.RecoverTo(&err, "rlcint.RunRing")
 	return ringosc.RunRing(cfg)
 }
 
 // RunBufferedLine simulates the square-wave-driven buffered line the paper
 // uses to show false switching is not a ring artifact.
-func RunBufferedLine(cfg RingConfig) (RingWaves, RingMetrics, error) {
+func RunBufferedLine(cfg RingConfig) (w RingWaves, m RingMetrics, err error) {
+	defer diag.RecoverTo(&err, "rlcint.RunBufferedLine")
 	return ringosc.RunBufferedLine(cfg)
 }
 
@@ -226,7 +272,8 @@ type PeriodPoint = ringosc.PeriodPoint
 
 // SweepRingPeriod sweeps the ring oscillator over line inductances and
 // flags period collapse (false switching).
-func SweepRingPeriod(cfg RingConfig, ls []float64) ([]PeriodPoint, error) {
+func SweepRingPeriod(cfg RingConfig, ls []float64) (pts []PeriodPoint, err error) {
+	defer diag.RecoverTo(&err, "rlcint.SweepRingPeriod")
 	return ringosc.SweepPeriod(cfg, ls)
 }
 

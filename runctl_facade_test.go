@@ -1,0 +1,81 @@
+package rlcint_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rlcint"
+)
+
+// TestOptimizeCtxHonoursCancellation pins the facade's run-control contract:
+// a pre-cancelled context stops the optimizer ladder with the exported
+// ErrCancelled sentinel, matchable through both errors.Is and IsRunStop.
+func TestOptimizeCtxHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := rlcint.OptimizeCtx(ctx, rlcint.Tech100(), 2*rlcint.NHPerMM, 0.5, rlcint.RunLimits{})
+	if !errors.Is(err, rlcint.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if !rlcint.IsRunStop(err) {
+		t.Error("IsRunStop(cancelled) = false")
+	}
+	var se *rlcint.SolverError
+	if !errors.As(err, &se) {
+		t.Fatalf("stop is not a *SolverError: %T", err)
+	}
+}
+
+func TestOptimizeCtxIterationBudget(t *testing.T) {
+	_, err := rlcint.OptimizeCtx(context.Background(), rlcint.Tech100(), 2*rlcint.NHPerMM, 0.5,
+		rlcint.RunLimits{MaxIters: 3})
+	if !errors.Is(err, rlcint.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestOptimizeCtxCompletesUnderGenerousLimits(t *testing.T) {
+	opt, err := rlcint.OptimizeCtx(context.Background(), rlcint.Tech100(), 2*rlcint.NHPerMM, 0.5,
+		rlcint.RunLimits{Timeout: time.Minute, MaxIters: 1 << 30})
+	if err != nil {
+		t.Fatalf("generous limits must not alter a converging solve: %v", err)
+	}
+	ref, err := rlcint.Optimize(rlcint.Tech100(), 2*rlcint.NHPerMM, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.H != ref.H || opt.K != ref.K {
+		t.Errorf("limited solve diverged from unlimited: (%g,%g) vs (%g,%g)", opt.H, opt.K, ref.H, ref.K)
+	}
+}
+
+func TestSweepCtxReturnsCompletedPrefix(t *testing.T) {
+	ls := []float64{0, 0.5 * rlcint.NHPerMM, 1 * rlcint.NHPerMM, 2 * rlcint.NHPerMM}
+	pts, err := rlcint.SweepCtx(context.Background(), rlcint.Tech100(), ls, 0.5,
+		rlcint.RunLimits{MaxIters: 2})
+	if !errors.Is(err, rlcint.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("stopped sweep kept %d points, want the 2 completed ones", len(pts))
+	}
+}
+
+func TestMCFacadeParallelDeterminism(t *testing.T) {
+	d := rlcint.UniformDist{Lo: 0, Hi: 8e-7}
+	serial, err := rlcint.DelayUnderUncertaintyCtx(context.Background(), rlcint.Tech100(), 1e-3, 150, d, 32, 9,
+		rlcint.UncertaintyOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := rlcint.DelayUnderUncertaintyCtx(context.Background(), rlcint.Tech100(), 1e-3, 150, d, 32, 9,
+		rlcint.UncertaintyOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("parallel MC diverged from serial:\n  %+v\n  %+v", serial, parallel)
+	}
+}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# checkpoint_smoke.sh — end-to-end smoke test of spicesim's checkpoint/resume.
+#
+# Builds the real spicesim binary, runs a ladder deck to completion for a
+# reference waveform, re-runs it with -checkpoint and kills it with SIGINT
+# mid-run, resumes with -resume, and requires the final waveform to be
+# bit-identical to the uninterrupted reference. Exercises the whole
+# run-control path (signal handling, partial write, snapshot atomicity,
+# resume validation) through the CLI rather than the test suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/spicesim" ./cmd/spicesim
+
+# A 60-segment RLC ladder, 20k output steps: a few seconds of solve time,
+# so the mid-run SIGINT below has a wide window to land in.
+deck="$work/smoke.cir"
+{
+	echo '* RLC ladder checkpoint smoke deck'
+	echo 'V1 in 0 PULSE(0 1 0.1n 0.05n 0.05n 5n 10n)'
+	echo 'R0 in n0 25'
+	i=0
+	while [ $i -lt 60 ]; do
+		j=$((i + 1))
+		echo "L$i n$i n$j 0.05n"
+		echo "R$j n$j n${j}m 2"
+		echo "C$i n${j}m 0 0.01p"
+		i=$j
+	done
+	echo 'Rload n60m out 10'
+	echo 'Cload out 0 0.05p'
+	echo '.tran 2p 40n'
+	echo '.end'
+} >"$deck"
+
+echo "checkpoint_smoke: reference run"
+"$work/spicesim" -i "$deck" -probe out -o "$work/ref.csv" 2>/dev/null
+
+echo "checkpoint_smoke: interrupted run (SIGINT once the first snapshot lands)"
+"$work/spicesim" -i "$deck" -probe out \
+	-checkpoint "$work/run.ckpt" -o "$work/out.csv" 2>"$work/interrupt.log" &
+pid=$!
+# Kill only after a snapshot exists so -resume always has something to load.
+n=0
+while [ ! -f "$work/run.ckpt" ] && [ $n -lt 200 ]; do
+	kill -0 "$pid" 2>/dev/null || break
+	sleep 0.05
+	n=$((n + 1))
+done
+kill -INT "$pid" 2>/dev/null || true
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 2 ]; then
+	echo "checkpoint_smoke: FAIL: interrupted run exited $rc, want 2 (stop)" >&2
+	cat "$work/interrupt.log" >&2
+	exit 1
+fi
+if ! cmp -s "$work/ref.csv" "$work/out.csv"; then
+	echo "checkpoint_smoke: interrupted run wrote a partial waveform, as expected"
+fi
+
+echo "checkpoint_smoke: resuming"
+"$work/spicesim" -i "$deck" -probe out \
+	-checkpoint "$work/run.ckpt" -resume -o "$work/out.csv" 2>/dev/null
+
+if ! cmp -s "$work/ref.csv" "$work/out.csv"; then
+	echo "checkpoint_smoke: FAIL: resumed waveform differs from the uninterrupted reference" >&2
+	exit 1
+fi
+echo "checkpoint_smoke: PASS: resumed waveform is bit-identical to the reference"
