@@ -10,6 +10,7 @@ import (
 
 // BenchmarkPlanLine measures a full integer-stage repeater plan.
 func BenchmarkPlanLine(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := PlanLine(Tech100(), 2*NHPerMM, 0.5, 45*MM); err != nil {
 			b.Fatal(err)
@@ -19,6 +20,7 @@ func BenchmarkPlanLine(b *testing.B) {
 
 // BenchmarkDelayRamp measures the finite-rise-time delay solve.
 func BenchmarkDelayRamp(b *testing.B) {
+	b.ReportAllocs()
 	st := StageOf(Tech100(), 2*NHPerMM, 11.1*MM, 528)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -30,6 +32,7 @@ func BenchmarkDelayRamp(b *testing.B) {
 
 // BenchmarkCrosstalk measures one coupled-pair transient (reduced ladder).
 func BenchmarkCrosstalk(b *testing.B) {
+	b.ReportAllocs()
 	cfg := XtalkConfig{
 		Pair:     CoupledPair{R: 4400, L: 2e-6, Cg: 8e-11, Cm: 2e-11, Lm: 1.4e-6},
 		H:        3 * MM,
@@ -45,6 +48,7 @@ func BenchmarkCrosstalk(b *testing.B) {
 // BenchmarkEffectiveLoopInductance measures the return-path solve for a
 // 12-conductor return set.
 func BenchmarkEffectiveLoopInductance(b *testing.B) {
+	b.ReportAllocs()
 	n := Tech100()
 	sig := Bar{X: 0, Y: 0, W: n.Width, T: n.Height}
 	var rets []Bar
@@ -61,6 +65,7 @@ func BenchmarkEffectiveLoopInductance(b *testing.B) {
 
 // BenchmarkNetlistParse measures parsing a ~200-element deck.
 func BenchmarkNetlistParse(b *testing.B) {
+	b.ReportAllocs()
 	var sb strings.Builder
 	sb.WriteString("generated ladder\nV1 n0 0 PULSE(0 1 0 10p 10p 1n 2n)\n")
 	for i := 0; i < 64; i++ {

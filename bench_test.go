@@ -19,6 +19,7 @@ var benchSweepLs = []float64{0.5e-6, 2e-6, 4.5e-6}
 // BenchmarkTable1 regenerates Table 1's derived columns: the closed-form RC
 // optimum for both nodes and the inverse device extraction.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, t := range Technologies() {
 			rc, err := OptimizeRC(t)
@@ -34,6 +35,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig2 samples the three canonical second-order step responses.
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	ts := num.Linspace(0, 12, 601)
 	models := make([]pade.Model, 0, 3)
 	for _, zeta := range []float64{2, 1, 0.3} {
@@ -69,6 +71,7 @@ func benchSweep(b *testing.B) [][]SweepPoint {
 
 // BenchmarkFig4 regenerates the critical-inductance-at-optimum series.
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, pts := range benchSweep(b) {
 			for _, p := range pts {
@@ -82,6 +85,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates the h_optRLC/h_optRC series.
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, pts := range benchSweep(b) {
 			for _, p := range pts {
@@ -95,6 +99,7 @@ func BenchmarkFig5(b *testing.B) {
 
 // BenchmarkFig6 regenerates the k_optRLC/k_optRC series.
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, pts := range benchSweep(b) {
 			for _, p := range pts {
@@ -109,6 +114,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the optimized-delay-ratio series (including the
 // εr-swap control).
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, t := range []Technology{Tech250(), Tech100(), Tech100Eps250()} {
 			pts, err := Sweep(t, benchSweepLs, 0.5)
@@ -126,6 +132,7 @@ func BenchmarkFig7(b *testing.B) {
 
 // BenchmarkFig8 regenerates the fixed-RC-sizing penalty series.
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, pts := range benchSweep(b) {
 			for _, p := range pts {
@@ -145,6 +152,7 @@ func fastRing(l float64) RingConfig {
 // BenchmarkFig9 runs the ring-oscillator transient at l = 1.8 nH/mm and
 // extracts the Figure 9 waveform metrics.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, met, err := RunRing(fastRing(1.8e-6))
 		if err != nil {
@@ -159,6 +167,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 runs the transient at l = 2.2 nH/mm (the paper's second
 // waveform operating point).
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, met, err := RunRing(fastRing(2.2e-6))
 		if err != nil {
@@ -173,6 +182,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 regenerates a compact period-vs-inductance sweep spanning
 // the false-switching onset.
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
 	ls := []float64{1.8e-6, 3.0e-6}
 	for i := 0; i < b.N; i++ {
 		pts, err := SweepRingPeriod(fastRing(0), ls)
@@ -187,6 +197,7 @@ func BenchmarkFig11(b *testing.B) {
 
 // BenchmarkFig12 measures the wire current densities and reliability screen.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, met, err := RunRing(fastRing(2.2e-6))
 		if err != nil {
@@ -205,6 +216,7 @@ func BenchmarkFig12(b *testing.B) {
 // BenchmarkDelaySolve measures the Eq. (3) numerical delay solve — the
 // kernel the paper reports as converging in <4 Newton iterations.
 func BenchmarkDelaySolve(b *testing.B) {
+	b.ReportAllocs()
 	st := StageOf(Tech100(), 2e-6, 11.1*MM, 528)
 	m, err := TwoPoleOf(st)
 	if err != nil {
@@ -221,6 +233,7 @@ func BenchmarkDelaySolve(b *testing.B) {
 // BenchmarkOptimize measures one full repeater-insertion optimization — the
 // paper's headline "extremely efficient" claim.
 func BenchmarkOptimize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Optimize(Tech100(), 2e-6, 0.5); err != nil {
 			b.Fatal(err)
@@ -231,6 +244,7 @@ func BenchmarkOptimize(b *testing.B) {
 // BenchmarkExtractBEM measures the 2-D BEM capacitance extraction of the
 // Table 1 cross-section.
 func BenchmarkExtractBEM(b *testing.B) {
+	b.ReportAllocs()
 	n := Tech100()
 	for i := 0; i < b.N; i++ {
 		if _, err := ExtractCapacitance(n.Width, n.Height, n.Pitch, n.TIns, n.EpsR); err != nil {

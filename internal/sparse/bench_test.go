@@ -1,0 +1,43 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFactorize measures the full symbolic+pivotal factorization of an
+// MNA-like sparse system — the per-iteration cost of the legacy solver path.
+func BenchmarkFactorize(b *testing.B) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(1))
+	a, _ := randomSystem(r, 400, 0.01)
+	lu := Workspace(400)
+	if err := lu.Factorize(a, 1e-3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lu.Factorize(a, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefactorize measures the numeric-only refactorization replaying
+// the cached symbolic analysis and pivot sequence — the per-iteration cost
+// of the fast solver path.
+func BenchmarkRefactorize(b *testing.B) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(1))
+	a, _ := randomSystem(r, 400, 0.01)
+	lu := Workspace(400)
+	if err := lu.Factorize(a, 1e-3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lu.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,38 @@ func (e *PivotError) Error() string {
 // Unwrap makes errors.Is(err, ErrSingular) match.
 func (e *PivotError) Unwrap() error { return ErrSingular }
 
+// ErrRefactorUnhealthy is returned by Refactorize when replaying the stored
+// pivot sequence is numerically unsafe (zero, tiny, or non-finite pivot).
+// Callers recover by falling back to a fresh full Factorize, which re-runs
+// the symbolic analysis and pivot search on the current values.
+var ErrRefactorUnhealthy = fmt.Errorf("sparse: refactorization numerically unhealthy")
+
+// RefactorError reports where and why a numeric-only refactorization
+// declined to reuse the cached pivot sequence. It wraps
+// ErrRefactorUnhealthy, NOT ErrSingular: the matrix may be perfectly
+// factorable under fresh pivoting.
+type RefactorError struct {
+	Col    int     // column whose reused pivot degraded
+	Pivot  float64 // the degraded pivot value
+	ColMax float64 // largest magnitude seen in that column's pattern
+}
+
+// Error implements the error interface.
+func (e *RefactorError) Error() string {
+	return fmt.Sprintf("%v: pivot %g (column max %g) in column %d",
+		ErrRefactorUnhealthy, e.Pivot, e.ColMax, e.Col)
+}
+
+// Unwrap makes errors.Is(err, ErrRefactorUnhealthy) match.
+func (e *RefactorError) Unwrap() error { return ErrRefactorUnhealthy }
+
+// refactorPivRel is the pivot-health threshold of Refactorize: a reused
+// pivot smaller than this fraction of its column's largest magnitude trips
+// the fallback to full factorization. The value is deliberately loose — it
+// catches genuine degradation (orders of magnitude of growth) without
+// rejecting the mild drift every Newton iteration produces.
+const refactorPivRel = 1e-12
+
 // LU holds the factors P*A = L*U produced by Factorize. L has unit diagonal
 // (stored explicitly as the first entry of each column); U stores each
 // column's diagonal as its last entry. Row indices of both factors are in
@@ -42,6 +74,12 @@ type LU struct {
 	workXi   []int
 	workPst  []int
 	workMark []bool
+	// Symbolic-cache state: a successful Factorize records the pattern of
+	// L/U and the pivot sequence implicitly in (lp, li, up, ui, pinv);
+	// symbolic marks them valid and symNNZ remembers the input pattern size
+	// so Refactorize can reject a structurally different matrix.
+	symbolic bool
+	symNNZ   int
 }
 
 // Workspace returns a reusable LU sized for n unknowns. Repeated Factorize
@@ -71,6 +109,7 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 	if pivTol <= 0 || pivTol > 1 {
 		pivTol = 1
 	}
+	f.symbolic = false
 	n := f.n
 	f.li = f.li[:0]
 	f.lx = f.lx[:0]
@@ -88,7 +127,9 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 		if err != nil {
 			return err
 		}
-		// Select pivot among rows that are not yet pivotal.
+		// Select pivot among rows that are not yet pivotal, noting the
+		// diagonal candidate in the same pass (relaxed-pivTol factorization
+		// used to rescan the candidate list for it).
 		ipiv := -1
 		amax := -1.0
 		var diagCand float64
@@ -96,8 +137,12 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 		for p := top; p < n; p++ {
 			i := f.workXi[p]
 			if f.pinv[i] < 0 {
-				if v := math.Abs(f.workX[i]); v > amax {
+				v := math.Abs(f.workX[i])
+				if v > amax {
 					amax, ipiv = v, i
+				}
+				if i == k {
+					diagCand, diagRow = v, i
 				}
 			}
 		}
@@ -106,16 +151,8 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 		}
 		// Prefer the diagonal entry when it is within pivTol of the largest
 		// candidate (threshold pivoting).
-		if pivTol < 1 {
-			for p := top; p < n; p++ {
-				i := f.workXi[p]
-				if i == k && f.pinv[i] < 0 {
-					diagCand, diagRow = math.Abs(f.workX[i]), i
-				}
-			}
-			if diagRow >= 0 && diagCand >= pivTol*amax {
-				ipiv = diagRow
-			}
+		if pivTol < 1 && diagRow >= 0 && diagCand >= pivTol*amax {
+			ipiv = diagRow
 		}
 		pivot := f.workX[ipiv]
 		// Emit U entries (rows already pivotal) and this column's diagonal.
@@ -147,6 +184,91 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 	// triangular substitutions.
 	for p := range f.li {
 		f.li[p] = f.pinv[f.li[p]]
+	}
+	f.symbolic = true
+	f.symNNZ = a.NNZ()
+	return nil
+}
+
+// Symbolic reports whether the workspace holds a valid symbolic analysis
+// (L/U pattern and pivot sequence) from a previous successful Factorize.
+func (f *LU) Symbolic() bool { return f.symbolic }
+
+// Refactorize recomputes the numeric values of L and U for a matrix with
+// the SAME sparsity pattern as the one last passed to a successful
+// Factorize, replaying the stored elimination pattern and pivot sequence
+// with no symbolic DFS and no pivot search — the KLU/SPICE "refactor" step
+// that makes repeated Newton factorizations cheap. It performs no
+// allocation.
+//
+// When the stored pivots agree with what a fresh Factorize would select,
+// the numeric result is bit-identical to a full factorization: the
+// elimination replays the exact same operations in the exact same order.
+//
+// A pivot-health guard watches every reused pivot; a zero, non-finite, or
+// relatively tiny pivot aborts with a *RefactorError (matching
+// ErrRefactorUnhealthy), leaving the factors invalid for Solve until the
+// caller falls back to a full Factorize.
+func (f *LU) Refactorize(a *CSC) error {
+	if !f.symbolic {
+		return fmt.Errorf("sparse: Refactorize without a prior successful Factorize")
+	}
+	if a.N != f.n {
+		return fmt.Errorf("sparse: Refactorize dimension %d != workspace %d", a.N, f.n)
+	}
+	if a.NNZ() != f.symNNZ {
+		return fmt.Errorf("sparse: Refactorize pattern has %d nonzeros, symbolic analysis has %d", a.NNZ(), f.symNNZ)
+	}
+	n := f.n
+	x := f.workX // dense accumulator in pivotal row coordinates; all-zero between columns
+	for k := 0; k < n; k++ {
+		// Scatter A(:,k) into pivotal coordinates.
+		for p := a.P[k]; p < a.P[k+1]; p++ {
+			x[f.pinv[a.I[p]]] = a.X[p]
+		}
+		// Eliminate with the already-finished columns of L in the stored
+		// (topological) order: the U entries of column k, excluding the
+		// diagonal held last.
+		uend := f.up[k+1] - 1
+		cmax := 0.0
+		for p := f.up[k]; p < uend; p++ {
+			j := f.ui[p]
+			xj := x[j]
+			f.ux[p] = xj
+			if v := math.Abs(xj); v > cmax {
+				cmax = v
+			}
+			if xj != 0 {
+				for q := f.lp[j] + 1; q < f.lp[j+1]; q++ {
+					x[f.li[q]] -= f.lx[q] * xj
+				}
+			}
+			x[j] = 0
+		}
+		pivot := x[f.ui[uend]] // ui[uend] == k: the diagonal slot
+		f.ux[uend] = pivot
+		x[k] = 0
+		if v := math.Abs(pivot); v > cmax {
+			cmax = v
+		}
+		// L column: unit diagonal stored first, subdiagonals divided by the
+		// reused pivot.
+		lend := f.lp[k+1]
+		for q := f.lp[k] + 1; q < lend; q++ {
+			v := x[f.li[q]]
+			x[f.li[q]] = 0
+			if m := math.Abs(v); m > cmax {
+				cmax = m
+			}
+			f.lx[q] = v / pivot
+		}
+		// Pivot health: refuse zero, non-finite, or collapsed pivots. The
+		// workX entries touched by this column are already cleared, so a
+		// later full Factorize starts from a clean workspace.
+		if pa := math.Abs(pivot); pa == 0 || math.IsNaN(pivot) || pa < refactorPivRel*cmax || math.IsInf(pivot, 0) {
+			f.symbolic = false
+			return &RefactorError{Col: k, Pivot: pivot, ColMax: cmax}
+		}
 	}
 	return nil
 }

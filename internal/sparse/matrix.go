@@ -9,7 +9,6 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Triplet accumulates (row, col, value) entries; duplicates are summed when
@@ -19,6 +18,7 @@ type Triplet struct {
 	rows, cols  []int
 	vals        []float64
 	frozen      bool
+	cursor      int   // frozen-replay position in the stamp sequence
 	stampOrder  []int // compiled mapping: entry index -> CSC value slot
 	compiledCSC *CSC
 }
@@ -29,23 +29,23 @@ func NewTriplet(n int) *Triplet {
 }
 
 // Add appends a contribution at (row, col). After Compile has been called,
-// the stamping pattern is frozen: Add must then be preceded by Reset and must
-// replay entries in the identical order (this is exactly what a transient
-// simulator does each timestep), which updates the compiled CSC in place
-// without allocation.
+// the stamping pattern is frozen: Add must then replay entries in the
+// identical order from the replay cursor (set by Reset or Seek — this is
+// exactly what a transient simulator does each timestep), which updates the
+// compiled CSC in place without allocation.
 func (t *Triplet) Add(row, col int, v float64) {
 	if row < 0 || row >= t.N || col < 0 || col >= t.N {
 		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range for n=%d", row, col, t.N))
 	}
 	if t.frozen {
-		i := len(t.vals)
+		i := t.cursor
 		if i >= len(t.stampOrder) {
 			panic("sparse: frozen Triplet received more stamps than compiled pattern")
 		}
 		if t.rows[i] != row || t.cols[i] != col {
 			panic("sparse: frozen Triplet stamp order deviates from compiled pattern")
 		}
-		t.vals = append(t.vals, v)
+		t.cursor++
 		t.compiledCSC.X[t.stampOrder[i]] += v
 		return
 	}
@@ -55,21 +55,56 @@ func (t *Triplet) Add(row, col int, v float64) {
 }
 
 // Reset prepares the triplet for a fresh round of stamping. After Compile,
-// the sparsity pattern is retained and the compiled CSC values are zeroed.
+// the sparsity pattern is retained, the compiled CSC values are zeroed, and
+// the replay cursor returns to the start of the stamp sequence.
 func (t *Triplet) Reset() {
-	t.vals = t.vals[:0]
 	if t.frozen {
+		t.cursor = 0
 		for i := range t.compiledCSC.X {
 			t.compiledCSC.X[i] = 0
 		}
 	} else {
 		t.rows = t.rows[:0]
 		t.cols = t.cols[:0]
+		t.vals = t.vals[:0]
 	}
 }
 
 // NNZ returns the number of accumulated entries (before deduplication).
-func (t *Triplet) NNZ() int { return len(t.vals) }
+func (t *Triplet) NNZ() int {
+	if t.frozen {
+		return len(t.stampOrder)
+	}
+	return len(t.vals)
+}
+
+// Mark returns the current position in the stamp sequence: the number of
+// entries recorded so far (unfrozen) or the replay cursor (frozen). Callers
+// record Marks around element stamping to obtain per-element entry ranges
+// that Seek can later replay selectively.
+func (t *Triplet) Mark() int {
+	if t.frozen {
+		return t.cursor
+	}
+	return len(t.vals)
+}
+
+// Seek positions the frozen-replay cursor at entry i of the stamp sequence,
+// allowing a caller to restamp only a subset of elements (the partitioned
+// linear/nonlinear assembly of the transient fast path). It panics when the
+// triplet is not frozen or i is out of range.
+func (t *Triplet) Seek(i int) {
+	if !t.frozen {
+		panic("sparse: Seek on unfrozen Triplet")
+	}
+	if i < 0 || i > len(t.stampOrder) {
+		panic(fmt.Sprintf("sparse: Seek(%d) outside stamp sequence of %d entries", i, len(t.stampOrder)))
+	}
+	t.cursor = i
+}
+
+// Frozen reports whether Compile has fixed the stamping pattern.
+func (t *Triplet) Frozen() bool { return t.frozen }
 
 // Compile deduplicates the triplet into CSC form and freezes the stamping
 // pattern: subsequent Reset/Add cycles with the same stamp sequence update
@@ -98,34 +133,55 @@ type CSC struct {
 	X []float64 // values, len nnz
 }
 
+// compileCSC deduplicates triplet entries into CSC form. Ordering uses a
+// two-pass stable counting sort (by row, then by column) instead of a
+// comparison sort: circuit builds run this on every netlist, and sweep/MC
+// workloads construct thousands of circuits, so the O(nnz + n) radix pass
+// beats sort.Slice's O(nnz·log nnz) with closure-call overhead.
 func compileCSC(n int, rows, cols []int, vals []float64) *CSC {
-	type ent struct {
-		r, c int
-		v    float64
+	m := len(vals)
+	count := make([]int, n+1)
+	byRow := make([]int, m)
+	perm := make([]int, m)
+	// Pass 1: stable counting sort by row (the minor key).
+	for _, r := range rows {
+		count[r+1]++
 	}
-	ents := make([]ent, len(vals))
-	for i := range vals {
-		ents[i] = ent{rows[i], cols[i], vals[i]}
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
 	}
-	sort.Slice(ents, func(a, b int) bool {
-		if ents[a].c != ents[b].c {
-			return ents[a].c < ents[b].c
-		}
-		return ents[a].r < ents[b].r
-	})
+	for i := 0; i < m; i++ {
+		byRow[count[rows[i]]] = i
+		count[rows[i]]++
+	}
+	// Pass 2: stable counting sort by column (the major key). Stability
+	// preserves the row order established by pass 1, yielding column-major
+	// entries with ascending rows within each column.
+	for i := range count {
+		count[i] = 0
+	}
+	for _, c := range cols {
+		count[c+1]++
+	}
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
+	}
+	for _, e := range byRow {
+		perm[count[cols[e]]] = e
+		count[cols[e]]++
+	}
 	c := &CSC{N: n, P: make([]int, n+1)}
-	for i := 0; i < len(ents); {
+	for i := 0; i < m; {
+		e := perm[i]
 		j := i
-		for j < len(ents) && ents[j].r == ents[i].r && ents[j].c == ents[i].c {
+		sum := 0.0
+		for j < m && rows[perm[j]] == rows[e] && cols[perm[j]] == cols[e] {
+			sum += vals[perm[j]]
 			j++
 		}
-		sum := 0.0
-		for k := i; k < j; k++ {
-			sum += ents[k].v
-		}
-		c.I = append(c.I, ents[i].r)
+		c.I = append(c.I, rows[e])
 		c.X = append(c.X, sum)
-		c.P[ents[i].c+1]++
+		c.P[cols[e]+1]++
 		i = j
 	}
 	for j := 0; j < n; j++ {
@@ -163,6 +219,26 @@ func (c *CSC) At(row, col int) float64 {
 
 // NNZ returns the stored entry count.
 func (c *CSC) NNZ() int { return len(c.X) }
+
+// GaxpyWith accumulates y += A'·x where A' has c's sparsity pattern and the
+// given value vector (len nnz). The transient fast path uses it to apply the
+// cached linear-partition Jacobian to an iterate without restamping any
+// element; it performs no allocation.
+func (c *CSC) GaxpyWith(vals, x, y []float64) {
+	if len(vals) != len(c.X) || len(x) != c.N || len(y) != c.N {
+		panic(fmt.Sprintf("sparse: GaxpyWith size mismatch: vals=%d nnz=%d x=%d y=%d n=%d",
+			len(vals), len(c.X), len(x), len(y), c.N))
+	}
+	for j := 0; j < c.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := c.P[j]; p < c.P[j+1]; p++ {
+			y[c.I[p]] += vals[p] * xj
+		}
+	}
+}
 
 // MulVec computes y = A*x into a new slice.
 func (c *CSC) MulVec(x []float64) []float64 {

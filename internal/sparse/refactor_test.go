@@ -1,0 +1,239 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// perturb returns a copy of the system with every value nudged by up to
+// rel·|v| — the same sparsity pattern with slightly different numerics,
+// which is exactly what consecutive Newton iterations hand the solver.
+func perturb(r *rand.Rand, a *CSC, rel float64) *CSC {
+	out := &CSC{N: a.N, P: a.P, I: a.I, X: make([]float64, len(a.X))}
+	for i, v := range a.X {
+		out.X[i] = v * (1 + rel*(r.Float64()*2-1))
+	}
+	return out
+}
+
+// TestRefactorizeMatchesFactorize solves the same perturbed systems through
+// Refactorize and through a fresh full Factorize: as long as the pivot
+// sequence stays valid, both must produce solutions that agree to machine
+// roundoff (and identical bits when the values are unchanged).
+func TestRefactorizeMatchesFactorize(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(40)
+		a, b := randomSystem(r, n, 0.15)
+		lu := Workspace(n)
+		if err := lu.Factorize(a, 1e-3); err != nil {
+			t.Fatalf("trial %d: factorize: %v", trial, err)
+		}
+		want := make([]float64, n)
+		lu.SolveInto(want, b)
+
+		// Same values through Refactorize: bit-identical factors and solve.
+		if err := lu.Refactorize(a); err != nil {
+			t.Fatalf("trial %d: refactorize (unchanged): %v", trial, err)
+		}
+		got := make([]float64, n)
+		lu.SolveInto(got, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: refactorize with unchanged values altered solution at %d: %g != %g",
+					trial, i, got[i], want[i])
+			}
+		}
+
+		// Perturbed values: compare against an independent full factorization.
+		ap := perturb(r, a, 1e-3)
+		if err := lu.Refactorize(ap); err != nil {
+			t.Fatalf("trial %d: refactorize (perturbed): %v", trial, err)
+		}
+		lu.SolveInto(got, b)
+		ref := Workspace(n)
+		if err := ref.Factorize(ap, 1e-3); err != nil {
+			t.Fatalf("trial %d: reference factorize: %v", trial, err)
+		}
+		refX := make([]float64, n)
+		ref.SolveInto(refX, b)
+		for i := range got {
+			scale := math.Max(math.Abs(refX[i]), 1)
+			if math.Abs(got[i]-refX[i]) > 1e-10*scale {
+				t.Fatalf("trial %d: perturbed refactorize solution off at %d: %g vs %g",
+					trial, i, got[i], refX[i])
+			}
+		}
+	}
+}
+
+// TestRefactorizeHealthGuard drives the stored pivot sequence into the
+// ground — the diagonal entry the sequence relies on collapses to zero —
+// and requires a typed ErrRefactorUnhealthy instead of silently garbage
+// factors, with the symbolic state invalidated so the next call goes
+// through a full factorization.
+func TestRefactorizeHealthGuard(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, b := randomSystem(r, 12, 0.3)
+	lu := Workspace(12)
+	if err := lu.Factorize(a, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if !lu.Symbolic() {
+		t.Fatal("Symbolic() false after successful factorization")
+	}
+	// Kill a diagonal: with diagonal dominance gone and the stored pivots
+	// forced, the health check must trip on the dead pivot.
+	bad := &CSC{N: a.N, P: a.P, I: a.I, X: append([]float64(nil), a.X...)}
+	for j := 0; j < bad.N; j++ {
+		for p := bad.P[j]; p < bad.P[j+1]; p++ {
+			if bad.I[p] == j {
+				bad.X[p] = 0
+			}
+		}
+	}
+	err := lu.Refactorize(bad)
+	if err == nil {
+		t.Fatal("refactorize accepted a matrix with a zeroed diagonal")
+	}
+	if !errors.Is(err, ErrRefactorUnhealthy) {
+		t.Fatalf("error %v is not ErrRefactorUnhealthy", err)
+	}
+	var re *RefactorError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v carries no *RefactorError detail", err)
+	}
+	if lu.Symbolic() {
+		t.Fatal("Symbolic() still true after an unhealthy refactorization")
+	}
+	// Recovery: a full factorization of the original matrix works again.
+	if err := lu.Factorize(a, 1e-3); err != nil {
+		t.Fatalf("recovery factorize: %v", err)
+	}
+	x := make([]float64, 12)
+	lu.SolveInto(x, b)
+	res := a.MulVec(x)
+	for i := range res {
+		if math.Abs(res[i]-b[i]) > 1e-9 {
+			t.Fatalf("recovered solve residual %g at row %d", res[i]-b[i], i)
+		}
+	}
+}
+
+// TestRefactorizeRejectsMismatch covers the contract checks: no symbolic
+// state, wrong dimension, wrong nonzero count.
+func TestRefactorizeRejectsMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, _ := randomSystem(r, 8, 0.3)
+	lu := Workspace(8)
+	if err := lu.Refactorize(a); err == nil {
+		t.Fatal("refactorize without a prior factorization succeeded")
+	}
+	if err := lu.Factorize(a, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := randomSystem(r, 9, 0.3)
+	if err := lu.Refactorize(other); err == nil {
+		t.Fatal("refactorize accepted a differently sized matrix")
+	}
+}
+
+// TestRefactorizeAllocFree pins the hot-loop property the transient solver
+// relies on: numeric-only refactorization performs no allocation.
+func TestRefactorizeAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a, _ := randomSystem(r, 30, 0.15)
+	lu := Workspace(30)
+	if err := lu.Factorize(a, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := lu.Refactorize(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Refactorize allocates %.0f objects/op, want 0", allocs)
+	}
+}
+
+// TestTripletSeekPartialReplay replays only a subset of the stamp sequence
+// after freezing — the partitioned-assembly pattern: Reset, then Seek to an
+// element's recorded range and restamp just that range.
+func TestTripletSeekPartialReplay(t *testing.T) {
+	tr := NewTriplet(3)
+	// "Element 1": entries 0-1; "element 2": entries 2-3.
+	m0 := tr.Mark()
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 2)
+	m1 := tr.Mark()
+	tr.Add(1, 1, 3)
+	tr.Add(2, 2, 4)
+	c := tr.Compile()
+	if !tr.Frozen() {
+		t.Fatal("Compile did not freeze the pattern")
+	}
+
+	// Full replay keeps values.
+	tr.Reset()
+	tr.Seek(m0)
+	tr.Add(0, 0, 10)
+	tr.Add(0, 1, 20)
+	tr.Seek(m1)
+	tr.Add(1, 1, 30)
+	tr.Add(2, 2, 40)
+	if c.At(0, 0) != 10 || c.At(1, 1) != 30 || c.At(2, 2) != 40 {
+		t.Fatalf("full replay wrong: %v", c.X)
+	}
+
+	// Partial replay: zero everything, restamp only element 2's range.
+	tr.Reset()
+	tr.Seek(m1)
+	tr.Add(1, 1, 7)
+	tr.Add(2, 2, 8)
+	if c.At(0, 0) != 0 || c.At(0, 1) != 0 || c.At(1, 1) != 7 || c.At(2, 2) != 8 {
+		t.Fatalf("partial replay wrong: %v", c.X)
+	}
+
+	// Deviating from the frozen order must panic loudly, not corrupt slots.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order frozen Add did not panic")
+		}
+	}()
+	tr.Seek(m0)
+	tr.Add(2, 2, 1)
+}
+
+// TestGaxpyWith checks y += A'·x against a straightforward dense product.
+func TestGaxpyWith(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a, _ := randomSystem(r, 15, 0.2)
+	vals := make([]float64, a.NNZ())
+	for i := range vals {
+		vals[i] = r.Float64()*2 - 1
+	}
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	x[3] = 0 // exercise the zero-column skip
+	y := make([]float64, a.N)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	want := append([]float64(nil), y...)
+	for j := 0; j < a.N; j++ {
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			want[a.I[p]] += vals[p] * x[j]
+		}
+	}
+	a.GaxpyWith(vals, x, y)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("GaxpyWith wrong at %d: %g != %g", i, y[i], want[i])
+		}
+	}
+}

@@ -27,6 +27,8 @@ type AdaptiveOpts struct {
 	// Limits bound the run; see runctl.Limits. MaxIters counts Newton
 	// iterations, the inner unit of work.
 	Limits runctl.Limits
+	// NoFastPath disables the sparse-kernel fast path (see TranOpts).
+	NoFastPath bool
 }
 
 func (o AdaptiveOpts) withDefaults() (AdaptiveOpts, error) {
@@ -86,7 +88,7 @@ func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, opts AdaptiveOpts, p
 	ctl := runctl.New(ctx, opts.Limits)
 	tran := TranOpts{
 		TStop: opts.TStop, DT: opts.DTInit, MaxNewton: opts.MaxNewton,
-		ITol: opts.ITol, Gmin: opts.Gmin,
+		ITol: opts.ITol, Gmin: opts.Gmin, NoFastPath: opts.NoFastPath,
 	}
 	tran, _ = tran.withDefaults()
 	tran.ctl = ctl
@@ -97,7 +99,7 @@ func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, opts AdaptiveOpts, p
 			ns.x[id] = v
 		}
 	} else {
-		x0, err := c.dcOperatingPoint(ctl, DCOpts{})
+		x0, err := c.dcOperatingPoint(ctl, DCOpts{NoFastPath: opts.NoFastPath})
 		if err != nil {
 			if runctl.IsStop(err) {
 				return nil, err

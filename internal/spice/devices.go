@@ -111,6 +111,9 @@ func (e *inverterCore) load(ld *loader) {
 
 func (e *inverterCore) accept(ld *loader) {}
 
+// nonlinear marks the inverter core for the partitioned-assembly fast path.
+func (e *inverterCore) nonlinear() {}
+
 // MOSFETParams parameterize the alpha-power-law MOSFET (Sakurai–Newton).
 type MOSFETParams struct {
 	PMOS  bool
@@ -205,3 +208,6 @@ func (e *mosfet) load(ld *loader) {
 }
 
 func (e *mosfet) accept(ld *loader) {}
+
+// nonlinear marks the MOSFET for the partitioned-assembly fast path.
+func (e *mosfet) nonlinear() {}

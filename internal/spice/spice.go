@@ -85,6 +85,15 @@ type branched interface {
 	numBranches() int
 }
 
+// nonlinearDevice marks elements whose Jacobian stamps depend on the Newton
+// iterate. Everything else (R, C, L, K, independent sources) has constant
+// stamps for a fixed timestep configuration, which the transient fast path
+// exploits by pre-stamping the linear partition once per step and
+// restamping only nonlinear devices per Newton iteration.
+type nonlinearDevice interface {
+	nonlinear()
+}
+
 func (c *Circuit) addElem(e element) {
 	if b, ok := e.(branched); ok {
 		b.setBranchBase(len(c.nodeNames)*0 + c.nBranches) // branch offset, bases resolved in loader
@@ -155,35 +164,42 @@ func (ld *loader) addRes(n NodeID, v float64) {
 // addResRow accumulates into an arbitrary residual row.
 func (ld *loader) addResRow(row int, v float64) { ld.res[row] += v }
 
-// addJ accumulates into the Jacobian at (row=node, col=node).
+// addJ accumulates into the Jacobian at (row=node, col=node). A nil jac
+// selects residual-only assembly (the linear-circuit bypass re-evaluates
+// the residual each Newton iteration but never restamps the constant
+// Jacobian), so every Jacobian helper is a no-op then.
 func (ld *loader) addJ(row, col NodeID, v float64) {
-	if row != Ground && col != Ground {
+	if ld.jac != nil && row != Ground && col != Ground {
 		ld.jac.Add(int(row), int(col), v)
 	}
 }
 
 // addJRC accumulates into the Jacobian at raw (row, col) indices.
 func (ld *loader) addJRC(row, col int, v float64) {
-	ld.jac.Add(row, col, v)
+	if ld.jac != nil {
+		ld.jac.Add(row, col, v)
+	}
 }
 
 // addJNodeBranch accumulates ∂F_node/∂i_branch.
 func (ld *loader) addJNodeBranch(row NodeID, b int, v float64) {
-	if row != Ground {
+	if ld.jac != nil && row != Ground {
 		ld.jac.Add(int(row), ld.branchRow(b), v)
 	}
 }
 
 // addJBranchNode accumulates ∂F_branch/∂v_node.
 func (ld *loader) addJBranchNode(b int, col NodeID, v float64) {
-	if col != Ground {
+	if col != Ground && ld.jac != nil {
 		ld.jac.Add(ld.branchRow(b), int(col), v)
 	}
 }
 
 // addJBranchBranch accumulates ∂F_branch/∂i_branch.
 func (ld *loader) addJBranchBranch(b, b2 int, v float64) {
-	ld.jac.Add(ld.branchRow(b), ld.branchRow(b2), v)
+	if ld.jac != nil {
+		ld.jac.Add(ld.branchRow(b), ld.branchRow(b2), v)
+	}
 }
 
 // Validate performs basic sanity checks on the netlist.

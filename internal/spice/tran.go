@@ -48,6 +48,14 @@ type TranOpts struct {
 	// NoBEStart disables the two backward-Euler startup steps; use only
 	// when the initial conditions are exactly consistent.
 	NoBEStart bool
+	// NoFastPath disables the sparse-kernel fast path (symbolic-cache
+	// refactorization, partitioned linear/nonlinear stamping, and the
+	// linear-circuit factorization bypass — see fastpath.go) and restores
+	// the legacy full-restamp/full-factorize Newton iteration. The fast
+	// path produces bit-identical waveforms for linear circuits and agrees
+	// to solver tolerance for nonlinear ones; this switch exists for the
+	// differential test suite and as an escape hatch.
+	NoFastPath bool
 	// Injector injects solver faults for testing (nil in production).
 	Injector *diag.Injector
 	// Report, when non-nil, collects the recovery-ladder attempts of the
@@ -232,25 +240,39 @@ type newtonState struct {
 	xPrev  []float64
 	dx     []float64
 	xTry   []float64
+	fast   fastAssembly
+	// symStep is the grid step whose first solve last refreshed the symbolic
+	// factorization (see factorizeFast's refresh schedule); -1 before any.
+	symStep int
+	// ld is the reusable per-sub-step loader of the transient loop; keeping
+	// it here (rather than allocating one per sub-step) makes steady-state
+	// transient steps allocation-free.
+	ld loader
 }
 
 func newNewtonState(c *Circuit) *newtonState {
 	n := c.NumUnknowns()
-	return &newtonState{
-		c:      c,
-		n:      n,
-		nNodes: c.NumNodes(),
-		trip:   sparse.NewTriplet(n),
-		lu:     sparse.Workspace(n),
-		res:    make([]float64, n),
-		x:      make([]float64, n),
-		xPrev:  make([]float64, n),
-		dx:     make([]float64, n),
-		xTry:   make([]float64, n),
+	ns := &newtonState{
+		c:       c,
+		n:       n,
+		nNodes:  c.NumNodes(),
+		trip:    sparse.NewTriplet(n),
+		lu:      sparse.Workspace(n),
+		res:     make([]float64, n),
+		x:       make([]float64, n),
+		xPrev:   make([]float64, n),
+		dx:      make([]float64, n),
+		xTry:    make([]float64, n),
+		symStep: -1,
 	}
+	ns.fast.classify(c)
+	return ns
 }
 
 // assemble loads all elements for iterate x into the Jacobian and residual.
+// While the stamping pattern is still unfrozen (the first assembly of the
+// analysis) it records each element's start position in the stamp sequence,
+// which the fast path later uses to restamp elements selectively.
 func (ns *newtonState) assemble(ld *loader) {
 	ns.trip.Reset()
 	for i := range ns.res {
@@ -259,6 +281,13 @@ func (ns *newtonState) assemble(ld *loader) {
 	ld.nNodes = ns.nNodes
 	ld.jac = ns.trip
 	ld.res = ns.res
+	if !ns.trip.Frozen() {
+		for i, e := range ns.c.elems {
+			ns.fast.starts[i] = ns.trip.Mark()
+			e.load(ld)
+		}
+		return
+	}
 	for _, e := range ns.c.elems {
 		e.load(ld)
 	}
@@ -274,25 +303,75 @@ func infNorm(v []float64) float64 {
 	return m
 }
 
+// Assembly strategies of solveNewton. The fast modes are selected
+// automatically unless TranOpts.NoFastPath holds; both preserve the legacy
+// mode's iteration structure, run-control ticks, and fault-injection sites
+// exactly — they change how the system is (re)built and factored, not what
+// the Newton loop does with it.
+const (
+	asmLegacy int = iota // full restamp + strict full factorization per iteration
+	asmFast              // partitioned restamp + symbolic-cache refactorization
+	asmLinear            // residual-only restamp + per-config cached factors
+)
+
+// newtonFail builds the typed diagnostic for a failed Newton solve.
+func newtonFail(kind error, ld *loader, iter int, rnorm float64, cause error, detail string) *diag.Error {
+	de := diag.New(kind, "spice.solveNewton")
+	de.Time = ld.t
+	de.Step = ld.step
+	de.Iteration = iter
+	de.Residual = rnorm
+	de.Gmin = ld.gmin
+	de.Detail = detail
+	de.Err = cause
+	return de
+}
+
+// reassemble rebuilds the system for the iterate in ld.x under the selected
+// assembly strategy (the per-damping-trial hot call).
+func (ns *newtonState) reassemble(ld *loader, mode int) {
+	switch mode {
+	case asmFast:
+		ns.assembleFast(ld)
+	case asmLinear:
+		ns.assembleRes(ld)
+	default:
+		ns.assemble(ld)
+	}
+}
+
 // solveNewton iterates the residual Newton loop for the configured loader
 // until converged, returning the iteration count.
 func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 	ld.x = ns.x
 	ld.xPrev = ns.xPrev
-	ns.assemble(ld)
-	csc := ns.trip.Compile()
-	rnorm := infNorm(ns.res)
-	fail := func(kind error, iter int, cause error, detail string) *diag.Error {
-		de := diag.New(kind, "spice.solveNewton")
-		de.Time = ld.t
-		de.Step = ld.step
-		de.Iteration = iter
-		de.Residual = rnorm
-		de.Gmin = ld.gmin
-		de.Detail = detail
-		de.Err = cause
-		return de
+	mode := asmLegacy
+	if !opts.NoFastPath {
+		if ns.fast.linearOnly {
+			mode = asmLinear
+		} else {
+			mode = asmFast
+		}
 	}
+	var csc *sparse.CSC
+	var cachedLU *sparse.LU
+	var cachedFerr error
+	switch mode {
+	case asmFast:
+		ns.prepareFast(ld)
+		csc = ns.fast.csc
+		ns.assembleFast(ld)
+	case asmLinear:
+		var assembled bool
+		cachedLU, assembled, cachedFerr = ns.linearFactor(ld)
+		if !assembled {
+			ns.assembleRes(ld)
+		}
+	default:
+		ns.assemble(ld)
+		csc = ns.trip.Compile()
+	}
+	rnorm := infNorm(ns.res)
 	for iter := 1; iter <= opts.MaxNewton; iter++ {
 		// Run control: every Newton iteration is a cancellation point and
 		// consumes one unit of the iteration budget, so a cancelled or
@@ -303,20 +382,38 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 		}
 		// Fault-injection sites: "spice.newton/<rung>" simulates a Newton
 		// stall or residual blow-up; "spice.factorize/<rung>" a singular
-		// system. Both are free when no injector is installed.
-		site := diag.Site{Op: "spice.newton/" + ld.op, Time: ld.t, Step: ld.step, Iteration: iter, Gmin: ld.gmin}
-		if err := opts.Injector.At(site); err != nil {
-			return iter, fail(diag.ErrNonConvergence, iter, err, "injected Newton fault")
+		// system; "spice.refactorize/<rung>" (fast mode, consulted in
+		// factorizeFast) a degraded refactorization that must fall back to a
+		// full factorization. The nil-injector production path skips even the
+		// site construction — the op-string concatenations would otherwise be
+		// the only allocations in a steady-state iteration.
+		var ferr error
+		if opts.Injector != nil {
+			site := diag.Site{Op: "spice.newton/" + ld.op, Time: ld.t, Step: ld.step, Iteration: iter, Gmin: ld.gmin}
+			if err := opts.Injector.At(site); err != nil {
+				return iter, newtonFail(diag.ErrNonConvergence, ld, iter, rnorm, err, "injected Newton fault")
+			}
+			site.Op = "spice.factorize/" + ld.op
+			ferr = opts.Injector.At(site)
 		}
-		site.Op = "spice.factorize/" + ld.op
-		ferr := opts.Injector.At(site)
 		if ferr == nil {
-			ferr = ns.lu.Factorize(csc, 1)
+			switch mode {
+			case asmFast:
+				ferr = ns.factorizeFast(ld, opts, csc, iter)
+			case asmLinear:
+				ferr = cachedFerr
+			default:
+				ferr = ns.lu.Factorize(csc, 1)
+			}
 		}
 		if ferr != nil {
-			return iter, fail(diag.ErrSingularJacobian, iter, ferr, ld.op)
+			return iter, newtonFail(diag.ErrSingularJacobian, ld, iter, rnorm, ferr, ld.op)
 		}
-		ns.lu.SolveInto(ns.dx, ns.res)
+		lu := ns.lu
+		if mode == asmLinear {
+			lu = cachedLU
+		}
+		lu.SolveInto(ns.dx, ns.res)
 		// Per-component step limiting (the saturated-transistor guard).
 		for i := range ns.dx {
 			if ns.dx[i] > opts.MaxStep {
@@ -340,7 +437,7 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 			ns.x = ns.xTry
 			ns.xTry = save
 			ld.x = ns.x
-			ns.assemble(ld)
+			ns.reassemble(ld, mode)
 			newNorm = infNorm(ns.res)
 			if newNorm <= rnorm*1.01 || newNorm < opts.ITol || h >= 8 {
 				break
@@ -357,7 +454,7 @@ func (ns *newtonState) solveNewton(ld *loader, opts TranOpts) (int, error) {
 		}
 		rnorm = newNorm
 	}
-	return opts.MaxNewton, fail(diag.ErrNonConvergence, opts.MaxNewton, nil, "Newton budget exhausted")
+	return opts.MaxNewton, newtonFail(diag.ErrNonConvergence, ld, opts.MaxNewton, rnorm, nil, "Newton budget exhausted")
 }
 
 // DCOpts configure DCOperatingPointWith: an optional fault injector, a
@@ -367,6 +464,8 @@ type DCOpts struct {
 	Report   *diag.Report
 	// Limits bound the solve in wall-clock time and Newton iterations.
 	Limits runctl.Limits
+	// NoFastPath disables the sparse-kernel fast path (see TranOpts).
+	NoFastPath bool
 }
 
 // DCOperatingPoint solves the DC operating point (capacitors open,
@@ -401,6 +500,8 @@ func (c *Circuit) dcOperatingPoint(ctl *runctl.Controller, o DCOpts) ([]float64,
 	}
 	opts, _ := TranOpts{TStop: 1, DT: 1}.withDefaults()
 	opts.Injector = o.Injector
+	opts.Report = o.Report
+	opts.NoFastPath = o.NoFastPath
 	opts.ctl = ctl
 	ns := newNewtonState(c)
 	seedICs := func() {
@@ -540,7 +641,7 @@ func (c *Circuit) TransientCtx(ctx context.Context, opts TranOpts, probes ...Pro
 			ns.x[id] = v
 		}
 	} else {
-		x0, err := c.dcOperatingPoint(opts.ctl, DCOpts{Injector: opts.Injector, Report: opts.Report})
+		x0, err := c.dcOperatingPoint(opts.ctl, DCOpts{Injector: opts.Injector, Report: opts.Report, NoFastPath: opts.NoFastPath})
 		if err != nil {
 			return nil, fmt.Errorf("spice: Transient initial point: %w", err)
 		}
@@ -603,7 +704,8 @@ func (c *Circuit) transientLoop(opts TranOpts, ns *newtonState, res *Result, pro
 			if trap {
 				op = "tran-tr"
 			}
-			ld := &loader{t: t + dt, dt: dt, trap: trap, gmin: opts.Gmin, op: op, step: step}
+			ld := &ns.ld
+			*ld = loader{t: t + dt, dt: dt, trap: trap, gmin: opts.Gmin, op: op, step: step}
 			copy(ns.xPrev, ns.x)
 			if _, err := ns.solveNewton(ld, opts); err != nil {
 				// Back out the failed attempt.
@@ -649,12 +751,13 @@ func (c *Circuit) transientLoop(opts TranOpts, ns *newtonState, res *Result, pro
 				dt /= 2
 				continue
 			}
-			// Commit element state.
-			ldAcc := *ld
-			ldAcc.x = ns.x
-			ldAcc.xPrev = ns.xPrev
+			// Commit element state. The loader is reused as-is: solveNewton
+			// leaves ld.x on the converged iterate and ld.xPrev on the
+			// previous step's solution, exactly what accept needs.
+			ld.x = ns.x
+			ld.xPrev = ns.xPrev
 			for _, e := range c.elems {
-				e.accept(&ldAcc)
+				e.accept(ld)
 			}
 			t += dt
 			if beSteps > 0 {

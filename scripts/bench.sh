@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite and emit a machine-readable
+# snapshot BENCH_<UTC-date>.json in the repo root. Committing these
+# snapshots over time gives the repo a benchmark trajectory: every
+# performance PR records the before/after numbers it claims.
+#
+# Usage:
+#   scripts/bench.sh              # full run (go test -bench . -benchmem)
+#   BENCHTIME=1x scripts/bench.sh # CI smoke: one iteration per benchmark
+#
+# Output schema: {"date": ..., "go": ..., "benchmarks": [{"op": name,
+# "ns_per_op": float, "b_per_op": int, "allocs_per_op": int}, ...]}
+# Entries keep the -N GOMAXPROCS suffix stripped so names stay stable
+# across machines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-}"
+args=(test -run '^$' -bench . -benchmem -timeout 60m ./...)
+if [[ -n "$benchtime" ]]; then
+  args+=(-benchtime "$benchtime")
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go "${args[@]}" | tee "$raw"
+
+date_utc="$(date -u +%Y-%m-%d)"
+out="BENCH_${date_utc}.json"
+go_version="$(go version | awk '{print $3}')"
+
+awk -v date="$date_utc" -v gover="$go_version" '
+BEGIN { n = 0 }
+# Benchmark result lines look like:
+#   BenchmarkFig9-8   3   417071363 ns/op   5175389 B/op   158938 allocs/op
+$1 ~ /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
+    ns = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    ops[n] = sprintf("    {\"op\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
+                     name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop))
+    n++
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
+    for (i = 0; i < n; i++) printf "%s%s\n", ops[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+count="$(grep -c '"op"' "$out" || true)"
+echo "wrote $out ($count benchmarks)"
