@@ -7,6 +7,7 @@ package rlcint
 // stays tractable; cmd/figures runs them at full resolution.
 
 import (
+	"context"
 	"testing"
 
 	"rlcint/internal/num"
@@ -55,16 +56,18 @@ func BenchmarkFig2(b *testing.B) {
 	}
 }
 
-// benchSweep runs the shared Figures 4-8 sweep for both nodes.
+// benchSweep runs the shared Figures 4-8 sweep for both nodes through the
+// batched engine with warm-start continuation — the production path of
+// cmd/figures.
 func benchSweep(b *testing.B) [][]SweepPoint {
 	b.Helper()
-	out := make([][]SweepPoint, 0, 2)
-	for _, t := range Technologies() {
-		pts, err := Sweep(t, benchSweepLs, 0.5)
-		if err != nil {
-			b.Fatal(err)
-		}
-		out = append(out, pts)
+	rows, err := SweepNodes(context.Background(), SweepOptions{Warm: true}, Technologies(), benchSweepLs, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([][]SweepPoint, len(rows))
+	for i, r := range rows {
+		out[i] = r.Points
 	}
 	return out
 }
@@ -115,13 +118,14 @@ func BenchmarkFig6(b *testing.B) {
 // εr-swap control).
 func BenchmarkFig7(b *testing.B) {
 	b.ReportAllocs()
+	techs := []Technology{Tech250(), Tech100(), Tech100Eps250()}
 	for i := 0; i < b.N; i++ {
-		for _, t := range []Technology{Tech250(), Tech100(), Tech100Eps250()} {
-			pts, err := Sweep(t, benchSweepLs, 0.5)
-			if err != nil {
-				b.Fatal(err)
-			}
-			for _, p := range pts {
+		rows, err := SweepNodes(context.Background(), SweepOptions{Warm: true}, techs, benchSweepLs, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			for _, p := range r.Points {
 				if p.DelayRatio < 1 {
 					b.Fatal("ratio below 1")
 				}
@@ -236,6 +240,28 @@ func BenchmarkOptimize(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Optimize(Tech100(), 2e-6, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCold measures the batched engine's cold path on one node —
+// bit-identical to the serial reference sweep, every point a full ladder.
+func BenchmarkSweepCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepBatch(context.Background(), SweepOptions{}, Tech100(), benchSweepLs, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepWarm measures the same sweep with warm-start continuation —
+// the per-point speedup the figure benches inherit.
+func BenchmarkSweepWarm(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepBatch(context.Background(), SweepOptions{Warm: true}, Tech100(), benchSweepLs, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}

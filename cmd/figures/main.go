@@ -4,24 +4,39 @@
 //
 // Usage:
 //
-//	figures [-only id] [-out dir] [-points n] [-fast]
+//	figures [-only id] [-out dir] [-points n] [-fast] [-workers n] [-timeout d] [-warm=false]
 //
 // where id is one of: table1, fig2, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, fig11, fig12, valid, all (default all). -fast reduces transient
 // resolution for a quick smoke run.
+//
+// With -only all the artifacts evaluate concurrently over a bounded worker
+// pool; each artifact's text renders into its own buffer and buffers flush
+// to stdout in the canonical order as soon as each artifact (and all before
+// it) is done. ^C or an exhausted -timeout stops the run, keeps every
+// completed artifact's output, and exits with status 2. Figures 4–8 run
+// through the batched sweep engine with Newton warm-start continuation;
+// pass -warm=false for the cold engine (bit-identical to the serial
+// reference path).
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"rlcint"
 	"rlcint/internal/awe"
 	"rlcint/internal/num"
 	"rlcint/internal/pade"
+	"rlcint/internal/runctl"
 	"rlcint/internal/waveform"
 )
 
@@ -30,13 +45,86 @@ func main() {
 	outDir := flag.String("out", "out", "output directory for CSV files")
 	points := flag.Int("points", 13, "sweep points per curve for Figures 4-8")
 	fast := flag.Bool("fast", false, "reduce transient resolution (Figures 9-12)")
+	workers := flag.Int("workers", 0, "parallel artifact/point evaluations (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	warm := flag.Bool("warm", true, "warm-start continuation for the Figure 4-8 sweeps")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	g := &gen{dir: *outDir, points: *points, fast: *fast}
-	artifacts := map[string]func() error{
+	base := gen{
+		dir:    *outDir,
+		points: *points,
+		fast:   *fast,
+		ctx:    ctx,
+		sweep:  rlcint.SweepOptions{Workers: *workers, Warm: *warm},
+	}
+
+	if *only == "all" {
+		runAll(ctx, base, *workers)
+		return
+	}
+	g := base
+	g.w = os.Stdout
+	f, ok := artifactsOf(&g)[*only]
+	if !ok {
+		fatal(fmt.Errorf("unknown artifact %q", *only))
+	}
+	if err := f(); err != nil {
+		if rlcint.IsRunStop(err) {
+			fmt.Fprintln(os.Stderr, "figures: stopped:", err)
+			os.Exit(2)
+		}
+		fatal(err)
+	}
+}
+
+// allOrder is the canonical artifact sequence of a full run (fig4 covers
+// Figures 4-8, which share one sweep).
+var allOrder = []string{"table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "valid"}
+
+// runAll evaluates every artifact concurrently, each rendering into its own
+// buffer, and flushes the buffers to stdout in canonical order as they (and
+// all their predecessors) complete — so an interrupted run still prints a
+// clean prefix of whole artifacts.
+func runAll(ctx context.Context, base gen, workers int) {
+	ctl := runctl.New(ctx, rlcint.RunLimits{})
+	done := 0
+	err := runctl.Stream(ctl, workers, len(allOrder),
+		func(i int) (*bytes.Buffer, error) {
+			g := base
+			var buf bytes.Buffer
+			g.w = &buf
+			if err := artifactsOf(&g)[allOrder[i]](); err != nil {
+				return nil, fmt.Errorf("%s: %w", allOrder[i], err)
+			}
+			return &buf, nil
+		},
+		func(i int, buf *bytes.Buffer) error {
+			done++
+			_, err := os.Stdout.Write(buf.Bytes())
+			return err
+		})
+	if err != nil {
+		if rlcint.IsRunStop(err) {
+			fmt.Fprintf(os.Stderr, "figures: stopped after %d/%d artifacts: %v\n", done, len(allOrder), err)
+			os.Exit(2)
+		}
+		fatal(err)
+	}
+}
+
+func artifactsOf(g *gen) map[string]func() error {
+	return map[string]func() error{
 		"table1": g.table1,
 		"fig2":   g.fig2,
 		"fig4":   g.figs4to8, // Figures 4-8 share one sweep
@@ -50,22 +138,6 @@ func main() {
 		"fig12":  g.fig12,
 		"valid":  g.valid,
 	}
-	if *only == "all" {
-		order := []string{"table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "valid"}
-		for _, k := range order {
-			if err := artifacts[k](); err != nil {
-				fatal(fmt.Errorf("%s: %w", k, err))
-			}
-		}
-		return
-	}
-	f, ok := artifacts[*only]
-	if !ok {
-		fatal(fmt.Errorf("unknown artifact %q", *only))
-	}
-	if err := f(); err != nil {
-		fatal(err)
-	}
 }
 
 func fatal(err error) {
@@ -77,6 +149,9 @@ type gen struct {
 	dir      string
 	points   int
 	fast     bool
+	w        io.Writer
+	ctx      context.Context
+	sweep    rlcint.SweepOptions
 	sweepRan bool
 }
 
@@ -92,8 +167,8 @@ func (g *gen) csv(name string, t []float64, cols []string, series ...[]float64) 
 // table1 regenerates the derived columns of Table 1 from (r_s, c_0, c_p)
 // and, inversely, re-extracts the device from the published optima.
 func (g *gen) table1() error {
-	fmt.Println("== Table 1: technology parameters and RC optima ==")
-	fmt.Printf("%-8s %10s %10s %10s %12s %10s %10s\n",
+	fmt.Fprintln(g.w, "== Table 1: technology parameters and RC optima ==")
+	fmt.Fprintf(g.w, "%-8s %10s %10s %10s %12s %10s %10s\n",
 		"node", "h_opt(mm)", "k_opt", "tau(ps)", "rs(kΩ)", "c0(fF)", "cp(fF)")
 	var rows [][]float64
 	for _, t := range rlcint.Technologies() {
@@ -105,7 +180,7 @@ func (g *gen) table1() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s %10.1f %10.0f %10.2f %12.3f %10.4f %10.4f\n",
+		fmt.Fprintf(g.w, "%-8s %10.1f %10.0f %10.2f %12.3f %10.4f %10.4f\n",
 			t.Name, rc.H/rlcint.MM, rc.K, rc.Tau/rlcint.PS,
 			d.Rs/rlcint.KOhm, d.C0/rlcint.FF, d.Cp/rlcint.FF)
 		rows = append(rows, []float64{rc.H / rlcint.MM, rc.K, rc.Tau / rlcint.PS,
@@ -122,7 +197,7 @@ func (g *gen) table1() error {
 
 // fig2 renders the canonical over/critically/under-damped step responses.
 func (g *gen) fig2() error {
-	fmt.Println("== Figure 2: second-order step responses ==")
+	fmt.Fprintln(g.w, "== Figure 2: second-order step responses ==")
 	ts := num.Linspace(0, 12, 601)
 	curves := map[string]pade.Model{}
 	for _, c := range []struct {
@@ -139,7 +214,7 @@ func (g *gen) fig2() error {
 	crit := sample(curves["critical"], ts)
 	under := sample(curves["underdamped"], ts)
 	os, _ := curves["underdamped"].Overshoot()
-	fmt.Printf("underdamped (ζ=0.3) overshoot: %.1f%%\n", 100*os)
+	fmt.Fprintf(g.w, "underdamped (ζ=0.3) overshoot: %.1f%%\n", 100*os)
 	return g.csv("fig2.csv", ts, []string{"overdamped", "critical", "underdamped"}, over, crit, under)
 }
 
@@ -151,25 +226,19 @@ func sample(m pade.Model, ts []float64) []float64 {
 	return out
 }
 
-// figs4to8 runs the three technology sweeps once and writes Figures 4-8.
+// figs4to8 runs the three technology sweeps through the batched engine and
+// writes Figures 4-8.
 func (g *gen) figs4to8() error {
 	if g.sweepRan {
 		return nil
 	}
 	g.sweepRan = true
 	ls := num.Linspace(0.1e-6, 4.9e-6, g.points)
-	type curve struct {
-		name string
-		pts  []rlcint.SweepPoint
-	}
-	var curves []curve
-	for _, t := range []rlcint.Technology{rlcint.Tech250(), rlcint.Tech100(), rlcint.Tech100Eps250()} {
-		fmt.Printf("sweeping %s (%d points)...\n", t.Name, len(ls))
-		pts, err := rlcint.Sweep(t, ls, 0.5)
-		if err != nil {
-			return err
-		}
-		curves = append(curves, curve{t.Name, pts})
+	techs := []rlcint.Technology{rlcint.Tech250(), rlcint.Tech100(), rlcint.Tech100Eps250()}
+	fmt.Fprintf(g.w, "sweeping %d nodes × %d points (warm=%v)...\n", len(techs), len(ls), g.sweep.Warm)
+	rows, err := rlcint.SweepNodes(g.ctx, g.sweep, techs, ls, 0.5)
+	if err != nil {
+		return err
 	}
 	lsN := make([]float64, len(ls))
 	for i, l := range ls {
@@ -177,7 +246,7 @@ func (g *gen) figs4to8() error {
 	}
 	get := func(ci int, f func(rlcint.SweepPoint) float64) []float64 {
 		out := make([]float64, len(ls))
-		for i, p := range curves[ci].pts {
+		for i, p := range rows[ci].Points {
 			out[i] = f(p)
 		}
 		return out
@@ -198,16 +267,16 @@ func (g *gen) figs4to8() error {
 		if err := g.csv(fg.file, lsN, names, s0, s1, s2); err != nil {
 			return err
 		}
-		fmt.Printf("== %s ==\n", fg.title)
-		fmt.Printf("%-12s %10s %10s %12s\n", "l (nH/mm)", "250nm", "100nm", "100nm-eps")
+		fmt.Fprintf(g.w, "== %s ==\n", fg.title)
+		fmt.Fprintf(g.w, "%-12s %10s %10s %12s\n", "l (nH/mm)", "250nm", "100nm", "100nm-eps")
 		for i := range lsN {
-			fmt.Printf("%-12.2f %10.3f %10.3f %12.3f\n", lsN[i], s0[i], s1[i], s2[i])
+			fmt.Fprintf(g.w, "%-12.2f %10.3f %10.3f %12.3f\n", lsN[i], s0[i], s1[i], s2[i])
 		}
 	}
 	last := len(ls) - 1
-	fmt.Printf("Figure 7 endpoints: 250nm %.2fx (paper ≈2), 100nm %.2fx (paper ≈3.5)\n",
+	fmt.Fprintf(g.w, "Figure 7 endpoints: 250nm %.2fx (paper ≈2), 100nm %.2fx (paper ≈3.5)\n",
 		get(0, figs[3].f)[last], get(1, figs[3].f)[last])
-	fmt.Printf("Figure 8 worst penalties: 250nm %.1f%% (paper 6%%), 100nm %.1f%% (paper 12%%)\n",
+	fmt.Fprintf(g.w, "Figure 8 worst penalties: 250nm %.1f%% (paper 6%%), 100nm %.1f%% (paper 12%%)\n",
 		100*(maxOf(get(0, figs[4].f))-1), 100*(maxOf(get(1, figs[4].f))-1))
 	return nil
 }
@@ -233,25 +302,25 @@ func (g *gen) ringCfg(l float64) rlcint.RingConfig {
 // waveFig writes the monitored inverter's input/output waveforms for
 // Figures 9 (l = 1.8 nH/mm) and 10 (l = 2.2 nH/mm).
 func (g *gen) waveFig(name string, l float64) error {
-	fmt.Printf("== %s: ring oscillator waveforms at l=%.1f nH/mm ==\n", name, l/rlcint.NHPerMM)
+	fmt.Fprintf(g.w, "== %s: ring oscillator waveforms at l=%.1f nH/mm ==\n", name, l/rlcint.NHPerMM)
 	w, met, err := rlcint.RunRing(g.ringCfg(l))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("period %.3f ns, overshoot %.3f V, undershoot %.3f V\n",
+	fmt.Fprintf(g.w, "period %.3f ns, overshoot %.3f V, undershoot %.3f V\n",
 		met.Period*1e9, met.Overshoot, met.Undershoot)
 	ox, err := rlcint.CheckOxide(rlcint.Tech100(), met.Overshoot)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("oxide field with overshoot: %.2f MV/cm (limit 5, critical 7) over-limit=%v\n",
+	fmt.Fprintf(g.w, "oxide field with overshoot: %.2f MV/cm (limit 5, critical 7) over-limit=%v\n",
 		ox.Field/1e8, ox.OverLimit)
 	return g.csv(name+".csv", w.T, []string{"vin", "vout"}, w.VIn, w.VOut)
 }
 
 // fig11 sweeps the ring period versus inductance for both nodes.
 func (g *gen) fig11() error {
-	fmt.Println("== Figure 11: ring oscillator period vs line inductance ==")
+	fmt.Fprintln(g.w, "== Figure 11: ring oscillator period vs line inductance ==")
 	ls := []float64{0.4e-6, 0.8e-6, 1.2e-6, 1.6e-6, 2.0e-6, 2.4e-6, 2.6e-6, 2.8e-6, 3.0e-6, 3.5e-6}
 	if g.fast {
 		ls = []float64{0.8e-6, 1.8e-6, 2.8e-6}
@@ -271,19 +340,19 @@ func (g *gen) fig11() error {
 	lsN := make([]float64, len(ls))
 	per100 := make([]float64, len(ls))
 	per250 := make([]float64, len(ls))
-	fmt.Printf("%-12s %14s %10s %14s\n", "l (nH/mm)", "100nm T (ns)", "collapsed", "250nm T (ns)")
+	fmt.Fprintf(g.w, "%-12s %14s %10s %14s\n", "l (nH/mm)", "100nm T (ns)", "collapsed", "250nm T (ns)")
 	for i := range ls {
 		lsN[i] = ls[i] / rlcint.NHPerMM
 		per100[i] = p100[i].Metrics.Period * 1e9
 		per250[i] = p250[i].Metrics.Period * 1e9
-		fmt.Printf("%-12.2f %14.3f %10v %14.3f\n", lsN[i], per100[i], p100[i].Collapsed, per250[i])
+		fmt.Fprintf(g.w, "%-12.2f %14.3f %10v %14.3f\n", lsN[i], per100[i], p100[i].Collapsed, per250[i])
 	}
 	return g.csv("fig11.csv", lsN, []string{"period100_ns", "period250_ns"}, per100, per250)
 }
 
 // fig12 sweeps peak and rms current density versus inductance (100 nm).
 func (g *gen) fig12() error {
-	fmt.Println("== Figure 12: wire current density vs line inductance (100 nm) ==")
+	fmt.Fprintln(g.w, "== Figure 12: wire current density vs line inductance (100 nm) ==")
 	ls := []float64{0.4e-6, 1.0e-6, 1.6e-6, 2.2e-6, 2.6e-6}
 	if g.fast {
 		ls = []float64{0.8e-6, 2.2e-6}
@@ -291,7 +360,7 @@ func (g *gen) fig12() error {
 	lsN := make([]float64, len(ls))
 	peak := make([]float64, len(ls))
 	rms := make([]float64, len(ls))
-	fmt.Printf("%-12s %16s %16s %8s\n", "l (nH/mm)", "peakJ (MA/cm²)", "rmsJ (MA/cm²)", "pass")
+	fmt.Fprintf(g.w, "%-12s %16s %16s %8s\n", "l (nH/mm)", "peakJ (MA/cm²)", "rmsJ (MA/cm²)", "pass")
 	for i, l := range ls {
 		_, met, err := rlcint.RunRing(g.ringCfg(l))
 		if err != nil {
@@ -304,7 +373,7 @@ func (g *gen) fig12() error {
 		lsN[i] = l / rlcint.NHPerMM
 		peak[i] = met.PeakJ / 1e10 // A/m² → MA/cm²
 		rms[i] = met.RMSJ / 1e10
-		fmt.Printf("%-12.2f %16.3f %16.3f %8v\n", lsN[i], peak[i], rms[i], !rep.RMSOver && !rep.PeakOver)
+		fmt.Fprintf(g.w, "%-12.2f %16.3f %16.3f %8v\n", lsN[i], peak[i], rms[i], !rep.RMSOver && !rep.PeakOver)
 	}
 	return g.csv("fig12.csv", lsN, []string{"peakJ_MAcm2", "rmsJ_MAcm2"}, peak, rms)
 }
@@ -312,8 +381,8 @@ func (g *gen) fig12() error {
 // valid cross-checks the two-pole model against higher-order AWE fits and
 // reports the Newton iteration counts the paper quotes.
 func (g *gen) valid() error {
-	fmt.Println("== Validation: two-pole model vs higher-order AWE ==")
-	fmt.Printf("%-10s %14s %14s %10s %8s\n", "l (nH/mm)", "2-pole (ps)", "AWE q=6 (ps)", "rel err", "iters")
+	fmt.Fprintln(g.w, "== Validation: two-pole model vs higher-order AWE ==")
+	fmt.Fprintf(g.w, "%-10s %14s %14s %10s %8s\n", "l (nH/mm)", "2-pole (ps)", "AWE q=6 (ps)", "rel err", "iters")
 	for _, l := range []float64{0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6} {
 		st := rlcint.StageOf(rlcint.Tech100(), l, 11.1*rlcint.MM, 528)
 		m, err := rlcint.TwoPoleOf(st)
@@ -339,7 +408,7 @@ func (g *gen) valid() error {
 			}
 		}
 		rel := math.Abs(d.Tau-ref) / ref
-		fmt.Printf("%-10.1f %14.1f %11.1f q=%d %9.1f%% %8d\n",
+		fmt.Fprintf(g.w, "%-10.1f %14.1f %11.1f q=%d %9.1f%% %8d\n",
 			l/rlcint.NHPerMM, d.Tau/rlcint.PS, ref/rlcint.PS, order, 100*rel, d.Iterations)
 	}
 	return nil

@@ -1,0 +1,238 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
+)
+
+func TestTilesOfGeometry(t *testing.T) {
+	cases := []struct {
+		n    int
+		opts Options
+		want []tileRange
+	}{
+		{0, Options{}, []tileRange{}},
+		{3, Options{TileSize: 1}, []tileRange{{0, 1}, {1, 2}, {2, 3}}},
+		{10, Options{TileSize: 4}, []tileRange{{0, 4}, {4, 8}, {8, 10}}},
+		// Default tile size is 8.
+		{10, Options{}, []tileRange{{0, 8}, {8, 10}}},
+		// Tiles never span a row boundary.
+		{12, Options{TileSize: 8, RowLen: 6}, []tileRange{{0, 6}, {6, 12}}},
+		{12, Options{TileSize: 4, RowLen: 6}, []tileRange{{0, 4}, {4, 6}, {6, 10}, {10, 12}}},
+		// Ragged final row.
+		{7, Options{TileSize: 2, RowLen: 3}, []tileRange{{0, 2}, {2, 3}, {3, 5}, {5, 6}, {6, 7}}},
+	}
+	for _, c := range cases {
+		got := tilesOf(c.n, c.opts)
+		if len(got) != len(c.want) {
+			t.Fatalf("tilesOf(%d, %+v) = %v, want %v", c.n, c.opts, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("tilesOf(%d, %+v) = %v, want %v", c.n, c.opts, got, c.want)
+			}
+		}
+	}
+}
+
+// TestRunOrderedAndComplete checks that every index is evaluated exactly once
+// and results come back in index order regardless of worker count.
+func TestRunOrderedAndComplete(t *testing.T) {
+	const n = 53
+	for _, workers := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		got, err := Run(nil, n, Options{Workers: workers, TileSize: 5},
+			func() int { return 0 },
+			func(_ int, i int, _ bool) (int, error) {
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 1 {
+				t.Fatalf("workers=%d: index %d evaluated %d times", workers, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestRunWarmFlag checks the continuation contract: warm is false exactly at
+// tile-leading indices and true elsewhere, independent of worker count.
+func TestRunWarmFlag(t *testing.T) {
+	const n = 17
+	opts := Options{TileSize: 4, RowLen: 7}
+	tiles := tilesOf(n, opts)
+	leading := make(map[int]bool)
+	for _, tr := range tiles {
+		leading[tr.lo] = true
+	}
+	for _, workers := range []int{1, 3} {
+		o := opts
+		o.Workers = workers
+		warms, err := Run(nil, n, o,
+			func() struct{} { return struct{}{} },
+			func(_ struct{}, i int, warm bool) (bool, error) { return warm, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range warms {
+			if w == leading[i] {
+				t.Errorf("workers=%d: warm[%d] = %v, want %v", workers, i, !w, leading[i])
+			}
+		}
+	}
+}
+
+// TestRunScratchChaining checks that a tile's points share one scratch value
+// in order: each point sees exactly the state its predecessor left.
+func TestRunScratchChaining(t *testing.T) {
+	const n = 24
+	opts := Options{Workers: 4, TileSize: 6}
+	type cell struct{ last int }
+	got, err := Run(nil, n, opts,
+		func() *cell { return &cell{last: -1} },
+		func(s *cell, i int, warm bool) (int, error) {
+			prev := s.last
+			s.last = i
+			if !warm {
+				return -1, nil // tile-leading: no meaningful predecessor
+			}
+			return prev, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if i%6 == 0 {
+			if v != -1 {
+				t.Errorf("tile-leading %d saw predecessor %d", i, v)
+			}
+		} else if v != i-1 {
+			t.Errorf("point %d chained from %d, want %d", i, v, i-1)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers runs an eval whose result depends on the
+// scratch chain and checks bit-identical output for 1, 2, and 8 workers.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	const n = 40
+	run := func(workers int) []float64 {
+		t.Helper()
+		got, err := Run(nil, n, Options{Workers: workers, TileSize: 8, RowLen: 10},
+			func() *float64 { x := 1.0; return &x },
+			func(acc *float64, i int, warm bool) (float64, error) {
+				if !warm {
+					*acc = 1.0
+				}
+				*acc = *acc*1.0000001 + float64(i)*1e-9
+				return *acc, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: results[%d] = %x, want %x (bit-exact)", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRunErrorPrefix checks the partial-result contract: on an eval error the
+// longest error-free prefix is returned with the lowest-indexed error.
+func TestRunErrorPrefix(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := Run(nil, 20, Options{Workers: 1, TileSize: 4},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, _ bool) (int, error) {
+			if i == 7 {
+				return 0, fmt.Errorf("point %d: %w", i, boom)
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("prefix length = %d, want 7", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("prefix[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestRunCancellation checks that an exhausted iteration budget stops the
+// pool with a typed error and a completed prefix.
+func TestRunCancellation(t *testing.T) {
+	ctl := runctl.New(context.Background(), runctl.Limits{MaxIters: 5})
+	got, err := Run(ctl, 100, Options{Workers: 2, TileSize: 2},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, _ bool) (int, error) { return i, nil })
+	if !errors.Is(err, diag.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if len(got) > 5 {
+		t.Fatalf("completed %d points on a 5-iteration budget", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("prefix[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestRunPanicContained checks that a panicking eval surfaces as a typed
+// diag.ErrPanic error instead of crashing the pool.
+func TestRunPanicContained(t *testing.T) {
+	got, err := Run(nil, 10, Options{Workers: 2, TileSize: 2},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, _ bool) (int, error) {
+			if i == 4 {
+				panic("poisoned grid point")
+			}
+			return i, nil
+		})
+	if !errors.Is(err, diag.ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if len(got) > 4 {
+		t.Fatalf("prefix %d reaches past the panicking point", len(got))
+	}
+}
+
+// TestRunEmptyAndNilController covers the degenerate inputs.
+func TestRunEmptyAndNilController(t *testing.T) {
+	got, err := Run(nil, 0, Options{},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, _ bool) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+// relDiff returns |a-b| / max(|a|, |b|) (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// pointsBitEqual fails the test unless the two sweeps match field-for-field
+// at the bit level.
+func pointsBitEqual(t *testing.T, label string, got, want []SweepPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		fields := [][2]float64{
+			{g.L, w.L}, {g.Opt.H, w.Opt.H}, {g.Opt.K, w.Opt.K},
+			{g.Opt.Tau, w.Opt.Tau}, {g.Opt.PerUnit, w.Opt.PerUnit},
+			{g.LCrit, w.LCrit}, {g.HRatio, w.HRatio}, {g.KRatio, w.KRatio},
+			{g.DelayRatio, w.DelayRatio}, {g.Penalty, w.Penalty},
+		}
+		for f, pair := range fields {
+			if pair[0] != pair[1] {
+				t.Fatalf("%s: point %d field %d: %x != %x (not bit-identical)",
+					label, i, f, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestSweepBatchColdBitIdenticalToSerial is the engine's headline contract:
+// the cold batched sweep is bit-identical to the serial reference path at
+// every worker count.
+func TestSweepBatchColdBitIdenticalToSerial(t *testing.T) {
+	ls := sweepLs()
+	ref, err := SweepCtx(context.Background(), runctl.Limits{}, tech.Node100(), ls, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := SweepBatchCtx(context.Background(),
+			SweepOptions{Workers: workers}, tech.Node100(), ls, 0.5)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		pointsBitEqual(t, "cold engine vs serial", got, ref)
+	}
+}
+
+// TestSweepWarmDeterministicAcrossWorkers: the warm engine's results are a
+// function of the tile geometry only — never of the worker count.
+func TestSweepWarmDeterministicAcrossWorkers(t *testing.T) {
+	ls := sweepLs()
+	nodes := []tech.Node{tech.Node250(), tech.Node100()}
+	ref, err := SweepNodesCtx(context.Background(),
+		SweepOptions{Workers: 1, Warm: true}, nodes, ls, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := SweepNodesCtx(context.Background(),
+			SweepOptions{Workers: workers, Warm: true}, nodes, ls, 0.5)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(got), len(ref))
+		}
+		for r := range ref {
+			pointsBitEqual(t, "warm engine across workers", got[r].Points, ref[r].Points)
+		}
+	}
+}
+
+// TestSweepWarmAgreesWithCold pins the continuation agreement contract: the
+// objective-derived quantities (per-unit delay, delay ratio, penalty) agree
+// to ≤1e-12 relative; the optimizer arguments h, k (and everything scaling
+// with them) to the stationarity tolerance.
+func TestSweepWarmAgreesWithCold(t *testing.T) {
+	ls := sweepLs()
+	cold, err := SweepBatchCtx(context.Background(), SweepOptions{}, tech.Node100(), ls, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SweepBatchCtx(context.Background(), SweepOptions{Warm: true}, tech.Node100(), ls, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objTol = 1e-12 // objective: quadratically flat at the optimum
+	const argTol = 1e-5  // arguments: limited by the 1e-7 stationarity tolerance
+	for i := range cold {
+		c, w := cold[i], warm[i]
+		for _, q := range []struct {
+			name string
+			c, w float64
+			tol  float64
+		}{
+			{"PerUnit", c.Opt.PerUnit, w.Opt.PerUnit, objTol},
+			{"DelayRatio", c.DelayRatio, w.DelayRatio, objTol},
+			{"Penalty", c.Penalty, w.Penalty, objTol},
+			{"H", c.Opt.H, w.Opt.H, argTol},
+			{"K", c.Opt.K, w.Opt.K, argTol},
+			{"Tau", c.Opt.Tau, w.Opt.Tau, argTol},
+			{"HRatio", c.HRatio, w.HRatio, argTol},
+			{"KRatio", c.KRatio, w.KRatio, argTol},
+			{"LCrit", c.LCrit, w.LCrit, argTol},
+		} {
+			if d := relDiff(q.c, q.w); d > q.tol {
+				t.Errorf("l=%g %s: warm %v vs cold %v (rel %.2e > %.0e)",
+					c.L, q.name, q.w, q.c, d, q.tol)
+			}
+		}
+	}
+}
+
+// warmTestProblem is a mid-range 100nm instance used by the seeded-optimize
+// tests, with a seed taken from the converged optimum at a neighboring
+// inductance.
+func warmTestProblem(t *testing.T) (Problem, Seed) {
+	t.Helper()
+	node := tech.Node100()
+	p := Problem{Device: repeaterOf(node), Line: tline.Line{R: node.R, C: node.C, L: 2e-6}, F: 0.5}
+	q := p
+	q.Line.L = 1.8e-6
+	nb, err := OptimizeCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, nb.AsSeed()
+}
+
+// TestOptimizeSeededAgreesWithCold: a continuation-seeded solve lands on the
+// cold ladder's optimum (objective ≤1e-12, arguments to the stationarity
+// tolerance) and actually takes the warm fast path.
+func TestOptimizeSeededAgreesWithCold(t *testing.T) {
+	p, seed := warmTestProblem(t)
+	cold, err := OptimizeCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &diag.Report{}
+	pw := p
+	pw.Report = rep
+	warm, err := OptimizeSeeded(context.Background(), pw, seed, NewWorkspace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(cold.PerUnit, warm.PerUnit); d > 1e-12 {
+		t.Errorf("PerUnit: warm %v vs cold %v (rel %.2e)", warm.PerUnit, cold.PerUnit, d)
+	}
+	if d := relDiff(cold.H, warm.H); d > 1e-5 {
+		t.Errorf("H: warm %v vs cold %v (rel %.2e)", warm.H, cold.H, d)
+	}
+	if d := relDiff(cold.K, warm.K); d > 1e-5 {
+		t.Errorf("K: warm %v vs cold %v (rel %.2e)", warm.K, cold.K, d)
+	}
+	// The fast path: exactly one rung ran, and it was the warm start.
+	if len(rep.Attempts) != 1 || rep.Attempts[0].Rung != "warm-start" ||
+		rep.Attempts[0].Outcome != diag.OutcomeOK {
+		t.Errorf("expected a single OK warm-start rung, got:\n%s", rep)
+	}
+}
+
+// TestOptimizeSeededFaultFallsBackToCold injects a Newton fault only at the
+// warm rung (Step == -2) and checks the ladder falls back to a result
+// bit-identical to the cold solve, with the recovery rungs recorded.
+func TestOptimizeSeededFaultFallsBackToCold(t *testing.T) {
+	p, seed := warmTestProblem(t)
+	cold, err := OptimizeCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected warm-start fault")
+	rep := &diag.Report{}
+	pw := p
+	pw.Report = rep
+	pw.Injector = &diag.Injector{Fault: func(s diag.Site) error {
+		if s.Op == "core.stationarity" && s.Step == -2 {
+			return boom
+		}
+		return nil
+	}}
+	warm, err := OptimizeSeeded(context.Background(), pw, seed, NewWorkspace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.H != cold.H || warm.K != cold.K || warm.Tau != cold.Tau ||
+		warm.PerUnit != cold.PerUnit || warm.Method != cold.Method {
+		t.Errorf("fallback result differs from cold solve:\nwarm %+v\ncold %+v", warm, cold)
+	}
+	var warmFailed, coldRan bool
+	for _, a := range rep.Attempts {
+		if a.Rung == "warm-start" && a.Outcome == diag.OutcomeFailed {
+			warmFailed = true
+		}
+		if a.Rung == "cold-start" {
+			coldRan = true
+		}
+	}
+	if !warmFailed || !coldRan {
+		t.Errorf("expected a failed warm-start rung followed by the cold ladder, got:\n%s", rep)
+	}
+}
+
+// TestOptimizeSeededInvalidSeedIsCold: a zero/invalid seed must reproduce
+// the cold path bit-for-bit (it is the same code path).
+func TestOptimizeSeededInvalidSeedIsCold(t *testing.T) {
+	p, _ := warmTestProblem(t)
+	cold, err := OptimizeCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []Seed{{}, {H: -1, K: 1, Tau: 1}, {H: math.Inf(1), K: 1, Tau: 1}} {
+		got, err := OptimizeSeeded(context.Background(), p, seed, NewWorkspace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.H != cold.H || got.K != cold.K || got.PerUnit != cold.PerUnit {
+			t.Errorf("seed %+v: result differs from cold solve", seed)
+		}
+	}
+}
+
+// TestSweepNodesPartialPrefixOnBudget: a budget stop returns the completed
+// prefix of rows with a typed error, like the serial reference.
+func TestSweepNodesPartialPrefixOnBudget(t *testing.T) {
+	ls := sweepLs()
+	nodes := []tech.Node{tech.Node250(), tech.Node100()}
+	// Budget: the 2 reference solves plus 3 grid points.
+	rows, err := SweepNodesCtx(context.Background(),
+		SweepOptions{Workers: 1, Warm: true, Limits: runctl.Limits{MaxIters: 5}},
+		nodes, ls, 0.5)
+	if !errors.Is(err, diag.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	total := 0
+	for _, r := range rows {
+		total += len(r.Points)
+	}
+	if total > 3 {
+		t.Errorf("completed %d points on a 5-iteration budget", total)
+	}
+}

@@ -42,6 +42,10 @@ type Problem struct {
 	// ctl carries the active run controller through the ladder; set by
 	// OptimizeCtx.
 	ctl *runctl.Controller
+	// ws carries the optimizer workspace (scratch buffers + warm delay
+	// hint); set by OptimizeSeeded. nil means allocate per call and solve
+	// every delay cold.
+	ws *Workspace
 }
 
 func (p Problem) threshold() float64 {
@@ -104,7 +108,15 @@ func (p Problem) Eval(h, k float64) (pade.Model, pade.DelayResult, error) {
 	if err != nil {
 		return pade.Model{}, pade.DelayResult{}, err
 	}
-	d, err := m.DelayWith(p.ctl, p.threshold())
+	var d pade.DelayResult
+	if p.ws != nil && p.ws.warm && p.ws.lastTau > 0 {
+		d, err = m.DelaySeeded(p.ctl, p.threshold(), p.ws.lastTau)
+	} else {
+		d, err = m.DelayWith(p.ctl, p.threshold())
+	}
+	if err == nil && p.ws != nil {
+		p.ws.lastTau = d.Tau
+	}
 	return m, d, err
 }
 
@@ -220,24 +232,68 @@ func Optimize(p Problem) (Optimum, error) {
 // A run-control stop is terminal — it aborts the whole ladder immediately
 // instead of being retried as a convergence failure on the next rung.
 // Panics anywhere in the ladder surface as diag.ErrPanic SolverErrors.
-func OptimizeCtx(ctx context.Context, p Problem) (opt Optimum, err error) {
+func OptimizeCtx(ctx context.Context, p Problem) (Optimum, error) {
+	return OptimizeSeeded(ctx, p, Seed{}, nil)
+}
+
+// OptimizeWS is OptimizeCtx with caller-owned scratch state: repeated solves
+// reusing one Workspace allocate (almost) nothing. Results are bit-identical
+// to OptimizeCtx — the workspace only changes where intermediates live.
+func OptimizeWS(ctx context.Context, p Problem, ws *Workspace) (Optimum, error) {
+	return OptimizeSeeded(ctx, p, Seed{}, ws)
+}
+
+// Package-level read-only ladder constants, hoisted so each solve does not
+// re-allocate them.
+var (
+	lowerHK        = []float64{1e-3, 1e-3}
+	coldStart      = [2]float64{1, 1}
+	nmStart        = [2]float64{0, 0}
+	newtonRestarts = [4][2]float64{{1.25, 0.8}, {0.8, 1.25}, {1.6, 1.6}, {0.6, 0.6}}
+)
+
+// OptimizeSeeded is OptimizeCtx with warm-start continuation: when seed is
+// valid (taken from a neighboring problem's converged Optimum via AsSeed), a
+// leading ladder rung runs the stationarity Newton from the seeded point —
+// with the Padé threshold solves seeded from the neighbor's delay — and, on
+// clean convergence, skips the cold start, the multi-starts, and the
+// Nelder–Mead cross-check entirely. If the warm rung diverges or is
+// infeasible, or converges to a per-unit delay outside the ±50% continuation
+// band around the seed's, the warm candidate and the warm delay hints are
+// discarded and the full cold ladder runs unchanged, so the recovery
+// semantics (and diag.Report rungs) of OptimizeCtx are preserved; the warm
+// rung records as "warm-start" with fault-injection site Step = -2.
+//
+// Agreement contract: warm and cold land on the same stationary point to
+// within the stationarity tolerance, so the optimized per-unit delay (the
+// objective, quadratically flat at the optimum) agrees to ≤1e-12 relative;
+// the arguments h, k (and τ, which scales with h) agree only to ~1e-6
+// relative — the cold ladder's own ≤1e-7-normalized-residual looseness — and
+// are not bit-identical.
+//
+// ws may be nil (allocate per call). seed may be the zero Seed (pure cold
+// start, bit-identical to OptimizeCtx).
+func OptimizeSeeded(ctx context.Context, p Problem, seed Seed, ws *Workspace) (opt Optimum, err error) {
 	defer diag.RecoverTo(&err, "core.Optimize")
 	if err := p.Validate(); err != nil {
 		return Optimum{}, err
 	}
 	p.ctl = runctl.New(ctx, p.Limits)
+	if ws != nil {
+		p.ws = ws
+		ws.warm = seed.Valid() && seed.Tau > 0
+		ws.lastTau = seed.Tau
+	}
 	rc, err := repeater.RCOptimal(p.Device, tline.Line{R: p.Line.R, C: p.Line.C})
 	if err != nil {
 		return Optimum{}, err
 	}
 
-	type cand struct {
-		h, k   float64
-		pu     float64
-		method Method
-		iters  int
-	}
 	var cands []cand
+	if ws != nil {
+		cands = ws.cands[:0]
+		defer func() { ws.cands = cands }()
+	}
 	rep := p.Report
 
 	// The paper's Newton on (g1, g2), variables normalized by the RC
@@ -248,7 +304,7 @@ func OptimizeCtx(ctx context.Context, p Problem) (opt Optimum, err error) {
 			if err := p.Injector.At(diag.Site{Op: "core.stationarity", Step: start}); err != nil {
 				return err
 			}
-			g1, g2, err := p.stationarity(x[0]*rc.H, x[1]*rc.K)
+			g1, g2, err := p.stationarity(rc.Denormalize(x[0], x[1]))
 			if err != nil {
 				return err
 			}
@@ -267,10 +323,12 @@ func OptimizeCtx(ctx context.Context, p Problem) (opt Optimum, err error) {
 	tryNewton := func(start int, rung string, x0 []float64, opts num.NewtonNDOptions) (bool, error) {
 		nres, nerr := num.NewtonND(sysAt(start), x0, opts)
 		if len(nres.X) == 2 && nres.X[0] > 0 && nres.X[1] > 0 {
-			h, k := nres.X[0]*rc.H, nres.X[1]*rc.K
+			h, k := rc.Denormalize(nres.X[0], nres.X[1])
 			if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
 				cands = append(cands, cand{h, k, pu, MethodNewton, nres.Iterations})
-				rep.Record("opt-newton", rung, diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", h, k), nerr)
+				if rep != nil {
+					rep.Record("opt-newton", rung, diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", h, k), nerr)
+				}
 				return true, nerr
 			}
 		}
@@ -281,72 +339,127 @@ func OptimizeCtx(ctx context.Context, p Problem) (opt Optimum, err error) {
 		Tol:     1e-7,
 		MaxIter: 60,
 		Damping: true,
-		Lower:   []float64{1e-3, 1e-3},
+		Lower:   lowerHK,
 		Ctl:     p.ctl,
 	}
-
-	// Rung 1: Newton cold start from the RC optimum.
-	coldOK, nerr := tryNewton(0, "cold-start", []float64{1, 1}, coldOpts)
-	if runctl.IsStop(nerr) {
-		return Optimum{}, nerr
+	if ws != nil {
+		coldOpts.WS = &ws.newton
 	}
 
-	// Rung 2: perturbed multi-starts — retry the paper's Newton from points
-	// scattered around the RC optimum before conceding to the derivative-
-	// free fallback. Only runs when the cold start yielded no candidate.
-	if !coldOK {
-		restarts := [][]float64{{1.25, 0.8}, {0.8, 1.25}, {1.6, 1.6}, {0.6, 0.6}}
-		for i, x0 := range restarts {
-			ok, err := tryNewton(i+1, fmt.Sprintf("multi-start(%g,%g)", x0[0], x0[1]), x0, coldOpts)
-			if runctl.IsStop(err) {
-				return Optimum{}, err
-			}
-			if ok {
-				nerr = err
-				break
+	// Rung 0: warm start from the neighboring solution. On clean convergence
+	// to a per-unit delay plausibly continuous with the neighbor's, the
+	// remaining rungs (including the Nelder–Mead cross-check) are skipped —
+	// this is the continuation fast path of batched sweeps. Any doubt
+	// (divergence, line-search stall, or a per-unit delay jumping outside
+	// the continuation band, which would indicate convergence to a
+	// different stationary point) discards the warm candidate and the warm
+	// delay hints, so the fallback runs the cold ladder exactly.
+	var nerr, nmErr error
+	warmed := false
+	if seed.Valid() {
+		var x0 [2]float64
+		x0[0], x0[1] = rc.Normalize(seed.H, seed.K)
+		ok, werr := tryNewton(-2, "warm-start", x0[:], coldOpts)
+		if runctl.IsStop(werr) {
+			return Optimum{}, werr
+		}
+		warmed = ok && werr == nil
+		if warmed && seed.Tau > 0 {
+			puSeed := seed.Tau / seed.H
+			pu := cands[len(cands)-1].pu
+			if !(pu < puSeed*1.5 && pu > puSeed/1.5) {
+				warmed = false
 			}
 		}
+		if !warmed {
+			cands = cands[:0]
+			if ws != nil {
+				ws.warm = false
+				ws.lastTau = 0
+			}
+		}
+		nerr = werr
 	}
 
-	// Rung 3: direct Nelder–Mead minimization on (log h, log k); immune to
-	// the critical-damping singularity and to saddle points of (g1, g2).
-	obj := func(x []float64) float64 {
-		return p.PerUnitDelay(rc.H*math.Exp(x[0]), rc.K*math.Exp(x[1]))
-	}
-	xnm, _, nmErr := num.NelderMead(obj, []float64{0, 0}, num.NelderMeadOptions{
-		Tol: 1e-13, MaxIter: 2000, InitScale: 0.25, MaxRestart: 3, Ctl: p.ctl,
-	})
-	if runctl.IsStop(nmErr) {
-		return Optimum{}, nmErr
-	}
-	if nmErr == nil {
-		h, k := rc.H*math.Exp(xnm[0]), rc.K*math.Exp(xnm[1])
-		if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
-			cands = append(cands, cand{h, k, pu, MethodNelderMead, 0})
-			rep.Record("opt-nelder-mead", "direct", diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", h, k), nil)
+	if !warmed {
+		// Rung 1: Newton cold start from the RC optimum.
+		var coldOK bool
+		coldOK, nerr = tryNewton(0, "cold-start", coldStart[:], coldOpts)
+		if runctl.IsStop(nerr) {
+			return Optimum{}, nerr
+		}
+
+		// Rung 2: perturbed multi-starts — retry the paper's Newton from points
+		// scattered around the RC optimum before conceding to the derivative-
+		// free fallback. Only runs when the cold start yielded no candidate.
+		if !coldOK {
+			for i, x0 := range newtonRestarts {
+				ok, err := tryNewton(i+1, fmt.Sprintf("multi-start(%g,%g)", x0[0], x0[1]), x0[:], coldOpts)
+				if runctl.IsStop(err) {
+					return Optimum{}, err
+				}
+				if ok {
+					nerr = err
+					break
+				}
+			}
+		}
+
+		// Rung 3: direct Nelder–Mead minimization on (log h, log k); immune to
+		// the critical-damping singularity and to saddle points of (g1, g2).
+		obj := func(x []float64) float64 {
+			return p.PerUnitDelay(rc.H*math.Exp(x[0]), rc.K*math.Exp(x[1]))
+		}
+		nmOpts := num.NelderMeadOptions{
+			Tol: 1e-13, MaxIter: 2000, InitScale: 0.25, MaxRestart: 3, Ctl: p.ctl,
+		}
+		if ws != nil {
+			nmOpts.WS = &ws.nm
+		}
+		var xnm []float64
+		xnm, _, nmErr = num.NelderMead(obj, nmStart[:], nmOpts)
+		if runctl.IsStop(nmErr) {
+			return Optimum{}, nmErr
+		}
+		if nmErr == nil {
+			h, k := rc.H*math.Exp(xnm[0]), rc.K*math.Exp(xnm[1])
+			if pu := p.PerUnitDelay(h, k); !math.IsInf(pu, 1) {
+				cands = append(cands, cand{h, k, pu, MethodNelderMead, 0})
+				if rep != nil {
+					rep.Record("opt-nelder-mead", "direct", diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", h, k), nil)
+				}
+			} else {
+				rep.Record("opt-nelder-mead", "direct", diag.OutcomeFailed, "infeasible minimum", nil)
+			}
+			// Polish: the paper's Newton started from the direct minimum —
+			// restores quadratic convergence when the cold start wandered into
+			// a flat region of (g1, g2).
+			polishOpts := num.NewtonNDOptions{
+				Tol: 1e-9, MaxIter: 20, Damping: true, Lower: lowerHK, Ctl: p.ctl,
+			}
+			if ws != nil {
+				polishOpts.WS = &ws.newton
+			}
+			var px0 [2]float64
+			px0[0], px0[1] = rc.Normalize(h, k)
+			pres, perr := num.NewtonND(sysAt(-1), px0[:], polishOpts)
+			if runctl.IsStop(perr) {
+				return Optimum{}, perr
+			}
+			if perr == nil && len(pres.X) == 2 {
+				ph, pk := rc.Denormalize(pres.X[0], pres.X[1])
+				if pu := p.PerUnitDelay(ph, pk); !math.IsInf(pu, 1) {
+					cands = append(cands, cand{ph, pk, pu, MethodNewton, pres.Iterations})
+					if rep != nil {
+						rep.Record("opt-newton", "polish", diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", ph, pk), nil)
+					}
+				}
+			} else if perr != nil {
+				rep.Record("opt-newton", "polish", diag.OutcomeFailed, "", perr)
+			}
 		} else {
-			rep.Record("opt-nelder-mead", "direct", diag.OutcomeFailed, "infeasible minimum", nil)
+			rep.Record("opt-nelder-mead", "direct", diag.OutcomeFailed, "", nmErr)
 		}
-		// Polish: the paper's Newton started from the direct minimum —
-		// restores quadratic convergence when the cold start wandered into
-		// a flat region of (g1, g2).
-		pres, perr := num.NewtonND(sysAt(-1), []float64{h / rc.H, k / rc.K}, num.NewtonNDOptions{
-			Tol: 1e-9, MaxIter: 20, Damping: true, Lower: []float64{1e-3, 1e-3}, Ctl: p.ctl,
-		})
-		if runctl.IsStop(perr) {
-			return Optimum{}, perr
-		}
-		if perr == nil && len(pres.X) == 2 {
-			ph, pk := pres.X[0]*rc.H, pres.X[1]*rc.K
-			if pu := p.PerUnitDelay(ph, pk); !math.IsInf(pu, 1) {
-				cands = append(cands, cand{ph, pk, pu, MethodNewton, pres.Iterations})
-				rep.Record("opt-newton", "polish", diag.OutcomeOK, fmt.Sprintf("h=%g k=%g", ph, pk), nil)
-			}
-		} else if perr != nil {
-			rep.Record("opt-newton", "polish", diag.OutcomeFailed, "", perr)
-		}
-	} else {
-		rep.Record("opt-nelder-mead", "direct", diag.OutcomeFailed, "", nmErr)
 	}
 	if len(cands) == 0 {
 		de := diag.New(diag.ErrNonConvergence, "core.Optimize")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -30,7 +31,10 @@ func PlanLine(p Problem, L float64) (LinePlan, error) {
 	if L <= 0 {
 		return LinePlan{}, fmt.Errorf("core: PlanLine requires positive length, got %g", L)
 	}
-	opt, err := Optimize(p)
+	// One workspace serves the optimization and every fixed-h refinement
+	// below, so the plan path allocates a handful of buffers once instead
+	// of churning per candidate evaluation.
+	opt, err := OptimizeWS(context.Background(), p, NewWorkspace())
 	if err != nil {
 		return LinePlan{}, err
 	}

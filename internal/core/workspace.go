@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+
+	"rlcint/internal/num"
+)
+
+// Seed warm-starts an optimization from the converged solution of a
+// neighboring problem (an adjacent grid point of a sweep, or the previous
+// point of a continuation trajectory). The zero value means "cold start".
+type Seed struct {
+	H, K float64 // starting point for the stationarity Newton
+	// Tau, when positive, is the delay at (H, K); it seeds the Padé
+	// threshold-crossing solves of the warm ladder (see pade.DelaySeeded).
+	Tau float64
+}
+
+// Valid reports whether the seed names a usable starting point.
+func (s Seed) Valid() bool {
+	return s.H > 0 && s.K > 0 && !math.IsInf(s.H, 1) && !math.IsInf(s.K, 1)
+}
+
+// AsSeed converts a converged optimum into a seed for a neighboring problem.
+func (o Optimum) AsSeed() Seed { return Seed{H: o.H, K: o.K, Tau: o.Tau} }
+
+// cand is one feasible candidate admitted by an optimizer ladder rung.
+type cand struct {
+	h, k   float64
+	pu     float64
+	method Method
+	iters  int
+}
+
+// Workspace holds every reusable buffer of the optimizer ladder — the
+// NewtonND and Nelder–Mead scratch state, the candidate list, and the warm
+// delay hint — so repeated OptimizeSeeded/OptimizeWS calls on one worker
+// allocate (almost) nothing. A zero value / NewWorkspace result is ready to
+// use. A Workspace is owned by exactly one goroutine at a time; it is not
+// safe for concurrent use.
+type Workspace struct {
+	newton num.NewtonNDWS
+	nm     num.NelderMeadWS
+	cands  []cand
+	// warm gates the delay-solve hint: when set, Problem.Eval seeds the
+	// threshold-crossing Newton from lastTau via pade.DelaySeeded instead of
+	// running the cold bracketing scan. Only OptimizeSeeded with a Tau-
+	// carrying seed sets it, so cold solves stay bit-identical to the
+	// workspace-free path.
+	warm    bool
+	lastTau float64
+}
+
+// NewWorkspace returns an empty optimizer workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }

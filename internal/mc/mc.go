@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"rlcint/internal/core"
 	"rlcint/internal/diag"
@@ -185,10 +186,18 @@ func PenaltyUnderUncertaintyCtx(ctx context.Context, p core.Problem, h, k float6
 	if lDist == nil {
 		return Stats{}, fmt.Errorf("mc: nil distribution")
 	}
+	// Trials borrow optimizer workspaces from a pool sized by the worker
+	// count, so an n-trial run allocates a handful of scratch buffers
+	// instead of n of them. Workspaces never change results (samples stay
+	// bit-identical to the unpooled path); trials are cold solves — l is
+	// drawn at random, so there is no neighboring solution to continue from.
+	wsPool := sync.Pool{New: func() any { return core.NewWorkspace() }}
 	samples, err := runTrials(ctx, o, n, seed, func(i int, rng *rand.Rand) (float64, error) {
 		q := p
 		q.Line.L = lDist.Sample(rng)
-		opt, err := core.OptimizeCtx(ctx, q)
+		ws := wsPool.Get().(*core.Workspace)
+		opt, err := core.OptimizeWS(ctx, q, ws)
+		wsPool.Put(ws)
 		if err != nil {
 			if runctl.IsStop(err) {
 				return 0, err

@@ -3,7 +3,6 @@ package num
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"rlcint/internal/runctl"
 )
@@ -45,13 +44,77 @@ type NelderMeadOptions struct {
 	// aborts the search, returning the best point found so far with the
 	// typed run-control error.
 	Ctl *runctl.Controller
+	// WS, when non-nil, supplies reusable scratch storage so repeated
+	// minimizations allocate nothing. The returned minimizer aliases WS
+	// storage and is only valid until the next call using the same WS;
+	// copy it if it must outlive that.
+	WS *NelderMeadWS
+}
+
+// NelderMeadWS is reusable scratch state for NelderMead. A zero value is
+// ready to use; it grows to the largest problem dimension it has seen and is
+// not safe for concurrent use.
+type NelderMeadWS struct {
+	n     int
+	verts [][]float64
+	fvals []float64
+	cen   []float64
+	xr    []float64
+	xt    []float64
+	best  []float64
+}
+
+func (ws *NelderMeadWS) grow(n int) {
+	if n <= ws.n {
+		return
+	}
+	ws.n = n
+	ws.verts = make([][]float64, n+1)
+	for i := range ws.verts {
+		ws.verts[i] = make([]float64, n)
+	}
+	ws.fvals = make([]float64, n+1)
+	ws.cen = make([]float64, n)
+	ws.xr = make([]float64, n)
+	ws.xt = make([]float64, n)
+	ws.best = make([]float64, n)
+}
+
+func nmEval(f func([]float64) float64, x []float64) float64 {
+	v := f(x)
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// nmSort orders the simplex by ascending function value using the exact
+// insertion sort sort.Slice applies to slices shorter than 12 elements, so
+// the vertex permutation — and hence every downstream FP operation — is
+// unchanged from the previous sort.Slice-based implementation while avoiding
+// its reflection allocation.
+func nmSort(verts [][]float64, fvals []float64) {
+	for i := 1; i < len(fvals); i++ {
+		for j := i; j > 0 && fvals[j] < fvals[j-1]; j-- {
+			fvals[j], fvals[j-1] = fvals[j-1], fvals[j]
+			verts[j], verts[j-1] = verts[j-1], verts[j]
+		}
+	}
+}
+
+// nmPoint writes the trial point cen + coef·(worst − cen) into dst.
+func nmPoint(dst, cen, worst []float64, coef float64) {
+	for j := range dst {
+		dst[j] = cen[j] + coef*(worst[j]-cen[j])
+	}
 }
 
 // NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
 // simplex method with standard coefficients and optional restarts. f may
 // return +Inf to mark infeasible points; the method treats those as very bad
 // vertices, which makes simple bound handling (transform or penalize in the
-// caller) effective.
+// caller) effective. When opts.WS is non-nil the returned slice aliases the
+// workspace (see NelderMeadOptions.WS).
 func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64, error) {
 	n := len(x0)
 	if opts.Tol == 0 {
@@ -66,100 +129,100 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions)
 	if opts.MaxRestart == 0 {
 		opts.MaxRestart = 2
 	}
+	ws := opts.WS
+	if ws == nil {
+		ws = &NelderMeadWS{}
+	}
+	ws.grow(n)
+	verts := ws.verts[:n+1]
+	for i := range verts {
+		verts[i] = verts[i][:n]
+	}
+	fvals := ws.fvals[:n+1]
+	cen := ws.cen[:n]
+	xr := ws.xr[:n]
+	xt := ws.xt[:n]
+	bestX := ws.best[:n]
 
-	type vertex struct {
-		x []float64
-		f float64
-	}
-	eval := func(x []float64) float64 {
-		v := f(x)
-		if math.IsNaN(v) {
-			return math.Inf(1)
-		}
-		return v
-	}
-	buildSimplex := func(center []float64) []vertex {
-		s := make([]vertex, n+1)
-		for i := range s {
-			x := append([]float64(nil), center...)
-			if i > 0 {
-				d := opts.InitScale * math.Max(math.Abs(x[i-1]), 1e-3)
-				x[i-1] += d
-			}
-			s[i] = vertex{x: x, f: eval(x)}
-		}
-		return s
-	}
-
-	best := vertex{x: append([]float64(nil), x0...), f: eval(x0)}
+	copy(bestX, x0)
+	bestF := nmEval(f, x0)
 	iterBudget := opts.MaxIter
 	for restart := 0; restart <= opts.MaxRestart; restart++ {
-		s := buildSimplex(best.x)
+		// Fresh simplex around the best point so far.
+		for i := 0; i <= n; i++ {
+			copy(verts[i], bestX)
+			if i > 0 {
+				d := opts.InitScale * math.Max(math.Abs(verts[i][i-1]), 1e-3)
+				verts[i][i-1] += d
+			}
+			fvals[i] = nmEval(f, verts[i])
+		}
 		for iter := 0; iter < iterBudget; iter++ {
 			if err := opts.Ctl.Tick("num.NelderMead"); err != nil {
-				sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
-				if s[0].f < best.f {
-					best = vertex{append([]float64(nil), s[0].x...), s[0].f}
+				nmSort(verts, fvals)
+				if fvals[0] < bestF {
+					copy(bestX, verts[0])
+					bestF = fvals[0]
 				}
-				return best.x, best.f, err
+				return bestX, bestF, err
 			}
-			sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
-			spread := math.Abs(s[n].f - s[0].f)
-			scale := math.Abs(s[0].f) + math.Abs(s[n].f) + 1e-300
-			if spread/scale < opts.Tol && !math.IsInf(s[n].f, 1) {
+			nmSort(verts, fvals)
+			spread := math.Abs(fvals[n] - fvals[0])
+			scale := math.Abs(fvals[0]) + math.Abs(fvals[n]) + 1e-300
+			if spread/scale < opts.Tol && !math.IsInf(fvals[n], 1) {
 				break
 			}
 			// Centroid of all but worst.
-			cen := make([]float64, n)
+			for j := range cen {
+				cen[j] = 0
+			}
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
-					cen[j] += s[i].x[j]
+					cen[j] += verts[i][j]
 				}
 			}
 			for j := range cen {
 				cen[j] /= float64(n)
 			}
-			point := func(coef float64) []float64 {
-				p := make([]float64, n)
-				for j := 0; j < n; j++ {
-					p[j] = cen[j] + coef*(s[n].x[j]-cen[j])
-				}
-				return p
-			}
-			xr := point(-1) // reflection
-			fr := eval(xr)
+			nmPoint(xr, cen, verts[n], -1) // reflection
+			fr := nmEval(f, xr)
 			switch {
-			case fr < s[0].f:
-				xe := point(-2) // expansion
-				if fe := eval(xe); fe < fr {
-					s[n] = vertex{xe, fe}
+			case fr < fvals[0]:
+				nmPoint(xt, cen, verts[n], -2) // expansion
+				if fe := nmEval(f, xt); fe < fr {
+					copy(verts[n], xt)
+					fvals[n] = fe
 				} else {
-					s[n] = vertex{xr, fr}
+					copy(verts[n], xr)
+					fvals[n] = fr
 				}
-			case fr < s[n-1].f:
-				s[n] = vertex{xr, fr}
+			case fr < fvals[n-1]:
+				copy(verts[n], xr)
+				fvals[n] = fr
 			default:
-				xc := point(0.5) // contraction
-				if fc := eval(xc); fc < s[n].f {
-					s[n] = vertex{xc, fc}
+				nmPoint(xt, cen, verts[n], 0.5) // contraction
+				if fc := nmEval(f, xt); fc < fvals[n] {
+					copy(verts[n], xt)
+					fvals[n] = fc
 				} else {
 					// Shrink toward best.
 					for i := 1; i <= n; i++ {
 						for j := 0; j < n; j++ {
-							s[i].x[j] = s[0].x[j] + 0.5*(s[i].x[j]-s[0].x[j])
+							verts[i][j] = verts[0][j] + 0.5*(verts[i][j]-verts[0][j])
 						}
-						s[i].f = eval(s[i].x)
+						fvals[i] = nmEval(f, verts[i])
 					}
 				}
 			}
 		}
-		sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
-		if s[0].f < best.f {
-			best = vertex{append([]float64(nil), s[0].x...), s[0].f}
+		nmSort(verts, fvals)
+		if fvals[0] < bestF {
+			copy(bestX, verts[0])
+			bestF = fvals[0]
 		}
 	}
-	if math.IsInf(best.f, 1) {
-		return best.x, best.f, fmt.Errorf("%w: NelderMead found no feasible point", ErrNoConvergence)
+	if math.IsInf(bestF, 1) {
+		return bestX, bestF, fmt.Errorf("%w: NelderMead found no feasible point", ErrNoConvergence)
 	}
-	return best.x, best.f, nil
+	return bestX, bestF, nil
 }

@@ -35,6 +35,33 @@ type NewtonNDOptions struct {
 	// (cancellation, deadline, iteration budget) aborts the solve with the
 	// typed run-control error.
 	Ctl *runctl.Controller
+	// WS, when non-nil, supplies reusable scratch storage so repeated
+	// solves allocate nothing. The returned Result.X aliases WS storage and
+	// is only valid until the next call using the same WS; copy it if it
+	// must outlive that.
+	WS *NewtonNDWS
+}
+
+// NewtonNDWS is reusable scratch state for NewtonND. A zero value is ready
+// to use; it grows to the largest system dimension it has seen and is not
+// safe for concurrent use.
+type NewtonNDWS struct {
+	n                       int
+	x, fx, ftrial, step, xt []float64
+	jac                     []float64
+}
+
+func (ws *NewtonNDWS) grow(n int) {
+	if n <= ws.n {
+		return
+	}
+	ws.n = n
+	ws.x = make([]float64, n)
+	ws.fx = make([]float64, n)
+	ws.ftrial = make([]float64, n)
+	ws.step = make([]float64, n)
+	ws.xt = make([]float64, n)
+	ws.jac = make([]float64, n*n)
 }
 
 // Validate rejects option sets that a plain `== 0` default check would let
@@ -93,12 +120,21 @@ func NewtonND(f VecFunc, x0 []float64, opts NewtonNDOptions) (NewtonNDResult, er
 	}
 	opts.defaults()
 	n := len(x0)
-	x := append([]float64(nil), x0...)
-	fx := make([]float64, n)
-	ftrial := make([]float64, n)
-	jac := make([]float64, n*n)
-	step := make([]float64, n)
-	xt := make([]float64, n)
+	ws := opts.WS
+	if ws == nil {
+		ws = &NewtonNDWS{}
+	}
+	ws.grow(n)
+	x := ws.x[:n]
+	copy(x, x0)
+	fx := ws.fx[:n]
+	ftrial := ws.ftrial[:n]
+	jac := ws.jac[:n*n]
+	step := ws.step[:n]
+	xt := ws.xt[:n]
+	for i := range fx {
+		fx[i], ftrial[i] = 0, 0
+	}
 
 	clip := func(v []float64) {
 		if opts.Lower == nil {

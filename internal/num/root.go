@@ -24,6 +24,20 @@ type NewtonResult struct {
 	Bisections int
 }
 
+// fn1 and fdf adapt plain closure-based callers onto the generic
+// state-carrying solver bodies below, so both entry points share one
+// implementation (and hence stay bit-identical) while hot callers can avoid
+// the closure allocations entirely by passing static functions plus a value
+// state.
+type fn1 struct{ f func(float64) float64 }
+
+func callFn1(s fn1, x float64) float64 { return s.f(x) }
+
+type fdf struct{ f, df func(float64) float64 }
+
+func callF(s fdf, x float64) float64  { return s.f(x) }
+func callDF(s fdf, x float64) float64 { return s.df(x) }
+
 // Newton1D finds a root of f inside [a, b] using Newton's method with a
 // bisection safeguard. df is the derivative of f. f(a) and f(b) must have
 // opposite signs (one may be zero). The safeguard guarantees global
@@ -34,10 +48,18 @@ type NewtonResult struct {
 // tol is an absolute tolerance on the root location; iteration also stops
 // when |f| underflows to zero.
 func Newton1D(f, df func(float64) float64, a, b, x0, tol float64, maxIter int) (NewtonResult, error) {
+	return Newton1DS(callF, callDF, fdf{f: f, df: df}, a, b, x0, tol, maxIter)
+}
+
+// Newton1DS is Newton1D over a state-carrying function pair: f and df are
+// static functions receiving the caller's state s, so repeated solves on a
+// hot path allocate no closures. The algorithm is identical to Newton1D
+// (which delegates here).
+func Newton1DS[S any](f, df func(S, float64) float64, s S, a, b, x0, tol float64, maxIter int) (NewtonResult, error) {
 	if a > b {
 		a, b = b, a
 	}
-	fa, fb := f(a), f(b)
+	fa, fb := f(s, a), f(s, b)
 	if fa == 0 {
 		return NewtonResult{Root: a}, nil
 	}
@@ -54,7 +76,7 @@ func Newton1D(f, df func(float64) float64, a, b, x0, tol float64, maxIter int) (
 	res := NewtonResult{}
 	for i := 0; i < maxIter; i++ {
 		res.Iterations = i + 1
-		fx := f(x)
+		fx := f(s, x)
 		if fx == 0 || math.Abs(b-a) < tol {
 			res.Root = x
 			return res, nil
@@ -65,7 +87,7 @@ func Newton1D(f, df func(float64) float64, a, b, x0, tol float64, maxIter int) (
 		} else {
 			b, fb = x, fx
 		}
-		dfx := df(x)
+		dfx := df(s, x)
 		var xn float64
 		if dfx != 0 {
 			xn = x - fx/dfx
@@ -93,7 +115,13 @@ func Newton1D(f, df func(float64) float64, a, b, x0, tol float64, maxIter int) (
 // Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
 // interpolation with bisection safeguards). f(a) and f(b) must straddle zero.
 func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
-	fa, fb := f(a), f(b)
+	return BrentS(callFn1, fn1{f: f}, a, b, tol, maxIter)
+}
+
+// BrentS is Brent over a state-carrying function, for closure-free hot
+// paths. The algorithm is identical to Brent (which delegates here).
+func BrentS[S any](f func(S, float64) float64, s S, a, b, tol float64, maxIter int) (float64, error) {
+	fa, fb := f(s, a), f(s, b)
 	if fa == 0 {
 		return a, nil
 	}
@@ -146,7 +174,7 @@ func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, er
 		} else {
 			b += math.Copysign(tol1, xm)
 		}
-		fb = f(b)
+		fb = f(s, b)
 		if (fb > 0) == (fc > 0) {
 			c, fc = a, fa
 			d, e = b-a, b-a
@@ -215,25 +243,45 @@ func BracketOut(f func(float64) float64, a, b float64, maxExpand int) (float64, 
 // threshold crossing of oscillatory step responses, where plain Newton could
 // converge to a later crossing.
 func FirstCrossing(f func(float64) float64, t0, t1 float64, n int) (float64, float64, error) {
+	return FirstCrossingS(callFn1, fn1{f: f}, t0, t1, n)
+}
+
+// FirstCrossingS is FirstCrossing over a state-carrying function, for
+// closure-free hot paths. The algorithm is identical to FirstCrossing
+// (which delegates here).
+func FirstCrossingS[S any](f func(S, float64) float64, s S, t0, t1 float64, n int) (float64, float64, error) {
+	lo, hi, ok := CrossingScanS(f, s, t0, t1, n)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: no crossing in [%g,%g]", ErrBadBracket, t0, t1)
+	}
+	return lo, hi, nil
+}
+
+// CrossingScanS is FirstCrossingS with a boolean verdict instead of an
+// error: ok reports whether a sign change was found. It exists for probes
+// where "no crossing" is an expected, frequent outcome (e.g. the seeded
+// delay solve's first-crossing guard) and allocating an error per call would
+// put garbage on a zero-alloc path.
+func CrossingScanS[S any](f func(S, float64) float64, s S, t0, t1 float64, n int) (lo, hi float64, ok bool) {
 	if n < 2 {
 		n = 2
 	}
 	prevT := t0
-	prevF := f(t0)
+	prevF := f(s, t0)
 	if prevF == 0 {
-		return t0, t0, nil
+		return t0, t0, true
 	}
 	dt := (t1 - t0) / float64(n)
 	for i := 1; i <= n; i++ {
 		t := t0 + float64(i)*dt
-		ft := f(t)
+		ft := f(s, t)
 		if ft == 0 {
-			return t, t, nil
+			return t, t, true
 		}
 		if math.Signbit(ft) != math.Signbit(prevF) {
-			return prevT, t, nil
+			return prevT, t, true
 		}
 		prevT, prevF = t, ft
 	}
-	return 0, 0, fmt.Errorf("%w: no crossing in [%g,%g]", ErrBadBracket, t0, t1)
+	return 0, 0, false
 }

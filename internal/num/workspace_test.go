@@ -1,0 +1,117 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNewtonNDWorkspaceBitIdentical: solving with a caller-owned workspace —
+// including a workspace reused across different problems — returns results
+// bit-identical to the allocating path.
+func TestNewtonNDWorkspaceBitIdentical(t *testing.T) {
+	problems := []struct {
+		f  VecFunc
+		x0 []float64
+	}{
+		{func(x, out []float64) error {
+			out[0] = x[0]*x[0] + x[1]*x[1] - 4
+			out[1] = x[0]*x[1] - 1
+			return nil
+		}, []float64{2, 0.3}},
+		{func(x, out []float64) error {
+			out[0] = 2*x[0] + x[1] - 5
+			out[1] = x[0] - 3*x[1] + 4
+			return nil
+		}, []float64{0, 0}},
+		{func(x, out []float64) error {
+			out[0] = math.Exp(x[0]) - 2
+			return nil
+		}, []float64{0}},
+	}
+	ws := &NewtonNDWS{}
+	for round := 0; round < 3; round++ {
+		for pi, pr := range problems {
+			x0a := append([]float64(nil), pr.x0...)
+			ra, erra := NewtonND(pr.f, x0a, NewtonNDOptions{Damping: true})
+			x0b := append([]float64(nil), pr.x0...)
+			rb, errb := NewtonND(pr.f, x0b, NewtonNDOptions{Damping: true, WS: ws})
+			if (erra == nil) != (errb == nil) {
+				t.Fatalf("round %d problem %d: err %v vs %v", round, pi, erra, errb)
+			}
+			if ra.Iterations != rb.Iterations || len(ra.X) != len(rb.X) {
+				t.Fatalf("round %d problem %d: %+v vs %+v", round, pi, ra, rb)
+			}
+			for i := range ra.X {
+				if ra.X[i] != rb.X[i] {
+					t.Fatalf("round %d problem %d: X[%d] %x != %x (not bit-identical)",
+						round, pi, i, ra.X[i], rb.X[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNelderMeadWorkspaceBitIdentical mirrors the Newton check for the
+// simplex fallback, reusing one workspace across dimensions.
+func TestNelderMeadWorkspaceBitIdentical(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	quad1 := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	problems := []struct {
+		f  func([]float64) float64
+		x0 []float64
+	}{
+		{rosen, []float64{-1.2, 1}},
+		{quad1, []float64{0}},
+		{rosen, []float64{0.5, 0.5}},
+	}
+	ws := &NelderMeadWS{}
+	for round := 0; round < 3; round++ {
+		for pi, pr := range problems {
+			xa, fa, erra := NelderMead(pr.f, append([]float64(nil), pr.x0...),
+				NelderMeadOptions{MaxIter: 4000})
+			xb, fb, errb := NelderMead(pr.f, append([]float64(nil), pr.x0...),
+				NelderMeadOptions{MaxIter: 4000, WS: ws})
+			if (erra == nil) != (errb == nil) {
+				t.Fatalf("round %d problem %d: err %v vs %v", round, pi, erra, errb)
+			}
+			if fa != fb {
+				t.Fatalf("round %d problem %d: fval %x != %x (not bit-identical)", round, pi, fa, fb)
+			}
+			for i := range xa {
+				if xa[i] != xb[i] {
+					t.Fatalf("round %d problem %d: x[%d] %x != %x", round, pi, i, xa[i], xb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNewtonNDWorkspaceZeroAlloc pins the steady-state allocation behavior
+// of the workspace-backed solver.
+func TestNewtonNDWorkspaceZeroAlloc(t *testing.T) {
+	f := func(x, out []float64) error {
+		out[0] = x[0]*x[0] + x[1]*x[1] - 4
+		out[1] = x[0]*x[1] - 1
+		return nil
+	}
+	ws := &NewtonNDWS{}
+	x0 := make([]float64, 2)
+	opts := NewtonNDOptions{Damping: true, WS: ws}
+	// Warm the workspace buffers once.
+	x0[0], x0[1] = 2, 0.3
+	if _, err := NewtonND(f, x0, opts); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		x0[0], x0[1] = 2, 0.3
+		if _, err := NewtonND(f, x0, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("workspace-backed NewtonND allocates %v/op", a)
+	}
+}

@@ -69,7 +69,8 @@ func FromStage(st tline.Stage) (Model, error) {
 	if err := st.Validate(); err != nil {
 		return Model{}, err
 	}
-	d := st.DenominatorSeries(3)
+	var buf [3]float64
+	d := st.DenominatorSeriesInto(buf[:], 3)
 	return New(d[1], d[2])
 }
 
@@ -184,6 +185,17 @@ func (m Model) Delay(f float64) (DelayResult, error) {
 	return m.DelayWith(nil, f)
 }
 
+// stepState carries (model, threshold) into the package-level residual
+// functions below, so the delay solvers avoid a per-call closure allocation
+// on the optimizer's hottest path.
+type stepState struct {
+	m Model
+	f float64
+}
+
+func stepResidual(s stepState, t float64) float64 { return s.m.Step(t) - s.f }
+func stepDeriv(s stepState, t float64) float64    { return s.m.StepDeriv(t) }
+
 // DelayWith is Delay consulting ctl (which may be nil) between bracket-
 // growth attempts, so cancelling an optimization aborts even a pathological
 // threshold search promptly.
@@ -194,7 +206,7 @@ func (m Model) DelayWith(ctl *runctl.Controller, f float64) (DelayResult, error)
 	if f == 0 {
 		return DelayResult{}, nil
 	}
-	g := func(t float64) float64 { return m.Step(t) - f }
+	g := stepState{m: m, f: f}
 	// Characteristic time: the larger of the Elmore time and the natural
 	// period. Grow the scan window until the crossing is inside.
 	tScale := math.Max(m.B1, math.Sqrt(m.B2))
@@ -205,7 +217,7 @@ func (m Model) DelayWith(ctl *runctl.Controller, f float64) (DelayResult, error)
 		if err := ctl.Check("pade.Delay"); err != nil {
 			return DelayResult{}, err
 		}
-		lo, hi, err = num.FirstCrossing(g, 0, tmax, 512)
+		lo, hi, err = num.FirstCrossingS(stepResidual, g, 0, tmax, 512)
 		if err == nil {
 			break
 		}
@@ -214,15 +226,58 @@ func (m Model) DelayWith(ctl *runctl.Controller, f float64) (DelayResult, error)
 		}
 		tmax *= 4
 	}
-	res, err := num.Newton1D(g, m.StepDeriv, lo, hi, 0.5*(lo+hi), 1e-14*tScale+1e-30, 60)
+	res, err := num.Newton1DS(stepResidual, stepDeriv, g, lo, hi, 0.5*(lo+hi), 1e-14*tScale+1e-30, 60)
 	if err != nil {
 		// Fall back to Brent inside the bracket: Step is continuous, so this
 		// cannot fail once a bracket exists.
-		tau, berr := num.Brent(g, lo, hi, 1e-16*tScale, 200)
+		tau, berr := num.BrentS(stepResidual, g, lo, hi, 1e-16*tScale, 200)
 		if berr != nil {
 			return DelayResult{}, fmt.Errorf("pade: Delay(f=%g): %w", f, berr)
 		}
 		return DelayResult{Tau: tau, Iterations: res.Iterations}, nil
+	}
+	return DelayResult{Tau: res.Root, Iterations: res.Iterations}, nil
+}
+
+// DelaySeeded is DelayWith with a warm-start hint: hint is the converged
+// delay of a neighboring solve (an adjacent grid point of a sweep, or the
+// previous evaluation of an optimization trajectory). When a tight bracket
+// around the hint straddles the threshold crossing — and, for underdamped
+// responses, no earlier crossing exists — the solve skips the 512-sample
+// scan of the cold path and polishes inside the local bracket. On any doubt
+// (bad hint, bracket not confirmed, possible earlier crossing, failed
+// polish) it falls back to DelayWith, so it never returns a different
+// crossing than the cold solve and agrees with it to the solver tolerance
+// (~1e-14 relative).
+func (m Model) DelaySeeded(ctl *runctl.Controller, f, hint float64) (DelayResult, error) {
+	if !(hint > 0) || math.IsInf(hint, 1) {
+		return m.DelayWith(ctl, f)
+	}
+	if f < 0 || f >= 1 || math.IsNaN(f) {
+		return DelayResult{}, fmt.Errorf("%w: f=%g", ErrThreshold, f)
+	}
+	if f == 0 {
+		return DelayResult{}, nil
+	}
+	if err := ctl.Check("pade.DelaySeeded"); err != nil {
+		return DelayResult{}, err
+	}
+	g := stepState{m: m, f: f}
+	lo, hi := 0.75*hint, hint/0.75
+	if !(stepResidual(g, lo) < 0 && stepResidual(g, hi) > 0) {
+		return m.DelayWith(ctl, f)
+	}
+	// For underdamped responses the local bracket could straddle a later
+	// crossing of an oscillatory tail; confirm no crossing precedes it.
+	if m.Damping() == Underdamped {
+		if _, _, crosses := num.CrossingScanS(stepResidual, g, 0, lo, 64); crosses {
+			return m.DelayWith(ctl, f)
+		}
+	}
+	tScale := math.Max(m.B1, math.Sqrt(m.B2))
+	res, err := num.Newton1DS(stepResidual, stepDeriv, g, lo, hi, hint, 1e-14*tScale+1e-30, 60)
+	if err != nil {
+		return m.DelayWith(ctl, f)
 	}
 	return DelayResult{Tau: res.Root, Iterations: res.Iterations}, nil
 }

@@ -1,0 +1,155 @@
+package pade
+
+import (
+	"math"
+	"testing"
+
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+// seededTestModels spans the damping regimes at physically plausible scales:
+// the paper's 100nm stage at several inductances plus normalized canonical
+// models.
+func seededTestModels(t *testing.T) []Model {
+	t.Helper()
+	var ms []Model
+	for _, zeta := range []float64{2, 1.2, 0.6, 0.3} {
+		m, err := New(2*zeta, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	node := tech.Node100()
+	for _, l := range []float64{0, 1e-6, 2e-6, 4e-6} {
+		st := tline.Stage{
+			Line: tline.Line{R: node.R, L: l, C: node.C},
+			H:    11.1e-3, RS: node.Rs / 528, CP: node.Cp * 528, CL: node.C0 * 528,
+		}
+		m, err := FromStage(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// TestDelaySeededAgreesWithCold: with an honest hint (the cold solution,
+// possibly perturbed), the seeded solve returns the same crossing to ≤1e-12
+// relative.
+func TestDelaySeededAgreesWithCold(t *testing.T) {
+	for mi, m := range seededTestModels(t) {
+		for _, f := range []float64{0.3, 0.5, 0.9} {
+			cold, err := m.Delay(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scale := range []float64{1, 0.92, 1.08} {
+				got, err := m.DelaySeeded(nil, f, cold.Tau*scale)
+				if err != nil {
+					t.Fatalf("model %d f=%g scale=%g: %v", mi, f, scale, err)
+				}
+				den := math.Max(math.Abs(cold.Tau), math.Abs(got.Tau))
+				if den != 0 && math.Abs(got.Tau-cold.Tau)/den > 1e-12 {
+					t.Errorf("model %d f=%g scale=%g: seeded %v vs cold %v",
+						mi, f, scale, got.Tau, cold.Tau)
+				}
+			}
+		}
+	}
+}
+
+// TestDelaySeededBadHintFallsBack: non-positive, infinite, and wildly wrong
+// hints reproduce the cold solve exactly.
+func TestDelaySeededBadHintFallsBack(t *testing.T) {
+	for mi, m := range seededTestModels(t) {
+		cold, err := m.Delay(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hint := range []float64{0, -1, math.Inf(1), math.NaN(), cold.Tau * 100, cold.Tau / 100} {
+			got, err := m.DelaySeeded(nil, 0.5, hint)
+			if err != nil {
+				t.Fatalf("model %d hint=%g: %v", mi, hint, err)
+			}
+			if got.Tau != cold.Tau {
+				t.Errorf("model %d hint=%g: %v, want exact cold fallback %v",
+					mi, hint, got.Tau, cold.Tau)
+			}
+		}
+	}
+}
+
+// TestDelaySeededRejectsLaterCrossing: for a strongly underdamped response a
+// hint near a *later* threshold crossing of the oscillatory tail must not be
+// accepted — the first-crossing guard falls back to the cold solve.
+func TestDelaySeededRejectsLaterCrossing(t *testing.T) {
+	m, err := New(0.2, 1) // ζ = 0.1, heavy ringing
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = 0.95
+	cold, err := m.Delay(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan for a later upward crossing of the threshold and aim the hint at
+	// it; the period of ringing guarantees several such crossings.
+	period := 2 * math.Pi / math.Sqrt(-m.Discriminant()) * 2 * m.B2
+	for _, hint := range []float64{cold.Tau + period, cold.Tau + 2*period} {
+		got, err := m.DelaySeeded(nil, f, hint)
+		if err != nil {
+			t.Fatalf("hint=%g: %v", hint, err)
+		}
+		if got.Tau != cold.Tau {
+			t.Errorf("hint near later crossing %g returned %g, want first crossing %g",
+				hint, got.Tau, cold.Tau)
+		}
+	}
+}
+
+// TestDelaySolvesZeroAlloc pins the zero-allocation contract of the grid hot
+// path: the cold and seeded delay solves and the series expansion allocate
+// nothing on their happy paths.
+func TestDelaySolvesZeroAlloc(t *testing.T) {
+	for mi, m := range seededTestModels(t) {
+		cold, err := m.Delay(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := testing.AllocsPerRun(50, func() {
+			if _, err := m.Delay(0.5); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("model %d: Delay allocates %v/op", mi, a)
+		}
+		if a := testing.AllocsPerRun(50, func() {
+			if _, err := m.DelaySeeded(nil, 0.5, cold.Tau); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("model %d: DelaySeeded allocates %v/op", mi, a)
+		}
+	}
+	node := tech.Node100()
+	st := tline.Stage{
+		Line: tline.Line{R: node.R, L: 2e-6, C: node.C},
+		H:    11.1e-3, RS: node.Rs / 528, CP: node.Cp * 528, CL: node.C0 * 528,
+	}
+	var buf [3]float64
+	if a := testing.AllocsPerRun(50, func() {
+		st.DenominatorSeriesInto(buf[:], 3)
+	}); a != 0 {
+		t.Errorf("DenominatorSeriesInto allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		if _, err := FromStage(st); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("FromStage allocates %v/op", a)
+	}
+}

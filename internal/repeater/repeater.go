@@ -62,6 +62,20 @@ type RCOptimum struct {
 	Tau float64 // Elmore delay of one optimal segment, s
 }
 
+// Normalize maps a design point (h, k) into the RC optimum's coordinate
+// frame (h/h_optRC, k/k_optRC) — the dimensionless space the stationarity
+// Newton, its warm-start continuation seeds, and the batched sweep engine
+// all work in (cold start = (1, 1)).
+func (o RCOptimum) Normalize(h, k float64) (x, y float64) {
+	return h / o.H, k / o.K
+}
+
+// Denormalize is the inverse of Normalize: it maps a point of the RC-frame
+// back to physical (h, k).
+func (o RCOptimum) Denormalize(x, y float64) (h, k float64) {
+	return x * o.H, y * o.K
+}
+
 // RCOptimal returns the closed-form optimum for the Elmore (RC) delay model:
 //
 //	h_optRC = √(2·rs(c0+cp)/(r·c)),  k_optRC = √(rs·c/(r·c0)),

@@ -194,6 +194,139 @@ func (st Stage) DenominatorSeries(n int) []float64 {
 	return out
 }
 
+// seriesIntoMax is the largest order DenominatorSeriesInto computes with
+// stack buffers; larger orders fall back to the allocating path.
+const seriesIntoMax = 8
+
+// DenominatorSeriesInto is DenominatorSeries writing into dst, which must
+// have length ≥ n. For n ≤ 8 (the two-pole model needs n = 3) it performs no
+// heap allocation: the truncated polynomial arithmetic runs on fixed-size
+// stack buffers, replaying the exact floating-point operation sequence of
+// DenominatorSeries so the coefficients are bit-identical. It returns
+// dst[:n].
+func (st Stage) DenominatorSeriesInto(dst []float64, n int) []float64 {
+	if n < 1 {
+		return dst[:0]
+	}
+	if n > seriesIntoMax || len(dst) < n {
+		return append(dst[:0], st.DenominatorSeries(n)...)
+	}
+	l := st.Line
+	h := st.H
+	// (θh)² as a polynomial in s, matching poly.New(0, rch², lch²).
+	var x2 [3]float64
+	x2[1] = l.R * l.C * h * h
+	x2[2] = l.L * l.C * h * h
+
+	var coshBuf, shBuf, powA, powB, scaled, term [seriesIntoMax]float64
+	cosh := coshBuf[:1]
+	cosh[0] = 1
+	shOverTh := shBuf[:1]
+	shOverTh[0] = 1
+	pow := powA[:1]
+	pow[0] = 1
+	spare := powB[:]
+	fact := 1.0
+	for k := 1; 2*k-1 < 2*n; k++ {
+		next := spare[:n]
+		mulTruncInto(next, pow, x2[:], n)
+		spare, pow = pow[:cap(pow)], next
+		if allZero(pow) { // pow.Degree() < 0
+			break
+		}
+		fact *= float64(2*k-1) * float64(2*k)
+		// cosh = cosh.Add(pow.Scale(1/fact))
+		scaleInto(scaled[:n], pow, 1/fact)
+		cosh = addInto(coshBuf[:], cosh, scaled[:n])
+		// shOverTh = shOverTh.Add(pow.Scale(1/(fact·(2k+1))))
+		scaleInto(scaled[:n], pow, 1/(fact*float64(2*k+1)))
+		shOverTh = addInto(shBuf[:], shOverTh, scaled[:n])
+	}
+	rs, cp, cl := st.RS, st.CP, st.CL
+	var lin [4]float64
+	d := dst[:n]
+	// Term 1: (1 + s·RS(CP+CL))·cosh.
+	lin[0], lin[1] = 1, rs*(cp+cl)
+	mulTruncInto(d, lin[:2], cosh, n)
+	// Term 2: RS·sinh/Z0 = RS·s·c·h·S.
+	lin[0], lin[1] = 0, rs*l.C*h
+	mulTruncInto(term[:n], lin[:2], shOverTh, n)
+	accumulate(d, term[:n])
+	// Term 3: s·CL·Z0·sinh = s·CL·(r+sl)·h·S.
+	lin[0], lin[1], lin[2] = 0, cl*l.R*h, cl*l.L*h
+	mulTruncInto(term[:n], lin[:3], shOverTh, n)
+	accumulate(d, term[:n])
+	// Term 4: s²·RS·CP·CL·Z0·sinh = s²·RS·CP·CL·(r+sl)·h·S.
+	lin[0], lin[1], lin[2], lin[3] = 0, 0, rs*cp*cl*l.R*h, rs*cp*cl*l.L*h
+	mulTruncInto(term[:n], lin[:4], shOverTh, n)
+	accumulate(d, term[:n])
+	return d
+}
+
+// mulTruncInto writes the product p·q truncated to degree < n into out
+// (len(out) == n), mirroring poly.Poly.MulTrunc's accumulation order.
+func mulTruncInto(out, p, q []float64, n int) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, a := range p {
+		if a == 0 || i >= n {
+			continue
+		}
+		for j, b := range q {
+			if i+j >= n {
+				break
+			}
+			out[i+j] += a * b
+		}
+	}
+}
+
+// scaleInto writes a·p into out elementwise (poly.Poly.Scale).
+func scaleInto(out, p []float64, a float64) {
+	for i, c := range p {
+		out[i] = a * c
+	}
+}
+
+// addInto computes p + q into p's backing array (len max(len p, len q) ≤
+// len(backing)), mirroring poly.Poly.Add: out[i] = 0 (+ p[i]) (+ q[i]).
+func addInto(backing, p, q []float64) []float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := backing[:n]
+	for i := range out {
+		v := 0.0
+		if i < len(p) {
+			v += p[i]
+		}
+		if i < len(q) {
+			v += q[i]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// accumulate adds src into dst elementwise (equal lengths), the Add chain of
+// the four denominator terms.
+func accumulate(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // TransferMoments returns the first n moments (ascending power-series
 // coefficients) of the exact transfer function H(s) = 1/D(s). Moment 0 is 1.
 func (st Stage) TransferMoments(n int) ([]float64, error) {

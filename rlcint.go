@@ -219,14 +219,41 @@ func ExtractDevice(line Line, h, k, tau float64) (Device, error) {
 // SweepPoint carries the Figure 4–8 quantities at one inductance.
 type SweepPoint = core.SweepPoint
 
+// SweepOptions configure the batched sweep engine: worker count, tile size,
+// and warm-start continuation. See core.SweepOptions for the determinism
+// contract.
+type SweepOptions = core.SweepOptions
+
+// NodeSweep pairs a technology node with its sweep row.
+type NodeSweep = core.NodeSweep
+
 // Sweep runs the paper's Section 3 study over per-unit-length inductances
-// (H/m) at threshold f.
+// (H/m) at threshold f. Points evaluate concurrently through the batched
+// engine with cold-start defaults, so results are bit-identical to the
+// serial reference at any worker count; use SweepBatch for warm-start
+// continuation or explicit worker/tile control.
 func Sweep(t Technology, ls []float64, f float64) ([]SweepPoint, error) {
-	return core.Sweep(t, ls, f)
+	return core.SweepBatchCtx(context.Background(), core.SweepOptions{}, t, ls, f)
+}
+
+// SweepBatch is Sweep with explicit engine options (workers, tile size,
+// warm-start continuation, limits).
+func SweepBatch(ctx context.Context, opts SweepOptions, t Technology, ls []float64, f float64) ([]SweepPoint, error) {
+	return core.SweepBatchCtx(ctx, opts, t, ls, f)
+}
+
+// SweepNodes runs the study for several technology nodes concurrently —
+// the engine behind cmd/figures' Figures 4–8 — returning one row per node.
+// On a stop or error the completed prefix of rows (last possibly partial)
+// is returned alongside the typed error.
+func SweepNodes(ctx context.Context, opts SweepOptions, ts []Technology, ls []float64, f float64) ([]NodeSweep, error) {
+	return core.SweepNodesCtx(ctx, opts, ts, ls, f)
 }
 
 // SweepCtx is Sweep under run control; a stopped sweep returns the
-// completed prefix of points alongside the typed stop error.
+// completed prefix of points alongside the typed stop error. It runs the
+// serial reference path (one point at a time, cold starts) — the batched
+// engine's workers=1 cold mode is bit-identical to it.
 func SweepCtx(ctx context.Context, t Technology, ls []float64, f float64, lim RunLimits) ([]SweepPoint, error) {
 	return core.SweepCtx(ctx, lim, t, ls, f)
 }

@@ -5,8 +5,15 @@
 # performance PR records the before/after numbers it claims.
 #
 # Usage:
-#   scripts/bench.sh              # full run (go test -bench . -benchmem)
-#   BENCHTIME=1x scripts/bench.sh # CI smoke: one iteration per benchmark
+#   scripts/bench.sh                     # full run (go test -bench . -benchmem)
+#   BENCHTIME=1x scripts/bench.sh        # CI smoke: one iteration per benchmark
+#   SUFFIX=tag scripts/bench.sh          # write BENCH_<date>_tag.json instead
+#   scripts/bench.sh compare [new] [base]
+#       Diff two snapshots and exit nonzero on a >15% ns/op regression or
+#       ANY allocs/op increase for benchmarks present in both. new defaults
+#       to the most recently modified BENCH_*.json on disk, base to the
+#       newest snapshot committed to git. CI runs this as a soft gate
+#       (timing on shared runners is noisy; alloc counts are not).
 #
 # Output schema: {"date": ..., "go": ..., "benchmarks": [{"op": name,
 # "ns_per_op": float, "b_per_op": int, "allocs_per_op": int}, ...]}
@@ -14,6 +21,55 @@
 # across machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+compare() {
+  local base new
+  # Default baseline: the snapshot most recently added to git history.
+  base="${2:-$(git log --format= --name-only --diff-filter=A -- 'BENCH_*.json' | awk 'NF' | head -1)}"
+  new="${1:-$(ls -t BENCH_*.json 2>/dev/null | grep -vxF "$base" | head -1 || true)}"
+  if [[ -z "$base" || -z "$new" || ! -f "$base" || ! -f "$new" ]]; then
+    echo "compare: need two snapshots (new='$new' base='$base')" >&2
+    return 2
+  fi
+  echo "comparing $new against baseline $base"
+  awk -v tol=0.15 '
+  function getnum(key,    m) {
+      if (match($0, "\"" key "\": [0-9.eE+-]+")) {
+          m = substr($0, RSTART, RLENGTH)
+          sub(/^.*: /, "", m)
+          return m
+      }
+      return ""
+  }
+  /"op"/ {
+      if (!match($0, /"op": "[^"]+"/)) next
+      name = substr($0, RSTART + 7, RLENGTH - 8)
+      ns = getnum("ns_per_op"); al = getnum("allocs_per_op")
+      if (FNR == NR) { bns[name] = ns; bal[name] = al; next }
+      if (!(name in bns)) { added++; next }
+      compared++
+      if (bns[name] + 0 > 0 && ns + 0 > bns[name] * (1 + tol)) {
+          printf "REGRESSION %-28s ns/op %12.0f -> %12.0f (+%.1f%%)\n",
+                 name, bns[name], ns, (ns / bns[name] - 1) * 100
+          bad = 1
+      }
+      if (al != "" && bal[name] != "" && al + 0 > bal[name] + 0) {
+          printf "REGRESSION %-28s allocs/op %6d -> %6d\n", name, bal[name], al
+          bad = 1
+      }
+  }
+  END {
+      printf "compared %d benchmarks (%d new-only)\n", compared, added
+      if (compared == 0) { print "compare: no overlapping benchmarks" ; exit 2 }
+      exit bad
+  }' "$base" "$new"
+}
+
+if [[ "${1:-}" == "compare" ]]; then
+  shift
+  compare "$@"
+  exit $?
+fi
 
 benchtime="${BENCHTIME:-}"
 args=(test -run '^$' -bench . -benchmem -timeout 60m ./...)
@@ -26,7 +82,7 @@ trap 'rm -f "$raw"' EXIT
 go "${args[@]}" | tee "$raw"
 
 date_utc="$(date -u +%Y-%m-%d)"
-out="BENCH_${date_utc}.json"
+out="BENCH_${date_utc}${SUFFIX:+_${SUFFIX}}.json"
 go_version="$(go version | awk '{print $3}')"
 
 awk -v date="$date_utc" -v gover="$go_version" '
