@@ -1,0 +1,104 @@
+// Command rlcd is the rlcint serving daemon: an HTTP/JSON API over the
+// library's public facade with result caching, request coalescing, and
+// admission control.
+//
+// Usage:
+//
+//	rlcd [-addr :8080] [-inflight N] [-queue N] [-timeout 30s]
+//	     [-cache-entries 4096] [-cache-bytes 67108864] [-drain 30s]
+//
+// Endpoints (all request/response bodies JSON, SI units):
+//
+//	POST /v1/optimize     {"tech","l","f"}                → RLC optimum
+//	POST /v1/delay        {"tech","l","h","k","f"}        → stage delay
+//	POST /v1/plan         {"tech","l","f","length"}       → realizable plan
+//	POST /v1/optimize-rc  {"tech"}                        → Elmore optimum
+//	POST /v1/lcrit        {"tech","l","h","k"}            → Eq. (4)
+//	POST /v1/sweep        {"tech","ls":[...],"f","warm"}  → NDJSON stream
+//	POST /v1/check/oxide  {"tech","overshoot_v"}          → oxide report
+//	POST /v1/check/wire   {"peak_j","rms_j"}              → wire report
+//	GET  /healthz  GET /metrics  /debug/pprof/  /debug/vars
+//
+// SIGINT/SIGTERM drain in-flight solves gracefully within -drain; a second
+// signal or an expired drain forces the stop and exits with status 2,
+// matching the library's CLI run-control convention.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rlcint/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	inflight := flag.Int("inflight", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queued requests beyond -inflight (0 = 64)")
+	timeout := flag.Duration("timeout", 0, "default per-request compute budget (0 = 30s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested timeout_ms (0 = 2m)")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache entry bound (0 = 4096, negative = disable)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte bound (0 = 64MiB)")
+	maxPoints := flag.Int("max-sweep-points", 0, "per-request sweep grid bound (0 = 65536)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "rlcd ", log.LstdFlags|log.Lmicroseconds)
+	srv := serve.New(serve.Config{
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		MaxSweepPoints: *maxPoints,
+		Logger:         logger,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		logger.Printf("server error: %v", err)
+		os.Exit(1)
+	case s := <-sig:
+		logger.Printf("signal %v: draining (budget %s; second signal forces stop)", s, *drain)
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish. A
+	// second signal or an exhausted drain budget cancels every solve (they
+	// unwind at the next runctl tick) and exits 2, the forced-stop status
+	// the CLIs use.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		<-sig
+		logger.Printf("second signal: forcing stop")
+		cancel()
+	}()
+	err := hs.Shutdown(drainCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = hs.Close()
+		fmt.Fprintln(os.Stderr, "rlcd: forced stop:", err)
+		os.Exit(2)
+	}
+	logger.Printf("drained cleanly")
+}

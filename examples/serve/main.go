@@ -1,0 +1,72 @@
+// Serve is the rlcd quickstart: it embeds the serving subsystem in-process,
+// exercises the API the way a design-flow client would — an optimize, a
+// cached repeat, a streamed sweep — and prints the cache/coalescing
+// telemetry the daemon exposes on /metrics.
+//
+// Run the real daemon with:
+//
+//	go run ./cmd/rlcd -addr :8080
+//	curl -s localhost:8080/v1/optimize -d '{"tech":"100nm","l":2e-6,"f":0.5}'
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"rlcint/internal/serve"
+)
+
+func post(client *http.Client, base, path, body string) (*http.Response, string) {
+	resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func main() {
+	srv := serve.New(serve.Config{Logger: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	// One optimize: the paper's methodology at (100nm, 2 nH/mm, 50%).
+	req := `{"tech":"100nm","l":2e-6,"f":0.5}`
+	resp, body := post(ts.Client(), ts.URL, "/v1/optimize", req)
+	fmt.Printf("optimize  [%s]  %s", resp.Header.Get("X-Cache"), body)
+
+	// The identical request again: served from the result cache.
+	resp, body = post(ts.Client(), ts.URL, "/v1/optimize", req)
+	fmt.Printf("optimize  [%s]  %s", resp.Header.Get("X-Cache"), body)
+
+	// A sweep streams NDJSON: one line per grid point, then a "done" line.
+	resp, body = post(ts.Client(), ts.URL, "/v1/sweep",
+		`{"tech":"100nm","ls":[0,1e-6,2e-6,4e-6],"f":0.5,"warm":true}`)
+	fmt.Printf("sweep     [%s]\n", resp.Header.Get("X-Cache"))
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		fmt.Println("  ", sc.Text())
+	}
+
+	// A domain error maps to a typed 400 with a JSON envelope.
+	resp, body = post(ts.Client(), ts.URL, "/v1/optimize", `{"tech":"100nm","l":2e-6,"f":1.5}`)
+	fmt.Printf("bad f     [%d]  %s", resp.StatusCode, body)
+
+	// The telemetry a dashboard would scrape.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	m, _ := io.ReadAll(mresp.Body)
+	fmt.Printf("metrics:\n%s", m)
+}

@@ -84,6 +84,13 @@ func PlanLine(t Technology, l, f, L float64) (LinePlan, error) {
 	return core.PlanLine(core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f}, L)
 }
 
+// PlanLineCtx is PlanLine under run control: cancellation and lim are
+// checked at every inner optimizer iteration and candidate evaluation, so a
+// cancelled plan aborts promptly with a typed stop error.
+func PlanLineCtx(ctx context.Context, t Technology, l, f, L float64, lim RunLimits) (LinePlan, error) {
+	return core.PlanLineCtx(ctx, core.Problem{Device: DeviceOf(t), Line: LineOf(t, l), F: f, Limits: lim}, L)
+}
+
 // InterpolateTech synthesizes a technology node at an intermediate feature
 // size (70–350 nm) by log–log interpolation between the paper's anchors,
 // extending the scaling study into a trajectory.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rlcint/internal/batch"
+	"rlcint/internal/diag"
 	"rlcint/internal/pade"
 	"rlcint/internal/repeater"
 	"rlcint/internal/runctl"
@@ -109,6 +110,12 @@ type sweepScratch struct {
 // On an error or a run-control stop, the completed prefix of rows (the last
 // possibly partial) is returned alongside the typed error.
 func SweepNodesCtx(ctx context.Context, opts SweepOptions, nodes []tech.Node, ls []float64, f float64) ([]NodeSweep, error) {
+	if err := validateGrid("core.SweepNodes", ls); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, diag.Domainf("core.SweepNodes", "no technology nodes")
+	}
 	ctl := runctl.New(ctx, opts.Limits)
 	refs, err := batch.Run(ctl, len(nodes),
 		batch.Options{Workers: opts.Workers, TileSize: 1},

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
+	"rlcint/internal/tech"
+)
+
+// Every sweep entry point must reject empty and non-finite inductance grids
+// with a typed ErrDomain instead of silently returning zero points — the
+// serving layer feeds these grids from untrusted JSON.
+func TestSweepGridValidation(t *testing.T) {
+	node := tech.Node100()
+	bad := [][]float64{
+		{},
+		nil,
+		{1e-6, math.NaN()},
+		{math.Inf(1)},
+		{1e-6, math.Inf(-1), 2e-6},
+	}
+	for _, ls := range bad {
+		if _, err := Sweep(node, ls, 0.5); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("Sweep(ls=%v) = %v, want ErrDomain", ls, err)
+		}
+		if _, err := SweepCtx(context.Background(), runctl.Limits{}, node, ls, 0.5); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("SweepCtx(ls=%v) = %v, want ErrDomain", ls, err)
+		}
+		if _, err := SweepBatchCtx(context.Background(), SweepOptions{}, node, ls, 0.5); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("SweepBatchCtx(ls=%v) = %v, want ErrDomain", ls, err)
+		}
+		if _, err := SweepNodesCtx(context.Background(), SweepOptions{}, []tech.Node{node}, ls, 0.5); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("SweepNodesCtx(ls=%v) = %v, want ErrDomain", ls, err)
+		}
+	}
+	if _, err := SweepNodesCtx(context.Background(), SweepOptions{}, nil, []float64{1e-6}, 0.5); !errors.Is(err, diag.ErrDomain) {
+		t.Errorf("SweepNodesCtx(no nodes) = %v, want ErrDomain", err)
+	}
+}
+
+func TestPlanLineCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := problem(tech.Node100(), 2)
+	_, err := PlanLineCtx(ctx, p, 0.01)
+	if !errors.Is(err, diag.ErrCancelled) {
+		t.Fatalf("PlanLineCtx(cancelled) = %v, want ErrCancelled", err)
+	}
+}
+
+func TestPlanLineDomainLength(t *testing.T) {
+	p := problem(tech.Node100(), 2)
+	for _, L := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := PlanLine(p, L); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("PlanLine(L=%g) = %v, want ErrDomain", L, err)
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
 )
 
 // LinePlan is a realizable repeater plan for a net of a given total length:
@@ -25,19 +28,30 @@ type LinePlan struct {
 // (including the ±1 neighbours) at the re-optimized k for each candidate's
 // segment length, and returns the fastest.
 func PlanLine(p Problem, L float64) (LinePlan, error) {
+	return PlanLineCtx(context.Background(), p, L)
+}
+
+// PlanLineCtx is PlanLine under run control: cancellation, the context
+// deadline, and p.Limits are checked at every inner optimizer iteration, so
+// a stopped plan aborts promptly with a typed stop error.
+func PlanLineCtx(ctx context.Context, p Problem, L float64) (LinePlan, error) {
 	if err := p.Validate(); err != nil {
 		return LinePlan{}, err
 	}
-	if L <= 0 {
-		return LinePlan{}, fmt.Errorf("core: PlanLine requires positive length, got %g", L)
+	if L <= 0 || math.IsNaN(L) || math.IsInf(L, 0) {
+		return LinePlan{}, diag.Domainf("core.PlanLine", "requires positive finite length, got %g", L)
 	}
 	// One workspace serves the optimization and every fixed-h refinement
 	// below, so the plan path allocates a handful of buffers once instead
 	// of churning per candidate evaluation.
-	opt, err := OptimizeWS(context.Background(), p, NewWorkspace())
+	opt, err := OptimizeWS(ctx, p, NewWorkspace())
 	if err != nil {
 		return LinePlan{}, err
 	}
+	// Wire the context into the refinement evaluations below: Eval checks
+	// p.ctl, so a cancelled plan stops between candidate evaluations instead
+	// of finishing the golden-section scans on a dead request.
+	p.ctl = runctl.New(ctx, runctl.Limits{})
 	nIdeal := L / opt.H
 	best := LinePlan{Continuous: opt, Length: L, Total: math.Inf(1)}
 	for _, n := range []int{int(math.Floor(nIdeal)), int(math.Ceil(nIdeal)), int(math.Round(nIdeal)) + 1} {
@@ -48,10 +62,18 @@ func PlanLine(p Problem, L float64) (LinePlan, error) {
 		// Re-optimize the repeater size for this fixed segment length.
 		k, err := optimizeKAtFixedH(p, h, opt.K)
 		if err != nil {
+			// A stop mid-scan surfaces as an infeasible candidate; recover
+			// the typed stop so callers see ErrCancelled, not "no plan".
+			if e := p.ctl.Check("core.PlanLine"); e != nil {
+				return LinePlan{}, e
+			}
 			continue
 		}
 		_, d, err := p.Eval(h, k)
 		if err != nil {
+			if runctl.IsStop(err) {
+				return LinePlan{}, err
+			}
 			continue
 		}
 		total := float64(n) * d.Tau

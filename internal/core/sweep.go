@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"rlcint/internal/diag"
 	"rlcint/internal/pade"
@@ -41,12 +42,31 @@ func Sweep(node tech.Node, ls []float64, f float64) ([]SweepPoint, error) {
 	return SweepCtx(context.Background(), runctl.Limits{}, node, ls, f)
 }
 
+// validateGrid rejects unusable inductance grids uniformly across every
+// sweep entry point: an empty grid and non-finite points are ErrDomain
+// failures rather than a silently empty result. The serving layer feeds
+// these grids from untrusted JSON, so the rejection must be typed.
+func validateGrid(op string, ls []float64) error {
+	if len(ls) == 0 {
+		return diag.Domainf(op, "empty inductance grid")
+	}
+	for i, l := range ls {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return diag.Domainf(op, "ls[%d]=%g is not finite", i, l)
+		}
+	}
+	return nil
+}
+
 // SweepCtx is Sweep under run control: cancellation and limits are checked
 // before each inductance point (MaxIters counts points), and a stopped
 // sweep returns the completed prefix alongside the typed stop error so
 // callers can persist partial studies.
 func SweepCtx(ctx context.Context, lim runctl.Limits, node tech.Node, ls []float64, f float64) (out []SweepPoint, err error) {
 	defer diag.RecoverTo(&err, "core.Sweep")
+	if err := validateGrid("core.Sweep", ls); err != nil {
+		return nil, err
+	}
 	ctl := runctl.New(ctx, lim)
 	base := Problem{
 		Device: repeaterOf(node),

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull is the admission-control rejection: the concurrency limiter
+// is saturated and the wait queue is at capacity. Mapped to HTTP 503.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// limiter is the admission controller: at most maxInflight computations run
+// concurrently, at most maxQueue more may wait for a slot, and anything
+// beyond that is rejected immediately with errQueueFull — bounding both the
+// CPU and the memory a traffic burst can claim.
+type limiter struct {
+	slots    chan struct{} // buffered; one token per running solve
+	queued   atomic.Int64
+	maxQueue int64
+	rejected atomic.Int64
+}
+
+func newLimiter(maxInflight, maxQueue int) *limiter {
+	return &limiter{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims a slot, waiting in the bounded queue if none is free. It
+// fails fast with errQueueFull when the queue is at capacity, and with
+// ctx.Err() when the caller gives up while queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.rejected.Add(1)
+		return errQueueFull
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// inflight is the number of currently running solves; depth the number of
+// queued waiters. Both are point-in-time gauges for /metrics.
+func (l *limiter) inflight() int   { return len(l.slots) }
+func (l *limiter) depth() int64    { return l.queued.Load() }
+func (l *limiter) rejects() int64  { return l.rejected.Load() }
+func (l *limiter) capacity() int   { return cap(l.slots) }

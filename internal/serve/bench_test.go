@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchServer(b *testing.B, cfg Config) http.Handler {
+	b.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s := New(cfg)
+	b.Cleanup(s.Close)
+	return s.Handler()
+}
+
+func benchPost(b *testing.B, h http.Handler, path, body string) int {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// BenchmarkServeOptimizeCached measures the full HTTP round trip when the
+// result cache answers: decode, canonical key, LRU hit, write.
+func BenchmarkServeOptimizeCached(b *testing.B) {
+	h := benchServer(b, Config{})
+	body := `{"tech":"100nm","l":2e-6,"f":0.5}`
+	if code := benchPost(b, h, "/v1/optimize", body); code != 200 {
+		b.Fatalf("warmup status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchPost(b, h, "/v1/optimize", body); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeOptimizeCold measures the uncached serve path — every
+// request is a distinct problem, so each one runs the full optimizer ladder
+// behind admission control and singleflight.
+func BenchmarkServeOptimizeCold(b *testing.B) {
+	h := benchServer(b, Config{CacheEntries: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"tech":"100nm","l":%g,"f":0.5}`, 1e-6+float64(i)*1e-11)
+		if code := benchPost(b, h, "/v1/optimize", body); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeSweepCached measures a 32-point NDJSON sweep answered
+// entirely from the chunk cache.
+func BenchmarkServeSweepCached(b *testing.B) {
+	h := benchServer(b, Config{})
+	var ls []string
+	for i := 0; i < 32; i++ {
+		ls = append(ls, fmt.Sprintf("%g", float64(i)*1e-7))
+	}
+	body := `{"tech":"100nm","ls":[` + strings.Join(ls, ",") + `],"f":0.5}`
+	if code := benchPost(b, h, "/v1/sweep", body); code != 200 {
+		b.Fatalf("warmup status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchPost(b, h, "/v1/sweep", body); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rlcint/internal/tech"
+)
+
+// maxBodyBytes bounds every request body; grids large enough to exceed it
+// are out of scope for a single request anyway.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes the request body into v strictly: unknown fields,
+// trailing garbage, oversized bodies, and non-JSON all fail with a typed
+// *badRequest (→ 400). JSON cannot carry NaN/±Inf literals, and Go's decoder
+// rejects out-of-range numbers, so decoded floats are always finite — the
+// facade's ErrDomain validation backstops anything that slips through.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return badRequestf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return badRequestf("invalid request JSON: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return badRequestf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// canonF renders a float for canonical cache keys: the exact bit pattern, so
+// two requests share a key iff their inputs are identical.
+func canonF(v float64) string {
+	return strconv.FormatUint(math.Float64bits(v), 16)
+}
+
+// reqFinite rejects non-finite request floats with a 400 before they reach a
+// solver (defense in depth; strict JSON decoding should make this moot).
+func reqFinite(pairs ...any) error {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v := pairs[i+1].(float64)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badRequestf("%s=%g is not finite", pairs[i], v)
+		}
+	}
+	return nil
+}
+
+// techOf resolves the technology node named in a request.
+func techOf(name string) (tech.Node, error) {
+	if name == "" {
+		return tech.Node{}, badRequestf("missing technology (want one of: 250nm, 100nm, 100nm-eps250)")
+	}
+	t, err := tech.ByName(name)
+	if err != nil {
+		return tech.Node{}, badRequestf("%v", err)
+	}
+	return t, nil
+}
+
+// threshold normalizes the delay-threshold field: 0 means the paper's 50%.
+func threshold(f float64) float64 {
+	if f == 0 {
+		return 0.5
+	}
+	return f
+}
+
+// optimizeReq drives /v1/optimize: the paper's core methodology at one
+// (technology, inductance, threshold) point. All units SI.
+type optimizeReq struct {
+	Tech      string  `json:"tech"`
+	L         float64 `json:"l"` // line inductance, H/m
+	F         float64 `json:"f"` // delay threshold fraction; 0 → 0.5
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+func (q *optimizeReq) validate() error { return reqFinite("l", q.L, "f", q.F) }
+
+func (q *optimizeReq) key() string {
+	return "optimize|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(threshold(q.F))
+}
+
+// delayReq drives /v1/delay: the f×100% delay of one explicit stage.
+type delayReq struct {
+	Tech      string  `json:"tech"`
+	L         float64 `json:"l"` // line inductance, H/m
+	H         float64 `json:"h"` // segment length, m
+	K         float64 `json:"k"` // repeater size
+	F         float64 `json:"f"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+func (q *delayReq) validate() error {
+	return reqFinite("l", q.L, "h", q.H, "k", q.K, "f", q.F)
+}
+
+func (q *delayReq) key() string {
+	return "delay|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(q.H) + "|" +
+		canonF(q.K) + "|" + canonF(threshold(q.F))
+}
+
+// planReq drives /v1/plan: a realizable integer-stage repeater plan for a
+// net of total length Length meters.
+type planReq struct {
+	Tech      string  `json:"tech"`
+	L         float64 `json:"l"`
+	F         float64 `json:"f"`
+	Length    float64 `json:"length"` // total net length, m
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+func (q *planReq) validate() error {
+	return reqFinite("l", q.L, "f", q.F, "length", q.Length)
+}
+
+func (q *planReq) key() string {
+	return "plan|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(threshold(q.F)) + "|" + canonF(q.Length)
+}
+
+// rcReq drives /v1/optimize-rc: the closed-form Elmore/RC optimum.
+type rcReq struct {
+	Tech string `json:"tech"`
+}
+
+func (q *rcReq) key() string { return "optimize-rc|" + q.Tech }
+
+// lcritReq drives /v1/lcrit: the paper's Eq. (4) critical inductance of one
+// explicit stage (the stage's own l is ignored by the formula).
+type lcritReq struct {
+	Tech string  `json:"tech"`
+	L    float64 `json:"l"`
+	H    float64 `json:"h"`
+	K    float64 `json:"k"`
+}
+
+func (q *lcritReq) validate() error { return reqFinite("l", q.L, "h", q.H, "k", q.K) }
+
+func (q *lcritReq) key() string {
+	return "lcrit|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(q.H) + "|" + canonF(q.K)
+}
+
+// sweepReq drives /v1/sweep: the Section 3 study over an inductance grid,
+// streamed as NDJSON. Workers is an execution hint (capped server-side,
+// never part of the result), while Warm and TileSize are part of the result
+// contract and therefore of the cache key.
+type sweepReq struct {
+	Tech      string    `json:"tech"`
+	Ls        []float64 `json:"ls"` // inductance grid, H/m
+	F         float64   `json:"f"`
+	Warm      bool      `json:"warm,omitempty"`
+	Workers   int       `json:"workers,omitempty"`
+	TileSize  int       `json:"tile_size,omitempty"`
+	TimeoutMS int64     `json:"timeout_ms,omitempty"`
+}
+
+func (q *sweepReq) validate(maxPoints int) error {
+	if len(q.Ls) == 0 {
+		return badRequestf("empty inductance grid")
+	}
+	if len(q.Ls) > maxPoints {
+		return badRequestf("grid of %d points exceeds the per-request limit of %d", len(q.Ls), maxPoints)
+	}
+	for i, l := range q.Ls {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return badRequestf("ls[%d]=%g is not finite", i, l)
+		}
+	}
+	if q.Workers < 0 || q.TileSize < 0 {
+		return badRequestf("workers and tile_size must be non-negative")
+	}
+	return reqFinite("f", q.F)
+}
+
+// keyBase canonicalizes everything that decides sweep results except the
+// grid itself; chunkKey appends the chunk's slice of the grid.
+func (q *sweepReq) keyBase() string {
+	var b strings.Builder
+	b.WriteString("sweep|")
+	b.WriteString(q.Tech)
+	b.WriteString("|")
+	b.WriteString(canonF(threshold(q.F)))
+	if q.Warm {
+		b.WriteString("|warm|tile=")
+		b.WriteString(strconv.Itoa(q.TileSize))
+	}
+	return b.String()
+}
+
+// chunkKey is the canonical key of one streamed chunk: the base plus the
+// chunk's exact grid values (position-independent, so identical chunks of
+// different requests share work).
+func chunkKey(base string, ls []float64) string {
+	var b strings.Builder
+	b.Grow(len(base) + 17*len(ls) + 8)
+	b.WriteString(base)
+	b.WriteString("|")
+	for _, l := range ls {
+		b.WriteString(canonF(l))
+		b.WriteString(",")
+	}
+	return b.String()
+}
+
+// oxideReq drives /v1/check/oxide.
+type oxideReq struct {
+	Tech       string  `json:"tech"`
+	OvershootV float64 `json:"overshoot_v"` // measured overshoot above VDD, V
+}
+
+func (q *oxideReq) validate() error {
+	if err := reqFinite("overshoot_v", q.OvershootV); err != nil {
+		return err
+	}
+	if q.OvershootV < 0 {
+		return badRequestf("overshoot_v must be non-negative, got %g", q.OvershootV)
+	}
+	return nil
+}
+
+func (q *oxideReq) key() string { return "check-oxide|" + q.Tech + "|" + canonF(q.OvershootV) }
+
+// wireReq drives /v1/check/wire.
+type wireReq struct {
+	PeakJ float64 `json:"peak_j"` // peak current density, A/m²
+	RMSJ  float64 `json:"rms_j"`  // rms current density, A/m²
+}
+
+func (q *wireReq) validate() error {
+	if err := reqFinite("peak_j", q.PeakJ, "rms_j", q.RMSJ); err != nil {
+		return err
+	}
+	if q.PeakJ < 0 || q.RMSJ < 0 || (q.PeakJ > 0 && q.RMSJ > q.PeakJ) {
+		return badRequestf("implausible densities peak_j=%g rms_j=%g", q.PeakJ, q.RMSJ)
+	}
+	return nil
+}
+
+func (q *wireReq) key() string { return "check-wire|" + canonF(q.PeakJ) + "|" + canonF(q.RMSJ) }

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"rlcint/internal/diag"
+)
+
+// statusClientClosed is the non-standard "client closed request" status
+// (nginx's 499) used for solves abandoned because the client disconnected.
+// The client never sees it; it exists for access logs and /metrics.
+const statusClientClosed = 499
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Status  int             `json:"status"`
+	Kind    string          `json:"kind"`
+	Message string          `json:"message"`
+	Report  []reportAttempt `json:"report,omitempty"`
+}
+
+// reportAttempt is one serialized recovery-ladder rung of a diag.Report,
+// attached to 422 bodies so clients see what the solver tried.
+type reportAttempt struct {
+	Ladder  string `json:"ladder"`
+	Rung    string `json:"rung"`
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// badRequest marks a decode/validation failure of the HTTP layer itself
+// (malformed JSON, missing fields, absurd grids) — always a 400.
+type badRequest struct{ msg string }
+
+func (e *badRequest) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) *badRequest {
+	return &badRequest{msg: "serve: " + fmt.Sprintf(format, args...)}
+}
+
+// solveError carries the recovery-ladder report alongside a solver failure
+// through the singleflight layer, so coalesced followers of a failed solve
+// render the same 422 body as the leader.
+type solveError struct {
+	err    error
+	report *diag.Report
+}
+
+func (e *solveError) Error() string { return e.err.Error() }
+func (e *solveError) Unwrap() error { return e.err }
+
+// mapError translates a failure into its documented HTTP status:
+//
+//	400 bad-request / domain    malformed request or ErrDomain input
+//	422 non-convergence / singular-jacobian / timestep-collapse
+//	                            the solver ran and typed-failed; the body
+//	                            carries the serialized DiagReport
+//	499 cancelled               client disconnected mid-solve
+//	503 queue-full              admission control rejected the request
+//	504 deadline / budget       per-request deadline or compute budget hit
+//	500 panic / internal        contained panic or unclassified failure
+func mapError(err error) apiError {
+	var rep *diag.Report
+	var se *solveError
+	if errors.As(err, &se) {
+		rep = se.report
+	}
+	kindOf := func(status int, kind string) apiError {
+		ae := apiError{Status: status, Kind: kind, Message: err.Error()}
+		if status == http.StatusUnprocessableEntity {
+			ae.Report = reportOf(rep)
+		}
+		return ae
+	}
+	var br *badRequest
+	switch {
+	case errors.As(err, &br):
+		return kindOf(http.StatusBadRequest, "bad-request")
+	case errors.Is(err, errQueueFull):
+		return kindOf(http.StatusServiceUnavailable, "queue-full")
+	case errors.Is(err, diag.ErrDomain):
+		return kindOf(http.StatusBadRequest, "domain")
+	case errors.Is(err, diag.ErrNonConvergence):
+		return kindOf(http.StatusUnprocessableEntity, "non-convergence")
+	case errors.Is(err, diag.ErrSingularJacobian):
+		return kindOf(http.StatusUnprocessableEntity, "singular-jacobian")
+	case errors.Is(err, diag.ErrTimestepCollapse):
+		return kindOf(http.StatusUnprocessableEntity, "timestep-collapse")
+	case errors.Is(err, diag.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return kindOf(http.StatusGatewayTimeout, "deadline")
+	case errors.Is(err, diag.ErrBudget):
+		return kindOf(http.StatusGatewayTimeout, "budget")
+	case errors.Is(err, diag.ErrCancelled), errors.Is(err, context.Canceled):
+		return kindOf(statusClientClosed, "cancelled")
+	case errors.Is(err, diag.ErrPanic):
+		return kindOf(http.StatusInternalServerError, "panic")
+	default:
+		return kindOf(http.StatusInternalServerError, "internal")
+	}
+}
+
+func reportOf(rep *diag.Report) []reportAttempt {
+	if rep == nil || len(rep.Attempts) == 0 {
+		return nil
+	}
+	out := make([]reportAttempt, 0, len(rep.Attempts))
+	for _, a := range rep.Attempts {
+		ra := reportAttempt{
+			Ladder:  a.Ladder,
+			Rung:    a.Rung,
+			Outcome: string(a.Outcome),
+			Detail:  a.Detail,
+		}
+		if a.Err != nil {
+			ra.Error = a.Err.Error()
+		}
+		out = append(out, ra)
+	}
+	return out
+}
+
+// writeError renders the mapped failure as the standard JSON error envelope.
+func writeError(w http.ResponseWriter, ae apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.Status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error apiError `json:"error"`
+	}{ae})
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+// flight is one in-progress computation shared by every request with the
+// same canonical key.
+type flight struct {
+	done    chan struct{} // closed when val/err are final
+	val     *cached
+	err     error
+	waiters int // callers currently blocked on done (leader included)
+	cancel  context.CancelFunc
+}
+
+// flightGroup deduplicates concurrent identical computations (singleflight).
+// Unlike the classic pattern, the computation does not run on the leader's
+// request context: it runs on a context derived from the server's base
+// context that is cancelled only when every interested caller has gone away
+// — so one impatient client cannot kill a solve other clients still wait
+// for, and an abandoned solve never runs on as an orphan.
+type flightGroup struct {
+	base context.Context // server lifetime; Close cancels it
+	mu   sync.Mutex
+	m    map[string]*flight
+	wg   sync.WaitGroup // tracks computation goroutines for drain
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, m: make(map[string]*flight)}
+}
+
+// do returns fn's result for key, computing it at most once across
+// concurrent callers. timeout bounds the computation (0 = none). shared
+// reports that this call joined an in-flight computation started by an
+// earlier caller. When ctx ends first, the caller detaches with ctx's error;
+// the computation is cancelled only if it was the last caller.
+func (g *flightGroup) do(ctx context.Context, key string, timeout time.Duration,
+	fn func(context.Context) (*cached, error)) (v *cached, err error, shared bool) {
+	g.mu.Lock()
+	f, ok := g.m[key]
+	shared = ok
+	if !ok {
+		cctx, cancel := context.WithCancel(g.base)
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = f
+		g.wg.Add(1)
+		go g.run(f, key, cctx, timeout, fn)
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		g.mu.Lock()
+		f.waiters--
+		g.mu.Unlock()
+		return f.val, f.err, shared
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			select {
+			case <-f.done:
+			default:
+				// Last caller gone: stop the solve and unmap the flight so a
+				// later identical request starts fresh instead of joining a
+				// dying computation.
+				f.cancel()
+				if g.m[key] == f {
+					delete(g.m, key)
+				}
+			}
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err(), shared
+	}
+}
+
+func (g *flightGroup) run(f *flight, key string, cctx context.Context, timeout time.Duration,
+	fn func(context.Context) (*cached, error)) {
+	defer g.wg.Done()
+	defer f.cancel()
+	ctx := cctx
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(cctx, timeout)
+		defer tcancel()
+	}
+	v, err := runContained(fn, ctx)
+	g.mu.Lock()
+	f.val, f.err = v, err
+	close(f.done)
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+}
+
+// runContained confines a panic in the compute path to a typed ErrPanic,
+// matching the library-wide boundary contract.
+func runContained(fn func(context.Context) (*cached, error), ctx context.Context) (v *cached, err error) {
+	defer diag.RecoverTo(&err, "serve.compute")
+	return fn(ctx)
+}
+
+// wait blocks until every computation goroutine has exited — the drain step
+// of a graceful shutdown (cancel base first, then wait).
+func (g *flightGroup) wait() { g.wg.Wait() }

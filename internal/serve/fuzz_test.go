@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzSrv is shared across fuzz iterations: small bounds and a short budget
+// keep each accidental valid request cheap.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler() http.Handler {
+	fuzzOnce.Do(func() {
+		fuzzSrv = New(Config{
+			MaxSweepPoints: 64,
+			DefaultTimeout: 200 * time.Millisecond,
+			MaxTimeout:     200 * time.Millisecond,
+			Logger:         log.New(io.Discard, "", 0),
+		})
+	})
+	return fuzzSrv.Handler()
+}
+
+var fuzzEndpoints = []string{
+	"/v1/optimize", "/v1/delay", "/v1/plan", "/v1/optimize-rc",
+	"/v1/lcrit", "/v1/sweep", "/v1/check/oxide", "/v1/check/wire",
+}
+
+// FuzzDecode throws arbitrary bodies at every endpoint decoder. The
+// invariants: the server never panics, malformed JSON is always a plain 400,
+// and whatever happens the response is one of the documented statuses with a
+// well-formed JSON error envelope (sweeps may stream NDJSON on success).
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"tech":"100nm","l":2e-6,"f":0.5}`,
+		`{"tech":"100nm","l":2e-6,"h":1e-3,"k":100}`,
+		`{"tech":"100nm","ls":[0,1e-6],"f":0.5}`,
+		`{"tech":"100nm","ls":[],"f":0.5}`,
+		`{"tech":"100nm","ls":[1e308,-1e308]}`,
+		`{"tech":"100nm","l":1e999}`,
+		`{"tech":"100nm","l":-1e-6,"length":-1}`,
+		`{"tech":"7nm"}`,
+		`{"tech":"100nm","bogus":true}`,
+		`{"tech":"100nm"} trailing`,
+		`{"peak_j":-1,"rms_j":1e99}`,
+		`{"tech":"100nm","overshoot_v":-3}`,
+		`{"tech":"100nm","ls":[0],"workers":-1,"tile_size":-9,"timeout_ms":-5}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"tech":`,
+		"\x00\xff\xfe",
+		`{"tech":"100nm","ls":` + "[" + strings.Repeat("1e-9,", 200) + "2e-9]}",
+	}
+	for _, s := range seeds {
+		for i := range fuzzEndpoints {
+			f.Add(i, s)
+		}
+	}
+	allowed := map[int]bool{
+		200: true, 400: true, 404: true, 422: true,
+		499: true, 503: true, 504: true,
+	}
+	f.Fuzz(func(t *testing.T, which int, body string) {
+		if which < 0 {
+			which = -which
+		}
+		path := fuzzEndpoints[which%len(fuzzEndpoints)]
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(rec, req) // a panic here fails the fuzz run
+
+		if !allowed[rec.Code] {
+			t.Fatalf("%s body %q → undocumented status %d (%s)", path, body, rec.Code, rec.Body.Bytes())
+		}
+		if !json.Valid([]byte(body)) && rec.Code != 400 {
+			t.Fatalf("%s: malformed JSON %q → %d, want 400", path, body, rec.Code)
+		}
+		if rec.Code >= 400 {
+			var env struct {
+				Error struct {
+					Status int    `json:"status"`
+					Kind   string `json:"kind"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("%s: error response is not a JSON envelope: %q", path, rec.Body.Bytes())
+			}
+			if env.Error.Status != rec.Code || env.Error.Kind == "" {
+				t.Fatalf("%s: envelope %+v inconsistent with status %d", path, env.Error, rec.Code)
+			}
+		}
+	})
+}

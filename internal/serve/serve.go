@@ -1,0 +1,259 @@
+// Package serve is the HTTP serving subsystem: it exposes the library's
+// public facade — Optimize, Delay, PlanLine, Sweep, OptimizeRC, LCrit, and
+// the reliability checks — as a JSON API hardened for heavy traffic.
+//
+// Three layers sit between a request and a solver:
+//
+//   - Result caching: requests are canonicalized into exact cache keys
+//     (float bit patterns, normalized defaults) and successful responses are
+//     kept in a bounded LRU (entry and byte bounds), so repeated identical
+//     queries cost a map lookup.
+//   - Request coalescing: concurrent identical requests share one
+//     computation (singleflight). The computation runs on a context owned by
+//     the group, cancelled only when every interested client has gone — one
+//     impatient client cannot kill a shared solve, and a fully abandoned
+//     solve stops promptly with no orphaned Newton iterations.
+//   - Admission control: a concurrency limiter bounds simultaneous solves, a
+//     bounded queue absorbs bursts, and anything beyond is rejected with 503
+//     before it can claim memory or CPU. Per-request deadlines ride the
+//     request context into the runctl layer.
+//
+// Sweeps stream as NDJSON, chunk by chunk, with each chunk independently
+// cached and coalesced; an error or cancellation mid-stream terminates the
+// stream after the longest error-free prefix, mirroring the library's
+// partial-result contract. Typed diag errors map onto documented HTTP
+// statuses (see mapError). The observability surface is /healthz, /metrics,
+// and /debug/pprof.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Config sizes the serving layers. The zero value of any field selects the
+// default noted on it.
+type Config struct {
+	// MaxInflight bounds concurrently running solves (0 → GOMAXPROCS).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a solve slot (0 → 64; <0
+	// disables queueing: a request either gets a slot immediately or is
+	// rejected).
+	MaxQueue int
+	// DefaultTimeout is the per-request compute budget when the request does
+	// not name one (0 → 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeout_ms (0 → 2m).
+	MaxTimeout time.Duration
+	// CacheEntries bounds the result cache's entry count (0 → 4096; <0
+	// disables caching).
+	CacheEntries int
+	// CacheBytes bounds the result cache's memory (0 → 64 MiB).
+	CacheBytes int64
+	// MaxSweepPoints bounds one sweep request's grid (0 → 65536).
+	MaxSweepPoints int
+	// MaxWorkers caps the per-request sweep worker hint (0 → GOMAXPROCS).
+	MaxWorkers int
+	// Logger receives one structured access-log line per request (nil →
+	// stderr).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0 // negative disables queueing entirely, like CacheEntries
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 65536
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	return c
+}
+
+// Server is one serving instance. Create with New, mount Handler on an
+// http.Server, and Close during shutdown to cancel and drain in-flight
+// solves.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lruCache
+	flights *flightGroup
+	limiter *limiter
+	metrics *metrics
+	base    context.Context
+	abort   context.CancelFunc
+}
+
+// New builds a Server from cfg (zero value → all defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
+		flights: newFlightGroup(base),
+		limiter: newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		metrics: newMetrics(),
+		base:    base,
+		abort:   abort,
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/delay", s.handleDelay)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/optimize-rc", s.handleOptimizeRC)
+	s.mux.HandleFunc("POST /v1/lcrit", s.handleLCrit)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/check/oxide", s.handleCheckOxide)
+	s.mux.HandleFunc("POST /v1/check/wire", s.handleCheckWire)
+	// Process-global expvar page (memstats, cmdline); the server's own
+	// counters live unpublished behind /metrics so multiple Servers in one
+	// process never collide in the global namespace.
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the fully instrumented HTTP handler: access logging,
+// request/latency metrics, and panic containment wrap the route mux.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		startAt := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					// A handler bug must not take the daemon down; solver
+					// panics are already contained below this layer.
+					if !rec.wrote {
+						writeError(rec, apiError{
+							Status:  http.StatusInternalServerError,
+							Kind:    "panic",
+							Message: fmt.Sprintf("serve: handler panic: %v", p),
+						})
+					}
+				}
+			}()
+			s.mux.ServeHTTP(rec, r)
+		}()
+		d := time.Since(startAt)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.metrics.observe(r.URL.Path, status, d)
+		s.cfg.Logger.Printf("method=%s path=%s status=%d bytes=%d dur_ms=%.3f cache=%s",
+			r.Method, r.URL.Path, status, rec.bytes, float64(d)/float64(time.Millisecond),
+			orDash(rec.Header().Get("X-Cache")))
+	})
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Close cancels every in-flight computation and waits for the compute
+// goroutines to drain. Call after (or instead of) http.Server.Shutdown; it
+// is what turns a stuck drain into a prompt one — solvers observe the
+// cancellation at their next runctl tick.
+func (s *Server) Close() {
+	s.abort()
+	s.flights.wait()
+}
+
+// timeoutFor resolves a request's compute budget from its timeout_ms field.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+// statusRecorder captures the status and byte count for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes so NDJSON chunks reach the client as
+// they complete.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

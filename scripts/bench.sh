@@ -8,6 +8,8 @@
 #   scripts/bench.sh                     # full run (go test -bench . -benchmem)
 #   BENCHTIME=1x scripts/bench.sh        # CI smoke: one iteration per benchmark
 #   SUFFIX=tag scripts/bench.sh          # write BENCH_<date>_tag.json instead
+#   scripts/bench.sh serve               # serving-path benchmarks only
+#       (cached vs cold HTTP round trips) -> BENCH_<date>_serve.json
 #   scripts/bench.sh compare [new] [base]
 #       Diff two snapshots and exit nonzero on a >15% ns/op regression or
 #       ANY allocs/op increase for benchmarks present in both. new defaults
@@ -72,7 +74,16 @@ if [[ "${1:-}" == "compare" ]]; then
 fi
 
 benchtime="${BENCHTIME:-}"
-args=(test -run '^$' -bench . -benchmem -timeout 60m ./...)
+pattern=.
+pkgs=(./...)
+if [[ "${1:-}" == "serve" ]]; then
+  # Serving-path snapshot: the HTTP round trip with the result cache
+  # answering vs the full cold solve behind admission control.
+  pattern='BenchmarkServe'
+  pkgs=(./internal/serve/)
+  : "${SUFFIX:=serve}"
+fi
+args=(test -run '^$' -bench "$pattern" -benchmem -timeout 60m "${pkgs[@]}")
 if [[ -n "$benchtime" ]]; then
   args+=(-benchtime "$benchtime")
 fi

@@ -1,0 +1,87 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the rlcd serving daemon.
+#
+# Builds the real rlcd binary, starts it on a private port, and drives it
+# the way a client would: /healthz readiness, an optimize whose identical
+# repeat must come back X-Cache: hit, a coalesced burst of identical sweeps
+# that must collapse onto one computation, and a SIGTERM that must drain
+# gracefully (exit 0). Exercises the serving stack — admission, caching,
+# coalescing, signal handling — through the binary rather than the test
+# suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"; kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$work/rlcd" ./cmd/rlcd
+
+port=18921
+"$work/rlcd" -addr "127.0.0.1:$port" 2>"$work/rlcd.log" &
+pid=$!
+base="http://127.0.0.1:$port"
+
+echo "serve_smoke: waiting for /healthz"
+n=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+	n=$((n + 1))
+	if [ $n -gt 100 ]; then
+		echo "serve_smoke: FAIL: daemon never became healthy" >&2
+		cat "$work/rlcd.log" >&2
+		exit 1
+	fi
+	kill -0 "$pid" 2>/dev/null || { echo "serve_smoke: FAIL: daemon died" >&2; cat "$work/rlcd.log" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "serve_smoke: optimize (cold, then cached)"
+req='{"tech":"100nm","l":2e-6,"f":0.5}'
+curl -fsS -D "$work/h1" -o "$work/b1" -d "$req" "$base/v1/optimize"
+curl -fsS -D "$work/h2" -o "$work/b2" -d "$req" "$base/v1/optimize"
+grep -qi '^x-cache: miss' "$work/h1" || { echo "serve_smoke: FAIL: first optimize not a miss" >&2; cat "$work/h1" >&2; exit 1; }
+grep -qi '^x-cache: hit' "$work/h2" || { echo "serve_smoke: FAIL: repeat optimize not a cache hit" >&2; cat "$work/h2" >&2; exit 1; }
+cmp -s "$work/b1" "$work/b2" || { echo "serve_smoke: FAIL: cached body differs" >&2; exit 1; }
+grep -q '"h":' "$work/b1" || { echo "serve_smoke: FAIL: optimize body malformed" >&2; cat "$work/b1" >&2; exit 1; }
+
+echo "serve_smoke: coalesced sweep burst (4 identical clients)"
+sweep='{"tech":"100nm","ls":[0,5e-7,1e-6,2e-6,3e-6,4e-6],"f":0.5}'
+curl_pids=""
+for i in 1 2 3 4; do
+	curl -fsS -o "$work/s$i" -d "$sweep" "$base/v1/sweep" &
+	curl_pids="$curl_pids $!"
+done
+for cp in $curl_pids; do
+	wait "$cp" || { echo "serve_smoke: FAIL: sweep client exited nonzero" >&2; exit 1; }
+done
+for i in 1 2 3 4; do
+	[ "$(grep -c '"type":"point"' "$work/s$i")" = 6 ] || {
+		echo "serve_smoke: FAIL: sweep client $i did not stream 6 points" >&2
+		cat "$work/s$i" >&2
+		exit 1
+	}
+	grep -q '"type":"done"' "$work/s$i" || { echo "serve_smoke: FAIL: sweep client $i missing done record" >&2; exit 1; }
+done
+
+echo "serve_smoke: metrics show cache hits and coalescing"
+curl -fsS "$base/metrics" >"$work/metrics"
+grep -q '"hits": *[1-9]' "$work/metrics" || { echo "serve_smoke: FAIL: no cache hits in /metrics" >&2; cat "$work/metrics" >&2; exit 1; }
+# 4 identical sweep clients over 6 points = 1 chunk computed once; at least
+# one of them must have joined the shared flight or hit the cache.
+grep -Eq '"(coalesced|hit)": *[1-9]' "$work/metrics" || { echo "serve_smoke: FAIL: burst was not coalesced" >&2; cat "$work/metrics" >&2; exit 1; }
+
+echo "serve_smoke: typed error mapping"
+code=$(curl -s -o "$work/err" -w '%{http_code}' -d '{"tech":"100nm","l":2e-6,"f":1.5}' "$base/v1/optimize")
+[ "$code" = 400 ] || { echo "serve_smoke: FAIL: domain error returned $code, want 400" >&2; exit 1; }
+grep -q '"kind":"domain"' "$work/err" || { echo "serve_smoke: FAIL: error envelope missing kind" >&2; cat "$work/err" >&2; exit 1; }
+
+echo "serve_smoke: SIGTERM graceful drain"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+	echo "serve_smoke: FAIL: graceful drain exited $rc, want 0" >&2
+	cat "$work/rlcd.log" >&2
+	exit 1
+fi
+grep -q 'drained cleanly' "$work/rlcd.log" || { echo "serve_smoke: FAIL: no clean-drain log line" >&2; cat "$work/rlcd.log" >&2; exit 1; }
+echo "serve_smoke: PASS"
