@@ -41,6 +41,9 @@ type SweepOptions struct {
 	// Limits bound the whole sweep; MaxIters counts batch work items (one
 	// per node reference plus one per grid point).
 	Limits runctl.Limits
+	// Injector injects optimizer faults into every point's solve for
+	// testing (nil in production). Never affects results when nil.
+	Injector *diag.Injector
 }
 
 func (o SweepOptions) tileSize() int {
@@ -135,6 +138,7 @@ func SweepNodesCtx(ctx context.Context, opts SweepOptions, nodes []tech.Node, ls
 			r := refs[row]
 			p := r.base
 			p.Line.L = ls[col]
+			p.Injector = opts.Injector
 			var seed Seed
 			if opts.Warm {
 				if warm && s.has {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"rlcint/internal/baseline"
+	"rlcint/internal/diag"
+	"rlcint/internal/pade"
+	"rlcint/internal/tline"
+)
+
+// MethodEstimate marks results produced by the closed-form estimate facade
+// rather than the full Padé/Newton machinery.
+const MethodEstimate Method = "closed-form-estimate"
+
+// EstimateOptimum returns a closed-form approximation of Optimize's answer:
+// the Ismail–Friedman inductance-aware repeater sizing (which reduces to the
+// classical Elmore/RC optimum at l = 0) evaluated with a threshold-scaled
+// Elmore delay. It involves no iteration and cannot fail to converge, which
+// makes it the degraded-mode answer the serving layer falls back to when the
+// exact solve fails, times out, or is short-circuited by an open breaker —
+// a bounded-accuracy estimate instead of no answer at all.
+func EstimateOptimum(p Problem) (Optimum, error) {
+	if err := p.Validate(); err != nil {
+		return Optimum{}, err
+	}
+	ifo, err := baseline.IFOptimal(p.Device, p.Line)
+	if err != nil {
+		return Optimum{}, err
+	}
+	st := p.Device.Stage(p.Line, ifo.H, ifo.K)
+	tau, err := EstimateDelay(st, p.F)
+	if err != nil {
+		return Optimum{}, err
+	}
+	// The two-pole coefficients at the estimate are themselves closed-form;
+	// attach them when the stage admits a model so degraded responses carry
+	// the same shape as exact ones. A model failure degrades the payload,
+	// not the answer.
+	var m pade.Model
+	if em, merr := pade.FromStage(st); merr == nil {
+		m = em
+	}
+	return Optimum{
+		H: ifo.H, K: ifo.K,
+		Tau: tau, PerUnit: tau / ifo.H,
+		Model: m, Method: MethodEstimate,
+	}, nil
+}
+
+// EstimateDelay returns the threshold-scaled Elmore estimate of a stage's
+// f×100% delay: −ln(1−f)·t_Elmore, exact for a single pole and equal to the
+// classical 0.69·RC rule at f = 0.5. f = 0 means the paper's 50%.
+func EstimateDelay(st tline.Stage, f float64) (float64, error) {
+	if f == 0 {
+		f = 0.5
+	}
+	if !(f > 0) || !(f < 1) {
+		return 0, diag.Domainf("core.EstimateDelay", "threshold f=%g outside (0,1)", f)
+	}
+	return -math.Log(1-f) * st.ElmoreSegment(), nil
+}
+
+// EstimatePlan is the closed-form counterpart of PlanLine: the continuous
+// estimate's segment length rounded to an integer stage count, with the
+// per-stage delay re-evaluated at the realized h. Like EstimateOptimum it
+// never iterates and never fails on a well-posed problem.
+func EstimatePlan(p Problem, L float64) (LinePlan, error) {
+	if L <= 0 || math.IsNaN(L) || math.IsInf(L, 0) {
+		return LinePlan{}, diag.Domainf("core.EstimatePlan", "requires positive finite length, got %g", L)
+	}
+	opt, err := EstimateOptimum(p)
+	if err != nil {
+		return LinePlan{}, err
+	}
+	n := int(math.Round(L / opt.H))
+	if n < 1 {
+		n = 1
+	}
+	h := L / float64(n)
+	tau, err := EstimateDelay(p.Device.Stage(p.Line, h, opt.K), p.F)
+	if err != nil {
+		return LinePlan{}, err
+	}
+	return LinePlan{
+		Length: L, Stages: n,
+		H: h, K: opt.K,
+		StageTau: tau, Total: float64(n) * tau,
+		Continuous: opt,
+	}, nil
+}

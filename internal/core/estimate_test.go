@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"errors"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/repeater"
+	"rlcint/internal/tech"
+	"rlcint/internal/tline"
+)
+
+func estimateProblem(node tech.Node, l float64) Problem {
+	return Problem{
+		Device: repeater.FromTech(node),
+		Line:   tline.Line{R: node.R, L: l, C: node.C},
+		F:      0.5,
+	}
+}
+
+// At l = 0 the Ismail–Friedman sizing reduces exactly to the RC optimum and
+// the Elmore delay at f = 0.5 is the classical 0.69 rule.
+func TestEstimateOptimumReducesToRCAtZeroInductance(t *testing.T) {
+	for _, node := range []tech.Node{tech.Node250(), tech.Node100()} {
+		p := estimateProblem(node, 0)
+		est, err := EstimateOptimum(p)
+		if err != nil {
+			t.Fatalf("%s: %v", node.Name, err)
+		}
+		rc, err := repeater.RCOptimal(p.Device, tline.Line{R: node.R, C: node.C})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.H != rc.H || est.K != rc.K {
+			t.Errorf("%s: estimate (h=%g k=%g) != RC optimum (h=%g k=%g)",
+				node.Name, est.H, est.K, rc.H, rc.K)
+		}
+		want := math.Ln2 * p.Device.Stage(p.Line, rc.H, rc.K).ElmoreSegment()
+		if math.Abs(est.Tau-want) > 1e-18 {
+			t.Errorf("%s: tau = %g, want 0.69-rule %g", node.Name, est.Tau, want)
+		}
+		if est.Method != MethodEstimate {
+			t.Errorf("method = %q", est.Method)
+		}
+	}
+}
+
+// The estimate must land in the exact optimum's neighbourhood across the
+// paper's inductance range — the property that makes it a usable degraded
+// answer (near-optimal closed-form sizing lands within tens of percent).
+func TestEstimateOptimumNearExact(t *testing.T) {
+	node := tech.Node100()
+	for _, l := range []float64{0, 5e-7, 1e-6, 2e-6, 4e-6} {
+		p := estimateProblem(node, l)
+		est, err := EstimateOptimum(p)
+		if err != nil {
+			t.Fatalf("l=%g: %v", l, err)
+		}
+		exact, err := Optimize(p)
+		if err != nil {
+			t.Fatalf("l=%g exact: %v", l, err)
+		}
+		if r := est.H / exact.H; r < 0.5 || r > 2 {
+			t.Errorf("l=%g: estimate h=%g vs exact %g (ratio %g)", l, est.H, exact.H, r)
+		}
+		if r := est.K / exact.K; r < 0.5 || r > 2 {
+			t.Errorf("l=%g: estimate k=%g vs exact %g (ratio %g)", l, est.K, exact.K, r)
+		}
+		// The Elmore delay metric ignores inductance, so the estimated tau
+		// drifts low as l grows; the sizing stays close, the delay is a
+		// bounded-accuracy indicator only.
+		if r := est.PerUnit / exact.PerUnit; !(r > 0.3) || !(r < 3) {
+			t.Errorf("l=%g: estimate per-unit %g vs exact %g (ratio %g)", l, est.PerUnit, exact.PerUnit, r)
+		}
+	}
+}
+
+func TestEstimateDelayThresholds(t *testing.T) {
+	node := tech.Node100()
+	st := repeater.FromTech(node).Stage(tline.Line{R: node.R, L: 2e-6, C: node.C}, 1e-3, 100)
+	d50, err := EstimateDelay(st, 0) // 0 → 50%
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Ln2 * st.ElmoreSegment(); d50 != want {
+		t.Errorf("EstimateDelay(0) = %g, want %g", d50, want)
+	}
+	d90, err := EstimateDelay(st, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d90 <= d50 {
+		t.Errorf("90%% delay %g not above 50%% delay %g", d90, d50)
+	}
+	for _, f := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := EstimateDelay(st, f); err == nil {
+			t.Errorf("EstimateDelay(f=%g) accepted", f)
+		}
+	}
+}
+
+func TestEstimatePlan(t *testing.T) {
+	p := estimateProblem(tech.Node100(), 2e-6)
+	const L = 0.01
+	plan, err := EstimatePlan(p, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages < 1 || plan.H*float64(plan.Stages) != L {
+		t.Errorf("plan stages=%d h=%g do not tile L=%g", plan.Stages, plan.H, L)
+	}
+	if got, want := plan.Total, float64(plan.Stages)*plan.StageTau; got != want {
+		t.Errorf("total %g != stages·stageTau %g", got, want)
+	}
+	if plan.Continuous.Method != MethodEstimate {
+		t.Errorf("continuous method = %q", plan.Continuous.Method)
+	}
+	// The closed-form stage count should agree with the exact plan's to ±1.
+	exact, err := PlanLine(p, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := plan.Stages - exact.Stages; d < -1 || d > 1 {
+		t.Errorf("estimate stages %d far from exact %d", plan.Stages, exact.Stages)
+	}
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := EstimatePlan(p, bad); err == nil {
+			t.Errorf("EstimatePlan(L=%g) accepted", bad)
+		}
+	}
+}
+
+// The estimate path must reject ill-posed problems with the same typed
+// domain errors as the exact path — degraded mode never launders bad input.
+func TestEstimateValidatesDomain(t *testing.T) {
+	p := estimateProblem(tech.Node100(), 2e-6)
+	p.F = 1.5
+	if _, err := EstimateOptimum(p); !errors.Is(err, diag.ErrDomain) {
+		t.Errorf("EstimateOptimum(f=1.5) err = %v, want ErrDomain", err)
+	}
+	bad := estimateProblem(tech.Node100(), math.NaN())
+	if _, err := EstimateOptimum(bad); !errors.Is(err, diag.ErrDomain) {
+		t.Errorf("EstimateOptimum(l=NaN) err = %v, want ErrDomain", err)
+	}
+}

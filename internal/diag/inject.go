@@ -1,5 +1,7 @@
 package diag
 
+import "sync/atomic"
+
 // Site identifies a potential fault point inside a solver, passed to an
 // Injector before the guarded operation runs. Op names the operation and —
 // where a solver runs the same operation under different ladder rungs —
@@ -38,6 +40,27 @@ func (in *Injector) At(s Site) error {
 func FaultAt(op string, fromStep int, err error) *Injector {
 	return &Injector{Fault: func(s Site) error {
 		if s.Op == op && s.Step >= fromStep {
+			return err
+		}
+		return nil
+	}}
+}
+
+// FaultEvery builds a concurrency-safe Injector that returns err at every
+// n-th consultation of sites whose Op equals op, counting across goroutines
+// — a deterministic stand-in for random fault injection, used by the chaos
+// harness to stress recovery and degraded-answer paths without seeding
+// nondeterminism into a test. n <= 0 injects nothing.
+func FaultEvery(op string, n int, err error) *Injector {
+	if n <= 0 {
+		return nil
+	}
+	var count atomic.Int64
+	return &Injector{Fault: func(s Site) error {
+		if s.Op != op {
+			return nil
+		}
+		if count.Add(1)%int64(n) == 0 {
 			return err
 		}
 		return nil

@@ -55,7 +55,7 @@ func (l *limiter) release() { <-l.slots }
 
 // inflight is the number of currently running solves; depth the number of
 // queued waiters. Both are point-in-time gauges for /metrics.
-func (l *limiter) inflight() int   { return len(l.slots) }
-func (l *limiter) depth() int64    { return l.queued.Load() }
-func (l *limiter) rejects() int64  { return l.rejected.Load() }
-func (l *limiter) capacity() int   { return cap(l.slots) }
+func (l *limiter) inflight() int  { return len(l.slots) }
+func (l *limiter) depth() int64   { return l.queued.Load() }
+func (l *limiter) rejects() int64 { return l.rejected.Load() }
+func (l *limiter) capacity() int  { return cap(l.slots) }

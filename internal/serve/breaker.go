@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"expvar"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // full service
+	breakerOpen                         // solves short-circuit to degraded mode
+	breakerHalfOpen                     // one probe solve allowed through
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one region's state. Guarded by the owning set's mutex.
+type breaker struct {
+	state    breakerState
+	fails    int  // consecutive eligible failures while closed
+	probing  bool // a half-open probe is in flight
+	changed  time.Time
+	opens    int64 // cumulative open transitions
+	shorted  int64 // requests short-circuited while open / probing
+	lastFail string
+}
+
+// maxBreakerRegions bounds the region map. The quantization is coarse
+// enough that real traffic stays far below this; if an adversarial key
+// stream fills it, unseen regions run untracked (full service) rather than
+// growing memory without bound.
+const maxBreakerRegions = 4096
+
+// breakerSet keys circuit breakers by a coarse quantization of the request
+// region (endpoint × technology × half-decade of inductance). After
+// threshold consecutive eligible solver failures a region's breaker opens:
+// requests skip the expensive recovery ladder and go straight to degraded
+// mode. After cooldown one probe request is allowed through; its success
+// closes the breaker, its failure re-opens it, and an inconclusive probe
+// (cancelled client) re-arms the half-open state for the next caller.
+//
+// A nil *breakerSet (breakers disabled) allows everything and records
+// nothing.
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	trans     *expvar.Map // open / half-open / close / short-circuit counters
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration, trans *expvar.Map) *breakerSet {
+	if threshold <= 0 {
+		return nil
+	}
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		trans:     trans,
+		m:         make(map[string]*breaker),
+	}
+}
+
+// regionOf quantizes a request onto its breaker region. Inductance is
+// bucketed by half-decades: pathological configurations cluster by order of
+// magnitude, and the coarse key keeps the region map small while still
+// isolating a bad neighbourhood from the rest of the space.
+func regionOf(endpoint, tech string, l float64) string {
+	var lb string
+	switch {
+	case l == 0:
+		lb = "0"
+	case l < 0 || math.IsNaN(l) || math.IsInf(l, 0):
+		lb = "invalid" // rejected upstream; keep the key total anyway
+	default:
+		lb = strconv.FormatFloat(math.Floor(math.Log10(l)*2)/2, 'g', -1, 64)
+	}
+	return endpoint + "|" + tech + "|l^" + lb
+}
+
+// allow reports whether a request in region may attempt the full solve.
+// While a region is open (cooling down) or a probe is already in flight,
+// allow denies and the caller answers degraded.
+func (b *breakerSet) allow(region string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[region]
+	if br == nil {
+		if len(b.m) >= maxBreakerRegions {
+			return true // full: run untracked rather than grow without bound
+		}
+		b.m[region] = &breaker{changed: time.Now()}
+		return true
+	}
+	switch br.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(br.changed) < b.cooldown {
+			br.shorted++
+			b.trans.Add("short-circuit", 1)
+			return false
+		}
+		br.state = breakerHalfOpen
+		br.probing = true
+		br.changed = time.Now()
+		b.trans.Add("half-open", 1)
+		return true
+	default: // half-open
+		if br.probing {
+			br.shorted++
+			b.trans.Add("short-circuit", 1)
+			return false
+		}
+		br.probing = true
+		return true
+	}
+}
+
+// onResult folds one completed solve into the region's state machine. ok
+// marks a successful solve; eligible marks a failure kind that counts
+// toward opening (solver non-convergence, timestep collapse, deadline — not
+// client cancellations or admission rejects). Results are recorded once per
+// computation (by the flight leader), so a coalesced burst counts as one
+// attempt.
+func (b *breakerSet) onResult(region string, ok, eligible bool, cause string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[region]
+	if br == nil {
+		return
+	}
+	switch br.state {
+	case breakerClosed:
+		if ok {
+			br.fails = 0
+		} else if eligible {
+			br.fails++
+			br.lastFail = cause
+			if br.fails >= b.threshold {
+				br.state = breakerOpen
+				br.changed = time.Now()
+				br.opens++
+				b.trans.Add("open", 1)
+			}
+		}
+	case breakerHalfOpen:
+		switch {
+		case ok:
+			br.state = breakerClosed
+			br.fails = 0
+			br.probing = false
+			br.changed = time.Now()
+			b.trans.Add("close", 1)
+		case eligible:
+			br.state = breakerOpen
+			br.probing = false
+			br.changed = time.Now()
+			br.opens++
+			br.lastFail = cause
+			b.trans.Add("open", 1)
+		default:
+			// Inconclusive probe (cancelled mid-flight): re-arm so the next
+			// caller probes instead of wedging half-open forever.
+			br.probing = false
+		}
+	case breakerOpen:
+		// A flight that started before the breaker opened finished late;
+		// the cooldown clock is already running, nothing to fold in.
+	}
+}
+
+// breakerStatus is one region's externally visible state, for /statusz.
+type breakerStatus struct {
+	Region        string  `json:"region"`
+	State         string  `json:"state"`
+	Failures      int     `json:"failures"`
+	Opens         int64   `json:"opens"`
+	ShortCircuits int64   `json:"short_circuits"`
+	SinceChangeS  float64 `json:"since_change_s"`
+	LastFailure   string  `json:"last_failure,omitempty"`
+}
+
+// statuses snapshots every tracked region, sorted, tripped regions first.
+func (b *breakerSet) statuses() []breakerStatus {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	out := make([]breakerStatus, 0, len(b.m))
+	for region, br := range b.m {
+		out = append(out, breakerStatus{
+			Region:        region,
+			State:         br.state.String(),
+			Failures:      br.fails,
+			Opens:         br.opens,
+			ShortCircuits: br.shorted,
+			SinceChangeS:  time.Since(br.changed).Seconds(),
+			LastFailure:   br.lastFail,
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].State == "closed") != (out[j].State == "closed") {
+			return out[i].State != "closed"
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}

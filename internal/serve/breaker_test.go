@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+func TestRegionOfQuantizesByHalfDecade(t *testing.T) {
+	// 2e-6 and 3e-6 share the half-decade [1e-6, 10^-5.5); 4e-6 is the next.
+	a := regionOf("optimize", "100nm", 2e-6)
+	b := regionOf("optimize", "100nm", 3e-6)
+	c := regionOf("optimize", "100nm", 4e-6)
+	if a != b {
+		t.Errorf("same half-decade split: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("different half-decades collide: %q", a)
+	}
+	if regionOf("delay", "100nm", 2e-6) == a {
+		t.Error("endpoints must not share regions")
+	}
+	if regionOf("optimize", "250nm", 2e-6) == a {
+		t.Error("technologies must not share regions")
+	}
+	if got := regionOf("optimize", "100nm", 0); got != "optimize|100nm|l^0" {
+		t.Errorf("l=0 region = %q", got)
+	}
+}
+
+func newTestBreakers(threshold int, cooldown time.Duration) *breakerSet {
+	return newBreakerSet(threshold, cooldown, new(expvar.Map).Init())
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := newTestBreakers(3, time.Hour)
+	const r = "optimize|100nm|l^-6"
+
+	// Closed: everything allowed; successes keep it closed.
+	for i := 0; i < 5; i++ {
+		if !b.allow(r) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.onResult(r, true, false, "")
+	}
+	// Two failures then a success: the consecutive count must reset.
+	for i := 0; i < 2; i++ {
+		b.allow(r)
+		b.onResult(r, false, true, "non-convergence")
+	}
+	b.allow(r)
+	b.onResult(r, true, false, "")
+	for i := 0; i < 2; i++ {
+		b.allow(r)
+		b.onResult(r, false, true, "non-convergence")
+	}
+	if st := b.statuses()[0]; st.State != "closed" || st.Failures != 2 {
+		t.Fatalf("after reset + 2 failures: %+v", st)
+	}
+	// Third consecutive failure opens it.
+	b.allow(r)
+	b.onResult(r, false, true, "non-convergence")
+	if st := b.statuses()[0]; st.State != "open" || st.Opens != 1 {
+		t.Fatalf("after threshold: %+v", st)
+	}
+	// Open and cooling: short-circuit.
+	if b.allow(r) {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	if st := b.statuses()[0]; st.ShortCircuits != 1 {
+		t.Fatalf("short_circuits = %d, want 1", st.ShortCircuits)
+	}
+
+	// Expire the cooldown by hand (same package) — the next allow is the
+	// half-open probe, and only one probe may be in flight.
+	b.mu.Lock()
+	b.m[r].changed = time.Now().Add(-2 * time.Hour)
+	b.mu.Unlock()
+	if !b.allow(r) {
+		t.Fatal("cooled breaker denied the probe")
+	}
+	if b.allow(r) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Inconclusive probe (cancelled client) re-arms instead of wedging.
+	b.onResult(r, false, false, "cancelled")
+	if !b.allow(r) {
+		t.Fatal("re-armed half-open denied the next probe")
+	}
+	// Failed probe re-opens.
+	b.onResult(r, false, true, "deadline")
+	if st := b.statuses()[0]; st.State != "open" || st.Opens != 2 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+	// Cool again; a successful probe closes.
+	b.mu.Lock()
+	b.m[r].changed = time.Now().Add(-2 * time.Hour)
+	b.mu.Unlock()
+	if !b.allow(r) {
+		t.Fatal("cooled breaker denied the probe")
+	}
+	b.onResult(r, true, false, "")
+	if st := b.statuses()[0]; st.State != "closed" || st.Failures != 0 {
+		t.Fatalf("after successful probe: %+v", st)
+	}
+	// Ineligible failures (client cancels, admission rejects) never count.
+	for i := 0; i < 10; i++ {
+		b.allow(r)
+		b.onResult(r, false, false, "cancelled")
+	}
+	if st := b.statuses()[0]; st.State != "closed" {
+		t.Fatalf("ineligible failures opened the breaker: %+v", st)
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	if newTestBreakers(-1, time.Second) != nil || newTestBreakers(0, time.Second) != nil {
+		t.Fatal("threshold <= 0 must disable the set")
+	}
+	var b *breakerSet
+	if !b.allow("x") {
+		t.Error("nil set must allow everything")
+	}
+	b.onResult("x", false, true, "non-convergence") // must not panic
+	if b.statuses() != nil {
+		t.Error("nil set must report no regions")
+	}
+}
+
+func TestBreakerRegionCapRunsUntracked(t *testing.T) {
+	b := newTestBreakers(1, time.Hour)
+	b.mu.Lock()
+	for i := 0; i < maxBreakerRegions; i++ {
+		b.m[string(rune(i))+"x"] = &breaker{changed: time.Now()}
+	}
+	b.mu.Unlock()
+	if !b.allow("fresh-region") {
+		t.Fatal("full region map must fail open (allow), not deny")
+	}
+	b.onResult("fresh-region", false, true, "deadline") // untracked: no-op, no panic
+}
+
+// End-to-end lifecycle over HTTP: consecutive injected solver failures open
+// the region's breaker (visible in /statusz and /metrics), further requests
+// short-circuit to degraded answers without touching the solver, and after
+// the cooldown a successful probe restores full service.
+func TestBreakerLifecycleHTTP(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var evals atomic.Int64
+	inj := &diag.Injector{Fault: func(site diag.Site) error {
+		if site.Op != "core.eval" {
+			return nil
+		}
+		evals.Add(1)
+		if failing.Load() {
+			return diag.New(diag.ErrNonConvergence, "chaos")
+		}
+		return nil
+	}}
+	_, ts := testServer(t, Config{
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Millisecond,
+		Injector:         inj,
+	})
+
+	// Distinct inductances, one half-decade bucket: distinct cache keys, one
+	// breaker region.
+	ls := []string{"1.1e-6", "1.5e-6", "2e-6", "2.5e-6", "3e-6"}
+	post := func(l string) (*http.Response, []byte) {
+		return postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":`+l+`,"f":0.5}`)
+	}
+	for i := 0; i < 3; i++ {
+		resp, body := post(ls[i])
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") != "non-convergence" {
+			t.Fatalf("failure %d: status=%d X-Degraded=%q body=%s",
+				i, resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+		}
+	}
+	// Threshold reached: the next request must short-circuit — degraded with
+	// the breaker's own reason, and no new solver evaluation.
+	before := evals.Load()
+	resp, body := post(ls[3])
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") != "breaker-open" {
+		t.Fatalf("short-circuit: status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+	if evals.Load() != before {
+		t.Errorf("short-circuited request still ran the solver (%d evals)", evals.Load()-before)
+	}
+
+	var sz struct {
+		Breakers struct {
+			Enabled bool            `json:"enabled"`
+			Regions []breakerStatus `json:"regions"`
+		} `json:"breakers"`
+	}
+	getJSON(t, ts.URL+"/statusz", &sz)
+	if !sz.Breakers.Enabled || len(sz.Breakers.Regions) == 0 {
+		t.Fatalf("statusz breakers = %+v", sz.Breakers)
+	}
+	if st := sz.Breakers.Regions[0]; st.State != "open" || st.Region != regionOf("optimize", "100nm", 2e-6) {
+		t.Errorf("tripped region not first/open in statusz: %+v", st)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	br, _ := m["breaker"].(map[string]any)
+	if opens, _ := br["open"].(float64); opens < 1 {
+		t.Errorf("metrics breaker.open = %v, want >= 1", opens)
+	}
+	if sc, _ := br["short-circuit"].(float64); sc < 1 {
+		t.Errorf("metrics breaker.short-circuit = %v, want >= 1", sc)
+	}
+
+	// Heal the solver, wait out the cooldown: the probe closes the breaker
+	// and full service resumes.
+	failing.Store(false)
+	time.Sleep(50 * time.Millisecond)
+	resp, body = post(ls[4])
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") != "" {
+		t.Fatalf("probe: status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+	getJSON(t, ts.URL+"/statusz", &sz)
+	if st := sz.Breakers.Regions[0]; st.State != "closed" {
+		t.Errorf("after successful probe: %+v", st)
+	}
+	m = metricsSnapshot(t, ts.URL)
+	br, _ = m["breaker"].(map[string]any)
+	if closes, _ := br["close"].(float64); closes < 1 {
+		t.Errorf("metrics breaker.close = %v, want >= 1", closes)
+	}
+	if ho, _ := br["half-open"].(float64); ho < 1 {
+		t.Errorf("metrics breaker.half-open = %v, want >= 1", ho)
+	}
+}

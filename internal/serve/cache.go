@@ -83,6 +83,21 @@ func (c *lruCache) put(e *cached) {
 	}
 }
 
+// export returns the cache contents cold end first, so replaying the slice
+// through put restores both the contents and the recency order. Entries are
+// shared, not copied: a cached body is immutable once constructed, and an
+// entry rejected by put (oversize) can never appear here because rejection
+// happens before the entry is linked in.
+func (c *lruCache) export() []*cached {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*cached, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*cached))
+	}
+	return out
+}
+
 // stats snapshots the counters and current occupancy.
 func (c *lruCache) stats() (hits, misses, evictions, entries, bytes int64) {
 	c.mu.Lock()

@@ -222,3 +222,83 @@ func TestLimiterWaiterHonoursContext(t *testing.T) {
 	}
 	l.release()
 }
+
+func TestLRUCacheExportColdFirstAndReplayable(t *testing.T) {
+	c := newLRUCache(0, 0)
+	c.put(entry("a", 1))
+	c.put(entry("b", 1))
+	c.put(entry("c", 1))
+	if _, ok := c.get("a"); !ok { // bump a to hottest
+		t.Fatal("a missing")
+	}
+	exp := c.export()
+	keys := make([]string, len(exp))
+	for i, e := range exp {
+		keys[i] = e.key
+	}
+	if len(keys) != 3 || keys[0] != "b" || keys[1] != "c" || keys[2] != "a" {
+		t.Fatalf("export order = %v, want cold-first [b c a]", keys)
+	}
+	// Replaying through put reproduces the recency order: a bounded replica
+	// evicts the cold end first.
+	r := newLRUCache(2, 0)
+	for _, e := range exp {
+		r.put(e)
+	}
+	if _, ok := r.get("b"); ok {
+		t.Error("replayed replica kept the coldest entry over the hotter ones")
+	}
+	for _, k := range []string{"c", "a"} {
+		if _, ok := r.get(k); !ok {
+			t.Errorf("replayed replica lost hot entry %q", k)
+		}
+	}
+}
+
+// A snapshot racing concurrent puts — including oversize puts that the cache
+// must reject — never exports a rejected entry or a torn view. Run under
+// -race this also proves export/put/get need no external synchronization.
+func TestLRUCacheOversizePutRacingSnapshot(t *testing.T) {
+	c := newLRUCache(0, 300)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: alternates admissible and oversize entries
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.put(entry(fmt.Sprintf("ok%d", i%4), 10))
+			c.put(entry("oversize", 1000))
+		}
+	}()
+	var exports int
+	go func() { // snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range c.export() {
+				if e.key == "oversize" {
+					t.Error("export observed an entry the cache must have rejected")
+				}
+			}
+			if _, err := encodeSnapshot(c.export()); err != nil {
+				t.Errorf("encode during writes: %v", err)
+			}
+			exports++
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if exports == 0 {
+		t.Fatal("snapshotter never ran")
+	}
+}

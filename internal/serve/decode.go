@@ -83,6 +83,11 @@ type optimizeReq struct {
 	L         float64 `json:"l"` // line inductance, H/m
 	F         float64 `json:"f"` // delay threshold fraction; 0 → 0.5
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	// NoDegraded opts this request out of degraded-mode answers: a solver
+	// failure surfaces as its mapped error instead of a closed-form
+	// estimate. Not part of the cache key — it changes failure handling,
+	// never the result.
+	NoDegraded bool `json:"no_degraded,omitempty"`
 }
 
 func (q *optimizeReq) validate() error { return reqFinite("l", q.L, "f", q.F) }
@@ -93,12 +98,13 @@ func (q *optimizeReq) key() string {
 
 // delayReq drives /v1/delay: the f×100% delay of one explicit stage.
 type delayReq struct {
-	Tech      string  `json:"tech"`
-	L         float64 `json:"l"` // line inductance, H/m
-	H         float64 `json:"h"` // segment length, m
-	K         float64 `json:"k"` // repeater size
-	F         float64 `json:"f"`
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Tech       string  `json:"tech"`
+	L          float64 `json:"l"` // line inductance, H/m
+	H          float64 `json:"h"` // segment length, m
+	K          float64 `json:"k"` // repeater size
+	F          float64 `json:"f"`
+	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
+	NoDegraded bool    `json:"no_degraded,omitempty"` // see optimizeReq.NoDegraded
 }
 
 func (q *delayReq) validate() error {
@@ -113,11 +119,12 @@ func (q *delayReq) key() string {
 // planReq drives /v1/plan: a realizable integer-stage repeater plan for a
 // net of total length Length meters.
 type planReq struct {
-	Tech      string  `json:"tech"`
-	L         float64 `json:"l"`
-	F         float64 `json:"f"`
-	Length    float64 `json:"length"` // total net length, m
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Tech       string  `json:"tech"`
+	L          float64 `json:"l"`
+	F          float64 `json:"f"`
+	Length     float64 `json:"length"` // total net length, m
+	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
+	NoDegraded bool    `json:"no_degraded,omitempty"` // see optimizeReq.NoDegraded
 }
 
 func (q *planReq) validate() error {
@@ -144,7 +151,21 @@ type lcritReq struct {
 	K    float64 `json:"k"`
 }
 
-func (q *lcritReq) validate() error { return reqFinite("l", q.L, "h", q.H, "k", q.K) }
+func (q *lcritReq) validate() error {
+	if err := reqFinite("l", q.L, "h", q.H, "k", q.K); err != nil {
+		return err
+	}
+	// Eq. (4) divides by the stage's loading (c·h²/2 + cl·h) and sizes the
+	// driver as R0/k: a non-positive geometry yields NaN/Inf, which has no
+	// JSON encoding — reject it as the caller's error instead.
+	if q.H <= 0 {
+		return badRequestf("h=%g must be positive", q.H)
+	}
+	if q.K <= 0 {
+		return badRequestf("k=%g must be positive", q.K)
+	}
+	return nil
+}
 
 func (q *lcritReq) key() string {
 	return "lcrit|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(q.H) + "|" + canonF(q.K)

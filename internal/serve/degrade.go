@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+// errBreakerOpen short-circuits a request whose region's circuit breaker is
+// open (or whose half-open probe slot is taken): the expensive ladder is
+// skipped entirely. With degradation enabled the client still gets an
+// estimate; with it disabled this maps to 503 breaker-open.
+var errBreakerOpen = errors.New("serve: circuit breaker open for this request region")
+
+// degradable reports whether a solve failure may be answered with the
+// closed-form estimate: the solver ran and typed-failed, or ran out of
+// time/budget, or panicked — the cases where a bounded-accuracy answer
+// beats no answer. Bad input (domain), client disconnects, and admission
+// rejects are never degraded: the first is the caller's bug, the second has
+// no reader, and the third must shed load, not add work.
+func degradable(err error) bool {
+	switch {
+	case errors.Is(err, errBreakerOpen),
+		errors.Is(err, diag.ErrNonConvergence),
+		errors.Is(err, diag.ErrSingularJacobian),
+		errors.Is(err, diag.ErrTimestepCollapse),
+		errors.Is(err, diag.ErrDeadline),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, diag.ErrBudget),
+		errors.Is(err, diag.ErrPanic):
+		return true
+	}
+	return false
+}
+
+// breakerEligible marks the failure kinds that count toward opening a
+// region's breaker — exactly the degradable solver failures, minus the
+// breaker's own short-circuit sentinel.
+func breakerEligible(err error) bool {
+	return err != nil && !errors.Is(err, errBreakerOpen) && degradable(err)
+}
+
+// degradedResp is the envelope of a degraded-mode answer: an explicit flag
+// no client can miss, the failure kind that triggered the fallback, the
+// closed-form estimate, and — when a solve actually ran — the serialized
+// recovery-ladder report showing what was tried.
+type degradedResp struct {
+	Degraded bool            `json:"degraded"` // always true
+	Reason   string          `json:"reason"`
+	Estimate any             `json:"estimate"`
+	Report   []reportAttempt `json:"report,omitempty"`
+}
+
+// resilient describes one unary solver endpoint's pipeline inputs: the
+// cache key, the breaker region ("" → no breaker), the compute closure, and
+// the closed-form estimate used for degraded answers (nil → endpoint has no
+// degraded mode and fails like before).
+type resilient struct {
+	key        string
+	region     string
+	timeout    time.Duration
+	noDegraded bool // request opted out via no_degraded
+	compute    func(ctx context.Context) (any, error)
+	estimate   func() (any, error)
+}
+
+// serveResilient is the resilient unary pipeline: cache lookup → breaker
+// gate → singleflight coalescing → admission control → compute → marshal →
+// cache fill, with failures degraded to the closed-form estimate whenever
+// one exists and the client did not opt out. Breaker results are recorded
+// once per computation, inside the flight, so coalesced bursts count as one
+// attempt.
+func (s *Server) serveResilient(w http.ResponseWriter, r *http.Request, spec resilient) {
+	if e, ok := s.cacheGet(spec.key); ok {
+		s.metrics.xcache.Add("hit", 1)
+		writeCachedBody(w, e, "hit")
+		return
+	}
+	if spec.region != "" && !s.breakers.allow(spec.region) {
+		s.degradeOrError(w, errBreakerOpen, nil, spec)
+		return
+	}
+	e, err, shared := s.flights.do(r.Context(), spec.key, spec.timeout, func(ctx context.Context) (*cached, error) {
+		if err := s.limiter.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.limiter.release()
+		v, err := spec.compute(ctx)
+		if spec.region != "" {
+			cause := ""
+			if err != nil {
+				cause = mapError(err).Kind
+			}
+			s.breakers.onResult(spec.region, err == nil, breakerEligible(err), cause)
+		}
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		e := &cached{key: spec.key, ctype: "application/json", body: append(body, '\n')}
+		s.cachePut(e)
+		return e, nil
+	})
+	src := "miss"
+	if shared {
+		src = "coalesced"
+	}
+	s.metrics.xcache.Add(src, 1)
+	if err != nil {
+		var se *solveError
+		var rep *diag.Report
+		if errors.As(err, &se) {
+			rep = se.report
+		}
+		s.degradeOrError(w, err, rep, spec)
+		return
+	}
+	writeCachedBody(w, e, src)
+}
+
+// degradeOrError answers a failed (or short-circuited) solve: with the
+// closed-form estimate when degradation applies, else with the mapped
+// error. Degraded answers are 200s flagged in both the body
+// ("degraded": true) and an X-Degraded header carrying the failure kind;
+// they are never cached, so a later healthy solve can still fill the cache
+// with the exact answer.
+func (s *Server) degradeOrError(w http.ResponseWriter, cause error, rep *diag.Report, spec resilient) {
+	ae := mapError(cause)
+	if spec.estimate != nil && !spec.noDegraded && !s.cfg.DisableDegraded && degradable(cause) {
+		if est, eerr := spec.estimate(); eerr == nil {
+			s.metrics.degraded.Add(ae.Kind, 1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Degraded", ae.Kind)
+			_ = json.NewEncoder(w).Encode(degradedResp{
+				Degraded: true,
+				Reason:   ae.Kind,
+				Estimate: est,
+				Report:   reportOf(rep),
+			})
+			return
+		}
+		// The estimate itself failed (ill-posed problem): fall through to
+		// the original error, which carries the real diagnosis.
+	}
+	writeError(w, ae)
+}

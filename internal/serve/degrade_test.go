@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"rlcint/internal/core"
+	"rlcint/internal/diag"
+	"rlcint/internal/tech"
+)
+
+// alwaysFail injects err at every core.eval, so every rigorous solve fails
+// while the closed-form estimate (which never consults the injector) stays
+// healthy.
+func alwaysFail(err error) *diag.Injector {
+	return &diag.Injector{Fault: func(s diag.Site) error {
+		if s.Op == "core.eval" {
+			return err
+		}
+		return nil
+	}}
+}
+
+type degradedBody struct {
+	Degraded bool            `json:"degraded"`
+	Reason   string          `json:"reason"`
+	Estimate json.RawMessage `json:"estimate"`
+	Report   []reportAttempt `json:"report"`
+}
+
+// A failing solve must answer 200 with the flagged closed-form estimate —
+// exactly core.EstimateOptimum — and the recovery-ladder report, never a
+// bare 422.
+func TestDegradedOptimizeAnswersWithEstimate(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Injector:         alwaysFail(diag.New(diag.ErrNonConvergence, "chaos")),
+		BreakerThreshold: -1,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 degraded; body=%s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Degraded"); got != "non-convergence" {
+		t.Errorf("X-Degraded = %q, want non-convergence", got)
+	}
+	var d degradedBody
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded || d.Reason != "non-convergence" {
+		t.Errorf("body flags = (%v, %q), want (true, non-convergence)", d.Degraded, d.Reason)
+	}
+	if len(d.Report) == 0 {
+		t.Error("degraded body missing the recovery-ladder report")
+	}
+	var est optimumResp
+	if err := json.Unmarshal(d.Estimate, &est); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.EstimateOptimum(problemOf(tech.Node100(), 2e-6, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.H != want.H || est.K != want.K || est.Tau != want.Tau || est.Method != string(core.MethodEstimate) {
+		t.Errorf("estimate (h=%g k=%g tau=%g %s) != core.EstimateOptimum (h=%g k=%g tau=%g)",
+			est.H, est.K, est.Tau, est.Method, want.H, want.K, want.Tau)
+	}
+
+	// Degraded answers are never cached: the repeat recomputes (and degrades
+	// again) instead of serving the estimate as if it were exact.
+	resp2, _ := postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+	if got := resp2.Header.Get("X-Cache"); got == "hit" {
+		t.Error("degraded answer was served from cache")
+	}
+	if resp2.Header.Get("X-Degraded") == "" {
+		t.Error("repeat lost the degraded flag")
+	}
+
+	m := metricsSnapshot(t, ts.URL)
+	deg, _ := m["degraded"].(map[string]any)
+	if v, _ := deg["non-convergence"].(float64); v < 2 {
+		t.Errorf("metrics degraded.non-convergence = %v, want >= 2", v)
+	}
+}
+
+// The per-request no_degraded knob restores fail-hard semantics: the mapped
+// 422 with the ladder report, exactly as if no estimate existed.
+func TestNoDegradedKnobOptsOut(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Injector:         alwaysFail(diag.New(diag.ErrNonConvergence, "chaos")),
+		BreakerThreshold: -1,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/optimize",
+		`{"tech":"100nm","l":2e-6,"f":0.5,"no_degraded":true}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body=%s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Degraded") != "" {
+		t.Error("opted-out response carries X-Degraded")
+	}
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Kind != "non-convergence" || len(env.Error.Report) == 0 {
+		t.Errorf("422 envelope = %+v, want non-convergence with report", env.Error)
+	}
+}
+
+// DisableDegraded turns the fallback off daemon-wide.
+func TestDisableDegradedServerWide(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Injector:         alwaysFail(diag.New(diag.ErrNonConvergence, "chaos")),
+		BreakerThreshold: -1,
+		DisableDegraded:  true,
+	})
+	resp, _ := postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+// Deadline failures degrade with their own reason kind.
+func TestDegradedDeadlineKind(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Injector:         alwaysFail(diag.New(diag.ErrDeadline, "chaos")),
+		BreakerThreshold: -1,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") != "deadline" {
+		t.Fatalf("status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+}
+
+// /v1/plan degrades to core.EstimatePlan with the full plan shape.
+func TestDegradedPlan(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Injector:         alwaysFail(diag.New(diag.ErrNonConvergence, "chaos")),
+		BreakerThreshold: -1,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/plan", `{"tech":"100nm","l":2e-6,"f":0.5,"length":0.02}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") == "" {
+		t.Fatalf("status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+	var d degradedBody
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	var est planResp
+	if err := json.Unmarshal(d.Estimate, &est); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.EstimatePlan(problemOf(tech.Node100(), 2e-6, 0.5), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stages != want.Stages || est.H != want.H || est.Total != want.Total {
+		t.Errorf("plan estimate %+v != core.EstimatePlan %+v", est, want)
+	}
+}
+
+// /v1/delay degrades too — here via a tripped breaker (its solve path has no
+// injection site), which also proves the short-circuit path serves estimates
+// without running any solver.
+func TestDegradedDelayViaOpenBreaker(t *testing.T) {
+	s, ts := testServer(t, Config{BreakerThreshold: 2})
+	region := regionOf("delay", "100nm", 2e-6)
+	s.breakers.allow(region) // create the region
+	for i := 0; i < 2; i++ {
+		s.breakers.onResult(region, false, true, "non-convergence")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/delay",
+		`{"tech":"100nm","l":2e-6,"h":0.01,"k":300,"f":0.5}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") != "breaker-open" {
+		t.Fatalf("status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+	var d degradedBody
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	var est delayResp
+	if err := json.Unmarshal(d.Estimate, &est); err != nil {
+		t.Fatal(err)
+	}
+	node := tech.Node100()
+	want, err := core.EstimateDelay(stageOf(node, 2e-6, 0.01, 300), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Tau != want || est.Iterations != 0 {
+		t.Errorf("delay estimate = %+v, want tau=%g iterations=0", est, want)
+	}
+	if len(d.Report) != 0 {
+		t.Error("short-circuited answer attached a ladder report, but no solve ran")
+	}
+}
+
+// A coalesced burst into a failing solve records exactly one breaker result:
+// the leader's. N concurrent identical failing requests must advance the
+// failure count by one, not N.
+func TestCoalescedFailureCountsOnceForBreaker(t *testing.T) {
+	var evals atomic.Int64
+	inj := &diag.Injector{Fault: func(site diag.Site) error {
+		if site.Op == "core.eval" {
+			evals.Add(1)
+			return diag.New(diag.ErrNonConvergence, "chaos")
+		}
+		return nil
+	}}
+	s, ts := testServer(t, Config{Injector: inj, BreakerThreshold: 5})
+	const n = 8
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	sts := s.breakers.statuses()
+	if len(sts) != 1 {
+		t.Fatalf("regions = %d, want 1", len(sts))
+	}
+	// The burst may straggle into 1..n separate computations depending on
+	// timing, but the failure count must equal the computation count — never
+	// one per request when requests coalesced.
+	m := metricsSnapshot(t, ts.URL)
+	misses := int(xcacheCount(m, "miss"))
+	if sts[0].Failures != misses {
+		t.Errorf("failures = %d, computations (misses) = %d — breaker must count per computation",
+			sts[0].Failures, misses)
+	}
+	if coal := xcacheCount(m, "coalesced"); coal > 0 && sts[0].Failures >= n {
+		t.Errorf("burst of %d coalesced requests counted as %d failures", n, sts[0].Failures)
+	}
+}

@@ -62,6 +62,8 @@ func (e *solveError) Unwrap() error { return e.err }
 //	                            carries the serialized DiagReport
 //	499 cancelled               client disconnected mid-solve
 //	503 queue-full              admission control rejected the request
+//	503 breaker-open            the region's circuit breaker short-circuited
+//	                            the solve and degradation was opted out
 //	504 deadline / budget       per-request deadline or compute budget hit
 //	500 panic / internal        contained panic or unclassified failure
 func mapError(err error) apiError {
@@ -83,6 +85,8 @@ func mapError(err error) apiError {
 		return kindOf(http.StatusBadRequest, "bad-request")
 	case errors.Is(err, errQueueFull):
 		return kindOf(http.StatusServiceUnavailable, "queue-full")
+	case errors.Is(err, errBreakerOpen):
+		return kindOf(http.StatusServiceUnavailable, "breaker-open")
 	case errors.Is(err, diag.ErrDomain):
 		return kindOf(http.StatusBadRequest, "domain")
 	case errors.Is(err, diag.ErrNonConvergence):

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"hash/crc32"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -52,6 +55,7 @@ func FuzzDecode(f *testing.F) {
 		`{"tech":"100nm","l":1e999}`,
 		`{"tech":"100nm","l":-1e-6,"length":-1}`,
 		`{"tech":"7nm"}`,
+		`{"teCh":"100nm"}`, // case-insensitive field match, zero geometry: lcrit must 400, not NaN→500
 		`{"tech":"100nm","bogus":true}`,
 		`{"tech":"100nm"} trailing`,
 		`{"peak_j":-1,"rms_j":1e99}`,
@@ -100,6 +104,65 @@ func FuzzDecode(f *testing.F) {
 			}
 			if env.Error.Status != rec.Code || env.Error.Kind == "" {
 				t.Fatalf("%s: envelope %+v inconsistent with status %d", path, env.Error, rec.Code)
+			}
+		}
+	})
+}
+
+// FuzzSnapshotLoad throws arbitrary bytes at the snapshot loader, both at
+// the decoder and through a full server start. The invariants: never a
+// panic, and anything that isn't a perfectly valid snapshot is a clean
+// skip-and-cold-start — the server still comes up and still answers.
+func FuzzSnapshotLoad(f *testing.F) {
+	valid, err := encodeSnapshot([]*cached{
+		{key: "optimize|100nm|1|2", ctype: "application/json", body: []byte(`{"h":1}` + "\n")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"version":1,"crc32":0,"entries":[]}`))
+	f.Add([]byte(`{"version":99,"crc32":0,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"crc32":` + "4294967295" + `,"entries":[{"key":"","ctype":"","body":""}]}`))
+	f.Add([]byte("\x00\xff\xfe garbage"))
+	f.Add([]byte(`[{"key":"a"}]`))
+
+	payload := []byte(`[{"key":"k","ctype":"t","body":"eA=="}]`)
+	wrapped, _ := json.Marshal(snapshotFile{Version: snapshotVersion, CRC: crc32.ChecksumIEEE(payload), Entries: payload})
+	f.Add(wrapped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeSnapshot(data) // a panic here fails the run
+		if err == nil {
+			for _, e := range entries {
+				if e.key == "" {
+					t.Fatal("decoder admitted an entry with no key")
+				}
+			}
+		}
+
+		path := filepath.Join(t.TempDir(), "cache.snap")
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		s := New(Config{
+			SnapshotPath:     path,
+			SnapshotInterval: -1, // no ticker: keep each iteration cheap
+			Logger:           log.New(io.Discard, "", 0),
+		})
+		defer s.Close()
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("server with snapshot %q failed /healthz: %d", data, rec.Code)
+		}
+		if err != nil {
+			// A rejected snapshot must leave the cache cold.
+			if _, _, _, n, _ := s.cache.stats(); n != 0 {
+				t.Fatalf("rejected snapshot still populated %d cache entries", n)
 			}
 		}
 	})

@@ -74,44 +74,13 @@ func writeCachedBody(w http.ResponseWriter, e *cached, src string) {
 	_, _ = w.Write(e.body)
 }
 
-// serveCached is the unary-endpoint pipeline: cache lookup → singleflight
-// coalescing → admission control → compute → marshal → cache fill. compute
-// runs under a context that carries the per-request deadline and dies when
-// the last interested client disconnects or the server shuts down.
+// serveCached is the plain unary-endpoint pipeline — cache lookup →
+// singleflight coalescing → admission control → compute → marshal → cache
+// fill — for endpoints with no breaker region and no degraded mode. It is
+// serveResilient with the resilience features switched off.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	timeout time.Duration, compute func(ctx context.Context) (any, error)) {
-	if e, ok := s.cacheGet(key); ok {
-		s.metrics.xcache.Add("hit", 1)
-		writeCachedBody(w, e, "hit")
-		return
-	}
-	e, err, shared := s.flights.do(r.Context(), key, timeout, func(ctx context.Context) (*cached, error) {
-		if err := s.limiter.acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.limiter.release()
-		v, err := compute(ctx)
-		if err != nil {
-			return nil, err
-		}
-		body, err := json.Marshal(v)
-		if err != nil {
-			return nil, err
-		}
-		e := &cached{key: key, ctype: "application/json", body: append(body, '\n')}
-		s.cachePut(e)
-		return e, nil
-	})
-	src := "miss"
-	if shared {
-		src = "coalesced"
-	}
-	s.metrics.xcache.Add(src, 1)
-	if err != nil {
-		writeError(w, mapError(err))
-		return
-	}
-	writeCachedBody(w, e, src)
+	s.serveResilient(w, r, resilient{key: key, timeout: timeout, compute: compute})
 }
 
 // decodeOrFail decodes + validates; on failure it writes the 400 and
@@ -140,16 +109,30 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, mapError(err))
 		return
 	}
-	s.serveCached(w, r, q.key(), s.timeoutFor(q.TimeoutMS), func(ctx context.Context) (any, error) {
-		rep := &diag.Report{}
-		p := problemOf(node, q.L, q.F)
-		p.Report = rep
-		opt, err := core.OptimizeCtx(ctx, p)
-		s.metrics.recordLadder(rep)
-		if err != nil {
-			return nil, &solveError{err: err, report: rep}
-		}
-		return optimumOf(opt), nil
+	s.serveResilient(w, r, resilient{
+		key:        q.key(),
+		region:     regionOf("optimize", q.Tech, q.L),
+		timeout:    s.timeoutFor(q.TimeoutMS),
+		noDegraded: q.NoDegraded,
+		compute: func(ctx context.Context) (any, error) {
+			rep := &diag.Report{}
+			p := problemOf(node, q.L, q.F)
+			p.Report = rep
+			p.Injector = s.cfg.Injector
+			opt, err := core.OptimizeCtx(ctx, p)
+			s.metrics.recordLadder(rep)
+			if err != nil {
+				return nil, &solveError{err: err, report: rep}
+			}
+			return optimumOf(opt), nil
+		},
+		estimate: func() (any, error) {
+			est, err := core.EstimateOptimum(problemOf(node, q.L, q.F))
+			if err != nil {
+				return nil, err
+			}
+			return optimumOf(est), nil
+		},
 	})
 }
 
@@ -163,20 +146,37 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, mapError(err))
 		return
 	}
-	s.serveCached(w, r, q.key(), s.timeoutFor(q.TimeoutMS), func(ctx context.Context) (any, error) {
-		m, err := pade.FromStage(stageOf(node, q.L, q.H, q.K))
-		if err != nil {
-			return nil, err
-		}
-		d, err := m.DelayWith(runctl.New(ctx, runctl.Limits{}), threshold(q.F))
-		if err != nil {
-			return nil, err
-		}
-		return struct {
-			Tau        float64 `json:"tau"`
-			Iterations int     `json:"iterations"`
-		}{d.Tau, d.Iterations}, nil
+	s.serveResilient(w, r, resilient{
+		key:        q.key(),
+		region:     regionOf("delay", q.Tech, q.L),
+		timeout:    s.timeoutFor(q.TimeoutMS),
+		noDegraded: q.NoDegraded,
+		compute: func(ctx context.Context) (any, error) {
+			m, err := pade.FromStage(stageOf(node, q.L, q.H, q.K))
+			if err != nil {
+				return nil, err
+			}
+			d, err := m.DelayWith(runctl.New(ctx, runctl.Limits{}), threshold(q.F))
+			if err != nil {
+				return nil, err
+			}
+			return delayResp{Tau: d.Tau, Iterations: d.Iterations}, nil
+		},
+		estimate: func() (any, error) {
+			tau, err := core.EstimateDelay(stageOf(node, q.L, q.H, q.K), q.F)
+			if err != nil {
+				return nil, err
+			}
+			return delayResp{Tau: tau}, nil
+		},
 	})
+}
+
+// delayResp serializes a /v1/delay answer (Iterations is 0 for closed-form
+// estimates — nothing iterated).
+type delayResp struct {
+	Tau        float64 `json:"tau"`
+	Iterations int     `json:"iterations"`
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -189,25 +189,50 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, mapError(err))
 		return
 	}
-	s.serveCached(w, r, q.key(), s.timeoutFor(q.TimeoutMS), func(ctx context.Context) (any, error) {
-		rep := &diag.Report{}
-		p := problemOf(node, q.L, q.F)
-		p.Report = rep
-		plan, err := core.PlanLineCtx(ctx, p, q.Length)
-		s.metrics.recordLadder(rep)
-		if err != nil {
-			return nil, &solveError{err: err, report: rep}
-		}
-		return struct {
-			Length     float64     `json:"length"`
-			Stages     int         `json:"stages"`
-			H          float64     `json:"h"`
-			K          float64     `json:"k"`
-			StageTau   float64     `json:"stage_tau"`
-			Total      float64     `json:"total"`
-			Continuous optimumResp `json:"continuous"`
-		}{plan.Length, plan.Stages, plan.H, plan.K, plan.StageTau, plan.Total, optimumOf(plan.Continuous)}, nil
+	s.serveResilient(w, r, resilient{
+		key:        q.key(),
+		region:     regionOf("plan", q.Tech, q.L),
+		timeout:    s.timeoutFor(q.TimeoutMS),
+		noDegraded: q.NoDegraded,
+		compute: func(ctx context.Context) (any, error) {
+			rep := &diag.Report{}
+			p := problemOf(node, q.L, q.F)
+			p.Report = rep
+			p.Injector = s.cfg.Injector
+			plan, err := core.PlanLineCtx(ctx, p, q.Length)
+			s.metrics.recordLadder(rep)
+			if err != nil {
+				return nil, &solveError{err: err, report: rep}
+			}
+			return planOf(plan), nil
+		},
+		estimate: func() (any, error) {
+			plan, err := core.EstimatePlan(problemOf(node, q.L, q.F), q.Length)
+			if err != nil {
+				return nil, err
+			}
+			return planOf(plan), nil
+		},
 	})
+}
+
+// planResp serializes a core.LinePlan.
+type planResp struct {
+	Length     float64     `json:"length"`
+	Stages     int         `json:"stages"`
+	H          float64     `json:"h"`
+	K          float64     `json:"k"`
+	StageTau   float64     `json:"stage_tau"`
+	Total      float64     `json:"total"`
+	Continuous optimumResp `json:"continuous"`
+}
+
+func planOf(plan core.LinePlan) planResp {
+	return planResp{
+		Length: plan.Length, Stages: plan.Stages, H: plan.H, K: plan.K,
+		StageTau: plan.StageTau, Total: plan.Total,
+		Continuous: optimumOf(plan.Continuous),
+	}
 }
 
 func (s *Server) handleOptimizeRC(w http.ResponseWriter, r *http.Request) {
@@ -337,7 +362,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if q.Warm && q.TileSize == 0 {
 		q.TileSize = 8 // the engine's warm default, pinned for the cache key
 	}
-	opts := core.SweepOptions{Workers: workers, TileSize: q.TileSize, Warm: q.Warm}
+	opts := core.SweepOptions{Workers: workers, TileSize: q.TileSize, Warm: q.Warm, Injector: s.cfg.Injector}
 	deadline := time.Now().Add(s.timeoutFor(q.TimeoutMS))
 	reqCtx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
@@ -392,12 +417,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				if !wrote {
 					writeError(w, ae)
 				} else {
+					// The terminal "error" record carries the error-free
+					// prefix length, so a consumer can tell how much of the
+					// stream is trustworthy without counting records.
 					line, _ := json.Marshal(struct {
 						Type    string `json:"type"`
 						Status  int    `json:"status"`
 						Kind    string `json:"kind"`
 						Message string `json:"message"`
-					}{"error", ae.Status, ae.Kind, ae.Message})
+						Points  int    `json:"points"`
+					}{"error", ae.Status, ae.Kind, ae.Message, points})
 					_, _ = w.Write(append(line, '\n'))
 					if flusher != nil {
 						flusher.Flush()

@@ -71,6 +71,10 @@ type metrics struct {
 	statuses *expvar.Map // per-HTTP-status response counts
 	xcache   *expvar.Map // hit / miss / coalesced / bypass counts
 	ladder   *expvar.Map // "<ladder>|<outcome>" solver recovery-rung counts
+	degraded *expvar.Map // degraded answers by triggering failure kind
+	breaker  *expvar.Map // breaker transitions: open / half-open / close / short-circuit
+
+	snapshotOps *expvar.Map // snapshot lifecycle: save / save_error / load_ok / load_skipped
 
 	mu      sync.Mutex
 	latency map[string]*histogram // per endpoint
@@ -78,12 +82,15 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:    time.Now(),
-		requests: new(expvar.Map).Init(),
-		statuses: new(expvar.Map).Init(),
-		xcache:   new(expvar.Map).Init(),
-		ladder:   new(expvar.Map).Init(),
-		latency:  make(map[string]*histogram),
+		start:       time.Now(),
+		requests:    new(expvar.Map).Init(),
+		statuses:    new(expvar.Map).Init(),
+		xcache:      new(expvar.Map).Init(),
+		ladder:      new(expvar.Map).Init(),
+		degraded:    new(expvar.Map).Init(),
+		breaker:     new(expvar.Map).Init(),
+		snapshotOps: new(expvar.Map).Init(),
+		latency:     make(map[string]*histogram),
 	}
 }
 
@@ -152,8 +159,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"queue_depth": s.limiter.depth(),
 			"queue_full":  s.limiter.rejects(),
 		},
-		"latency": lat,
-		"ladder":  expvarMapToGo(m.ladder),
+		"latency":  lat,
+		"ladder":   expvarMapToGo(m.ladder),
+		"degraded": expvarMapToGo(m.degraded),
+		"breaker":  expvarMapToGo(m.breaker),
+		"snapshot": expvarMapToGo(m.snapshotOps),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

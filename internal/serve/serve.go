@@ -18,12 +18,32 @@
 //     before it can claim memory or CPU. Per-request deadlines ride the
 //     request context into the runctl layer.
 //
+// On top of those sit the resilience layers:
+//
+//   - Persistent cache snapshots: the result LRU is periodically (and on
+//     drain) written to a versioned, checksummed snapshot file with the
+//     checkpoint discipline (temp + fsync + atomic rename), and restored on
+//     startup — a restarted daemon serves warm hits immediately. A corrupt
+//     or version-skewed snapshot is detected and skipped: always a cold
+//     start, never a crash.
+//   - Per-region circuit breakers: solver failures are keyed by a coarse
+//     quantization of the request region (endpoint × tech × half-decade of
+//     inductance); after a threshold of consecutive failures the region's
+//     breaker opens and requests skip the expensive recovery ladder, going
+//     straight to degraded mode, with half-open probes restoring full
+//     service.
+//   - Graceful degradation: when the full solve fails, times out, or hits
+//     an open breaker, the response is the closed-form RC-optimal /
+//     Ismail–Friedman estimate, marked "degraded": true with the ladder
+//     report attached and an X-Degraded header — never a bare 422/504 when
+//     an estimate exists. Clients opt out per request with no_degraded.
+//
 // Sweeps stream as NDJSON, chunk by chunk, with each chunk independently
-// cached and coalesced; an error or cancellation mid-stream terminates the
-// stream after the longest error-free prefix, mirroring the library's
-// partial-result contract. Typed diag errors map onto documented HTTP
-// statuses (see mapError). The observability surface is /healthz, /metrics,
-// and /debug/pprof.
+// cached and coalesced; every stream ends with a terminal status record
+// ("done" or "error", both carrying the error-free prefix length), so a
+// completed stream is always distinguishable from a dropped connection.
+// Typed diag errors map onto documented HTTP statuses (see mapError). The
+// observability surface is /healthz, /metrics, /statusz, and /debug/pprof.
 package serve
 
 import (
@@ -36,7 +56,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"time"
+
+	"rlcint/internal/diag"
 )
 
 // Config sizes the serving layers. The zero value of any field selects the
@@ -62,6 +85,23 @@ type Config struct {
 	MaxSweepPoints int
 	// MaxWorkers caps the per-request sweep worker hint (0 → GOMAXPROCS).
 	MaxWorkers int
+	// SnapshotPath, when non-empty, enables persistent cache snapshots:
+	// loaded at startup, saved every SnapshotInterval and on drain.
+	SnapshotPath string
+	// SnapshotInterval is the periodic save cadence (0 → 30s; <0 disables
+	// periodic saves, leaving only the on-drain save).
+	SnapshotInterval time.Duration
+	// BreakerThreshold is the consecutive eligible-failure count that opens
+	// a request region's circuit breaker (0 → 5; <0 disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay (0 → 10s).
+	BreakerCooldown time.Duration
+	// DisableDegraded turns off degraded-mode answers server-wide: solver
+	// failures surface as their mapped errors, as if no estimate existed.
+	DisableDegraded bool
+	// Injector injects solver faults into every solve for chaos testing
+	// (nil in production).
+	Injector *diag.Injector
 	// Logger receives one structured access-log line per request (nil →
 	// stderr).
 	Logger *log.Logger
@@ -94,6 +134,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}
@@ -104,17 +153,23 @@ func (c Config) withDefaults() Config {
 // http.Server, and Close during shutdown to cancel and drain in-flight
 // solves.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *lruCache
-	flights *flightGroup
-	limiter *limiter
-	metrics *metrics
-	base    context.Context
-	abort   context.CancelFunc
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *lruCache
+	flights  *flightGroup
+	limiter  *limiter
+	metrics  *metrics
+	breakers *breakerSet
+	snap     snapStats
+	snapWG   sync.WaitGroup
+	base     context.Context
+	abort    context.CancelFunc
 }
 
-// New builds a Server from cfg (zero value → all defaults).
+// New builds a Server from cfg (zero value → all defaults). When
+// cfg.SnapshotPath is set the cache is warmed from the snapshot file (a
+// missing or corrupt snapshot is a cold start, never an error) and a
+// background goroutine persists it every SnapshotInterval until Close.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	base, abort := context.WithCancel(context.Background())
@@ -128,6 +183,14 @@ func New(cfg Config) *Server {
 		base:    base,
 		abort:   abort,
 	}
+	s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, s.metrics.breaker)
+	if cfg.SnapshotPath != "" {
+		s.loadCacheSnapshot()
+		if cfg.SnapshotInterval > 0 {
+			s.snapWG.Add(1)
+			go s.snapshotLoop(cfg.SnapshotInterval)
+		}
+	}
 	s.routes()
 	return s
 }
@@ -135,6 +198,7 @@ func New(cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/delay", s.handleDelay)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
@@ -195,14 +259,25 @@ func orDash(s string) string {
 	return s
 }
 
-// Close cancels every in-flight computation and waits for the compute
-// goroutines to drain. Call after (or instead of) http.Server.Shutdown; it
-// is what turns a stuck drain into a prompt one — solvers observe the
-// cancellation at their next runctl tick.
+// Close cancels every in-flight computation, waits for the compute
+// goroutines to drain, and — when snapshots are configured — persists a
+// final cache snapshot so the next start is warm. Call after (or instead
+// of) http.Server.Shutdown; it is what turns a stuck drain into a prompt
+// one — solvers observe the cancellation at their next runctl tick.
 func (s *Server) Close() {
 	s.abort()
 	s.flights.wait()
+	s.snapWG.Wait()
+	if s.cfg.SnapshotPath != "" {
+		if err := s.SaveSnapshot(); err != nil {
+			s.cfg.Logger.Printf("snapshot: drain save failed: %v", err)
+		}
+	}
 }
+
+// EffectiveConfig returns the configuration after defaulting — what this
+// server actually runs with, for boot logs and diagnostics.
+func (s *Server) EffectiveConfig() Config { return s.cfg }
 
 // timeoutFor resolves a request's compute budget from its timeout_ms field.
 func (s *Server) timeoutFor(ms int64) time.Duration {

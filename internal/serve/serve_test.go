@@ -270,6 +270,8 @@ func TestErrorStatusesOverHTTP(t *testing.T) {
 		{"plan-bad-length", "/v1/plan", `{"tech":"100nm","l":2e-6,"length":-1}`, 400, "domain"},
 		{"oxide-negative", "/v1/check/oxide", `{"tech":"100nm","overshoot_v":-0.5}`, 400, "bad-request"},
 		{"wire-implausible", "/v1/check/wire", `{"peak_j":1,"rms_j":2}`, 400, "bad-request"},
+		{"lcrit-zero-stage", "/v1/lcrit", `{"tech":"100nm"}`, 400, "bad-request"},
+		{"lcrit-zero-k", "/v1/lcrit", `{"tech":"100nm","l":2e-6,"h":1e-3}`, 400, "bad-request"},
 	}
 	// Shrink the sweep bound so "absurd-grid" trips it.
 	s2, ts2 := testServer(t, Config{MaxSweepPoints: 2})
@@ -319,6 +321,7 @@ func TestMapErrorTaxonomy(t *testing.T) {
 		{context.DeadlineExceeded, 504, "deadline"},
 		{diag.New(diag.ErrBudget, "op"), 504, "budget"},
 		{errQueueFull, 503, "queue-full"},
+		{errBreakerOpen, 503, "breaker-open"},
 		{diag.New(diag.ErrPanic, "op"), 500, "panic"},
 		{errors.New("mystery"), 500, "internal"},
 	}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// snapshotVersion is bumped whenever the serialized snapshot layout changes;
+// loadSnapshot rejects mismatches so a restarted daemon never replays an
+// incompatible cache image. A rejected snapshot is a cold start, not a
+// crash.
+const snapshotVersion = 1
+
+// snapEntry is one cached response in a snapshot, hot-path metadata only —
+// counters and recency are rebuilt by replaying the entries through put.
+type snapEntry struct {
+	Key   string `json:"key"`
+	CType string `json:"ctype"`
+	Body  []byte `json:"body"`
+}
+
+// snapshotFile is the on-disk envelope. The entry list is kept as raw JSON
+// so the checksum covers exactly the bytes that will be decoded: any
+// corruption of the payload — truncation, bit flips, a partial write that
+// survived a crash — fails the CRC before any entry is trusted.
+type snapshotFile struct {
+	Version int             `json:"version"`
+	CRC     uint32          `json:"crc32"`
+	Entries json.RawMessage `json:"entries"`
+}
+
+// encodeSnapshot serializes cache entries into the versioned, checksummed
+// envelope.
+func encodeSnapshot(entries []*cached) ([]byte, error) {
+	ses := make([]snapEntry, 0, len(entries))
+	for _, e := range entries {
+		ses = append(ses, snapEntry{Key: e.key, CType: e.ctype, Body: e.body})
+	}
+	payload, err := json.Marshal(ses)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot encode: %w", err)
+	}
+	return json.Marshal(snapshotFile{
+		Version: snapshotVersion,
+		CRC:     crc32.ChecksumIEEE(payload),
+		Entries: payload,
+	})
+}
+
+// decodeSnapshot validates the envelope (version, checksum, shape) and
+// returns the entries hot-order-preserving (cold end first). Every failure
+// is an error, never a panic: callers log, skip, and cold-start.
+func decodeSnapshot(data []byte) ([]*cached, error) {
+	var sf snapshotFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("serve: snapshot decode: %w", err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot version %d, this build reads version %d", sf.Version, snapshotVersion)
+	}
+	if got := crc32.ChecksumIEEE(sf.Entries); got != sf.CRC {
+		return nil, fmt.Errorf("serve: snapshot checksum mismatch (file %08x, payload %08x)", sf.CRC, got)
+	}
+	var ses []snapEntry
+	if err := json.Unmarshal(sf.Entries, &ses); err != nil {
+		return nil, fmt.Errorf("serve: snapshot payload decode: %w", err)
+	}
+	out := make([]*cached, 0, len(ses))
+	for i, se := range ses {
+		if se.Key == "" {
+			return nil, fmt.Errorf("serve: snapshot entry %d has no key", i)
+		}
+		out = append(out, &cached{key: se.Key, ctype: se.CType, body: se.Body})
+	}
+	return out, nil
+}
+
+// writeSnapshotFile persists the encoded snapshot atomically: temp file in
+// the same directory, fsync, rename — the checkpoint file discipline, so a
+// kill mid-write leaves the previous snapshot intact.
+func writeSnapshotFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// snapStats tracks the snapshot lifecycle for /statusz and /metrics.
+type snapStats struct {
+	mu         sync.Mutex
+	restored   int    // entries replayed into the cache at startup
+	loadNote   string // "ok" / "none" / the skip reason
+	saves      int64
+	saveErrors int64
+	lastSave   time.Time
+	lastSaveN  int // entries in the last successful save
+}
+
+func (st *snapStats) snapshot() map[string]any {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[string]any{
+		"restored_entries": st.restored,
+		"load":             st.loadNote,
+		"saves":            st.saves,
+		"save_errors":      st.saveErrors,
+	}
+	if !st.lastSave.IsZero() {
+		out["last_save_unix"] = st.lastSave.Unix()
+		out["last_save_entries"] = st.lastSaveN
+	}
+	return out
+}
+
+// loadCacheSnapshot restores the result cache from cfg.SnapshotPath at
+// startup. Any failure — missing file, corrupt bytes, version skew — is a
+// logged cold start, never fatal: a daemon must come up even when its
+// snapshot does not.
+func (s *Server) loadCacheSnapshot() {
+	s.snap.loadNote = "none"
+	data, err := os.ReadFile(s.cfg.SnapshotPath)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.snap.loadNote = fmt.Sprintf("skipped: %v", err)
+			s.cfg.Logger.Printf("snapshot load %s: %v (cold start)", s.cfg.SnapshotPath, err)
+		}
+		return
+	}
+	entries, err := decodeSnapshot(data)
+	if err != nil {
+		s.snap.loadNote = fmt.Sprintf("skipped: %v", err)
+		s.metrics.snapshotOps.Add("load_skipped", 1)
+		s.cfg.Logger.Printf("snapshot load %s: %v (cold start)", s.cfg.SnapshotPath, err)
+		return
+	}
+	for _, e := range entries {
+		s.cachePut(e)
+	}
+	s.snap.restored = len(entries)
+	s.snap.loadNote = "ok"
+	s.metrics.snapshotOps.Add("load_ok", 1)
+	s.cfg.Logger.Printf("snapshot load %s: restored %d entries", s.cfg.SnapshotPath, len(entries))
+}
+
+// SaveSnapshot persists the current result cache to the configured snapshot
+// path. It is a no-op without a SnapshotPath. Safe for concurrent use; the
+// atomic rename means readers never observe a torn file.
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	entries := s.cache.export()
+	data, err := encodeSnapshot(entries)
+	if err == nil {
+		err = writeSnapshotFile(s.cfg.SnapshotPath, data)
+	}
+	s.snap.mu.Lock()
+	if err != nil {
+		s.snap.saveErrors++
+	} else {
+		s.snap.saves++
+		s.snap.lastSave = time.Now()
+		s.snap.lastSaveN = len(entries)
+	}
+	s.snap.mu.Unlock()
+	if err != nil {
+		s.metrics.snapshotOps.Add("save_error", 1)
+		s.cfg.Logger.Printf("snapshot save %s: %v", s.cfg.SnapshotPath, err)
+		return err
+	}
+	s.metrics.snapshotOps.Add("save", 1)
+	return nil
+}
+
+// snapshotLoop saves periodically until the server context ends. The final
+// on-drain save happens in Close, after in-flight solves finish, so the
+// last image includes everything the daemon computed.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer s.snapWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.SaveSnapshot()
+		case <-s.base.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	in := []*cached{
+		{key: "a", ctype: "application/json", body: []byte(`{"x":1}` + "\n")},
+		{key: "b", ctype: "application/x-ndjson", body: []byte("{}\n{}\n")},
+	}
+	data, err := encodeSnapshot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].key != in[i].key || out[i].ctype != in[i].ctype || !bytes.Equal(out[i].body, in[i].body) {
+			t.Errorf("entry %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	valid, err := encodeSnapshot([]*cached{{key: "a", ctype: "application/json", body: []byte("{}\n")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"not json":   []byte("\x00\xff garbage"),
+		"truncated":  valid[:len(valid)/2],
+		"wrong type": []byte(`[1,2,3]`),
+	}
+	// A flipped byte inside the payload must fail the CRC, not decode quietly.
+	flipped := bytes.Replace(valid, []byte(`"key":"a"`), []byte(`"key":"z"`), 1)
+	if bytes.Equal(flipped, valid) {
+		t.Fatal("flip did not apply")
+	}
+	cases["bit flip"] = flipped
+	// A version bump must be rejected even with a valid checksum.
+	payload, _ := json.Marshal([]snapEntry{{Key: "a", CType: "application/json", Body: []byte("{}\n")}})
+	future, _ := json.Marshal(snapshotFile{Version: snapshotVersion + 1, CRC: crc32.ChecksumIEEE(payload), Entries: payload})
+	cases["future version"] = future
+	// An entry with no key is structurally invalid.
+	nokey, _ := json.Marshal([]snapEntry{{Key: "", Body: []byte("x")}})
+	bad, _ := json.Marshal(snapshotFile{Version: snapshotVersion, CRC: crc32.ChecksumIEEE(nokey), Entries: nokey})
+	cases["empty key"] = bad
+
+	for name, data := range cases {
+		if _, err := decodeSnapshot(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt snapshot", name)
+		}
+	}
+}
+
+// A kill-and-restart must serve the first repeat request from the restored
+// cache: the snapshot written on drain is loaded by the next New.
+func TestSnapshotWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{SnapshotPath: path, SnapshotInterval: -1, Logger: log.New(io.Discard, "", 0)}
+	req := `{"tech":"100nm","l":2e-6,"f":0.5}`
+
+	a := New(cfg)
+	tsA := httptest.NewServer(a.Handler())
+	resp, body := postJSON(t, tsA.URL+"/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first solve: status=%d cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	tsA.Close()
+	a.Close() // the on-drain save
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("drain did not write the snapshot: %v", err)
+	}
+
+	b := New(cfg)
+	tsB := httptest.NewServer(b.Handler())
+	defer func() { tsB.Close(); b.Close() }()
+	resp2, body2 := postJSON(t, tsB.URL+"/v1/optimize", req)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("restarted daemon X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Errorf("restored body differs: %s vs %s", body, body2)
+	}
+	var sz struct {
+		Snapshot struct {
+			Restored int    `json:"restored_entries"`
+			Load     string `json:"load"`
+		} `json:"snapshot"`
+	}
+	getJSON(t, tsB.URL+"/statusz", &sz)
+	if sz.Snapshot.Load != "ok" || sz.Snapshot.Restored < 1 {
+		t.Errorf("statusz snapshot = %+v, want load=ok restored>=1", sz.Snapshot)
+	}
+}
+
+// A corrupt snapshot is a logged cold start: the daemon must come up and
+// serve, never crash.
+func TestSnapshotCorruptFileColdStarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := os.WriteFile(path, []byte("\x00 not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{SnapshotPath: path, SnapshotInterval: -1})
+	resp, _ := postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("cold start: status=%d cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	var sz struct {
+		Snapshot struct {
+			Load string `json:"load"`
+		} `json:"snapshot"`
+	}
+	getJSON(t, ts.URL+"/statusz", &sz)
+	if sz.Snapshot.Load == "ok" || sz.Snapshot.Load == "none" {
+		t.Errorf("statusz load = %q, want a skip reason", sz.Snapshot.Load)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	snap, _ := m["snapshot"].(map[string]any)
+	if v, _ := snap["load_skipped"].(float64); v != 1 {
+		t.Errorf("snapshot.load_skipped = %v, want 1", v)
+	}
+}
+
+// The periodic loop must persist without any drain.
+func TestSnapshotPeriodicSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	_, ts := testServer(t, Config{SnapshotPath: path, SnapshotInterval: 20 * time.Millisecond})
+	postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-6,"f":0.5}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, err := os.ReadFile(path); err == nil {
+			if entries, err := decodeSnapshot(data); err == nil && len(entries) >= 1 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic save never produced a loadable snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

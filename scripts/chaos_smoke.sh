@@ -1,0 +1,155 @@
+#!/bin/sh
+# chaos_smoke.sh — chaos/resilience smoke test of the rlcd serving daemon.
+#
+# Builds the real rlcd binary and drives the resilience machinery end to
+# end, through the binary rather than the test suite:
+#
+#   1. startup flag validation rejects nonsense with a usage error (exit 2);
+#   2. under injected solver faults every failure is answered degraded
+#      (X-Degraded + "degraded":true), no_degraded opts out, the region's
+#      circuit breaker opens (visible in /statusz and /metrics), and abrupt
+#      client disconnects leave the daemon healthy;
+#   3. SIGTERM with a sweep in flight drains cleanly and writes the cache
+#      snapshot;
+#   4. a healthy daemon SIGKILLed mid-traffic restarts warm: the periodic
+#      snapshot makes the repeat request an X-Cache hit;
+#   5. a corrupted snapshot is a cold start, never a crash.
+set -eu
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+pid=""
+trap 'rm -rf "$work"; [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$work/rlcd" ./cmd/rlcd
+
+port=18931
+base="http://127.0.0.1:$port"
+snap="$work/cache.snap"
+
+wait_healthy() {
+	n=0
+	until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+		n=$((n + 1))
+		if [ $n -gt 100 ]; then
+			echo "chaos_smoke: FAIL: daemon never became healthy" >&2
+			cat "$1" >&2
+			exit 1
+		fi
+		kill -0 "$pid" 2>/dev/null || { echo "chaos_smoke: FAIL: daemon died" >&2; cat "$1" >&2; exit 1; }
+		sleep 0.1
+	done
+}
+
+echo "chaos_smoke: flag validation fails fast with usage errors"
+for args in "-inflight -3" "-drain 0s" "-fault-op core.eval" "-fault-every 5" "-cache-bytes -1"; do
+	rc=0
+	# shellcheck disable=SC2086
+	"$work/rlcd" $args 2>"$work/usage.log" || rc=$?
+	[ "$rc" = 2 ] || { echo "chaos_smoke: FAIL: rlcd $args exited $rc, want 2" >&2; cat "$work/usage.log" >&2; exit 1; }
+	grep -q '^rlcd: ' "$work/usage.log" || { echo "chaos_smoke: FAIL: rlcd $args printed no usage error" >&2; exit 1; }
+done
+
+echo "chaos_smoke: phase 1 — injected faults, degraded answers, breaker"
+"$work/rlcd" -addr "127.0.0.1:$port" \
+	-fault-op core.eval -fault-every 1 \
+	-breaker-threshold 3 -breaker-cooldown 30s \
+	-snapshot "$snap" -snapshot-interval 100ms \
+	2>"$work/chaos.log" &
+pid=$!
+wait_healthy "$work/chaos.log"
+grep -q 'config: ' "$work/chaos.log" || { echo "chaos_smoke: FAIL: no effective-config boot log" >&2; cat "$work/chaos.log" >&2; exit 1; }
+
+# Distinct inductances in one half-decade: distinct cache keys, one breaker
+# region. Every solve fails (every core.eval faults), so every answer
+# must be a flagged degraded 200.
+for l in 1.1e-6 1.5e-6 2e-6 2.5e-6 3e-6 3.5e-6; do
+	curl -fsS -D "$work/dh" -o "$work/db" -d "{\"tech\":\"100nm\",\"l\":$l,\"f\":0.5}" "$base/v1/optimize"
+	grep -qi '^x-degraded:' "$work/dh" || { echo "chaos_smoke: FAIL: l=$l not degraded" >&2; cat "$work/dh" "$work/db" >&2; exit 1; }
+	grep -q '"degraded":true' "$work/db" || { echo "chaos_smoke: FAIL: l=$l body not flagged" >&2; cat "$work/db" >&2; exit 1; }
+	grep -q '"estimate"' "$work/db" || { echo "chaos_smoke: FAIL: l=$l degraded without estimate" >&2; cat "$work/db" >&2; exit 1; }
+done
+
+echo "chaos_smoke: no_degraded opts out (hard failure, no X-Degraded)"
+code=$(curl -s -D "$work/nh" -o "$work/nb" -w '%{http_code}' \
+	-d '{"tech":"100nm","l":1.2e-6,"f":0.5,"no_degraded":true}' "$base/v1/optimize")
+case "$code" in
+422 | 503) ;;
+*) echo "chaos_smoke: FAIL: no_degraded returned $code, want 422/503" >&2; cat "$work/nb" >&2; exit 1 ;;
+esac
+grep -qi '^x-degraded:' "$work/nh" && { echo "chaos_smoke: FAIL: opted-out response carries X-Degraded" >&2; exit 1; }
+
+echo "chaos_smoke: breaker visible in /statusz and /metrics"
+curl -fsS "$base/statusz" >"$work/statusz"
+grep -q '"state": "open"' "$work/statusz" || { echo "chaos_smoke: FAIL: no open breaker in /statusz" >&2; cat "$work/statusz" >&2; exit 1; }
+curl -fsS "$base/metrics" >"$work/metrics"
+grep -q '"open": *[1-9]' "$work/metrics" || { echo "chaos_smoke: FAIL: no breaker open transition in /metrics" >&2; exit 1; }
+# With the breaker open, the short-circuit answers degraded with its reason.
+curl -fsS -D "$work/sh" -o /dev/null -d '{"tech":"100nm","l":1.3e-6,"f":0.5}' "$base/v1/optimize"
+grep -qi '^x-degraded: breaker-open' "$work/sh" || { echo "chaos_smoke: FAIL: open breaker did not short-circuit" >&2; cat "$work/sh" >&2; exit 1; }
+
+echo "chaos_smoke: abrupt client disconnects leave the daemon healthy"
+for i in 1 2 3; do
+	curl -s -m 0.2 -d '{"tech":"100nm","ls":[1e-7,2e-7,3e-7,4e-7,5e-7],"f":0.5}' "$base/v1/sweep" >/dev/null 2>&1 || true
+done
+curl -fsS "$base/healthz" >/dev/null || { echo "chaos_smoke: FAIL: daemon unhealthy after disconnects" >&2; exit 1; }
+
+echo "chaos_smoke: SIGTERM with a sweep in flight drains and snapshots"
+curl -s -d '{"tech":"250nm","ls":[1e-7,2e-7,3e-7],"f":0.5}' "$base/v1/sweep" >/dev/null 2>&1 &
+sweep_pid=$!
+sleep 0.1
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+wait "$sweep_pid" 2>/dev/null || true
+[ "$rc" = 0 ] || { echo "chaos_smoke: FAIL: drain exited $rc, want 0" >&2; cat "$work/chaos.log" >&2; exit 1; }
+[ -s "$snap" ] || { echo "chaos_smoke: FAIL: drain wrote no snapshot" >&2; exit 1; }
+
+echo "chaos_smoke: phase 2 — healthy daemon, SIGKILL, warm restart"
+rm -f "$snap"
+"$work/rlcd" -addr "127.0.0.1:$port" -snapshot "$snap" -snapshot-interval 100ms 2>"$work/healthy.log" &
+pid=$!
+wait_healthy "$work/healthy.log"
+req='{"tech":"100nm","l":2e-6,"f":0.5}'
+curl -fsS -D "$work/h1" -o "$work/b1" -d "$req" "$base/v1/optimize"
+grep -qi '^x-cache: miss' "$work/h1" || { echo "chaos_smoke: FAIL: first healthy optimize not a miss" >&2; exit 1; }
+grep -qi '^x-degraded:' "$work/h1" && { echo "chaos_smoke: FAIL: healthy solve flagged degraded" >&2; exit 1; }
+# Wait until a periodic save has captured our entry (the snapshot payload
+# carries cache keys as plain text), then kill without any drain.
+n=0
+until grep -q '"key":"optimize' "$snap" 2>/dev/null; do
+	n=$((n + 1))
+	[ $n -le 50 ] || { echo "chaos_smoke: FAIL: periodic snapshot never captured the entry" >&2; exit 1; }
+	sleep 0.1
+done
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+
+"$work/rlcd" -addr "127.0.0.1:$port" -snapshot "$snap" -snapshot-interval 100ms 2>"$work/warm.log" &
+pid=$!
+wait_healthy "$work/warm.log"
+curl -fsS -D "$work/h2" -o "$work/b2" -d "$req" "$base/v1/optimize"
+grep -qi '^x-cache: hit' "$work/h2" || {
+	echo "chaos_smoke: FAIL: restarted daemon did not answer warm" >&2
+	cat "$work/h2" "$work/warm.log" >&2
+	exit 1
+}
+cmp -s "$work/b1" "$work/b2" || { echo "chaos_smoke: FAIL: warm body differs from original" >&2; exit 1; }
+kill -TERM "$pid"
+wait "$pid" || true
+
+echo "chaos_smoke: phase 3 — corrupt snapshot is a cold start, not a crash"
+printf 'not a snapshot \000\377' >"$snap"
+"$work/rlcd" -addr "127.0.0.1:$port" -snapshot "$snap" 2>"$work/corrupt.log" &
+pid=$!
+wait_healthy "$work/corrupt.log"
+grep -q 'cold start' "$work/corrupt.log" || { echo "chaos_smoke: FAIL: corrupt snapshot not logged as cold start" >&2; cat "$work/corrupt.log" >&2; exit 1; }
+curl -fsS -D "$work/h3" -o /dev/null -d "$req" "$base/v1/optimize"
+grep -qi '^x-cache: miss' "$work/h3" || { echo "chaos_smoke: FAIL: cold start served a hit" >&2; exit 1; }
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" = 0 ] || { echo "chaos_smoke: FAIL: final drain exited $rc" >&2; exit 1; }
+pid=""
+
+echo "chaos_smoke: PASS"
