@@ -32,13 +32,15 @@ func (st breakerState) String() string {
 
 // breaker is one region's state. Guarded by the owning set's mutex.
 type breaker struct {
-	state    breakerState
-	fails    int  // consecutive eligible failures while closed
-	probing  bool // a half-open probe is in flight
-	changed  time.Time
-	opens    int64 // cumulative open transitions
-	shorted  int64 // requests short-circuited while open / probing
-	lastFail string
+	state      breakerState
+	fails      int  // consecutive eligible failures while closed
+	probing    bool // a half-open probe is in flight
+	probeGen   uint64    // token of the probe currently holding the slot
+	probeStart time.Time // when that probe was granted, for the deadline backstop
+	changed    time.Time
+	opens      int64 // cumulative open transitions
+	shorted    int64 // requests short-circuited while open / probing
+	lastFail   string
 }
 
 // maxBreakerRegions bounds the region map. The quantization is coarse
@@ -97,43 +99,80 @@ func regionOf(endpoint, tech string, l float64) string {
 
 // allow reports whether a request in region may attempt the full solve.
 // While a region is open (cooling down) or a probe is already in flight,
-// allow denies and the caller answers degraded.
-func (b *breakerSet) allow(region string) bool {
+// allow denies and the caller answers degraded. A non-zero probe token
+// means this caller holds the region's half-open probe slot; the caller
+// must guarantee the probe resolves — onResult runs for its computation,
+// or probeAbort is called with the token — on every terminal outcome.
+//
+// The slot also carries a deadline backstop: if a probe has been out for a
+// full cooldown without resolving (a guarantee bug, or a wedged solve),
+// the next caller reclaims it instead of the region staying degraded
+// forever.
+func (b *breakerSet) allow(region string) (ok bool, probe uint64) {
 	if b == nil {
-		return true
+		return true, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	br := b.m[region]
 	if br == nil {
 		if len(b.m) >= maxBreakerRegions {
-			return true // full: run untracked rather than grow without bound
+			return true, 0 // full: run untracked rather than grow without bound
 		}
 		b.m[region] = &breaker{changed: time.Now()}
-		return true
+		return true, 0
 	}
 	switch br.state {
 	case breakerClosed:
-		return true
+		return true, 0
 	case breakerOpen:
 		if time.Since(br.changed) < b.cooldown {
 			br.shorted++
 			b.trans.Add("short-circuit", 1)
-			return false
+			return false, 0
 		}
 		br.state = breakerHalfOpen
-		br.probing = true
 		br.changed = time.Now()
 		b.trans.Add("half-open", 1)
-		return true
+		return true, br.grantProbe()
 	default: // half-open
 		if br.probing {
-			br.shorted++
-			b.trans.Add("short-circuit", 1)
-			return false
+			if time.Since(br.probeStart) < b.cooldown {
+				br.shorted++
+				b.trans.Add("short-circuit", 1)
+				return false, 0
+			}
+			// The outstanding probe never resolved within a full cooldown:
+			// reclaim the slot so the region cannot wedge in degraded mode.
+			b.trans.Add("probe-reclaim", 1)
 		}
-		br.probing = true
-		return true
+		return true, br.grantProbe()
+	}
+}
+
+// grantProbe hands the half-open probe slot to the caller under a fresh
+// token. Caller holds the set's mutex.
+func (br *breaker) grantProbe() uint64 {
+	br.probing = true
+	br.probeGen++
+	br.probeStart = time.Now()
+	return br.probeGen
+}
+
+// probeAbort releases a probe slot whose computation never reached
+// onResult — the request coalesced onto a flight that had already recorded
+// its result, so nothing else will resolve this probe. The token keeps a
+// late abort from releasing a slot that has since been resolved and
+// re-granted to another caller.
+func (b *breakerSet) probeAbort(region string, probe uint64) {
+	if b == nil || probe == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[region]
+	if br != nil && br.state == breakerHalfOpen && br.probing && br.probeGen == probe {
+		br.probing = false
 	}
 }
 

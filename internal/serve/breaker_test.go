@@ -36,13 +36,20 @@ func newTestBreakers(threshold int, cooldown time.Duration) *breakerSet {
 	return newBreakerSet(threshold, cooldown, new(expvar.Map).Init())
 }
 
+// allowed discards the probe token — for the call sites that only care
+// whether the request may proceed.
+func allowed(b *breakerSet, region string) bool {
+	ok, _ := b.allow(region)
+	return ok
+}
+
 func TestBreakerLifecycle(t *testing.T) {
 	b := newTestBreakers(3, time.Hour)
 	const r = "optimize|100nm|l^-6"
 
 	// Closed: everything allowed; successes keep it closed.
 	for i := 0; i < 5; i++ {
-		if !b.allow(r) {
+		if !allowed(b, r) {
 			t.Fatalf("closed breaker denied request %d", i)
 		}
 		b.onResult(r, true, false, "")
@@ -68,7 +75,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("after threshold: %+v", st)
 	}
 	// Open and cooling: short-circuit.
-	if b.allow(r) {
+	if allowed(b, r) {
 		t.Fatal("open breaker allowed a request inside the cooldown")
 	}
 	if st := b.statuses()[0]; st.ShortCircuits != 1 {
@@ -80,15 +87,15 @@ func TestBreakerLifecycle(t *testing.T) {
 	b.mu.Lock()
 	b.m[r].changed = time.Now().Add(-2 * time.Hour)
 	b.mu.Unlock()
-	if !b.allow(r) {
+	if !allowed(b, r) {
 		t.Fatal("cooled breaker denied the probe")
 	}
-	if b.allow(r) {
+	if allowed(b, r) {
 		t.Fatal("second concurrent probe allowed")
 	}
 	// Inconclusive probe (cancelled client) re-arms instead of wedging.
 	b.onResult(r, false, false, "cancelled")
-	if !b.allow(r) {
+	if !allowed(b, r) {
 		t.Fatal("re-armed half-open denied the next probe")
 	}
 	// Failed probe re-opens.
@@ -100,7 +107,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	b.mu.Lock()
 	b.m[r].changed = time.Now().Add(-2 * time.Hour)
 	b.mu.Unlock()
-	if !b.allow(r) {
+	if !allowed(b, r) {
 		t.Fatal("cooled breaker denied the probe")
 	}
 	b.onResult(r, true, false, "")
@@ -122,10 +129,11 @@ func TestBreakerDisabledAndNil(t *testing.T) {
 		t.Fatal("threshold <= 0 must disable the set")
 	}
 	var b *breakerSet
-	if !b.allow("x") {
+	if !allowed(b, "x") {
 		t.Error("nil set must allow everything")
 	}
 	b.onResult("x", false, true, "non-convergence") // must not panic
+	b.probeAbort("x", 1)                            // must not panic
 	if b.statuses() != nil {
 		t.Error("nil set must report no regions")
 	}
@@ -138,7 +146,7 @@ func TestBreakerRegionCapRunsUntracked(t *testing.T) {
 		b.m[string(rune(i))+"x"] = &breaker{changed: time.Now()}
 	}
 	b.mu.Unlock()
-	if !b.allow("fresh-region") {
+	if !allowed(b, "fresh-region") {
 		t.Fatal("full region map must fail open (allow), not deny")
 	}
 	b.onResult("fresh-region", false, true, "deadline") // untracked: no-op, no panic
@@ -235,5 +243,157 @@ func TestBreakerLifecycleHTTP(t *testing.T) {
 	}
 	if ho, _ := br["half-open"].(float64); ho < 1 {
 		t.Errorf("metrics breaker.half-open = %v, want >= 1", ho)
+	}
+}
+
+// The half-open probe slot must be releasable by token (probeAbort), must
+// ignore stale or wrong tokens, and must be reclaimable after a full
+// cooldown even if its holder never resolves it — the region can degrade,
+// but it can never wedge.
+func TestBreakerProbeAbortAndReclaim(t *testing.T) {
+	const cooldown = time.Hour
+	b := newTestBreakers(1, cooldown)
+	const r = "optimize|100nm|l^-6"
+	b.allow(r)
+	b.onResult(r, false, true, "non-convergence") // threshold 1: open
+	b.mu.Lock()
+	b.m[r].changed = time.Now().Add(-2 * cooldown)
+	b.mu.Unlock()
+
+	ok, p1 := b.allow(r)
+	if !ok || p1 == 0 {
+		t.Fatalf("cooled breaker: allow = (%v, %d), want a granted probe", ok, p1)
+	}
+	if allowed(b, r) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// A wrong token must not release the slot.
+	b.probeAbort(r, p1+99)
+	if allowed(b, r) {
+		t.Fatal("wrong-token abort released the probe slot")
+	}
+	// The right token re-arms the slot for the next caller.
+	b.probeAbort(r, p1)
+	ok, p2 := b.allow(r)
+	if !ok || p2 == 0 || p2 == p1 {
+		t.Fatalf("after abort: allow = (%v, %d), want a fresh probe token", ok, p2)
+	}
+	// A stale abort (p1 resolved long ago) must not release p2's slot.
+	b.probeAbort(r, p1)
+	if allowed(b, r) {
+		t.Fatal("stale abort released another caller's probe slot")
+	}
+	// Deadline backstop: a probe outstanding for a full cooldown is
+	// reclaimed by the next caller instead of wedging the region.
+	b.mu.Lock()
+	b.m[r].probeStart = time.Now().Add(-2 * cooldown)
+	b.mu.Unlock()
+	ok, p3 := b.allow(r)
+	if !ok || p3 == 0 || p3 == p2 {
+		t.Fatalf("expired probe not reclaimed: allow = (%v, %d)", ok, p3)
+	}
+	b.onResult(r, true, false, "")
+	if st := b.statuses()[0]; st.State != "closed" {
+		t.Fatalf("after reclaimed probe succeeded: %+v", st)
+	}
+}
+
+// A half-open probe that dies at admission control (solve slots full, no
+// queue) must resolve the probe slot — the wedge found in review: the
+// flight closure returned before onResult, leaving probing=true forever and
+// the whole region short-circuiting until restart.
+func TestBreakerProbeSurvivesAdmissionReject(t *testing.T) {
+	const (
+		modeFail = iota // region requests fail with non-convergence
+		modeBlock       // solver parks on the release channel
+		modeOK          // solver healthy
+	)
+	var mode atomic.Int64
+	release := make(chan struct{})
+	inj := &diag.Injector{Fault: func(site diag.Site) error {
+		if site.Op != "core.eval" {
+			return nil
+		}
+		switch mode.Load() {
+		case modeFail:
+			return diag.New(diag.ErrNonConvergence, "chaos")
+		case modeBlock:
+			<-release
+		}
+		return nil
+	}}
+	_, ts := testServer(t, Config{
+		MaxInflight:      1,
+		MaxQueue:         -1, // no queue: a busy slot rejects immediately
+		BreakerThreshold: 1,
+		BreakerCooldown:  30 * time.Millisecond,
+		Injector:         inj,
+	})
+	post := func(l string) (*http.Response, []byte) {
+		return postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":`+l+`,"f":0.5}`)
+	}
+
+	// One eligible failure opens the region (threshold 1).
+	if resp, body := post("2e-6"); resp.Header.Get("X-Degraded") != "non-convergence" {
+		t.Fatalf("opening failure: X-Degraded=%q body=%s", resp.Header.Get("X-Degraded"), body)
+	}
+	// Park a solve from a different region (different half-decade) on the
+	// only slot.
+	mode.Store(modeBlock)
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		postJSON(t, ts.URL+"/v1/optimize", `{"tech":"100nm","l":2e-3,"f":0.5}`)
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		var sz struct {
+			Admission struct {
+				Inflight int64 `json:"inflight"`
+			} `json:"admission"`
+		}
+		getJSON(t, ts.URL+"/statusz", &sz)
+		return sz.Admission.Inflight == 1
+	})
+	time.Sleep(50 * time.Millisecond) // past the cooldown: next allow is the probe
+
+	// The probe is granted, then dies at admission: 503 queue-full (shed
+	// load, never degrade) — and the probe slot must be released.
+	resp, body := post("2.5e-6")
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("X-Degraded") != "" {
+		t.Fatalf("probe at full admission: status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+
+	// Free the slot, heal the solver: the next request in the region must be
+	// allowed to probe (not short-circuited) and close the breaker.
+	mode.Store(modeOK)
+	close(release)
+	<-blocked
+	resp, body = post("3e-6")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Degraded") != "" {
+		t.Fatalf("post-reject probe wedged: status=%d X-Degraded=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Degraded"), body)
+	}
+	var sz struct {
+		Breakers struct {
+			Regions []breakerStatus `json:"regions"`
+		} `json:"breakers"`
+	}
+	getJSON(t, ts.URL+"/statusz", &sz)
+	for _, st := range sz.Breakers.Regions {
+		if st.Region == regionOf("optimize", "100nm", 2e-6) && st.State != "closed" {
+			t.Fatalf("region did not recover: %+v", st)
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -73,34 +73,59 @@ type resilient struct {
 // cache fill, with failures degraded to the closed-form estimate whenever
 // one exists and the client did not opt out. Breaker results are recorded
 // once per computation, inside the flight, so coalesced bursts count as one
-// attempt.
+// attempt — and exactly once per closure run, so a half-open probe always
+// resolves: admission rejects record an ineligible failure, a panic
+// unwinding out of compute records via the deferred catch-all, and a probe
+// that coalesced onto an already-recorded flight (its closure never ran)
+// is released with probeAbort.
 func (s *Server) serveResilient(w http.ResponseWriter, r *http.Request, spec resilient) {
 	if e, ok := s.cacheGet(spec.key); ok {
 		s.metrics.xcache.Add("hit", 1)
 		writeCachedBody(w, e, "hit")
 		return
 	}
-	if spec.region != "" && !s.breakers.allow(spec.region) {
-		s.degradeOrError(w, errBreakerOpen, nil, spec)
-		return
+	var probe uint64
+	if spec.region != "" {
+		ok, p := s.breakers.allow(spec.region)
+		if !ok {
+			s.degradeOrError(w, errBreakerOpen, nil, spec)
+			return
+		}
+		probe = p
 	}
 	e, err, shared := s.flights.do(r.Context(), spec.key, spec.timeout, func(ctx context.Context) (*cached, error) {
+		recorded := spec.region == ""
+		record := func(ok, eligible bool, cause string) {
+			recorded = true
+			s.breakers.onResult(spec.region, ok, eligible, cause)
+		}
+		// The only path that can skip the explicit record calls below is a
+		// panic out of spec.compute (contained one layer up, in the flight);
+		// fold it in here so it still counts and a probe never wedges.
+		defer func() {
+			if !recorded {
+				record(false, true, "panic")
+			}
+		}()
 		if err := s.limiter.acquire(ctx); err != nil {
+			if !recorded {
+				record(false, false, mapError(err).Kind)
+			}
 			return nil, err
 		}
 		defer s.limiter.release()
 		v, err := spec.compute(ctx)
-		if spec.region != "" {
+		var body []byte
+		if err == nil {
+			body, err = json.Marshal(v)
+		}
+		if !recorded {
 			cause := ""
 			if err != nil {
 				cause = mapError(err).Kind
 			}
-			s.breakers.onResult(spec.region, err == nil, breakerEligible(err), cause)
+			record(err == nil, breakerEligible(err), cause)
 		}
-		if err != nil {
-			return nil, err
-		}
-		body, err := json.Marshal(v)
 		if err != nil {
 			return nil, err
 		}
@@ -108,6 +133,13 @@ func (s *Server) serveResilient(w http.ResponseWriter, r *http.Request, spec res
 		s.cachePut(e)
 		return e, nil
 	})
+	if probe != 0 && shared {
+		// This request held the probe slot but joined an existing flight, so
+		// its own closure never ran. The leader's record belongs to its own
+		// computation (and may predate the probe grant); release the slot so
+		// the next caller can probe instead of the region wedging degraded.
+		s.breakers.probeAbort(spec.region, probe)
+	}
 	src := "miss"
 	if shared {
 		src = "coalesced"

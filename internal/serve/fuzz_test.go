@@ -130,8 +130,10 @@ func FuzzSnapshotLoad(f *testing.F) {
 	f.Add([]byte(`[{"key":"a"}]`))
 
 	payload := []byte(`[{"key":"k","ctype":"t","body":"eA=="}]`)
-	wrapped, _ := json.Marshal(snapshotFile{Version: snapshotVersion, CRC: crc32.ChecksumIEEE(payload), Entries: payload})
+	wrapped, _ := json.Marshal(snapshotFile{Version: snapshotVersion, Schema: snapshotSchema(), CRC: crc32.ChecksumIEEE(payload), Entries: payload})
 	f.Add(wrapped)
+	noSchema, _ := json.Marshal(snapshotFile{Version: snapshotVersion, CRC: crc32.ChecksumIEEE(payload), Entries: payload})
+	f.Add(noSchema)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entries, err := decodeSnapshot(data) // a panic here fails the run

@@ -250,12 +250,38 @@ func (s *Server) handleOptimizeRC(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return struct {
-			H   float64 `json:"h"`
-			K   float64 `json:"k"`
-			Tau float64 `json:"tau"`
-		}{rc.H, rc.K, rc.Tau}, nil
+		return rcResp{H: rc.H, K: rc.K, Tau: rc.Tau}, nil
 	})
+}
+
+// The remaining response shapes are named (rather than anonymous literals)
+// so snapshotSchema can fingerprint every type a cached body may hold.
+type rcResp struct {
+	H   float64 `json:"h"`
+	K   float64 `json:"k"`
+	Tau float64 `json:"tau"`
+}
+
+type lcritResp struct {
+	LCrit float64 `json:"lcrit"` // H/m
+}
+
+type oxideResp struct {
+	VGateMax  float64 `json:"v_gate_max"`
+	Field     float64 `json:"field"`
+	FieldVDD  float64 `json:"field_vdd"`
+	Margin    float64 `json:"margin"`
+	OverLimit bool    `json:"over_limit"`
+	Critical  bool    `json:"critical"`
+}
+
+type wireResp struct {
+	PeakJ      float64 `json:"peak_j"`
+	RMSJ       float64 `json:"rms_j"`
+	PeakMargin float64 `json:"peak_margin"`
+	RMSMargin  float64 `json:"rms_margin"`
+	PeakOver   bool    `json:"peak_over"`
+	RMSOver    bool    `json:"rms_over"`
 }
 
 func (s *Server) handleLCrit(w http.ResponseWriter, r *http.Request) {
@@ -269,9 +295,7 @@ func (s *Server) handleLCrit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, r, q.key(), s.cfg.DefaultTimeout, func(ctx context.Context) (any, error) {
-		return struct {
-			LCrit float64 `json:"lcrit"` // H/m
-		}{pade.LCrit(stageOf(node, q.L, q.H, q.K))}, nil
+		return lcritResp{LCrit: pade.LCrit(stageOf(node, q.L, q.H, q.K))}, nil
 	})
 }
 
@@ -290,14 +314,10 @@ func (s *Server) handleCheckOxide(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return struct {
-			VGateMax  float64 `json:"v_gate_max"`
-			Field     float64 `json:"field"`
-			FieldVDD  float64 `json:"field_vdd"`
-			Margin    float64 `json:"margin"`
-			OverLimit bool    `json:"over_limit"`
-			Critical  bool    `json:"critical"`
-		}{rep.VGateMax, rep.Field, rep.FieldVDD, rep.Margin, rep.OverLimit, rep.Critical}, nil
+		return oxideResp{
+			VGateMax: rep.VGateMax, Field: rep.Field, FieldVDD: rep.FieldVDD,
+			Margin: rep.Margin, OverLimit: rep.OverLimit, Critical: rep.Critical,
+		}, nil
 	})
 }
 
@@ -311,14 +331,11 @@ func (s *Server) handleCheckWire(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return struct {
-			PeakJ      float64 `json:"peak_j"`
-			RMSJ       float64 `json:"rms_j"`
-			PeakMargin float64 `json:"peak_margin"`
-			RMSMargin  float64 `json:"rms_margin"`
-			PeakOver   bool    `json:"peak_over"`
-			RMSOver    bool    `json:"rms_over"`
-		}{rep.PeakJ, rep.RMSJ, rep.PeakMargin, rep.RMSMargin, rep.PeakOver, rep.RMSOver}, nil
+		return wireResp{
+			PeakJ: rep.PeakJ, RMSJ: rep.RMSJ,
+			PeakMargin: rep.PeakMargin, RMSMargin: rep.RMSMargin,
+			PeakOver: rep.PeakOver, RMSOver: rep.RMSOver,
+		}, nil
 	})
 }
 

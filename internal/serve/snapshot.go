@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"time"
 )
@@ -14,7 +16,50 @@ import (
 // loadSnapshot rejects mismatches so a restarted daemon never replays an
 // incompatible cache image. A rejected snapshot is a cold start, not a
 // crash.
-const snapshotVersion = 1
+const snapshotVersion = 2
+
+// snapshotSchema fingerprints the response types whose marshaled bodies a
+// snapshot can contain, walking struct field names, JSON tags, and types
+// recursively. The envelope's Schema field carries it, so a build whose
+// response shapes changed rejects an older snapshot automatically — a cold
+// start — instead of relying on someone remembering to bump
+// snapshotVersion while a stale image replays wrong answers as cache hits.
+var snapshotSchema = sync.OnceValue(func() string {
+	h := fnv.New64a()
+	seen := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		if seen[t] {
+			fmt.Fprintf(h, "~%s", t.String())
+			return
+		}
+		seen[t] = true
+		fmt.Fprintf(h, "%s(", t.Kind())
+		switch t.Kind() {
+		case reflect.Struct:
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				fmt.Fprintf(h, "%s`%s`:", f.Name, f.Tag.Get("json"))
+				walk(f.Type)
+			}
+		case reflect.Pointer, reflect.Slice, reflect.Array:
+			walk(t.Elem())
+		case reflect.Map:
+			walk(t.Key())
+			walk(t.Elem())
+		default:
+			fmt.Fprint(h, t.String())
+		}
+		fmt.Fprint(h, ")")
+	}
+	for _, v := range []any{
+		optimumResp{}, delayResp{}, planResp{}, sweepPointLine{},
+		rcResp{}, lcritResp{}, oxideResp{}, wireResp{},
+	} {
+		walk(reflect.TypeOf(v))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+})
 
 // snapEntry is one cached response in a snapshot, hot-path metadata only —
 // counters and recency are rebuilt by replaying the entries through put.
@@ -30,6 +75,7 @@ type snapEntry struct {
 // survived a crash — fails the CRC before any entry is trusted.
 type snapshotFile struct {
 	Version int             `json:"version"`
+	Schema  string          `json:"schema"`
 	CRC     uint32          `json:"crc32"`
 	Entries json.RawMessage `json:"entries"`
 }
@@ -47,14 +93,15 @@ func encodeSnapshot(entries []*cached) ([]byte, error) {
 	}
 	return json.Marshal(snapshotFile{
 		Version: snapshotVersion,
+		Schema:  snapshotSchema(),
 		CRC:     crc32.ChecksumIEEE(payload),
 		Entries: payload,
 	})
 }
 
-// decodeSnapshot validates the envelope (version, checksum, shape) and
-// returns the entries hot-order-preserving (cold end first). Every failure
-// is an error, never a panic: callers log, skip, and cold-start.
+// decodeSnapshot validates the envelope (version, schema, checksum, shape)
+// and returns the entries hot-order-preserving (cold end first). Every
+// failure is an error, never a panic: callers log, skip, and cold-start.
 func decodeSnapshot(data []byte) ([]*cached, error) {
 	var sf snapshotFile
 	if err := json.Unmarshal(data, &sf); err != nil {
@@ -62,6 +109,9 @@ func decodeSnapshot(data []byte) ([]*cached, error) {
 	}
 	if sf.Version != snapshotVersion {
 		return nil, fmt.Errorf("serve: snapshot version %d, this build reads version %d", sf.Version, snapshotVersion)
+	}
+	if sf.Schema != snapshotSchema() {
+		return nil, fmt.Errorf("serve: snapshot schema %q, this build's responses fingerprint as %q", sf.Schema, snapshotSchema())
 	}
 	if got := crc32.ChecksumIEEE(sf.Entries); got != sf.CRC {
 		return nil, fmt.Errorf("serve: snapshot checksum mismatch (file %08x, payload %08x)", sf.CRC, got)
@@ -139,18 +189,27 @@ func (st *snapStats) snapshot() map[string]any {
 // logged cold start, never fatal: a daemon must come up even when its
 // snapshot does not.
 func (s *Server) loadCacheSnapshot() {
-	s.snap.loadNote = "none"
+	note, restored := "none", 0
+	// Runs in New(), before any handler or the snapshot loop exists, but
+	// take snap.mu anyway so snapStats is uniformly lock-guarded instead of
+	// relying on that startup ordering.
+	defer func() {
+		s.snap.mu.Lock()
+		s.snap.loadNote = note
+		s.snap.restored = restored
+		s.snap.mu.Unlock()
+	}()
 	data, err := os.ReadFile(s.cfg.SnapshotPath)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			s.snap.loadNote = fmt.Sprintf("skipped: %v", err)
+			note = fmt.Sprintf("skipped: %v", err)
 			s.cfg.Logger.Printf("snapshot load %s: %v (cold start)", s.cfg.SnapshotPath, err)
 		}
 		return
 	}
 	entries, err := decodeSnapshot(data)
 	if err != nil {
-		s.snap.loadNote = fmt.Sprintf("skipped: %v", err)
+		note = fmt.Sprintf("skipped: %v", err)
 		s.metrics.snapshotOps.Add("load_skipped", 1)
 		s.cfg.Logger.Printf("snapshot load %s: %v (cold start)", s.cfg.SnapshotPath, err)
 		return
@@ -158,8 +217,7 @@ func (s *Server) loadCacheSnapshot() {
 	for _, e := range entries {
 		s.cachePut(e)
 	}
-	s.snap.restored = len(entries)
-	s.snap.loadNote = "ok"
+	note, restored = "ok", len(entries)
 	s.metrics.snapshotOps.Add("load_ok", 1)
 	s.cfg.Logger.Printf("snapshot load %s: restored %d entries", s.cfg.SnapshotPath, len(entries))
 }

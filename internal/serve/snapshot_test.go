@@ -54,13 +54,17 @@ func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
 		t.Fatal("flip did not apply")
 	}
 	cases["bit flip"] = flipped
-	// A version bump must be rejected even with a valid checksum.
+	// A version bump must be rejected even with a valid checksum and schema.
 	payload, _ := json.Marshal([]snapEntry{{Key: "a", CType: "application/json", Body: []byte("{}\n")}})
-	future, _ := json.Marshal(snapshotFile{Version: snapshotVersion + 1, CRC: crc32.ChecksumIEEE(payload), Entries: payload})
+	future, _ := json.Marshal(snapshotFile{Version: snapshotVersion + 1, Schema: snapshotSchema(), CRC: crc32.ChecksumIEEE(payload), Entries: payload})
 	cases["future version"] = future
+	// A snapshot from a build with different response shapes must be
+	// rejected even when the envelope itself is intact.
+	stale, _ := json.Marshal(snapshotFile{Version: snapshotVersion, Schema: "0000000000000000", CRC: crc32.ChecksumIEEE(payload), Entries: payload})
+	cases["stale schema"] = stale
 	// An entry with no key is structurally invalid.
 	nokey, _ := json.Marshal([]snapEntry{{Key: "", Body: []byte("x")}})
-	bad, _ := json.Marshal(snapshotFile{Version: snapshotVersion, CRC: crc32.ChecksumIEEE(nokey), Entries: nokey})
+	bad, _ := json.Marshal(snapshotFile{Version: snapshotVersion, Schema: snapshotSchema(), CRC: crc32.ChecksumIEEE(nokey), Entries: nokey})
 	cases["empty key"] = bad
 
 	for name, data := range cases {
