@@ -9,6 +9,10 @@
 //	     [-cache-entries 4096] [-cache-bytes 67108864] [-drain 30s]
 //	     [-snapshot /path/cache.snap] [-snapshot-interval 30s]
 //	     [-breaker-threshold 5] [-breaker-cooldown 10s] [-no-degraded]
+//	     [-self host:port] [-peers h1:p1,h2:p2 | -peers-file /path]
+//	     [-fleet-replicas 2] [-probe-interval 1s] [-hedge-after 0]
+//	     [-forward-attempts 3] [-forward-timeout 1s] [-forward-budget 2.5s]
+//	     [-max-hops 3]
 //
 // Endpoints (all request/response bodies JSON, SI units):
 //
@@ -20,7 +24,21 @@
 //	POST /v1/sweep        {"tech","ls":[...],"f","warm"}  → NDJSON stream
 //	POST /v1/check/oxide  {"tech","overshoot_v"}          → oxide report
 //	POST /v1/check/wire   {"peak_j","rms_j"}              → wire report
-//	GET  /healthz  GET /metrics  GET /statusz  /debug/pprof/  /debug/vars
+//	GET  /healthz  GET /readyz  GET /metrics  GET /statusz
+//	     /debug/pprof/  /debug/vars
+//
+// /healthz is liveness (the process is up); /readyz is readiness and
+// answers 503 while the startup snapshot replays and after the first
+// drain signal — point load balancers and fleet probes at /readyz.
+//
+// Fleet mode: -peers (or -peers-file, one address per line, reloaded on
+// SIGHUP) joins this daemon to a peer ring. Each cache key has one owner
+// instance; cache-missed solver requests are forwarded to their owner
+// (bounded retries across ring replicas with jittered backoff, optional
+// -hedge-after tail-latency hedging), so identical queries hit a warm
+// cache no matter which instance the client reached. When the owner and
+// its replicas are down, the local instance computes the answer itself —
+// fleet topology never fails a request.
 //
 // With -snapshot the result cache is restored at startup and persisted
 // every -snapshot-interval and on drain, so a restarted daemon answers
@@ -49,10 +67,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/fleet"
 	"rlcint/internal/serve"
 )
 
@@ -71,8 +91,20 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures opening a region's circuit breaker (0 = 5, negative = disable)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open breaker cooldown before a half-open probe (0 = 10s)")
 	noDegraded := flag.Bool("no-degraded", false, "disable degraded-mode answers; failures surface as errors")
-	faultOp := flag.String("fault-op", "", "chaos testing: operation site to fault (e.g. core.eval)")
+	faultOp := flag.String("fault-op", "", "chaos testing: operation site to fault (e.g. core.eval, fleet.transport)")
 	faultEvery := flag.Int("fault-every", 0, "chaos testing: fault every Nth hit of -fault-op (0 = disabled)")
+	self := flag.String("self", "", "fleet: this instance's advertised host:port (required with -peers/-peers-file)")
+	peers := flag.String("peers", "", "fleet: comma-separated peer host:port list")
+	peersFile := flag.String("peers-file", "", "fleet: file with one peer host:port per line (# comments); reloaded on SIGHUP")
+	fleetReplicas := flag.Int("fleet-replicas", 0, "fleet: ring replicas tried after the owner (0 = 2)")
+	probeInterval := flag.Duration("probe-interval", 0, "fleet: peer readiness-probe cadence (0 = 1s, negative = no probing)")
+	probeRise := flag.Int("probe-rise", 0, "fleet: consecutive probe successes to re-admit a peer (0 = 2)")
+	probeFall := flag.Int("probe-fall", 0, "fleet: consecutive failures to eject a peer (0 = 2)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fleet: hedge a slow forward to the next replica after this delay (0 = disabled)")
+	forwardAttempts := flag.Int("forward-attempts", 0, "fleet: max peer attempts per request, hedges included (0 = 3)")
+	forwardTimeout := flag.Duration("forward-timeout", 0, "fleet: per-attempt forward timeout (0 = 1s)")
+	forwardBudget := flag.Duration("forward-budget", 0, "fleet: total forwarding time budget per request (0 = 2.5s, negative = none)")
+	maxHops := flag.Int("max-hops", 0, "fleet: forwarding-depth cap before computing locally (0 = 3)")
 	flag.Parse()
 
 	// Fail fast on nonsense values with a usage error rather than letting a
@@ -111,12 +143,51 @@ func main() {
 	if (*faultOp == "") != (*faultEvery == 0) {
 		usageErr("-fault-op and -fault-every must be set together")
 	}
+	fleetWanted := *peers != "" || *peersFile != ""
+	if *peers != "" && *peersFile != "" {
+		usageErr("-peers and -peers-file are mutually exclusive")
+	}
+	if fleetWanted && *self == "" {
+		usageErr("-self is required with -peers/-peers-file (the address peers use for this instance)")
+	}
+	if !fleetWanted && *self != "" {
+		usageErr("-self is only meaningful with -peers/-peers-file")
+	}
+	if *fleetReplicas < 0 || *forwardAttempts < 0 || *maxHops < 0 || *probeRise < 0 || *probeFall < 0 {
+		usageErr("fleet counts must be non-negative")
+	}
+	if *hedgeAfter < 0 || *forwardTimeout < 0 {
+		usageErr("-hedge-after and -forward-timeout must be non-negative, got %s and %s", *hedgeAfter, *forwardTimeout)
+	}
 
 	logger := log.New(os.Stderr, "rlcd ", log.LstdFlags|log.Lmicroseconds)
 	var injector *diag.Injector
 	if *faultOp != "" {
 		injector = diag.FaultEvery(*faultOp, *faultEvery, diag.ErrNonConvergence)
 		logger.Printf("CHAOS: faulting every %d hit(s) of %q", *faultEvery, *faultOp)
+	}
+	var fleetCfg *fleet.Config
+	if fleetWanted {
+		fleetCfg = &fleet.Config{
+			Self:           *self,
+			PeersFile:      *peersFile,
+			Replicas:       *fleetReplicas,
+			ProbeInterval:  *probeInterval,
+			Rise:           *probeRise,
+			Fall:           *probeFall,
+			AttemptTimeout: *forwardTimeout,
+			MaxAttempts:    *forwardAttempts,
+			ForwardBudget:  *forwardBudget,
+			HedgeAfter:     *hedgeAfter,
+			MaxHops:        *maxHops,
+		}
+		if *peers != "" {
+			for _, p := range strings.Split(*peers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					fleetCfg.Peers = append(fleetCfg.Peers, p)
+				}
+			}
+		}
 	}
 	cfg := serve.Config{
 		MaxInflight:      *inflight,
@@ -131,6 +202,7 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		DisableDegraded:  *noDegraded,
+		Fleet:            fleetCfg,
 		Injector:         injector,
 		Logger:           logger,
 	}
@@ -141,6 +213,23 @@ func main() {
 		eff.CacheEntries, eff.CacheBytes, eff.MaxSweepPoints,
 		eff.SnapshotPath, eff.SnapshotInterval,
 		eff.BreakerThreshold, eff.BreakerCooldown, !eff.DisableDegraded)
+	if fl := srv.Fleet(); fl != nil {
+		logger.Printf("fleet: self=%s replicas=%d max-hops=%d hedge-after=%s peers-file=%q",
+			fl.Self(), *fleetReplicas, fl.MaxHops(), *hedgeAfter, *peersFile)
+		// SIGHUP re-reads -peers-file; with a static -peers list it logs and
+		// keeps the current membership.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if *peersFile == "" {
+					logger.Printf("fleet: SIGHUP ignored (no -peers-file)")
+					continue
+				}
+				_ = fl.ReloadPeers()
+			}
+		}()
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -158,6 +247,9 @@ func main() {
 		logger.Printf("server error: %v", err)
 		os.Exit(1)
 	case s := <-sig:
+		// Flip readiness first: fleet probes and load balancers see the
+		// instance leave rotation while in-flight requests finish draining.
+		srv.BeginDrain()
 		logger.Printf("signal %v: draining (budget %s; second signal forces stop)", s, *drain)
 	}
 

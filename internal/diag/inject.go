@@ -6,7 +6,10 @@ import "sync/atomic"
 // Injector before the guarded operation runs. Op names the operation and —
 // where a solver runs the same operation under different ladder rungs —
 // carries the rung context (e.g. "spice.newton/dc-gmin" vs
-// "spice.newton/tran-tr").
+// "spice.newton/tran-tr"). Sites are not limited to solvers: the fleet
+// forwarding client guards each peer attempt as "fleet.transport" (Step =
+// attempt index, Iteration = hop count), so chaos harnesses can sever the
+// network between fleet members without touching real sockets.
 type Site struct {
 	Op        string
 	Time      float64 // simulation time, s (0 when inapplicable)

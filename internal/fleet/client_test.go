@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+func addrOf(ts *httptest.Server) string { return strings.TrimPrefix(ts.URL, "http://") }
+
+// newTestFleet builds a probe-less fleet (peers permanently up) with fast
+// backoff, suitable for exercising the forwarding client directly.
+func newTestFleet(t *testing.T, mutate func(*Config)) *Fleet {
+	t.Helper()
+	cfg := Config{
+		Self:           "self.test:1",
+		ProbeInterval:  -1, // no prober; candidate lists come from the caller
+		AttemptTimeout: 2 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+		ForwardBudget:  10 * time.Second,
+		Logger:         log.New(io.Discard, "", 0),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestForwardRetriesNextReplica(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(HopsHeader); got != "1" {
+			t.Errorf("forwarded request hops header = %q, want 1", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer good.Close()
+
+	f := newTestFleet(t, nil)
+	pr, err := f.Forward(context.Background(), []string{addrOf(bad), addrOf(good)}, "/v1/x", []byte(`{}`), 1)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if pr.Peer != addrOf(good) || pr.Status != http.StatusOK || string(pr.Body) != `{"ok":true}` {
+		t.Fatalf("Forward answered from %s status %d body %q", pr.Peer, pr.Status, pr.Body)
+	}
+	m := f.Metrics()
+	if m["attempts"] != 2 || m["retries"] != 1 || m["peer_5xx"] != 1 {
+		t.Errorf("metrics = %v, want 2 attempts / 1 retry / 1 peer_5xx", m)
+	}
+}
+
+func TestForward4xxIsAuthoritative(t *testing.T) {
+	var hits atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":{}}`, http.StatusUnprocessableEntity)
+	}))
+	defer peer.Close()
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("second candidate reached after an authoritative 4xx")
+	}))
+	defer other.Close()
+
+	f := newTestFleet(t, nil)
+	pr, err := f.Forward(context.Background(), []string{addrOf(peer), addrOf(other)}, "/v1/x", nil, 1)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if pr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 relayed", pr.Status)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("peer hit %d times, want exactly 1 (4xx must not retry)", hits.Load())
+	}
+}
+
+func TestForwardHedgeFirstResponseWins(t *testing.T) {
+	slowCancelled := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			close(slowCancelled) // the losing attempt was cancelled, not left running
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`fast`))
+	}))
+	defer fast.Close()
+
+	f := newTestFleet(t, func(c *Config) { c.HedgeAfter = 20 * time.Millisecond })
+	pr, err := f.Forward(context.Background(), []string{addrOf(slow), addrOf(fast)}, "/v1/x", nil, 1)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if !pr.Hedged || pr.Peer != addrOf(fast) {
+		t.Fatalf("answer hedged=%t from %s, want hedged answer from the fast peer", pr.Hedged, pr.Peer)
+	}
+	m := f.Metrics()
+	if m["hedges"] != 1 || m["hedge_wins"] != 1 {
+		t.Errorf("metrics = %v, want 1 hedge / 1 hedge_win", m)
+	}
+	select {
+	case <-slowCancelled:
+	case <-time.After(2 * time.Second):
+		t.Error("losing attempt was never cancelled")
+	}
+}
+
+func TestForwardHonorsRetryAfter(t *testing.T) {
+	shedding := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "full", http.StatusServiceUnavailable)
+	}
+	p1 := httptest.NewServer(http.HandlerFunc(shedding))
+	defer p1.Close()
+	p2 := httptest.NewServer(http.HandlerFunc(shedding))
+	defer p2.Close()
+
+	f := newTestFleet(t, func(c *Config) { c.BackoffMax = 10 * time.Millisecond })
+	start := time.Now()
+	_, err := f.Forward(context.Background(), []string{addrOf(p1), addrOf(p2)}, "/v1/x", nil, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Forward succeeded against two shedding peers")
+	}
+	m := f.Metrics()
+	if m["retry_after_honored"] < 1 {
+		t.Errorf("retry_after_honored = %d, want >= 1", m["retry_after_honored"])
+	}
+	// Retry-After of 1s is clamped to 4×BackoffMax = 40ms; the retry must
+	// have waited at least that long instead of hammering immediately.
+	if elapsed < 40*time.Millisecond {
+		t.Errorf("both attempts finished in %s, Retry-After was not honored", elapsed)
+	}
+}
+
+func TestForwardTransportFaultInjection(t *testing.T) {
+	var hits atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer peer.Close()
+
+	f := newTestFleet(t, func(c *Config) {
+		c.Injector = diag.FaultEvery("fleet.transport", 1, errors.New("injected wire fault"))
+	})
+	_, err := f.Forward(context.Background(), []string{addrOf(peer), addrOf(peer)}, "/v1/x", nil, 1)
+	if err == nil {
+		t.Fatal("Forward succeeded although every transport attempt faults")
+	}
+	if hits.Load() != 0 {
+		t.Errorf("peer reached %d times through a faulted transport", hits.Load())
+	}
+	if m := f.Metrics(); m["transport_errors"] < 2 {
+		t.Errorf("transport_errors = %d, want >= 2", m["transport_errors"])
+	}
+}
+
+// denyAllGate skips every peer, as an all-open breaker set would.
+type denyAllGate struct{ skips atomic.Int64 }
+
+func (g *denyAllGate) Allow(string) bool          { g.skips.Add(1); return false }
+func (g *denyAllGate) Result(string, bool, string) {}
+
+func TestForwardAllCandidatesGatedReturnsNoCandidates(t *testing.T) {
+	gate := &denyAllGate{}
+	f := newTestFleet(t, func(c *Config) { c.Gate = gate })
+	_, err := f.Forward(context.Background(), []string{"x:1", "y:2"}, "/v1/x", nil, 1)
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+	if f.Metrics()["breaker_skips"] != 2 {
+		t.Errorf("breaker_skips = %d, want 2", f.Metrics()["breaker_skips"])
+	}
+}
+
+func TestForwardEmptyCandidates(t *testing.T) {
+	f := newTestFleet(t, nil)
+	if _, err := f.Forward(context.Background(), nil, "/v1/x", nil, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestHopsFrom(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{{"", 0}, {"0", 0}, {"2", 2}, {"17", 17}, {"-1", 0}, {"junk", 0}, {"2x", 0}}
+	for _, c := range cases {
+		h := http.Header{}
+		if c.in != "" {
+			h.Set(HopsHeader, c.in)
+		}
+		if got := HopsFrom(h); got != c.want {
+			t.Errorf("HopsFrom(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

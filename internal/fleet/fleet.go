@@ -1,0 +1,458 @@
+// Package fleet makes a set of rlcd daemons act as one service: a
+// consistent-hash ring over peer instances routes each canonical cache key
+// to one owner shard, so identical design queries land on a warm process no
+// matter which instance the client hit.
+//
+// The package is built for partial failure, in layers:
+//
+//   - Health-checked membership: every peer is probed periodically
+//     (readiness, not liveness, so a replaying or draining instance is not
+//     routed to), with rise/fall hysteresis before a peer is ejected from or
+//     re-admitted to the candidate sets. Ring ownership is computed from the
+//     configured membership, not from health — a down owner's keys fail over
+//     to its replicas without remapping everyone else's keys.
+//   - A defensive peer client: per-attempt timeouts, capped exponential
+//     backoff with jitter between retries, Retry-After honored when a peer
+//     sheds load, bounded attempts walking the key's replica list, and
+//     optional tail-latency hedging (a second request to the next replica
+//     after HedgeAfter; first answer wins, the loser is cancelled).
+//   - Loop containment: every forwarded request carries an X-Fleet-Hops
+//     header; the serving layer stops forwarding at MaxHops and computes
+//     locally, so topology skew during membership changes can never orbit a
+//     request around the ring.
+//
+// The fleet never fails a request on its own: when the owner and every
+// replica are down, unreachable, or breaker-ejected, Forward returns an
+// error and the caller computes locally (and may still answer with a
+// degraded estimate) — fleet topology is an optimization, never a new way
+// to fail hard.
+package fleet
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlcint/internal/diag"
+)
+
+// HopsHeader carries the forwarding depth of a fleet-internal request. A
+// request from an outside client has no header (0 hops); each forward
+// increments it, and the serving layer refuses to forward at MaxHops.
+const HopsHeader = "X-Fleet-Hops"
+
+// HopsFrom parses the forwarding depth from a request's headers (absent or
+// malformed → 0).
+func HopsFrom(h http.Header) int {
+	v := h.Get(HopsHeader)
+	if v == "" {
+		return 0
+	}
+	n := 0
+	for _, c := range v {
+		if c < '0' || c > '9' || n > 1<<20 {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// PeerGate lets the serving layer veto and observe peer attempts — in rlcd
+// it adapts the per-region circuit-breaker set, so a flapping peer opens a
+// peer-breaker and drops out of the candidate sets until its cooldown.
+// Allow is consulted immediately before an attempt; Result is reported for
+// every attempt that Allow admitted (ok, or !ok with the failure cause —
+// "cancelled" marks an attempt abandoned because another attempt already
+// won, which must not count against the peer).
+type PeerGate interface {
+	Allow(addr string) bool
+	Result(addr string, ok bool, cause string)
+}
+
+// Config describes one instance's view of the fleet. The zero value of any
+// field selects the default noted on it.
+type Config struct {
+	// Self is this instance's advertised host:port — the spelling its peers
+	// use for it. Required; ring ownership is only consistent when every
+	// member lists every address identically.
+	Self string
+	// Peers are the other members' host:port addresses. Self is filtered
+	// out, so the full membership list can be deployed identically to every
+	// instance.
+	Peers []string
+	// PeersFile, when non-empty, names a file with one peer address per line
+	// ('#' comments and blank lines ignored). Loaded at New and reloaded by
+	// ReloadPeers (rlcd wires that to SIGHUP). Mutually exclusive with Peers.
+	PeersFile string
+	// Replicas is how many ring successors after the owner are tried when
+	// forwarding (0 → 2).
+	Replicas int
+	// VNodes is the virtual-point count per member (0 → 64).
+	VNodes int
+	// ProbeInterval is the health-probe cadence (0 → 1s; <0 disables
+	// probing entirely and treats every peer as permanently up — for tests
+	// and benchmarks, not production).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one readiness probe (0 → 500ms).
+	ProbeTimeout time.Duration
+	// Rise is the consecutive successful probes required to (re-)admit a
+	// peer; Fall the consecutive failures required to eject one (0 → 2 each).
+	Rise, Fall int
+	// AttemptTimeout bounds one forwarded request attempt (0 → 1s).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds peer attempts per request across the candidate
+	// list, hedges included (0 → 3).
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the capped exponential backoff between
+	// retry attempts (0 → 25ms / 500ms). A peer's Retry-After is honored up
+	// to 4×BackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ForwardBudget bounds one request's total time in the fleet client,
+	// attempts and backoffs included; exhausting it falls back to local
+	// compute (0 → 2.5s; <0 → no budget beyond the request's own deadline).
+	ForwardBudget time.Duration
+	// HedgeAfter, when positive, launches a hedge request to the next
+	// candidate if the current attempt has not answered within it. First
+	// response wins; the loser is cancelled.
+	HedgeAfter time.Duration
+	// MaxHops caps forwarding depth; at the cap an instance computes locally
+	// instead of forwarding (0 → 3).
+	MaxHops int
+	// Transport overrides the peer HTTP transport (nil → a pooled default).
+	Transport http.RoundTripper
+	// Gate, when non-nil, is consulted before and after every peer attempt
+	// (see PeerGate).
+	Gate PeerGate
+	// Injector injects transport faults at Site{Op: "fleet.transport"} for
+	// chaos testing (Step = attempt index, Iteration = hop count). Nil in
+	// production.
+	Injector *diag.Injector
+	// Logger receives membership and health transitions (nil → stderr).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.Rise <= 0 {
+		c.Rise = 2
+	}
+	if c.Fall <= 0 {
+		c.Fall = 2
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.ForwardBudget == 0 {
+		c.ForwardBudget = 2500 * time.Millisecond
+	} else if c.ForwardBudget < 0 {
+		c.ForwardBudget = 0
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 3
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	return c
+}
+
+// peerState is one peer's health-tracking record, guarded by Fleet.mu.
+type peerState struct {
+	up         bool
+	consecOK   int
+	consecFail int
+	lastErr    string
+	changed    time.Time
+}
+
+// counters are the fleet's flat metrics, merged into /metrics by the
+// serving layer.
+type counters struct {
+	attempts, retries, hedges, hedgeWins   atomic.Int64
+	transportErrors, peer5xx, breakerSkips atomic.Int64
+	retryAfterHonored                      atomic.Int64
+	probes, probeFailures                  atomic.Int64
+	ejected, readmitted                    atomic.Int64
+}
+
+// Fleet is one instance's live view of the peer ring: membership, health,
+// and the forwarding client. Create with New, stop with Close.
+type Fleet struct {
+	cfg    Config
+	log    *log.Logger
+	client *http.Client
+
+	mu    sync.Mutex
+	ring  *ring
+	peers map[string]*peerState // keyed by address, Self excluded
+
+	c    counters
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// New builds a Fleet from cfg and starts its health-probe loop (unless
+// probing is disabled). cfg.Self must be non-empty; peers come from
+// cfg.Peers or cfg.PeersFile.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("fleet: Self must be set")
+	}
+	if len(cfg.Peers) > 0 && cfg.PeersFile != "" {
+		return nil, fmt.Errorf("fleet: Peers and PeersFile are mutually exclusive")
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+			DialContext: (&net.Dialer{
+				Timeout:   cfg.AttemptTimeout,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+		}
+	}
+	f := &Fleet{
+		cfg: cfg,
+		log: cfg.Logger,
+		// No Client.Timeout: per-attempt contexts own all deadlines.
+		client: &http.Client{Transport: tr},
+		peers:  make(map[string]*peerState),
+		stop:   make(chan struct{}),
+	}
+	peers := cfg.Peers
+	if cfg.PeersFile != "" {
+		var err error
+		peers, err = readPeersFile(cfg.PeersFile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.SetPeers(peers)
+	if cfg.ProbeInterval > 0 {
+		f.wg.Add(1)
+		go f.probeLoop()
+	}
+	return f, nil
+}
+
+// Close stops the probe loop. Nil-safe, so the serving layer can call it
+// unconditionally.
+func (f *Fleet) Close() {
+	if f == nil {
+		return
+	}
+	f.once.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// MaxHops returns the configured forwarding-depth cap.
+func (f *Fleet) MaxHops() int { return f.cfg.MaxHops }
+
+// Self returns this instance's advertised address.
+func (f *Fleet) Self() string { return f.cfg.Self }
+
+// SetPeers replaces the fleet membership (Self is filtered out and the ring
+// always includes Self). Health state carries over for retained peers; new
+// peers start down until the prober admits them — or up when probing is
+// disabled. Safe for concurrent use with Route/Forward.
+func (f *Fleet) SetPeers(peers []string) {
+	members := make([]string, 0, len(peers)+1)
+	members = append(members, f.cfg.Self)
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p != "" && p != f.cfg.Self {
+			members = append(members, p)
+		}
+	}
+	r := buildRing(members, f.cfg.VNodes)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring = r
+	next := make(map[string]*peerState, len(r.nodes))
+	for _, n := range r.nodes {
+		if n == f.cfg.Self {
+			continue
+		}
+		if st, ok := f.peers[n]; ok {
+			next[n] = st
+			continue
+		}
+		next[n] = &peerState{up: f.cfg.ProbeInterval < 0, changed: time.Now()}
+	}
+	f.peers = next
+}
+
+// ReloadPeers re-reads PeersFile and applies the new membership — the
+// SIGHUP path. A read error keeps the current membership.
+func (f *Fleet) ReloadPeers() error {
+	if f.cfg.PeersFile == "" {
+		return fmt.Errorf("fleet: no peers file configured")
+	}
+	peers, err := readPeersFile(f.cfg.PeersFile)
+	if err != nil {
+		f.log.Printf("fleet: peers reload failed, keeping current membership: %v", err)
+		return err
+	}
+	f.SetPeers(peers)
+	f.log.Printf("fleet: peers reloaded from %s: %v", f.cfg.PeersFile, peers)
+	return nil
+}
+
+func readPeersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: peers file: %w", err)
+	}
+	var peers []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			peers = append(peers, line)
+		}
+	}
+	return peers, nil
+}
+
+// Owner returns key's home shard address (possibly Self).
+func (f *Fleet) Owner(key string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.owner(key)
+}
+
+// Route returns the peers to forward key to, in failover order (owner
+// first, then ring replicas), filtered to peers currently up. nil means
+// serve locally: this instance owns the key, or no routable peer exists.
+// Breaker gating happens per attempt inside Forward, not here, so a granted
+// half-open probe slot is always followed by the attempt that resolves it.
+func (f *Fleet) Route(key string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cands := f.ring.candidates(key, 1+f.cfg.Replicas)
+	if len(cands) == 0 || cands[0] == f.cfg.Self {
+		return nil
+	}
+	out := make([]string, 0, len(cands))
+	for _, a := range cands {
+		if a == f.cfg.Self {
+			continue
+		}
+		if st := f.peers[a]; st != nil && st.up {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// PeerStatus is one peer's externally visible health, for /statusz.
+type PeerStatus struct {
+	Addr         string  `json:"addr"`
+	Up           bool    `json:"up"`
+	ConsecOK     int     `json:"consec_ok"`
+	ConsecFail   int     `json:"consec_fail"`
+	LastError    string  `json:"last_error,omitempty"`
+	SinceChangeS float64 `json:"since_change_s"`
+}
+
+// Status snapshots the fleet view for /statusz: membership, per-peer
+// health (down peers first), and the routing configuration.
+type Status struct {
+	Self       string       `json:"self"`
+	Members    int          `json:"members"`
+	Replicas   int          `json:"replicas"`
+	MaxHops    int          `json:"max_hops"`
+	HedgeAfter string       `json:"hedge_after"`
+	Peers      []PeerStatus `json:"peers"`
+}
+
+func (f *Fleet) Status() Status {
+	if f == nil {
+		return Status{}
+	}
+	f.mu.Lock()
+	st := Status{
+		Self:       f.cfg.Self,
+		Members:    len(f.ring.nodes),
+		Replicas:   f.cfg.Replicas,
+		MaxHops:    f.cfg.MaxHops,
+		HedgeAfter: f.cfg.HedgeAfter.String(),
+		Peers:      make([]PeerStatus, 0, len(f.peers)),
+	}
+	for addr, p := range f.peers {
+		st.Peers = append(st.Peers, PeerStatus{
+			Addr:         addr,
+			Up:           p.up,
+			ConsecOK:     p.consecOK,
+			ConsecFail:   p.consecFail,
+			LastError:    p.lastErr,
+			SinceChangeS: time.Since(p.changed).Seconds(),
+		})
+	}
+	f.mu.Unlock()
+	sort.Slice(st.Peers, func(i, j int) bool {
+		if st.Peers[i].Up != st.Peers[j].Up {
+			return !st.Peers[i].Up // down peers first: they are what an operator looks for
+		}
+		return st.Peers[i].Addr < st.Peers[j].Addr
+	})
+	return st
+}
+
+// Metrics returns the fleet's flat counters for the /metrics surface.
+func (f *Fleet) Metrics() map[string]int64 {
+	if f == nil {
+		return nil
+	}
+	return map[string]int64{
+		"attempts":            f.c.attempts.Load(),
+		"retries":             f.c.retries.Load(),
+		"hedges":              f.c.hedges.Load(),
+		"hedge_wins":          f.c.hedgeWins.Load(),
+		"transport_errors":    f.c.transportErrors.Load(),
+		"peer_5xx":            f.c.peer5xx.Load(),
+		"breaker_skips":       f.c.breakerSkips.Load(),
+		"retry_after_honored": f.c.retryAfterHonored.Load(),
+		"probes":              f.c.probes.Load(),
+		"probe_failures":      f.c.probeFailures.Load(),
+		"ejected":             f.c.ejected.Load(),
+		"readmitted":          f.c.readmitted.Load(),
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"expvar"
 	"math"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -38,8 +39,9 @@ type breaker struct {
 	probeGen   uint64    // token of the probe currently holding the slot
 	probeStart time.Time // when that probe was granted, for the deadline backstop
 	changed    time.Time
-	opens      int64 // cumulative open transitions
-	shorted    int64 // requests short-circuited while open / probing
+	cooldownAt time.Time // when the open state may half-open (jittered cooldown)
+	opens      int64     // cumulative open transitions
+	shorted    int64     // requests short-circuited while open / probing
 	lastFail   string
 }
 
@@ -64,6 +66,12 @@ type breakerSet struct {
 	cooldown  time.Duration
 	trans     *expvar.Map // open / half-open / close / short-circuit counters
 
+	// Test hooks: nil → time.Now / rand.Float64. The fake clock and seeded
+	// jitter let the thundering-herd regression test prove that regions
+	// opened in lockstep do not half-open in lockstep.
+	now  func() time.Time
+	frac func() float64
+
 	mu sync.Mutex
 	m  map[string]*breaker
 }
@@ -78,6 +86,25 @@ func newBreakerSet(threshold int, cooldown time.Duration, trans *expvar.Map) *br
 		trans:     trans,
 		m:         make(map[string]*breaker),
 	}
+}
+
+func (b *breakerSet) nowt() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// jitteredCooldown spreads the open→half-open delay over [1.0, 1.2]× the
+// configured cooldown, per open transition. A fleet of instances (or one
+// instance's regions) that all tripped at the same instant then probe
+// staggered instead of re-hammering a struggling backend in lockstep.
+func (b *breakerSet) jitteredCooldown() time.Duration {
+	f := rand.Float64
+	if b.frac != nil {
+		f = b.frac
+	}
+	return time.Duration(float64(b.cooldown) * (1 + 0.2*f()))
 }
 
 // regionOf quantizes a request onto its breaker region. Inductance is
@@ -114,30 +141,31 @@ func (b *breakerSet) allow(region string) (ok bool, probe uint64) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	now := b.nowt()
 	br := b.m[region]
 	if br == nil {
 		if len(b.m) >= maxBreakerRegions {
 			return true, 0 // full: run untracked rather than grow without bound
 		}
-		b.m[region] = &breaker{changed: time.Now()}
+		b.m[region] = &breaker{changed: now}
 		return true, 0
 	}
 	switch br.state {
 	case breakerClosed:
 		return true, 0
 	case breakerOpen:
-		if time.Since(br.changed) < b.cooldown {
+		if now.Before(br.cooldownAt) {
 			br.shorted++
 			b.trans.Add("short-circuit", 1)
 			return false, 0
 		}
 		br.state = breakerHalfOpen
-		br.changed = time.Now()
+		br.changed = now
 		b.trans.Add("half-open", 1)
-		return true, br.grantProbe()
+		return true, br.grantProbe(now)
 	default: // half-open
 		if br.probing {
-			if time.Since(br.probeStart) < b.cooldown {
+			if now.Sub(br.probeStart) < b.cooldown {
 				br.shorted++
 				b.trans.Add("short-circuit", 1)
 				return false, 0
@@ -146,17 +174,49 @@ func (b *breakerSet) allow(region string) (ok bool, probe uint64) {
 			// reclaim the slot so the region cannot wedge in degraded mode.
 			b.trans.Add("probe-reclaim", 1)
 		}
-		return true, br.grantProbe()
+		return true, br.grantProbe(now)
 	}
 }
 
 // grantProbe hands the half-open probe slot to the caller under a fresh
 // token. Caller holds the set's mutex.
-func (br *breaker) grantProbe() uint64 {
+func (br *breaker) grantProbe(now time.Time) uint64 {
 	br.probing = true
 	br.probeGen++
-	br.probeStart = time.Now()
+	br.probeStart = now
 	return br.probeGen
+}
+
+// retryAfter estimates when a short-circuited region will next admit a
+// request: the remaining (jittered) cooldown of an open breaker, or the
+// probe backstop window while a half-open probe is out. Zero when the
+// region is closed, untracked, or breakers are disabled.
+func (b *breakerSet) retryAfter(region string) time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[region]
+	if br == nil {
+		return 0
+	}
+	now := b.nowt()
+	switch br.state {
+	case breakerOpen:
+		if d := br.cooldownAt.Sub(now); d > 0 {
+			return d
+		}
+		return time.Second // cooldown elapsed: the next caller probes
+	case breakerHalfOpen:
+		if br.probing {
+			if d := br.probeStart.Add(b.cooldown).Sub(now); d > 0 {
+				return d
+			}
+		}
+		return time.Second
+	}
+	return 0
 }
 
 // probeAbort releases a probe slot whose computation never reached
@@ -192,6 +252,7 @@ func (b *breakerSet) onResult(region string, ok, eligible bool, cause string) {
 	if br == nil {
 		return
 	}
+	now := b.nowt()
 	switch br.state {
 	case breakerClosed:
 		if ok {
@@ -201,7 +262,8 @@ func (b *breakerSet) onResult(region string, ok, eligible bool, cause string) {
 			br.lastFail = cause
 			if br.fails >= b.threshold {
 				br.state = breakerOpen
-				br.changed = time.Now()
+				br.changed = now
+				br.cooldownAt = now.Add(b.jitteredCooldown())
 				br.opens++
 				b.trans.Add("open", 1)
 			}
@@ -212,12 +274,13 @@ func (b *breakerSet) onResult(region string, ok, eligible bool, cause string) {
 			br.state = breakerClosed
 			br.fails = 0
 			br.probing = false
-			br.changed = time.Now()
+			br.changed = now
 			b.trans.Add("close", 1)
 		case eligible:
 			br.state = breakerOpen
 			br.probing = false
-			br.changed = time.Now()
+			br.changed = now
+			br.cooldownAt = now.Add(b.jitteredCooldown())
 			br.opens++
 			br.lastFail = cause
 			b.trans.Add("open", 1)
@@ -249,6 +312,7 @@ func (b *breakerSet) statuses() []breakerStatus {
 		return nil
 	}
 	b.mu.Lock()
+	now := b.nowt()
 	out := make([]breakerStatus, 0, len(b.m))
 	for region, br := range b.m {
 		out = append(out, breakerStatus{
@@ -257,7 +321,7 @@ func (b *breakerSet) statuses() []breakerStatus {
 			Failures:      br.fails,
 			Opens:         br.opens,
 			ShortCircuits: br.shorted,
-			SinceChangeS:  time.Since(br.changed).Seconds(),
+			SinceChangeS:  now.Sub(br.changed).Seconds(),
 			LastFailure:   br.lastFail,
 		})
 	}

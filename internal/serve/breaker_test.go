@@ -85,7 +85,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	// Expire the cooldown by hand (same package) — the next allow is the
 	// half-open probe, and only one probe may be in flight.
 	b.mu.Lock()
-	b.m[r].changed = time.Now().Add(-2 * time.Hour)
+	b.m[r].cooldownAt = time.Now().Add(-2 * time.Hour)
 	b.mu.Unlock()
 	if !allowed(b, r) {
 		t.Fatal("cooled breaker denied the probe")
@@ -105,7 +105,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 	// Cool again; a successful probe closes.
 	b.mu.Lock()
-	b.m[r].changed = time.Now().Add(-2 * time.Hour)
+	b.m[r].cooldownAt = time.Now().Add(-2 * time.Hour)
 	b.mu.Unlock()
 	if !allowed(b, r) {
 		t.Fatal("cooled breaker denied the probe")
@@ -257,7 +257,7 @@ func TestBreakerProbeAbortAndReclaim(t *testing.T) {
 	b.allow(r)
 	b.onResult(r, false, true, "non-convergence") // threshold 1: open
 	b.mu.Lock()
-	b.m[r].changed = time.Now().Add(-2 * cooldown)
+	b.m[r].cooldownAt = time.Now().Add(-2 * cooldown)
 	b.mu.Unlock()
 
 	ok, p1 := b.allow(r)
@@ -395,5 +395,40 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBreakerCooldownJitterBreaksLockstep is the thundering-herd regression
+// test: two regions tripped at the same instant must not half-open at the
+// same instant. The fake clock and seeded jitter fractions make the
+// staggering deterministic — with an unjittered cooldown both probes would
+// be granted at t = cooldown and this test fails.
+func TestBreakerCooldownJitterBreaksLockstep(t *testing.T) {
+	const cooldown = time.Second
+	b := newTestBreakers(1, cooldown)
+	base := time.Unix(1_000_000, 0)
+	now := base
+	b.now = func() time.Time { return now }
+	fracs := []float64{0.0, 0.95} // region A: +1.00s, region B: +1.19s
+	i := 0
+	b.frac = func() float64 { f := fracs[i%len(fracs)]; i++; return f }
+
+	for _, r := range []string{"opt|t|l^a", "opt|t|l^b"} {
+		b.allow(r)
+		b.onResult(r, false, true, "deadline")
+	}
+	// Just past the un-jittered cooldown: the low-jitter region probes, the
+	// high-jitter one is still short-circuited — they left lockstep.
+	now = base.Add(cooldown + 100*time.Millisecond)
+	if !allowed(b, "opt|t|l^a") {
+		t.Error("low-jitter region still denied past its cooldown")
+	}
+	if allowed(b, "opt|t|l^b") {
+		t.Error("high-jitter region probed at the base cooldown: still in lockstep")
+	}
+	// And past the max jitter both are serviceable.
+	now = base.Add(time.Duration(1.2*float64(cooldown)) + 100*time.Millisecond)
+	if !allowed(b, "opt|t|l^b") {
+		t.Error("high-jitter region denied past the maximum jittered cooldown")
 	}
 }

@@ -66,6 +66,12 @@ type resilient struct {
 	noDegraded bool // request opted out via no_degraded
 	compute    func(ctx context.Context) (any, error)
 	estimate   func() (any, error)
+
+	// fwdPath/fwdReq describe the request for fleet forwarding: the endpoint
+	// path and the decoded (canonicalized) request to re-marshal for the
+	// owner shard. Empty fwdPath → never forwarded (sweeps stream locally).
+	fwdPath string
+	fwdReq  any
 }
 
 // serveResilient is the resilient unary pipeline: cache lookup → breaker
@@ -82,6 +88,12 @@ func (s *Server) serveResilient(w http.ResponseWriter, r *http.Request, spec res
 	if e, ok := s.cacheGet(spec.key); ok {
 		s.metrics.xcache.Add("hit", 1)
 		writeCachedBody(w, e, "hit")
+		return
+	}
+	// A local miss in fleet mode first tries the key's ring owner, whose
+	// cache is warm for this key no matter which instance the client hit.
+	// Any forwarding failure falls through to the local pipeline below.
+	if s.tryForward(w, r, &spec) {
 		return
 	}
 	var probe uint64
@@ -164,7 +176,7 @@ func (s *Server) serveResilient(w http.ResponseWriter, r *http.Request, spec res
 // they are never cached, so a later healthy solve can still fill the cache
 // with the exact answer.
 func (s *Server) degradeOrError(w http.ResponseWriter, cause error, rep *diag.Report, spec resilient) {
-	ae := mapError(cause)
+	ae := s.mapErrorWithRetry(cause, spec.region)
 	if spec.estimate != nil && !spec.noDegraded && !s.cfg.DisableDegraded && degradable(cause) {
 		if est, eerr := spec.estimate(); eerr == nil {
 			s.metrics.degraded.Add(ae.Kind, 1)

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"rlcint/internal/diag"
 )
@@ -21,6 +23,11 @@ type apiError struct {
 	Kind    string          `json:"kind"`
 	Message string          `json:"message"`
 	Report  []reportAttempt `json:"report,omitempty"`
+
+	// RetryAfter, when positive, emits a Retry-After header (whole seconds,
+	// rounded up) telling clients — and fleet peers, whose backoff honors it
+	// — when this 503 is worth retrying. Unexported from the JSON body.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // reportAttempt is one serialized recovery-ladder rung of a diag.Report,
@@ -108,6 +115,40 @@ func mapError(err error) apiError {
 	}
 }
 
+// mapErrorWithRetry maps err like mapError and, for the load-shedding 503s,
+// attaches a Retry-After hint derived from live server state: queue-full
+// scales with how oversubscribed the solve slots are, breaker-open reports
+// the region's remaining cooldown.
+func (s *Server) mapErrorWithRetry(err error, region string) apiError {
+	ae := mapError(err)
+	switch ae.Kind {
+	case "queue-full":
+		ae.RetryAfter = s.queueRetryAfter()
+	case "breaker-open":
+		if d := s.breakers.retryAfter(region); d > 0 {
+			ae.RetryAfter = d
+		} else {
+			ae.RetryAfter = time.Second
+		}
+	}
+	return ae
+}
+
+// queueRetryAfter estimates when admission control will next have room: one
+// second per full queue-depth's worth of waiters per slot, clamped to
+// [1s, 30s].
+func (s *Server) queueRetryAfter() time.Duration {
+	capacity := s.limiter.capacity()
+	if capacity <= 0 {
+		capacity = 1
+	}
+	d := time.Duration(1+int(s.limiter.depth())/capacity) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
 func reportOf(rep *diag.Report) []reportAttempt {
 	if rep == nil || len(rep.Attempts) == 0 {
 		return nil
@@ -131,6 +172,10 @@ func reportOf(rep *diag.Report) []reportAttempt {
 // writeError renders the mapped failure as the standard JSON error envelope.
 func writeError(w http.ResponseWriter, ae apiError) {
 	w.Header().Set("Content-Type", "application/json")
+	if ae.RetryAfter > 0 {
+		secs := int((ae.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	w.WriteHeader(ae.Status)
 	_ = json.NewEncoder(w).Encode(struct {
 		Error apiError `json:"error"`

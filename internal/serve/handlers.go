@@ -77,7 +77,9 @@ func writeCachedBody(w http.ResponseWriter, e *cached, src string) {
 // serveCached is the plain unary-endpoint pipeline — cache lookup →
 // singleflight coalescing → admission control → compute → marshal → cache
 // fill — for endpoints with no breaker region and no degraded mode. It is
-// serveResilient with the resilience features switched off.
+// serveResilient with the resilience features switched off. These endpoints
+// are closed-form (microseconds), so they are never fleet-forwarded: a hop
+// would cost more than the compute.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	timeout time.Duration, compute func(ctx context.Context) (any, error)) {
 	s.serveResilient(w, r, resilient{key: key, timeout: timeout, compute: compute})
@@ -114,6 +116,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		region:     regionOf("optimize", q.Tech, q.L),
 		timeout:    s.timeoutFor(q.TimeoutMS),
 		noDegraded: q.NoDegraded,
+		fwdPath:    "/v1/optimize",
+		fwdReq:     &q,
 		compute: func(ctx context.Context) (any, error) {
 			rep := &diag.Report{}
 			p := problemOf(node, q.L, q.F)
@@ -151,6 +155,8 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 		region:     regionOf("delay", q.Tech, q.L),
 		timeout:    s.timeoutFor(q.TimeoutMS),
 		noDegraded: q.NoDegraded,
+		fwdPath:    "/v1/delay",
+		fwdReq:     &q,
 		compute: func(ctx context.Context) (any, error) {
 			m, err := pade.FromStage(stageOf(node, q.L, q.H, q.K))
 			if err != nil {
@@ -194,6 +200,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		region:     regionOf("plan", q.Tech, q.L),
 		timeout:    s.timeoutFor(q.TimeoutMS),
 		noDegraded: q.NoDegraded,
+		fwdPath:    "/v1/plan",
+		fwdReq:     &q,
 		compute: func(ctx context.Context) (any, error) {
 			rep := &diag.Report{}
 			p := problemOf(node, q.L, q.F)
@@ -361,7 +369,9 @@ type sweepPointLine struct {
 // contract. The grid is split into fixed chunks; each chunk runs on the
 // batched engine and is independently cached and coalesced, so concurrent
 // identical sweeps share work chunk by chunk and both stream as chunks
-// complete.
+// complete. Sweeps always run locally, even in fleet mode: a sweep's chunks
+// would shard across many owners, and relaying a partially failed stream
+// through another instance would blur the terminal-record contract.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var q sweepReq
 	if !s.decodeOrFail(w, r, &q, func() error { return q.validate(s.cfg.MaxSweepPoints) }) {
@@ -430,7 +440,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			if err != nil {
 				s.metrics.xcache.Add(src, 1)
-				ae := mapError(err)
+				ae := s.mapErrorWithRetry(err, "")
 				if !wrote {
 					writeError(w, ae)
 				} else {

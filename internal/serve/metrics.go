@@ -75,6 +75,7 @@ type metrics struct {
 	breaker  *expvar.Map // breaker transitions: open / half-open / close / short-circuit
 
 	snapshotOps *expvar.Map // snapshot lifecycle: save / save_error / load_ok / load_skipped
+	fleetOps    *expvar.Map // forwarding outcomes: forwarded / fallback-local / hop-capped / hedge-answered
 
 	mu      sync.Mutex
 	latency map[string]*histogram // per endpoint
@@ -90,6 +91,7 @@ func newMetrics() *metrics {
 		degraded:    new(expvar.Map).Init(),
 		breaker:     new(expvar.Map).Init(),
 		snapshotOps: new(expvar.Map).Init(),
+		fleetOps:    new(expvar.Map).Init(),
 		latency:     make(map[string]*histogram),
 	}
 }
@@ -164,6 +166,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"degraded": expvarMapToGo(m.degraded),
 		"breaker":  expvarMapToGo(m.breaker),
 		"snapshot": expvarMapToGo(m.snapshotOps),
+	}
+	if s.fleet != nil {
+		fl := map[string]int64{"ready": 0}
+		if s.Ready() {
+			fl["ready"] = 1
+		}
+		for k, v := range expvarMapToGo(m.fleetOps) {
+			fl[k] = v
+		}
+		for k, v := range s.fleet.Metrics() {
+			fl[k] = v
+		}
+		snap["fleet"] = fl
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -57,9 +57,11 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/fleet"
 )
 
 // Config sizes the serving layers. The zero value of any field selects the
@@ -99,6 +101,10 @@ type Config struct {
 	// DisableDegraded turns off degraded-mode answers server-wide: solver
 	// failures surface as their mapped errors, as if no estimate existed.
 	DisableDegraded bool
+	// Fleet, when non-nil, enables fleet mode: cache-missed unary requests
+	// are forwarded to their key's ring owner (see internal/fleet). The
+	// fleet's Gate, Logger, and Injector default to this server's.
+	Fleet *fleet.Config
 	// Injector injects solver faults into every solve for chaos testing
 	// (nil in production).
 	Injector *diag.Injector
@@ -160,16 +166,26 @@ type Server struct {
 	limiter  *limiter
 	metrics  *metrics
 	breakers *breakerSet
+	fleet    *fleet.Fleet
 	snap     snapStats
 	snapWG   sync.WaitGroup
 	base     context.Context
 	abort    context.CancelFunc
+
+	// readyCh closes once the snapshot replay (if any) finishes; together
+	// with draining it backs /readyz, which fleet peers and load balancers
+	// probe. Liveness (/healthz) stays 200 through both phases.
+	readyCh  chan struct{}
+	draining atomic.Bool
 }
 
 // New builds a Server from cfg (zero value → all defaults). When
-// cfg.SnapshotPath is set the cache is warmed from the snapshot file (a
-// missing or corrupt snapshot is a cold start, never an error) and a
-// background goroutine persists it every SnapshotInterval until Close.
+// cfg.SnapshotPath is set the cache is warmed from the snapshot file in the
+// background (a missing or corrupt snapshot is a cold start, never an
+// error); /readyz answers 503 until the replay finishes, then a background
+// goroutine persists the cache every SnapshotInterval until Close. When
+// cfg.Fleet is set, the server joins the peer ring and forwards cache-missed
+// unary requests to their key's owner shard.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	base, abort := context.WithCancel(context.Background())
@@ -182,14 +198,43 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		base:    base,
 		abort:   abort,
+		readyCh: make(chan struct{}),
 	}
 	s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, s.metrics.breaker)
-	if cfg.SnapshotPath != "" {
-		s.loadCacheSnapshot()
-		if cfg.SnapshotInterval > 0 {
-			s.snapWG.Add(1)
-			go s.snapshotLoop(cfg.SnapshotInterval)
+	if cfg.Fleet != nil {
+		fc := *cfg.Fleet
+		if fc.Gate == nil {
+			fc.Gate = &peerGate{s: s}
 		}
+		if fc.Logger == nil {
+			fc.Logger = cfg.Logger
+		}
+		if fc.Injector == nil {
+			fc.Injector = cfg.Injector
+		}
+		fl, err := fleet.New(fc)
+		if err != nil {
+			// A misconfigured fleet must not keep the daemon from answering:
+			// run standalone. rlcd validates flags up front, so this is only
+			// reachable through the library API.
+			cfg.Logger.Printf("fleet: disabled: %v", err)
+		}
+		s.fleet = fl
+	}
+	if cfg.SnapshotPath != "" {
+		// The replay runs off the request path: a daemon with a large snapshot
+		// accepts liveness checks immediately and signals readiness when warm.
+		s.snapWG.Add(1)
+		go func() {
+			defer s.snapWG.Done()
+			s.loadCacheSnapshot()
+			close(s.readyCh)
+			if cfg.SnapshotInterval > 0 {
+				s.snapshotLoop(cfg.SnapshotInterval)
+			}
+		}()
+	} else {
+		close(s.readyCh)
 	}
 	s.routes()
 	return s
@@ -197,6 +242,7 @@ func New(cfg Config) *Server {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
@@ -265,6 +311,8 @@ func orDash(s string) string {
 // of) http.Server.Shutdown; it is what turns a stuck drain into a prompt
 // one — solvers observe the cancellation at their next runctl tick.
 func (s *Server) Close() {
+	s.BeginDrain()
+	s.fleet.Close()
 	s.abort()
 	s.flights.wait()
 	s.snapWG.Wait()
@@ -291,12 +339,69 @@ func (s *Server) timeoutFor(ms int64) time.Duration {
 	return d
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It stays
+// 200 while the snapshot replays and while draining — restarting a daemon
+// for being not-yet-ready or deliberately-shutting-down would be wrong.
+// Orchestrators gate traffic on /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"status":   "ok",
+		"ready":    s.Ready(),
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 	})
+}
+
+// handleReadyz is readiness: 200 only when the server should receive
+// traffic. 503 while the startup snapshot replay is still running and after
+// BeginDrain — fleet peers probe this, so a replaying or draining instance
+// drops out of the candidate sets instead of answering cold or dying
+// mid-request.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	select {
+	case <-s.readyCh:
+	default:
+		reason = "replaying snapshot"
+	}
+	if s.draining.Load() {
+		reason = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if reason != "" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+}
+
+// Ready reports whether /readyz would answer 200 right now.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.readyCh:
+		return !s.draining.Load()
+	default:
+		return false
+	}
+}
+
+// BeginDrain flips readiness to 503 without interrupting in-flight work —
+// the first step of a graceful shutdown, called by rlcd on the first
+// SIGINT/SIGTERM (and by Close). Load balancers and fleet probes see the
+// instance leave rotation while http.Server.Shutdown lets live requests
+// finish.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// WaitReady blocks until the startup snapshot replay finishes or ctx ends.
+// Tests and embedders use it to avoid racing cold reads against the replay.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.readyCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // statusRecorder captures the status and byte count for logs and metrics.

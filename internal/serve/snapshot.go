@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -190,9 +191,8 @@ func (st *snapStats) snapshot() map[string]any {
 // snapshot does not.
 func (s *Server) loadCacheSnapshot() {
 	note, restored := "none", 0
-	// Runs in New(), before any handler or the snapshot loop exists, but
-	// take snap.mu anyway so snapStats is uniformly lock-guarded instead of
-	// relying on that startup ordering.
+	// Runs on the loader goroutine, concurrently with early requests (which
+	// see a filling cache — correct, just colder); snap.mu guards the stats.
 	defer func() {
 		s.snap.mu.Lock()
 		s.snap.loadNote = note
@@ -252,19 +252,27 @@ func (s *Server) SaveSnapshot() error {
 	return nil
 }
 
-// snapshotLoop saves periodically until the server context ends. The final
-// on-drain save happens in Close, after in-flight solves finish, so the
-// last image includes everything the daemon computed.
+// snapshotLoop saves periodically until the server context ends, each wait
+// jittered ±10% so a fleet of daemons restarted together does not fsync its
+// snapshots in lockstep. The final on-drain save happens in Close, after
+// in-flight solves finish, so the last image includes everything the daemon
+// computed. Runs on the loader goroutine started by New, which owns the
+// snapWG slot.
 func (s *Server) snapshotLoop(interval time.Duration) {
-	defer s.snapWG.Done()
-	t := time.NewTicker(interval)
+	t := time.NewTimer(jitterDuration(interval))
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
 			_ = s.SaveSnapshot()
+			t.Reset(jitterDuration(interval))
 		case <-s.base.Done():
 			return
 		}
 	}
+}
+
+// jitterDuration spreads d uniformly over [0.9d, 1.1d].
+func jitterDuration(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.9 + 0.2*rand.Float64()))
 }

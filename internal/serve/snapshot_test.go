@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"hash/crc32"
 	"io"
@@ -96,6 +97,11 @@ func TestSnapshotWarmRestart(t *testing.T) {
 	b := New(cfg)
 	tsB := httptest.NewServer(b.Handler())
 	defer func() { tsB.Close(); b.Close() }()
+	// The snapshot replays off the request path; wait for readiness so the
+	// warm-hit assertion below cannot race the loader.
+	if err := b.WaitReady(context.Background()); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
 	resp2, body2 := postJSON(t, tsB.URL+"/v1/optimize", req)
 	if got := resp2.Header.Get("X-Cache"); got != "hit" {
 		t.Errorf("restarted daemon X-Cache = %q, want hit", got)

@@ -50,6 +50,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"queue_depth": s.limiter.depth(),
 			"queue_full":  s.limiter.rejects(),
 		},
+		"readiness": map[string]any{
+			"ready":    s.Ready(),
+			"draining": s.draining.Load(),
+		},
+	}
+	if s.fleet != nil {
+		snap["fleet"] = map[string]any{
+			"status":   s.fleet.Status(),
+			"forwards": expvarMapToGo(s.metrics.fleetOps),
+			"client":   s.fleet.Metrics(),
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -10,6 +10,8 @@
 #   SUFFIX=tag scripts/bench.sh          # write BENCH_<date>_tag.json instead
 #   scripts/bench.sh serve               # serving-path benchmarks only
 #       (cached vs cold HTTP round trips) -> BENCH_<date>_serve.json
+#   scripts/bench.sh fleet               # fleet-mode benchmarks only
+#       (local hit vs forwarded hit vs failover) -> BENCH_<date>_fleet.json
 #   scripts/bench.sh compare [new] [base]
 #       Diff two snapshots and exit nonzero on a >15% ns/op regression or
 #       ANY allocs/op increase for benchmarks present in both. new defaults
@@ -82,6 +84,12 @@ if [[ "${1:-}" == "serve" ]]; then
   pattern='BenchmarkServe'
   pkgs=(./internal/serve/)
   : "${SUFFIX:=serve}"
+elif [[ "${1:-}" == "fleet" ]]; then
+  # Fleet-mode snapshot: local shard hit vs one forwarding hop to the key's
+  # owner vs failover (dead owner -> local compute) -> BENCH_<date>_fleet.json
+  pattern='BenchmarkFleet'
+  pkgs=(./internal/serve/)
+  : "${SUFFIX:=fleet}"
 fi
 args=(test -run '^$' -bench "$pattern" -benchmem -timeout 60m "${pkgs[@]}")
 if [[ -n "$benchtime" ]]; then

@@ -27,9 +27,12 @@ port=18931
 base="http://127.0.0.1:$port"
 snap="$work/cache.snap"
 
+# Poll /readyz, not /healthz: liveness goes 200 while the snapshot replay
+# is still running, and the warm-restart phase below needs the replayed
+# cache before its first request.
 wait_healthy() {
 	n=0
-	until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+	until curl -fsS "$base/readyz" >/dev/null 2>&1; do
 		n=$((n + 1))
 		if [ $n -gt 100 ]; then
 			echo "chaos_smoke: FAIL: daemon never became healthy" >&2
