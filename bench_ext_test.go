@@ -30,7 +30,9 @@ func BenchmarkDelayRamp(b *testing.B) {
 	}
 }
 
-// BenchmarkCrosstalk measures one coupled-pair transient (reduced ladder).
+// BenchmarkCrosstalk measures one coupled-pair transient (reduced ladder),
+// amortizing circuit construction across iterations with a workspace the
+// way a sweep or Monte-Carlo driver would.
 func BenchmarkCrosstalk(b *testing.B) {
 	b.ReportAllocs()
 	cfg := XtalkConfig{
@@ -38,8 +40,9 @@ func BenchmarkCrosstalk(b *testing.B) {
 		H:        3 * MM,
 		Sections: 12,
 	}
+	var w XtalkWorkspace
 	for i := 0; i < b.N; i++ {
-		if _, err := RunCrosstalk(cfg); err != nil {
+		if _, err := w.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

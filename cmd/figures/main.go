@@ -48,6 +48,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel artifact/point evaluations (0 = all cores)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	warm := flag.Bool("warm", true, "warm-start continuation for the Figure 4-8 sweeps")
+	reduce := flag.Bool("reduce", true, "allow the Krylov reduced-order fast path for the transient figures")
+	noReduction := flag.Bool("no-reduction", false, "force the full transient solver (equivalent to -reduce=false)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -62,11 +64,12 @@ func main() {
 		fatal(err)
 	}
 	base := gen{
-		dir:    *outDir,
-		points: *points,
-		fast:   *fast,
-		ctx:    ctx,
-		sweep:  rlcint.SweepOptions{Workers: *workers, Warm: *warm},
+		dir:         *outDir,
+		points:      *points,
+		fast:        *fast,
+		noReduction: !*reduce || *noReduction,
+		ctx:         ctx,
+		sweep:       rlcint.SweepOptions{Workers: *workers, Warm: *warm},
 	}
 
 	if *only == "all" {
@@ -146,13 +149,14 @@ func fatal(err error) {
 }
 
 type gen struct {
-	dir      string
-	points   int
-	fast     bool
-	w        io.Writer
-	ctx      context.Context
-	sweep    rlcint.SweepOptions
-	sweepRan bool
+	dir         string
+	points      int
+	fast        bool
+	noReduction bool
+	w           io.Writer
+	ctx         context.Context
+	sweep       rlcint.SweepOptions
+	sweepRan    bool
 }
 
 func (g *gen) csv(name string, t []float64, cols []string, series ...[]float64) error {
@@ -292,7 +296,7 @@ func maxOf(v []float64) float64 {
 }
 
 func (g *gen) ringCfg(l float64) rlcint.RingConfig {
-	cfg := rlcint.RingConfig{Node: rlcint.Tech100(), LineL: l}
+	cfg := rlcint.RingConfig{Node: rlcint.Tech100(), LineL: l, NoReduction: g.noReduction}
 	if g.fast {
 		cfg.Sections = 10
 	}

@@ -46,6 +46,8 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "write resumable snapshots to this file")
 	every := flag.Int("every", 0, "checkpoint cadence in output grid steps (default 64)")
 	resume := flag.Bool("resume", false, "continue from the -checkpoint file instead of starting fresh")
+	reduce := flag.Bool("reduce", true, "allow the Krylov reduced-order fast path for qualifying circuits")
+	noReduction := flag.Bool("no-reduction", false, "force the full solver (equivalent to -reduce=false)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the solver context; the solver unwinds within
@@ -109,6 +111,7 @@ func main() {
 	if *be {
 		opts.Method = spice.BackwardEuler
 	}
+	opts.NoReduction = !*reduce || *noReduction
 	var res *spice.Result
 	stopped := false
 	if *resume {

@@ -155,6 +155,11 @@ type XtalkResult = xtalk.Result
 // predictions.
 func RunCrosstalk(cfg XtalkConfig) (XtalkResult, error) { return xtalk.Run(cfg) }
 
+// XtalkWorkspace amortizes repeated crosstalk runs with identical configs by
+// reusing the built coupled-pair circuit (and, through the spice layer, the
+// cached reduced-order projection). Not safe for concurrent use.
+type XtalkWorkspace = xtalk.Workspace
+
 // Bar is a rectangular conductor cross-section for the return-path solver.
 type Bar = extract.Bar
 

@@ -47,17 +47,8 @@ func FromMoments(m []float64, q int) (Fit, error) {
 	// here), which makes the raw Hankel system hopelessly ill-scaled in
 	// float64. Normalize time by T = |m1/m0|: fit the scaled series
 	// m'_j = m_j/T^j, then map back via p_i = p'_i/T, k_i = k'_i/T.
-	scale := 1.0
-	if m[0] != 0 && m[1] != 0 {
-		scale = math.Abs(m[1] / m[0])
-	}
+	ms, scale := NormalizeMoments(m)
 	if scale != 1 {
-		ms := make([]float64, len(m))
-		tj := 1.0
-		for j := range m {
-			ms[j] = m[j] / tj
-			tj *= scale
-		}
 		fit, err := FromMoments(ms, q)
 		if err != nil {
 			return Fit{}, err
@@ -104,6 +95,30 @@ func FromMoments(m []float64, q int) (Fit, error) {
 		return Fit{}, fmt.Errorf("awe: residue solve: %w", err)
 	}
 	return Fit{Poles: poles, Residues: res}, nil
+}
+
+// NormalizeMoments rescales a moment series onto its own characteristic
+// time T = |m1/m0|, returning the scaled series m'_j = m_j/T^j and T.
+// Physical transfer moments decay geometrically with the circuit time
+// constant, so comparing or fitting raw series in float64 is hopelessly
+// ill-scaled; both the AWE fit above and the reduced-order-model accuracy
+// gate (internal/mor) compare moments in this normalized form. A series
+// whose leading moments vanish is returned unchanged with T = 1.
+func NormalizeMoments(m []float64) ([]float64, float64) {
+	scale := 1.0
+	if len(m) >= 2 && m[0] != 0 && m[1] != 0 {
+		scale = math.Abs(m[1] / m[0])
+	}
+	if scale == 1 || scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return m, 1
+	}
+	ms := make([]float64, len(m))
+	tj := 1.0
+	for j := range m {
+		ms[j] = m[j] / tj
+		tj *= scale
+	}
+	return ms, scale
 }
 
 // FromStage fits an order-q model to the exact transfer function of the

@@ -178,3 +178,88 @@ func Solve(a *Dense, b []float64) ([]float64, error) {
 	}
 	return f.Solve(b), nil
 }
+
+// LUWS is a reusable dense-LU workspace for repeated small factorizations
+// (the reduced-order transient stepper factors q×q and p×p systems every
+// timestep configuration and every Newton iteration). FactorInto/SolveInto
+// reuse the workspace buffers, so steady-state use allocates nothing.
+type LUWS struct {
+	n   int
+	lu  []float64
+	piv []int
+}
+
+// FactorInto computes the partially-pivoted LU factorization of the n×n
+// row-major matrix a (not modified) into the workspace, growing its buffers
+// only when n increases. The arithmetic is identical to Factor.
+func (f *LUWS) FactorInto(a []float64, n int) error {
+	if len(a) != n*n {
+		return fmt.Errorf("lina: FactorInto needs %d values for n=%d, got %d", n*n, n, len(a))
+	}
+	if cap(f.lu) < n*n {
+		f.lu = make([]float64, n*n)
+		f.piv = make([]int, n)
+	}
+	f.n = n
+	f.lu = f.lu[:n*n]
+	f.piv = f.piv[:n]
+	copy(f.lu, a)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		maxv := math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(f.lu[r*n+col]); v > maxv {
+				maxv, p = v, r
+			}
+		}
+		if maxv == 0 {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				f.lu[col*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[col*n+j]
+			}
+			f.piv[col], f.piv[p] = f.piv[p], f.piv[col]
+		}
+		piv := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := f.lu[r*n+col] / piv
+			f.lu[r*n+col] = m
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= m * f.lu[col*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveInto solves A·x = b using the current factorization, writing into x.
+// x and b must have length n and may not alias.
+func (f *LUWS) SolveInto(x, b []float64) {
+	n := f.n
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu[i*n+i+1 : (i+1)*n]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+}

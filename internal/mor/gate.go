@@ -1,0 +1,449 @@
+package mor
+
+import (
+	"math"
+
+	"rlcint/internal/awe"
+	"rlcint/internal/diag"
+	"rlcint/internal/sparse"
+)
+
+// momK is the number of transfer moments cross-checked by the gate.
+const momK = 6
+
+// gateRef holds the full-space linearized reference transient (and its
+// initial-condition transfer moments), computed once per Reduce call and
+// reused across every (order, stride) gate attempt.
+type gateRef struct {
+	sys  *System
+	opts Options
+	w    int         // reference window in output steps
+	ref  [][]float64 // per port: w+1 samples on the output DT grid
+	mom  [][]float64 // per port: momK IC-response moments (nil: x0 = 0)
+}
+
+// newGateRef steps the linearized full system (GGate when present) for the
+// gate window at the output timestep, using the same BE/TR schedule — plain
+// backward Euler and trapezoidal rule, which the production solver's
+// per-element companion models realize algebraically (see Run.Advance).
+func newGateRef(sys *System, opts Options) (*gateRef, error) {
+	if opts.Injector != nil {
+		if err := opts.Injector.At(diag.Site{Op: "mor.gate"}); err != nil {
+			return nil, wrapErr(diag.ErrNonConvergence, "mor.gate", err)
+		}
+	}
+	n := sys.N
+	p := len(sys.Ports)
+	gvals := sys.GGate
+	if gvals == nil {
+		gvals = sys.G
+	}
+	pat := sys.Pattern
+	dt := opts.DT
+	if dt <= 0 || opts.GateWindow < 2 {
+		return nil, diag.Domainf("mor.gate", "bad gate window (dt=%g, w=%d)", dt, opts.GateWindow)
+	}
+	g := &gateRef{sys: sys, opts: opts, w: opts.GateWindow}
+
+	avals := make([]float64, len(gvals))
+	amat := &sparse.CSC{N: n, P: pat.P, I: pat.I, X: avals}
+	lu := sparse.Workspace(n)
+	factor := func(alpha float64) error {
+		for i := range avals {
+			avals[i] = gvals[i] + alpha*sys.C[i]
+		}
+		if err := lu.Factorize(amat, 1); err != nil {
+			return wrapErr(diag.ErrSingularJacobian, "mor.gate", err)
+		}
+		return nil
+	}
+
+	x := append([]float64(nil), sys.X0...)
+	xNew := make([]float64, n)
+	cx := make([]float64, n)
+	rr := make([]float64, n)
+	up := make([]float64, p)
+	upPrev := make([]float64, p)
+	fillU := func(t float64, dst []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		if sys.U != nil {
+			sys.U(t, dst)
+		}
+		if sys.U0 != nil {
+			for i := range dst {
+				dst[i] += sys.U0[i]
+			}
+		}
+	}
+	g.ref = make([][]float64, p)
+	for pi := range g.ref {
+		g.ref[pi] = make([]float64, g.w+1)
+		g.ref[pi][0] = x[sys.Ports[pi]]
+	}
+
+	curTR := false
+	if err := factor(1 / dt); err != nil {
+		return nil, err
+	}
+	alpha := 1 / dt
+	fillU(0, upPrev)
+	for s := 1; s <= g.w; s++ {
+		tr := opts.TR && s > opts.BESteps
+		if tr != curTR {
+			curTR = tr
+			alpha = 1 / dt
+			if tr {
+				alpha = 2 / dt
+			}
+			if err := factor(alpha); err != nil {
+				return nil, err
+			}
+		}
+		fillU(float64(s)*dt, up)
+		// BE: r = α[C·x] + u'. TR: r = α[C·x] − [G·x] + u_n + u'.
+		pat.GaxpyWith(sys.C, x, zero(cx))
+		for i := 0; i < n; i++ {
+			rr[i] = alpha * cx[i]
+		}
+		if tr {
+			gx := xNew // scratch before it holds the solution
+			pat.GaxpyWith(gvals, x, zero(gx))
+			for i := 0; i < n; i++ {
+				rr[i] -= gx[i]
+			}
+		}
+		for pi, row := range sys.Ports {
+			rr[row] += up[pi]
+			if tr {
+				rr[row] += upPrev[pi]
+			}
+		}
+		lu.SolveInto(xNew, rr)
+		x, xNew = xNew, x
+		up, upPrev = upPrev, up
+		for pi, row := range sys.Ports {
+			g.ref[pi][s] = x[row]
+		}
+	}
+
+	// IC-response transfer moments: y₀ = x₀, y_{k+1} = −G⁻¹·C·y_k, recorded
+	// at the ports. Skipped for zero initial state.
+	nz := false
+	for _, v := range sys.X0 {
+		if v != 0 {
+			nz = true
+			break
+		}
+	}
+	if nz {
+		if err := factor(0); err == nil {
+			y := append([]float64(nil), sys.X0...)
+			g.mom = make([][]float64, p)
+			for pi := range g.mom {
+				g.mom[pi] = make([]float64, momK)
+			}
+			for k := 0; k < momK; k++ {
+				pat.GaxpyWith(sys.C, y, zero(rr))
+				lu.SolveInto(xNew, rr)
+				for i := range y {
+					y[i] = -xNew[i]
+				}
+				for pi, row := range sys.Ports {
+					g.mom[pi][k] = y[row]
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func zero(v []float64) []float64 {
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// maxUsableStride clamps the candidate stride so the gate window and the
+// production run both retain enough internal steps to be meaningful.
+func maxUsableStride(opts Options) int {
+	s := opts.MaxStride
+	if s < 1 {
+		s = 1
+	}
+	for s > 1 && (opts.GateWindow/s < 8 || opts.NSteps/s < 4) {
+		s /= 2
+	}
+	return s
+}
+
+// compare runs the reduced model (linearized gate variant) at the candidate
+// stride and returns the worst per-port relative RMS waveform error against
+// the reference, plus the normalized moment mismatch (informative).
+func (g *gateRef) compare(m *Model, stride int) (gerr, momErr float64, err error) {
+	opts := g.opts
+	p := len(m.Ports)
+	ni := g.w / stride
+	if ni < 2 {
+		return math.Inf(1), 0, nil
+	}
+	wOut := ni * stride
+	dtInt := float64(stride) * opts.DT
+
+	stBE, berr := m.prep(dtInt, false, true)
+	if berr != nil {
+		return 0, 0, berr
+	}
+	var stTR *Stepper
+	if m.tr {
+		if stTR, berr = m.prep(dtInt, true, true); berr != nil {
+			return 0, 0, berr
+		}
+	}
+
+	run := m.NewRun()
+	up := make([]float64, p)
+	upPrev := make([]float64, p)
+	fillU := func(t float64, dst []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		if g.sys.U != nil {
+			g.sys.U(t, dst)
+		}
+		if g.sys.U0 != nil {
+			for i := range dst {
+				dst[i] += g.sys.U0[i]
+			}
+		}
+	}
+	fillU(0, upPrev)
+	ts := make([]float64, ni+1)
+	vals := make([][]float64, p)
+	for pi := range vals {
+		vals[pi] = make([]float64, ni+1)
+		vals[pi][0] = run.v[pi]
+	}
+	for j := 1; j <= ni; j++ {
+		t := float64(j*stride) * opts.DT
+		st := stBE
+		if m.StepIsTR(j) {
+			st = stTR
+		}
+		fillU(t, up)
+		if _, aerr := run.Advance(st, t, up, upPrev, nil, NewtonOpts{}); aerr != nil {
+			return math.Inf(1), 0, nil
+		}
+		up, upPrev = upPrev, up
+		ts[j] = t
+		for pi := range vals {
+			vals[pi][j] = run.v[pi]
+		}
+	}
+
+	// Resample to the output grid and accumulate the error.
+	out := make([]float64, wOut+1)
+	maxScale := 0.0
+	rms := make([]float64, p)
+	scale := make([]float64, p)
+	for pi := 0; pi < p; pi++ {
+		if stride == 1 {
+			copy(out, vals[pi])
+		} else {
+			ResampleHermite(ts, vals[pi], opts.DT, out)
+		}
+		se, sr := 0.0, 0.0
+		ref := g.ref[pi]
+		for s := 0; s <= wOut; s++ {
+			d := ref[s] - out[s]
+			se += d * d
+			sr += ref[s] * ref[s]
+		}
+		rms[pi] = math.Sqrt(se / float64(wOut+1))
+		scale[pi] = math.Sqrt(sr / float64(wOut+1))
+		if scale[pi] > maxScale {
+			maxScale = scale[pi]
+		}
+	}
+	for pi := 0; pi < p; pi++ {
+		den := scale[pi]
+		if floor := 1e-6 * maxScale; den < floor {
+			den = floor
+		}
+		if den == 0 {
+			den = 1 // all-zero reference: treat the error as absolute
+		}
+		if e := rms[pi] / den; e > gerr || math.IsNaN(e) {
+			gerr = e
+			if math.IsNaN(e) {
+				gerr = math.Inf(1)
+				break
+			}
+		}
+	}
+
+	momErr = g.momentError(m)
+	return gerr, momErr, nil
+}
+
+// momentError compares the reduced model's IC-response moments against the
+// full-space reference in awe-normalized form (time rescaled per port by
+// its own characteristic constant so float64 can resolve the series).
+func (g *gateRef) momentError(m *Model) float64 {
+	if g.mom == nil {
+		return 0
+	}
+	stM, err := m.prep(math.Inf(1), false, true) // α = 0 sentinel: A = G
+	if err != nil {
+		return 0
+	}
+	p := len(m.Ports)
+	yv := append([]float64(nil), m.x0p...)
+	rhsP := make([]float64, p)
+	var yz, rhsZ, wtmp [][]float64
+	for ci := range m.comps {
+		yz = append(yz, append([]float64(nil), m.z0[ci]...))
+		rhsZ = append(rhsZ, make([]float64, m.comps[ci].m))
+		wtmp = append(wtmp, make([]float64, m.comps[ci].m))
+	}
+	red := make([][]float64, p)
+	for pi := range red {
+		red[pi] = make([]float64, momK)
+	}
+	for k := 0; k < momK; k++ {
+		// rhs = C_red · y
+		denseMV(m.cpp, p, yv, rhsP)
+		for ci, c := range m.comps {
+			md, pc := c.m, len(c.ports)
+			z := yz[ci]
+			for pi, gp := range c.ports {
+				s := 0.0
+				row := c.cpz[pi*md : (pi+1)*md]
+				for kk, zk := range z {
+					s += row[kk] * zk
+				}
+				rhsP[gp] += s
+			}
+			rz := rhsZ[ci]
+			for i := 0; i < md; i++ {
+				s := 0.0
+				row := c.czz[i*md : (i+1)*md]
+				for kk, zk := range z {
+					s += row[kk] * zk
+				}
+				for j := 0; j < pc; j++ {
+					s += c.czp[i*pc+j] * yv[c.ports[j]]
+				}
+				rz[i] = s
+			}
+		}
+		stM.solveCoupled(m, rhsP, rhsZ, yv, yz, wtmp)
+		for i := range yv {
+			yv[i] = -yv[i]
+		}
+		for ci := range yz {
+			for i := range yz[ci] {
+				yz[ci][i] = -yz[ci][i]
+			}
+		}
+		for pi := range red {
+			red[pi][k] = yv[pi]
+		}
+	}
+	worst := 0.0
+	for pi := 0; pi < p; pi++ {
+		fs, T := awe.NormalizeMoments(g.mom[pi])
+		den := 0.0
+		for _, v := range fs {
+			if a := math.Abs(v); a > den {
+				den = a
+			}
+		}
+		if den == 0 {
+			continue
+		}
+		tj := 1.0
+		for k := 0; k < momK; k++ {
+			d := math.Abs(fs[k] - red[pi][k]/tj)
+			if e := d / den; e > worst {
+				worst = e
+			}
+			tj *= T
+		}
+	}
+	return worst
+}
+
+// ResampleHermite interpolates samples ys at monotone times ts onto the
+// uniform grid t_j = j·dt (j = 0..len(out)-1) with cubic Hermite segments
+// using three-point finite-difference tangents (Catmull–Rom on uniform
+// interiors, one-sided quadratic tangents at the ends). Output points at or
+// beyond the last sample clamp to it.
+func ResampleHermite(ts, ys []float64, dt float64, out []float64) {
+	n := len(ts)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		for j := range out {
+			out[j] = ys[0]
+		}
+		return
+	}
+	seg := 0
+	for j := range out {
+		tq := float64(j) * dt
+		for seg < n-2 && ts[seg+1] < tq {
+			seg++
+		}
+		t0, t1 := ts[seg], ts[seg+1]
+		h := t1 - t0
+		if h <= 0 {
+			out[j] = ys[seg]
+			continue
+		}
+		u := (tq - t0) / h
+		if u <= 0 {
+			out[j] = ys[seg]
+			continue
+		}
+		if u >= 1 {
+			out[j] = ys[seg+1]
+			continue
+		}
+		s1 := (ys[seg+1] - ys[seg]) / h
+		var d0, d1 float64
+		if seg == 0 {
+			if n > 2 {
+				h2 := ts[2] - ts[1]
+				s2 := (ys[2] - ys[1]) / h2
+				d0 = ((2*h+h2)*s1 - h*s2) / (h + h2)
+			} else {
+				d0 = s1
+			}
+		} else {
+			hp := ts[seg] - ts[seg-1]
+			sp := (ys[seg] - ys[seg-1]) / hp
+			d0 = (h*sp + hp*s1) / (hp + h)
+		}
+		if seg+2 < n {
+			hn := ts[seg+2] - ts[seg+1]
+			sn := (ys[seg+2] - ys[seg+1]) / hn
+			d1 = (hn*s1 + h*sn) / (h + hn)
+		} else if seg > 0 {
+			hp := ts[seg] - ts[seg-1]
+			sp := (ys[seg] - ys[seg-1]) / hp
+			d1 = ((2*h+hp)*s1 - h*sp) / (h + hp)
+		} else {
+			d1 = s1
+		}
+		u2 := u * u
+		u3 := u2 * u
+		out[j] = (2*u3-3*u2+1)*ys[seg] +
+			(u3-2*u2+u)*h*d0 +
+			(-2*u3+3*u2)*ys[seg+1] +
+			(u3-u2)*h*d1
+	}
+}

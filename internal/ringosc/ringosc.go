@@ -38,6 +38,14 @@ type Config struct {
 	// Gain is the inverter macro-model's switching sharpness; zero selects
 	// the package default (20).
 	Gain float64
+	// NoReduction forces the full transient solver, disabling the Krylov
+	// reduced-order fast path (differential testing and benchmarking).
+	NoReduction bool
+	// Cycles and PointsPerCycle tune the automatic window: the run covers
+	// Cycles estimated oscillation periods at PointsPerCycle fixed steps per
+	// period (defaults 10 and 2500). Benchmarks dial these down for a
+	// shorter, coarser — but still physically conclusive — transient.
+	Cycles, PointsPerCycle int
 	// TStop and DT override the automatically chosen window/resolution.
 	TStop, DT float64
 }
@@ -73,6 +81,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Gain == 0 {
 		c.Gain = 20
 	}
+	if c.Cycles == 0 {
+		c.Cycles = 10
+	}
+	if c.PointsPerCycle == 0 {
+		c.PointsPerCycle = 2500
+	}
+	if c.Cycles < 0 || c.PointsPerCycle < 0 {
+		return c, fmt.Errorf("ringosc: negative window tuning (%d cycles, %d points/cycle)", c.Cycles, c.PointsPerCycle)
+	}
 	if c.TStop == 0 || c.DT == 0 {
 		// Window from the two-pole stage delay: ≈2·Stages·τ per period.
 		st := repeater.FromTech(c.Node).Stage(tline.Line{R: c.Node.R, L: c.LineL, C: c.Node.C}, c.H, c.K)
@@ -86,10 +103,10 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		period := 2 * float64(c.Stages) * d.Tau
 		if c.TStop == 0 {
-			c.TStop = 10 * period
+			c.TStop = float64(c.Cycles) * period
 		}
 		if c.DT == 0 {
-			c.DT = period / 2500
+			c.DT = period / float64(c.PointsPerCycle)
 		}
 	}
 	return c, nil
@@ -174,6 +191,14 @@ type Metrics struct {
 // RunRing simulates the ring oscillator and measures it. The monitored
 // inverter is the middle stage.
 func RunRing(cfg Config) (Waves, Metrics, error) {
+	return runRing(cfg, nil)
+}
+
+// runRing is RunRing with an optional reusable waveform buffer: sweeps that
+// keep only the scalar metrics per point (SweepPeriod) pass one buffer to
+// every run so the transient storage is allocated once. The returned Waves
+// alias the buffer and are invalid after the next reusing run.
+func runRing(cfg Config, buf *spice.Result) (Waves, Metrics, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Waves{}, Metrics{}, err
@@ -225,7 +250,7 @@ func RunRing(cfg Config) (Waves, Metrics, error) {
 	if monitorL != nil {
 		probes = append(probes, spice.BranchProbe{Name: "iline", L: monitorL})
 	}
-	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true}, probes...)
+	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true, NoReduction: cfg.NoReduction, ResultBuf: buf}, probes...)
 	if err != nil {
 		return Waves{}, Metrics{}, fmt.Errorf("ringosc: transient: %w", err)
 	}
@@ -292,7 +317,7 @@ func RunBufferedLine(cfg Config) (Waves, Metrics, error) {
 	if monitorL != nil {
 		probes = append(probes, spice.BranchProbe{Name: "iline", L: monitorL})
 	}
-	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true}, probes...)
+	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true, NoReduction: cfg.NoReduction}, probes...)
 	if err != nil {
 		return Waves{}, Metrics{}, fmt.Errorf("ringosc: buffered line transient: %w", err)
 	}
@@ -350,10 +375,11 @@ func SweepPeriod(cfg Config, ls []float64) ([]PeriodPoint, error) {
 	}
 	out := make([]PeriodPoint, 0, len(ls))
 	high := math.Inf(-1)
+	var buf spice.Result // one waveform buffer shared by every sweep point
 	for _, l := range ls {
 		c := cfg
 		c.LineL = l
-		_, met, err := RunRing(c)
+		_, met, err := runRing(c, &buf)
 		if err != nil {
 			return nil, fmt.Errorf("ringosc: sweep l=%g: %w", l, err)
 		}

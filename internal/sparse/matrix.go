@@ -254,3 +254,29 @@ func (c *CSC) MulVec(x []float64) []float64 {
 	}
 	return y
 }
+
+// ExtractWith builds the submatrix selected by keep (keep[i] >= 0 maps
+// global index i to the compact index keep[i]; -1 drops the row/column),
+// reading values from vals, which must share c's sparsity pattern (pass
+// c.X for the matrix's own values). m is the compact dimension. The
+// reduced-order-model builder uses this to carve the per-component internal
+// blocks of the MNA matrices out of one shared pattern.
+func (c *CSC) ExtractWith(vals []float64, keep []int, m int) *CSC {
+	if len(vals) != len(c.X) || len(keep) != c.N {
+		panic(fmt.Sprintf("sparse: ExtractWith size mismatch: vals=%d nnz=%d keep=%d n=%d",
+			len(vals), len(c.X), len(keep), c.N))
+	}
+	t := NewTriplet(m)
+	for j := 0; j < c.N; j++ {
+		cj := keep[j]
+		if cj < 0 {
+			continue
+		}
+		for p := c.P[j]; p < c.P[j+1]; p++ {
+			if ci := keep[c.I[p]]; ci >= 0 {
+				t.Add(ci, cj, vals[p])
+			}
+		}
+	}
+	return t.Compile()
+}

@@ -29,6 +29,14 @@ type AdaptiveOpts struct {
 	Limits runctl.Limits
 	// NoFastPath disables the sparse-kernel fast path (see TranOpts).
 	NoFastPath bool
+	// NoReduction disables the Krylov reduced-order fast path (see
+	// TranOpts.NoReduction). Adaptive runs only take the reduced path for
+	// fully linear circuits; with NoReduction set the run is bit-identical
+	// to the pre-reduction adaptive solver.
+	NoReduction bool
+	// Report, when non-nil, collects recovery-ladder attempts and
+	// reduced-path decisions for this run (see TranOpts.Report).
+	Report *diag.Report
 }
 
 func (o AdaptiveOpts) withDefaults() (AdaptiveOpts, error) {
@@ -89,6 +97,7 @@ func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, opts AdaptiveOpts, p
 	tran := TranOpts{
 		TStop: opts.TStop, DT: opts.DTInit, MaxNewton: opts.MaxNewton,
 		ITol: opts.ITol, Gmin: opts.Gmin, NoFastPath: opts.NoFastPath,
+		Report: opts.Report,
 	}
 	tran, _ = tran.withDefaults()
 	tran.ctl = ctl
@@ -121,6 +130,20 @@ func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, opts AdaptiveOpts, p
 		}
 	}
 	record(0)
+
+	// Krylov reduced-order fast path: linear circuits step a dense q-by-q
+	// recursion under the same LTE controller. A bail-out reruns the full
+	// loop from t=0 (the reduced attempt leaves only the t=0 sample behind).
+	if rr := c.tryReduceAdaptive(opts, tran, ns.x, probes); rr != nil {
+		out, lerr, bailed := c.reducedAdaptiveLoop(opts, tran, rr, res, probes)
+		if !bailed {
+			return out, lerr
+		}
+		res.T = res.T[:1]
+		for i := range res.Signals {
+			res.Signals[i] = res.Signals[i][:1]
+		}
+	}
 
 	// History for the quadratic predictor: last two accepted solutions and
 	// their times (the current xPrev is the third point).

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/mor"
 	"rlcint/internal/runctl"
 )
 
@@ -35,14 +36,32 @@ type Checkpoint struct {
 	NUnknowns int     `json:"n_unknowns"`
 	NCaps     int     `json:"n_caps"`
 
-	Step    int         `json:"step"`     // last completed output grid step; t = Step·DT
-	BESteps int         `json:"be_steps"` // remaining backward-Euler startup steps
-	X       []float64   `json:"x"`        // MNA solution at the boundary [v; ibranch]
-	CapI    []float64   `json:"cap_i"`    // capacitor companion currents, element order
+	Step    int       `json:"step"`     // last completed output grid step; t = Step·DT
+	BESteps int       `json:"be_steps"` // remaining backward-Euler startup steps
+	X       []float64 `json:"x"`        // MNA solution at the boundary [v; ibranch]
+	CapI    []float64 `json:"cap_i"`    // capacitor companion currents, element order
 
 	T       []float64   `json:"t"`
 	Labels  []string    `json:"labels"`
 	Signals [][]float64 `json:"signals"`
+
+	// MOR, when non-nil, marks a checkpoint written by the reduced-order
+	// fast path (reduce.go). X still carries the expanded full-space state,
+	// but bit-exact continuation requires restoring the reduced recursion:
+	// resume rebuilds the model (deterministic), verifies Fingerprint, and
+	// restores (T, V, Z). Resuming such a checkpoint with NoReduction or
+	// NoFastPath set is refused — it could not reproduce the original run.
+	MOR *MORCheckpoint `json:"mor,omitempty"`
+}
+
+// MORCheckpoint is the reduced-order solver state inside a Checkpoint: the
+// model-content fingerprint and the reduced coordinates (port values V and
+// per-component Krylov coordinates Z) at the boundary.
+type MORCheckpoint struct {
+	Fingerprint uint64      `json:"fingerprint"`
+	T           float64     `json:"t"`
+	V           []float64   `json:"v"`
+	Z           [][]float64 `json:"z"`
 }
 
 // capStates collects the trapezoidal companion history of every capacitor
@@ -213,5 +232,77 @@ func (c *Circuit) TransientResumeCtx(ctx context.Context, cp *Checkpoint, opts T
 		return res, nil // the checkpoint already covers the full window
 	}
 	opts.ctl = runctl.New(ctx, opts.Limits)
+
+	if cp.MOR != nil {
+		if opts.NoReduction || opts.NoFastPath {
+			return nil, diag.Domainf("spice.TransientResume",
+				"checkpoint was written by the reduced-order fast path; resuming with NoReduction/NoFastPath cannot reproduce the run")
+		}
+		out, rerr, resumed := c.resumeReduced(opts, cp, res, probes, nSteps)
+		if resumed {
+			return out, rerr
+		}
+		// The model could not be rebuilt or the reduced continuation bailed
+		// out: continue with the full solver from the expanded state. The
+		// waveform stays within the reduction tolerance but is no longer
+		// bit-identical to the uninterrupted run.
+		opts.Report.Record("mor", "resume-fallback", diag.OutcomeSkipped,
+			"continuing a reduced checkpoint with the full solver", nil)
+	}
 	return c.transientLoop(opts, ns, res, probes, cp.Step+1, cp.BESteps)
+}
+
+// resumeReduced rebuilds the reduced model for a MOR checkpoint, verifies
+// the content fingerprint, restores the reduced state, and continues the
+// stride-1 reduced loop. resumed=false means the caller should fall back to
+// the full solver.
+func (c *Circuit) resumeReduced(opts TranOpts, cp *Checkpoint, res *Result, probes []Probe, nSteps int) (*Result, error, bool) {
+	// The model was built from the run's INITIAL state, not the checkpoint
+	// state — reconstruct it exactly as TransientCtx did (both paths are
+	// deterministic, so the rebuilt model matches the original bit for bit).
+	x0 := make([]float64, c.NumUnknowns())
+	if opts.UseICs {
+		for id, v := range c.ics {
+			x0[id] = v
+		}
+	} else {
+		x, err := c.dcOperatingPoint(opts.ctl, DCOpts{Injector: opts.Injector, Report: opts.Report, NoFastPath: opts.NoFastPath})
+		if err != nil {
+			return nil, nil, false
+		}
+		copy(x0, x)
+	}
+	beSteps := 2
+	if opts.NoBEStart {
+		beSteps = 0
+	}
+	opts.resumeStride1 = true
+	rr, rerr := c.tryReduce(opts, x0, probes, nSteps, beSteps)
+	if rerr != nil {
+		res.Partial = true
+		return res, rerr, true
+	}
+	if rr == nil {
+		return nil, nil, false
+	}
+	if rr.fp != cp.MOR.Fingerprint {
+		return nil, diag.Domainf("spice.TransientResume",
+			"checkpoint fingerprint %x does not match the rebuilt reduced model %x — circuit or options changed",
+			cp.MOR.Fingerprint, rr.fp), true
+	}
+	run := rr.model.NewRun()
+	if err := run.RestoreState(mor.RunState{T: cp.MOR.T, V: cp.MOR.V, Z: cp.MOR.Z}); err != nil {
+		return nil, nil, false
+	}
+	out, lerr, bailed := c.reducedLoopRun(opts, rr, run, res, probes, nSteps, cp.Step+1, beSteps)
+	if bailed {
+		// Drop any samples the reduced continuation recorded before bailing
+		// so the full-solver fallback appends from the boundary.
+		res.T = res.T[:cp.Step+1]
+		for i := range res.Signals {
+			res.Signals[i] = res.Signals[i][:cp.Step+1]
+		}
+		return nil, nil, false
+	}
+	return out, lerr, true
 }

@@ -1,0 +1,1188 @@
+package spice
+
+// The Krylov reduced-order-model fast path. For transient workloads whose
+// runtime is dominated by time-stepping a large, mostly linear MNA system
+// (the paper's Fig9–12 ring oscillators and buffered lines: a few nonlinear
+// repeaters driving hundreds of linear RLC unknowns for tens of thousands of
+// steps), the full sparse solve per step is overkill: the linear partition's
+// response lives in a low-dimensional Krylov subspace.
+//
+// This file bridges the circuit representation to internal/mor:
+//
+//  1. classifyReduction picks the retained "port" rows — nonlinear device
+//     terminals, source rows, probe rows — and refuses circuits containing
+//     element or probe types it does not know how to classify.
+//  2. extractSystem recovers (G, C) of the linear partition from the
+//     element stamps themselves, with no per-element knowledge: stamping
+//     the linear elements at two timesteps gives A(dt) = G + C/dt at
+//     dt = 1 and dt = ½, so C = A(½) − A(1) and G = 2·A(1) − A(½). The
+//     nonlinear devices' Jacobian at the initial state (stamped into the
+//     same frozen pattern) yields the gate's closed linearized system, and
+//     branch rows are sign-flipped into the passivity-friendly orientation
+//     (making C symmetric positive semidefinite and G + Gᵀ PSD, which is
+//     what keeps the projected reduced system stable).
+//  3. mor.Reduce builds and gate-validates the projection; for circuits
+//     with nonlinear devices a confirmation gate then compares a window of
+//     REAL full-solver steps against the reduced nonlinear run, because the
+//     linearized accuracy gate cannot see large-signal behaviour.
+//  4. Validated models are cached under a content fingerprint (pattern,
+//     values, ports, initial state, run shape, sampled source waveforms) so
+//     repeated runs of the same circuit — benchmark iterations, parameter
+//     sweeps revisiting a configuration — skip the build entirely.
+//     Rejections are cached too.
+//  5. reducedLoop replaces transientLoop: it marches the reduced system at
+//     the gate-validated internal stride, solves the p-dimensional Newton
+//     port system per step (p = a few dozen ≪ N), resamples onto the output
+//     grid, and bails out to the full solver from t = 0 on any error.
+//
+// TranOpts.NoReduction (and AdaptiveOpts.NoReduction) disable the whole
+// path; runs with NoFastPath set skip it too, since that flag promises the
+// legacy solver's bit-exact arithmetic.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/mor"
+	"rlcint/internal/runctl"
+	"rlcint/internal/sparse"
+)
+
+// reduceMinUnknowns and reduceMinSteps gate when the reduction is even
+// attempted: small systems or short windows cannot amortize the build.
+const (
+	reduceMinUnknowns = 24
+	reduceMinSteps    = 64
+)
+
+// reduceTol is the relative RMS waveform tolerance of the linearized
+// accuracy gate; the large-signal confirmation gate for nonlinear circuits
+// allows confirmFactor times as much (real full-vs-reduced comparisons
+// include Newton tolerance noise and, for oscillators, phase drift).
+const (
+	reduceTol     = 1e-4
+	confirmFactor = 10
+	confirmWindow = 1500
+)
+
+// classification is the port/row analysis of a circuit for reduction.
+type classification struct {
+	ports   []int // sorted retained global rows
+	portIdx []int // global row → port index, -1 elsewhere
+	nlIdx   []int // indices of nonlinear elements
+	srcIdx  []int // indices of independent sources (u support)
+	probePI []int // per probe: port index, or -1 for ground probes
+}
+
+// classifyReduction maps the circuit onto the reduction's port structure, or
+// explains why it cannot (unknown element or probe types, ports covering the
+// whole system).
+func classifyReduction(c *Circuit, probes []Probe) (*classification, error) {
+	nNodes := c.NumNodes()
+	n := c.NumUnknowns()
+	portSet := make(map[int]bool)
+	addNode := func(id NodeID) {
+		if id != Ground {
+			portSet[int(id)] = true
+		}
+	}
+	cl := &classification{}
+	for i, e := range c.elems {
+		switch el := e.(type) {
+		case *resistor, *capacitor, *Inductor, *mutual:
+			// Linear, stateless rows: fully internal.
+		case *VSource:
+			cl.srcIdx = append(cl.srcIdx, i)
+			portSet[nNodes+el.bidx] = true
+		case *isource:
+			cl.srcIdx = append(cl.srcIdx, i)
+			addNode(el.a)
+			addNode(el.b)
+		case *inverterCore:
+			cl.nlIdx = append(cl.nlIdx, i)
+			addNode(el.in)
+			addNode(el.out)
+		case *mosfet:
+			cl.nlIdx = append(cl.nlIdx, i)
+			addNode(el.d)
+			addNode(el.g)
+			addNode(el.s)
+		default:
+			return nil, diag.Domainf("spice.reduce", "element type %T has no reduction classification", e)
+		}
+	}
+	for _, p := range probes {
+		switch pr := p.(type) {
+		case NodeProbe:
+			addNode(pr.ID)
+		case BranchProbe:
+			portSet[nNodes+pr.L.bidx] = true
+		case SourceCurrentProbe:
+			portSet[nNodes+pr.V.bidx] = true
+		default:
+			return nil, diag.Domainf("spice.reduce", "probe type %T has no reduction classification", p)
+		}
+	}
+	cl.portIdx = make([]int, n)
+	for i := range cl.portIdx {
+		cl.portIdx[i] = -1
+	}
+	for row := 0; row < n; row++ {
+		if portSet[row] {
+			cl.ports = append(cl.ports, row)
+		}
+	}
+	for pi, row := range cl.ports {
+		cl.portIdx[row] = pi
+	}
+	for _, p := range probes {
+		pi := -1
+		switch pr := p.(type) {
+		case NodeProbe:
+			if pr.ID != Ground {
+				pi = cl.portIdx[int(pr.ID)]
+			}
+		case BranchProbe:
+			pi = cl.portIdx[nNodes+pr.L.bidx]
+		case SourceCurrentProbe:
+			pi = cl.portIdx[nNodes+pr.V.bidx]
+		}
+		cl.probePI = append(cl.probePI, pi)
+	}
+	if len(cl.ports) == 0 || len(cl.ports) >= n-reduceMinUnknowns/3 {
+		return nil, diag.Domainf("spice.reduce", "%d ports leave no internal rows worth reducing (n=%d)", len(cl.ports), n)
+	}
+	return cl, nil
+}
+
+// extracted bundles the mor system with the scratch the per-run source
+// evaluation and port Newton callbacks need.
+type extracted struct {
+	sys    *mor.System
+	cl     *classification
+	nNodes int
+}
+
+// extractSystem recovers the linear partition (and the nonlinear Jacobian at
+// x0 for the gate) from the element stamps via the two-timestep identity
+// A(dt) = G + C/dt. It never mutates element state: load() only reads, and
+// the zero-state source evaluation uses a residual-only loader.
+func extractSystem(c *Circuit, cl *classification, x0 []float64, gmin float64) (*extracted, error) {
+	n := c.NumUnknowns()
+	nNodes := c.NumNodes()
+	isNL := make([]bool, len(c.elems))
+	for _, i := range cl.nlIdx {
+		isNL[i] = true
+	}
+
+	trip := sparse.NewTriplet(n)
+	res := make([]float64, n)
+	starts := make([]int, len(c.elems))
+	ld := &loader{nNodes: nNodes, x: x0, xPrev: x0, jac: trip, res: res, t: 0, dt: 1, gmin: gmin, op: "reduce"}
+	for i, e := range c.elems {
+		starts[i] = trip.Mark()
+		e.load(ld)
+	}
+	csc := trip.Compile()
+	nnz := csc.NNZ()
+
+	replay := func(dt float64, nlOnly bool) []float64 {
+		trip.Reset()
+		for i := range res {
+			res[i] = 0
+		}
+		ld.dt = dt
+		for i, e := range c.elems {
+			if isNL[i] == nlOnly {
+				trip.Seek(starts[i])
+				e.load(ld)
+			}
+		}
+		return append([]float64(nil), csc.X...)
+	}
+	a1 := replay(1, false)
+	a2 := replay(0.5, false)
+	jnl := replay(1, true)
+	inl0 := append([]float64(nil), res...) // nonlinear residual at x0
+
+	g := make([]float64, nnz)
+	cv := make([]float64, nnz)
+	ggate := make([]float64, nnz)
+	for i := range g {
+		g[i] = 2*a1[i] - a2[i]
+		cv[i] = a2[i] - a1[i]
+		ggate[i] = g[i] + jnl[i]
+	}
+	// Flip branch rows into the passive orientation (see package comment).
+	for j := 0; j < n; j++ {
+		for p := csc.P[j]; p < csc.P[j+1]; p++ {
+			if csc.I[p] >= nNodes {
+				g[p] = -g[p]
+				cv[p] = -cv[p]
+				ggate[p] = -ggate[p]
+			}
+		}
+	}
+	hasNL := len(cl.nlIdx) > 0
+	if !hasNL {
+		ggate = nil
+	}
+
+	// U0 = J_nl·x0 − i_nl(x0): the affine offset of the gate's linearization.
+	var u0 []float64
+	if hasNL {
+		jx0 := make([]float64, n)
+		csc.GaxpyWith(jnl, x0, jx0)
+		u0 = make([]float64, len(cl.ports))
+		for pi, row := range cl.ports {
+			v := jx0[row] - inl0[row]
+			if row >= nNodes {
+				v = -v
+			}
+			u0[pi] = v
+		}
+	}
+
+	ex := &extracted{cl: cl, nNodes: nNodes}
+	ex.sys = &mor.System{
+		N:       n,
+		Pattern: csc,
+		G:       g,
+		C:       cv,
+		GGate:   ggate,
+		Ports:   append([]int(nil), cl.ports...),
+		X0:      append([]float64(nil), x0...),
+		U:       ex.sourceEval(c),
+		U0:      u0,
+	}
+	return ex, nil
+}
+
+// sourceEval returns the port-local source closure u(t): the negated
+// zero-state residual of the independent sources, with branch rows flipped
+// to match the extracted orientation. Allocation-free after construction.
+func (ex *extracted) sourceEval(c *Circuit) func(t float64, up []float64) {
+	n := c.NumUnknowns()
+	zeroX := make([]float64, n)
+	resU := make([]float64, n)
+	srcElems := make([]element, 0, len(ex.cl.srcIdx))
+	for _, i := range ex.cl.srcIdx {
+		srcElems = append(srcElems, c.elems[i])
+	}
+	ports := ex.cl.ports
+	nNodes := ex.nNodes
+	ldU := &loader{nNodes: nNodes, x: zeroX, xPrev: zeroX, jac: nil, res: resU, dt: 1, op: "reduce-u"}
+	return func(t float64, up []float64) {
+		for _, row := range ports {
+			resU[row] = 0
+		}
+		ldU.t = t
+		for _, e := range srcElems {
+			e.load(ldU)
+		}
+		for pi, row := range ports {
+			if row >= nNodes {
+				up[pi] = resU[row] // flipped branch row
+			} else {
+				up[pi] = -resU[row]
+			}
+		}
+	}
+}
+
+// nlPortEval adapts the circuit's nonlinear devices to mor.PortEval: residual
+// and Jacobian contributions on the port rows, stamped through a private
+// frozen triplet whose (tiny) pattern is mapped onto the dense p×p Jacobian
+// once at construction.
+type nlPortEval struct {
+	elems  []element
+	starts []int
+	trip   *sparse.Triplet
+	csc    *sparse.CSC
+	x, res []float64
+	ports  []int
+	// jmap[k] = dense p×p index of the k-th pattern entry, or -1 when the
+	// entry falls off the port block (never in practice: nonlinear devices
+	// stamp only their own terminals, which are all ports).
+	jmap   []int
+	nNodes int
+	ld     loader
+}
+
+func newNLPortEval(c *Circuit, cl *classification, n int) (*nlPortEval, error) {
+	pe := &nlPortEval{
+		trip:   sparse.NewTriplet(n),
+		x:      make([]float64, n),
+		res:    make([]float64, n),
+		ports:  cl.ports,
+		nNodes: c.NumNodes(),
+	}
+	pe.ld = loader{nNodes: pe.nNodes, dt: 1, op: "reduce-nl"}
+	pe.ld.jac = pe.trip
+	pe.ld.res = pe.res
+	pe.ld.x = pe.x
+	pe.ld.xPrev = pe.x
+	for _, i := range cl.nlIdx {
+		pe.elems = append(pe.elems, c.elems[i])
+		pe.starts = append(pe.starts, pe.trip.Mark())
+		c.elems[i].load(&pe.ld)
+	}
+	pe.csc = pe.trip.Compile()
+	p := len(cl.ports)
+	for j := 0; j < n; j++ {
+		for k := pe.csc.P[j]; k < pe.csc.P[j+1]; k++ {
+			ri, ci := cl.portIdx[pe.csc.I[k]], cl.portIdx[j]
+			if ri < 0 || ci < 0 {
+				return nil, diag.Domainf("spice.reduce", "nonlinear stamp at (%d,%d) escapes the port set", pe.csc.I[k], j)
+			}
+			pe.jmap = append(pe.jmap, ri*p+ci)
+		}
+	}
+	return pe, nil
+}
+
+// Eval implements mor.PortEval.
+func (pe *nlPortEval) Eval(v, res, jac []float64) {
+	for pi, row := range pe.ports {
+		pe.x[row] = v[pi]
+		pe.res[row] = 0
+	}
+	pe.trip.Reset()
+	for k, e := range pe.elems {
+		pe.trip.Seek(pe.starts[k])
+		e.load(&pe.ld)
+	}
+	for pi, row := range pe.ports {
+		res[pi] += pe.res[row]
+	}
+	for k, di := range pe.jmap {
+		jac[di] += pe.csc.X[k]
+	}
+}
+
+// --- model cache ---
+
+type morCacheEntry struct {
+	model *mor.Model // nil: the reduction was rejected for this fingerprint
+}
+
+var morCache struct {
+	mu sync.Mutex
+	m  map[uint64]*morCacheEntry
+}
+
+const morCacheMax = 16
+
+func morCacheGet(fp uint64) (*morCacheEntry, bool) {
+	morCache.mu.Lock()
+	defer morCache.mu.Unlock()
+	e, ok := morCache.m[fp]
+	return e, ok
+}
+
+func morCachePut(fp uint64, e *morCacheEntry) {
+	morCache.mu.Lock()
+	defer morCache.mu.Unlock()
+	if morCache.m == nil {
+		morCache.m = make(map[uint64]*morCacheEntry)
+	}
+	if len(morCache.m) >= morCacheMax {
+		clear(morCache.m)
+	}
+	morCache.m[fp] = e
+}
+
+// fnv1a64 accumulates FNV-64a over raw uint64 words.
+type fnv1a64 uint64
+
+func newFNV() fnv1a64 { return 0xcbf29ce484222325 }
+
+func (h *fnv1a64) word(w uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= w & 0xff
+		x *= 0x100000001b3
+		w >>= 8
+	}
+	*h = fnv1a64(x)
+}
+
+func (h *fnv1a64) float(f float64) { h.word(math.Float64bits(f)) }
+
+func (h *fnv1a64) ints(v []int) {
+	for _, x := range v {
+		h.word(uint64(x))
+	}
+}
+
+func (h *fnv1a64) floats(v []float64) {
+	for _, x := range v {
+		h.float(x)
+	}
+}
+
+// fingerprint identifies a (system, run shape) pair for the model cache.
+// Source waveforms cannot be hashed structurally, so they are sampled on a
+// coarse grid over the window — two runs that differ only in source content
+// the sampling misses would share a model, which the gate has not validated
+// against; 64 samples across the window makes that practically impossible
+// for physical drive waveforms.
+func (ex *extracted) fingerprint(opts mor.Options, tstop float64) uint64 {
+	h := newFNV()
+	sys := ex.sys
+	h.word(uint64(sys.N))
+	h.ints(sys.Pattern.P)
+	h.ints(sys.Pattern.I)
+	h.floats(sys.G)
+	h.floats(sys.C)
+	if sys.GGate != nil {
+		h.floats(sys.GGate)
+	}
+	h.ints(sys.Ports)
+	h.floats(sys.X0)
+	if sys.U0 != nil {
+		h.floats(sys.U0)
+	}
+	h.float(opts.DT)
+	h.word(uint64(opts.NSteps))
+	if opts.TR {
+		h.word(1)
+	}
+	h.word(uint64(opts.BESteps))
+	if opts.ForceStride1 {
+		h.word(1 << 8)
+	}
+	h.float(opts.Tol)
+	up := make([]float64, len(sys.Ports))
+	for s := 0; s <= 64; s++ {
+		sys.U(tstop*float64(s)/64, up)
+		h.floats(up)
+	}
+	return uint64(h)
+}
+
+// --- reduced transient run ---
+
+// reducedRun is everything the reduced fixed-grid loop needs.
+type reducedRun struct {
+	model  *mor.Model
+	ex     *extracted
+	pe     *nlPortEval // nil for linear circuits
+	newton mor.NewtonOpts
+	fp     uint64
+}
+
+// tryReduce attempts to build (or fetch) a validated reduced model for a
+// fixed-grid run starting from x0. A nil return with nil error means "not
+// applicable" — the caller proceeds with the full solver. Element state is
+// left untouched. beSteps is the run's initial BE-startup count (the
+// schedule the model is validated against).
+func (c *Circuit) tryReduce(opts TranOpts, x0 []float64, probes []Probe, nSteps, beSteps int) (*reducedRun, error) {
+	if opts.NoReduction || opts.NoFastPath {
+		return nil, nil
+	}
+	if nSteps < reduceMinSteps || c.NumUnknowns() < reduceMinUnknowns {
+		return nil, nil
+	}
+	tr := opts.Method == Trapezoidal
+	if tr && beSteps < 1 {
+		return nil, nil // the reduced TR recursion needs a BE seed step
+	}
+	cl, err := classifyReduction(c, probes)
+	if err != nil {
+		opts.Report.Record("mor", "classify", diag.OutcomeSkipped, err.Error(), nil)
+		return nil, nil
+	}
+	ex, err := extractSystem(c, cl, x0, opts.Gmin)
+	if err != nil {
+		opts.Report.Record("mor", "extract", diag.OutcomeSkipped, err.Error(), nil)
+		return nil, nil
+	}
+	mopts := mor.Options{
+		DT:           opts.DT,
+		NSteps:       nSteps,
+		TR:           tr,
+		BESteps:      beSteps,
+		Tol:          reduceTol,
+		ForceStride1: opts.CheckpointPath != "" || opts.resumeStride1,
+		Injector:     opts.Injector,
+		Report:       opts.Report,
+	}
+	fp := ex.fingerprint(mopts, opts.TStop)
+	if e, ok := morCacheGet(fp); ok {
+		if e.model == nil {
+			return nil, nil
+		}
+		rr := c.finishReduce(e.model, ex, fp, opts)
+		if rr != nil {
+			opts.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(e.model, true), nil)
+		}
+		return rr, nil
+	}
+	model, rerr := mor.Reduce(ex.sys, mopts)
+	if rerr != nil {
+		opts.Report.Record("mor", "reduce", diag.OutcomeSkipped, rerr.Error(), nil)
+		if !runctl.IsStop(rerr) {
+			morCachePut(fp, &morCacheEntry{})
+		}
+		return nil, nil
+	}
+	rr := c.finishReduce(model, ex, fp, opts)
+	if rr == nil {
+		return nil, nil
+	}
+	// Large-signal confirmation for nonlinear circuits: the linearized gate
+	// cannot see rail-to-rail behaviour.
+	if rr.pe != nil {
+		cerr, err := c.confirmReduced(rr, opts, nSteps, beSteps)
+		if err != nil {
+			if runctl.IsStop(err) {
+				return nil, err
+			}
+			opts.Report.Record("mor", "confirm", diag.OutcomeSkipped, err.Error(), nil)
+			morCachePut(fp, &morCacheEntry{})
+			return nil, nil
+		}
+		if cerr > confirmFactor*reduceTol {
+			opts.Report.Record("mor", "confirm", diag.OutcomeFailed,
+				fmt.Sprintf("large-signal relerr=%.3g above %g", cerr, confirmFactor*reduceTol), nil)
+			morCachePut(fp, &morCacheEntry{})
+			return nil, nil
+		}
+		opts.Report.Record("mor", "confirm", diag.OutcomeOK, fmt.Sprintf("relerr=%.3g", cerr), nil)
+	}
+	morCachePut(fp, &morCacheEntry{model: model})
+	opts.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(model, false), nil)
+	return rr, nil
+}
+
+// acceptDetail summarizes an accepted reduced model for the diag report.
+func acceptDetail(m *mor.Model, cached bool) string {
+	s := fmt.Sprintf("order=%d comps=%v ports=%d stride=%d gate=%.3g",
+		m.TotalOrder(), m.ComponentDims(), m.NumPorts(), m.Stride, m.GateErr)
+	if cached {
+		s += " (cached)"
+	}
+	return s
+}
+
+// finishReduce assembles the per-run pieces around a validated model; a nil
+// return means the port-device adapter could not be built and the caller
+// must fall back.
+func (c *Circuit) finishReduce(model *mor.Model, ex *extracted, fp uint64, opts TranOpts) *reducedRun {
+	rr := &reducedRun{
+		model: model,
+		ex:    ex,
+		fp:    fp,
+		newton: mor.NewtonOpts{
+			MaxNewton: opts.MaxNewton,
+			ITol:      opts.ITol,
+			RelTol:    opts.RelTol,
+			VNTol:     opts.VNTol,
+			MaxStep:   opts.MaxStep,
+		},
+	}
+	if len(ex.cl.nlIdx) > 0 {
+		pe, err := newNLPortEval(c, ex.cl, c.NumUnknowns())
+		if err != nil {
+			opts.Report.Record("mor", "porteval", diag.OutcomeSkipped, err.Error(), nil)
+			return nil
+		}
+		rr.pe = pe
+	}
+	return rr
+}
+
+// confirmReduced steps a window of the run with BOTH the real full solver
+// and the reduced model and returns the worst per-port relative RMS error.
+// Full-solver element state (capacitor histories) is restored afterwards, so
+// the production run starts clean either way.
+func (c *Circuit) confirmReduced(rr *reducedRun, opts TranOpts, nSteps, beSteps int) (float64, error) {
+	w := nSteps
+	if w > confirmWindow {
+		w = confirmWindow
+	}
+	stride := rr.model.Stride
+	if ni := w / stride; ni < 8 {
+		w = 8 * stride
+		if w > nSteps {
+			w = nSteps
+			stride = 1
+		}
+	}
+	ni := w / stride
+	w = ni * stride
+	ports := rr.ex.cl.ports
+	p := len(ports)
+
+	// Full-solver reference. A dedicated newtonState keeps the production
+	// solver untouched; capacitor companion histories are snapshotted.
+	savedCaps := c.capStates()
+	defer func() {
+		_ = c.restoreCapStates(savedCaps)
+	}()
+	ns := newNewtonState(c)
+	copy(ns.x, rr.ex.sys.X0)
+	copy(ns.xPrev, ns.x)
+	ref := make([][]float64, p)
+	for pi := range ref {
+		ref[pi] = make([]float64, w+1)
+		ref[pi][0] = ns.x[ports[pi]]
+	}
+	be := beSteps
+	for s := 1; s <= w; s++ {
+		trap := opts.Method == Trapezoidal && be <= 0
+		ld := &ns.ld
+		*ld = loader{t: float64(s) * opts.DT, dt: opts.DT, trap: trap, gmin: opts.Gmin, op: "mor-confirm", step: s}
+		copy(ns.xPrev, ns.x)
+		if _, err := ns.solveNewton(ld, opts); err != nil {
+			return 0, err
+		}
+		ld.x = ns.x
+		ld.xPrev = ns.xPrev
+		for _, e := range c.elems {
+			e.accept(ld)
+		}
+		if be > 0 {
+			be--
+		}
+		for pi := range ref {
+			ref[pi][s] = ns.x[ports[pi]]
+		}
+	}
+
+	// Reduced run over the same window.
+	run := rr.model.NewRun()
+	dtInt := float64(stride) * opts.DT
+	stBE, err := rr.model.PrepStepper(dtInt, false)
+	if err != nil {
+		return 0, err
+	}
+	var stTR *mor.Stepper
+	if opts.Method == Trapezoidal {
+		if stTR, err = rr.model.PrepStepper(dtInt, true); err != nil {
+			return 0, err
+		}
+	}
+	u := make([]float64, p)
+	uPrev := make([]float64, p)
+	rr.ex.sys.U(0, uPrev)
+	ts := make([]float64, ni+1)
+	vals := make([][]float64, p)
+	for pi := range vals {
+		vals[pi] = make([]float64, ni+1)
+		vals[pi][0] = run.PortValues()[pi]
+	}
+	for j := 1; j <= ni; j++ {
+		t := float64(j*stride) * opts.DT
+		st := stBE
+		if rr.model.StepIsTR(j) {
+			st = stTR
+		}
+		rr.ex.sys.U(t, u)
+		if _, err := run.Advance(st, t, u, uPrev, rr.portEval(), rr.newton); err != nil {
+			return 0, err
+		}
+		u, uPrev = uPrev, u
+		ts[j] = t
+		for pi := range vals {
+			vals[pi][j] = run.PortValues()[pi]
+		}
+	}
+
+	// Worst per-port relative RMS, with the same small-signal floor the
+	// linearized gate uses.
+	out := make([]float64, w+1)
+	rms := make([]float64, p)
+	scale := make([]float64, p)
+	maxScale := 0.0
+	for pi := 0; pi < p; pi++ {
+		if stride == 1 {
+			copy(out, vals[pi])
+		} else {
+			mor.ResampleHermite(ts, vals[pi], opts.DT, out)
+		}
+		var se, sr float64
+		for s := 0; s <= w; s++ {
+			d := ref[pi][s] - out[s]
+			se += d * d
+			sr += ref[pi][s] * ref[pi][s]
+		}
+		rms[pi] = math.Sqrt(se / float64(w+1))
+		scale[pi] = math.Sqrt(sr / float64(w+1))
+		if scale[pi] > maxScale {
+			maxScale = scale[pi]
+		}
+	}
+	worst := 0.0
+	for pi := 0; pi < p; pi++ {
+		den := scale[pi]
+		if floor := 1e-6 * maxScale; den < floor {
+			den = floor
+		}
+		if den == 0 {
+			den = 1
+		}
+		e := rms[pi] / den
+		if math.IsNaN(e) {
+			return math.Inf(1), nil
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// portEval returns the nonlinear port adapter as the mor interface, with a
+// true nil for linear circuits (a nil *nlPortEval boxed into the interface
+// would defeat mor's pe == nil linear bypass).
+func (rr *reducedRun) portEval() mor.PortEval {
+	if rr.pe == nil {
+		return nil
+	}
+	return rr.pe
+}
+
+// prepPair returns the BE (and, for trapezoidal runs, TR) steppers at dt.
+func (rr *reducedRun) prepPair(opts TranOpts, dt float64) (stBE, stTR *mor.Stepper, err error) {
+	if stBE, err = rr.model.PrepStepper(dt, false); err != nil {
+		return nil, nil, err
+	}
+	if opts.Method == Trapezoidal {
+		if stTR, err = rr.model.PrepStepper(dt, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	return stBE, stTR, nil
+}
+
+// record appends one output grid sample from the reduced run's port values,
+// using the same T formula as the full solver's loop.
+func (rr *reducedRun) record(run *mor.Run, res *Result, opts TranOpts) {
+	res.T = append(res.T, float64(len(res.T))*opts.DT)
+	pv := run.PortValues()
+	for i, pi := range rr.ex.cl.probePI {
+		v := 0.0
+		if pi >= 0 {
+			v = pv[pi]
+		}
+		res.Signals[i] = append(res.Signals[i], v)
+	}
+}
+
+// reducedLoopRun marches the reduced model from output step startStep
+// through the end of the window. It returns (result, nil, false) on success,
+// (nil, nil, true) when the run must bail out to the full solver (the caller
+// reruns from scratch — element state is untouched, so that is always
+// legal), and a non-nil error only for terminal run-control stops or
+// checkpoint I/O failures, with the partial-result contract honoured.
+func (c *Circuit) reducedLoopRun(opts TranOpts, rr *reducedRun, run *mor.Run, res *Result, probes []Probe, nSteps, startStep, beSteps int) (*Result, error, bool) {
+	if rr.model.Stride == 1 {
+		return c.reducedLoopDirect(opts, rr, run, res, probes, nSteps, startStep, beSteps)
+	}
+	return c.reducedLoopStrided(opts, rr, run, res, probes, nSteps)
+}
+
+// reducedLoopDirect is the stride-1 mode: every internal step lands on an
+// output grid point, recorded directly — which makes checkpointing and
+// resume possible, and keeps the partial-result contract sample-exact.
+func (c *Circuit) reducedLoopDirect(opts TranOpts, rr *reducedRun, run *mor.Run, res *Result, probes []Probe, nSteps, startStep, beSteps int) (*Result, error, bool) {
+	p := rr.model.NumPorts()
+	stBE, stTR, err := rr.prepPair(opts, opts.DT)
+	if err != nil {
+		return nil, nil, true
+	}
+	u := make([]float64, p)
+	uPrev := make([]float64, p)
+	rr.ex.sys.U(float64(startStep-1)*opts.DT, uPrev)
+
+	checkpointing := opts.CheckpointPath != ""
+	var xFull, xFullPrev []float64
+	if checkpointing {
+		xFull = make([]float64, rr.model.N)
+		xFullPrev = make([]float64, rr.model.N)
+		run.ExpandInto(xFullPrev)
+	}
+	for j := startStep; j <= nSteps; j++ {
+		if err := opts.ctl.Tick("spice.mor"); err != nil {
+			res.Partial = true
+			res.PartialT = float64(j-1) * opts.DT
+			return res, err, false
+		}
+		if opts.Injector != nil {
+			if ierr := opts.Injector.At(diag.Site{Op: "spice.mor/step", Time: float64(j) * opts.DT, Step: j}); ierr != nil {
+				opts.Report.Record("mor", "bailout", diag.OutcomeFailed, "injected reduced-step fault", ierr)
+				return nil, nil, true
+			}
+		}
+		t := float64(j) * opts.DT
+		st := stBE
+		if rr.model.StepIsTR(j) {
+			st = stTR
+		}
+		rr.ex.sys.U(t, u)
+		if _, aerr := run.Advance(st, t, u, uPrev, rr.portEval(), rr.newton); aerr != nil {
+			opts.Report.Record("mor", "bailout", diag.OutcomeFailed,
+				fmt.Sprintf("reduced step failed at t=%g", t), aerr)
+			return nil, nil, true
+		}
+		u, uPrev = uPrev, u
+		rr.record(run, res, opts)
+		if checkpointing {
+			run.ExpandInto(xFull)
+			if j%opts.CheckpointEvery == 0 || j == nSteps {
+				if werr := c.writeReducedCheckpoint(opts, j, remainingBE(beSteps, j), rr, run, xFull, xFullPrev, res); werr != nil {
+					return res, werr, false
+				}
+			}
+			xFull, xFullPrev = xFullPrev, xFull
+		}
+	}
+	return res, nil, false
+}
+
+// remainingBE is the BE-startup counter after j completed output steps —
+// the value the full solver's loop would carry at that boundary.
+func remainingBE(beSteps, j int) int {
+	if j >= beSteps {
+		return 0
+	}
+	return beSteps - j
+}
+
+// reducedLoopStrided is the stride-k mode: the model advances on the coarse
+// internal grid the gate validated, coarse port samples are resampled onto
+// the output grid with cubic Hermite interpolation, and the remainder steps
+// (output window not divisible by the stride) run at the output dt.
+func (c *Circuit) reducedLoopStrided(opts TranOpts, rr *reducedRun, run *mor.Run, res *Result, probes []Probe, nSteps int) (*Result, error, bool) {
+	model := rr.model
+	k := model.Stride
+	ni := nSteps / k
+	rem := nSteps - ni*k
+	p := model.NumPorts()
+	stBE, stTR, err := rr.prepPair(opts, float64(k)*opts.DT)
+	if err != nil {
+		return nil, nil, true
+	}
+
+	u := make([]float64, p)
+	uPrev := make([]float64, p)
+	rr.ex.sys.U(0, uPrev)
+	ts := make([]float64, ni+1)
+	vals := make([][]float64, len(probes))
+	pv := run.PortValues()
+	for i := range vals {
+		vals[i] = make([]float64, ni+1)
+		if pi := rr.ex.cl.probePI[i]; pi >= 0 {
+			vals[i][0] = pv[pi]
+		}
+	}
+
+	// resampleInto flushes the coarse samples of internal steps 1..j onto
+	// the output grid, appending to res.
+	resampleInto := func(j int) {
+		if j < 1 {
+			return
+		}
+		wOut := j * k
+		out := make([]float64, wOut+1)
+		for i := range probes {
+			mor.ResampleHermite(ts[:j+1], vals[i][:j+1], opts.DT, out)
+			res.Signals[i] = append(res.Signals[i], out[1:]...)
+		}
+		for s := 1; s <= wOut; s++ {
+			res.T = append(res.T, float64(len(res.T))*opts.DT)
+		}
+	}
+
+	for j := 1; j <= ni; j++ {
+		if err := opts.ctl.Tick("spice.mor"); err != nil {
+			resampleInto(j - 1)
+			res.Partial = true
+			res.PartialT = float64((j-1)*k) * opts.DT
+			return res, err, false
+		}
+		if opts.Injector != nil {
+			if ierr := opts.Injector.At(diag.Site{Op: "spice.mor/step", Time: float64(j*k) * opts.DT, Step: j}); ierr != nil {
+				opts.Report.Record("mor", "bailout", diag.OutcomeFailed, "injected reduced-step fault", ierr)
+				return nil, nil, true
+			}
+		}
+		t := float64(j*k) * opts.DT
+		st := stBE
+		if model.StepIsTR(j) {
+			st = stTR
+		}
+		rr.ex.sys.U(t, u)
+		if _, aerr := run.Advance(st, t, u, uPrev, rr.portEval(), rr.newton); aerr != nil {
+			opts.Report.Record("mor", "bailout", diag.OutcomeFailed,
+				fmt.Sprintf("reduced step failed at t=%g", t), aerr)
+			return nil, nil, true
+		}
+		u, uPrev = uPrev, u
+		ts[j] = t
+		pv = run.PortValues()
+		for i := range vals {
+			if pi := rr.ex.cl.probePI[i]; pi >= 0 {
+				vals[i][j] = pv[pi]
+			}
+		}
+	}
+	resampleInto(ni)
+
+	if rem > 0 {
+		stBE1, stTR1, err := rr.prepPair(opts, opts.DT)
+		if err != nil {
+			// The coarse window is already recorded, but a half-recorded
+			// result cannot be handed to the full-solver rerun: bail out
+			// and let the caller reset the result.
+			return nil, nil, true
+		}
+		rr.ex.sys.U(float64(ni*k)*opts.DT, uPrev)
+		for s := 1; s <= rem; s++ {
+			if err := opts.ctl.Tick("spice.mor"); err != nil {
+				res.Partial = true
+				res.PartialT = float64(ni*k+s-1) * opts.DT
+				return res, err, false
+			}
+			j := ni + s
+			t := float64(ni*k+s) * opts.DT
+			st := stBE1
+			if model.StepIsTR(j) {
+				st = stTR1
+			}
+			rr.ex.sys.U(t, u)
+			if _, aerr := run.Advance(st, t, u, uPrev, rr.portEval(), rr.newton); aerr != nil {
+				opts.Report.Record("mor", "bailout", diag.OutcomeFailed,
+					fmt.Sprintf("reduced remainder step failed at t=%g", t), aerr)
+				return nil, nil, true
+			}
+			u, uPrev = uPrev, u
+			rr.record(run, res, opts)
+		}
+	}
+	return res, nil, false
+}
+
+// writeReducedCheckpoint snapshots a reduced stride-1 run at an output grid
+// boundary. X carries the expanded full-space state; CapI carries
+// backward-Euler estimates of the capacitor companion currents from the last
+// step's expanded states (informative — a resume of a reduced checkpoint
+// always restores the reduced coordinates from the MOR blob, never CapI).
+func (c *Circuit) writeReducedCheckpoint(opts TranOpts, step, beSteps int, rr *reducedRun, run *mor.Run, xFull, xFullPrev []float64, res *Result) error {
+	nodeV := func(x []float64, id NodeID) float64 {
+		if id == Ground {
+			return 0
+		}
+		return x[id]
+	}
+	var capi []float64
+	for _, e := range c.elems {
+		if cp, ok := e.(*capacitor); ok {
+			dv := (nodeV(xFull, cp.a) - nodeV(xFull, cp.b)) -
+				(nodeV(xFullPrev, cp.a) - nodeV(xFullPrev, cp.b))
+			capi = append(capi, cp.c*dv/opts.DT)
+		}
+	}
+	st := run.CaptureState()
+	cp := &Checkpoint{
+		Version:   checkpointVersion,
+		TStop:     opts.TStop,
+		DT:        opts.DT,
+		Method:    int(opts.Method),
+		NUnknowns: rr.model.N,
+		NCaps:     len(capi),
+		Step:      step,
+		BESteps:   beSteps,
+		X:         xFull,
+		CapI:      capi,
+		T:         res.T,
+		Labels:    res.Labels,
+		Signals:   res.Signals,
+		MOR: &MORCheckpoint{
+			Fingerprint: rr.fp,
+			T:           st.T,
+			V:           st.V,
+			Z:           st.Z,
+		},
+	}
+	return cp.WriteFile(opts.CheckpointPath)
+}
+
+// --- adaptive reduced run ---
+
+// tryReduceAdaptive builds (or fetches) a reduced model for an adaptive
+// trapezoidal run. Only fully linear circuits take the adaptive reduced
+// path — the interplay of reduced Newton retreats with LTE step control is
+// not worth the risk for the handful of nonlinear adaptive workloads. A nil
+// return means "use the full solver".
+func (c *Circuit) tryReduceAdaptive(opts AdaptiveOpts, tran TranOpts, x0 []float64, probes []Probe) *reducedRun {
+	if opts.NoReduction || opts.NoFastPath {
+		return nil
+	}
+	if c.NumUnknowns() < reduceMinUnknowns || opts.TStop/opts.DTInit < reduceMinSteps {
+		return nil
+	}
+	cl, err := classifyReduction(c, probes)
+	if err != nil {
+		tran.Report.Record("mor", "classify", diag.OutcomeSkipped, err.Error(), nil)
+		return nil
+	}
+	if len(cl.nlIdx) > 0 {
+		tran.Report.Record("mor", "classify", diag.OutcomeSkipped,
+			"nonlinear circuit: adaptive runs reduce linear circuits only", nil)
+		return nil
+	}
+	ex, err := extractSystem(c, cl, x0, tran.Gmin)
+	if err != nil {
+		tran.Report.Record("mor", "extract", diag.OutcomeSkipped, err.Error(), nil)
+		return nil
+	}
+	// The gate validates the projection subspace on the DTInit grid with the
+	// run's TR/BE-start schedule; the subspace itself (a Krylov space of G
+	// and C) is dt-independent, and the per-dt LTE controller governs
+	// accuracy as the adaptive grid stretches toward DTMax.
+	mopts := mor.Options{
+		DT:           opts.DTInit,
+		NSteps:       int(opts.TStop / opts.DTInit),
+		TR:           true,
+		BESteps:      2,
+		Tol:          reduceTol,
+		ForceStride1: true,
+	}
+	fp := ex.fingerprint(mopts, opts.TStop)
+	if e, ok := morCacheGet(fp); ok {
+		if e.model == nil {
+			return nil
+		}
+		rr := c.finishReduce(e.model, ex, fp, tran)
+		if rr != nil {
+			tran.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(e.model, true), nil)
+		}
+		return rr
+	}
+	model, rerr := mor.Reduce(ex.sys, mopts)
+	if rerr != nil {
+		tran.Report.Record("mor", "reduce", diag.OutcomeSkipped, rerr.Error(), nil)
+		if !runctl.IsStop(rerr) {
+			morCachePut(fp, &morCacheEntry{})
+		}
+		return nil
+	}
+	morCachePut(fp, &morCacheEntry{model: model})
+	rr := c.finishReduce(model, ex, fp, tran)
+	if rr != nil {
+		tran.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(model, false), nil)
+	}
+	return rr
+}
+
+// reducedAdaptiveLoop mirrors the full adaptive loop in the reduced space:
+// per-dt prepared steppers, the same quadratic-predictor LTE estimate
+// evaluated on the node-voltage ports, the same resize rule. Returns
+// bailed=true when the caller must rerun with the full solver.
+func (c *Circuit) reducedAdaptiveLoop(opts AdaptiveOpts, tran TranOpts, rr *reducedRun, res *Result, probes []Probe) (*Result, error, bool) {
+	model := rr.model
+	run := model.NewRun()
+	p := model.NumPorts()
+	var nodePorts []int // LTE is defined on node voltages, as in the full loop
+	for pi, row := range rr.ex.cl.ports {
+		if row < rr.ex.nNodes {
+			nodePorts = append(nodePorts, pi)
+		}
+	}
+	u := make([]float64, p)
+	uPrev := make([]float64, p)
+	h1 := make([]float64, p)
+	h2 := make([]float64, p)
+	prevV := make([]float64, p)
+	var t1, t2 float64
+	havePts := 0
+
+	record := func(t float64) {
+		res.T = append(res.T, t)
+		pv := run.PortValues()
+		for i, pi := range rr.ex.cl.probePI {
+			v := 0.0
+			if pi >= 0 {
+				v = pv[pi]
+			}
+			res.Signals[i] = append(res.Signals[i], v)
+		}
+	}
+
+	t := 0.0
+	dt := opts.DTInit
+	beSteps := 2
+	fails := 0
+	for t < opts.TStop*(1-1e-12) {
+		if err := tran.ctl.Tick("spice.mor"); err != nil {
+			res.Partial = true
+			res.PartialT = t
+			return res, err, false
+		}
+		if t+dt > opts.TStop {
+			dt = opts.TStop - t
+		}
+		trap := beSteps <= 0
+		st, perr := model.PrepStepper(dt, trap)
+		if perr != nil {
+			return nil, nil, true
+		}
+		tn := t + dt
+		rr.ex.sys.U(t, uPrev)
+		rr.ex.sys.U(tn, u)
+		copy(prevV, run.PortValues())
+		snap := run.CaptureState()
+		if _, aerr := run.Advance(st, tn, u, uPrev, nil, rr.newton); aerr != nil {
+			fails++
+			if fails > 30 {
+				return nil, nil, true
+			}
+			dt /= 2
+			if dt < opts.DTMin {
+				return nil, nil, true
+			}
+			continue
+		}
+		fails = 0
+		if havePts >= 2 && trap {
+			l2 := (tn - t1) * (tn - t) / ((t2 - t1) * (t2 - t))
+			l1 := (tn - t2) * (tn - t) / ((t1 - t2) * (t1 - t))
+			l0 := (tn - t2) * (tn - t1) / ((t - t2) * (t - t1))
+			errMax := 0.0
+			pv := run.PortValues()
+			for _, pi := range nodePorts {
+				pred := l2*h2[pi] + l1*h1[pi] + l0*prevV[pi]
+				if e := math.Abs(pv[pi] - pred); e > errMax {
+					errMax = e
+				}
+			}
+			if errMax > 8*opts.LTETol && dt > opts.DTMin {
+				if rerr := run.RestoreState(snap); rerr != nil {
+					return nil, nil, true
+				}
+				dt = math.Max(dt/2, opts.DTMin)
+				continue
+			}
+			ratio := math.Pow(opts.LTETol/math.Max(errMax, 1e-300), 1.0/3)
+			ratio = math.Min(math.Max(ratio, 0.3), 2)
+			dt = math.Min(math.Max(dt*ratio, opts.DTMin), opts.DTMax)
+		}
+		t2, t1 = t1, t
+		copy(h2, h1)
+		copy(h1, prevV)
+		if havePts < 2 {
+			havePts++
+		}
+		t = tn
+		if beSteps > 0 {
+			beSteps--
+		}
+		record(t)
+	}
+	return res, nil, false
+}

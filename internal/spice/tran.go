@@ -56,6 +56,13 @@ type TranOpts struct {
 	// to solver tolerance for nonlinear ones; this switch exists for the
 	// differential test suite and as an escape hatch.
 	NoFastPath bool
+	// NoReduction disables the Krylov reduced-order transient fast path
+	// (see reduce.go): the full per-step sparse solver runs regardless of
+	// circuit structure. Reduced and full runs agree to the reduction
+	// tolerance (1e-4 relative RMS waveform error), not bit-exactly — this
+	// switch exists for differential testing, for resuming checkpoints
+	// written by full-solver runs, and as an escape hatch.
+	NoReduction bool
 	// Injector injects solver faults for testing (nil in production).
 	Injector *diag.Injector
 	// Report, when non-nil, collects the recovery-ladder attempts of the
@@ -75,10 +82,22 @@ type TranOpts struct {
 	// CheckpointEvery is the checkpoint cadence in output grid steps
 	// (default 64 when CheckpointPath is set).
 	CheckpointEvery int
+	// ResultBuf, when non-nil, is reset and used as the run's Result so its
+	// backing waveform arrays are recycled — the returned *Result is
+	// ResultBuf itself. Sweeps that only keep scalar metrics per run (e.g.
+	// the Figure 11 period sweep) pass the same buffer to every run to
+	// avoid re-allocating the waveform storage. The previous run's samples
+	// are invalid once the buffer is passed back in.
+	ResultBuf *Result
 
 	// ctl is the per-run controller built by TransientCtx from the caller's
 	// context and Limits; it flows to every nested solve of the run.
 	ctl *runctl.Controller
+	// resumeStride1 marks a reduced-checkpoint resume: the model must be
+	// rebuilt stride-1 (as the checkpointing run built it) even though the
+	// resume options may not set CheckpointPath, or the content fingerprint
+	// would not match the snapshot.
+	resumeStride1 bool
 }
 
 // Validate rejects option sets whose tolerances or budgets are negative or
@@ -650,14 +669,21 @@ func (c *Circuit) TransientCtx(ctx context.Context, opts TranOpts, probes ...Pro
 	copy(ns.xPrev, ns.x)
 
 	nSteps := int(math.Ceil(opts.TStop/opts.DT + 1e-9))
-	res = &Result{
-		T:       make([]float64, 0, nSteps+1),
-		Signals: make([][]float64, len(probes)),
-		Labels:  make([]string, len(probes)),
+	res = opts.ResultBuf
+	if res == nil {
+		res = &Result{}
+	}
+	res.Partial, res.PartialT = false, 0
+	res.T = growCapF(res.T, nSteps+1)
+	if len(res.Signals) != len(probes) {
+		res.Signals = make([][]float64, len(probes))
+	}
+	if len(res.Labels) != len(probes) {
+		res.Labels = make([]string, len(probes))
 	}
 	for i, p := range probes {
 		res.Labels[i] = p.Label()
-		res.Signals[i] = make([]float64, 0, nSteps+1)
+		res.Signals[i] = growCapF(res.Signals[i], nSteps+1)
 	}
 	res.T = append(res.T, 0) // t = 0
 	for i, p := range probes {
@@ -668,7 +694,36 @@ func (c *Circuit) TransientCtx(ctx context.Context, opts TranOpts, probes ...Pro
 	if opts.NoBEStart {
 		beSteps = 0
 	}
+
+	// Krylov reduced-order fast path: when the circuit's linear partition
+	// admits a gate-validated projection, march the reduced system instead
+	// of the full one and fall back here on any reduced-step failure (the
+	// reduced run touches no element state, so a full rerun from t=0 is
+	// always legal).
+	if rr, rerr := c.tryReduce(opts, ns.x, probes, nSteps, beSteps); rerr != nil {
+		res.Partial = true
+		return res, rerr
+	} else if rr != nil {
+		out, lerr, bailed := c.reducedLoopRun(opts, rr, rr.model.NewRun(), res, probes, nSteps, 1, beSteps)
+		if !bailed {
+			return out, lerr
+		}
+		opts.Report.Record("mor", "fallback", diag.OutcomeSkipped,
+			"reduced run bailed out; rerunning with the full solver", nil)
+		res.T = res.T[:1]
+		for i := range res.Signals {
+			res.Signals[i] = res.Signals[i][:1]
+		}
+	}
 	return c.transientLoop(opts, ns, res, probes, 1, beSteps)
+}
+
+// growCapF returns b emptied, with capacity for at least n samples.
+func growCapF(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, 0, n)
+	}
+	return b[:0]
 }
 
 // transientLoop marches the output grid from startStep through the end of

@@ -86,10 +86,61 @@ type Result struct {
 
 // Run builds and simulates the coupled pair.
 func Run(cfg Config) (Result, error) {
+	var w Workspace
+	return w.Run(cfg)
+}
+
+// Workspace amortizes repeated crosstalk runs. The discretized coupled-pair
+// circuit is built once per distinct (post-default) Config and reused for
+// every following Run with the same config — and through the spice layer the
+// reduced-order projection is fingerprint-cached too, so steady-state
+// iterations pay only for the transient solve itself. A Workspace is not
+// safe for concurrent use; the zero value is ready.
+type Workspace struct {
+	cfg                   Config
+	ckt                   *spice.Circuit
+	vicIn, vicEnd, aggEnd spice.NodeID
+	built                 bool
+}
+
+// Run simulates cfg, rebuilding the cached circuit only when cfg differs
+// from the previous call's.
+func (w *Workspace) Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
+	if !w.built || cfg != w.cfg {
+		if err := w.build(cfg); err != nil {
+			return Result{}, err
+		}
+	}
+	res, err := w.ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true},
+		spice.NodeProbe{Name: "vnear", ID: w.vicIn},
+		spice.NodeProbe{Name: "vfar", ID: w.vicEnd},
+		spice.NodeProbe{Name: "aggfar", ID: w.aggEnd},
+	)
+	if err != nil {
+		return Result{}, fmt.Errorf("xtalk: transient: %w", err)
+	}
+	p := cfg.Pair
+	out := Result{T: res.T}
+	out.VNear, _ = res.Signal("vnear")
+	out.VFar, _ = res.Signal("vfar")
+	out.VAggFar, _ = res.Signal("aggfar")
+	out.NearPeak = signedPeak(out.VNear)
+	out.FarPeak = signedPeak(out.VFar)
+	out.PredictedNear = p.BackwardCrosstalk() * cfg.VStep
+	if kf := p.ForwardCrosstalk(); kf < 0 {
+		out.PredictedFarSign = -1
+	} else if kf > 0 {
+		out.PredictedFarSign = 1
+	}
+	return out, nil
+}
+
+// build constructs the discretized coupled pair for cfg (already defaulted).
+func (w *Workspace) build(cfg Config) error {
 	p := cfg.Pair
 	ckt := spice.New()
 	src := ckt.Node("src")
@@ -97,15 +148,15 @@ func Run(cfg Config) (Result, error) {
 		V0: 0, V1: cfg.VStep, Rise: cfg.TRise, Fall: cfg.TRise,
 		Width: cfg.TStop, Period: 4 * cfg.TStop,
 	}); err != nil {
-		return Result{}, err
+		return err
 	}
 	aggIn := ckt.Node("agg_in")
 	vicIn := ckt.Node("vic_in")
 	if err := ckt.AddR(src, aggIn, cfg.RDrive); err != nil {
-		return Result{}, err
+		return err
 	}
 	if err := ckt.AddR(vicIn, spice.Ground, cfg.RTerm); err != nil {
-		return Result{}, err
+		return err
 	}
 	n := cfg.Sections
 	dR := p.R * cfg.H / float64(n)
@@ -122,33 +173,33 @@ func Run(cfg Config) (Result, error) {
 		aggNext := ckt.Node(fmt.Sprintf("an%d", i))
 		vicNext := ckt.Node(fmt.Sprintf("vn%d", i))
 		if err := ckt.AddR(aggPrev, aggMid, dR); err != nil {
-			return Result{}, err
+			return err
 		}
 		if err := ckt.AddR(vicPrev, vicMid, dR); err != nil {
-			return Result{}, err
+			return err
 		}
 		la, err := ckt.AddL(aggMid, aggNext, dL)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		lv, err := ckt.AddL(vicMid, vicNext, dL)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		if kCoef > 0 {
 			if _, err := ckt.AddMutual(la, lv, kCoef); err != nil {
-				return Result{}, err
+				return err
 			}
 		}
 		if err := ckt.AddC(aggNext, spice.Ground, dCg); err != nil {
-			return Result{}, err
+			return err
 		}
 		if err := ckt.AddC(vicNext, spice.Ground, dCg); err != nil {
-			return Result{}, err
+			return err
 		}
 		if dCm > 0 {
 			if err := ckt.AddC(aggNext, vicNext, dCm); err != nil {
-				return Result{}, err
+				return err
 			}
 		}
 		aggPrev, vicPrev = aggNext, vicNext
@@ -156,33 +207,17 @@ func Run(cfg Config) (Result, error) {
 	}
 	// Far-end terminations.
 	if err := ckt.AddR(aggEnd, spice.Ground, cfg.RTerm); err != nil {
-		return Result{}, err
+		return err
 	}
 	if err := ckt.AddR(vicEnd, spice.Ground, cfg.RTerm); err != nil {
-		return Result{}, err
+		return err
 	}
 
-	res, err := ckt.Transient(spice.TranOpts{TStop: cfg.TStop, DT: cfg.DT, UseICs: true},
-		spice.NodeProbe{Name: "vnear", ID: vicIn},
-		spice.NodeProbe{Name: "vfar", ID: vicEnd},
-		spice.NodeProbe{Name: "aggfar", ID: aggEnd},
-	)
-	if err != nil {
-		return Result{}, fmt.Errorf("xtalk: transient: %w", err)
-	}
-	out := Result{T: res.T}
-	out.VNear, _ = res.Signal("vnear")
-	out.VFar, _ = res.Signal("vfar")
-	out.VAggFar, _ = res.Signal("aggfar")
-	out.NearPeak = signedPeak(out.VNear)
-	out.FarPeak = signedPeak(out.VFar)
-	out.PredictedNear = p.BackwardCrosstalk() * cfg.VStep
-	if kf := p.ForwardCrosstalk(); kf < 0 {
-		out.PredictedFarSign = -1
-	} else if kf > 0 {
-		out.PredictedFarSign = 1
-	}
-	return out, nil
+	w.cfg = cfg
+	w.ckt = ckt
+	w.vicIn, w.vicEnd, w.aggEnd = vicIn, vicEnd, aggEnd
+	w.built = true
+	return nil
 }
 
 // signedPeak returns the sample with the largest magnitude, keeping sign.

@@ -117,3 +117,43 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("invalid pair must fail")
 	}
 }
+
+// TestWorkspaceReuseMatchesFreshRun reruns one config through a shared
+// workspace and requires every rerun to match a fresh-circuit Run exactly:
+// circuit reuse must not leak element state between transients. A config
+// switch mid-stream must rebuild and stay correct too.
+func TestWorkspaceReuseMatchesFreshRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient simulation")
+	}
+	cfgA := Config{Pair: inductivePair(), H: 5e-3}
+	cfgB := Config{Pair: capacitivePair(), H: 5e-3}
+	fresh := func(cfg Config) Result {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	refA, refB := fresh(cfgA), fresh(cfgB)
+	var w Workspace
+	for i := 0; i < 3; i++ {
+		got, err := w.Run(cfgA)
+		if err != nil {
+			t.Fatalf("reuse %d: %v", i, err)
+		}
+		for j := range got.VFar {
+			if got.VFar[j] != refA.VFar[j] || got.VNear[j] != refA.VNear[j] {
+				t.Fatalf("reuse %d: waveform deviates from fresh run at sample %d", i, j)
+			}
+		}
+	}
+	got, err := w.Run(cfgB)
+	if err != nil {
+		t.Fatalf("config switch: %v", err)
+	}
+	if got.FarPeak != refB.FarPeak || got.NearPeak != refB.NearPeak {
+		t.Fatalf("config switch: peaks %g/%g, fresh run %g/%g",
+			got.NearPeak, got.FarPeak, refB.NearPeak, refB.FarPeak)
+	}
+}

@@ -12,12 +12,18 @@
 #       (cached vs cold HTTP round trips) -> BENCH_<date>_serve.json
 #   scripts/bench.sh fleet               # fleet-mode benchmarks only
 #       (local hit vs forwarded hit vs failover) -> BENCH_<date>_fleet.json
+#   scripts/bench.sh mor                 # transient figure benchmarks only
+#       (Fig9-12, the reduced-order fast path) -> BENCH_<date>_mor.json
 #   scripts/bench.sh compare [new] [base]
 #       Diff two snapshots and exit nonzero on a >15% ns/op regression or
 #       ANY allocs/op increase for benchmarks present in both. new defaults
 #       to the most recently modified BENCH_*.json on disk, base to the
-#       newest snapshot committed to git. CI runs this as a soft gate
-#       (timing on shared runners is noisy; alloc counts are not).
+#       newest snapshot committed to git. Most regressions exit 1 and CI
+#       treats them as a soft gate (timing on shared runners is noisy; alloc
+#       counts are not) — but a ns/op regression on the transient figure
+#       benchmarks Fig9-12 exits 3, which CI treats as a hard failure: those
+#       four are the reduced-order fast path's contract and a >15% slide
+#       there means the reduction stopped engaging.
 #
 # Output schema: {"date": ..., "go": ..., "benchmarks": [{"op": name,
 # "ns_per_op": float, "b_per_op": int, "allocs_per_op": int}, ...]}
@@ -56,6 +62,8 @@ compare() {
           printf "REGRESSION %-28s ns/op %12.0f -> %12.0f (+%.1f%%)\n",
                  name, bns[name], ns, (ns / bns[name] - 1) * 100
           bad = 1
+          # Fig9-12 are the reduced-order fast path contract: hard failure.
+          if (name ~ /^BenchmarkFig(9|1[0-2])$/) hard = 1
       }
       if (al != "" && bal[name] != "" && al + 0 > bal[name] + 0) {
           printf "REGRESSION %-28s allocs/op %6d -> %6d\n", name, bal[name], al
@@ -65,6 +73,7 @@ compare() {
   END {
       printf "compared %d benchmarks (%d new-only)\n", compared, added
       if (compared == 0) { print "compare: no overlapping benchmarks" ; exit 2 }
+      if (hard) { print "HARD FAILURE: transient figure benchmark (Fig9-12) regressed" ; exit 3 }
       exit bad
   }' "$base" "$new"
 }
@@ -90,6 +99,12 @@ elif [[ "${1:-}" == "fleet" ]]; then
   pattern='BenchmarkFleet'
   pkgs=(./internal/serve/)
   : "${SUFFIX:=fleet}"
+elif [[ "${1:-}" == "mor" ]]; then
+  # Transient figure snapshot: the ring-oscillator benchmarks served by the
+  # Krylov reduced-order fast path -> BENCH_<date>_mor.json
+  pattern='^BenchmarkFig(9|1[0-2])$'
+  pkgs=(.)
+  : "${SUFFIX:=mor}"
 fi
 args=(test -run '^$' -bench "$pattern" -benchmem -timeout 60m "${pkgs[@]}")
 if [[ -n "$benchtime" ]]; then
