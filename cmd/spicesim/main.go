@@ -48,6 +48,7 @@ func main() {
 	resume := flag.Bool("resume", false, "continue from the -checkpoint file instead of starting fresh")
 	reduce := flag.Bool("reduce", true, "allow the Krylov reduced-order fast path for qualifying circuits")
 	noReduction := flag.Bool("no-reduction", false, "force the full solver (equivalent to -reduce=false)")
+	diagOut := flag.Bool("diag", false, "print solver diagnostics (factor shape, recovery ladder) to stderr")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the solver context; the solver unwinds within
@@ -163,6 +164,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "spicesim: %d nodes, %d samples, tstop=%g dt=%g\n",
 		c.NumNodes(), len(res.T), tStop, step)
+	if *diagOut {
+		if st := res.Factor; st.N > 0 {
+			fmt.Fprintf(os.Stderr, "spicesim: factor n=%d nnz(A)=%d nnz(L+U)=%d fill=%.2fx ordering=%s\n",
+				st.N, st.NNZ, st.NNZL+st.NNZU, st.FillRatio, st.Ordering)
+		} else {
+			fmt.Fprintln(os.Stderr, "spicesim: factor: none (reduced-order or linear-bypass run)")
+		}
+		if sum := rep.Summary(); sum != "" {
+			fmt.Fprintf(os.Stderr, "spicesim: ladder:\n%s\n", sum)
+		}
+	}
 	if stopped {
 		os.Exit(2) // distinguishes an interrupted run from a failure
 	}

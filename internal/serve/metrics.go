@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rlcint/internal/diag"
+	"rlcint/internal/sparse"
 )
 
 // latencyBounds are the histogram bucket upper bounds. The last implicit
@@ -76,6 +77,7 @@ type metrics struct {
 
 	snapshotOps *expvar.Map // snapshot lifecycle: save / save_error / load_ok / load_skipped
 	fleetOps    *expvar.Map // forwarding outcomes: forwarded / fallback-local / hop-capped / hedge-answered
+	sparseOps   *expvar.Map // sparse-engine outcomes: solve|<solver>, iterations, fallbacks
 
 	mu      sync.Mutex
 	latency map[string]*histogram // per endpoint
@@ -92,6 +94,7 @@ func newMetrics() *metrics {
 		breaker:     new(expvar.Map).Init(),
 		snapshotOps: new(expvar.Map).Init(),
 		fleetOps:    new(expvar.Map).Init(),
+		sparseOps:   new(expvar.Map).Init(),
 		latency:     make(map[string]*histogram),
 	}
 }
@@ -110,6 +113,18 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration) {
 	}
 	m.mu.Unlock()
 	h.observe(d)
+}
+
+// recordSparse folds one sparse-engine solve into the cumulative counters:
+// which solver answered ("solve|cg", "solve|direct", ...), how many
+// iterations the iterative path spent, and how often it fell back to the
+// direct factorization.
+func (m *metrics) recordSparse(st sparse.EngineStats) {
+	m.sparseOps.Add("solve|"+st.Solver, 1)
+	m.sparseOps.Add("iterations", int64(st.Iterations))
+	if st.Fallbacks > 0 {
+		m.sparseOps.Add("fallbacks", 1)
+	}
 }
 
 // recordLadder folds one solve's recovery-ladder report into the cumulative
@@ -166,6 +181,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"degraded": expvarMapToGo(m.degraded),
 		"breaker":  expvarMapToGo(m.breaker),
 		"snapshot": expvarMapToGo(m.snapshotOps),
+		"sparse":   expvarMapToGo(m.sparseOps),
 	}
 	if s.fleet != nil {
 		fl := map[string]int64{"ready": 0}

@@ -253,6 +253,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/check/oxide", s.handleCheckOxide)
 	s.mux.HandleFunc("POST /v1/check/wire", s.handleCheckWire)
+	s.mux.HandleFunc("POST /v1/pdn/ir", s.handlePDNIR)
+	s.mux.HandleFunc("POST /v1/pdn/impedance", s.handlePDNImpedance)
 	// Process-global expvar page (memstats, cmdline); the server's own
 	// counters live unpublished behind /metrics so multiple Servers in one
 	// process never collide in the global namespace.

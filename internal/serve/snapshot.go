@@ -11,6 +11,8 @@ import (
 	"reflect"
 	"sync"
 	"time"
+
+	"rlcint/internal/pdn"
 )
 
 // snapshotVersion is bumped whenever the serialized snapshot layout changes;
@@ -56,6 +58,7 @@ var snapshotSchema = sync.OnceValue(func() string {
 	for _, v := range []any{
 		optimumResp{}, delayResp{}, planResp{}, sweepPointLine{},
 		rcResp{}, lcritResp{}, oxideResp{}, wireResp{},
+		pdn.IRResult{}, pdn.ImpedanceResult{},
 	} {
 		walk(reflect.TypeOf(v))
 	}

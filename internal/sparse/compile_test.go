@@ -1,0 +1,203 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refCompile is the independent reference for compileCSC: accumulate into a
+// map, then emit column-major with sorted rows.
+func refCompile(n int, rows, cols []int, vals []float64) map[[2]int]float64 {
+	ref := make(map[[2]int]float64)
+	for i := range vals {
+		ref[[2]int{rows[i], cols[i]}] += vals[i]
+	}
+	return ref
+}
+
+// checkAgainstRef verifies the compiled matrix holds exactly the reference
+// entries, column-major with strictly ascending rows and consistent column
+// pointers.
+func checkAgainstRef(t *testing.T, c *CSC, ref map[[2]int]float64) {
+	t.Helper()
+	if len(c.I) != len(ref) || len(c.X) != len(ref) {
+		t.Fatalf("compiled %d entries, reference has %d", len(c.I), len(ref))
+	}
+	if len(c.P) != c.N+1 || c.P[0] != 0 || c.P[c.N] != len(c.I) {
+		t.Fatalf("bad column pointers: P[0]=%d P[n]=%d nnz=%d", c.P[0], c.P[c.N], len(c.I))
+	}
+	for j := 0; j < c.N; j++ {
+		if c.P[j] > c.P[j+1] {
+			t.Fatalf("column %d has negative extent", j)
+		}
+		for p := c.P[j]; p < c.P[j+1]; p++ {
+			if p > c.P[j] && c.I[p] <= c.I[p-1] {
+				t.Fatalf("column %d rows not strictly ascending at %d", j, p)
+			}
+			want, ok := ref[[2]int{c.I[p], j}]
+			if !ok {
+				t.Fatalf("compiled entry (%d,%d) not in reference", c.I[p], j)
+			}
+			if math.Abs(c.X[p]-want) > 1e-12*math.Max(math.Abs(want), 1) {
+				t.Fatalf("entry (%d,%d) = %g, reference %g", c.I[p], j, c.X[p], want)
+			}
+		}
+	}
+}
+
+// TestCompileCSCAdversarialOrderings is the duplicate-handling regression
+// suite: mesh stamping produces many duplicates in arbitrary orders, and the
+// compile must sum every group regardless of how the input interleaves them.
+func TestCompileCSCAdversarialOrderings(t *testing.T) {
+	n := 9
+	// The base pattern: a 3×3 grid's 5-point stencil, stamped one segment at
+	// a time like pdn.Build does, so every diagonal gets several duplicates.
+	type ent struct {
+		r, c int
+		v    float64
+	}
+	var base []ent
+	node := func(x, y int) int { return y*3 + x }
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			i := node(x, y)
+			stamp := func(j int) {
+				base = append(base,
+					ent{i, i, 1}, ent{j, j, 1}, ent{i, j, -1}, ent{j, i, -1})
+			}
+			if x+1 < 3 {
+				stamp(node(x+1, y))
+			}
+			if y+1 < 3 {
+				stamp(node(x, y+1))
+			}
+		}
+	}
+
+	orderings := map[string]func([]ent) []ent{
+		"natural": func(e []ent) []ent { return e },
+		"reversed": func(e []ent) []ent {
+			out := make([]ent, len(e))
+			for i := range e {
+				out[len(e)-1-i] = e[i]
+			}
+			return out
+		},
+		// All copies of each duplicate group adjacent — the easy case the
+		// merge must not over-fit to.
+		"grouped": func(e []ent) []ent {
+			out := make([]ent, 0, len(e))
+			seen := make(map[[2]int]bool)
+			for _, a := range e {
+				k := [2]int{a.r, a.c}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				for _, b := range e {
+					if b.r == a.r && b.c == a.c {
+						out = append(out, b)
+					}
+				}
+			}
+			return out
+		},
+		"shuffled": func(e []ent) []ent {
+			out := make([]ent, len(e))
+			copy(out, e)
+			rng := rand.New(rand.NewSource(7))
+			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out
+		},
+	}
+
+	for name, order := range orderings {
+		t.Run(name, func(t *testing.T) {
+			es := order(base)
+			rows := make([]int, len(es))
+			cols := make([]int, len(es))
+			vals := make([]float64, len(es))
+			for i, e := range es {
+				rows[i], cols[i], vals[i] = e.r, e.c, float64(i%5)/4+e.v
+			}
+			c := compileCSC(n, rows, cols, vals)
+			checkAgainstRef(t, c, refCompile(n, rows, cols, vals))
+		})
+	}
+}
+
+// TestCompileCSCDegenerate covers duplicate-heavy corner shapes: every entry
+// the same coordinate, a single column, cancellation to explicit zeros
+// (duplicates summing to 0 must keep their slot — frozen replays restamp
+// them), and the empty matrix.
+func TestCompileCSCDegenerate(t *testing.T) {
+	// 100 stamps on one coordinate.
+	rows := make([]int, 100)
+	cols := make([]int, 100)
+	vals := make([]float64, 100)
+	for i := range vals {
+		rows[i], cols[i], vals[i] = 2, 3, 0.5
+	}
+	c := compileCSC(5, rows, cols, vals)
+	if c.NNZ() != 1 || math.Abs(c.At(2, 3)-50) > 1e-12 {
+		t.Fatalf("100 duplicate stamps: nnz=%d value=%g, want 1 / 50", c.NNZ(), c.At(2, 3))
+	}
+
+	// Duplicates that cancel exactly still occupy a pattern slot.
+	c = compileCSC(2, []int{0, 0, 1}, []int{0, 0, 1}, []float64{3, -3, 1})
+	if c.NNZ() != 2 {
+		t.Fatalf("cancelled duplicate dropped from pattern: nnz=%d, want 2", c.NNZ())
+	}
+	if c.At(0, 0) != 0 {
+		t.Fatalf("cancelled duplicate sums to %g, want 0", c.At(0, 0))
+	}
+
+	// Empty input.
+	c = compileCSC(3, nil, nil, nil)
+	if c.NNZ() != 0 || len(c.P) != 4 {
+		t.Fatalf("empty compile: nnz=%d len(P)=%d", c.NNZ(), len(c.P))
+	}
+}
+
+// TestCompileCSCFrozenReplayWithDuplicates pins the contract the PDN AC
+// sweep rests on: a frozen triplet replaying a duplicate-heavy stamp
+// sequence with new values updates the compiled CSC to exactly what a fresh
+// compile of those values would produce.
+func TestCompileCSCFrozenReplayWithDuplicates(t *testing.T) {
+	n := 6
+	stamp := func(tr *Triplet, scale float64) {
+		for i := 0; i < n; i++ {
+			tr.Add(i, i, 2*scale)
+			if i+1 < n {
+				// Segment stamps: each diagonal receives duplicates from both
+				// neighbors, off-diagonals stay unique.
+				tr.Add(i, i, scale)
+				tr.Add(i+1, i+1, scale)
+				tr.Add(i, i+1, -scale)
+				tr.Add(i+1, i, -scale)
+			}
+		}
+	}
+	tr := NewTriplet(n)
+	stamp(tr, 1)
+	a := tr.Compile()
+
+	tr.Reset()
+	stamp(tr, 2.5)
+
+	fresh := NewTriplet(n)
+	stamp(fresh, 2.5)
+	want := fresh.Compile()
+
+	for j := 0; j < n; j++ {
+		for p := want.P[j]; p < want.P[j+1]; p++ {
+			if got := a.At(want.I[p], j); got != want.X[p] {
+				t.Fatalf("replayed (%d,%d) = %g, fresh compile %g", want.I[p], j, got, want.X[p])
+			}
+		}
+	}
+	if a.NNZ() != want.NNZ() {
+		t.Fatalf("replayed nnz %d != fresh %d", a.NNZ(), want.NNZ())
+	}
+}

@@ -57,10 +57,52 @@ func (e *RefactorError) Unwrap() error { return ErrRefactorUnhealthy }
 // rejecting the mild drift every Newton iteration produces.
 const refactorPivRel = 1e-12
 
-// LU holds the factors P*A = L*U produced by Factorize. L has unit diagonal
-// (stored explicitly as the first entry of each column); U stores each
-// column's diagonal as its last entry. Row indices of both factors are in
-// pivotal (permuted) coordinates.
+// Ordering selects the fill-reducing ordering strategy of Factorize.
+type Ordering int
+
+const (
+	// OrderAuto (the default) applies the AMD ordering to systems with at
+	// least amdAutoMin unknowns and factors smaller ones in natural order.
+	OrderAuto Ordering = iota
+	// OrderNatural factors the matrix as given (the pre-ordering behaviour).
+	OrderNatural
+	// OrderAMD always applies the approximate-minimum-degree ordering.
+	OrderAMD
+)
+
+// amdAutoMin is the size below which OrderAuto skips the AMD pass: for a
+// handful of unknowns the permutation plumbing costs more than any fill it
+// could save.
+const amdAutoMin = 8
+
+// String names the ordering for stats and logs.
+func (o Ordering) String() string {
+	switch o {
+	case OrderNatural:
+		return "natural"
+	case OrderAMD:
+		return "amd"
+	default:
+		return "auto"
+	}
+}
+
+// FactorStats reports the shape of the most recent successful factorization:
+// how much fill the factors carry and which ordering produced them.
+type FactorStats struct {
+	N         int     `json:"n"`          // unknowns
+	NNZ       int     `json:"nnz"`        // nonzeros of the input matrix
+	NNZL      int     `json:"nnz_l"`      // nonzeros of L (including the unit diagonal)
+	NNZU      int     `json:"nnz_u"`      // nonzeros of U (including the diagonal)
+	FillRatio float64 `json:"fill_ratio"` // nnz(L+U) / nnz(A)
+	Ordering  string  `json:"ordering"`   // "natural" or "amd"
+}
+
+// LU holds the factors P*(QᵀAQ)*... = L*U produced by Factorize, where Q is
+// the fill-reducing ordering (identity in natural order) and P the row
+// pivoting. L has unit diagonal (stored explicitly as the first entry of
+// each column); U stores each column's diagonal as its last entry. Row
+// indices of both factors are in pivotal (permuted) coordinates.
 type LU struct {
 	n        int
 	lp       []int
@@ -69,7 +111,7 @@ type LU struct {
 	up       []int
 	ui       []int
 	ux       []float64
-	pinv     []int // pinv[orig row] = pivot position
+	pinv     []int // pinv[factored-matrix row] = pivot position
 	workX    []float64
 	workXi   []int
 	workPst  []int
@@ -80,6 +122,23 @@ type LU struct {
 	// so Refactorize can reject a structurally different matrix.
 	symbolic bool
 	symNNZ   int
+
+	// Fill-reducing ordering state. q (new index -> original) and qinv are
+	// nil when the last factorization ran in natural order. pa is the
+	// workspace-owned permuted copy the numeric core factors; pinv2 is the
+	// composed scatter permutation pinv∘qinv so Refactorize and Solve touch
+	// original-coordinate inputs directly. aP/aI cache the input pattern so
+	// a repeated Factorize on the same structure reuses the ordering (and
+	// allocates nothing).
+	ord   Ordering
+	q     []int
+	qinv  []int
+	pinv2 []int
+	pa    *CSC
+	aP    []int
+	aI    []int
+	workS []float64 // solve scratch for the ordered path
+	stats FactorStats
 }
 
 // Workspace returns a reusable LU sized for n unknowns. Repeated Factorize
@@ -97,11 +156,100 @@ func Workspace(n int) *LU {
 	}
 }
 
+// SetOrdering selects the fill-reducing ordering strategy for subsequent
+// Factorize calls (existing factors are unaffected). The default is
+// OrderAuto.
+func (f *LU) SetOrdering(o Ordering) { f.ord = o }
+
+// Stats reports the shape of the factors from the last successful Factorize
+// or Refactorize (the zero value before any).
+func (f *LU) Stats() FactorStats { return f.stats }
+
+// origCol maps a column of the factored (possibly permuted) matrix back to
+// the caller's coordinates, so errors name columns the caller recognizes.
+func (f *LU) origCol(k int) int {
+	if f.q != nil {
+		return f.q[k]
+	}
+	return k
+}
+
+// samePattern reports whether a's sparsity pattern matches the one cached by
+// the last ordering pass.
+func (f *LU) samePattern(a *CSC) bool {
+	if f.aP == nil || len(f.aI) != a.NNZ() {
+		return false
+	}
+	for i, v := range a.P {
+		if f.aP[i] != v {
+			return false
+		}
+	}
+	for i, v := range a.I {
+		if f.aI[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// applyOrdering prepares the AMD-permuted copy of a in f.pa: on a new
+// pattern it runs the ordering and rebuilds the permuted structure; on the
+// cached pattern it only rescatters the values (no allocation). The
+// permuted matrix is B[i,j] = A[q[i], q[j]] — a symmetric permutation, so
+// MNA diagonals stay on the diagonal and threshold pivoting keeps working.
+func (f *LU) applyOrdering(a *CSC) {
+	n := f.n
+	if !f.samePattern(a) {
+		f.q = amdOrder(a)
+		if f.qinv == nil {
+			f.qinv = make([]int, n)
+			f.pinv2 = make([]int, n)
+			f.workS = make([]float64, n)
+		}
+		for k, orig := range f.q {
+			f.qinv[orig] = k
+		}
+		nnz := a.NNZ()
+		if f.pa == nil || cap(f.pa.I) < nnz {
+			f.pa = &CSC{N: n, P: make([]int, n+1), I: make([]int, nnz), X: make([]float64, nnz)}
+		}
+		f.pa.I = f.pa.I[:nnz]
+		f.pa.X = f.pa.X[:nnz]
+		f.aP = append(f.aP[:0], a.P...)
+		f.aI = append(f.aI[:0], a.I...)
+		pos := 0
+		for newj := 0; newj < n; newj++ {
+			f.pa.P[newj] = pos
+			j := f.q[newj]
+			for p := a.P[j]; p < a.P[j+1]; p++ {
+				f.pa.I[pos] = f.qinv[a.I[p]]
+				f.pa.X[pos] = a.X[p]
+				pos++
+			}
+		}
+		f.pa.P[n] = pos
+		return
+	}
+	// Same structure: only the values moved. Scatter them through the cached
+	// permutation without touching the ordering.
+	pos := 0
+	for newj := 0; newj < n; newj++ {
+		j := f.q[newj]
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			f.pa.X[pos] = a.X[p]
+			pos++
+		}
+	}
+}
+
 // Factorize computes the LU factorization of a with partial pivoting using
-// the left-looking Gilbert–Peierls algorithm. pivTol in (0,1] relaxes
-// pivoting toward the diagonal (1 = strict partial pivoting); MNA systems
-// typically use a relaxed tolerance to preserve sparsity, but strictness is
-// the safe default.
+// the left-looking Gilbert–Peierls algorithm, after applying the configured
+// fill-reducing ordering (AMD by default for systems of amdAutoMin unknowns
+// or more — see SetOrdering). pivTol in (0,1] relaxes pivoting toward the
+// diagonal (1 = strict partial pivoting); MNA systems typically use a
+// relaxed tolerance to preserve sparsity, but strictness is the safe
+// default.
 func (f *LU) Factorize(a *CSC, pivTol float64) error {
 	if a.N != f.n {
 		return fmt.Errorf("sparse: Factorize dimension %d != workspace %d", a.N, f.n)
@@ -110,6 +258,42 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 		pivTol = 1
 	}
 	f.symbolic = false
+	m := a
+	if f.ord == OrderAMD || (f.ord == OrderAuto && f.n >= amdAutoMin) {
+		f.applyOrdering(a)
+		m = f.pa
+	} else {
+		f.q = nil
+	}
+	if err := f.factorizeCore(m, pivTol); err != nil {
+		return err
+	}
+	if f.q != nil {
+		for i := 0; i < f.n; i++ {
+			f.pinv2[i] = f.pinv[f.qinv[i]]
+		}
+	}
+	f.symbolic = true
+	f.symNNZ = a.NNZ()
+	f.recordStats(a)
+	return nil
+}
+
+func (f *LU) recordStats(a *CSC) {
+	ordering := "natural"
+	if f.q != nil {
+		ordering = "amd"
+	}
+	f.stats = FactorStats{
+		N: f.n, NNZ: a.NNZ(), NNZL: len(f.lx), NNZU: len(f.ux),
+		FillRatio: float64(len(f.lx)+len(f.ux)) / float64(max(a.NNZ(), 1)),
+		Ordering:  ordering,
+	}
+}
+
+// factorizeCore runs the numeric left-looking factorization of m (the
+// caller's matrix, or its AMD-permuted copy).
+func (f *LU) factorizeCore(a *CSC, pivTol float64) error {
 	n := f.n
 	f.li = f.li[:0]
 	f.lx = f.lx[:0]
@@ -147,7 +331,7 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 			}
 		}
 		if ipiv < 0 || amax == 0 {
-			return &PivotError{Col: k}
+			return &PivotError{Col: f.origCol(k)}
 		}
 		// Prefer the diagonal entry when it is within pivTol of the largest
 		// candidate (threshold pivoting).
@@ -185,8 +369,6 @@ func (f *LU) Factorize(a *CSC, pivTol float64) error {
 	for p := range f.li {
 		f.li[p] = f.pinv[f.li[p]]
 	}
-	f.symbolic = true
-	f.symNNZ = a.NNZ()
 	return nil
 }
 
@@ -221,10 +403,21 @@ func (f *LU) Refactorize(a *CSC) error {
 	}
 	n := f.n
 	x := f.workX // dense accumulator in pivotal row coordinates; all-zero between columns
+	// In the ordered path, column k of the factored matrix is column q[k] of
+	// a, and the composed permutation pinv2 scatters original-coordinate
+	// rows straight into pivotal positions — no permuted copy is built.
+	scat, colOf := f.pinv, f.q
+	if colOf != nil {
+		scat = f.pinv2
+	}
 	for k := 0; k < n; k++ {
-		// Scatter A(:,k) into pivotal coordinates.
-		for p := a.P[k]; p < a.P[k+1]; p++ {
-			x[f.pinv[a.I[p]]] = a.X[p]
+		j := k
+		if colOf != nil {
+			j = colOf[k]
+		}
+		// Scatter A(:,j) into pivotal coordinates.
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			x[scat[a.I[p]]] = a.X[p]
 		}
 		// Eliminate with the already-finished columns of L in the stored
 		// (topological) order: the U entries of column k, excluding the
@@ -267,7 +460,7 @@ func (f *LU) Refactorize(a *CSC) error {
 		// later full Factorize starts from a clean workspace.
 		if pa := math.Abs(pivot); pa == 0 || math.IsNaN(pivot) || pa < refactorPivRel*cmax || math.IsInf(pivot, 0) {
 			f.symbolic = false
-			return &RefactorError{Col: k, Pivot: pivot, ColMax: cmax}
+			return &RefactorError{Col: f.origCol(k), Pivot: pivot, ColMax: cmax}
 		}
 	}
 	return nil
@@ -368,29 +561,45 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 // may not alias.
 func (f *LU) SolveInto(x, b []float64) {
 	n := f.n
-	// Apply row permutation: y[pinv[i]] = b[i].
-	for i := 0; i < n; i++ {
-		x[f.pinv[i]] = b[i]
+	// With a fill-reducing ordering in effect the triangular solves run in
+	// permuted coordinates on an internal scratch vector, and the result is
+	// gathered back through q; without one they run directly in x.
+	y := x
+	if f.q != nil {
+		y = f.workS
+		for i := 0; i < n; i++ {
+			y[f.pinv2[i]] = b[i]
+		}
+	} else {
+		// Apply row permutation: y[pinv[i]] = b[i].
+		for i := 0; i < n; i++ {
+			y[f.pinv[i]] = b[i]
+		}
 	}
 	// Forward solve L*y = Pb (unit diagonal first entry per column).
 	for j := 0; j < n; j++ {
-		xj := x[j]
+		xj := y[j]
 		if xj == 0 {
 			continue
 		}
 		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
-			x[f.li[p]] -= f.lx[p] * xj
+			y[f.li[p]] -= f.lx[p] * xj
 		}
 	}
 	// Back solve U*x = y (diagonal last entry per column).
 	for j := n - 1; j >= 0; j-- {
-		x[j] /= f.ux[f.up[j+1]-1]
-		xj := x[j]
+		y[j] /= f.ux[f.up[j+1]-1]
+		xj := y[j]
 		if xj == 0 {
 			continue
 		}
 		for p := f.up[j]; p < f.up[j+1]-1; p++ {
-			x[f.ui[p]] -= f.ux[p] * xj
+			y[f.ui[p]] -= f.ux[p] * xj
+		}
+	}
+	if f.q != nil {
+		for j := 0; j < n; j++ {
+			x[f.q[j]] = y[j]
 		}
 	}
 }

@@ -170,11 +170,21 @@ func compileCSC(n int, rows, cols []int, vals []float64) *CSC {
 		perm[count[cols[e]]] = e
 		count[cols[e]]++
 	}
-	c := &CSC{N: n, P: make([]int, n+1)}
+	// Pass 3: the single merge pass. perm now orders entries column-major
+	// with ascending rows, so every group of duplicates — mesh stamping
+	// produces one per incident element, in arbitrary input order — is a
+	// contiguous run. Each run is summed into exactly one output entry
+	// (left-to-right in input-sorted order, so the floating-point
+	// accumulation order is deterministic for a given input sequence), and
+	// the per-column counts accumulate into the column pointers afterwards.
+	// The output is written tail-first into arrays preallocated at the
+	// duplicate-free upper bound m, then re-sliced, so the pass neither
+	// re-grows storage nor needs a separate counting sweep over the runs.
+	c := &CSC{N: n, P: make([]int, n+1), I: make([]int, 0, m), X: make([]float64, 0, m)}
 	for i := 0; i < m; {
 		e := perm[i]
-		j := i
-		sum := 0.0
+		sum := vals[e]
+		j := i + 1
 		for j < m && rows[perm[j]] == rows[e] && cols[perm[j]] == cols[e] {
 			sum += vals[perm[j]]
 			j++
@@ -236,6 +246,23 @@ func (c *CSC) GaxpyWith(vals, x, y []float64) {
 		}
 		for p := c.P[j]; p < c.P[j+1]; p++ {
 			y[c.I[p]] += vals[p] * xj
+		}
+	}
+}
+
+// MulVecInto computes y = A*x into the caller's slice without allocating;
+// y and x must have length N and may not alias.
+func (c *CSC) MulVecInto(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < c.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := c.P[j]; p < c.P[j+1]; p++ {
+			y[c.I[p]] += c.X[p] * xj
 		}
 	}
 }

@@ -1,0 +1,276 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrPrecondBreakdown is returned when an incomplete factorization cannot be
+// completed on the given values (non-positive IC(0) pivot, zero ILU(0)
+// pivot, missing diagonal entry). It signals "this matrix is not a good fit
+// for the iterative path", not singularity: the Engine responds by falling
+// back to the direct solver, which applies full pivoting.
+var ErrPrecondBreakdown = fmt.Errorf("sparse: incomplete factorization breakdown")
+
+// icBreakdownTol rejects IC(0) pivots that are positive but so small the
+// resulting sqrt/divide would amplify noise instead of preconditioning.
+const icBreakdownTol = 1e-300
+
+// ic0 is a zero-fill incomplete Cholesky preconditioner: A ≈ L·Lᵀ where L
+// keeps exactly the lower-triangle pattern of A. The pattern is fixed at
+// build time; Refresh recomputes the numeric values in place, so a
+// simulator's Refactorize cadence carries over with no allocation.
+type ic0 struct {
+	n  int
+	lp []int     // column pointers of L, len n+1
+	li []int     // row indices (diagonal first, then ascending), len nnz(L)
+	lx []float64 // values
+
+	aLow []int // aLow[j]: first index in A's column j with row >= j
+
+	// Numeric-pass scratch: left-looking traversal needs, for each column j,
+	// the set of earlier columns k with L[j,k] != 0. llist[r] heads a linked
+	// list (through lnext) of columns whose next unconsumed entry sits in row
+	// r; lptr[k] is that entry's index.
+	llist []int
+	lnext []int
+	lptr  []int
+	x     []float64
+	mark  []int32
+	gen   int32
+}
+
+// newIC0 builds the pattern of the IC(0) factor from a (columns must be
+// row-sorted, as Triplet.Compile produces) and runs the first numeric pass.
+func newIC0(a *CSC) (*ic0, error) {
+	n := a.N
+	ic := &ic0{
+		n:     n,
+		lp:    make([]int, n+1),
+		aLow:  make([]int, n),
+		llist: make([]int, n),
+		lnext: make([]int, n),
+		lptr:  make([]int, n),
+		x:     make([]float64, n),
+		mark:  make([]int32, n),
+	}
+	nnz := 0
+	for j := 0; j < n; j++ {
+		lo, hi := a.P[j], a.P[j+1]
+		for lo < hi && a.I[lo] < j {
+			lo++
+		}
+		if lo == hi || a.I[lo] != j {
+			return nil, fmt.Errorf("%w: no diagonal entry in column %d", ErrPrecondBreakdown, j)
+		}
+		ic.aLow[j] = lo
+		ic.lp[j] = nnz
+		nnz += hi - lo
+	}
+	ic.lp[n] = nnz
+	ic.li = make([]int, nnz)
+	ic.lx = make([]float64, nnz)
+	for j := 0; j < n; j++ {
+		copy(ic.li[ic.lp[j]:ic.lp[j+1]], a.I[ic.aLow[j]:a.P[j+1]])
+	}
+	if err := ic.Refresh(a); err != nil {
+		return nil, err
+	}
+	return ic, nil
+}
+
+// Refresh recomputes the factor values for a matrix with the same pattern as
+// the one the preconditioner was built on. It allocates nothing.
+func (ic *ic0) Refresh(a *CSC) error {
+	n := ic.n
+	for i := 0; i < n; i++ {
+		ic.llist[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		// Scatter the lower triangle of A(:,j) and stamp its pattern; updates
+		// outside the pattern are dropped (that is the "zero fill" part).
+		ic.gen++
+		gen := ic.gen
+		for p := ic.aLow[j]; p < a.P[j+1]; p++ {
+			i := a.I[p]
+			ic.x[i] = a.X[p]
+			ic.mark[i] = gen
+		}
+		// Apply every earlier column k with L[j,k] != 0.
+		for k := ic.llist[j]; k >= 0; {
+			next := ic.lnext[k]
+			ljk := ic.lx[ic.lptr[k]]
+			for p := ic.lptr[k]; p < ic.lp[k+1]; p++ {
+				if i := ic.li[p]; ic.mark[i] == gen {
+					ic.x[i] -= ljk * ic.lx[p]
+				}
+			}
+			// Column k's next nonzero row (if any) takes over its list slot.
+			ic.lptr[k]++
+			if ic.lptr[k] < ic.lp[k+1] {
+				r := ic.li[ic.lptr[k]]
+				ic.lnext[k] = ic.llist[r]
+				ic.llist[r] = k
+			}
+			k = next
+		}
+		d := ic.x[j]
+		if !(d > icBreakdownTol) || math.IsInf(d, 0) {
+			return fmt.Errorf("%w: IC(0) pivot %g in column %d", ErrPrecondBreakdown, d, j)
+		}
+		root := math.Sqrt(d)
+		ic.lx[ic.lp[j]] = root
+		for p := ic.lp[j] + 1; p < ic.lp[j+1]; p++ {
+			ic.lx[p] = ic.x[ic.li[p]] / root
+		}
+		// Link column j in for its first subdiagonal row.
+		ic.lptr[j] = ic.lp[j] + 1
+		if ic.lptr[j] < ic.lp[j+1] {
+			r := ic.li[ic.lptr[j]]
+			ic.lnext[j] = ic.llist[r]
+			ic.llist[r] = j
+		}
+	}
+	return nil
+}
+
+// Apply solves L·Lᵀ·z = r (z and r may alias). It allocates nothing.
+func (ic *ic0) Apply(z, r []float64) {
+	n := ic.n
+	if &z[0] != &r[0] {
+		copy(z, r)
+	}
+	// Forward solve L·y = r.
+	for j := 0; j < n; j++ {
+		zj := z[j] / ic.lx[ic.lp[j]]
+		z[j] = zj
+		for p := ic.lp[j] + 1; p < ic.lp[j+1]; p++ {
+			z[ic.li[p]] -= ic.lx[p] * zj
+		}
+	}
+	// Back solve Lᵀ·z = y: column j of L is row j of Lᵀ, so each step is a
+	// dot product with the already-solved entries below.
+	for j := n - 1; j >= 0; j-- {
+		s := z[j]
+		for p := ic.lp[j] + 1; p < ic.lp[j+1]; p++ {
+			s -= ic.lx[p] * z[ic.li[p]]
+		}
+		z[j] = s / ic.lx[ic.lp[j]]
+	}
+}
+
+// ilu0 is a zero-fill incomplete LU preconditioner: A ≈ L·U where the
+// combined factors keep exactly A's pattern. L has an implicit unit
+// diagonal; subdiagonal slots hold L, the rest hold U. Like ic0, the pattern
+// is fixed at build time and Refresh is allocation-free.
+type ilu0 struct {
+	n    int
+	a    *CSC      // pattern reference (P and I reused; values NOT read after Refresh)
+	lux  []float64 // factor values aligned with a's pattern
+	diag []int     // diag[j]: index of the diagonal entry in column j
+
+	x    []float64
+	mark []int32
+	gen  int32
+}
+
+// newILU0 builds the ILU(0) preconditioner over a's pattern (columns must be
+// row-sorted) and runs the first numeric pass.
+func newILU0(a *CSC) (*ilu0, error) {
+	n := a.N
+	il := &ilu0{
+		n:    n,
+		a:    a,
+		lux:  make([]float64, a.NNZ()),
+		diag: make([]int, n),
+		x:    make([]float64, n),
+		mark: make([]int32, n),
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := a.P[j], a.P[j+1]
+		for lo < hi && a.I[lo] < j {
+			lo++
+		}
+		if lo == hi || a.I[lo] != j {
+			return nil, fmt.Errorf("%w: no diagonal entry in column %d", ErrPrecondBreakdown, j)
+		}
+		il.diag[j] = lo
+	}
+	if err := il.Refresh(a); err != nil {
+		return nil, err
+	}
+	return il, nil
+}
+
+// Refresh recomputes the factor values for a matrix with the same pattern as
+// the one the preconditioner was built on. It allocates nothing.
+func (il *ilu0) Refresh(a *CSC) error {
+	n := il.n
+	for j := 0; j < n; j++ {
+		il.gen++
+		gen := il.gen
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			i := a.I[p]
+			il.x[i] = a.X[p]
+			il.mark[i] = gen
+		}
+		// Left-looking update: the above-diagonal entries of column j name
+		// exactly the earlier columns that eliminate into it; rows ascend, so
+		// x[k] is final by the time k is consumed.
+		for p := a.P[j]; a.I[p] < j; p++ {
+			k := a.I[p]
+			xk := il.x[k]
+			if xk == 0 {
+				continue
+			}
+			for q := il.diag[k] + 1; q < a.P[k+1]; q++ {
+				if i := a.I[q]; il.mark[i] == gen {
+					il.x[i] -= il.lux[q] * xk
+				}
+			}
+		}
+		d := il.x[j]
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("%w: ILU(0) pivot %g in column %d", ErrPrecondBreakdown, d, j)
+		}
+		for p := a.P[j]; p < a.P[j+1]; p++ {
+			i := a.I[p]
+			if i <= j {
+				il.lux[p] = il.x[i]
+			} else {
+				il.lux[p] = il.x[i] / d
+			}
+		}
+	}
+	return nil
+}
+
+// Apply solves L·U·z = r (z and r may alias). It allocates nothing.
+func (il *ilu0) Apply(z, r []float64) {
+	a := il.a
+	n := il.n
+	if &z[0] != &r[0] {
+		copy(z, r)
+	}
+	// Forward solve L·y = r (unit diagonal).
+	for j := 0; j < n; j++ {
+		zj := z[j]
+		if zj == 0 {
+			continue
+		}
+		for p := il.diag[j] + 1; p < a.P[j+1]; p++ {
+			z[a.I[p]] -= il.lux[p] * zj
+		}
+	}
+	// Back solve U·z = y.
+	for j := n - 1; j >= 0; j-- {
+		zj := z[j] / il.lux[il.diag[j]]
+		z[j] = zj
+		if zj == 0 {
+			continue
+		}
+		for p := a.P[j]; a.I[p] < j; p++ {
+			z[a.I[p]] -= il.lux[p] * zj
+		}
+	}
+}

@@ -234,6 +234,10 @@ type Result struct {
 	// PartialT is the simulation time reached when a partial run aborted
 	// (0 for complete runs).
 	PartialT float64
+	// Factor is the shape of the full solver's last LU factorization (zero
+	// when the run never factored — e.g. a purely reduced-order run). It is
+	// what spicesim -diag prints.
+	Factor sparse.FactorStats
 }
 
 // Signal returns the waveform of the probe with the given label.
@@ -286,6 +290,20 @@ func newNewtonState(c *Circuit) *newtonState {
 	}
 	ns.fast.classify(c)
 	return ns
+}
+
+// factorStats reports the shape of the run's LU factorization: the shared
+// Newton workspace when it factored, else one of the linear bypass's cached
+// per-configuration factors (they all share the circuit's pattern). Zero
+// when nothing factored — a purely reduced-order run.
+func (ns *newtonState) factorStats() sparse.FactorStats {
+	if st := ns.lu.Stats(); st.N > 0 {
+		return st
+	}
+	for _, lu := range ns.fast.factors {
+		return lu.Stats()
+	}
+	return sparse.FactorStats{}
 }
 
 // assemble loads all elements for iterate x into the Jacobian and residual.
@@ -733,6 +751,9 @@ func growCapF(b []float64, n int) []float64 {
 // size, halving count, BE-fallback count) resets at each grid boundary, a
 // resume from a boundary reproduces the uninterrupted run bit-exactly.
 func (c *Circuit) transientLoop(opts TranOpts, ns *newtonState, res *Result, probes []Probe, startStep, beSteps int) (*Result, error) {
+	// Record the factor shape on every exit path (partial runs included) so
+	// -diag output always reflects what the solver actually built.
+	defer func() { res.Factor = ns.factorStats() }()
 	nSteps := int(math.Ceil(opts.TStop/opts.DT + 1e-9))
 	record := func() {
 		res.T = append(res.T, float64(len(res.T))*opts.DT)

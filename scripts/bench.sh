@@ -14,6 +14,9 @@
 #       (local hit vs forwarded hit vs failover) -> BENCH_<date>_fleet.json
 #   scripts/bench.sh mor                 # transient figure benchmarks only
 #       (Fig9-12, the reduced-order fast path) -> BENCH_<date>_mor.json
+#   scripts/bench.sh pdn                 # power-grid mesh benchmarks only
+#       (factor/solve at 1e3/1e4/1e5 nodes + ordering comparison)
+#       -> BENCH_<date>_pdn.json
 #   scripts/bench.sh compare [new] [base]
 #       Diff two snapshots and exit nonzero on a >15% ns/op regression or
 #       ANY allocs/op increase for benchmarks present in both. new defaults
@@ -21,9 +24,11 @@
 #       newest snapshot committed to git. Most regressions exit 1 and CI
 #       treats them as a soft gate (timing on shared runners is noisy; alloc
 #       counts are not) — but a ns/op regression on the transient figure
-#       benchmarks Fig9-12 exits 3, which CI treats as a hard failure: those
-#       four are the reduced-order fast path's contract and a >15% slide
-#       there means the reduction stopped engaging.
+#       benchmarks Fig9-12 or the PDN mesh solves (BenchmarkPDNSolve*) exits
+#       3, which CI treats as a hard failure: Fig9-12 are the reduced-order
+#       fast path's contract and the mesh solves are the sparse engine's —
+#       a >15% slide means the reduction or the iterative path stopped
+#       engaging.
 #
 # Output schema: {"date": ..., "go": ..., "benchmarks": [{"op": name,
 # "ns_per_op": float, "b_per_op": int, "allocs_per_op": int}, ...]}
@@ -62,8 +67,9 @@ compare() {
           printf "REGRESSION %-28s ns/op %12.0f -> %12.0f (+%.1f%%)\n",
                  name, bns[name], ns, (ns / bns[name] - 1) * 100
           bad = 1
-          # Fig9-12 are the reduced-order fast path contract: hard failure.
-          if (name ~ /^BenchmarkFig(9|1[0-2])$/) hard = 1
+          # Fig9-12 (reduced-order fast path) and the PDN mesh solves
+          # (sparse-engine iterative path) are perf contracts: hard failure.
+          if (name ~ /^BenchmarkFig(9|1[0-2])$/ || name ~ /^BenchmarkPDNSolve/) hard = 1
       }
       if (al != "" && bal[name] != "" && al + 0 > bal[name] + 0) {
           printf "REGRESSION %-28s allocs/op %6d -> %6d\n", name, bal[name], al
@@ -73,7 +79,7 @@ compare() {
   END {
       printf "compared %d benchmarks (%d new-only)\n", compared, added
       if (compared == 0) { print "compare: no overlapping benchmarks" ; exit 2 }
-      if (hard) { print "HARD FAILURE: transient figure benchmark (Fig9-12) regressed" ; exit 3 }
+      if (hard) { print "HARD FAILURE: perf-contract benchmark (Fig9-12 / PDNSolve) regressed" ; exit 3 }
       exit bad
   }' "$base" "$new"
 }
@@ -105,6 +111,14 @@ elif [[ "${1:-}" == "mor" ]]; then
   pattern='^BenchmarkFig(9|1[0-2])$'
   pkgs=(.)
   : "${SUFFIX:=mor}"
+elif [[ "${1:-}" == "pdn" ]]; then
+  # Power-grid mesh snapshot: engine factor/solve at 1e3/1e4/1e5 nodes plus
+  # the AMD-vs-natural direct ordering comparison -> BENCH_<date>_pdn.json.
+  # Custom metrics (fill-ratio, iters, nnz(L+U)) land in each entry's
+  # "extra" object.
+  pattern='^BenchmarkPDN'
+  pkgs=(./internal/pdn/)
+  : "${SUFFIX:=pdn}"
 fi
 args=(test -run '^$' -bench "$pattern" -benchmem -timeout 60m "${pkgs[@]}")
 if [[ -n "$benchtime" ]]; then
@@ -126,15 +140,27 @@ BEGIN { n = 0 }
 $1 ~ /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
-    ns = ""; bop = ""; aop = ""
-    for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns  = $(i-1)
-        if ($i == "B/op")      bop = $(i-1)
-        if ($i == "allocs/op") aop = $(i-1)
+    ns = ""; bop = ""; aop = ""; extra = ""
+    for (i = 3; i <= NF; i++) {
+        # Result lines are "<iters> <value unit>..." pairs; anything beyond
+        # the three standard units is a testing.B.ReportMetric custom metric
+        # (fill-ratio, iters, ...) and is carried in the "extra" object of
+        # each entry so snapshots keep the factor-shape story, not just times.
+        if ($i == "ns/op")          ns  = $(i-1)
+        else if ($i == "B/op")      bop = $(i-1)
+        else if ($i == "allocs/op") aop = $(i-1)
+        else if ($(i-1) ~ /^[0-9.eE+-]+$/ && $i !~ /^[0-9.eE+-]+$/) {
+            if (extra != "") extra = extra ", "
+            extra = extra "\"" $i "\": " $(i-1)
+        }
     }
     if (ns == "") next
-    ops[n] = sprintf("    {\"op\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
-                     name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop))
+    if (bop == "") bop = "null"
+    if (aop == "") aop = "null"
+    ex = ""
+    if (extra != "") ex = ", \"extra\": {" extra "}"
+    ops[n] = sprintf("    {\"op\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s%s}",
+                     name, ns, bop, aop, ex)
     n++
 }
 END {
