@@ -7,8 +7,10 @@
 //	figures [-only id] [-out dir] [-points n] [-fast] [-workers n] [-timeout d] [-warm=false]
 //
 // where id is one of: table1, fig2, fig4, fig5, fig6, fig7, fig8, fig9,
-// fig10, fig11, fig12, valid, all (default all). -fast reduces transient
-// resolution for a quick smoke run.
+// fig10, fig11, fig12, pareto, valid, all (default all). -fast reduces
+// transient resolution for a quick smoke run. pareto is the delay/power
+// Pareto front of the power-aware subsystem, not a figure of the source
+// paper.
 //
 // With -only all the artifacts evaluate concurrently over a bounded worker
 // pool; each artifact's text renders into its own buffer and buffers flush
@@ -93,7 +95,7 @@ func main() {
 
 // allOrder is the canonical artifact sequence of a full run (fig4 covers
 // Figures 4-8, which share one sweep).
-var allOrder = []string{"table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "valid"}
+var allOrder = []string{"table1", "fig2", "fig4", "fig9", "fig10", "fig11", "fig12", "pareto", "valid"}
 
 // runAll evaluates every artifact concurrently, each rendering into its own
 // buffer, and flushes the buffers to stdout in canonical order as they (and
@@ -139,6 +141,7 @@ func artifactsOf(g *gen) map[string]func() error {
 		"fig10":  func() error { return g.waveFig("fig10", 2.2e-6) },
 		"fig11":  g.fig11,
 		"fig12":  g.fig12,
+		"pareto": g.pareto,
 		"valid":  g.valid,
 	}
 }
@@ -380,6 +383,50 @@ func (g *gen) fig12() error {
 		fmt.Fprintf(g.w, "%-12.2f %16.3f %16.3f %8v\n", lsN[i], peak[i], rms[i], !rep.RMSOver && !rep.PeakOver)
 	}
 	return g.csv("fig12.csv", lsN, []string{"peakJ_MAcm2", "rmsJ_MAcm2"}, peak, rms)
+}
+
+// pareto traces the delay/power Pareto front of the buffered 100 nm line
+// (l = 2 nH/mm, α = 0.15, f_clk = 1 GHz) and reports the mixed-scheme
+// power plan for a 30 mm net — the power/delay tradeoff the power-aware
+// subsystem reproduces (≥15% power saved within a 5% delay penalty).
+func (g *gen) pareto() error {
+	fmt.Fprintln(g.w, "== Pareto: delay/power front and mixed-scheme plan (100 nm, l=2 nH/mm) ==")
+	const l = 2e-6
+	prm := rlcint.PowerParams{Alpha: 0.15, Freq: 1e9}
+	m, err := rlcint.NewPowerModel(rlcint.Tech100(), l, prm)
+	if err != nil {
+		return err
+	}
+	opts := rlcint.ParetoOptions{Points: g.points, Workers: g.sweep.Workers, Cold: !g.sweep.Warm}
+	front, err := rlcint.ParetoFront(g.ctx, m, 0.5, opts)
+	if err != nil {
+		return err
+	}
+	n := len(front)
+	weights := make([]float64, n)
+	delays := make([]float64, n)
+	powers := make([]float64, n)
+	dr := make([]float64, n)
+	pr := make([]float64, n)
+	fmt.Fprintf(g.w, "%10s %14s %14s %8s %8s\n", "lambda", "delay (ps/mm)", "power (mW/mm)", "D/D0", "P/P0")
+	for i, p := range front {
+		weights[i] = p.Weight
+		delays[i] = p.Delay / (rlcint.PS / rlcint.MM)
+		powers[i] = p.Power // W/m prints unchanged as mW/mm
+		dr[i] = p.DelayRatio
+		pr[i] = p.PowerRatio
+		fmt.Fprintf(g.w, "%10.3f %14.2f %14.3f %8.4f %8.4f\n", weights[i], delays[i], powers[i], dr[i], pr[i])
+	}
+	plan, err := rlcint.PlanPowerCtx(g.ctx, rlcint.Tech100(), l, 0.5, 30*rlcint.MM, prm,
+		rlcint.PowerPlanOptions{Front: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(g.w, "30 mm plan: %.2f%% power saved at %.2f%% delay penalty (%d scheme(s))\n",
+		100*plan.PowerSaved, 100*plan.DelayPenalty, len(plan.Schemes))
+	return g.csv("pareto.csv", weights,
+		[]string{"delay_ps_mm", "power_mw_mm", "delay_ratio", "power_ratio"},
+		delays, powers, dr, pr)
 }
 
 // valid cross-checks the two-pole model against higher-order AWE fits and

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	rlcopt [-tech 100nm] [-l 2.0] [-f 0.5] [-length 0] [-timeout 30s]
+//	rlcopt -power [-alpha 0.15] [-freq 1.0] [-points 9] [-length 30] [-max-penalty 0.05]
 //
 // -l is the line inductance in nH/mm; -length (mm), when nonzero, also
 // reports the total delay of a line of that length. ^C or -timeout stop
 // the optimizer cooperatively with a typed run-control error.
+//
+// -power switches to the power-aware mode: it traces the delay/power
+// Pareto front of the buffered line under the given switching activity
+// (-alpha) and clock frequency (-freq, GHz), and — when -length is set —
+// prints the mixed-scheme power plan whose end-to-end delay stays within
+// -max-penalty of the delay optimum.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rlcint"
 	"rlcint/internal/core"
@@ -30,6 +38,12 @@ func main() {
 	lengthMM := flag.Float64("length", 0, "total line length to report, mm (0 = skip)")
 	diagFlag := flag.Bool("diag", false, "print the optimizer's recovery-ladder report")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the optimization (0 = none)")
+	powerMode := flag.Bool("power", false, "power-aware mode: Pareto front and mixed-scheme plan")
+	alpha := flag.Float64("alpha", 0.15, "switching activity factor (power mode)")
+	freqGHz := flag.Float64("freq", 1.0, "clock frequency, GHz (power mode)")
+	points := flag.Int("points", 9, "Pareto-front points to trace (power mode)")
+	maxPenalty := flag.Float64("max-penalty", 0.05, "delay-penalty budget for the power plan")
+	workers := flag.Int("workers", 0, "front-trace worker pool (0 = GOMAXPROCS; result is identical)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -40,6 +54,11 @@ func main() {
 		fatal(err)
 	}
 	l := *lNH * rlcint.NHPerMM
+
+	if *powerMode {
+		runPower(ctx, t, l, *f, *alpha, *freqGHz, *lengthMM, *maxPenalty, *points, *workers, *timeout)
+		return
+	}
 
 	rc, err := rlcint.OptimizeRC(t)
 	if err != nil {
@@ -89,6 +108,55 @@ func main() {
 		fmt.Printf("line of %.1f mm: %.1f repeaters, total %.0f ps\n",
 			*lengthMM, n, total/rlcint.PS)
 	}
+}
+
+// runPower traces the delay/power Pareto front and, when lengthMM > 0,
+// prints the mixed-scheme plan for a net of that length. Per-unit power in
+// W/m prints unchanged as mW/mm.
+func runPower(ctx context.Context, t rlcint.Technology, l, f, alpha, freqGHz, lengthMM, maxPenalty float64, points, workers int, timeout time.Duration) {
+	prm := rlcint.PowerParams{Alpha: alpha, Freq: freqGHz * 1e9}
+	m, err := rlcint.NewPowerModel(t, l, prm)
+	if err != nil {
+		fatal(err)
+	}
+	opts := rlcint.ParetoOptions{
+		Points: points, Workers: workers,
+		Limits: rlcint.RunLimits{Timeout: timeout},
+	}
+	front, err := rlcint.ParetoFront(ctx, m, f, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("technology %s: alpha=%.2f freq=%.2f GHz f=%.0f%%\n",
+		t.Name, alpha, freqGHz, 100*f)
+	fmt.Printf("delay/power Pareto front (%d points):\n", len(front))
+	fmt.Printf("%10s %10s %8s %14s %14s %8s %8s\n",
+		"lambda", "h (mm)", "k", "delay (ps/mm)", "power (mW/mm)", "D/D0", "P/P0")
+	for _, p := range front {
+		fmt.Printf("%10.3f %10.3f %8.1f %14.2f %14.3f %8.4f %8.4f\n",
+			p.Weight, p.H/rlcint.MM, p.K,
+			p.Delay/(rlcint.PS/rlcint.MM), p.Power,
+			p.DelayRatio, p.PowerRatio)
+	}
+
+	if lengthMM <= 0 {
+		return
+	}
+	plan, err := rlcint.PlanPowerCtx(ctx, t, l, f, lengthMM*rlcint.MM, prm,
+		rlcint.PowerPlanOptions{MaxPenalty: maxPenalty, Front: opts})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\npower plan for %.1f mm (penalty budget %.1f%%):\n", lengthMM, 100*maxPenalty)
+	for i, s := range plan.Schemes {
+		fmt.Printf("  scheme %d: %3d stages of h=%.3f mm, k=%.1f (%.3f mW/stage)\n",
+			i+1, s.Stages, s.H/rlcint.MM, s.K, s.Stage.Total()*1e3)
+	}
+	fmt.Printf("  delay %.0f ps (baseline %.0f ps, penalty %.2f%%)\n",
+		plan.Delay/rlcint.PS, plan.Baseline.Total/rlcint.PS, 100*plan.DelayPenalty)
+	fmt.Printf("  power %.3f mW (baseline %.3f mW, saved %.2f%%)\n",
+		plan.Power*1e3, plan.BaselinePower*1e3, 100*plan.PowerSaved)
 }
 
 func fatal(err error) {

@@ -1,0 +1,186 @@
+package power
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"rlcint/internal/diag"
+	"rlcint/internal/runctl"
+	"rlcint/internal/tech"
+)
+
+const frontF = 0.9
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestParetoFrontDeterministicAcrossWorkers is the determinism contract:
+// worker count changes wall-clock time only, never a bit of the result.
+func TestParetoFrontDeterministicAcrossWorkers(t *testing.T) {
+	m := testModel(t)
+	serial, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("front differs between 1 and %d workers", workers)
+		}
+	}
+	// Cold mode must be deterministic too.
+	cs, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Workers: 1, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Workers: 8, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cs, cp) {
+		t.Errorf("cold front differs between 1 and 8 workers")
+	}
+}
+
+// TestParetoFrontWarmVsCold: continuation seeding is a speed/robustness
+// device, not a result change — warm and cold traces must land on the same
+// front points. The polish leaves ~1e-11 relative play; the contract is 1e-9.
+func TestParetoFrontWarmVsCold(t *testing.T) {
+	m := testModel(t)
+	warm, err := ParetoFront(context.Background(), m, frontF, FrontOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("length mismatch: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if d := relDiff(warm[i].Delay, cold[i].Delay); d > 1e-9 {
+			t.Errorf("point %d (λ=%g): warm/cold delay differ by %.3g", i, warm[i].Weight, d)
+		}
+		if d := relDiff(warm[i].Power, cold[i].Power); d > 1e-9 {
+			t.Errorf("point %d (λ=%g): warm/cold power differ by %.3g", i, warm[i].Weight, d)
+		}
+	}
+}
+
+// TestParetoFrontShape: along increasing λ the trace must trade delay for
+// power monotonically, anchored at the delay optimum.
+func TestParetoFrontShape(t *testing.T) {
+	m := testModel(t)
+	front, err := ParetoFront(context.Background(), m, frontF, FrontOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 17 {
+		t.Fatalf("default front has %d points, want 17", len(front))
+	}
+	if front[0].Weight != 0 || relDiff(front[0].DelayRatio, 1) > 1e-9 || relDiff(front[0].PowerRatio, 1) > 1e-9 {
+		t.Errorf("λ=0 anchor is not the delay optimum: %+v", front[0])
+	}
+	const slack = 1e-9
+	for i := 1; i < len(front); i++ {
+		if front[i].Weight <= front[i-1].Weight {
+			t.Errorf("weights not increasing at %d", i)
+		}
+		if front[i].Delay < front[i-1].Delay*(1-slack) {
+			t.Errorf("delay decreased along the front at %d: %g → %g", i, front[i-1].Delay, front[i].Delay)
+		}
+		if front[i].Power > front[i-1].Power*(1+slack) {
+			t.Errorf("power increased along the front at %d: %g → %g", i, front[i-1].Power, front[i].Power)
+		}
+	}
+	// The far end must buy a real power saving for a bounded delay penalty.
+	last := front[len(front)-1]
+	if last.PowerRatio > 0.85 || last.DelayRatio > 1.5 {
+		t.Errorf("λ=%g end of front looks degenerate: delay ×%.3f, power ×%.3f",
+			last.Weight, last.DelayRatio, last.PowerRatio)
+	}
+}
+
+// TestOptimizePowerBudgetMatchesFront: each front point's delay must match a
+// direct constrained Optimize at its power value within 1e-6 — the
+// scalarized trace and the budgeted solver are two views of one front.
+func TestOptimizePowerBudgetMatchesFront(t *testing.T) {
+	m := testModel(t)
+	front, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Points: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range front[1:] { // λ=0 is the unconstrained trivial case
+		got, err := OptimizePowerBudget(context.Background(), m, frontF, fp.Power, runctl.Limits{})
+		if err != nil {
+			t.Fatalf("budget %g: %v", fp.Power, err)
+		}
+		if d := relDiff(got.Delay, fp.Delay); d > 1e-6 {
+			t.Errorf("budget %g: delay %.6e vs front %.6e (rel %.3g > 1e-6)", fp.Power, got.Delay, fp.Delay, d)
+		}
+		if got.Power > fp.Power*(1+1e-9) {
+			t.Errorf("budget %g violated: got %g", fp.Power, got.Power)
+		}
+	}
+	// A generous budget returns the delay optimum.
+	easy, err := OptimizePowerBudget(context.Background(), m, frontF, 2*front[0].Power, runctl.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(easy.Delay, front[0].Delay) > 1e-9 {
+		t.Errorf("slack budget should return the delay optimum")
+	}
+}
+
+func TestOptimizePowerBudgetDomain(t *testing.T) {
+	m := testModel(t)
+	for _, budget := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := OptimizePowerBudget(context.Background(), m, frontF, budget, runctl.Limits{}); !errors.Is(err, diag.ErrDomain) {
+			t.Errorf("budget %g: want ErrDomain, got %v", budget, err)
+		}
+	}
+	// Unreachably small budget: the wire's intrinsic power floor.
+	if _, err := OptimizePowerBudget(context.Background(), m, frontF, 1e-12, runctl.Limits{}); !errors.Is(err, diag.ErrDomain) {
+		t.Errorf("unreachable budget: want ErrDomain, got %v", err)
+	}
+}
+
+func TestParetoFrontOptionsDomain(t *testing.T) {
+	m := testModel(t)
+	if _, err := ParetoFront(context.Background(), m, frontF, FrontOptions{Points: 1}); !errors.Is(err, diag.ErrDomain) {
+		t.Errorf("Points=1: want ErrDomain, got %v", err)
+	}
+	if _, err := ParetoFront(context.Background(), m, frontF, FrontOptions{MaxWeight: math.NaN()}); !errors.Is(err, diag.ErrDomain) {
+		t.Errorf("NaN MaxWeight: want ErrDomain, got %v", err)
+	}
+}
+
+func TestParetoFrontCancel(t *testing.T) {
+	m := testModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParetoFront(ctx, m, frontF, FrontOptions{}); err == nil {
+		t.Errorf("cancelled context: want error, got nil")
+	}
+}
+
+func BenchmarkParetoFront(b *testing.B) {
+	m, err := New(tech.Node100(), 2e-6, Params{Alpha: 0.15, Freq: 1e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParetoFront(context.Background(), m, frontF, FrontOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func fuzzHandler() http.Handler {
 var fuzzEndpoints = []string{
 	"/v1/optimize", "/v1/delay", "/v1/plan", "/v1/optimize-rc",
 	"/v1/lcrit", "/v1/sweep", "/v1/check/oxide", "/v1/check/wire",
+	"/v1/plan-power", "/v1/pareto",
 }
 
 // FuzzDecode throws arbitrary bodies at every endpoint decoder. The
@@ -60,6 +61,10 @@ func FuzzDecode(f *testing.F) {
 		`{"tech":"100nm"} trailing`,
 		`{"peak_j":-1,"rms_j":1e99}`,
 		`{"tech":"100nm","overshoot_v":-3}`,
+		`{"tech":"100nm","l":2e-6,"length":0.02,"alpha":0.15,"freq":1e9}`,
+		`{"tech":"100nm","l":2e-6,"alpha":2,"freq":-1}`,
+		`{"tech":"100nm","l":2e-6,"length":0.02,"alpha":0,"freq":0,"points":1,"max_weight":-3}`,
+		`{"tech":"250nm","l":1e-6,"alpha":1,"freq":3e9,"points":3,"max_weight":0.5}`,
 		`{"tech":"100nm","ls":[0],"workers":-1,"tile_size":-9,"timeout_ms":-5}`,
 		`[1,2,3]`,
 		`"just a string"`,

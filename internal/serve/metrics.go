@@ -10,6 +10,7 @@ import (
 
 	"rlcint/internal/diag"
 	"rlcint/internal/sparse"
+	"rlcint/internal/spice"
 )
 
 // latencyBounds are the histogram bucket upper bounds. The last implicit
@@ -182,6 +183,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"breaker":  expvarMapToGo(m.breaker),
 		"snapshot": expvarMapToGo(m.snapshotOps),
 		"sparse":   expvarMapToGo(m.sparseOps),
+		// Reduced-order fast-path engagement for transient-backed work, so
+		// operators can see whether traffic rides the reduction or falls
+		// back to the full solver. Process-wide counters (the model cache is
+		// process-wide too), not per-Server.
+		"mor": spice.ReductionStats(),
 	}
 	if s.fleet != nil {
 		fl := map[string]int64{"ready": 0}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rlcint/internal/core"
+	"rlcint/internal/diag"
+	"rlcint/internal/power"
+)
+
+// This file serves the power-aware optimization subsystem: /v1/plan-power
+// (unary, cached/coalesced/breaker-protected, with a degraded-mode estimate)
+// and /v1/pareto (the delay/power front trace, streamed as NDJSON).
+
+// planPowerReq drives /v1/plan-power: a power-minimal mixed-scheme repeater
+// plan for a net of Length meters under a bounded delay penalty. Alpha and
+// Freq are the workload (switching activity and clock frequency); their
+// domain is enforced by the power model and maps to 400 like every other
+// domain error.
+type planPowerReq struct {
+	Tech       string  `json:"tech"`
+	L          float64 `json:"l"` // line inductance, H/m
+	F          float64 `json:"f"`
+	Length     float64 `json:"length"`      // total net length, m
+	Alpha      float64 `json:"alpha"`       // switching activity ∈ (0,1]
+	Freq       float64 `json:"freq"`        // clock frequency, Hz
+	MaxPenalty float64 `json:"max_penalty"` // delay penalty budget; 0 → 0.05
+	Points     int     `json:"points,omitempty"`
+	MaxWeight  float64 `json:"max_weight,omitempty"`
+	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
+	NoDegraded bool    `json:"no_degraded,omitempty"` // see optimizeReq.NoDegraded
+}
+
+func (q *planPowerReq) validate() error {
+	if err := reqFinite("l", q.L, "f", q.F, "length", q.Length,
+		"max_penalty", q.MaxPenalty, "max_weight", q.MaxWeight); err != nil {
+		return err
+	}
+	if q.Points < 0 || (q.Points > 0 && q.Points < 2) || q.Points > 512 {
+		return badRequestf("points=%d outside [2, 512]", q.Points)
+	}
+	// The workload domain (α ∈ (0,1], f > 0, finite) is the power model's
+	// contract; checking it here turns the diag domain error into the same
+	// 400 before any cache or breaker state is touched.
+	return power.Params{Alpha: q.Alpha, Freq: q.Freq}.Validate()
+}
+
+func (q *planPowerReq) key() string {
+	return "plan-power|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(threshold(q.F)) +
+		"|" + canonF(q.Length) + "|" + canonF(q.Alpha) + "|" + canonF(q.Freq) +
+		"|" + canonF(q.MaxPenalty) + "|" + strconv.Itoa(q.Points) + "|" + canonF(q.MaxWeight)
+}
+
+// paretoReq drives /v1/pareto: the delay/power Pareto front of one
+// (technology, inductance, workload) problem, streamed as NDJSON points.
+type paretoReq struct {
+	Tech      string  `json:"tech"`
+	L         float64 `json:"l"`
+	F         float64 `json:"f"`
+	Alpha     float64 `json:"alpha"`
+	Freq      float64 `json:"freq"`
+	Points    int     `json:"points,omitempty"`
+	MaxWeight float64 `json:"max_weight,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+func (q *paretoReq) validate() error {
+	if err := reqFinite("l", q.L, "f", q.F, "max_weight", q.MaxWeight); err != nil {
+		return err
+	}
+	if q.Points < 0 || (q.Points > 0 && q.Points < 2) || q.Points > 512 {
+		return badRequestf("points=%d outside [2, 512]", q.Points)
+	}
+	return power.Params{Alpha: q.Alpha, Freq: q.Freq}.Validate()
+}
+
+func (q *paretoReq) key() string {
+	return "pareto|" + q.Tech + "|" + canonF(q.L) + "|" + canonF(threshold(q.F)) +
+		"|" + canonF(q.Alpha) + "|" + canonF(q.Freq) +
+		"|" + strconv.Itoa(q.Points) + "|" + canonF(q.MaxWeight)
+}
+
+// powerBreakdownResp serializes a power.Breakdown (watts).
+type powerBreakdownResp struct {
+	Dynamic      float64 `json:"dynamic"`
+	ShortCircuit float64 `json:"short_circuit"`
+	Leakage      float64 `json:"leakage"`
+	Total        float64 `json:"total"`
+}
+
+func breakdownOf(b power.Breakdown) powerBreakdownResp {
+	return powerBreakdownResp{
+		Dynamic: b.Dynamic, ShortCircuit: b.ShortCircuit,
+		Leakage: b.Leakage, Total: b.Total(),
+	}
+}
+
+// powerSchemeResp serializes one scheme run of a mixed plan.
+type powerSchemeResp struct {
+	Stages   int                `json:"stages"`
+	H        float64            `json:"h"`
+	K        float64            `json:"k"`
+	StageTau float64            `json:"stage_tau"`
+	Stage    powerBreakdownResp `json:"stage_power"`
+}
+
+// planPowerResp serializes a power.Plan (the front trace is served by
+// /v1/pareto, not duplicated here).
+type planPowerResp struct {
+	Length        float64           `json:"length"`
+	Schemes       []powerSchemeResp `json:"schemes"`
+	Delay         float64           `json:"delay"`
+	Power         float64           `json:"power"`
+	Baseline      planResp          `json:"baseline"`
+	BaselinePower float64           `json:"baseline_power"`
+	PowerSaved    float64           `json:"power_saved"`
+	DelayPenalty  float64           `json:"delay_penalty"`
+}
+
+func planPowerOf(p power.Plan) planPowerResp {
+	resp := planPowerResp{
+		Length: p.Length, Delay: p.Delay, Power: p.Power,
+		Baseline: planOf(p.Baseline), BaselinePower: p.BaselinePower,
+		PowerSaved: p.PowerSaved, DelayPenalty: p.DelayPenalty,
+	}
+	for _, sc := range p.Schemes {
+		resp.Schemes = append(resp.Schemes, powerSchemeResp{
+			Stages: sc.Stages, H: sc.H, K: sc.K, StageTau: sc.StageTau,
+			Stage: breakdownOf(sc.Stage),
+		})
+	}
+	return resp
+}
+
+func (s *Server) handlePlanPower(w http.ResponseWriter, r *http.Request) {
+	var q planPowerReq
+	if !s.decodeOrFail(w, r, &q, q.validate) {
+		return
+	}
+	node, err := techOf(q.Tech)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	m, err := power.New(node, q.L, power.Params{Alpha: q.Alpha, Freq: q.Freq})
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	opts := power.PlanOptions{
+		MaxPenalty: q.MaxPenalty,
+		Front:      power.FrontOptions{Points: q.Points, MaxWeight: q.MaxWeight, Workers: s.cfg.MaxWorkers},
+	}
+	s.serveResilient(w, r, resilient{
+		key:        q.key(),
+		region:     regionOf("plan-power", q.Tech, q.L),
+		timeout:    s.timeoutFor(q.TimeoutMS),
+		noDegraded: q.NoDegraded,
+		fwdPath:    "/v1/plan-power",
+		fwdReq:     &q,
+		compute: func(ctx context.Context) (any, error) {
+			rep := &diag.Report{}
+			plan, err := power.PlanPower(ctx, m, threshold(q.F), q.Length, opts)
+			s.metrics.recordLadder(rep)
+			if err != nil {
+				return nil, &solveError{err: err, report: rep}
+			}
+			return planPowerOf(plan), nil
+		},
+		estimate: func() (any, error) {
+			// Degraded answer: the closed-form delay-optimal plan with its
+			// power attached — a valid (zero-saving) member of the search
+			// space, never a fabricated tradeoff.
+			base, err := core.EstimatePlan(problemOf(node, q.L, threshold(q.F)), q.Length)
+			if err != nil {
+				return nil, err
+			}
+			br, err := m.Stage(base.H, base.K)
+			if err != nil {
+				return nil, err
+			}
+			basePower := float64(base.Stages) * br.Total()
+			return planPowerResp{
+				Length: q.Length,
+				Schemes: []powerSchemeResp{{
+					Stages: base.Stages, H: base.H, K: base.K,
+					StageTau: base.StageTau, Stage: breakdownOf(br),
+				}},
+				Delay: base.Total, Power: basePower,
+				Baseline: planOf(base), BaselinePower: basePower,
+			}, nil
+		},
+	})
+}
+
+// paretoPointLine is one NDJSON record of a streamed front trace.
+type paretoPointLine struct {
+	Type       string             `json:"type"` // "point"
+	Weight     float64            `json:"weight"`
+	H          float64            `json:"h"`
+	K          float64            `json:"k"`
+	Tau        float64            `json:"tau"`
+	Delay      float64            `json:"delay"` // per-unit delay, s/m
+	Power      float64            `json:"power"` // per-unit power, W/m
+	DelayRatio float64            `json:"delay_ratio"`
+	PowerRatio float64            `json:"power_ratio"`
+	Stage      powerBreakdownResp `json:"stage_power"`
+}
+
+// handlePareto streams the delay/power Pareto front as NDJSON: one "point"
+// record per front point and a terminal "done" record. The whole trace is
+// one cached and coalesced computation — unlike a sweep, the warm-start
+// continuation makes the trace a single unit of work, so it is not chunked.
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var q paretoReq
+	if !s.decodeOrFail(w, r, &q, q.validate) {
+		return
+	}
+	node, err := techOf(q.Tech)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	m, err := power.New(node, q.L, power.Params{Alpha: q.Alpha, Freq: q.Freq})
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	opts := power.FrontOptions{Points: q.Points, MaxWeight: q.MaxWeight, Workers: s.cfg.MaxWorkers}
+	deadline := time.Now().Add(s.timeoutFor(q.TimeoutMS))
+	reqCtx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	key := q.key()
+	e, ok := s.cacheGet(key)
+	src := "hit"
+	if !ok {
+		var shared bool
+		e, err, shared = s.flights.do(reqCtx, key, time.Until(deadline), func(ctx context.Context) (*cached, error) {
+			if err := s.limiter.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.limiter.release()
+			front, err := power.ParetoFront(ctx, m, threshold(q.F), opts)
+			if err != nil {
+				return nil, err
+			}
+			var body []byte
+			for _, fp := range front {
+				line, err := json.Marshal(paretoPointLine{
+					Type: "point", Weight: fp.Weight,
+					H: fp.H, K: fp.K, Tau: fp.Tau,
+					Delay: fp.Delay, Power: fp.Power,
+					DelayRatio: fp.DelayRatio, PowerRatio: fp.PowerRatio,
+					Stage: breakdownOf(fp.Stage),
+				})
+				if err != nil {
+					return nil, err
+				}
+				body = append(body, line...)
+				body = append(body, '\n')
+			}
+			e := &cached{key: key, ctype: "application/x-ndjson", body: body}
+			s.cachePut(e)
+			return e, nil
+		})
+		src = "miss"
+		if shared {
+			src = "coalesced"
+		}
+		if err != nil {
+			s.metrics.xcache.Add(src, 1)
+			writeError(w, s.mapErrorWithRetry(err, ""))
+			return
+		}
+	}
+	s.metrics.xcache.Add(src, 1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", src)
+	_, _ = w.Write(e.body)
+	points := 0
+	for _, b := range e.body {
+		if b == '\n' {
+			points++
+		}
+	}
+	line, _ := json.Marshal(struct {
+		Type   string `json:"type"`
+		Points int    `json:"points"`
+		Tech   string `json:"tech"`
+	}{"done", points, node.Name})
+	_, _ = w.Write(append(line, '\n'))
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+const planPowerBody = `{"tech":"100nm","l":2e-6,"f":0.9,"length":0.03,"alpha":0.15,"freq":1e9,"points":9}`
+
+func TestPlanPowerEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/plan-power", planPowerBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got planPowerResp
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.PowerSaved < 0.15 {
+		t.Errorf("power_saved = %.4f, want ≥ 0.15 (the RIP operating point)", got.PowerSaved)
+	}
+	if got.DelayPenalty > 0.05+1e-12 {
+		t.Errorf("delay_penalty = %.4f exceeds the default 5%% budget", got.DelayPenalty)
+	}
+	if len(got.Schemes) < 1 || got.Baseline.Stages < 1 {
+		t.Errorf("degenerate plan: %+v", got)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	// Identical request: exact cache hit, byte-identical body.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/plan-power", planPowerBody)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("second request X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Errorf("cached body differs from computed body")
+	}
+}
+
+// TestPlanPowerDomain400: power-workload domain violations map to the same
+// 400 envelope as every other domain error — before any solver runs.
+func TestPlanPowerDomain400(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	bad := []string{
+		`{"tech":"100nm","l":2e-6,"length":0.03,"alpha":0,"freq":1e9}`,
+		`{"tech":"100nm","l":2e-6,"length":0.03,"alpha":1.5,"freq":1e9}`,
+		`{"tech":"100nm","l":2e-6,"length":0.03,"alpha":0.15,"freq":0}`,
+		`{"tech":"100nm","l":2e-6,"length":0.03,"alpha":0.15,"freq":-1e9}`,
+		`{"tech":"100nm","l":2e-6,"length":0.03,"alpha":0.15,"freq":1e9,"points":1}`,
+	}
+	for _, body := range bad {
+		resp, b := postJSON(t, ts.URL+"/v1/plan-power", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s → status %d, want 400 (%s)", body, resp.StatusCode, b)
+			continue
+		}
+		var env struct {
+			Error apiError `json:"error"`
+		}
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Errorf("body %s → non-envelope error %q", body, b)
+		} else if env.Error.Kind != "domain" && env.Error.Kind != "bad-request" {
+			t.Errorf("body %s → kind %q, want domain/bad-request", body, env.Error.Kind)
+		}
+	}
+}
+
+func TestParetoEndpointStreams(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	const body = `{"tech":"100nm","l":2e-6,"f":0.9,"alpha":0.15,"freq":1e9,"points":5}`
+	resp, b := postJSON(t, ts.URL+"/v1/pareto", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	points, done := 0, 0
+	var prev paretoPointLine
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		var rec struct {
+			Type   string `json:"type"`
+			Points int    `json:"points"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch rec.Type {
+		case "point":
+			var pt paretoPointLine
+			if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+				t.Fatal(err)
+			}
+			if points > 0 && (pt.Delay < prev.Delay*(1-1e-9) || pt.Power > prev.Power*(1+1e-9)) {
+				t.Errorf("front not monotone at point %d", points)
+			}
+			prev = pt
+			points++
+		case "done":
+			done++
+			if rec.Points != points {
+				t.Errorf("done record counts %d points, stream had %d", rec.Points, points)
+			}
+		default:
+			t.Errorf("unexpected record type %q", rec.Type)
+		}
+	}
+	if points != 5 || done != 1 {
+		t.Errorf("stream had %d points and %d done records, want 5 and 1", points, done)
+	}
+	// Second request is a whole-trace cache hit.
+	resp2, _ := postJSON(t, ts.URL+"/v1/pareto", body)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("second trace X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+}

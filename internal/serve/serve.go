@@ -253,6 +253,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/check/oxide", s.handleCheckOxide)
 	s.mux.HandleFunc("POST /v1/check/wire", s.handleCheckWire)
+	s.mux.HandleFunc("POST /v1/plan-power", s.handlePlanPower)
+	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
 	s.mux.HandleFunc("POST /v1/pdn/ir", s.handlePDNIR)
 	s.mux.HandleFunc("POST /v1/pdn/impedance", s.handlePDNImpedance)
 	// Process-global expvar page (memstats, cmdline); the server's own

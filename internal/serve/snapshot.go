@@ -59,6 +59,7 @@ var snapshotSchema = sync.OnceValue(func() string {
 		optimumResp{}, delayResp{}, planResp{}, sweepPointLine{},
 		rcResp{}, lcritResp{}, oxideResp{}, wireResp{},
 		pdn.IRResult{}, pdn.ImpedanceResult{},
+		planPowerResp{}, paretoPointLine{},
 	} {
 		walk(reflect.TypeOf(v))
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"time"
+
+	"rlcint/internal/spice"
 )
 
 // handleStatusz renders the resilience-oriented operational snapshot: the
@@ -37,6 +39,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"regions":     s.breakers.statuses(),
 		},
 		"degraded": expvarMapToGo(s.metrics.degraded),
+		// Reduced-order engagement for transient-backed endpoints: how often
+		// the Krylov fast path answered vs fell back to the full solver.
+		// Process-wide (the reduced-model cache is process-wide), so numbers
+		// here cover every Server in the process.
+		"mor": spice.ReductionStats(),
 		"cache": map[string]int64{
 			"hits":      hits,
 			"misses":    misses,

@@ -139,6 +139,7 @@ func (c *Circuit) TransientAdaptiveCtx(ctx context.Context, opts AdaptiveOpts, p
 		if !bailed {
 			return out, lerr
 		}
+		morStatFallback.Add(1)
 		res.T = res.T[:1]
 		for i := range res.Signals {
 			res.Signals[i] = res.Signals[i][:1]

@@ -296,6 +296,7 @@ func (c *Circuit) resumeReduced(opts TranOpts, cp *Checkpoint, res *Result, prob
 	}
 	out, lerr, bailed := c.reducedLoopRun(opts, rr, run, res, probes, nSteps, cp.Step+1, beSteps)
 	if bailed {
+		morStatFallback.Add(1)
 		// Drop any samples the reduced continuation recorded before bailing
 		// so the full-solver fallback appends from the boundary.
 		res.T = res.T[:cp.Step+1]

@@ -1,0 +1,43 @@
+package spice
+
+import "testing"
+
+// TestReductionStatsCounters checks the process-wide MOR counters that the
+// serving tier surfaces in /metrics and /statusz: an engaging run bumps
+// Engaged, an identical second run rides the model cache (CacheHits), and a
+// run on a circuit the classifier rejects bumps Rejected. Counters are
+// process-wide, so the test asserts deltas, never absolute values.
+func TestReductionStatsCounters(t *testing.T) {
+	morCacheReset()
+	before := ReductionStats()
+
+	c, p := reduceLadder(t, 11, false)
+	if _, err := c.Transient(ladderOpts(), p...); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	mid := ReductionStats()
+	if mid.Engaged <= before.Engaged {
+		t.Fatalf("Engaged did not increase: before %+v after %+v", before, mid)
+	}
+
+	c2, p2 := reduceLadder(t, 11, false)
+	if _, err := c2.Transient(ladderOpts(), p2...); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	after := ReductionStats()
+	if after.CacheHits <= mid.CacheHits {
+		t.Errorf("CacheHits did not increase on identical rerun: mid %+v after %+v", mid, after)
+	}
+	if after.Engaged <= mid.Engaged {
+		t.Errorf("Engaged did not increase on cached rerun: mid %+v after %+v", mid, after)
+	}
+}
+
+func TestResetReductionStats(t *testing.T) {
+	morStatEngaged.Add(3)
+	morStatFallback.Add(1)
+	ResetReductionStats()
+	if got := ReductionStats(); got != (MORStats{}) {
+		t.Errorf("after reset: %+v, want zeroes", got)
+	}
+}

@@ -492,11 +492,13 @@ func (c *Circuit) tryReduce(opts TranOpts, x0 []float64, probes []Probe, nSteps,
 	}
 	cl, err := classifyReduction(c, probes)
 	if err != nil {
+		morStatRejected.Add(1)
 		opts.Report.Record("mor", "classify", diag.OutcomeSkipped, err.Error(), nil)
 		return nil, nil
 	}
 	ex, err := extractSystem(c, cl, x0, opts.Gmin)
 	if err != nil {
+		morStatRejected.Add(1)
 		opts.Report.Record("mor", "extract", diag.OutcomeSkipped, err.Error(), nil)
 		return nil, nil
 	}
@@ -517,12 +519,15 @@ func (c *Circuit) tryReduce(opts TranOpts, x0 []float64, probes []Probe, nSteps,
 		}
 		rr := c.finishReduce(e.model, ex, fp, opts)
 		if rr != nil {
+			morStatEngaged.Add(1)
+			morStatCacheHits.Add(1)
 			opts.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(e.model, true), nil)
 		}
 		return rr, nil
 	}
 	model, rerr := mor.Reduce(ex.sys, mopts)
 	if rerr != nil {
+		morStatRejected.Add(1)
 		opts.Report.Record("mor", "reduce", diag.OutcomeSkipped, rerr.Error(), nil)
 		if !runctl.IsStop(rerr) {
 			morCachePut(fp, &morCacheEntry{})
@@ -541,11 +546,13 @@ func (c *Circuit) tryReduce(opts TranOpts, x0 []float64, probes []Probe, nSteps,
 			if runctl.IsStop(err) {
 				return nil, err
 			}
+			morStatRejected.Add(1)
 			opts.Report.Record("mor", "confirm", diag.OutcomeSkipped, err.Error(), nil)
 			morCachePut(fp, &morCacheEntry{})
 			return nil, nil
 		}
 		if cerr > confirmFactor*reduceTol {
+			morStatRejected.Add(1)
 			opts.Report.Record("mor", "confirm", diag.OutcomeFailed,
 				fmt.Sprintf("large-signal relerr=%.3g above %g", cerr, confirmFactor*reduceTol), nil)
 			morCachePut(fp, &morCacheEntry{})
@@ -554,6 +561,7 @@ func (c *Circuit) tryReduce(opts TranOpts, x0 []float64, probes []Probe, nSteps,
 		opts.Report.Record("mor", "confirm", diag.OutcomeOK, fmt.Sprintf("relerr=%.3g", cerr), nil)
 	}
 	morCachePut(fp, &morCacheEntry{model: model})
+	morStatEngaged.Add(1)
 	opts.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(model, false), nil)
 	return rr, nil
 }
@@ -1028,16 +1036,19 @@ func (c *Circuit) tryReduceAdaptive(opts AdaptiveOpts, tran TranOpts, x0 []float
 	}
 	cl, err := classifyReduction(c, probes)
 	if err != nil {
+		morStatRejected.Add(1)
 		tran.Report.Record("mor", "classify", diag.OutcomeSkipped, err.Error(), nil)
 		return nil
 	}
 	if len(cl.nlIdx) > 0 {
+		morStatRejected.Add(1)
 		tran.Report.Record("mor", "classify", diag.OutcomeSkipped,
 			"nonlinear circuit: adaptive runs reduce linear circuits only", nil)
 		return nil
 	}
 	ex, err := extractSystem(c, cl, x0, tran.Gmin)
 	if err != nil {
+		morStatRejected.Add(1)
 		tran.Report.Record("mor", "extract", diag.OutcomeSkipped, err.Error(), nil)
 		return nil
 	}
@@ -1060,12 +1071,15 @@ func (c *Circuit) tryReduceAdaptive(opts AdaptiveOpts, tran TranOpts, x0 []float
 		}
 		rr := c.finishReduce(e.model, ex, fp, tran)
 		if rr != nil {
+			morStatEngaged.Add(1)
+			morStatCacheHits.Add(1)
 			tran.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(e.model, true), nil)
 		}
 		return rr
 	}
 	model, rerr := mor.Reduce(ex.sys, mopts)
 	if rerr != nil {
+		morStatRejected.Add(1)
 		tran.Report.Record("mor", "reduce", diag.OutcomeSkipped, rerr.Error(), nil)
 		if !runctl.IsStop(rerr) {
 			morCachePut(fp, &morCacheEntry{})
@@ -1075,6 +1089,7 @@ func (c *Circuit) tryReduceAdaptive(opts AdaptiveOpts, tran TranOpts, x0 []float
 	morCachePut(fp, &morCacheEntry{model: model})
 	rr := c.finishReduce(model, ex, fp, tran)
 	if rr != nil {
+		morStatEngaged.Add(1)
 		tran.Report.Record("mor", "accept", diag.OutcomeOK, acceptDetail(model, false), nil)
 	}
 	return rr

@@ -726,6 +726,7 @@ func (c *Circuit) TransientCtx(ctx context.Context, opts TranOpts, probes ...Pro
 		if !bailed {
 			return out, lerr
 		}
+		morStatFallback.Add(1)
 		opts.Report.Record("mor", "fallback", diag.OutcomeSkipped,
 			"reduced run bailed out; rerunning with the full solver", nil)
 		res.T = res.T[:1]

@@ -43,6 +43,8 @@ func InterpolateNode(feature float64) (Node, error) {
 		Cp:     geo(a.Cp, b.Cp),
 		VDD:    geo(a.VDD, b.VDD),
 		Tox:    geo(a.Tox, b.Tox),
+		Vt:     geo(a.Vt, b.Vt),
+		Ioff:   geo(a.Ioff, b.Ioff),
 	}
 	if err := n.Validate(); err != nil {
 		return Node{}, fmt.Errorf("tech: interpolation produced invalid node: %w", err)

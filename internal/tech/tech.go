@@ -35,6 +35,14 @@ type Node struct {
 	// Gate oxide thickness, used by the oxide-overstress reliability check.
 	// NTRS'97-representative values.
 	Tox float64 // m
+
+	// Power-model device parameters. The paper does not tabulate these —
+	// they drive only the power-aware planning extension (internal/power),
+	// never a delay result. NTRS'97-representative: Vt tracks ~0.2·VDD at
+	// each node; Ioff is the minimum device's subthreshold leakage, which
+	// grows sharply as Vt scales down.
+	Vt   float64 // device threshold voltage, V
+	Ioff float64 // minimum-device off-state leakage current, A
 }
 
 // Unit conversion factors between the paper's presentation and SI.
@@ -65,6 +73,8 @@ func Node250() Node {
 		Cp:     6.2474 * FF,
 		VDD:    2.5,
 		Tox:    5.0e-9,
+		Vt:     0.5,
+		Ioff:   1e-9,
 	}
 }
 
@@ -86,7 +96,9 @@ func Node100() Node {
 		// Chosen so VDD/Tox sits at the 5 MV/cm design field for both
 		// nodes — the "supply scales with oxide thickness" rule the paper
 		// cites from Hu [27].
-		Tox: 2.4e-9,
+		Tox:  2.4e-9,
+		Vt:   0.26,
+		Ioff: 1e-8,
 	}
 }
 
@@ -136,6 +148,12 @@ func (n Node) Validate() error {
 		return fmt.Errorf("tech: %s: inconsistent geometry", n.Name)
 	case n.VDD <= 0:
 		return fmt.Errorf("tech: %s: non-positive supply", n.Name)
+	// Vt = 0 means "power parameters unavailable" (hand-built nodes);
+	// when set, the Veendrick short-circuit term needs VDD − 2·Vt > 0.
+	case n.Vt < 0 || n.Ioff < 0:
+		return fmt.Errorf("tech: %s: negative power parameters", n.Name)
+	case n.Vt > 0 && 2*n.Vt >= n.VDD:
+		return fmt.Errorf("tech: %s: threshold %g too high for supply %g (need 2Vt < VDD)", n.Name, n.Vt, n.VDD)
 	}
 	return nil
 }

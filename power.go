@@ -1,0 +1,85 @@
+package rlcint
+
+import (
+	"context"
+
+	"rlcint/internal/power"
+)
+
+// This file exports the power-aware optimization subsystem: per-stage power
+// models (dynamic + short-circuit + leakage), the delay/power Pareto-front
+// tracer, the power-budgeted optimizer, and the mixed-scheme power planner.
+
+// PowerParams are the workload inputs of the power model: switching activity
+// factor α ∈ (0, 1] and clock frequency (Hz).
+type PowerParams = power.Params
+
+// PowerBreakdown is the power of one repeater stage split into dynamic,
+// short-circuit, and leakage terms (watts).
+type PowerBreakdown = power.Breakdown
+
+// PowerModel estimates per-stage power for a technology's buffered line.
+// Build with NewPowerModel.
+type PowerModel = power.Model
+
+// NewPowerModel builds a power estimator for the technology's top-metal line
+// with per-unit-length inductance l (H/m) under the given workload. The
+// technology must carry power parameters (Vt, Ioff); the paper's tabulated
+// nodes and InterpolateTech results do.
+func NewPowerModel(t Technology, l float64, prm PowerParams) (PowerModel, error) {
+	return power.New(t, l, prm)
+}
+
+// StagePower estimates the power of one (h, k) repeater stage.
+func StagePower(m PowerModel, h, k float64) (PowerBreakdown, error) {
+	return m.Stage(h, k)
+}
+
+// ParetoPoint is one point of the delay/power Pareto front.
+type ParetoPoint = power.FrontPoint
+
+// ParetoOptions configure the front tracer (point count, maximum weight,
+// worker pool, warm-start continuation). The zero value is the default
+// 17-point warm-start trace.
+type ParetoOptions = power.FrontOptions
+
+// ParetoFront traces the delay/power Pareto front of the model's buffered
+// line at delay threshold f, from the delay-optimal end toward the
+// power-lean end. Deterministic for fixed options regardless of worker
+// count.
+func ParetoFront(ctx context.Context, m PowerModel, f float64, opts ParetoOptions) ([]ParetoPoint, error) {
+	return power.ParetoFront(ctx, m, f, opts)
+}
+
+// OptimizePowerBudget minimizes the per-unit delay subject to a per-unit
+// power ceiling (W/m) — the constrained counterpart of a ParetoFront point.
+func OptimizePowerBudget(ctx context.Context, m PowerModel, f, budget float64, lim RunLimits) (ParetoPoint, error) {
+	return power.OptimizePowerBudget(ctx, m, f, budget, lim)
+}
+
+// PowerPlanOptions configure the mixed-scheme power planner (delay penalty
+// budget, front trace options).
+type PowerPlanOptions = power.PlanOptions
+
+// PowerPlan is a power-aware realizable repeater plan: at most two repeater
+// schemes drawn from the Pareto front, split along the net to minimize total
+// power under a bounded delay penalty.
+type PowerPlan = power.Plan
+
+// PlanPower builds a power-minimal repeater plan for a net of total length L
+// (meters) whose end-to-end delay stays within opts.MaxPenalty (default 5%)
+// of the delay-optimal plan — the RIP mixed-scheme tradeoff.
+func PlanPower(t Technology, l, f, L float64, prm PowerParams, opts PowerPlanOptions) (PowerPlan, error) {
+	return PlanPowerCtx(context.Background(), t, l, f, L, prm, opts)
+}
+
+// PlanPowerCtx is PlanPower under run control: cancellation and the limits
+// in opts.Front.Limits are checked throughout the front trace and the split
+// search.
+func PlanPowerCtx(ctx context.Context, t Technology, l, f, L float64, prm PowerParams, opts PowerPlanOptions) (PowerPlan, error) {
+	m, err := power.New(t, l, prm)
+	if err != nil {
+		return PowerPlan{}, err
+	}
+	return power.PlanPower(ctx, m, f, L, opts)
+}

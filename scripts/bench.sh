@@ -17,6 +17,9 @@
 #   scripts/bench.sh pdn                 # power-grid mesh benchmarks only
 #       (factor/solve at 1e3/1e4/1e5 nodes + ordering comparison)
 #       -> BENCH_<date>_pdn.json
+#   scripts/bench.sh power               # power-subsystem benchmarks only
+#       (Pareto-front trace with warm-start continuation)
+#       -> BENCH_<date>_power.json
 #   scripts/bench.sh compare [new] [base]
 #       Diff two snapshots and exit nonzero on a >15% ns/op regression or
 #       ANY allocs/op increase for benchmarks present in both. new defaults
@@ -119,6 +122,13 @@ elif [[ "${1:-}" == "pdn" ]]; then
   pattern='^BenchmarkPDN'
   pkgs=(./internal/pdn/)
   : "${SUFFIX:=pdn}"
+elif [[ "${1:-}" == "power" ]]; then
+  # Power-subsystem snapshot: the delay/power Pareto-front trace (warm-start
+  # continuation over the λ grid) -> BENCH_<date>_power.json. Soft compare
+  # tier: timing regressions exit 1, not 3.
+  pattern='^BenchmarkParetoFront'
+  pkgs=(./internal/power/)
+  : "${SUFFIX:=power}"
 fi
 args=(test -run '^$' -bench "$pattern" -benchmem -timeout 60m "${pkgs[@]}")
 if [[ -n "$benchtime" ]]; then
